@@ -1,0 +1,294 @@
+use crate::common::{Classifier, EpochRecord, ModelError, TrainingHistory};
+use disthd_datasets::Dataset;
+use disthd_hd::center::EncodingCenter;
+use disthd_hd::encoder::{Encoder, RbfEncoder};
+use disthd_hd::learn::{adaptive_epoch, bundle_init};
+use disthd_hd::ClassModel;
+use disthd_linalg::RngSeed;
+use std::time::Instant;
+
+/// Configuration for [`BaselineHd`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineHdConfig {
+    /// Hyperdimensional dimensionality `D`.
+    pub dim: usize,
+    /// Adaptive learning rate `η`.
+    pub learning_rate: f32,
+    /// Maximum retraining epochs.
+    pub epochs: usize,
+    /// Stop early once train accuracy fails to improve for this many
+    /// consecutive epochs (`None` disables early stopping).
+    pub patience: Option<usize>,
+    /// Seed for the static encoder.
+    pub seed: RngSeed,
+}
+
+impl Default for BaselineHdConfig {
+    fn default() -> Self {
+        Self {
+            dim: 4_000,
+            learning_rate: 0.05,
+            epochs: 30,
+            patience: Some(5),
+            seed: RngSeed::default(),
+        }
+    }
+}
+
+/// Classical HDC with a pre-generated *static* encoder ("baselineHD" [6]).
+///
+/// The encoder never changes after construction: this is the property the
+/// paper identifies as the root cause of the dimensionality problem —
+/// without regeneration, reasonable accuracy needs `D ≈ 4k` ("effective
+/// dimensionality"), whereas DistHD matches it at `D = 0.5k`.
+///
+/// Training is bundle initialization followed by adaptive-learning epochs
+/// (Algorithm 1), identical to DistHD's learner so comparisons isolate the
+/// encoding strategy.
+///
+/// # Example
+///
+/// ```
+/// use disthd_baselines::{BaselineHd, BaselineHdConfig, Classifier};
+/// use disthd_datasets::suite::{PaperDataset, SuiteConfig};
+///
+/// let data = PaperDataset::Pamap2.generate(&SuiteConfig::at_scale(0.0005))?;
+/// let cfg = BaselineHdConfig { dim: 512, epochs: 5, ..Default::default() };
+/// let mut model = BaselineHd::new(cfg, data.train.feature_dim(), data.train.class_count());
+/// let history = model.fit(&data.train, None)?;
+/// assert!(history.epochs() >= 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct BaselineHd {
+    config: BaselineHdConfig,
+    encoder: RbfEncoder,
+    model: Option<ClassModel>,
+    center: Option<EncodingCenter>,
+    class_count: usize,
+}
+
+impl BaselineHd {
+    /// Creates an untrained model for `feature_dim` inputs and
+    /// `class_count` classes.
+    pub fn new(config: BaselineHdConfig, feature_dim: usize, class_count: usize) -> Self {
+        let encoder = RbfEncoder::new(feature_dim, config.dim, config.seed);
+        Self {
+            config,
+            encoder,
+            model: None,
+            center: None,
+            class_count,
+        }
+    }
+
+    /// The configuration this model was built with.
+    pub fn config(&self) -> &BaselineHdConfig {
+        &self.config
+    }
+
+    /// Borrows the trained class model, if fitted.
+    pub fn class_model(&self) -> Option<&ClassModel> {
+        self.model.as_ref()
+    }
+
+    /// Mutably borrows the trained class model, if fitted (used by the
+    /// robustness harness to quantize/fault the stored model).
+    pub fn class_model_mut(&mut self) -> Option<&mut ClassModel> {
+        self.model.as_mut()
+    }
+
+    /// Replaces the class model (after dequantizing a faulted copy).
+    pub fn set_class_model(&mut self, model: ClassModel) {
+        self.model = Some(model);
+    }
+
+    /// Borrows the static encoder.
+    pub fn encoder(&self) -> &RbfEncoder {
+        &self.encoder
+    }
+
+    /// Per-class similarity scores for one input (ROC / top-k analysis).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::NotFitted`] before `fit`, or a shape error for
+    /// a wrong-length input.
+    pub fn decision_scores(&mut self, features: &[f32]) -> Result<Vec<f32>, ModelError> {
+        let model = self.model.as_mut().ok_or(ModelError::NotFitted)?;
+        let center = self.center.as_ref().ok_or(ModelError::NotFitted)?;
+        let mut encoded = self.encoder.encode(features)?;
+        center.apply(&mut encoded);
+        Ok(model.similarities(&encoded)?)
+    }
+
+    /// Accuracy of the current model on `data`, encoding on the fly.
+    fn eval_accuracy(
+        &self,
+        model: &mut ClassModel,
+        center: &EncodingCenter,
+        data: &Dataset,
+    ) -> Result<f64, ModelError> {
+        if data.is_empty() {
+            return Ok(0.0);
+        }
+        let mut encoded = self.encoder.encode_batch(data.features())?;
+        center.apply_batch(&mut encoded);
+        let mut correct = 0usize;
+        for i in 0..encoded.rows() {
+            if model.predict(encoded.row(i)) == data.label(i) {
+                correct += 1;
+            }
+        }
+        Ok(correct as f64 / data.len() as f64)
+    }
+}
+
+impl Classifier for BaselineHd {
+    fn fit(&mut self, train: &Dataset, eval: Option<&Dataset>) -> Result<TrainingHistory, ModelError> {
+        if train.feature_dim() != self.encoder.input_dim() {
+            return Err(ModelError::Incompatible(format!(
+                "expected {} features, dataset has {}",
+                self.encoder.input_dim(),
+                train.feature_dim()
+            )));
+        }
+        if train.class_count() != self.class_count {
+            return Err(ModelError::Incompatible(format!(
+                "expected {} classes, dataset has {}",
+                self.class_count,
+                train.class_count()
+            )));
+        }
+
+        let mut encoded = self.encoder.encode_batch(train.features())?;
+        let center = EncodingCenter::fit_and_apply(&mut encoded);
+        let mut model = ClassModel::new(self.class_count, self.config.dim);
+        bundle_init(&mut model, &encoded, train.labels())?;
+
+        let mut history = TrainingHistory::new();
+        let mut best = 0.0f64;
+        let mut stall = 0usize;
+        for epoch in 0..self.config.epochs {
+            let start = Instant::now();
+            let stats = adaptive_epoch(&mut model, &encoded, train.labels(), self.config.learning_rate)?;
+            let eval_accuracy = match eval {
+                Some(data) => Some(self.eval_accuracy(&mut model, &center, data)?),
+                None => None,
+            };
+            history.push(EpochRecord {
+                epoch,
+                train_accuracy: stats.accuracy(),
+                eval_accuracy,
+                elapsed: start.elapsed(),
+            });
+            if let Some(patience) = self.config.patience {
+                if stats.accuracy() > best + 1e-6 {
+                    best = stats.accuracy();
+                    stall = 0;
+                } else {
+                    stall += 1;
+                    if stall >= patience {
+                        break;
+                    }
+                }
+            }
+        }
+        self.model = Some(model);
+        self.center = Some(center);
+        Ok(history)
+    }
+
+    fn predict_one(&mut self, features: &[f32]) -> Result<usize, ModelError> {
+        let model = self.model.as_mut().ok_or(ModelError::NotFitted)?;
+        let center = self.center.as_ref().ok_or(ModelError::NotFitted)?;
+        let mut encoded = self.encoder.encode(features)?;
+        center.apply(&mut encoded);
+        Ok(model.predict(&encoded))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disthd_datasets::suite::{PaperDataset, SuiteConfig};
+
+    fn small_data() -> disthd_datasets::TrainTest {
+        PaperDataset::Diabetes
+            .generate(&SuiteConfig::at_scale(0.001))
+            .unwrap()
+    }
+
+    fn config(dim: usize) -> BaselineHdConfig {
+        BaselineHdConfig {
+            dim,
+            epochs: 8,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn fit_then_predict_beats_chance() {
+        let data = small_data();
+        let mut model = BaselineHd::new(config(512), data.train.feature_dim(), data.train.class_count());
+        model.fit(&data.train, None).unwrap();
+        let acc = model.accuracy(&data.test).unwrap();
+        assert!(acc > 0.4, "accuracy {acc} should beat 3-class chance");
+    }
+
+    #[test]
+    fn predict_before_fit_errors() {
+        let mut model = BaselineHd::new(config(64), 49, 3);
+        assert!(matches!(
+            model.predict_one(&[0.0; 49]),
+            Err(ModelError::NotFitted)
+        ));
+    }
+
+    #[test]
+    fn fit_rejects_wrong_feature_count() {
+        let data = small_data();
+        let mut model = BaselineHd::new(config(64), 10, 3);
+        assert!(matches!(
+            model.fit(&data.train, None),
+            Err(ModelError::Incompatible(_))
+        ));
+    }
+
+    #[test]
+    fn history_records_eval_accuracy_when_requested() {
+        let data = small_data();
+        let mut model = BaselineHd::new(config(256), data.train.feature_dim(), data.train.class_count());
+        let history = model.fit(&data.train, Some(&data.test)).unwrap();
+        assert!(history.records().iter().all(|r| r.eval_accuracy.is_some()));
+    }
+
+    #[test]
+    fn early_stopping_respects_patience() {
+        let data = small_data();
+        let cfg = BaselineHdConfig {
+            dim: 256,
+            epochs: 50,
+            patience: Some(2),
+            ..Default::default()
+        };
+        let mut model = BaselineHd::new(cfg, data.train.feature_dim(), data.train.class_count());
+        let history = model.fit(&data.train, None).unwrap();
+        assert!(history.epochs() < 50, "patience should cut training short");
+    }
+
+    #[test]
+    fn higher_dimensionality_does_not_hurt() {
+        let data = small_data();
+        let mut low = BaselineHd::new(config(64), data.train.feature_dim(), data.train.class_count());
+        let mut high = BaselineHd::new(config(2048), data.train.feature_dim(), data.train.class_count());
+        low.fit(&data.train, None).unwrap();
+        high.fit(&data.train, None).unwrap();
+        let low_acc = low.accuracy(&data.test).unwrap();
+        let high_acc = high.accuracy(&data.test).unwrap();
+        assert!(
+            high_acc + 0.08 >= low_acc,
+            "high-D ({high_acc}) should be at least comparable to low-D ({low_acc})"
+        );
+    }
+}

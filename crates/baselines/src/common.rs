@@ -1,0 +1,7 @@
+//! Re-exports of the shared model-facing types from [`disthd_eval`].
+//!
+//! The `Classifier` trait, training history and error type live in the
+//! evaluation substrate so that `disthd` (the core crate) can implement
+//! them without depending on the comparator models in this crate.
+
+pub use disthd_eval::model::{Classifier, EpochRecord, ModelError, TrainingHistory};

@@ -1,0 +1,49 @@
+//! # disthd-baselines
+//!
+//! Every comparator model the DistHD paper evaluates against, built from
+//! scratch on the workspace substrates:
+//!
+//! * [`BaselineHd`] — classical HDC with a *static* RBF encoder and
+//!   adaptive retraining (the "baselineHD" of Fig. 4/5/7, after Rahimi et
+//!   al. [6]);
+//! * [`NeuralHd`] — the dynamic-encoding comparator [7]: periodically drops
+//!   the lowest-variance dimensions and regenerates them;
+//! * [`Mlp`] — the "SOTA DNN" comparator [27]: a from-scratch multilayer
+//!   perceptron (ReLU, softmax cross-entropy, SGD + momentum);
+//! * [`LinearSvm`] — the SVM comparator [28]: one-vs-rest linear SVM
+//!   trained with Pegasos-style SGD on the hinge loss.
+//!
+//! All models implement [`Classifier`], so the benchmark harness can sweep
+//! them uniformly.
+//!
+//! ## Example
+//!
+//! ```
+//! use disthd_baselines::{BaselineHd, BaselineHdConfig, Classifier};
+//! use disthd_datasets::suite::{PaperDataset, SuiteConfig};
+//!
+//! let data = PaperDataset::Diabetes.generate(&SuiteConfig::at_scale(0.002))?;
+//! let mut model = BaselineHd::new(BaselineHdConfig {
+//!     dim: 256,
+//!     epochs: 5,
+//!     ..BaselineHdConfig::default()
+//! }, data.train.feature_dim(), data.train.class_count());
+//! model.fit(&data.train, None)?;
+//! let acc = model.accuracy(&data.test)?;
+//! assert!(acc > 1.0 / 3.0); // beats chance on a 3-class task
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![deny(missing_docs)]
+
+mod baseline_hd;
+mod common;
+pub mod mlp;
+mod neural_hd;
+mod svm;
+
+pub use baseline_hd::{BaselineHd, BaselineHdConfig};
+pub use common::{Classifier, EpochRecord, ModelError, TrainingHistory};
+pub use mlp::{Mlp, MlpConfig};
+pub use neural_hd::{NeuralHd, NeuralHdConfig};
+pub use svm::{LinearSvm, SvmConfig};

@@ -1,0 +1,68 @@
+/// Element-wise activation functions for hidden layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// Identity (used by the output layer; softmax lives in the loss).
+    Linear,
+    /// Rectified linear unit.
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+}
+
+impl Activation {
+    /// Applies the activation to one pre-activation value.
+    pub fn apply(self, x: f32) -> f32 {
+        match self {
+            Activation::Linear => x,
+            Activation::Relu => x.max(0.0),
+            Activation::Tanh => x.tanh(),
+        }
+    }
+
+    /// Derivative with respect to the pre-activation, expressed via the
+    /// *output* value `y = apply(x)` (cheaper: no need to keep `x`).
+    pub fn derivative_from_output(self, y: f32) -> f32 {
+        match self {
+            Activation::Linear => 1.0,
+            Activation::Relu => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Tanh => 1.0 - y * y,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        assert_eq!(Activation::Relu.apply(-2.0), 0.0);
+        assert_eq!(Activation::Relu.apply(3.0), 3.0);
+    }
+
+    #[test]
+    fn relu_derivative_is_step() {
+        assert_eq!(Activation::Relu.derivative_from_output(0.0), 0.0);
+        assert_eq!(Activation::Relu.derivative_from_output(1.5), 1.0);
+    }
+
+    #[test]
+    fn tanh_derivative_matches_identity() {
+        let x = 0.7f32;
+        let y = Activation::Tanh.apply(x);
+        let expected = 1.0 - x.tanh().powi(2);
+        assert!((Activation::Tanh.derivative_from_output(y) - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn linear_is_identity() {
+        assert_eq!(Activation::Linear.apply(-4.2), -4.2);
+        assert_eq!(Activation::Linear.derivative_from_output(9.0), 1.0);
+    }
+}

@@ -1,0 +1,236 @@
+use super::activation::Activation;
+use disthd_linalg::{Gaussian, Matrix, SeededRng, ShapeError};
+
+/// A fully connected layer `y = act(x · W + b)`.
+///
+/// `W` is `in_dim x out_dim` (row-major), so a batch of inputs (one row per
+/// sample) forwards as a single matrix product.  The layer caches the last
+/// input and output batches for backpropagation.
+#[derive(Debug, Clone)]
+pub struct DenseLayer {
+    weights: Matrix,
+    bias: Vec<f32>,
+    activation: Activation,
+    /// Cached forward input (needed for dW = xᵀ · δ).
+    last_input: Matrix,
+    /// Cached forward output (needed for the activation derivative).
+    last_output: Matrix,
+    grad_weights: Matrix,
+    grad_bias: Vec<f32>,
+}
+
+impl DenseLayer {
+    /// He-style random initialization: `N(0, sqrt(2 / in_dim))`.
+    pub fn new(in_dim: usize, out_dim: usize, activation: Activation, rng: &mut SeededRng) -> Self {
+        let std_dev = (2.0 / in_dim.max(1) as f32).sqrt();
+        let gaussian = Gaussian::new(0.0, std_dev);
+        let weights = Matrix::from_fn(in_dim, out_dim, |_, _| gaussian.sample(rng));
+        Self {
+            weights,
+            bias: vec![0.0; out_dim],
+            activation,
+            last_input: Matrix::default(),
+            last_output: Matrix::default(),
+            grad_weights: Matrix::zeros(in_dim, out_dim),
+            grad_bias: vec![0.0; out_dim],
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.weights.cols()
+    }
+
+    /// Borrows the weight matrix.
+    pub fn weights(&self) -> &Matrix {
+        &self.weights
+    }
+
+    /// Mutably borrows the weight matrix (quantization / fault injection).
+    pub fn weights_mut(&mut self) -> &mut Matrix {
+        &mut self.weights
+    }
+
+    /// Borrows the bias vector.
+    pub fn bias(&self) -> &[f32] {
+        &self.bias
+    }
+
+    /// Mutably borrows the bias vector.
+    pub fn bias_mut(&mut self) -> &mut [f32] {
+        &mut self.bias
+    }
+
+    /// Forward pass over a batch (one sample per row), caching for backprop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `input.cols() != in_dim()`.
+    pub fn forward(&mut self, input: &Matrix) -> Result<Matrix, ShapeError> {
+        let mut out = input.matmul(&self.weights)?;
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
+            for (v, &b) in row.iter_mut().zip(self.bias.iter()) {
+                *v = self.activation.apply(*v + b);
+            }
+        }
+        self.last_input = input.clone();
+        self.last_output = out.clone();
+        Ok(out)
+    }
+
+    /// Inference-only forward pass (no caching).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `input.cols() != in_dim()`.
+    pub fn forward_inference(&self, input: &Matrix) -> Result<Matrix, ShapeError> {
+        let mut out = input.matmul(&self.weights)?;
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
+            for (v, &b) in row.iter_mut().zip(self.bias.iter()) {
+                *v = self.activation.apply(*v + b);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Backward pass: consumes `grad_output` (∂L/∂y, one row per sample),
+    /// accumulates weight/bias gradients, returns ∂L/∂x.
+    ///
+    /// Must follow a [`Self::forward`] call with the matching batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] on shape mismatch with the cached batch.
+    pub fn backward(&mut self, grad_output: &Matrix) -> Result<Matrix, ShapeError> {
+        // δ = grad_output ⊙ act'(y)
+        let mut delta = grad_output.clone();
+        for r in 0..delta.rows() {
+            let out_row = self.last_output.row(r).to_vec();
+            let d_row = delta.row_mut(r);
+            for (d, y) in d_row.iter_mut().zip(out_row) {
+                *d *= self.activation.derivative_from_output(y);
+            }
+        }
+        // dW = xᵀ · δ ; db = Σ_rows δ
+        let batch = delta.rows().max(1) as f32;
+        self.grad_weights = self.last_input.transpose().matmul(&delta)?;
+        self.grad_weights.scale(1.0 / batch);
+        self.grad_bias = disthd_linalg::column_sums(&delta);
+        for b in &mut self.grad_bias {
+            *b /= batch;
+        }
+        // ∂L/∂x = δ · Wᵀ
+        delta.matmul(&self.weights.transpose())
+    }
+
+    /// Last computed weight gradient.
+    pub fn grad_weights(&self) -> &Matrix {
+        &self.grad_weights
+    }
+
+    /// Last computed bias gradient.
+    pub fn grad_bias(&self) -> &[f32] {
+        &self.grad_bias
+    }
+
+    /// Applies a parameter update `W -= update_w`, `b -= update_b`
+    /// (computed by the optimizer).
+    pub(crate) fn apply_update(&mut self, update_w: &Matrix, update_b: &[f32]) {
+        for (w, u) in self
+            .weights
+            .as_mut_slice()
+            .iter_mut()
+            .zip(update_w.as_slice())
+        {
+            *w -= u;
+        }
+        for (b, u) in self.bias.iter_mut().zip(update_b) {
+            *b -= u;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disthd_linalg::RngSeed;
+
+    fn layer() -> DenseLayer {
+        let mut rng = SeededRng::new(RngSeed(1));
+        DenseLayer::new(3, 2, Activation::Linear, &mut rng)
+    }
+
+    #[test]
+    fn forward_shape() {
+        let mut l = layer();
+        let x = Matrix::from_rows(&[vec![1.0, 0.0, -1.0], vec![0.5, 0.5, 0.5]]).unwrap();
+        let y = l.forward(&x).unwrap();
+        assert_eq!(y.shape(), (2, 2));
+    }
+
+    #[test]
+    fn forward_inference_matches_forward() {
+        let mut l = layer();
+        let x = Matrix::from_rows(&[vec![0.3, -0.2, 0.9]]).unwrap();
+        let a = l.forward(&x).unwrap();
+        let b = l.forward_inference(&x).unwrap();
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn backward_produces_finite_gradients() {
+        let mut rng = SeededRng::new(RngSeed(2));
+        let mut l = DenseLayer::new(3, 2, Activation::Relu, &mut rng);
+        let x = Matrix::from_rows(&[vec![1.0, 2.0, 3.0]]).unwrap();
+        l.forward(&x).unwrap();
+        let grad_out = Matrix::from_rows(&[vec![0.1, -0.2]]).unwrap();
+        let grad_in = l.backward(&grad_out).unwrap();
+        assert_eq!(grad_in.shape(), (1, 3));
+        assert!(l.grad_weights().as_slice().iter().all(|g| g.is_finite()));
+        assert!(l.grad_bias().iter().all(|g| g.is_finite()));
+    }
+
+    #[test]
+    fn numeric_gradient_check() {
+        // Finite-difference check of dL/dW for L = sum(y).
+        let mut rng = SeededRng::new(RngSeed(3));
+        let mut l = DenseLayer::new(2, 2, Activation::Tanh, &mut rng);
+        let x = Matrix::from_rows(&[vec![0.4, -0.7]]).unwrap();
+        l.forward(&x).unwrap();
+        let ones = Matrix::from_rows(&[vec![1.0, 1.0]]).unwrap();
+        l.backward(&ones).unwrap();
+        let analytic = l.grad_weights().get(0, 0);
+
+        let eps = 1e-3;
+        let loss = |l: &DenseLayer, x: &Matrix| -> f32 {
+            l.forward_inference(x).unwrap().as_slice().iter().sum()
+        };
+        let base_w = l.weights().get(0, 0);
+        l.weights_mut().set(0, 0, base_w + eps);
+        let up = loss(&l, &x);
+        l.weights_mut().set(0, 0, base_w - eps);
+        let down = loss(&l, &x);
+        let numeric = (up - down) / (2.0 * eps);
+        assert!(
+            (analytic - numeric).abs() < 1e-2,
+            "analytic {analytic} vs numeric {numeric}"
+        );
+    }
+
+    #[test]
+    fn apply_update_moves_parameters() {
+        let mut l = layer();
+        let w0 = l.weights().get(0, 0);
+        let update = Matrix::filled(3, 2, 0.5);
+        l.apply_update(&update, &[0.1, 0.1]);
+        assert!((l.weights().get(0, 0) - (w0 - 0.5)).abs() < 1e-6);
+        assert!((l.bias()[0] + 0.1).abs() < 1e-6);
+    }
+}

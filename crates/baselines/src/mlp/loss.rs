@@ -1,0 +1,105 @@
+//! Softmax cross-entropy loss.
+
+use disthd_linalg::Matrix;
+
+/// Numerically stable in-place softmax over each row of `logits`.
+pub fn softmax_in_place(logits: &mut Matrix) {
+    for r in 0..logits.rows() {
+        let row = logits.row_mut(r);
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        if sum > 0.0 {
+            for v in row.iter_mut() {
+                *v /= sum;
+            }
+        }
+    }
+}
+
+/// Mean softmax cross-entropy over a batch plus the gradient w.r.t. logits.
+///
+/// Returns `(mean_loss, grad)` where `grad[i] = softmax(logits[i]) - onehot(labels[i])`
+/// (already averaged gradient direction per sample; the layer averages over
+/// the batch during backward).
+///
+/// # Panics
+///
+/// Panics if `labels.len() != logits.rows()` or any label is out of range.
+pub fn softmax_cross_entropy(logits: &Matrix, labels: &[usize]) -> (f32, Matrix) {
+    assert_eq!(labels.len(), logits.rows(), "labels/batch mismatch");
+    let mut probs = logits.clone();
+    softmax_in_place(&mut probs);
+    let mut loss = 0.0f32;
+    let mut grad = probs.clone();
+    for (r, &label) in labels.iter().enumerate() {
+        assert!(label < logits.cols(), "label out of range");
+        let p = probs.get(r, label).max(1e-12);
+        loss -= p.ln();
+        grad.set(r, label, grad.get(r, label) - 1.0);
+    }
+    (loss / labels.len().max(1) as f32, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut m = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![-1.0, 0.0, 1.0]]).unwrap();
+        softmax_in_place(&mut m);
+        for row in m.iter_rows() {
+            let sum: f32 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+            assert!(row.iter().all(|&p| p >= 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let mut a = Matrix::from_rows(&[vec![1.0, 2.0]]).unwrap();
+        let mut b = Matrix::from_rows(&[vec![101.0, 102.0]]).unwrap();
+        softmax_in_place(&mut a);
+        softmax_in_place(&mut b);
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn softmax_handles_large_logits() {
+        let mut m = Matrix::from_rows(&[vec![1000.0, 0.0]]).unwrap();
+        softmax_in_place(&mut m);
+        assert!(m.as_slice().iter().all(|v| v.is_finite()));
+        assert!((m.get(0, 0) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_is_low_for_confident_correct() {
+        let logits = Matrix::from_rows(&[vec![10.0, 0.0]]).unwrap();
+        let (loss_correct, _) = softmax_cross_entropy(&logits, &[0]);
+        let (loss_wrong, _) = softmax_cross_entropy(&logits, &[1]);
+        assert!(loss_correct < 0.01);
+        assert!(loss_wrong > 5.0);
+    }
+
+    #[test]
+    fn gradient_points_from_probs_to_onehot() {
+        let logits = Matrix::from_rows(&[vec![0.0, 0.0]]).unwrap();
+        let (_, grad) = softmax_cross_entropy(&logits, &[0]);
+        // probs = [0.5, 0.5]; grad = [0.5 - 1, 0.5] = [-0.5, 0.5]
+        assert!((grad.get(0, 0) + 0.5).abs() < 1e-5);
+        assert!((grad.get(0, 1) - 0.5).abs() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn bad_label_panics() {
+        let logits = Matrix::from_rows(&[vec![0.0, 0.0]]).unwrap();
+        softmax_cross_entropy(&logits, &[5]);
+    }
+}

@@ -1,0 +1,19 @@
+//! From-scratch multilayer perceptron — the paper's "SOTA DNN" comparator
+//! [27].
+//!
+//! Architecture: fully connected layers with ReLU hidden activations and a
+//! softmax cross-entropy output, trained by mini-batch SGD with momentum.
+//! The weights are exposed as matrices so the Fig. 8 robustness harness can
+//! quantize them to 8 bits and inject bit faults.
+
+mod activation;
+mod layer;
+mod loss;
+mod network;
+mod optimizer;
+
+pub use activation::Activation;
+pub use layer::DenseLayer;
+pub use loss::{softmax_cross_entropy, softmax_in_place};
+pub use network::{Mlp, MlpConfig};
+pub use optimizer::MomentumSgd;

@@ -1,0 +1,342 @@
+use super::activation::Activation;
+use super::layer::DenseLayer;
+use super::loss::{softmax_cross_entropy, softmax_in_place};
+use super::optimizer::MomentumSgd;
+use crate::common::{Classifier, EpochRecord, ModelError, TrainingHistory};
+use disthd_datasets::Dataset;
+use disthd_linalg::{Matrix, RngSeed, SeededRng};
+use std::time::Instant;
+
+/// Configuration for [`Mlp`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MlpConfig {
+    /// Hidden layer widths (e.g. `vec![128, 64]`).
+    pub hidden: Vec<usize>,
+    /// SGD learning rate.
+    pub learning_rate: f32,
+    /// Momentum coefficient `μ`.
+    pub momentum: f32,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Weight-initialization / shuffling seed.
+    pub seed: RngSeed,
+}
+
+impl Default for MlpConfig {
+    fn default() -> Self {
+        Self {
+            hidden: vec![128],
+            learning_rate: 0.05,
+            momentum: 0.9,
+            epochs: 30,
+            batch_size: 32,
+            seed: RngSeed::default(),
+        }
+    }
+}
+
+/// Multilayer perceptron with ReLU hidden layers and softmax output — the
+/// "SOTA DNN" comparator of Figs. 4, 5 and 8 [27].
+///
+/// # Example
+///
+/// ```
+/// use disthd_baselines::{Classifier, Mlp, MlpConfig};
+/// use disthd_datasets::suite::{PaperDataset, SuiteConfig};
+///
+/// let data = PaperDataset::Diabetes.generate(&SuiteConfig::at_scale(0.001))?;
+/// let cfg = MlpConfig { hidden: vec![32], epochs: 10, ..Default::default() };
+/// let mut model = Mlp::new(cfg, data.train.feature_dim(), data.train.class_count());
+/// model.fit(&data.train, None)?;
+/// assert!(model.accuracy(&data.test)? > 1.0 / 3.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    config: MlpConfig,
+    layers: Vec<DenseLayer>,
+    fitted: bool,
+    feature_dim: usize,
+    class_count: usize,
+}
+
+impl Mlp {
+    /// Creates an untrained network for `feature_dim` inputs and
+    /// `class_count` output classes.
+    pub fn new(config: MlpConfig, feature_dim: usize, class_count: usize) -> Self {
+        let mut rng = SeededRng::derive_stream(config.seed, 0x4D_4C_50);
+        let mut layers = Vec::new();
+        let mut in_dim = feature_dim;
+        for &h in &config.hidden {
+            layers.push(DenseLayer::new(in_dim, h, Activation::Relu, &mut rng));
+            in_dim = h;
+        }
+        layers.push(DenseLayer::new(in_dim, class_count, Activation::Linear, &mut rng));
+        Self {
+            config,
+            layers,
+            fitted: false,
+            feature_dim,
+            class_count,
+        }
+    }
+
+    /// The configuration this network was built with.
+    pub fn config(&self) -> &MlpConfig {
+        &self.config
+    }
+
+    /// Number of layers (hidden + output).
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Borrows the layers (robustness harness: quantize / fault weights).
+    pub fn layers(&self) -> &[DenseLayer] {
+        &self.layers
+    }
+
+    /// Mutably borrows the layers.
+    pub fn layers_mut(&mut self) -> &mut [DenseLayer] {
+        &mut self.layers
+    }
+
+    /// Total trainable parameter count.
+    pub fn parameter_count(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.in_dim() * l.out_dim() + l.out_dim())
+            .sum()
+    }
+
+    /// Class-probability rows for a feature batch (softmax outputs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Shape`] for a wrong-width batch.
+    pub fn predict_proba(&self, batch: &Matrix) -> Result<Matrix, ModelError> {
+        let mut current = batch.clone();
+        for layer in &self.layers {
+            current = layer.forward_inference(&current)?;
+        }
+        softmax_in_place(&mut current);
+        Ok(current)
+    }
+
+    /// Batch prediction by argmax of logits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Shape`] for a wrong-width batch.
+    pub fn predict_batch(&self, batch: &Matrix) -> Result<Vec<usize>, ModelError> {
+        let probs = self.predict_proba(batch)?;
+        Ok((0..probs.rows())
+            .map(|r| {
+                let row = probs.row(r);
+                let mut best = 0;
+                for i in 1..row.len() {
+                    if row[i] > row[best] {
+                        best = i;
+                    }
+                }
+                best
+            })
+            .collect())
+    }
+
+    fn batch_accuracy(&self, data: &Dataset) -> Result<f64, ModelError> {
+        if data.is_empty() {
+            return Ok(0.0);
+        }
+        let predictions = self.predict_batch(data.features())?;
+        let correct = predictions
+            .iter()
+            .zip(data.labels())
+            .filter(|(p, l)| p == l)
+            .count();
+        Ok(correct as f64 / data.len() as f64)
+    }
+}
+
+impl Classifier for Mlp {
+    fn fit(&mut self, train: &Dataset, eval: Option<&Dataset>) -> Result<TrainingHistory, ModelError> {
+        if train.feature_dim() != self.feature_dim {
+            return Err(ModelError::Incompatible(format!(
+                "expected {} features, dataset has {}",
+                self.feature_dim,
+                train.feature_dim()
+            )));
+        }
+        if train.class_count() != self.class_count {
+            return Err(ModelError::Incompatible(format!(
+                "expected {} classes, dataset has {}",
+                self.class_count,
+                train.class_count()
+            )));
+        }
+
+        let mut optimizer = MomentumSgd::new(
+            self.config.learning_rate,
+            self.config.momentum,
+            &self.layers,
+        );
+        let mut shuffle_rng = SeededRng::derive_stream(self.config.seed, 0x5F_FF);
+        let mut history = TrainingHistory::new();
+
+        for epoch in 0..self.config.epochs {
+            let start = Instant::now();
+            let shuffled = train.shuffled(&mut shuffle_rng);
+            let mut correct = 0usize;
+            for range in shuffled.batch_ranges(self.config.batch_size) {
+                let indices: Vec<usize> = range.collect();
+                let batch = shuffled.features().select_rows(&indices);
+                let labels: Vec<usize> = indices.iter().map(|&i| shuffled.label(i)).collect();
+
+                // Forward through all layers with caching.
+                let mut current = batch;
+                for layer in &mut self.layers {
+                    current = layer.forward(&current)?;
+                }
+                // Count batch accuracy from logits.
+                for (r, &label) in labels.iter().enumerate() {
+                    let row = current.row(r);
+                    let mut best = 0;
+                    for i in 1..row.len() {
+                        if row[i] > row[best] {
+                            best = i;
+                        }
+                    }
+                    if best == label {
+                        correct += 1;
+                    }
+                }
+                // Loss gradient and backward chain.
+                let (_, mut grad) = softmax_cross_entropy(&current, &labels);
+                for layer in self.layers.iter_mut().rev() {
+                    grad = layer.backward(&grad)?;
+                }
+                optimizer.step(&mut self.layers);
+            }
+
+            let eval_accuracy = match eval {
+                Some(data) => Some(self.batch_accuracy(data)?),
+                None => None,
+            };
+            history.push(EpochRecord {
+                epoch,
+                train_accuracy: correct as f64 / train.len().max(1) as f64,
+                eval_accuracy,
+                elapsed: start.elapsed(),
+            });
+        }
+        self.fitted = true;
+        Ok(history)
+    }
+
+    fn predict_one(&mut self, features: &[f32]) -> Result<usize, ModelError> {
+        if !self.fitted {
+            return Err(ModelError::NotFitted);
+        }
+        let batch = Matrix::from_rows(&[features.to_vec()]).map_err(ModelError::Shape)?;
+        Ok(self.predict_batch(&batch)?[0])
+    }
+
+    fn predict(&mut self, data: &Dataset) -> Result<Vec<usize>, ModelError> {
+        if !self.fitted {
+            return Err(ModelError::NotFitted);
+        }
+        self.predict_batch(data.features())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disthd_datasets::suite::{PaperDataset, SuiteConfig};
+
+    fn small_data() -> disthd_datasets::TrainTest {
+        PaperDataset::Diabetes
+            .generate(&SuiteConfig::at_scale(0.001))
+            .unwrap()
+    }
+
+    fn config() -> MlpConfig {
+        MlpConfig {
+            hidden: vec![32],
+            epochs: 15,
+            learning_rate: 0.1,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn learns_separable_data() {
+        let data = small_data();
+        let mut model = Mlp::new(config(), data.train.feature_dim(), data.train.class_count());
+        let history = model.fit(&data.train, None).unwrap();
+        assert!(
+            history.final_train_accuracy() > 0.6,
+            "train acc {}",
+            history.final_train_accuracy()
+        );
+        assert!(model.accuracy(&data.test).unwrap() > 0.45);
+    }
+
+    #[test]
+    fn predict_before_fit_errors() {
+        let mut model = Mlp::new(config(), 49, 3);
+        assert!(matches!(
+            model.predict_one(&[0.0; 49]),
+            Err(ModelError::NotFitted)
+        ));
+    }
+
+    #[test]
+    fn parameter_count_matches_architecture() {
+        let model = Mlp::new(
+            MlpConfig {
+                hidden: vec![8],
+                ..Default::default()
+            },
+            4,
+            3,
+        );
+        // 4*8 + 8 + 8*3 + 3 = 67
+        assert_eq!(model.parameter_count(), 67);
+        assert_eq!(model.layer_count(), 2);
+    }
+
+    #[test]
+    fn predict_proba_rows_sum_to_one() {
+        let data = small_data();
+        let mut model = Mlp::new(config(), data.train.feature_dim(), data.train.class_count());
+        model.fit(&data.train.take(50), None).unwrap();
+        let probs = model.predict_proba(data.test.features()).unwrap();
+        for row in probs.iter_rows() {
+            assert!((row.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn incompatible_dataset_rejected() {
+        let data = small_data();
+        let mut model = Mlp::new(config(), 5, 3);
+        assert!(model.fit(&data.train, None).is_err());
+    }
+
+    #[test]
+    fn deeper_network_still_trains() {
+        let data = small_data();
+        let cfg = MlpConfig {
+            hidden: vec![32, 16],
+            epochs: 10,
+            learning_rate: 0.1,
+            ..Default::default()
+        };
+        let mut model = Mlp::new(cfg, data.train.feature_dim(), data.train.class_count());
+        let history = model.fit(&data.train, None).unwrap();
+        assert!(history.final_train_accuracy() > 0.5);
+    }
+}

@@ -1,0 +1,272 @@
+use crate::common::{Classifier, EpochRecord, ModelError, TrainingHistory};
+use disthd_datasets::Dataset;
+use disthd_linalg::{Matrix, RngSeed, SeededRng};
+use std::time::Instant;
+
+/// Configuration for [`LinearSvm`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SvmConfig {
+    /// L2 regularization strength `λ`.
+    pub lambda: f32,
+    /// Training epochs (full passes over the data).
+    pub epochs: usize,
+    /// Shuffling seed.
+    pub seed: RngSeed,
+}
+
+impl Default for SvmConfig {
+    fn default() -> Self {
+        Self {
+            lambda: 1e-4,
+            epochs: 20,
+            seed: RngSeed::default(),
+        }
+    }
+}
+
+/// One-vs-rest linear SVM trained with Pegasos-style SGD [28].
+///
+/// Each class `c` owns a weight vector `w_c` and bias `b_c` trained on the
+/// binary problem "class c vs the rest" with hinge loss and step size
+/// `η_t = 1 / (λ·t)`; prediction is `argmax_c (w_c·x + b_c)`.
+///
+/// Like the paper's scikit-learn comparator, training cost scales linearly
+/// with dataset size × class count × feature count, which produces the
+/// "SVMs take significantly longer on PAMAP2/DIABETES" shape of Fig. 5.
+///
+/// # Example
+///
+/// ```
+/// use disthd_baselines::{Classifier, LinearSvm, SvmConfig};
+/// use disthd_datasets::suite::{PaperDataset, SuiteConfig};
+///
+/// let data = PaperDataset::Diabetes.generate(&SuiteConfig::at_scale(0.001))?;
+/// let mut model = LinearSvm::new(SvmConfig::default(), data.train.feature_dim(), data.train.class_count());
+/// model.fit(&data.train, None)?;
+/// assert!(model.accuracy(&data.test)? > 1.0 / 3.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct LinearSvm {
+    config: SvmConfig,
+    /// `class_count x feature_dim` weight matrix.
+    weights: Matrix,
+    bias: Vec<f32>,
+    fitted: bool,
+    feature_dim: usize,
+    class_count: usize,
+}
+
+impl LinearSvm {
+    /// Creates an untrained SVM for `feature_dim` inputs and `class_count`
+    /// classes.
+    pub fn new(config: SvmConfig, feature_dim: usize, class_count: usize) -> Self {
+        Self {
+            config,
+            weights: Matrix::zeros(class_count, feature_dim),
+            bias: vec![0.0; class_count],
+            fitted: false,
+            feature_dim,
+            class_count,
+        }
+    }
+
+    /// The configuration this model was built with.
+    pub fn config(&self) -> &SvmConfig {
+        &self.config
+    }
+
+    /// Borrows the weight matrix (one row per class).
+    pub fn weights(&self) -> &Matrix {
+        &self.weights
+    }
+
+    /// Decision scores `w_c·x + b_c` for every class.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Shape`] for a wrong-length input.
+    pub fn decision_scores(&self, features: &[f32]) -> Result<Vec<f32>, ModelError> {
+        let mut scores = self.weights.matvec(features).map_err(ModelError::Shape)?;
+        for (s, &b) in scores.iter_mut().zip(self.bias.iter()) {
+            *s += b;
+        }
+        Ok(scores)
+    }
+}
+
+impl Classifier for LinearSvm {
+    fn fit(&mut self, train: &Dataset, eval: Option<&Dataset>) -> Result<TrainingHistory, ModelError> {
+        if train.feature_dim() != self.feature_dim {
+            return Err(ModelError::Incompatible(format!(
+                "expected {} features, dataset has {}",
+                self.feature_dim,
+                train.feature_dim()
+            )));
+        }
+        if train.class_count() != self.class_count {
+            return Err(ModelError::Incompatible(format!(
+                "expected {} classes, dataset has {}",
+                self.class_count,
+                train.class_count()
+            )));
+        }
+
+        self.weights = Matrix::zeros(self.class_count, self.feature_dim);
+        self.bias = vec![0.0; self.class_count];
+        let mut rng = SeededRng::derive_stream(self.config.seed, 0x53_56_4D);
+        let mut history = TrainingHistory::new();
+        let mut t = 1u64;
+
+        for epoch in 0..self.config.epochs {
+            let start = Instant::now();
+            let shuffled = train.shuffled(&mut rng);
+            let mut correct = 0usize;
+            for i in 0..shuffled.len() {
+                let x = shuffled.sample(i);
+                let label = shuffled.label(i);
+
+                // Track running train accuracy with the pre-update model.
+                let scores = self.decision_scores(x)?;
+                let mut best = 0;
+                for c in 1..scores.len() {
+                    if scores[c] > scores[best] {
+                        best = c;
+                    }
+                }
+                if best == label {
+                    correct += 1;
+                }
+
+                // Pegasos update for every binary subproblem.
+                let eta = 1.0 / (self.config.lambda * t as f32);
+                for c in 0..self.class_count {
+                    let y = if c == label { 1.0f32 } else { -1.0 };
+                    let margin = y * scores[c];
+                    let w = self.weights.row_mut(c);
+                    // Shrink (regularization).
+                    let shrink = 1.0 - eta * self.config.lambda;
+                    for v in w.iter_mut() {
+                        *v *= shrink;
+                    }
+                    self.bias[c] *= shrink;
+                    if margin < 1.0 {
+                        disthd_linalg::axpy(eta * y, x, w);
+                        self.bias[c] += eta * y;
+                    }
+                }
+                t += 1;
+            }
+            self.fitted = true;
+
+            let eval_accuracy = match eval {
+                Some(data) => Some(self.accuracy_internal(data)?),
+                None => None,
+            };
+            history.push(EpochRecord {
+                epoch,
+                train_accuracy: correct as f64 / train.len().max(1) as f64,
+                eval_accuracy,
+                elapsed: start.elapsed(),
+            });
+        }
+        Ok(history)
+    }
+
+    fn predict_one(&mut self, features: &[f32]) -> Result<usize, ModelError> {
+        if !self.fitted {
+            return Err(ModelError::NotFitted);
+        }
+        let scores = self.decision_scores(features)?;
+        let mut best = 0;
+        for c in 1..scores.len() {
+            if scores[c] > scores[best] {
+                best = c;
+            }
+        }
+        Ok(best)
+    }
+}
+
+impl LinearSvm {
+    fn accuracy_internal(&self, data: &Dataset) -> Result<f64, ModelError> {
+        if data.is_empty() {
+            return Ok(0.0);
+        }
+        let mut correct = 0usize;
+        for i in 0..data.len() {
+            let scores = self.decision_scores(data.sample(i))?;
+            let mut best = 0;
+            for c in 1..scores.len() {
+                if scores[c] > scores[best] {
+                    best = c;
+                }
+            }
+            if best == data.label(i) {
+                correct += 1;
+            }
+        }
+        Ok(correct as f64 / data.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disthd_datasets::suite::{PaperDataset, SuiteConfig};
+
+    fn small_data() -> disthd_datasets::TrainTest {
+        PaperDataset::Diabetes
+            .generate(&SuiteConfig::at_scale(0.001))
+            .unwrap()
+    }
+
+    #[test]
+    fn learns_linearly_separable_data() {
+        let data = small_data();
+        let mut model = LinearSvm::new(
+            SvmConfig::default(),
+            data.train.feature_dim(),
+            data.train.class_count(),
+        );
+        model.fit(&data.train, None).unwrap();
+        let acc = model.accuracy(&data.test).unwrap();
+        assert!(acc > 0.45, "accuracy {acc}");
+    }
+
+    #[test]
+    fn predict_before_fit_errors() {
+        let mut model = LinearSvm::new(SvmConfig::default(), 4, 2);
+        assert!(matches!(
+            model.predict_one(&[0.0; 4]),
+            Err(ModelError::NotFitted)
+        ));
+    }
+
+    #[test]
+    fn decision_scores_have_one_entry_per_class() {
+        let model = LinearSvm::new(SvmConfig::default(), 4, 3);
+        assert_eq!(model.decision_scores(&[0.0; 4]).unwrap().len(), 3);
+        assert!(model.decision_scores(&[0.0; 5]).is_err());
+    }
+
+    #[test]
+    fn incompatible_dataset_rejected() {
+        let data = small_data();
+        let mut model = LinearSvm::new(SvmConfig::default(), 4, 3);
+        assert!(model.fit(&data.train, None).is_err());
+    }
+
+    #[test]
+    fn history_records_epochs() {
+        let data = small_data();
+        let cfg = SvmConfig {
+            epochs: 3,
+            ..Default::default()
+        };
+        let mut model = LinearSvm::new(cfg, data.train.feature_dim(), data.train.class_count());
+        let history = model.fit(&data.train, Some(&data.test)).unwrap();
+        assert_eq!(history.epochs(), 3);
+        assert!(history.records()[2].eval_accuracy.is_some());
+    }
+}

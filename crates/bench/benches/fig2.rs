@@ -1,0 +1,51 @@
+//! Fig. 2 bench: the static-encoder dimensionality cost — encoding and
+//! similarity search at D = 0.5k vs D = 4k (the gap that motivates dynamic
+//! encoding), plus top-2 vs top-1 query cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use disthd_datasets::suite::{PaperDataset, SuiteConfig};
+use disthd_hd::encoder::{Encoder, RbfEncoder};
+use disthd_hd::ClassModel;
+use disthd_linalg::RngSeed;
+
+fn bench_static_encoder_cost(c: &mut Criterion) {
+    let data = PaperDataset::Ucihar
+        .generate(&SuiteConfig::at_scale(0.005))
+        .expect("generation");
+    let mut group = c.benchmark_group("fig2_static_encoder");
+    group.sample_size(10);
+    for dim in [500usize, 4000] {
+        let encoder = RbfEncoder::new(data.train.feature_dim(), dim, RngSeed(1));
+        group.bench_function(format!("encode_batch_d{dim}"), |b| {
+            b.iter(|| {
+                let encoded = encoder.encode_batch(data.train.features()).expect("encode");
+                std::hint::black_box(encoded.rows())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_topk_queries(c: &mut Criterion) {
+    let data = PaperDataset::Ucihar
+        .generate(&SuiteConfig::at_scale(0.005))
+        .expect("generation");
+    let dim = 500;
+    let encoder = RbfEncoder::new(data.train.feature_dim(), dim, RngSeed(1));
+    let encoded = encoder.encode_batch(data.train.features()).expect("encode");
+    let mut model = ClassModel::new(data.train.class_count(), dim);
+    disthd_hd::learn::bundle_init(&mut model, &encoded, data.train.labels()).expect("init");
+    let query = encoded.row(0).to_vec();
+
+    let mut group = c.benchmark_group("fig2_topk_query");
+    group.bench_function("top1", |b| {
+        b.iter(|| std::hint::black_box(model.top1(&query).expect("top1")));
+    });
+    group.bench_function("top2", |b| {
+        b.iter(|| std::hint::black_box(model.top2(&query).expect("top2")));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_static_encoder_cost, bench_topk_queries);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Fig. 4 bench: end-to-end training cost of every model in the accuracy
+//! panel on a small DIABETES-like workload.  The accuracy comparison itself
+//! is `--bin fig4_accuracy`; this bench tracks the fit cost of each panel
+//! member so accuracy/cost regressions show up together.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use disthd_bench::{build_model, paper_models};
+use disthd_datasets::suite::{PaperDataset, SuiteConfig};
+use disthd_linalg::RngSeed;
+
+fn bench_panel_training(c: &mut Criterion) {
+    let data = PaperDataset::Diabetes
+        .generate(&SuiteConfig::at_scale(0.002))
+        .expect("generation");
+    let mut group = c.benchmark_group("fig4_training");
+    group.sample_size(10);
+    for kind in paper_models(500, 4000) {
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| {
+                let mut model = build_model(
+                    kind,
+                    data.train.feature_dim(),
+                    data.train.class_count(),
+                    RngSeed(5),
+                );
+                let history = model.fit(&data.train, None).expect("fit");
+                std::hint::black_box(history.epochs())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_panel_training);
+criterion_main!(benches);

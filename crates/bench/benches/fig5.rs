@@ -1,0 +1,64 @@
+//! Fig. 5 bench: the paper's efficiency claims as Criterion measurements —
+//! training time (DistHD vs NeuralHD vs BaselineHD at D* = 4k vs DNN) and
+//! single-sample inference latency (DistHD 0.5k vs BaselineHD 4k).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use disthd_bench::{build_model, ModelKind};
+use disthd_datasets::suite::{PaperDataset, SuiteConfig};
+use disthd_linalg::RngSeed;
+
+fn bench_training(c: &mut Criterion) {
+    let data = PaperDataset::Ucihar
+        .generate(&SuiteConfig::at_scale(0.01))
+        .expect("generation");
+    let mut group = c.benchmark_group("fig5_training");
+    group.sample_size(10);
+    for kind in [
+        ModelKind::Dnn,
+        ModelKind::BaselineHd { dim: 4000 },
+        ModelKind::NeuralHd { dim: 500 },
+        ModelKind::DistHd { dim: 500 },
+    ] {
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| {
+                let mut model = build_model(
+                    kind,
+                    data.train.feature_dim(),
+                    data.train.class_count(),
+                    RngSeed(5),
+                );
+                std::hint::black_box(model.fit(&data.train, None).expect("fit").epochs())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let data = PaperDataset::Ucihar
+        .generate(&SuiteConfig::at_scale(0.01))
+        .expect("generation");
+    let mut group = c.benchmark_group("fig5_inference");
+    group.sample_size(20);
+    for kind in [
+        ModelKind::BaselineHd { dim: 4000 },
+        ModelKind::DistHd { dim: 500 },
+        ModelKind::Dnn,
+    ] {
+        let mut model = build_model(
+            kind,
+            data.train.feature_dim(),
+            data.train.class_count(),
+            RngSeed(5),
+        );
+        model.fit(&data.train, None).expect("fit");
+        let sample = data.test.sample(0).to_vec();
+        group.bench_function(format!("{}_one_sample", kind.label()), |b| {
+            b.iter(|| std::hint::black_box(model.predict_one(&sample).expect("predict")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_training, bench_inference);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Fig. 7 bench: the per-iteration cost of each dynamic-encoding strategy —
+//! one adaptive epoch, one DistHD regeneration step (top-2 categorize +
+//! Algorithm 2 + partial re-encode) and one NeuralHD regeneration step
+//! (variance scoring + full re-encode).  The partial-vs-full re-encode gap
+//! is the mechanical source of DistHD's convergence-speed advantage.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use disthd::{select_undesired_dims, WeightParams};
+use disthd_datasets::suite::{PaperDataset, SuiteConfig};
+use disthd_hd::encoder::{Encoder, RbfEncoder, RegenerativeEncoder};
+use disthd_hd::learn::{adaptive_epoch, bundle_init};
+use disthd_hd::ClassModel;
+use disthd_linalg::{RngSeed, SeededRng};
+
+fn bench_iteration_pieces(c: &mut Criterion) {
+    let data = PaperDataset::Ucihar
+        .generate(&SuiteConfig::at_scale(0.01))
+        .expect("generation");
+    let dim = 500;
+    let encoder = RbfEncoder::new(data.train.feature_dim(), dim, RngSeed(1));
+    let encoded = encoder.encode_batch(data.train.features()).expect("encode");
+    let mut model = ClassModel::new(data.train.class_count(), dim);
+    bundle_init(&mut model, &encoded, data.train.labels()).expect("init");
+
+    let mut group = c.benchmark_group("fig7_iteration");
+    group.sample_size(10);
+
+    group.bench_function("adaptive_epoch", |b| {
+        b.iter(|| {
+            let mut m = model.clone();
+            std::hint::black_box(
+                adaptive_epoch(&mut m, &encoded, data.train.labels(), 0.05).expect("epoch"),
+            )
+        });
+    });
+
+    group.bench_function("disthd_select_dims", |b| {
+        let mut m = model.clone();
+        let outcomes = disthd::categorize(&mut m, &encoded, data.train.labels()).expect("top2");
+        b.iter(|| {
+            std::hint::black_box(select_undesired_dims(
+                &encoded,
+                data.train.labels(),
+                &outcomes,
+                m.classes(),
+                &WeightParams::default(),
+                0.10,
+            ))
+        });
+    });
+
+    let dims: Vec<usize> = (0..50).collect();
+    group.bench_function("disthd_partial_reencode_50", |b| {
+        let mut enc = encoder.clone();
+        let mut rng = SeededRng::new(RngSeed(2));
+        enc.regenerate(&dims, &mut rng);
+        b.iter(|| {
+            let mut batch = encoded.clone();
+            enc.reencode_dims(data.train.features(), &mut batch, &dims)
+                .expect("reencode");
+            std::hint::black_box(batch.rows())
+        });
+    });
+
+    group.bench_function("neuralhd_full_reencode", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                encoder
+                    .encode_batch(data.train.features())
+                    .expect("encode")
+                    .rows(),
+            )
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_iteration_pieces);
+criterion_main!(benches);

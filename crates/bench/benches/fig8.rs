@@ -1,0 +1,72 @@
+//! Fig. 8 bench: throughput of the robustness pipeline — quantization at
+//! each precision, fault injection at the paper's error rates, and faulted
+//! re-evaluation of a DistHD class model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use disthd_hd::noise::flip_random_bits;
+use disthd_hd::quantize::{BitWidth, QuantizedMatrix};
+use disthd_hd::ClassModel;
+use disthd_linalg::{Gaussian, Matrix, RngSeed, SeededRng};
+
+fn model_matrix() -> Matrix {
+    let mut rng = SeededRng::new(RngSeed(9));
+    let gaussian = Gaussian::standard();
+    Matrix::from_fn(12, 4000, |_, _| gaussian.sample(&mut rng))
+}
+
+fn bench_quantization(c: &mut Criterion) {
+    let m = model_matrix();
+    let mut group = c.benchmark_group("fig8_quantize");
+    group.sample_size(20);
+    for width in BitWidth::all() {
+        group.bench_function(format!("quantize_{width}"), |b| {
+            b.iter(|| std::hint::black_box(QuantizedMatrix::quantize(&m, width).payload_bits()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_fault_injection(c: &mut Criterion) {
+    let m = model_matrix();
+    let quantized = QuantizedMatrix::quantize(&m, BitWidth::B8);
+    let mut group = c.benchmark_group("fig8_fault_injection");
+    group.sample_size(20);
+    for rate in [0.01f64, 0.10] {
+        group.bench_function(format!("flip_{:.0}pct", rate * 100.0), |b| {
+            b.iter(|| {
+                let mut faulted = quantized.clone();
+                let mut rng = SeededRng::new(RngSeed(3));
+                std::hint::black_box(flip_random_bits(&mut faulted, rate, &mut rng))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_faulted_evaluation(c: &mut Criterion) {
+    let m = model_matrix();
+    let quantized = QuantizedMatrix::quantize(&m, BitWidth::B1);
+    let mut rng = SeededRng::new(RngSeed(4));
+    let gaussian = Gaussian::standard();
+    let queries = Matrix::from_fn(100, 4000, |_, _| gaussian.sample(&mut rng));
+    c.bench_function("fig8_faulted_eval_100_queries", |b| {
+        b.iter(|| {
+            let mut faulted = quantized.clone();
+            let mut frng = SeededRng::new(RngSeed(5));
+            flip_random_bits(&mut faulted, 0.05, &mut frng);
+            let mut model = ClassModel::from_matrix(faulted.dequantize());
+            let hits: usize = (0..queries.rows())
+                .map(|i| model.predict(queries.row(i)))
+                .sum();
+            std::hint::black_box(hits)
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_quantization,
+    bench_fault_injection,
+    bench_faulted_evaluation
+);
+criterion_main!(benches);

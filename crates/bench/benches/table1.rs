@@ -1,0 +1,25 @@
+//! Table I bench: generation throughput of each synthetic dataset.
+//!
+//! Regenerating Table I is `--bin table1_datasets`; this bench tracks how
+//! expensive the substrate itself is (one row per dataset).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use disthd_datasets::suite::{PaperDataset, SuiteConfig};
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_generation");
+    group.sample_size(10);
+    for dataset in PaperDataset::all() {
+        group.bench_function(dataset.name(), |b| {
+            let config = SuiteConfig::at_scale(0.005);
+            b.iter(|| {
+                let data = dataset.generate(&config).expect("generation");
+                std::hint::black_box(data.train.len() + data.test.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation);
+criterion_main!(benches);

@@ -1,0 +1,208 @@
+//! Ablation study of DistHD's design choices (beyond the paper's figures):
+//!
+//! 1. **Regeneration rate R** — accuracy and churn vs R ∈ {0, 5, 10, 20, 30}%;
+//! 2. **Regeneration interval** — every 1 / 2 / 4 epochs vs never;
+//! 3. **Selection rule** — DistHD's learner-aware intersection vs
+//!    NeuralHD's variance scoring vs random dimension dropping at the same
+//!    budget (isolates the value of the top-2 signal);
+//! 4. **Encoder bandwidth γ** — the random-feature kernel width
+//!    (DESIGN.md §3 substitution note).
+//!
+//! Run with `cargo run --release -p disthd-bench --bin ablation_disthd`.
+
+use disthd::{DistHd, DistHdConfig};
+use disthd_baselines::{Classifier, NeuralHd, NeuralHdConfig};
+use disthd_bench::{default_scale, trial_seeds};
+use disthd_datasets::suite::{PaperDataset, SuiteConfig};
+use disthd_eval::report::Table;
+use disthd_eval::TrialSummary;
+use disthd_hd::center::EncodingCenter;
+use disthd_hd::encoder::{Encoder, RbfEncoder, RegenerativeEncoder};
+use disthd_hd::learn::{adaptive_epoch, bundle_init};
+use disthd_hd::ClassModel;
+use disthd_linalg::{RngSeed, SeededRng};
+
+fn main() {
+    let scale = default_scale();
+    let data = PaperDataset::Ucihar
+        .generate(&SuiteConfig::at_scale(scale))
+        .expect("dataset generation");
+    let seeds = trial_seeds(3);
+    println!(
+        "DistHD ablations on UCIHAR-like data (scale {scale}, {} trials)\n",
+        seeds.len()
+    );
+
+    // ---- 1. Regeneration rate ----
+    println!("(1) regeneration rate R (interval 1, 20 epochs)");
+    let mut table = Table::new(vec!["R".into(), "accuracy".into(), "regen dims".into()]);
+    for rate in [0.0f64, 0.05, 0.10, 0.20, 0.30] {
+        let mut accs = Vec::new();
+        let mut regen = 0u64;
+        for &seed in &seeds {
+            let mut model = DistHd::new(
+                DistHdConfig {
+                    dim: 500,
+                    epochs: 20,
+                    regen_rate: rate,
+                    regen_interval: if rate == 0.0 { 0 } else { 1 },
+                    seed,
+                    ..Default::default()
+                },
+                data.train.feature_dim(),
+                data.train.class_count(),
+            );
+            model.fit(&data.train, None).expect("fit");
+            regen += model.last_report().expect("fitted").regenerated_dims;
+            accs.push(model.accuracy(&data.test).expect("accuracy"));
+        }
+        table.add_row(vec![
+            format!("{:.0}%", rate * 100.0),
+            TrialSummary::of(&accs).format_percent(),
+            (regen / seeds.len() as u64).to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+
+    // ---- 2. Regeneration interval ----
+    println!("(2) regeneration interval (R = 10%, 20 epochs)");
+    let mut table = Table::new(vec!["interval".into(), "accuracy".into()]);
+    for interval in [0usize, 1, 2, 4] {
+        let mut accs = Vec::new();
+        for &seed in &seeds {
+            let mut model = DistHd::new(
+                DistHdConfig {
+                    dim: 500,
+                    epochs: 20,
+                    regen_interval: interval,
+                    seed,
+                    ..Default::default()
+                },
+                data.train.feature_dim(),
+                data.train.class_count(),
+            );
+            model.fit(&data.train, None).expect("fit");
+            accs.push(model.accuracy(&data.test).expect("accuracy"));
+        }
+        table.add_row(vec![
+            if interval == 0 { "never".into() } else { format!("every {interval}") },
+            TrialSummary::of(&accs).format_percent(),
+        ]);
+    }
+    println!("{}", table.render());
+
+    // ---- 3. Selection rule at a fixed budget ----
+    println!("(3) dimension-selection rule (10% budget, 20 epochs)");
+    let mut table = Table::new(vec!["rule".into(), "accuracy".into()]);
+
+    let mut disthd_accs = Vec::new();
+    let mut neural_accs = Vec::new();
+    let mut random_accs = Vec::new();
+    for &seed in &seeds {
+        let mut model = DistHd::new(
+            DistHdConfig {
+                dim: 500,
+                epochs: 20,
+                seed,
+                ..Default::default()
+            },
+            data.train.feature_dim(),
+            data.train.class_count(),
+        );
+        model.fit(&data.train, None).expect("fit");
+        disthd_accs.push(model.accuracy(&data.test).expect("accuracy"));
+
+        let mut neural = NeuralHd::new(
+            NeuralHdConfig {
+                dim: 500,
+                epochs: 20,
+                regen_interval: 1,
+                seed,
+                ..Default::default()
+            },
+            data.train.feature_dim(),
+            data.train.class_count(),
+        );
+        neural.fit(&data.train, None).expect("fit");
+        neural_accs.push(neural.accuracy(&data.test).expect("accuracy"));
+
+        random_accs.push(random_drop_accuracy(&data, 500, 20, 0.10, seed));
+    }
+    table.add_row(vec!["DistHD (learner-aware)".into(), TrialSummary::of(&disthd_accs).format_percent()]);
+    table.add_row(vec!["NeuralHD (variance)".into(), TrialSummary::of(&neural_accs).format_percent()]);
+    table.add_row(vec!["random drop".into(), TrialSummary::of(&random_accs).format_percent()]);
+    println!("{}", table.render());
+
+    // ---- 4. Encoder bandwidth ----
+    println!("(4) encoder bandwidth gamma (static training, D = 500)");
+    let mut table = Table::new(vec!["gamma".into(), "accuracy".into()]);
+    for gamma in [0.5f32, 1.0, 2.0, 3.0, 6.0, 12.0] {
+        let mut accs = Vec::new();
+        for &seed in &seeds {
+            accs.push(bandwidth_accuracy(&data, gamma, seed));
+        }
+        table.add_row(vec![format!("{gamma}"), TrialSummary::of(&accs).format_percent()]);
+    }
+    println!("{}", table.render());
+    println!("Expected: accuracy peaks at moderate gamma — too small underfits (kernel");
+    println!("too wide), too large memorizes (kernel too narrow); gamma = 3 is the default.");
+}
+
+/// Trains with DistHD's loop but replaces the selection rule with a uniform
+/// random draw of the same budget.
+fn random_drop_accuracy(
+    data: &disthd_datasets::TrainTest,
+    dim: usize,
+    epochs: usize,
+    rate: f64,
+    seed: RngSeed,
+) -> f64 {
+    let mut encoder = RbfEncoder::new(data.train.feature_dim(), dim, seed);
+    let mut rng = SeededRng::derive_stream(seed, 0xAB1A);
+    let mut encoded = encoder.encode_batch(data.train.features()).expect("encode");
+    let mut center = EncodingCenter::fit_and_apply(&mut encoded);
+    let mut model = ClassModel::new(data.train.class_count(), dim);
+    bundle_init(&mut model, &encoded, data.train.labels()).expect("init");
+    let budget = ((dim as f64) * rate).round() as usize;
+
+    for epoch in 0..epochs {
+        adaptive_epoch(&mut model, &encoded, data.train.labels(), 0.05).expect("epoch");
+        if epoch + 1 < epochs {
+            let mut dims: Vec<usize> = (0..dim).collect();
+            rng.shuffle(&mut dims);
+            dims.truncate(budget);
+            encoder.regenerate(&dims, &mut rng);
+            model.reset_dimensions(&dims);
+            encoder
+                .reencode_dims(data.train.features(), &mut encoded, &dims)
+                .expect("reencode");
+            center.refit_dims(&mut encoded, &dims);
+            model.bundle_dimensions(&encoded, data.train.labels(), &dims);
+        }
+    }
+
+    let mut test_encoded = encoder.encode_batch(data.test.features()).expect("encode");
+    center.apply_batch(&mut test_encoded);
+    let correct = (0..test_encoded.rows())
+        .filter(|&i| model.predict(test_encoded.row(i)) == data.test.label(i))
+        .count();
+    correct as f64 / data.test.len() as f64
+}
+
+/// Static-encoder accuracy at an explicit bandwidth.
+fn bandwidth_accuracy(data: &disthd_datasets::TrainTest, gamma: f32, seed: RngSeed) -> f64 {
+    let encoder = RbfEncoder::with_bandwidth(data.train.feature_dim(), 500, gamma, seed);
+    let mut encoded = encoder.encode_batch(data.train.features()).expect("encode");
+    let center = EncodingCenter::fit_and_apply(&mut encoded);
+    let mut model = ClassModel::new(data.train.class_count(), 500);
+    bundle_init(&mut model, &encoded, data.train.labels()).expect("init");
+    for _ in 0..15 {
+        adaptive_epoch(&mut model, &encoded, data.train.labels(), 0.05).expect("epoch");
+    }
+    let mut test_encoded = encoder.encode_batch(data.test.features()).expect("encode");
+    center.apply_batch(&mut test_encoded);
+    let correct = (0..test_encoded.rows())
+        .filter(|&i| model.predict(test_encoded.row(i)) == data.test.label(i))
+        .count();
+    correct as f64 / data.test.len() as f64
+}

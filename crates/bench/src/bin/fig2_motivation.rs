@@ -1,0 +1,89 @@
+//! Regenerates **Fig. 2**: the motivation for dynamic encoding.
+//!
+//! * Panel (a): static-encoder HDC needs very high dimensionality — we
+//!   sweep BaselineHD over D ∈ {0.5k, 1k, 2k, 4k, 6k} and report accuracy,
+//!   training time and inference latency next to the DNN.
+//! * Panel (b): SOTA HDC is much better at top-2 than top-1 classification —
+//!   we train BaselineHD with increasing iteration budgets and report
+//!   top-1/2/3 accuracy.
+//!
+//! Run with `cargo run --release -p disthd-bench --bin fig2_motivation`.
+
+use disthd_baselines::{BaselineHd, BaselineHdConfig, Classifier};
+use disthd_bench::{default_scale, run_model, ModelKind};
+use disthd_datasets::suite::{PaperDataset, SuiteConfig};
+use disthd_eval::report::{percent, seconds, Table};
+use disthd_eval::top_k_accuracy;
+use disthd_linalg::RngSeed;
+
+fn main() {
+    let scale = default_scale();
+    let data = PaperDataset::Ucihar
+        .generate(&SuiteConfig::at_scale(scale))
+        .expect("dataset generation");
+    println!(
+        "Fig. 2 motivation on UCIHAR-like data (scale {scale}: train {}, test {})\n",
+        data.train.len(),
+        data.test.len()
+    );
+
+    // ---- Panel (a): accuracy vs dimensionality for static HDC, vs DNN ----
+    println!("(a) Static-encoder HDC vs DNN");
+    let mut table = Table::new(vec![
+        "model".into(),
+        "accuracy".into(),
+        "training time".into(),
+        "inference latency".into(),
+    ]);
+    for dim in [500usize, 1000, 2000, 4000, 6000] {
+        let result = run_model(ModelKind::BaselineHd { dim }, &data, RngSeed(7)).expect("run");
+        table.add_row(vec![
+            result.kind.label(),
+            percent(result.accuracy),
+            seconds(result.train_time.as_secs_f64()),
+            seconds(result.inference_time.as_secs_f64()),
+        ]);
+    }
+    let dnn = run_model(ModelKind::Dnn, &data, RngSeed(7)).expect("run");
+    table.add_row(vec![
+        dnn.kind.label(),
+        percent(dnn.accuracy),
+        seconds(dnn.train_time.as_secs_f64()),
+        seconds(dnn.inference_time.as_secs_f64()),
+    ]);
+    println!("{}", table.render());
+
+    // ---- Panel (b): top-1/2/3 accuracy per training iteration budget ----
+    println!("(b) Top-k accuracy of static HDC vs training iterations");
+    let mut table = Table::new(vec![
+        "iterations".into(),
+        "top-1".into(),
+        "top-2".into(),
+        "top-3".into(),
+    ]);
+    for iterations in [1usize, 5, 10, 20, 30, 40, 50] {
+        let mut model = BaselineHd::new(
+            BaselineHdConfig {
+                dim: 500,
+                epochs: iterations,
+                patience: None,
+                ..Default::default()
+            },
+            data.train.feature_dim(),
+            data.train.class_count(),
+        );
+        model.fit(&data.train, None).expect("fit");
+        let scores: Vec<Vec<f32>> = (0..data.test.len())
+            .map(|i| model.decision_scores(data.test.sample(i)).expect("scores"))
+            .collect();
+        let labels = data.test.labels();
+        table.add_row(vec![
+            iterations.to_string(),
+            percent(top_k_accuracy(&scores, labels, 1)),
+            percent(top_k_accuracy(&scores, labels, 2)),
+            percent(top_k_accuracy(&scores, labels, 3)),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("Expected shape: top-2 >> top-1, and (top-3 - top-2) << (top-2 - top-1).");
+}

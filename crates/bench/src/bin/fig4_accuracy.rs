@@ -1,0 +1,63 @@
+//! Regenerates **Fig. 4**: classification accuracy of DistHD (D = 0.5k)
+//! against DNN, SVM, BaselineHD (D = 0.5k), BaselineHD (D* = 4k) and
+//! NeuralHD (D = 0.5k) on all five datasets, plus the paper's summary
+//! deltas (DistHD vs each comparator, averaged over datasets).
+//!
+//! Run with `cargo run --release -p disthd-bench --bin fig4_accuracy`.
+
+use disthd_bench::{default_scale, paper_models, run_model, trial_seeds};
+use disthd_datasets::suite::{PaperDataset, SuiteConfig};
+use disthd_eval::report::{percent, Table};
+
+fn main() {
+    let scale = default_scale();
+    let trials = trial_seeds(3);
+    let models = paper_models(500, 4000);
+    println!(
+        "Fig. 4: accuracy comparison (scale {scale}, mean of {} trials)\n",
+        trials.len()
+    );
+
+    let mut table = Table::new(
+        std::iter::once("model".to_string())
+            .chain(PaperDataset::all().iter().map(|d| d.name().to_string()))
+            .chain(std::iter::once("mean".to_string()))
+            .collect(),
+    );
+
+    // accuracy[model][dataset]
+    let mut accuracy = vec![vec![0.0f64; PaperDataset::all().len()]; models.len()];
+    for (di, dataset) in PaperDataset::all().iter().enumerate() {
+        let data = dataset
+            .generate(&SuiteConfig::at_scale(scale))
+            .expect("dataset generation");
+        for (mi, &kind) in models.iter().enumerate() {
+            let mut sum = 0.0;
+            for &seed in &trials {
+                sum += run_model(kind, &data, seed).expect("run").accuracy;
+            }
+            accuracy[mi][di] = sum / trials.len() as f64;
+        }
+    }
+
+    for (mi, kind) in models.iter().enumerate() {
+        let mean: f64 = accuracy[mi].iter().sum::<f64>() / accuracy[mi].len() as f64;
+        table.add_row(
+            std::iter::once(kind.label())
+                .chain(accuracy[mi].iter().map(|&a| percent(a)))
+                .chain(std::iter::once(percent(mean)))
+                .collect(),
+        );
+    }
+    println!("{}", table.render());
+
+    // Paper summary deltas (model panel order fixed by `paper_models`).
+    let mean = |mi: usize| accuracy[mi].iter().sum::<f64>() / accuracy[mi].len() as f64;
+    let disthd = mean(5);
+    println!("DistHD(0.5k) vs DNN:               {:+.2}%", (disthd - mean(0)) * 100.0);
+    println!("DistHD(0.5k) vs SVM:               {:+.2}%  (paper: +1.17%)", (disthd - mean(1)) * 100.0);
+    println!("DistHD(0.5k) vs BaselineHD(0.5k):  {:+.2}%  (paper: +6.96%)", (disthd - mean(2)) * 100.0);
+    println!("DistHD(0.5k) vs BaselineHD(4k):    {:+.2}%  (paper: +1.82%)", (disthd - mean(3)) * 100.0);
+    println!("DistHD(0.5k) vs NeuralHD(0.5k):    {:+.2}%  (paper: +1.88%)", (disthd - mean(4)) * 100.0);
+    println!("\nDimension reduction vs effective BaselineHD: 4000 / 500 = 8.0x (paper: 8.0x)");
+}

@@ -1,0 +1,97 @@
+//! Regenerates **Fig. 5**: training time and inference latency of DNN,
+//! SVM, BaselineHD (D* = 4k), NeuralHD (D = 0.5k) and DistHD (D = 0.5k) on
+//! all five datasets, plus the paper's headline speedup ratios.
+//!
+//! Absolute times differ from the paper's i9-12900 testbed; the *ratios*
+//! between models are the reproduction target.
+//!
+//! Run with `cargo run --release -p disthd-bench --bin fig5_efficiency`.
+
+use disthd_bench::{default_scale, run_model, ModelKind};
+use disthd_datasets::suite::{PaperDataset, SuiteConfig};
+use disthd_eval::report::{ratio, seconds, Table};
+use disthd_linalg::RngSeed;
+
+fn main() {
+    let scale = default_scale();
+    let models = [
+        ModelKind::Dnn,
+        ModelKind::Svm,
+        ModelKind::BaselineHd { dim: 4000 },
+        ModelKind::NeuralHd { dim: 500 },
+        ModelKind::DistHd { dim: 500 },
+    ];
+    println!("Fig. 5: training time and inference latency (scale {scale})\n");
+
+    let mut train_table = Table::new(
+        std::iter::once("model (training s)".to_string())
+            .chain(PaperDataset::all().iter().map(|d| d.name().to_string()))
+            .collect(),
+    );
+    let mut infer_table = Table::new(
+        std::iter::once("model (inference s)".to_string())
+            .chain(PaperDataset::all().iter().map(|d| d.name().to_string()))
+            .collect(),
+    );
+
+    // times[model][dataset] = (train_s, infer_s)
+    let mut times = vec![vec![(0.0f64, 0.0f64); PaperDataset::all().len()]; models.len()];
+    for (di, dataset) in PaperDataset::all().iter().enumerate() {
+        let data = dataset
+            .generate(&SuiteConfig::at_scale(scale))
+            .expect("dataset generation");
+        for (mi, &kind) in models.iter().enumerate() {
+            let result = run_model(kind, &data, RngSeed(11)).expect("run");
+            times[mi][di] = (
+                result.train_time.as_secs_f64(),
+                result.inference_time.as_secs_f64(),
+            );
+        }
+    }
+
+    for (mi, kind) in models.iter().enumerate() {
+        train_table.add_row(
+            std::iter::once(kind.label())
+                .chain(times[mi].iter().map(|t| seconds(t.0)))
+                .collect(),
+        );
+        infer_table.add_row(
+            std::iter::once(kind.label())
+                .chain(times[mi].iter().map(|t| seconds(t.1)))
+                .collect(),
+        );
+    }
+    println!("{}", train_table.render());
+    println!("{}", infer_table.render());
+
+    // Geometric-mean ratios across datasets (panel order as above).
+    let geo = |f: &dyn Fn(usize) -> f64, mi: usize| -> f64 {
+        let logs: f64 = (0..PaperDataset::all().len())
+            .map(|di| f(mi * PaperDataset::all().len() + di).ln())
+            .sum();
+        (logs / PaperDataset::all().len() as f64).exp()
+    };
+    let flat_train: Vec<f64> = times.iter().flatten().map(|t| t.0).collect();
+    let flat_infer: Vec<f64> = times.iter().flatten().map(|t| t.1).collect();
+    let train_of = |i: usize| flat_train[i];
+    let infer_of = |i: usize| flat_infer[i];
+
+    let disthd_train = geo(&train_of, 4);
+    let disthd_infer = geo(&infer_of, 4);
+    println!(
+        "training speedup vs DNN:            {}  (paper: 5.97x)",
+        ratio(geo(&train_of, 0) / disthd_train)
+    );
+    println!(
+        "training speedup vs BaselineHD(4k): {}  (paper: 1.15x)",
+        ratio(geo(&train_of, 2) / disthd_train)
+    );
+    println!(
+        "training speedup vs NeuralHD:       {}  (paper: 2.32x)",
+        ratio(geo(&train_of, 3) / disthd_train)
+    );
+    println!(
+        "inference speedup vs BaselineHD(4k): {} (paper: 8.09x)",
+        ratio(geo(&infer_of, 2) / disthd_infer)
+    );
+}

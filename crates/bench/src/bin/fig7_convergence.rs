@@ -1,0 +1,132 @@
+//! Regenerates **Fig. 7**: convergence of DistHD vs NeuralHD vs BaselineHD.
+//!
+//! * Left panel: held-out accuracy per training iteration at D = 0.5k.
+//! * Right panel: converged accuracy as a function of dimensionality
+//!   D ∈ {1k, 2k, 3k, 4k} for BaselineHD vs DistHD at 0.5k–1k.
+//!
+//! Run with `cargo run --release -p disthd-bench --bin fig7_convergence`.
+
+use disthd::{DistHd, DistHdConfig};
+use disthd_baselines::{
+    BaselineHd, BaselineHdConfig, Classifier, NeuralHd, NeuralHdConfig,
+};
+use disthd_bench::{default_scale, run_model, ModelKind};
+use disthd_datasets::suite::{PaperDataset, SuiteConfig};
+use disthd_eval::report::{percent, Table};
+use disthd_eval::TrainingHistory;
+use disthd_linalg::RngSeed;
+
+fn main() {
+    let scale = default_scale();
+    let data = PaperDataset::Ucihar
+        .generate(&SuiteConfig::at_scale(scale))
+        .expect("dataset generation");
+    println!(
+        "Fig. 7: convergence on UCIHAR-like data (scale {scale}: train {}, test {})\n",
+        data.train.len(),
+        data.test.len()
+    );
+
+    // ---- Left panel: eval accuracy per iteration at D = 0.5k ----
+    let epochs = 30usize;
+    let seed = RngSeed(17);
+    let mut histories: Vec<(String, TrainingHistory)> = Vec::new();
+
+    let mut disthd = DistHd::new(
+        DistHdConfig {
+            dim: 500,
+            epochs,
+            patience: None,
+            seed,
+            ..Default::default()
+        },
+        data.train.feature_dim(),
+        data.train.class_count(),
+    );
+    histories.push((
+        "DistHD".into(),
+        disthd.fit(&data.train, Some(&data.test)).expect("fit"),
+    ));
+
+    let mut neuralhd = NeuralHd::new(
+        NeuralHdConfig {
+            dim: 500,
+            epochs,
+            patience: None,
+            seed,
+            ..Default::default()
+        },
+        data.train.feature_dim(),
+        data.train.class_count(),
+    );
+    histories.push((
+        "NeuralHD".into(),
+        neuralhd.fit(&data.train, Some(&data.test)).expect("fit"),
+    ));
+
+    let mut baseline = BaselineHd::new(
+        BaselineHdConfig {
+            dim: 500,
+            epochs,
+            patience: None,
+            seed,
+            ..Default::default()
+        },
+        data.train.feature_dim(),
+        data.train.class_count(),
+    );
+    histories.push((
+        "BaselineHD".into(),
+        baseline.fit(&data.train, Some(&data.test)).expect("fit"),
+    ));
+
+    println!("(left) held-out accuracy per iteration, D = 0.5k");
+    let mut table = Table::new(
+        std::iter::once("iteration".to_string())
+            .chain(histories.iter().map(|(n, _)| n.clone()))
+            .collect(),
+    );
+    for epoch in (0..epochs).step_by(3) {
+        table.add_row(
+            std::iter::once(epoch.to_string())
+                .chain(histories.iter().map(|(_, h)| {
+                    h.records()
+                        .get(epoch)
+                        .and_then(|r| r.eval_accuracy)
+                        .map_or("-".into(), percent)
+                }))
+                .collect(),
+        );
+    }
+    println!("{}", table.render());
+    for threshold in [0.92f64, 0.94] {
+        let line: Vec<String> = histories
+            .iter()
+            .map(|(n, h)| {
+                format!(
+                    "{n}: {}",
+                    h.records()
+                        .iter()
+                        .position(|r| r.eval_accuracy.unwrap_or(0.0) >= threshold)
+                        .map_or("never".into(), |e| format!("iter {e}"))
+                )
+            })
+            .collect();
+        println!("first iteration reaching {}: {}", percent(threshold), line.join(", "));
+    }
+
+    // ---- Right panel: accuracy vs dimensionality ----
+    println!("\n(right) converged accuracy vs dimensionality");
+    let mut table = Table::new(vec!["D".into(), "BaselineHD".into(), "DistHD".into()]);
+    for dim in [500usize, 1000, 2000, 3000, 4000] {
+        let baseline = run_model(ModelKind::BaselineHd { dim }, &data, seed).expect("run");
+        let disthd = run_model(ModelKind::DistHd { dim }, &data, seed).expect("run");
+        table.add_row(vec![
+            dim.to_string(),
+            percent(baseline.accuracy),
+            percent(disthd.accuracy),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("Expected shape: DistHD reaches its plateau at much lower D and fewer iterations.");
+}

@@ -1,0 +1,42 @@
+//! Regenerates **Table I**: the dataset roster (n, k, train size, test
+//! size, description), plus the actually generated (scaled) sizes used by
+//! the other experiment binaries.
+//!
+//! Run with `cargo run --release -p disthd-bench --bin table1_datasets`.
+//! Set `DISTHD_SCALE` to change the size multiplier (default 0.02).
+
+use disthd_bench::default_scale;
+use disthd_datasets::suite::{PaperDataset, SuiteConfig};
+use disthd_eval::report::Table;
+
+fn main() {
+    let scale = default_scale();
+    let config = SuiteConfig::at_scale(scale);
+    println!("Table I: datasets (paper shapes; generated at scale {scale})\n");
+
+    let mut table = Table::new(vec![
+        "dataset".into(),
+        "n".into(),
+        "k".into(),
+        "train (paper)".into(),
+        "test (paper)".into(),
+        "train (here)".into(),
+        "test (here)".into(),
+        "description".into(),
+    ]);
+    for dataset in PaperDataset::all() {
+        let spec = dataset.spec();
+        let generated = dataset.generate(&config).expect("generation succeeds");
+        table.add_row(vec![
+            spec.name.clone(),
+            spec.feature_dim.to_string(),
+            spec.class_count.to_string(),
+            spec.train_size.to_string(),
+            spec.test_size.to_string(),
+            generated.train.len().to_string(),
+            generated.test.len().to_string(),
+            spec.description.clone(),
+        ]);
+    }
+    println!("{}", table.render());
+}

@@ -1,0 +1,264 @@
+//! Low-precision deployment of a trained DistHD model.
+//!
+//! The paper's edge story (§IV-D) stores the class hypervectors at 1–8 bits
+//! per dimension.  [`DeployedModel`] freezes a trained [`crate::DistHd`]
+//! into that form: the encoder and centering stay in f32 (they run once per
+//! query), while the class memory — the part that dominates storage and is
+//! exposed to memory faults — lives in a [`QuantizedMatrix`].
+//!
+//! The deployment keeps the quantized words as the source of truth:
+//! [`DeployedModel::inject_faults`] flips bits in place exactly like the
+//! Fig. 8 fault model, and inference always reads through a dequantized
+//! snapshot, so a faulted deployment behaves like the faulted device would.
+
+use crate::trainer::DistHd;
+use disthd_eval::ModelError;
+use disthd_hd::center::EncodingCenter;
+use disthd_hd::encoder::{Encoder, RbfEncoder};
+use disthd_hd::noise::flip_random_bits;
+use disthd_hd::quantize::{BitWidth, QuantizedMatrix};
+use disthd_hd::ClassModel;
+use disthd_linalg::SeededRng;
+
+/// A trained DistHD model frozen for low-precision edge deployment.
+///
+/// # Example
+///
+/// ```
+/// use disthd::{DeployedModel, DistHd, DistHdConfig};
+/// use disthd_datasets::suite::{PaperDataset, SuiteConfig};
+/// use disthd_eval::Classifier;
+/// use disthd_hd::quantize::BitWidth;
+///
+/// let data = PaperDataset::Diabetes.generate(&SuiteConfig::at_scale(0.001))?;
+/// let mut model = DistHd::new(
+///     DistHdConfig { dim: 256, epochs: 6, ..Default::default() },
+///     data.train.feature_dim(),
+///     data.train.class_count(),
+/// );
+/// model.fit(&data.train, None)?;
+/// let mut deployed = DeployedModel::freeze(&model, BitWidth::B1)?;
+/// let class = deployed.predict(data.test.sample(0))?;
+/// assert!(class < data.test.class_count());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DeployedModel {
+    encoder: RbfEncoder,
+    center: EncodingCenter,
+    memory: QuantizedMatrix,
+    /// Dequantized snapshot used for similarity search; refreshed after
+    /// fault injection.
+    snapshot: ClassModel,
+    class_count: usize,
+}
+
+impl DeployedModel {
+    /// Freezes a trained model at the given storage precision.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::NotFitted`] if `model` has not been trained.
+    pub fn freeze(model: &DistHd, width: BitWidth) -> Result<Self, ModelError> {
+        let class_model = model.class_model().ok_or(ModelError::NotFitted)?;
+        let center = model.center().ok_or(ModelError::NotFitted)?.clone();
+        let memory = QuantizedMatrix::quantize(class_model.classes(), width);
+        let snapshot = ClassModel::from_matrix(memory.dequantize());
+        Ok(Self {
+            encoder: model.encoder().clone(),
+            center,
+            memory,
+            snapshot,
+            class_count: class_model.class_count(),
+        })
+    }
+
+    /// Storage precision of the class memory.
+    pub fn width(&self) -> BitWidth {
+        self.memory.width()
+    }
+
+    /// Class-memory footprint in bits (the memory the fault model acts on).
+    pub fn memory_bits(&self) -> usize {
+        self.memory.payload_bits()
+    }
+
+    /// Number of classes.
+    pub fn class_count(&self) -> usize {
+        self.class_count
+    }
+
+    /// Classifies one feature vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error for a wrong-length input.
+    pub fn predict(&mut self, features: &[f32]) -> Result<usize, ModelError> {
+        let mut encoded = self.encoder.encode(features)?;
+        self.center.apply(&mut encoded);
+        Ok(self.snapshot.predict(&encoded))
+    }
+
+    /// Per-class similarity scores for one feature vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error for a wrong-length input.
+    pub fn decision_scores(&mut self, features: &[f32]) -> Result<Vec<f32>, ModelError> {
+        let mut encoded = self.encoder.encode(features)?;
+        self.center.apply(&mut encoded);
+        Ok(self.snapshot.similarities(&encoded)?)
+    }
+
+    /// Accuracy over a dataset.
+    ///
+    /// # Errors
+    ///
+    /// Propagates prediction errors.
+    pub fn accuracy(&mut self, data: &disthd_datasets::Dataset) -> Result<f64, ModelError> {
+        if data.is_empty() {
+            return Ok(0.0);
+        }
+        let mut correct = 0usize;
+        for i in 0..data.len() {
+            if self.predict(data.sample(i))? == data.label(i) {
+                correct += 1;
+            }
+        }
+        Ok(correct as f64 / data.len() as f64)
+    }
+
+    /// Reassembles a deployment from persisted parts (see [`crate::io`]).
+    pub fn from_parts(
+        encoder: RbfEncoder,
+        center: EncodingCenter,
+        memory: QuantizedMatrix,
+    ) -> Self {
+        let snapshot = ClassModel::from_matrix(memory.dequantize());
+        let class_count = snapshot.class_count();
+        Self {
+            encoder,
+            center,
+            memory,
+            snapshot,
+            class_count,
+        }
+    }
+
+    /// Borrows the encoder (persistence access).
+    pub fn encoder_parts(&self) -> &RbfEncoder {
+        &self.encoder
+    }
+
+    /// Borrows the centering means (persistence access).
+    pub fn center_parts(&self) -> &EncodingCenter {
+        &self.center
+    }
+
+    /// Borrows the quantized class memory (persistence access).
+    pub fn memory_parts(&self) -> &QuantizedMatrix {
+        &self.memory
+    }
+
+    /// Flips `round(rate * memory_bits())` random bits of the stored class
+    /// memory (the Fig. 8 fault model) and refreshes the inference
+    /// snapshot.  Returns the number of bits flipped.
+    pub fn inject_faults(&mut self, rate: f64, rng: &mut SeededRng) -> usize {
+        let flipped = flip_random_bits(&mut self.memory, rate, rng);
+        self.snapshot = ClassModel::from_matrix(self.memory.dequantize());
+        flipped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DistHdConfig;
+    use disthd_datasets::suite::{PaperDataset, SuiteConfig};
+    use disthd_eval::Classifier;
+    use disthd_linalg::RngSeed;
+
+    fn trained() -> (DistHd, disthd_datasets::TrainTest) {
+        let data = PaperDataset::Diabetes
+            .generate(&SuiteConfig::at_scale(0.002))
+            .unwrap();
+        let mut model = DistHd::new(
+            DistHdConfig {
+                dim: 512,
+                epochs: 10,
+                ..Default::default()
+            },
+            data.train.feature_dim(),
+            data.train.class_count(),
+        );
+        model.fit(&data.train, None).unwrap();
+        (model, data)
+    }
+
+    #[test]
+    fn freeze_requires_fitted_model() {
+        let model = DistHd::new(
+            DistHdConfig {
+                dim: 64,
+                ..Default::default()
+            },
+            4,
+            3,
+        );
+        assert!(matches!(
+            DeployedModel::freeze(&model, BitWidth::B8),
+            Err(ModelError::NotFitted)
+        ));
+    }
+
+    #[test]
+    fn eight_bit_deployment_matches_f32_closely() {
+        let (mut model, data) = trained();
+        let f32_acc = model.accuracy(&data.test).unwrap();
+        let mut deployed = DeployedModel::freeze(&model, BitWidth::B8).unwrap();
+        let deployed_acc = deployed.accuracy(&data.test).unwrap();
+        assert!(
+            (f32_acc - deployed_acc).abs() < 0.05,
+            "f32 {f32_acc:.3} vs 8-bit {deployed_acc:.3}"
+        );
+    }
+
+    #[test]
+    fn memory_bits_scale_with_width() {
+        let (model, _) = trained();
+        let b1 = DeployedModel::freeze(&model, BitWidth::B1).unwrap();
+        let b8 = DeployedModel::freeze(&model, BitWidth::B8).unwrap();
+        assert_eq!(b8.memory_bits(), 8 * b1.memory_bits());
+        assert_eq!(b1.width(), BitWidth::B1);
+        assert_eq!(b1.class_count(), 3);
+    }
+
+    #[test]
+    fn fault_injection_flips_requested_fraction() {
+        let (model, _) = trained();
+        let mut deployed = DeployedModel::freeze(&model, BitWidth::B4).unwrap();
+        let mut rng = SeededRng::new(RngSeed(5));
+        let flipped = deployed.inject_faults(0.10, &mut rng);
+        assert_eq!(flipped, (deployed.memory_bits() as f64 * 0.10).round() as usize);
+    }
+
+    #[test]
+    fn faulted_deployment_still_classifies_above_chance() {
+        let (model, data) = trained();
+        let mut deployed = DeployedModel::freeze(&model, BitWidth::B1).unwrap();
+        let mut rng = SeededRng::new(RngSeed(6));
+        deployed.inject_faults(0.05, &mut rng);
+        let acc = deployed.accuracy(&data.test).unwrap();
+        assert!(acc > 1.0 / 3.0, "faulted accuracy {acc}");
+    }
+
+    #[test]
+    fn decision_scores_rank_like_predict() {
+        let (model, data) = trained();
+        let mut deployed = DeployedModel::freeze(&model, BitWidth::B8).unwrap();
+        let x = data.test.sample(0);
+        let predicted = deployed.predict(x).unwrap();
+        let scores = deployed.decision_scores(x).unwrap();
+        assert_eq!(disthd_linalg::argsort_descending(&scores)[0], predicted);
+    }
+}

@@ -1,0 +1,302 @@
+//! Undesired-dimension identification (Algorithm 2).
+//!
+//! For every sample the top-2 pass marked *partially correct* or
+//! *incorrect*, we score each dimension by how strongly it pulls the sample
+//! toward the wrong classes and away from the true one:
+//!
+//! ```text
+//! partial:   M_row = α·|Ĥ − Ĉ_true| − β·|Ĥ − Ĉ_pred1|
+//! incorrect: N_row = α·|Ĥ − Ĉ_true| − β·|Ĥ − Ĉ_pred1| − θ·|Ĥ − Ĉ_pred2|
+//! ```
+//!
+//! (absolute differences element-wise; `Ĥ`, `Ĉ` are L2-normalized so the
+//! per-dimension distances compare directions, not accumulated magnitudes).
+//! A **large** entry marks a dimension far from the truth and close to the
+//! wrong class — the β/θ subtraction spares dimensions that are close to
+//! *both*, i.e. store information shared across classes.
+//!
+//! Rows are min–max normalized, summed column-wise into `M'` and `N'`, and
+//! the paper drops only dimensions in the **intersection** of the top-`R%`
+//! of both, avoiding over-elimination.
+//!
+//! The published pseudocode's sign conventions for `N` conflict with the
+//! prose; this module follows the prose semantics (see `DESIGN.md` §3).
+
+use crate::config::WeightParams;
+use crate::top2::Top2Outcome;
+use disthd_linalg::{normalize_l2, Matrix};
+
+/// The reduced distance vectors and the selected dimensions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DimensionScores {
+    /// Column-reduced partial-mistake scores `M'` (empty if no partial
+    /// samples).
+    pub m_reduced: Vec<f32>,
+    /// Column-reduced incorrect-mistake scores `N'` (empty if no incorrect
+    /// samples).
+    pub n_reduced: Vec<f32>,
+    /// Dimensions selected to drop and regenerate.
+    pub undesired: Vec<usize>,
+}
+
+/// Runs Algorithm 2: selects the undesired dimensions for one iteration.
+///
+/// `encoded` holds the batch hypervectors (one per row), `outcomes` the
+/// top-2 categorization of each row, `classes` the current class matrix,
+/// `regen_rate` the paper's `R` as a fraction.
+///
+/// When only one of the two mistake categories occurred this iteration, the
+/// selection falls back to that category's top set alone (the intersection
+/// with an undefined set would always be empty and regeneration would
+/// starve); when neither occurred, no dimensions are selected.
+///
+/// # Panics
+///
+/// Panics if `outcomes.len() != encoded.rows()` or any recorded class index
+/// is out of range.
+pub fn select_undesired_dims(
+    encoded: &Matrix,
+    labels: &[usize],
+    outcomes: &[Top2Outcome],
+    classes: &Matrix,
+    weights: &WeightParams,
+    regen_rate: f64,
+) -> DimensionScores {
+    assert_eq!(outcomes.len(), encoded.rows(), "outcomes/sample mismatch");
+    assert_eq!(labels.len(), encoded.rows(), "labels/sample mismatch");
+    let dim = encoded.cols();
+
+    // L2-normalize every class row once up front (O(k·D), negligible next
+    // to the per-mistake row construction).
+    let normalized_classes = disthd_hd::cosine_similarity_matrix(classes);
+
+    let mut m_rows = Matrix::zeros(0, 0);
+    let mut n_rows = Matrix::zeros(0, 0);
+    let mut row = vec![0.0f32; dim];
+    for (i, outcome) in outcomes.iter().enumerate() {
+        match *outcome {
+            Top2Outcome::Correct => {}
+            Top2Outcome::Partial { predicted } => {
+                let h = normalize_l2(encoded.row(i));
+                let true_c = normalized_classes.row(labels[i]);
+                let pred_c = normalized_classes.row(predicted);
+                for (((slot, &hv), &tc), &pc) in
+                    row.iter_mut().zip(&h).zip(true_c).zip(pred_c)
+                {
+                    *slot = weights.alpha * (hv - tc).abs() - weights.beta * (hv - pc).abs();
+                }
+                m_rows.push_row(&row).expect("uniform width");
+            }
+            Top2Outcome::Incorrect { first, second } => {
+                let h = normalize_l2(encoded.row(i));
+                let true_c = normalized_classes.row(labels[i]);
+                let first_c = normalized_classes.row(first);
+                let second_c = normalized_classes.row(second);
+                for ((((slot, &hv), &tc), &fc), &sc) in
+                    row.iter_mut().zip(&h).zip(true_c).zip(first_c).zip(second_c)
+                {
+                    *slot = weights.alpha * (hv - tc).abs()
+                        - weights.beta * (hv - fc).abs()
+                        - weights.theta * (hv - sc).abs();
+                }
+                n_rows.push_row(&row).expect("uniform width");
+            }
+        }
+    }
+
+    let m_reduced = reduce(&mut m_rows);
+    let n_reduced = reduce(&mut n_rows);
+    let take = ((dim as f64) * regen_rate).round() as usize;
+
+    let undesired = match (m_reduced.is_empty(), n_reduced.is_empty()) {
+        (true, true) => Vec::new(),
+        (false, true) => top_set(&m_reduced, take),
+        (true, false) => top_set(&n_reduced, take),
+        (false, false) => {
+            let m_top = top_set(&m_reduced, take);
+            let n_top: std::collections::HashSet<usize> =
+                top_set(&n_reduced, take).into_iter().collect();
+            let mut both: Vec<usize> =
+                m_top.into_iter().filter(|d| n_top.contains(d)).collect();
+            both.sort_unstable();
+            both
+        }
+    };
+
+    DimensionScores {
+        m_reduced,
+        n_reduced,
+        undesired,
+    }
+}
+
+/// Min–max normalizes each row, then sums column-wise.
+fn reduce(rows: &mut Matrix) -> Vec<f32> {
+    if rows.rows() == 0 {
+        return Vec::new();
+    }
+    for r in 0..rows.rows() {
+        disthd_linalg::normalize_min_max_in_place(rows.row_mut(r));
+    }
+    disthd_linalg::column_sums(rows)
+}
+
+/// Indices of the `k` largest values, sorted ascending for deterministic
+/// downstream use.
+fn top_set(values: &[f32], k: usize) -> Vec<usize> {
+    let mut set = disthd_linalg::top_k_largest(values, k);
+    set.sort_unstable();
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 2-class, 4-dim setup where dimension 3 is engineered to be
+    /// misleading: the sample's dim 3 agrees with the wrong class and
+    /// disagrees with the true class.
+    fn engineered_case() -> (Matrix, Vec<usize>, Vec<Top2Outcome>, Matrix) {
+        // Class 0 (true): strong in dims 0,1; class 1 (wrong): strong in 2,3.
+        let classes =
+            Matrix::from_rows(&[vec![1.0, 1.0, 0.0, -1.0], vec![0.0, 0.0, 1.0, 1.0]]).unwrap();
+        // The sample mostly matches class 0 but its dim 3 looks like class 1.
+        let encoded = Matrix::from_rows(&[vec![1.0, 1.0, 0.0, 1.0]]).unwrap();
+        let labels = vec![0usize];
+        let outcomes = vec![Top2Outcome::Partial { predicted: 1 }];
+        (encoded, labels, outcomes, classes)
+    }
+
+    #[test]
+    fn misleading_dimension_scores_highest_in_m() {
+        let (encoded, labels, outcomes, classes) = engineered_case();
+        let scores = select_undesired_dims(
+            &encoded,
+            &labels,
+            &outcomes,
+            &classes,
+            &WeightParams::default(),
+            0.25,
+        );
+        assert_eq!(scores.m_reduced.len(), 4);
+        let argmax = disthd_linalg::argsort_descending(&scores.m_reduced)[0];
+        assert_eq!(argmax, 3, "dim 3 should be the most undesired: {:?}", scores.m_reduced);
+        // With only partial mistakes, the fallback selects from M alone.
+        assert_eq!(scores.undesired, vec![3]);
+    }
+
+    #[test]
+    fn correct_samples_contribute_nothing() {
+        let classes = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]]).unwrap();
+        let encoded = Matrix::from_rows(&[vec![1.0, 0.0]]).unwrap();
+        let scores = select_undesired_dims(
+            &encoded,
+            &[0],
+            &[Top2Outcome::Correct],
+            &classes,
+            &WeightParams::default(),
+            0.5,
+        );
+        assert!(scores.m_reduced.is_empty());
+        assert!(scores.n_reduced.is_empty());
+        assert!(scores.undesired.is_empty());
+    }
+
+    #[test]
+    fn intersection_requires_agreement_of_m_and_n() {
+        // Build a case with one partial and one incorrect sample over 3
+        // classes / 4 dims; the intersection can only contain dims in both
+        // top sets.
+        let classes = Matrix::from_rows(&[
+            vec![1.0, 1.0, -1.0, -1.0],
+            vec![-1.0, 1.0, 1.0, -1.0],
+            vec![-1.0, -1.0, 1.0, 1.0],
+        ])
+        .unwrap();
+        let encoded =
+            Matrix::from_rows(&[vec![1.0, 1.0, 1.0, -1.0], vec![-1.0, 1.0, 1.0, 1.0]]).unwrap();
+        let labels = vec![0usize, 0];
+        let outcomes = vec![
+            Top2Outcome::Partial { predicted: 1 },
+            Top2Outcome::Incorrect { first: 1, second: 2 },
+        ];
+        let scores = select_undesired_dims(
+            &encoded,
+            &labels,
+            &outcomes,
+            &classes,
+            &WeightParams::default(),
+            0.5,
+        );
+        let m_top: std::collections::HashSet<usize> =
+            disthd_linalg::top_k_largest(&scores.m_reduced, 2).into_iter().collect();
+        let n_top: std::collections::HashSet<usize> =
+            disthd_linalg::top_k_largest(&scores.n_reduced, 2).into_iter().collect();
+        for d in &scores.undesired {
+            assert!(m_top.contains(d) && n_top.contains(d));
+        }
+    }
+
+    #[test]
+    fn regen_rate_bounds_selection_size() {
+        let (encoded, labels, outcomes, classes) = engineered_case();
+        for rate in [0.25, 0.5, 1.0] {
+            let scores = select_undesired_dims(
+                &encoded,
+                &labels,
+                &outcomes,
+                &classes,
+                &WeightParams::default(),
+                rate,
+            );
+            assert!(scores.undesired.len() <= (4.0 * rate).round() as usize);
+        }
+    }
+
+    #[test]
+    fn zero_rate_selects_nothing() {
+        let (encoded, labels, outcomes, classes) = engineered_case();
+        let scores = select_undesired_dims(
+            &encoded,
+            &labels,
+            &outcomes,
+            &classes,
+            &WeightParams::default(),
+            0.0,
+        );
+        assert!(scores.undesired.is_empty());
+    }
+
+    #[test]
+    fn larger_beta_spares_shared_dimensions() {
+        // Dim 1 is equally close to both classes (shared information);
+        // a large beta should push its score down relative to dim 3.
+        let (encoded, labels, outcomes, classes) = engineered_case();
+        let sensitive = select_undesired_dims(
+            &encoded,
+            &labels,
+            &outcomes,
+            &classes,
+            &WeightParams::new(2.0, 0.5, 0.1),
+            1.0,
+        );
+        let specific = select_undesired_dims(
+            &encoded,
+            &labels,
+            &outcomes,
+            &classes,
+            &WeightParams::new(0.5, 2.0, 0.1),
+            1.0,
+        );
+        // Both runs produce full-rate selections, but the *scores* change:
+        // the specific run must penalize closeness-to-wrong-class more.
+        assert_ne!(sensitive.m_reduced, specific.m_reduced);
+    }
+
+    #[test]
+    #[should_panic(expected = "outcomes/sample mismatch")]
+    fn outcome_count_checked() {
+        let (encoded, labels, _, classes) = engineered_case();
+        select_undesired_dims(&encoded, &labels, &[], &classes, &WeightParams::default(), 0.1);
+    }
+}

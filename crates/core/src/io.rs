@@ -1,0 +1,248 @@
+//! Binary persistence of deployed models.
+//!
+//! A [`crate::DeployedModel`] is the artifact that ships to an edge device:
+//! the f32 encoder (bases + phases), the per-dimension centering means and
+//! the quantized class memory.  This module writes and reads a compact,
+//! versioned little-endian binary format:
+//!
+//! ```text
+//! magic  "DHD1"            4 bytes
+//! n (features)             u32    D (dims)    u32    k (classes)   u32
+//! width bits               u32    base_std    f32
+//! bases                    n*D f32 (row-major)
+//! phases                   D f32
+//! center means             D f32
+//! memory scales            k f32
+//! memory word count        u32
+//! memory words             count u64
+//! ```
+
+use crate::deploy::DeployedModel;
+use disthd_hd::center::EncodingCenter;
+use disthd_hd::encoder::RbfEncoder;
+use disthd_hd::quantize::{BitWidth, QuantizedMatrix};
+use disthd_linalg::Matrix;
+use std::error::Error;
+use std::fmt;
+use std::io::{Read, Write};
+
+const MAGIC: &[u8; 4] = b"DHD1";
+
+/// Errors produced while persisting or loading a deployed model.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The stream does not start with the expected magic/version.
+    BadMagic,
+    /// A field failed validation (corrupt or truncated stream).
+    Corrupt(String),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "io error: {e}"),
+            PersistError::BadMagic => write!(f, "not a DHD1 model stream"),
+            PersistError::Corrupt(msg) => write!(f, "corrupt model stream: {msg}"),
+        }
+    }
+}
+
+impl Error for PersistError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+/// Writes a deployed model to `writer` (pass `&mut` for reuse).
+///
+/// # Errors
+///
+/// Returns [`PersistError::Io`] on write failure.
+pub fn save_deployed<W: Write>(model: &DeployedModel, mut writer: W) -> Result<(), PersistError> {
+    let encoder = model.encoder_parts();
+    let (rows, cols) = model.memory_parts().shape();
+    writer.write_all(MAGIC)?;
+    write_u32(&mut writer, encoder.bases().rows() as u32)?;
+    write_u32(&mut writer, cols as u32)?;
+    write_u32(&mut writer, rows as u32)?;
+    write_u32(&mut writer, model.width().bits() as u32)?;
+    write_f32(&mut writer, encoder.base_std())?;
+    write_f32_slice(&mut writer, encoder.bases().as_slice())?;
+    write_f32_slice(&mut writer, encoder.phases())?;
+    write_f32_slice(&mut writer, model.center_parts().means())?;
+    write_f32_slice(&mut writer, model.memory_parts().scales())?;
+    let words = model.memory_parts().as_words();
+    write_u32(&mut writer, words.len() as u32)?;
+    for &w in words {
+        writer.write_all(&w.to_le_bytes())?;
+    }
+    writer.flush()?;
+    Ok(())
+}
+
+/// Reads a deployed model from `reader` (pass `&mut` for reuse).
+///
+/// # Errors
+///
+/// * [`PersistError::BadMagic`] if the stream is not a `DHD1` model;
+/// * [`PersistError::Corrupt`] on inconsistent sizes;
+/// * [`PersistError::Io`] on read failure.
+pub fn load_deployed<R: Read>(mut reader: R) -> Result<DeployedModel, PersistError> {
+    let mut magic = [0u8; 4];
+    reader.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let n = read_u32(&mut reader)? as usize;
+    let dim = read_u32(&mut reader)? as usize;
+    let k = read_u32(&mut reader)? as usize;
+    let bits = read_u32(&mut reader)? as usize;
+    let width = BitWidth::from_bits(bits)
+        .ok_or_else(|| PersistError::Corrupt(format!("unsupported width {bits}")))?;
+    let base_std = read_f32(&mut reader)?;
+    if n == 0 || dim == 0 || k == 0 {
+        return Err(PersistError::Corrupt("zero-sized model".into()));
+    }
+
+    let bases = read_f32_vec(&mut reader, n * dim)?;
+    let phases = read_f32_vec(&mut reader, dim)?;
+    let means = read_f32_vec(&mut reader, dim)?;
+    let scales = read_f32_vec(&mut reader, k)?;
+    let word_count = read_u32(&mut reader)? as usize;
+    let mut words = Vec::with_capacity(word_count);
+    for _ in 0..word_count {
+        let mut buf = [0u8; 8];
+        reader.read_exact(&mut buf)?;
+        words.push(u64::from_le_bytes(buf));
+    }
+
+    let bases = Matrix::from_vec(n, dim, bases)
+        .map_err(|e| PersistError::Corrupt(e.to_string()))?;
+    let encoder = RbfEncoder::from_parts(bases, phases, base_std)
+        .map_err(|e| PersistError::Corrupt(e.to_string()))?;
+    let center = EncodingCenter::from_means(means);
+    let memory = QuantizedMatrix::from_parts(words, scales, width, k, dim)
+        .map_err(|e| PersistError::Corrupt(e.to_string()))?;
+    Ok(DeployedModel::from_parts(encoder, center, memory))
+}
+
+fn write_u32<W: Write>(w: &mut W, v: u32) -> std::io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_f32<W: Write>(w: &mut W, v: f32) -> std::io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_f32_slice<W: Write>(w: &mut W, values: &[f32]) -> std::io::Result<()> {
+    for &v in values {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_u32<R: Read>(r: &mut R) -> std::io::Result<u32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn read_f32<R: Read>(r: &mut R) -> std::io::Result<f32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(f32::from_le_bytes(buf))
+}
+
+fn read_f32_vec<R: Read>(r: &mut R, count: usize) -> std::io::Result<Vec<f32>> {
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        out.push(read_f32(r)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DistHd, DistHdConfig};
+    use disthd_datasets::suite::{PaperDataset, SuiteConfig};
+    use disthd_eval::Classifier;
+
+    fn deployed() -> (DeployedModel, disthd_datasets::TrainTest) {
+        let data = PaperDataset::Diabetes
+            .generate(&SuiteConfig::at_scale(0.002))
+            .unwrap();
+        let mut model = DistHd::new(
+            DistHdConfig {
+                dim: 256,
+                epochs: 8,
+                ..Default::default()
+            },
+            data.train.feature_dim(),
+            data.train.class_count(),
+        );
+        model.fit(&data.train, None).unwrap();
+        (DeployedModel::freeze(&model, BitWidth::B4).unwrap(), data)
+    }
+
+    #[test]
+    fn round_trip_preserves_predictions() {
+        let (mut original, data) = deployed();
+        let mut buffer = Vec::new();
+        save_deployed(&original, &mut buffer).unwrap();
+        let mut restored = load_deployed(buffer.as_slice()).unwrap();
+        for i in 0..data.test.len().min(50) {
+            assert_eq!(
+                original.predict(data.test.sample(i)).unwrap(),
+                restored.predict(data.test.sample(i)).unwrap(),
+                "sample {i}"
+            );
+        }
+        assert_eq!(original.width(), restored.width());
+        assert_eq!(original.memory_bits(), restored.memory_bits());
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let err = load_deployed(&b"NOPE............"[..]).unwrap_err();
+        assert!(matches!(err, PersistError::BadMagic));
+    }
+
+    #[test]
+    fn truncated_stream_is_io_error() {
+        let (original, _) = deployed();
+        let mut buffer = Vec::new();
+        save_deployed(&original, &mut buffer).unwrap();
+        buffer.truncate(buffer.len() / 2);
+        assert!(load_deployed(buffer.as_slice()).is_err());
+    }
+
+    #[test]
+    fn unsupported_width_is_corrupt() {
+        let mut buffer = Vec::new();
+        buffer.extend_from_slice(MAGIC);
+        for v in [4u32, 8, 2, 3] {
+            buffer.extend_from_slice(&v.to_le_bytes()); // width bits = 3: invalid
+        }
+        buffer.extend_from_slice(&1.0f32.to_le_bytes());
+        let err = load_deployed(buffer.as_slice()).unwrap_err();
+        assert!(matches!(err, PersistError::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn persist_error_display() {
+        assert!(PersistError::BadMagic.to_string().contains("DHD1"));
+        assert!(PersistError::Corrupt("x".into()).to_string().contains('x'));
+    }
+}

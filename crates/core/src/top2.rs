@@ -1,0 +1,132 @@
+//! Top-2 outcome categorization (§III-B / §III-C).
+
+use disthd_hd::ClassModel;
+use disthd_linalg::{Matrix, ShapeError};
+
+/// How a sample fared under top-2 classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Top2Outcome {
+    /// True label is the most similar class — contributes nothing to
+    /// dimension selection.
+    Correct,
+    /// True label is the *second* most similar class; the most similar
+    /// (wrong) class is recorded.
+    Partial {
+        /// The top-1 (wrong) class.
+        predicted: usize,
+    },
+    /// True label is in neither of the top two.
+    Incorrect {
+        /// The top-1 (wrong) class.
+        first: usize,
+        /// The top-2 (also wrong) class.
+        second: usize,
+    },
+}
+
+impl Top2Outcome {
+    /// Whether this outcome feeds Algorithm 2 (i.e. is not `Correct`).
+    pub fn is_mistake(&self) -> bool {
+        !matches!(self, Top2Outcome::Correct)
+    }
+}
+
+/// Categorizes every row of `encoded` against the partially trained model.
+///
+/// Returns one [`Top2Outcome`] per sample, in order.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `encoded.cols() != model.dim()`.
+///
+/// # Panics
+///
+/// Panics if `labels.len() != encoded.rows()` or the model has fewer than
+/// two classes.
+pub fn categorize(
+    model: &mut ClassModel,
+    encoded: &Matrix,
+    labels: &[usize],
+) -> Result<Vec<Top2Outcome>, ShapeError> {
+    assert_eq!(labels.len(), encoded.rows(), "labels/sample count mismatch");
+    assert!(model.class_count() >= 2, "top-2 needs at least two classes");
+    let mut outcomes = Vec::with_capacity(labels.len());
+    for i in 0..encoded.rows() {
+        let top = model.top2(encoded.row(i))?;
+        let label = labels[i];
+        let outcome = if top.first.class == label {
+            Top2Outcome::Correct
+        } else if top.second.class == label {
+            Top2Outcome::Partial {
+                predicted: top.first.class,
+            }
+        } else {
+            Top2Outcome::Incorrect {
+                first: top.first.class,
+                second: top.second.class,
+            }
+        };
+        outcomes.push(outcome);
+    }
+    Ok(outcomes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Model with three orthogonal class prototypes.
+    fn model() -> ClassModel {
+        let mut m = ClassModel::new(3, 3);
+        m.bundle_into(0, &[1.0, 0.0, 0.0]);
+        m.bundle_into(1, &[0.0, 1.0, 0.0]);
+        m.bundle_into(2, &[0.0, 0.0, 1.0]);
+        m
+    }
+
+    #[test]
+    fn categorizes_all_three_outcomes() {
+        let mut m = model();
+        // Sample 0: closest to class 0, label 0 -> Correct.
+        // Sample 1: closest to 0, second 1, label 1 -> Partial.
+        // Sample 2: closest to 0, second 1, label 2 -> Incorrect.
+        let encoded = Matrix::from_rows(&[
+            vec![1.0, 0.1, 0.0],
+            vec![1.0, 0.6, 0.0],
+            vec![1.0, 0.6, 0.1],
+        ])
+        .unwrap();
+        let outcomes = categorize(&mut m, &encoded, &[0, 1, 2]).unwrap();
+        assert_eq!(outcomes[0], Top2Outcome::Correct);
+        assert_eq!(outcomes[1], Top2Outcome::Partial { predicted: 0 });
+        assert_eq!(
+            outcomes[2],
+            Top2Outcome::Incorrect {
+                first: 0,
+                second: 1
+            }
+        );
+    }
+
+    #[test]
+    fn is_mistake_flags_non_correct() {
+        assert!(!Top2Outcome::Correct.is_mistake());
+        assert!(Top2Outcome::Partial { predicted: 1 }.is_mistake());
+        assert!(Top2Outcome::Incorrect { first: 0, second: 1 }.is_mistake());
+    }
+
+    #[test]
+    fn shape_mismatch_is_error() {
+        let mut m = model();
+        let encoded = Matrix::zeros(1, 5);
+        assert!(categorize(&mut m, &encoded, &[0]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two classes")]
+    fn single_class_model_panics() {
+        let mut m = ClassModel::new(1, 2);
+        let encoded = Matrix::zeros(1, 2);
+        categorize(&mut m, &encoded, &[0]).unwrap();
+    }
+}

@@ -1,0 +1,162 @@
+//! Plain-text CSV persistence for datasets.
+//!
+//! Format: one sample per line, features separated by commas, label last.
+//! No header.  This is deliberately minimal — enough to export synthetic
+//! datasets for inspection or to re-import a user's own data.
+
+use crate::dataset::Dataset;
+use crate::error::DatasetError;
+use disthd_linalg::Matrix;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Writes `data` as CSV to `writer` (features..., label per line).
+///
+/// Generic writers can be passed by `&mut` reference.
+///
+/// # Errors
+///
+/// Returns [`DatasetError::Io`] on write failure.
+pub fn write_csv<W: Write>(data: &Dataset, writer: W) -> Result<(), DatasetError> {
+    let mut w = BufWriter::new(writer);
+    for i in 0..data.len() {
+        let mut line = String::with_capacity(data.feature_dim() * 8);
+        for &v in data.sample(i) {
+            line.push_str(&format!("{v}"));
+            line.push(',');
+        }
+        line.push_str(&data.label(i).to_string());
+        line.push('\n');
+        w.write_all(line.as_bytes())?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes `data` as CSV to a file path.
+///
+/// # Errors
+///
+/// Returns [`DatasetError::Io`] on I/O failure.
+pub fn save_csv<P: AsRef<Path>>(data: &Dataset, path: P) -> Result<(), DatasetError> {
+    let file = std::fs::File::create(path)?;
+    write_csv(data, file)
+}
+
+/// Reads a dataset from CSV (`class_count` must be supplied — CSV does not
+/// store it; pass `0` to infer `max label + 1`).
+///
+/// Generic readers can be passed by `&mut` reference.
+///
+/// # Errors
+///
+/// * [`DatasetError::Parse`] for malformed lines;
+/// * [`DatasetError::Io`] on read failure;
+/// * validation errors from [`Dataset::new`].
+pub fn read_csv<R: Read>(reader: R, class_count: usize) -> Result<Dataset, DatasetError> {
+    let buf = BufReader::new(reader);
+    let mut features = Matrix::default();
+    let mut labels: Vec<usize> = Vec::new();
+    for (lineno, line) in buf.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut cells: Vec<&str> = line.split(',').collect();
+        let label_cell = cells
+            .pop()
+            .ok_or_else(|| DatasetError::Parse(format!("line {}: empty", lineno + 1)))?;
+        let label: usize = label_cell
+            .trim()
+            .parse()
+            .map_err(|_| DatasetError::Parse(format!("line {}: bad label {label_cell:?}", lineno + 1)))?;
+        let mut row = Vec::with_capacity(cells.len());
+        for cell in cells {
+            let v: f32 = cell.trim().parse().map_err(|_| {
+                DatasetError::Parse(format!("line {}: bad feature {cell:?}", lineno + 1))
+            })?;
+            row.push(v);
+        }
+        features
+            .push_row(&row)
+            .map_err(|_| DatasetError::Parse(format!("line {}: ragged row", lineno + 1)))?;
+        labels.push(label);
+    }
+    let k = if class_count > 0 {
+        class_count
+    } else {
+        labels.iter().copied().max().map_or(0, |m| m + 1)
+    };
+    Dataset::new(features, labels, k)
+}
+
+/// Reads a dataset from a CSV file path.
+///
+/// # Errors
+///
+/// Same as [`read_csv`].
+pub fn load_csv<P: AsRef<Path>>(path: P, class_count: usize) -> Result<Dataset, DatasetError> {
+    let file = std::fs::File::open(path)?;
+    read_csv(file, class_count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset {
+        let features = Matrix::from_rows(&[vec![0.5, 1.5], vec![-1.0, 2.0]]).unwrap();
+        Dataset::new(features, vec![1, 0], 2).unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let data = sample();
+        let mut buf = Vec::new();
+        write_csv(&data, &mut buf).unwrap();
+        let restored = read_csv(buf.as_slice(), 2).unwrap();
+        assert_eq!(restored.len(), 2);
+        assert_eq!(restored.labels(), data.labels());
+        assert_eq!(restored.features().as_slice(), data.features().as_slice());
+    }
+
+    #[test]
+    fn class_count_can_be_inferred() {
+        let mut buf = Vec::new();
+        write_csv(&sample(), &mut buf).unwrap();
+        let restored = read_csv(buf.as_slice(), 0).unwrap();
+        assert_eq!(restored.class_count(), 2);
+    }
+
+    #[test]
+    fn malformed_feature_is_reported_with_line() {
+        let text = "1.0,2.0,0\nnot_a_number,2.0,1\n";
+        let err = read_csv(text.as_bytes(), 2).unwrap_err();
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn ragged_rows_are_rejected() {
+        let text = "1.0,2.0,0\n1.0,1\n";
+        let err = read_csv(text.as_bytes(), 2).unwrap_err();
+        assert!(matches!(err, DatasetError::Parse(_)));
+    }
+
+    #[test]
+    fn empty_lines_are_skipped() {
+        let text = "1.0,0\n\n2.0,1\n";
+        let data = read_csv(text.as_bytes(), 2).unwrap();
+        assert_eq!(data.len(), 2);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("disthd_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.csv");
+        save_csv(&sample(), &path).unwrap();
+        let restored = load_csv(&path, 2).unwrap();
+        assert_eq!(restored.len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,260 @@
+use crate::error::DatasetError;
+use disthd_linalg::{Matrix, SeededRng};
+
+/// Metadata describing a classification dataset (a row of Table I).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DatasetSpec {
+    /// Short identifier (e.g. `"UCIHAR"`).
+    pub name: String,
+    /// Number of input features `n`.
+    pub feature_dim: usize,
+    /// Number of classes `k`.
+    pub class_count: usize,
+    /// Paper's training-set size.
+    pub train_size: usize,
+    /// Paper's test-set size.
+    pub test_size: usize,
+    /// One-line description.
+    pub description: String,
+}
+
+/// A labelled classification dataset: one feature row per sample.
+///
+/// # Example
+///
+/// ```
+/// use disthd_datasets::Dataset;
+/// use disthd_linalg::Matrix;
+///
+/// let features = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]])?;
+/// let data = Dataset::new(features, vec![0, 1], 2)?;
+/// assert_eq!(data.len(), 2);
+/// assert_eq!(data.label(1), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    features: Matrix,
+    labels: Vec<usize>,
+    class_count: usize,
+}
+
+impl Dataset {
+    /// Builds a dataset, validating label range and length agreement.
+    ///
+    /// # Errors
+    ///
+    /// * [`DatasetError::LengthMismatch`] if rows ≠ labels;
+    /// * [`DatasetError::LabelOutOfRange`] if any label ≥ `class_count`.
+    pub fn new(features: Matrix, labels: Vec<usize>, class_count: usize) -> Result<Self, DatasetError> {
+        if features.rows() != labels.len() {
+            return Err(DatasetError::LengthMismatch {
+                features: features.rows(),
+                labels: labels.len(),
+            });
+        }
+        if let Some(&bad) = labels.iter().find(|&&l| l >= class_count) {
+            return Err(DatasetError::LabelOutOfRange {
+                label: bad,
+                class_count,
+            });
+        }
+        Ok(Self {
+            features,
+            labels,
+            class_count,
+        })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of input features per sample.
+    pub fn feature_dim(&self) -> usize {
+        self.features.cols()
+    }
+
+    /// Number of classes `k`.
+    pub fn class_count(&self) -> usize {
+        self.class_count
+    }
+
+    /// Borrows the feature matrix (one sample per row).
+    pub fn features(&self) -> &Matrix {
+        &self.features
+    }
+
+    /// Mutably borrows the feature matrix (for in-place normalization).
+    pub fn features_mut(&mut self) -> &mut Matrix {
+        &mut self.features
+    }
+
+    /// Borrows the label vector.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Feature row of sample `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn sample(&self, i: usize) -> &[f32] {
+        self.features.row(i)
+    }
+
+    /// Label of sample `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn label(&self, i: usize) -> usize {
+        self.labels[i]
+    }
+
+    /// Number of samples per class.
+    pub fn class_histogram(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.class_count];
+        for &l in &self.labels {
+            counts[l] += 1;
+        }
+        counts
+    }
+
+    /// Returns a new dataset with rows permuted by a seeded shuffle.
+    pub fn shuffled(&self, rng: &mut SeededRng) -> Dataset {
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        rng.shuffle(&mut order);
+        self.select(&order)
+    }
+
+    /// Returns a new dataset containing the given sample indices, in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn select(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            features: self.features.select_rows(indices),
+            labels: indices.iter().map(|&i| self.labels[i]).collect(),
+            class_count: self.class_count,
+        }
+    }
+
+    /// First `n` samples as a new dataset (`n` clamped to `len()`).
+    pub fn take(&self, n: usize) -> Dataset {
+        let indices: Vec<usize> = (0..n.min(self.len())).collect();
+        self.select(&indices)
+    }
+
+    /// Splits into contiguous mini-batches of at most `batch_size` samples,
+    /// returning index ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`.
+    pub fn batch_ranges(&self, batch_size: usize) -> Vec<std::ops::Range<usize>> {
+        assert!(batch_size > 0, "batch size must be positive");
+        let mut out = Vec::new();
+        let mut start = 0;
+        while start < self.len() {
+            let end = (start + batch_size).min(self.len());
+            out.push(start..end);
+            start = end;
+        }
+        out
+    }
+}
+
+/// A paired train/test split with its spec.
+#[derive(Debug, Clone)]
+pub struct TrainTest {
+    /// Training partition.
+    pub train: Dataset,
+    /// Held-out test partition.
+    pub test: Dataset,
+    /// The spec both partitions conform to.
+    pub spec: DatasetSpec,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disthd_linalg::RngSeed;
+
+    fn sample_dataset() -> Dataset {
+        let features = Matrix::from_rows(&[
+            vec![0.0, 0.1],
+            vec![1.0, 1.1],
+            vec![2.0, 2.1],
+            vec![3.0, 3.1],
+        ])
+        .unwrap();
+        Dataset::new(features, vec![0, 1, 0, 1], 2).unwrap()
+    }
+
+    #[test]
+    fn new_validates_lengths() {
+        let features = Matrix::zeros(3, 2);
+        let err = Dataset::new(features, vec![0, 1], 2).unwrap_err();
+        assert!(matches!(err, DatasetError::LengthMismatch { .. }));
+    }
+
+    #[test]
+    fn new_validates_label_range() {
+        let features = Matrix::zeros(2, 2);
+        let err = Dataset::new(features, vec![0, 5], 2).unwrap_err();
+        assert!(matches!(err, DatasetError::LabelOutOfRange { label: 5, .. }));
+    }
+
+    #[test]
+    fn histogram_counts_labels() {
+        assert_eq!(sample_dataset().class_histogram(), vec![2, 2]);
+    }
+
+    #[test]
+    fn select_reorders_samples() {
+        let d = sample_dataset().select(&[3, 0]);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.label(0), 1);
+        assert_eq!(d.sample(1), &[0.0, 0.1]);
+    }
+
+    #[test]
+    fn shuffled_is_permutation() {
+        let d = sample_dataset();
+        let mut rng = SeededRng::new(RngSeed(1));
+        let s = d.shuffled(&mut rng);
+        assert_eq!(s.len(), d.len());
+        let mut h = s.class_histogram();
+        h.sort_unstable();
+        assert_eq!(h, vec![2, 2]);
+    }
+
+    #[test]
+    fn take_clamps() {
+        assert_eq!(sample_dataset().take(100).len(), 4);
+        assert_eq!(sample_dataset().take(2).len(), 2);
+    }
+
+    #[test]
+    fn batch_ranges_cover_everything() {
+        let d = sample_dataset();
+        let ranges = d.batch_ranges(3);
+        assert_eq!(ranges, vec![0..3, 3..4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size")]
+    fn zero_batch_size_panics() {
+        sample_dataset().batch_ranges(0);
+    }
+}

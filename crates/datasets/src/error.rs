@@ -1,0 +1,103 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building, splitting or persisting datasets.
+#[derive(Debug)]
+pub enum DatasetError {
+    /// Feature matrix and label vector disagree on sample count.
+    LengthMismatch {
+        /// Rows in the feature matrix.
+        features: usize,
+        /// Entries in the label vector.
+        labels: usize,
+    },
+    /// A label was out of range for the declared class count.
+    LabelOutOfRange {
+        /// The offending label.
+        label: usize,
+        /// Declared number of classes.
+        class_count: usize,
+    },
+    /// A configuration value was invalid (empty class, zero features, ...).
+    InvalidConfig(String),
+    /// Underlying shape error from the linear-algebra layer.
+    Shape(disthd_linalg::ShapeError),
+    /// I/O failure during CSV persistence.
+    Io(std::io::Error),
+    /// CSV content could not be parsed.
+    Parse(String),
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::LengthMismatch { features, labels } => write!(
+                f,
+                "feature rows ({features}) and label count ({labels}) differ"
+            ),
+            DatasetError::LabelOutOfRange { label, class_count } => {
+                write!(f, "label {label} out of range for {class_count} classes")
+            }
+            DatasetError::InvalidConfig(msg) => write!(f, "invalid dataset config: {msg}"),
+            DatasetError::Shape(e) => write!(f, "shape error: {e}"),
+            DatasetError::Io(e) => write!(f, "io error: {e}"),
+            DatasetError::Parse(msg) => write!(f, "parse error: {msg}"),
+        }
+    }
+}
+
+impl Error for DatasetError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DatasetError::Shape(e) => Some(e),
+            DatasetError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<disthd_linalg::ShapeError> for DatasetError {
+    fn from(e: disthd_linalg::ShapeError) -> Self {
+        DatasetError::Shape(e)
+    }
+}
+
+impl From<std::io::Error> for DatasetError {
+    fn from(e: std::io::Error) -> Self {
+        DatasetError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = DatasetError::LengthMismatch {
+            features: 3,
+            labels: 2,
+        };
+        assert!(e.to_string().contains('3'));
+        let e = DatasetError::LabelOutOfRange {
+            label: 9,
+            class_count: 5,
+        };
+        assert!(e.to_string().contains('9'));
+        let e = DatasetError::InvalidConfig("zero features".into());
+        assert!(e.to_string().contains("zero features"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DatasetError>();
+    }
+
+    #[test]
+    fn shape_error_converts() {
+        let shape = disthd_linalg::ShapeError::new("x", (1, 1), (2, 2));
+        let e: DatasetError = shape.into();
+        assert!(matches!(e, DatasetError::Shape(_)));
+    }
+}

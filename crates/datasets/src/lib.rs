@@ -1,0 +1,42 @@
+//! # disthd-datasets
+//!
+//! Dataset substrate for the DistHD reproduction.
+//!
+//! The paper evaluates on five public datasets (Table I).  This crate builds
+//! *synthetic equivalents* with the same feature count, class count and
+//! (scalable) split sizes, generated from seeded class-conditional nonlinear
+//! manifolds — see `DESIGN.md` §2 for why this substitution preserves the
+//! behaviour DistHD's mechanisms depend on.
+//!
+//! * [`Dataset`] / [`DatasetSpec`] — container and metadata;
+//! * [`synth`] — the manifold generator and the five domain-flavoured
+//!   generators (digits, HAR, ISOLET, PAMAP2, DIABETES);
+//! * [`suite`] — one-call access to the paper's Table I roster;
+//! * [`normalize`] — per-column min–max / z-score preprocessing;
+//! * [`split`] — stratified train/test splitting;
+//! * [`csv`] — plain-text persistence.
+//!
+//! ## Example
+//!
+//! ```
+//! use disthd_datasets::suite::{PaperDataset, SuiteConfig};
+//!
+//! // A 1% scale UCIHAR-like dataset: 561 features, 12 classes.
+//! let data = PaperDataset::Ucihar.generate(&SuiteConfig::at_scale(0.01))?;
+//! assert_eq!(data.train.feature_dim(), 561);
+//! assert_eq!(data.train.class_count(), 12);
+//! # Ok::<(), disthd_datasets::DatasetError>(())
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod csv;
+mod dataset;
+mod error;
+pub mod normalize;
+pub mod split;
+pub mod suite;
+pub mod synth;
+
+pub use dataset::{Dataset, DatasetSpec, TrainTest};
+pub use error::DatasetError;

@@ -1,0 +1,160 @@
+//! Feature preprocessing.
+//!
+//! HDC encoders assume features in a bounded range; the suite normalizes
+//! per column with statistics *fit on the training split only* and applied
+//! to both splits (no test leakage).
+
+use disthd_linalg::Matrix;
+
+/// Per-column normalization statistics fit on a training matrix.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ColumnStats {
+    mins: Vec<f32>,
+    maxs: Vec<f32>,
+    means: Vec<f32>,
+    stds: Vec<f32>,
+}
+
+impl ColumnStats {
+    /// Fits statistics on `train` (one sample per row).
+    pub fn fit(train: &Matrix) -> Self {
+        let cols = train.cols();
+        let mut mins = vec![f32::INFINITY; cols];
+        let mut maxs = vec![f32::NEG_INFINITY; cols];
+        let mut means = vec![0.0f32; cols];
+        for row in train.iter_rows() {
+            for (c, &v) in row.iter().enumerate() {
+                mins[c] = mins[c].min(v);
+                maxs[c] = maxs[c].max(v);
+                means[c] += v;
+            }
+        }
+        let n = train.rows().max(1) as f32;
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut stds = vec![0.0f32; cols];
+        for row in train.iter_rows() {
+            for (c, &v) in row.iter().enumerate() {
+                let d = v - means[c];
+                stds[c] += d * d;
+            }
+        }
+        for s in &mut stds {
+            *s = (*s / n).sqrt();
+        }
+        if train.rows() == 0 {
+            mins.iter_mut().for_each(|v| *v = 0.0);
+            maxs.iter_mut().for_each(|v| *v = 0.0);
+        }
+        Self {
+            mins,
+            maxs,
+            means,
+            stds,
+        }
+    }
+
+    /// Maps each column to `[0, 1]` using the fitted min/max (constant
+    /// columns map to 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m.cols()` differs from the fitted width.
+    pub fn apply_min_max(&self, m: &mut Matrix) {
+        assert_eq!(m.cols(), self.mins.len(), "column count mismatch");
+        for r in 0..m.rows() {
+            let row = m.row_mut(r);
+            for (c, v) in row.iter_mut().enumerate() {
+                let span = self.maxs[c] - self.mins[c];
+                *v = if span > 0.0 {
+                    ((*v - self.mins[c]) / span).clamp(0.0, 1.0)
+                } else {
+                    0.0
+                };
+            }
+        }
+    }
+
+    /// Standardizes each column to zero mean / unit variance (constant
+    /// columns map to 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m.cols()` differs from the fitted width.
+    pub fn apply_z_score(&self, m: &mut Matrix) {
+        assert_eq!(m.cols(), self.means.len(), "column count mismatch");
+        for r in 0..m.rows() {
+            let row = m.row_mut(r);
+            for (c, v) in row.iter_mut().enumerate() {
+                *v = if self.stds[c] > 0.0 {
+                    (*v - self.means[c]) / self.stds[c]
+                } else {
+                    0.0
+                };
+            }
+        }
+    }
+}
+
+/// Fits min–max stats on `train` and applies them to both splits.
+pub fn min_max_fit_apply(train: &mut Matrix, test: &mut Matrix) -> ColumnStats {
+    let stats = ColumnStats::fit(train);
+    stats.apply_min_max(train);
+    stats.apply_min_max(test);
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_max_maps_train_to_unit_interval() {
+        let mut train = Matrix::from_rows(&[vec![0.0, 10.0], vec![4.0, 20.0]]).unwrap();
+        let mut test = Matrix::from_rows(&[vec![2.0, 15.0]]).unwrap();
+        min_max_fit_apply(&mut train, &mut test);
+        assert_eq!(train.row(0), &[0.0, 0.0]);
+        assert_eq!(train.row(1), &[1.0, 1.0]);
+        assert_eq!(test.row(0), &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn min_max_clamps_out_of_range_test_values() {
+        let mut train = Matrix::from_rows(&[vec![0.0], vec![1.0]]).unwrap();
+        let mut test = Matrix::from_rows(&[vec![-5.0], vec![9.0]]).unwrap();
+        min_max_fit_apply(&mut train, &mut test);
+        assert_eq!(test.row(0), &[0.0]);
+        assert_eq!(test.row(1), &[1.0]);
+    }
+
+    #[test]
+    fn constant_columns_map_to_zero() {
+        let mut train = Matrix::from_rows(&[vec![7.0], vec![7.0]]).unwrap();
+        let stats = ColumnStats::fit(&train);
+        stats.apply_min_max(&mut train);
+        assert_eq!(train.row(0), &[0.0]);
+        let mut z = Matrix::from_rows(&[vec![7.0]]).unwrap();
+        stats.apply_z_score(&mut z);
+        assert_eq!(z.row(0), &[0.0]);
+    }
+
+    #[test]
+    fn z_score_standardizes() {
+        let train = Matrix::from_rows(&[vec![1.0], vec![3.0]]).unwrap();
+        let stats = ColumnStats::fit(&train);
+        let mut m = train.clone();
+        stats.apply_z_score(&mut m);
+        assert!((m.get(0, 0) + 1.0).abs() < 1e-6);
+        assert!((m.get(1, 0) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fit_on_empty_matrix_does_not_produce_infinities() {
+        let stats = ColumnStats::fit(&Matrix::zeros(0, 3));
+        let mut m = Matrix::from_rows(&[vec![1.0, 2.0, 3.0]]).unwrap();
+        stats.apply_min_max(&mut m);
+        assert!(m.as_slice().iter().all(|v| v.is_finite()));
+    }
+}

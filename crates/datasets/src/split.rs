@@ -1,0 +1,164 @@
+//! Stratified train/test splitting.
+
+use crate::dataset::Dataset;
+use crate::error::DatasetError;
+use disthd_linalg::SeededRng;
+
+/// Splits `data` into train/test with approximately `test_fraction` of each
+/// class in the test set (stratified), after a seeded shuffle.
+///
+/// # Errors
+///
+/// Returns [`DatasetError::InvalidConfig`] if `test_fraction` is outside
+/// `(0, 1)` or the dataset is empty.
+///
+/// # Example
+///
+/// ```
+/// use disthd_datasets::{split::stratified_split, Dataset};
+/// use disthd_linalg::{Matrix, RngSeed, SeededRng};
+///
+/// let features = Matrix::from_fn(10, 2, |r, _| r as f32);
+/// let labels = vec![0, 1, 0, 1, 0, 1, 0, 1, 0, 1];
+/// let data = Dataset::new(features, labels, 2)?;
+/// let mut rng = SeededRng::new(RngSeed(1));
+/// let (train, test) = stratified_split(&data, 0.2, &mut rng)?;
+/// assert_eq!(test.len(), 2);
+/// assert_eq!(test.class_histogram(), vec![1, 1]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn stratified_split(
+    data: &Dataset,
+    test_fraction: f64,
+    rng: &mut SeededRng,
+) -> Result<(Dataset, Dataset), DatasetError> {
+    if !(0.0..1.0).contains(&test_fraction) || test_fraction == 0.0 {
+        return Err(DatasetError::InvalidConfig(format!(
+            "test_fraction must be in (0, 1), got {test_fraction}"
+        )));
+    }
+    if data.is_empty() {
+        return Err(DatasetError::InvalidConfig("cannot split empty dataset".into()));
+    }
+
+    // Bucket indices per class, shuffle each bucket, then cut.
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); data.class_count()];
+    for i in 0..data.len() {
+        buckets[data.label(i)].push(i);
+    }
+    let mut train_idx = Vec::new();
+    let mut test_idx = Vec::new();
+    for bucket in &mut buckets {
+        rng.shuffle(bucket);
+        let cut = ((bucket.len() as f64) * test_fraction).round() as usize;
+        let cut = cut.min(bucket.len());
+        test_idx.extend_from_slice(&bucket[..cut]);
+        train_idx.extend_from_slice(&bucket[cut..]);
+    }
+    rng.shuffle(&mut train_idx);
+    rng.shuffle(&mut test_idx);
+    Ok((data.select(&train_idx), data.select(&test_idx)))
+}
+
+/// K-fold cross-validation index sets: returns `k` (train, validation)
+/// pairs of datasets.
+///
+/// # Errors
+///
+/// Returns [`DatasetError::InvalidConfig`] if `k < 2` or `k > data.len()`.
+pub fn k_fold(
+    data: &Dataset,
+    k: usize,
+    rng: &mut SeededRng,
+) -> Result<Vec<(Dataset, Dataset)>, DatasetError> {
+    if k < 2 || k > data.len() {
+        return Err(DatasetError::InvalidConfig(format!(
+            "k must be in [2, {}], got {k}",
+            data.len()
+        )));
+    }
+    let mut order: Vec<usize> = (0..data.len()).collect();
+    rng.shuffle(&mut order);
+    let fold_size = data.len() / k;
+    let mut folds = Vec::with_capacity(k);
+    for f in 0..k {
+        let start = f * fold_size;
+        let end = if f == k - 1 { data.len() } else { start + fold_size };
+        let val_idx: Vec<usize> = order[start..end].to_vec();
+        let train_idx: Vec<usize> = order[..start]
+            .iter()
+            .chain(order[end..].iter())
+            .copied()
+            .collect();
+        folds.push((data.select(&train_idx), data.select(&val_idx)));
+    }
+    Ok(folds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disthd_linalg::{Matrix, RngSeed};
+
+    fn dataset(n: usize) -> Dataset {
+        let features = Matrix::from_fn(n, 3, |r, c| (r * 3 + c) as f32);
+        let labels: Vec<usize> = (0..n).map(|i| i % 4).collect();
+        Dataset::new(features, labels, 4).unwrap()
+    }
+
+    #[test]
+    fn split_is_stratified() {
+        let data = dataset(100);
+        let mut rng = SeededRng::new(RngSeed(2));
+        let (train, test) = stratified_split(&data, 0.2, &mut rng).unwrap();
+        assert_eq!(train.len() + test.len(), 100);
+        assert_eq!(test.class_histogram(), vec![5, 5, 5, 5]);
+    }
+
+    #[test]
+    fn split_rejects_bad_fraction() {
+        let data = dataset(10);
+        let mut rng = SeededRng::new(RngSeed(3));
+        assert!(stratified_split(&data, 0.0, &mut rng).is_err());
+        assert!(stratified_split(&data, 1.0, &mut rng).is_err());
+        assert!(stratified_split(&data, -0.5, &mut rng).is_err());
+    }
+
+    #[test]
+    fn split_partitions_without_overlap() {
+        let data = dataset(40);
+        let mut rng = SeededRng::new(RngSeed(4));
+        let (train, test) = stratified_split(&data, 0.25, &mut rng).unwrap();
+        // Feature rows are unique by construction; check disjointness via
+        // the first feature value.
+        let train_firsts: std::collections::HashSet<u32> = train
+            .features()
+            .iter_rows()
+            .map(|r| r[0] as u32)
+            .collect();
+        for row in test.features().iter_rows() {
+            assert!(!train_firsts.contains(&(row[0] as u32)));
+        }
+    }
+
+    #[test]
+    fn k_fold_covers_all_samples() {
+        let data = dataset(20);
+        let mut rng = SeededRng::new(RngSeed(5));
+        let folds = k_fold(&data, 4, &mut rng).unwrap();
+        assert_eq!(folds.len(), 4);
+        let total_val: usize = folds.iter().map(|(_, v)| v.len()).sum();
+        assert_eq!(total_val, 20);
+        for (train, val) in &folds {
+            assert_eq!(train.len() + val.len(), 20);
+        }
+    }
+
+    #[test]
+    fn k_fold_rejects_degenerate_k() {
+        let data = dataset(10);
+        let mut rng = SeededRng::new(RngSeed(6));
+        assert!(k_fold(&data, 1, &mut rng).is_err());
+        assert!(k_fold(&data, 11, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,234 @@
+//! One-call access to the paper's Table I dataset roster.
+//!
+//! Every experiment binary and bench pulls its workloads from here, so that
+//! the same scaled, normalized, seeded datasets feed every model.
+
+use crate::dataset::{DatasetSpec, TrainTest};
+use crate::error::DatasetError;
+use crate::normalize::min_max_fit_apply;
+use crate::synth::{self, ManifoldGenerator};
+use disthd_linalg::RngSeed;
+
+/// The five evaluation datasets of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PaperDataset {
+    /// Handwritten digits (784 × 10).
+    Mnist,
+    /// Smartphone activity recognition (561 × 12).
+    Ucihar,
+    /// Spoken letters (617 × 26).
+    Isolet,
+    /// IMU activity monitoring (54 × 5).
+    Pamap2,
+    /// Diabetic-patient outcomes (49 × 3).
+    Diabetes,
+}
+
+impl PaperDataset {
+    /// All five datasets, in the paper's presentation order.
+    pub fn all() -> [PaperDataset; 5] {
+        [
+            PaperDataset::Mnist,
+            PaperDataset::Isolet,
+            PaperDataset::Ucihar,
+            PaperDataset::Pamap2,
+            PaperDataset::Diabetes,
+        ]
+    }
+
+    /// Table I row for this dataset.
+    pub fn spec(self) -> DatasetSpec {
+        match self {
+            PaperDataset::Mnist => synth::digits::spec(),
+            PaperDataset::Ucihar => synth::har::spec(),
+            PaperDataset::Isolet => synth::isolet::spec(),
+            PaperDataset::Pamap2 => synth::pamap::spec(),
+            PaperDataset::Diabetes => synth::diabetes::spec(),
+        }
+    }
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PaperDataset::Mnist => "MNIST",
+            PaperDataset::Ucihar => "UCIHAR",
+            PaperDataset::Isolet => "ISOLET",
+            PaperDataset::Pamap2 => "PAMAP2",
+            PaperDataset::Diabetes => "DIABETES",
+        }
+    }
+
+    /// Builds the domain generator for this dataset.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generator construction errors.
+    pub fn generator(self, structure_seed: RngSeed) -> Result<ManifoldGenerator, DatasetError> {
+        match self {
+            PaperDataset::Mnist => synth::digits::generator(structure_seed),
+            PaperDataset::Ucihar => synth::har::generator(structure_seed),
+            PaperDataset::Isolet => synth::isolet::generator(structure_seed),
+            PaperDataset::Pamap2 => synth::pamap::generator(structure_seed),
+            PaperDataset::Diabetes => synth::diabetes::generator(structure_seed),
+        }
+    }
+
+    /// Generates normalized train/test splits per `config`.
+    ///
+    /// Sizes are the Table I sizes multiplied by `config.scale` (floored at
+    /// 10 samples per class).  Features are min–max normalized with
+    /// statistics fit on the training split.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generator and validation errors.
+    pub fn generate(self, config: &SuiteConfig) -> Result<TrainTest, DatasetError> {
+        let spec = self.spec();
+        let generator = self.generator(config.structure_seed)?;
+        let floor = spec.class_count * 10;
+        let train_size = scaled_size(spec.train_size, config.scale, floor);
+        let test_size = scaled_size(spec.test_size, config.scale, floor);
+        let mut train = generator.generate(
+            train_size,
+            RngSeed(config.sample_seed.0 ^ 0x7_7A1A),
+        )?;
+        let mut test = generator.generate(
+            test_size,
+            RngSeed(config.sample_seed.0 ^ 0xF_E57A),
+        )?;
+        min_max_fit_apply(train.features_mut(), test.features_mut());
+        Ok(TrainTest { train, test, spec })
+    }
+}
+
+impl std::fmt::Display for PaperDataset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Scaling/seeding knobs for suite generation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuiteConfig {
+    /// Multiplier on Table I sizes (1.0 = full paper sizes).
+    pub scale: f64,
+    /// Seed for the fixed manifold structure (shared by train and test).
+    pub structure_seed: RngSeed,
+    /// Seed for the sample draws.
+    pub sample_seed: RngSeed,
+}
+
+impl SuiteConfig {
+    /// Config at the given scale with default seeds.
+    pub fn at_scale(scale: f64) -> Self {
+        Self {
+            scale,
+            ..Self::default()
+        }
+    }
+
+    /// Returns a copy with a different sample seed (fresh draws from the
+    /// same manifold — used for repeated trials).
+    pub fn with_sample_seed(&self, seed: RngSeed) -> Self {
+        Self {
+            sample_seed: seed,
+            ..self.clone()
+        }
+    }
+}
+
+impl Default for SuiteConfig {
+    fn default() -> Self {
+        Self {
+            scale: 0.05,
+            structure_seed: RngSeed(0xD157_4D),
+            sample_seed: RngSeed(0x5A11_7),
+        }
+    }
+}
+
+/// Table-size scaling with a per-dataset floor.
+fn scaled_size(paper_size: usize, scale: f64, floor: usize) -> usize {
+    (((paper_size as f64) * scale).round() as usize).max(floor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_specs_match_table_one() {
+        let expected = [
+            ("MNIST", 784, 10),
+            ("ISOLET", 617, 26),
+            ("UCIHAR", 561, 12),
+            ("PAMAP2", 54, 5),
+            ("DIABETES", 49, 3),
+        ];
+        for (ds, (name, n, k)) in PaperDataset::all().iter().zip(expected) {
+            let spec = ds.spec();
+            assert_eq!(spec.name, name);
+            assert_eq!(spec.feature_dim, n);
+            assert_eq!(spec.class_count, k);
+        }
+    }
+
+    #[test]
+    fn generate_scales_sizes() {
+        let data = PaperDataset::Pamap2
+            .generate(&SuiteConfig::at_scale(0.001))
+            .unwrap();
+        // 233_687 * 0.001 ≈ 234 train, 115 test.
+        assert_eq!(data.train.len(), 234);
+        assert_eq!(data.test.len(), 115);
+    }
+
+    #[test]
+    fn floor_keeps_tiny_scales_usable() {
+        let data = PaperDataset::Isolet
+            .generate(&SuiteConfig::at_scale(0.0001))
+            .unwrap();
+        // Floor = 26 classes * 10.
+        assert!(data.train.len() >= 260);
+        assert!(data.test.len() >= 260);
+    }
+
+    #[test]
+    fn features_are_normalized_to_unit_interval() {
+        let data = PaperDataset::Diabetes
+            .generate(&SuiteConfig::at_scale(0.002))
+            .unwrap();
+        for &v in data.train.features().as_slice() {
+            assert!((0.0..=1.0).contains(&v));
+        }
+        for &v in data.test.features().as_slice() {
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn train_and_test_share_the_manifold_but_not_samples() {
+        let data = PaperDataset::Diabetes
+            .generate(&SuiteConfig::at_scale(0.001))
+            .unwrap();
+        assert_ne!(
+            data.train.features().row(0),
+            data.test.features().row(0),
+            "train and test should be distinct draws"
+        );
+    }
+
+    #[test]
+    fn generation_is_reproducible() {
+        let cfg = SuiteConfig::at_scale(0.001);
+        let a = PaperDataset::Ucihar.generate(&cfg).unwrap();
+        let b = PaperDataset::Ucihar.generate(&cfg).unwrap();
+        assert_eq!(a.train.features().as_slice(), b.train.features().as_slice());
+        assert_eq!(a.train.labels(), b.train.labels());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(PaperDataset::Mnist.to_string(), "MNIST");
+    }
+}

@@ -1,0 +1,71 @@
+//! DIABETES-flavoured generator: 49 clinical features, 3 classes
+//! (hospital-readmission outcomes of diabetic patients [26]).
+//!
+//! The Strack et al. dataset is tabular: demographics, diagnoses,
+//! medication counts — a mix of one-hot categorical indicators and a few
+//! numeric columns, with weakly separated outcome classes (no readmission /
+//! < 30 days / ≥ 30 days).  The synthetic equivalent uses the smallest
+//! separation of the suite and a linear feature map (tabular data has no
+//! spatial/spectral structure to fold).
+
+use super::manifold::{ManifoldConfig, ManifoldGenerator, Nonlinearity, PostTransform};
+use crate::dataset::DatasetSpec;
+use crate::error::DatasetError;
+use disthd_linalg::RngSeed;
+
+/// Table I row for DIABETES.
+pub fn spec() -> DatasetSpec {
+    DatasetSpec {
+        name: "DIABETES".into(),
+        feature_dim: 49,
+        class_count: 3,
+        train_size: 66_000,
+        test_size: 34_000,
+        description: "Outcomes of Diabetic Patients [26]".into(),
+    }
+}
+
+/// Manifold configuration mirroring the DIABETES table geometry.
+pub fn config() -> ManifoldConfig {
+    ManifoldConfig {
+        feature_dim: 49,
+        class_count: 3,
+        latent_dim: 10,
+        clusters_per_class: 3,
+        class_separation: 1.6,
+        cluster_spread: 1.05,
+        noise_std: 0.12,
+        nonlinearity: Nonlinearity::None,
+        post: PostTransform::Identity,
+    }
+}
+
+/// Builds the DIABETES-like generator.
+///
+/// # Errors
+///
+/// Propagates [`DatasetError::InvalidConfig`] (unreachable for the fixed
+/// config; kept for API uniformity).
+pub fn generator(structure_seed: RngSeed) -> Result<ManifoldGenerator, DatasetError> {
+    ManifoldGenerator::new(config(), structure_seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_matches_table_one() {
+        let s = spec();
+        assert_eq!((s.feature_dim, s.class_count), (49, 3));
+        assert_eq!((s.train_size, s.test_size), (66_000, 34_000));
+    }
+
+    #[test]
+    fn three_classes_generated() {
+        let data = generator(RngSeed(12)).unwrap().generate(30, RngSeed(13)).unwrap();
+        assert_eq!(data.class_count(), 3);
+        assert_eq!(data.feature_dim(), 49);
+        assert!(data.class_histogram().iter().all(|&c| c == 10));
+    }
+}

@@ -1,0 +1,79 @@
+//! MNIST-flavoured generator: 784 sparse non-negative "pixel" features,
+//! 10 classes (handwritten-digit recognition [22]).
+//!
+//! Real MNIST rows are mostly-zero intensity images in `[0, 1]` where each
+//! digit class occupies a low-dimensional stroke manifold with substantial
+//! intra-class style variation.  The synthetic equivalent uses a 24-dim
+//! latent stroke space, 3 style clusters per digit, and the sparse
+//! non-negative post-transform to match the zero-heavy intensity histogram.
+
+use super::manifold::{ManifoldConfig, ManifoldGenerator, Nonlinearity, PostTransform};
+use crate::dataset::DatasetSpec;
+use crate::error::DatasetError;
+use disthd_linalg::RngSeed;
+
+/// Table I row for MNIST.
+pub fn spec() -> DatasetSpec {
+    DatasetSpec {
+        name: "MNIST".into(),
+        feature_dim: 784,
+        class_count: 10,
+        train_size: 60_000,
+        test_size: 10_000,
+        description: "Handwritten Recognition [22]".into(),
+    }
+}
+
+/// Manifold configuration mirroring MNIST geometry.
+pub fn config() -> ManifoldConfig {
+    ManifoldConfig {
+        feature_dim: 784,
+        class_count: 10,
+        latent_dim: 24,
+        clusters_per_class: 3,
+        class_separation: 2.0,
+        cluster_spread: 0.95,
+        noise_std: 0.05,
+        nonlinearity: Nonlinearity::Tanh,
+        post: PostTransform::SparseNonNegative { threshold: 0.55 },
+    }
+}
+
+/// Builds the MNIST-like generator.
+///
+/// # Errors
+///
+/// Propagates [`DatasetError::InvalidConfig`] (unreachable for the fixed
+/// config; kept for API uniformity).
+pub fn generator(structure_seed: RngSeed) -> Result<ManifoldGenerator, DatasetError> {
+    ManifoldGenerator::new(config(), structure_seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_matches_table_one() {
+        let s = spec();
+        assert_eq!((s.feature_dim, s.class_count), (784, 10));
+        assert_eq!((s.train_size, s.test_size), (60_000, 10_000));
+    }
+
+    #[test]
+    fn samples_look_like_pixel_data() {
+        let gen = generator(RngSeed(1)).unwrap();
+        let data = gen.generate(50, RngSeed(2)).unwrap();
+        let values = data.features().as_slice();
+        assert!(values.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        let zero_fraction = values.iter().filter(|&&v| v == 0.0).count() as f32 / values.len() as f32;
+        assert!(zero_fraction > 0.3, "MNIST-like data should be sparse: {zero_fraction}");
+    }
+
+    #[test]
+    fn ten_balanced_classes() {
+        let data = generator(RngSeed(1)).unwrap().generate(100, RngSeed(3)).unwrap();
+        assert_eq!(data.class_count(), 10);
+        assert!(data.class_histogram().iter().all(|&c| c == 10));
+    }
+}

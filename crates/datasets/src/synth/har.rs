@@ -1,0 +1,85 @@
+//! UCIHAR-flavoured generator: 561 smartphone-IMU statistical features,
+//! 12 classes (mobile activity recognition [23]).
+//!
+//! UCIHAR features are window statistics (means, deviations, band energies)
+//! of body-worn accelerometer/gyroscope signals.  Activities form smooth,
+//! partially overlapping manifolds (sitting vs standing are famously close)
+//! with per-subject sensor bias.  The synthetic equivalent uses a moderate
+//! latent dimension, two posture clusters per activity and the
+//! `SubjectBias` post-transform.
+
+use super::manifold::{ManifoldConfig, ManifoldGenerator, Nonlinearity, PostTransform};
+use crate::dataset::DatasetSpec;
+use crate::error::DatasetError;
+use disthd_linalg::RngSeed;
+
+/// Table I row for UCIHAR.
+pub fn spec() -> DatasetSpec {
+    DatasetSpec {
+        name: "UCIHAR".into(),
+        feature_dim: 561,
+        class_count: 12,
+        train_size: 6_213,
+        test_size: 1_554,
+        description: "Mobile Activity Recognition [23]".into(),
+    }
+}
+
+/// Manifold configuration mirroring UCIHAR geometry.
+pub fn config() -> ManifoldConfig {
+    ManifoldConfig {
+        feature_dim: 561,
+        class_count: 12,
+        latent_dim: 20,
+        clusters_per_class: 3,
+        class_separation: 1.5,
+        cluster_spread: 1.05,
+        noise_std: 0.12,
+        nonlinearity: Nonlinearity::Tanh,
+        post: PostTransform::SubjectBias { std_dev: 0.05 },
+    }
+}
+
+/// Builds the UCIHAR-like generator.
+///
+/// # Errors
+///
+/// Propagates [`DatasetError::InvalidConfig`] (unreachable for the fixed
+/// config; kept for API uniformity).
+pub fn generator(structure_seed: RngSeed) -> Result<ManifoldGenerator, DatasetError> {
+    ManifoldGenerator::new(config(), structure_seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_matches_table_one() {
+        let s = spec();
+        assert_eq!((s.feature_dim, s.class_count), (561, 12));
+        assert_eq!((s.train_size, s.test_size), (6_213, 1_554));
+    }
+
+    #[test]
+    fn twelve_classes_generated() {
+        let data = generator(RngSeed(4)).unwrap().generate(120, RngSeed(5)).unwrap();
+        assert_eq!(data.class_count(), 12);
+        assert_eq!(data.feature_dim(), 561);
+        assert!(data.class_histogram().iter().all(|&c| c == 10));
+    }
+
+    #[test]
+    fn subject_bias_shifts_whole_rows() {
+        // With SubjectBias the per-row mean varies more than per-feature
+        // noise alone would allow.
+        let data = generator(RngSeed(4)).unwrap().generate(60, RngSeed(6)).unwrap();
+        let row_means: Vec<f32> = data
+            .features()
+            .iter_rows()
+            .map(|r| r.iter().sum::<f32>() / r.len() as f32)
+            .collect();
+        let spread = disthd_linalg::standard_deviation(&row_means);
+        assert!(spread > 0.0, "row means should vary");
+    }
+}

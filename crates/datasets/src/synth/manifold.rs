@@ -1,0 +1,364 @@
+use crate::dataset::Dataset;
+use crate::error::DatasetError;
+use disthd_linalg::{Gaussian, Matrix, RngSeed, SeededRng, Uniform};
+
+/// Element-wise nonlinearity applied after the latent-to-feature projection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Nonlinearity {
+    /// Identity (linearly separable manifolds).
+    None,
+    /// `tanh` squashing (smooth bounded manifolds).
+    Tanh,
+    /// `sin` folding (periodic, strongly non-linear class boundaries).
+    Sin,
+}
+
+impl Nonlinearity {
+    fn apply(self, x: f32) -> f32 {
+        match self {
+            Nonlinearity::None => x,
+            Nonlinearity::Tanh => x.tanh(),
+            Nonlinearity::Sin => x.sin(),
+        }
+    }
+}
+
+/// Domain-flavoured post-processing applied to each finished feature row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PostTransform {
+    /// Leave features as produced by the manifold.
+    Identity,
+    /// Shift/scale into `[0, 1]` and zero everything below `threshold` —
+    /// produces sparse non-negative "pixel intensity" rows (digits).
+    SparseNonNegative {
+        /// Values (after mapping to `[0,1]`) below this become exactly zero.
+        threshold: f32,
+    },
+    /// Smooth each row with a 3-tap moving average — produces the band-to-
+    /// band correlation of spectral features (ISOLET).
+    Smooth,
+    /// Mix in a per-row offset drawn once per sample — models per-subject
+    /// sensor bias (HAR/PAMAP IMU data).
+    SubjectBias {
+        /// Standard deviation of the per-sample offset.
+        std_dev: f32,
+    },
+}
+
+/// Configuration of a class-conditional manifold-mixture generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ManifoldConfig {
+    /// Output feature dimensionality `n`.
+    pub feature_dim: usize,
+    /// Number of classes `k`.
+    pub class_count: usize,
+    /// Latent-space dimensionality (intrinsic manifold dimension).
+    pub latent_dim: usize,
+    /// Gaussian clusters per class (intra-class multimodality).
+    pub clusters_per_class: usize,
+    /// Distance scale between class prototypes in latent space.  Larger is
+    /// easier; the suite tunes this so model ordering matches the paper.
+    pub class_separation: f32,
+    /// Standard deviation of latent points around their cluster centre.
+    pub cluster_spread: f32,
+    /// Observation noise added per feature.
+    pub noise_std: f32,
+    /// Nonlinearity of the latent-to-feature map.
+    pub nonlinearity: Nonlinearity,
+    /// Domain post-processing.
+    pub post: PostTransform,
+}
+
+impl ManifoldConfig {
+    /// A reasonable mid-difficulty default for `feature_dim` features and
+    /// `class_count` classes.
+    pub fn new(feature_dim: usize, class_count: usize) -> Self {
+        Self {
+            feature_dim,
+            class_count,
+            latent_dim: 16,
+            clusters_per_class: 2,
+            class_separation: 3.0,
+            cluster_spread: 0.9,
+            noise_std: 0.08,
+            nonlinearity: Nonlinearity::Tanh,
+            post: PostTransform::Identity,
+        }
+    }
+
+    fn validate(&self) -> Result<(), DatasetError> {
+        if self.feature_dim == 0 {
+            return Err(DatasetError::InvalidConfig("feature_dim must be > 0".into()));
+        }
+        if self.class_count == 0 {
+            return Err(DatasetError::InvalidConfig("class_count must be > 0".into()));
+        }
+        if self.latent_dim == 0 {
+            return Err(DatasetError::InvalidConfig("latent_dim must be > 0".into()));
+        }
+        if self.clusters_per_class == 0 {
+            return Err(DatasetError::InvalidConfig(
+                "clusters_per_class must be > 0".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Seeded class-conditional nonlinear manifold-mixture generator.
+///
+/// Each class `c` owns `clusters_per_class` latent cluster centres placed at
+/// `class_separation`-scaled random directions; a sample draws a latent point
+/// near one centre, maps it through a fixed random projection plus
+/// [`Nonlinearity`], adds observation noise and applies the domain
+/// [`PostTransform`].
+///
+/// # Example
+///
+/// ```
+/// use disthd_datasets::synth::{ManifoldConfig, ManifoldGenerator};
+/// use disthd_linalg::RngSeed;
+///
+/// let gen = ManifoldGenerator::new(ManifoldConfig::new(32, 4), RngSeed(1))?;
+/// let data = gen.generate(200, RngSeed(2))?;
+/// assert_eq!(data.len(), 200);
+/// assert_eq!(data.feature_dim(), 32);
+/// // Balanced classes:
+/// assert!(data.class_histogram().iter().all(|&c| c == 50));
+/// # Ok::<(), disthd_datasets::DatasetError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ManifoldGenerator {
+    config: ManifoldConfig,
+    /// `latent_dim x feature_dim` projection, shared by all classes.
+    projection: Matrix,
+    /// Per-feature bias.
+    bias: Vec<f32>,
+    /// `class_count * clusters_per_class` latent centres, row-major.
+    centres: Matrix,
+}
+
+impl ManifoldGenerator {
+    /// Builds the generator's fixed structure (projection, centres) from a
+    /// structure seed.  Sampling uses a *separate* seed (see
+    /// [`Self::generate`]) so train/test draws share the same manifold.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::InvalidConfig`] for degenerate configs.
+    pub fn new(config: ManifoldConfig, structure_seed: RngSeed) -> Result<Self, DatasetError> {
+        config.validate()?;
+        let mut rng = SeededRng::derive_stream(structure_seed, 0x5EED);
+        let gaussian = Gaussian::standard();
+        let projection = Matrix::from_fn(config.latent_dim, config.feature_dim, |_, _| {
+            gaussian.sample(&mut rng) / (config.latent_dim as f32).sqrt()
+        });
+        let bias = Uniform::new(-0.5, 0.5).sample_vec(&mut rng, config.feature_dim);
+        let centre_count = config.class_count * config.clusters_per_class;
+        let centres = Matrix::from_fn(centre_count, config.latent_dim, |_, _| {
+            gaussian.sample(&mut rng) * config.class_separation
+        });
+        Ok(Self {
+            config,
+            projection,
+            bias,
+            centres,
+        })
+    }
+
+    /// Borrows the config.
+    pub fn config(&self) -> &ManifoldConfig {
+        &self.config
+    }
+
+    /// Draws one sample of class `class`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class >= class_count`.
+    pub fn sample(&self, class: usize, rng: &mut SeededRng) -> Vec<f32> {
+        assert!(class < self.config.class_count, "class out of range");
+        let cluster = rng.next_index(self.config.clusters_per_class);
+        let centre = self
+            .centres
+            .row(class * self.config.clusters_per_class + cluster);
+
+        // Latent point near the chosen centre.
+        let spread = Gaussian::new(0.0, self.config.cluster_spread);
+        let latent: Vec<f32> = centre.iter().map(|&c| c + spread.sample(rng)).collect();
+
+        // Project, squash, add observation noise.
+        let noise = Gaussian::new(0.0, self.config.noise_std);
+        let mut features = vec![0.0f32; self.config.feature_dim];
+        for (k, &z) in latent.iter().enumerate() {
+            disthd_linalg::axpy(z, self.projection.row(k), &mut features);
+        }
+        for (f, &b) in features.iter_mut().zip(self.bias.iter()) {
+            *f = self.config.nonlinearity.apply(*f + b) + noise.sample(rng);
+        }
+        self.apply_post(&mut features, rng);
+        features
+    }
+
+    fn apply_post(&self, features: &mut [f32], rng: &mut SeededRng) {
+        match self.config.post {
+            PostTransform::Identity => {}
+            PostTransform::SparseNonNegative { threshold } => {
+                for f in features.iter_mut() {
+                    // Map [-1, 1]-ish values into [0, 1] and cut the floor.
+                    let v = (*f + 1.0) / 2.0;
+                    *f = if v < threshold { 0.0 } else { v.min(1.0) };
+                }
+            }
+            PostTransform::Smooth => {
+                let src = features.to_vec();
+                let n = src.len();
+                for i in 0..n {
+                    let prev = src[i.saturating_sub(1)];
+                    let next = src[(i + 1).min(n - 1)];
+                    features[i] = (prev + src[i] + next) / 3.0;
+                }
+            }
+            PostTransform::SubjectBias { std_dev } => {
+                let bias = Gaussian::new(0.0, std_dev).sample(rng);
+                for f in features.iter_mut() {
+                    *f += bias;
+                }
+            }
+        }
+    }
+
+    /// Generates a balanced dataset of `total` samples (the remainder after
+    /// division by `class_count` goes to the lowest-index classes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::InvalidConfig`] if `total == 0`.
+    pub fn generate(&self, total: usize, sample_seed: RngSeed) -> Result<Dataset, DatasetError> {
+        if total == 0 {
+            return Err(DatasetError::InvalidConfig("cannot generate 0 samples".into()));
+        }
+        let k = self.config.class_count;
+        let mut rng = SeededRng::derive_stream(sample_seed, 0xDA7A);
+        let mut features = Matrix::zeros(total, self.config.feature_dim);
+        let mut labels = Vec::with_capacity(total);
+        for i in 0..total {
+            let class = i % k;
+            let row = self.sample(class, &mut rng);
+            features.row_mut(i).copy_from_slice(&row);
+            labels.push(class);
+        }
+        let mut data = Dataset::new(features, labels, k)?;
+        // Shuffle so mini-batches are class-mixed.
+        let mut shuffle_rng = SeededRng::derive_stream(sample_seed, 0x5AFF);
+        data = data.shuffled(&mut shuffle_rng);
+        Ok(data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disthd_linalg::cosine_similarity;
+
+    fn generator() -> ManifoldGenerator {
+        ManifoldGenerator::new(ManifoldConfig::new(64, 3), RngSeed(77)).unwrap()
+    }
+
+    #[test]
+    fn validates_config() {
+        let mut cfg = ManifoldConfig::new(0, 3);
+        assert!(ManifoldGenerator::new(cfg.clone(), RngSeed(1)).is_err());
+        cfg.feature_dim = 8;
+        cfg.class_count = 0;
+        assert!(ManifoldGenerator::new(cfg.clone(), RngSeed(1)).is_err());
+        cfg.class_count = 2;
+        cfg.clusters_per_class = 0;
+        assert!(ManifoldGenerator::new(cfg, RngSeed(1)).is_err());
+    }
+
+    #[test]
+    fn generate_produces_balanced_classes() {
+        let data = generator().generate(90, RngSeed(1)).unwrap();
+        assert_eq!(data.class_histogram(), vec![30, 30, 30]);
+    }
+
+    #[test]
+    fn generate_is_deterministic() {
+        let a = generator().generate(30, RngSeed(5)).unwrap();
+        let b = generator().generate(30, RngSeed(5)).unwrap();
+        assert_eq!(a.features().as_slice(), b.features().as_slice());
+        assert_eq!(a.labels(), b.labels());
+    }
+
+    #[test]
+    fn different_sample_seeds_differ_on_same_manifold() {
+        let gen = generator();
+        let a = gen.generate(30, RngSeed(5)).unwrap();
+        let b = gen.generate(30, RngSeed(6)).unwrap();
+        assert_ne!(a.features().as_slice(), b.features().as_slice());
+    }
+
+    #[test]
+    fn same_class_samples_are_more_similar_than_cross_class() {
+        let gen = generator();
+        let mut rng = SeededRng::new(RngSeed(9));
+        let mut within = 0.0;
+        let mut across = 0.0;
+        let trials = 50;
+        for _ in 0..trials {
+            let a = gen.sample(0, &mut rng);
+            let b = gen.sample(0, &mut rng);
+            let c = gen.sample(1, &mut rng);
+            within += cosine_similarity(&a, &b);
+            across += cosine_similarity(&a, &c);
+        }
+        assert!(
+            within / trials as f32 > across / trials as f32 + 0.1,
+            "within {within} vs across {across}"
+        );
+    }
+
+    #[test]
+    fn sparse_post_transform_produces_zeros_and_unit_range() {
+        let mut cfg = ManifoldConfig::new(128, 2);
+        cfg.post = PostTransform::SparseNonNegative { threshold: 0.45 };
+        let gen = ManifoldGenerator::new(cfg, RngSeed(3)).unwrap();
+        let data = gen.generate(20, RngSeed(4)).unwrap();
+        let values = data.features().as_slice();
+        let zeros = values.iter().filter(|&&v| v == 0.0).count();
+        assert!(zeros > values.len() / 10, "expected sparsity, zeros={zeros}");
+        assert!(values.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn smooth_post_transform_reduces_roughness() {
+        let mut cfg = ManifoldConfig::new(64, 2);
+        cfg.noise_std = 0.5;
+        let base = ManifoldGenerator::new(cfg.clone(), RngSeed(3)).unwrap();
+        cfg.post = PostTransform::Smooth;
+        let smooth = ManifoldGenerator::new(cfg, RngSeed(3)).unwrap();
+        let roughness = |d: &Dataset| {
+            d.features()
+                .iter_rows()
+                .map(|r| r.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f32>())
+                .sum::<f32>()
+        };
+        let a = roughness(&base.generate(20, RngSeed(5)).unwrap());
+        let b = roughness(&smooth.generate(20, RngSeed(5)).unwrap());
+        assert!(b < a, "smoothed roughness {b} should be < raw {a}");
+    }
+
+    #[test]
+    fn zero_total_is_rejected() {
+        assert!(generator().generate(0, RngSeed(1)).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "class out of range")]
+    fn sample_rejects_bad_class() {
+        let gen = generator();
+        let mut rng = SeededRng::new(RngSeed(1));
+        gen.sample(99, &mut rng);
+    }
+}

@@ -1,0 +1,23 @@
+//! Synthetic dataset generators.
+//!
+//! The workhorse is [`ManifoldGenerator`]: a seeded class-conditional
+//! nonlinear manifold-mixture generator that controls exactly the geometry
+//! HDC learning depends on (class separation, intra-class multimodality,
+//! observation noise, nonlinearity).  The five domain modules configure it
+//! with Table I shapes and add domain-flavoured post-processing:
+//!
+//! * [`digits`] — MNIST-like sparse non-negative "pixel" data (784 × 10);
+//! * [`har`] — UCIHAR-like smartphone activity features (561 × 12);
+//! * [`isolet`] — ISOLET-like spoken-letter spectral features (617 × 26);
+//! * [`pamap`] — PAMAP2-like IMU activity features (54 × 5);
+//! * [`diabetes`] — DIABETES-like clinical/tabular features (49 × 3).
+
+pub mod diabetes;
+pub mod digits;
+pub mod har;
+pub mod isolet;
+pub mod pamap;
+
+mod manifold;
+
+pub use manifold::{ManifoldConfig, ManifoldGenerator, Nonlinearity, PostTransform};

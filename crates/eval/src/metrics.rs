@@ -1,0 +1,243 @@
+//! Classification metrics.
+
+/// Fraction of positions where `predicted == actual`.
+///
+/// Returns `0.0` for empty inputs.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn accuracy(predicted: &[usize], actual: &[usize]) -> f64 {
+    assert_eq!(predicted.len(), actual.len(), "length mismatch");
+    if predicted.is_empty() {
+        return 0.0;
+    }
+    let correct = predicted.iter().zip(actual).filter(|(p, a)| p == a).count();
+    correct as f64 / predicted.len() as f64
+}
+
+/// A `k x k` confusion matrix: `counts[actual][predicted]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    counts: Vec<Vec<usize>>,
+}
+
+impl ConfusionMatrix {
+    /// Number of classes.
+    pub fn class_count(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Count of samples with true class `actual` predicted as `predicted`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn count(&self, actual: usize, predicted: usize) -> usize {
+        self.counts[actual][predicted]
+    }
+
+    /// Total samples recorded.
+    pub fn total(&self) -> usize {
+        self.counts.iter().map(|row| row.iter().sum::<usize>()).sum()
+    }
+
+    /// Overall accuracy (trace / total).
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let diag: usize = (0..self.class_count()).map(|i| self.counts[i][i]).sum();
+        diag as f64 / total as f64
+    }
+}
+
+/// Builds a confusion matrix from prediction/label pairs.
+///
+/// # Panics
+///
+/// Panics if lengths differ or a label/prediction is `>= class_count`.
+pub fn confusion_matrix(predicted: &[usize], actual: &[usize], class_count: usize) -> ConfusionMatrix {
+    assert_eq!(predicted.len(), actual.len(), "length mismatch");
+    let mut counts = vec![vec![0usize; class_count]; class_count];
+    for (&p, &a) in predicted.iter().zip(actual) {
+        assert!(p < class_count && a < class_count, "class index out of range");
+        counts[a][p] += 1;
+    }
+    ConfusionMatrix { counts }
+}
+
+/// One-vs-rest rates for a single class (§III-C definitions).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassRates {
+    /// `TP / (TP + FN)` — sensitivity / recall / TPR (`1 − FNR`).
+    pub sensitivity: f64,
+    /// `TN / (TN + FP)` — specificity (`1 − FPR`).
+    pub specificity: f64,
+    /// `TP / (TP + FP)` — precision (0 when the class is never predicted).
+    pub precision: f64,
+}
+
+/// Per-class one-vs-rest sensitivity/specificity/precision.
+pub fn per_class_rates(cm: &ConfusionMatrix) -> Vec<ClassRates> {
+    let k = cm.class_count();
+    let total = cm.total();
+    (0..k)
+        .map(|c| {
+            let tp = cm.count(c, c);
+            let fn_: usize = (0..k).filter(|&p| p != c).map(|p| cm.count(c, p)).sum();
+            let fp: usize = (0..k).filter(|&a| a != c).map(|a| cm.count(a, c)).sum();
+            let tn = total - tp - fn_ - fp;
+            ClassRates {
+                sensitivity: ratio(tp, tp + fn_),
+                specificity: ratio(tn, tn + fp),
+                precision: ratio(tp, tp + fp),
+            }
+        })
+        .collect()
+}
+
+/// Macro-averaged F1 score: the unweighted mean over classes of
+/// `2·P·R / (P + R)` (classes with zero precision+recall contribute 0).
+///
+/// Preferred over plain accuracy when class sizes are imbalanced, e.g. the
+/// DIABETES outcome classes.
+pub fn macro_f1(cm: &ConfusionMatrix) -> f64 {
+    let rates = per_class_rates(cm);
+    if rates.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = rates
+        .iter()
+        .map(|r| {
+            let denom = r.precision + r.sensitivity;
+            if denom > 0.0 {
+                2.0 * r.precision * r.sensitivity / denom
+            } else {
+                0.0
+            }
+        })
+        .sum();
+    sum / rates.len() as f64
+}
+
+/// Balanced accuracy: the unweighted mean of per-class sensitivities
+/// (recall), insensitive to class imbalance.
+pub fn balanced_accuracy(cm: &ConfusionMatrix) -> f64 {
+    let rates = per_class_rates(cm);
+    if rates.is_empty() {
+        return 0.0;
+    }
+    rates.iter().map(|r| r.sensitivity).sum::<f64>() / rates.len() as f64
+}
+
+fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basic() {
+        assert!((accuracy(&[0, 1, 1], &[0, 1, 0]) - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn accuracy_length_checked() {
+        accuracy(&[0], &[0, 1]);
+    }
+
+    #[test]
+    fn confusion_matrix_counts() {
+        let cm = confusion_matrix(&[0, 1, 1, 0], &[0, 1, 0, 0], 2);
+        assert_eq!(cm.count(0, 0), 2); // two true 0s predicted 0
+        assert_eq!(cm.count(0, 1), 1); // one true 0 predicted 1
+        assert_eq!(cm.count(1, 1), 1);
+        assert_eq!(cm.total(), 4);
+        assert!((cm.accuracy() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn perfect_predictions_have_unit_rates() {
+        let cm = confusion_matrix(&[0, 1, 2], &[0, 1, 2], 3);
+        for rates in per_class_rates(&cm) {
+            assert_eq!(rates.sensitivity, 1.0);
+            assert_eq!(rates.specificity, 1.0);
+            assert_eq!(rates.precision, 1.0);
+        }
+    }
+
+    #[test]
+    fn rates_match_hand_computation() {
+        // actual:    [0, 0, 1, 1]
+        // predicted: [0, 1, 1, 1]
+        let cm = confusion_matrix(&[0, 1, 1, 1], &[0, 0, 1, 1], 2);
+        let rates = per_class_rates(&cm);
+        // Class 0: TP=1, FN=1, FP=0, TN=2.
+        assert!((rates[0].sensitivity - 0.5).abs() < 1e-9);
+        assert!((rates[0].specificity - 1.0).abs() < 1e-9);
+        // Class 1: TP=2, FN=0, FP=1, TN=1.
+        assert!((rates[1].sensitivity - 1.0).abs() < 1e-9);
+        assert!((rates[1].specificity - 0.5).abs() < 1e-9);
+        assert!((rates[1].precision - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn never_predicted_class_has_zero_precision() {
+        let cm = confusion_matrix(&[0, 0], &[0, 1], 2);
+        let rates = per_class_rates(&cm);
+        assert_eq!(rates[1].precision, 0.0);
+        assert_eq!(rates[1].sensitivity, 0.0);
+    }
+
+    #[test]
+    fn empty_matrix_accuracy_is_zero() {
+        let cm = confusion_matrix(&[], &[], 3);
+        assert_eq!(cm.accuracy(), 0.0);
+    }
+
+    #[test]
+    fn macro_f1_is_one_for_perfect_predictions() {
+        let cm = confusion_matrix(&[0, 1, 2], &[0, 1, 2], 3);
+        assert!((macro_f1(&cm) - 1.0).abs() < 1e-12);
+        assert!((balanced_accuracy(&cm) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn macro_f1_matches_hand_computation() {
+        // actual [0,0,1,1], predicted [0,1,1,1]:
+        // class 0: P=1, R=0.5 -> F1 = 2/3; class 1: P=2/3, R=1 -> F1 = 0.8.
+        let cm = confusion_matrix(&[0, 1, 1, 1], &[0, 0, 1, 1], 2);
+        assert!((macro_f1(&cm) - (2.0 / 3.0 + 0.8) / 2.0).abs() < 1e-12);
+        assert!((balanced_accuracy(&cm) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balanced_accuracy_ignores_class_imbalance() {
+        // 9 of class 0 all correct, 1 of class 1 wrong: plain accuracy 0.9,
+        // balanced accuracy (1.0 + 0.0) / 2 = 0.5.
+        let predicted = vec![0usize; 10];
+        let mut actual = vec![0usize; 9];
+        actual.push(1);
+        let cm = confusion_matrix(&predicted, &actual, 2);
+        assert!((cm.accuracy() - 0.9).abs() < 1e-12);
+        assert!((balanced_accuracy(&cm) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_class_gets_zero_f1_without_nan() {
+        let cm = confusion_matrix(&[0, 0], &[0, 1], 2);
+        let f1 = macro_f1(&cm);
+        assert!(f1.is_finite());
+        assert!(f1 < 1.0);
+    }
+}

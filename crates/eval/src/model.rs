@@ -1,0 +1,220 @@
+//! The shared model-facing API: the [`Classifier`] trait every learner in
+//! the workspace implements, per-epoch [`TrainingHistory`] (the raw
+//! material of Fig. 2(b) and Fig. 7), and the common [`ModelError`] type.
+
+use disthd_datasets::Dataset;
+use std::error::Error;
+use std::fmt;
+use std::time::Duration;
+
+/// Errors produced by model training or inference.
+#[derive(Debug)]
+pub enum ModelError {
+    /// Input shape disagreed with the model configuration.
+    Shape(disthd_linalg::ShapeError),
+    /// The dataset disagreed with the model (class count, feature count).
+    Incompatible(String),
+    /// The model was queried before being trained.
+    NotFitted,
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::Shape(e) => write!(f, "shape error: {e}"),
+            ModelError::Incompatible(msg) => write!(f, "incompatible input: {msg}"),
+            ModelError::NotFitted => write!(f, "model has not been fitted"),
+        }
+    }
+}
+
+impl Error for ModelError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ModelError::Shape(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<disthd_linalg::ShapeError> for ModelError {
+    fn from(e: disthd_linalg::ShapeError) -> Self {
+        ModelError::Shape(e)
+    }
+}
+
+/// One row of a training history.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochRecord {
+    /// Zero-based epoch index.
+    pub epoch: usize,
+    /// Accuracy on the training set during/after this epoch.
+    pub train_accuracy: f64,
+    /// Accuracy on the held-out set, if one was supplied to `fit`.
+    pub eval_accuracy: Option<f64>,
+    /// Wall-clock time this epoch took.
+    pub elapsed: Duration,
+}
+
+/// Per-epoch training trace — the raw material of Fig. 2(b) and Fig. 7.
+#[derive(Debug, Clone, Default)]
+pub struct TrainingHistory {
+    records: Vec<EpochRecord>,
+}
+
+impl TrainingHistory {
+    /// Creates an empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an epoch record.
+    pub fn push(&mut self, record: EpochRecord) {
+        self.records.push(record);
+    }
+
+    /// All records in order.
+    pub fn records(&self) -> &[EpochRecord] {
+        &self.records
+    }
+
+    /// Number of epochs run.
+    pub fn epochs(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Total wall-clock training time.
+    pub fn total_time(&self) -> Duration {
+        self.records.iter().map(|r| r.elapsed).sum()
+    }
+
+    /// Final training accuracy (0.0 if no epochs ran).
+    pub fn final_train_accuracy(&self) -> f64 {
+        self.records.last().map_or(0.0, |r| r.train_accuracy)
+    }
+
+    /// Best held-out accuracy seen, if eval data was supplied.
+    pub fn best_eval_accuracy(&self) -> Option<f64> {
+        self.records
+            .iter()
+            .filter_map(|r| r.eval_accuracy)
+            .fold(None, |best, a| Some(best.map_or(a, |b: f64| b.max(a))))
+    }
+
+    /// First epoch whose train accuracy reached `threshold`, if any —
+    /// the "iterations to convergence" measure of Fig. 7.
+    pub fn epochs_to_reach(&self, threshold: f64) -> Option<usize> {
+        self.records
+            .iter()
+            .position(|r| r.train_accuracy >= threshold)
+    }
+}
+
+/// A trainable multi-class classifier over [`Dataset`]s.
+///
+/// `fit` may be called repeatedly (models re-initialize or continue per
+/// their own semantics); `predict_one` takes `&mut self` because HDC models
+/// maintain a lazily refreshed normalized-similarity cache.
+pub trait Classifier {
+    /// Trains on `train`; if `eval` is given, records held-out accuracy per
+    /// epoch in the returned history.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Incompatible`] if the dataset shape disagrees
+    /// with the model configuration.
+    fn fit(&mut self, train: &Dataset, eval: Option<&Dataset>) -> Result<TrainingHistory, ModelError>;
+
+    /// Predicts the class of one feature vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::NotFitted`] before `fit`, or
+    /// [`ModelError::Shape`] for a wrong-length input.
+    fn predict_one(&mut self, features: &[f32]) -> Result<usize, ModelError>;
+
+    /// Predicts every sample of `data`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Self::predict_one`] errors.
+    fn predict(&mut self, data: &Dataset) -> Result<Vec<usize>, ModelError> {
+        (0..data.len()).map(|i| self.predict_one(data.sample(i))).collect()
+    }
+
+    /// Fraction of correctly classified samples of `data`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Self::predict_one`] errors.
+    fn accuracy(&mut self, data: &Dataset) -> Result<f64, ModelError> {
+        if data.is_empty() {
+            return Ok(0.0);
+        }
+        let predictions = self.predict(data)?;
+        let correct = predictions
+            .iter()
+            .zip(data.labels())
+            .filter(|(p, l)| p == l)
+            .count();
+        Ok(correct as f64 / data.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(epoch: usize, acc: f64) -> EpochRecord {
+        EpochRecord {
+            epoch,
+            train_accuracy: acc,
+            eval_accuracy: Some(acc - 0.05),
+            elapsed: Duration::from_millis(10),
+        }
+    }
+
+    #[test]
+    fn history_accumulates() {
+        let mut h = TrainingHistory::new();
+        h.push(record(0, 0.6));
+        h.push(record(1, 0.9));
+        assert_eq!(h.epochs(), 2);
+        assert!((h.final_train_accuracy() - 0.9).abs() < 1e-9);
+        assert_eq!(h.total_time(), Duration::from_millis(20));
+    }
+
+    #[test]
+    fn best_eval_accuracy_tracks_max() {
+        let mut h = TrainingHistory::new();
+        h.push(record(0, 0.7));
+        h.push(record(1, 0.95));
+        h.push(record(2, 0.8));
+        assert!((h.best_eval_accuracy().unwrap() - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn epochs_to_reach_finds_first_crossing() {
+        let mut h = TrainingHistory::new();
+        h.push(record(0, 0.5));
+        h.push(record(1, 0.85));
+        h.push(record(2, 0.9));
+        assert_eq!(h.epochs_to_reach(0.8), Some(1));
+        assert_eq!(h.epochs_to_reach(0.99), None);
+    }
+
+    #[test]
+    fn empty_history_defaults() {
+        let h = TrainingHistory::new();
+        assert_eq!(h.final_train_accuracy(), 0.0);
+        assert_eq!(h.best_eval_accuracy(), None);
+        assert_eq!(h.epochs(), 0);
+    }
+
+    #[test]
+    fn model_error_display() {
+        assert!(ModelError::NotFitted.to_string().contains("not been fitted"));
+        let e = ModelError::Incompatible("bad".into());
+        assert!(e.to_string().contains("bad"));
+    }
+}

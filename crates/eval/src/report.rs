@@ -1,0 +1,140 @@
+//! Fixed-width text tables for the experiment binaries.
+//!
+//! Each experiment binary prints the rows/series its paper figure reports;
+//! this module keeps the formatting in one place.
+
+/// A simple fixed-width table builder.
+///
+/// # Example
+///
+/// ```
+/// use disthd_eval::report::Table;
+///
+/// let mut table = Table::new(vec!["model".into(), "accuracy".into()]);
+/// table.add_row(vec!["DistHD".into(), "94.1%".into()]);
+/// let text = table.render();
+/// assert!(text.contains("DistHD"));
+/// assert!(text.contains("accuracy"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: Vec<String>) -> Self {
+        Self {
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a data row (shorter rows are padded with empty cells; longer
+    /// rows are truncated to the header width).
+    pub fn add_row(&mut self, mut cells: Vec<String>) {
+        cells.resize(self.headers.len(), String::new());
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table with aligned columns and a header separator.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (c, cell) in cells.iter().enumerate() {
+                line.push_str(&format!("{:<width$}", cell, width = widths[c]));
+                if c + 1 < cells.len() {
+                    line.push_str("  ");
+                }
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&render_row(&self.headers, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats an accuracy fraction as `"93.42%"`.
+pub fn percent(fraction: f64) -> String {
+    format!("{:.2}%", fraction * 100.0)
+}
+
+/// Formats a duration in seconds with adaptive precision.
+pub fn seconds(s: f64) -> String {
+    if s >= 100.0 {
+        format!("{s:.0}s")
+    } else if s >= 1.0 {
+        format!("{s:.2}s")
+    } else {
+        format!("{:.2}ms", s * 1000.0)
+    }
+}
+
+/// Formats a speedup/ratio as `"5.97x"`.
+pub fn ratio(r: f64) -> String {
+    format!("{r:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new(vec!["a".into(), "long_header".into()]);
+        t.add_row(vec!["wide_cell_here".into(), "x".into()]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        // Second column should start at the same offset in header and row.
+        let header_offset = lines[0].find("long_header").unwrap();
+        let row_offset = lines[2].find('x').unwrap();
+        assert_eq!(header_offset, row_offset);
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = Table::new(vec!["a".into(), "b".into(), "c".into()]);
+        t.add_row(vec!["1".into()]);
+        assert_eq!(t.row_count(), 1);
+        assert!(t.render().lines().count() == 3);
+    }
+
+    #[test]
+    fn long_rows_are_truncated() {
+        let mut t = Table::new(vec!["a".into()]);
+        t.add_row(vec!["1".into(), "overflow".into()]);
+        assert!(!t.render().contains("overflow"));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(percent(0.9342), "93.42%");
+        assert_eq!(ratio(5.974), "5.97x");
+        assert_eq!(seconds(0.0123), "12.30ms");
+        assert_eq!(seconds(3.456), "3.46s");
+        assert_eq!(seconds(250.0), "250s");
+    }
+}

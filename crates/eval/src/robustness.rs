@@ -1,0 +1,239 @@
+//! Bit-flip robustness campaigns (Fig. 8).
+//!
+//! A campaign takes a *clean accuracy*, then for each `(bit width, error
+//! rate)` cell: quantize the model memory, flip random bits, dequantize,
+//! re-evaluate, and report the **quality loss** (clean − faulted accuracy),
+//! averaged over several fault seeds.  The model interaction is abstracted
+//! behind a closure so the same driver serves DistHD class matrices and
+//! MLP weight stacks.
+
+use disthd_hd::noise::flip_random_bits;
+use disthd_hd::quantize::{BitWidth, QuantizedMatrix};
+use disthd_linalg::{Matrix, RngSeed, SeededRng};
+
+/// Accuracy degradation for one `(width, rate)` cell of Fig. 8.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualityLoss {
+    /// Quantization precision of the stored model.
+    pub width: BitWidth,
+    /// Fraction of memory bits flipped.
+    pub error_rate: f64,
+    /// Clean (fault-free) accuracy at this precision.
+    pub clean_accuracy: f64,
+    /// Mean accuracy across fault trials.
+    pub faulted_accuracy: f64,
+}
+
+impl QualityLoss {
+    /// `clean − faulted` accuracy, floored at zero (the paper reports loss
+    /// percentages).
+    pub fn loss(&self) -> f64 {
+        (self.clean_accuracy - self.faulted_accuracy).max(0.0)
+    }
+}
+
+/// One sweep point request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RobustnessPoint {
+    /// Quantization width to store the model at.
+    pub width: BitWidth,
+    /// Bit-flip rate to inject.
+    pub error_rate: f64,
+}
+
+/// Runs a fault campaign on a model stored as a single matrix.
+///
+/// `evaluate` receives a (possibly faulted) dequantized matrix and returns
+/// accuracy on the evaluation set.  For each requested point the campaign
+/// runs `trials` independent fault injections and averages.
+///
+/// The paper's Fig. 8 error rates: 1%, 2%, 5%, 10%, 15%.
+pub fn matrix_fault_campaign<F>(
+    model: &Matrix,
+    points: &[RobustnessPoint],
+    trials: usize,
+    seed: RngSeed,
+    mut evaluate: F,
+) -> Vec<QualityLoss>
+where
+    F: FnMut(&Matrix) -> f64,
+{
+    points
+        .iter()
+        .enumerate()
+        .map(|(pi, point)| {
+            let quantized = QuantizedMatrix::quantize(model, point.width);
+            let clean_accuracy = evaluate(&quantized.dequantize());
+            let mut sum = 0.0;
+            for trial in 0..trials.max(1) {
+                let mut faulted = quantized.clone();
+                let mut rng =
+                    SeededRng::derive_stream(seed, (pi as u64) << 32 | trial as u64);
+                flip_random_bits(&mut faulted, point.error_rate, &mut rng);
+                sum += evaluate(&faulted.dequantize());
+            }
+            QualityLoss {
+                width: point.width,
+                error_rate: point.error_rate,
+                clean_accuracy,
+                faulted_accuracy: sum / trials.max(1) as f64,
+            }
+        })
+        .collect()
+}
+
+/// Runs a fault campaign on a model stored as several matrices (e.g. the
+/// per-layer weights of an MLP), faulting all of them per trial.
+///
+/// `evaluate` receives the full set of faulted matrices.
+pub fn multi_matrix_fault_campaign<F>(
+    matrices: &[Matrix],
+    points: &[RobustnessPoint],
+    trials: usize,
+    seed: RngSeed,
+    mut evaluate: F,
+) -> Vec<QualityLoss>
+where
+    F: FnMut(&[Matrix]) -> f64,
+{
+    points
+        .iter()
+        .enumerate()
+        .map(|(pi, point)| {
+            let quantized: Vec<QuantizedMatrix> = matrices
+                .iter()
+                .map(|m| QuantizedMatrix::quantize(m, point.width))
+                .collect();
+            let clean: Vec<Matrix> = quantized.iter().map(|q| q.dequantize()).collect();
+            let clean_accuracy = evaluate(&clean);
+            let mut sum = 0.0;
+            for trial in 0..trials.max(1) {
+                let faulted: Vec<Matrix> = quantized
+                    .iter()
+                    .enumerate()
+                    .map(|(mi, q)| {
+                        let mut fq = q.clone();
+                        let mut rng = SeededRng::derive_stream(
+                            seed,
+                            (pi as u64) << 40 | (mi as u64) << 20 | trial as u64,
+                        );
+                        flip_random_bits(&mut fq, point.error_rate, &mut rng);
+                        fq.dequantize()
+                    })
+                    .collect();
+                sum += evaluate(&faulted);
+            }
+            QualityLoss {
+                width: point.width,
+                error_rate: point.error_rate,
+                clean_accuracy,
+                faulted_accuracy: sum / trials.max(1) as f64,
+            }
+        })
+        .collect()
+}
+
+/// The paper's Fig. 8 error-rate sweep.
+pub fn paper_error_rates() -> [f64; 5] {
+    [0.01, 0.02, 0.05, 0.10, 0.15]
+}
+
+/// Full Fig. 8 grid: every [`BitWidth`] × every paper error rate.
+pub fn paper_grid() -> Vec<RobustnessPoint> {
+    let mut points = Vec::new();
+    for width in BitWidth::all() {
+        for &error_rate in &paper_error_rates() {
+            points.push(RobustnessPoint { width, error_rate });
+        }
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Toy "accuracy": fraction of entries whose sign survived.
+    fn sign_agreement(reference: &Matrix) -> impl FnMut(&Matrix) -> f64 + '_ {
+        move |m: &Matrix| {
+            let total = reference.as_slice().len();
+            let same = reference
+                .as_slice()
+                .iter()
+                .zip(m.as_slice())
+                .filter(|(a, b)| (**a >= 0.0) == (**b >= 0.0))
+                .count();
+            same as f64 / total as f64
+        }
+    }
+
+    fn model() -> Matrix {
+        Matrix::from_fn(8, 64, |r, c| ((r * 17 + c * 3) as f32).sin())
+    }
+
+    #[test]
+    fn zero_rate_has_zero_loss() {
+        let m = model();
+        let points = [RobustnessPoint {
+            width: BitWidth::B8,
+            error_rate: 0.0,
+        }];
+        let results = matrix_fault_campaign(&m, &points, 3, RngSeed(1), sign_agreement(&m));
+        assert!(results[0].loss() < 1e-9);
+    }
+
+    #[test]
+    fn higher_rates_lose_more_quality() {
+        let m = model();
+        let points = [
+            RobustnessPoint {
+                width: BitWidth::B8,
+                error_rate: 0.01,
+            },
+            RobustnessPoint {
+                width: BitWidth::B8,
+                error_rate: 0.15,
+            },
+        ];
+        let results = matrix_fault_campaign(&m, &points, 5, RngSeed(2), sign_agreement(&m));
+        assert!(
+            results[1].loss() > results[0].loss(),
+            "15% loss {} should exceed 1% loss {}",
+            results[1].loss(),
+            results[0].loss()
+        );
+    }
+
+    #[test]
+    fn campaign_is_deterministic_per_seed() {
+        let m = model();
+        let points = [RobustnessPoint {
+            width: BitWidth::B4,
+            error_rate: 0.05,
+        }];
+        let a = matrix_fault_campaign(&m, &points, 3, RngSeed(7), sign_agreement(&m));
+        let b = matrix_fault_campaign(&m, &points, 3, RngSeed(7), sign_agreement(&m));
+        assert_eq!(a[0].faulted_accuracy, b[0].faulted_accuracy);
+    }
+
+    #[test]
+    fn multi_matrix_campaign_faults_all_layers() {
+        let layers = vec![model(), model()];
+        let points = [RobustnessPoint {
+            width: BitWidth::B8,
+            error_rate: 0.10,
+        }];
+        let reference = model();
+        let results = multi_matrix_fault_campaign(&layers, &points, 2, RngSeed(3), |ms| {
+            // Accuracy drops only if this closure sees faulted copies.
+            let mut eval = sign_agreement(&reference);
+            ms.iter().map(&mut eval).sum::<f64>() / ms.len() as f64
+        });
+        assert!(results[0].loss() > 0.0);
+    }
+
+    #[test]
+    fn paper_grid_has_twenty_cells() {
+        assert_eq!(paper_grid().len(), 20);
+    }
+}

@@ -1,0 +1,127 @@
+//! Aggregate statistics over repeated experiment trials.
+//!
+//! Experiment binaries run each configuration over several seeds; this
+//! module summarizes the trials (mean, standard deviation, min/max, a
+//! normal-approximation confidence interval) for honest reporting.
+
+/// Summary statistics of a set of trial measurements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrialSummary {
+    /// Number of trials aggregated.
+    pub count: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for a single trial).
+    pub std_dev: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl TrialSummary {
+    /// Summarizes a non-empty set of trials.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    pub fn of(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "cannot summarize zero trials");
+        let count = values.len();
+        let mean = values.iter().sum::<f64>() / count as f64;
+        let var = if count > 1 {
+            values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (count - 1) as f64
+        } else {
+            0.0
+        };
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        Self {
+            count,
+            mean,
+            std_dev: var.sqrt(),
+            min,
+            max,
+        }
+    }
+
+    /// Half-width of the ~95% normal-approximation confidence interval
+    /// (`1.96 · s / √n`); 0 for a single trial.
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.count < 2 {
+            return 0.0;
+        }
+        1.96 * self.std_dev / (self.count as f64).sqrt()
+    }
+
+    /// Formats as `"93.4% ± 0.8%"` when the values are accuracy fractions.
+    pub fn format_percent(&self) -> String {
+        format!(
+            "{:.2}% ± {:.2}%",
+            self.mean * 100.0,
+            self.ci95_half_width() * 100.0
+        )
+    }
+}
+
+/// Speedup of `baseline` over `candidate` as a ratio of means.
+///
+/// Returns `f64::INFINITY` if the candidate mean is zero.
+pub fn speedup(baseline: &TrialSummary, candidate: &TrialSummary) -> f64 {
+    if candidate.mean == 0.0 {
+        f64::INFINITY
+    } else {
+        baseline.mean / candidate.mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_matches_hand_computation() {
+        let s = TrialSummary::of(&[1.0, 2.0, 3.0]);
+        assert_eq!(s.count, 3);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert!((s.std_dev - 1.0).abs() < 1e-12);
+        assert_eq!((s.min, s.max), (1.0, 3.0));
+    }
+
+    #[test]
+    fn single_trial_has_zero_spread() {
+        let s = TrialSummary::of(&[0.5]);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.ci95_half_width(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero trials")]
+    fn empty_trials_panic() {
+        TrialSummary::of(&[]);
+    }
+
+    #[test]
+    fn ci_narrows_with_more_trials() {
+        let few = TrialSummary::of(&[0.8, 0.9]);
+        let many = TrialSummary::of(&[0.8, 0.9, 0.8, 0.9, 0.8, 0.9, 0.8, 0.9]);
+        assert!(many.ci95_half_width() < few.ci95_half_width());
+    }
+
+    #[test]
+    fn format_percent_renders() {
+        let s = TrialSummary::of(&[0.9, 0.92]);
+        let text = s.format_percent();
+        assert!(text.contains('%'));
+        assert!(text.contains('±'));
+    }
+
+    #[test]
+    fn speedup_ratio() {
+        let slow = TrialSummary::of(&[2.0, 2.0]);
+        let fast = TrialSummary::of(&[0.5, 0.5]);
+        assert!((speedup(&slow, &fast) - 4.0).abs() < 1e-12);
+        let zero = TrialSummary::of(&[0.0]);
+        assert!(speedup(&slow, &zero).is_infinite());
+    }
+}

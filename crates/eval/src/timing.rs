@@ -1,0 +1,92 @@
+//! Wall-clock measurement helpers (Fig. 5).
+//!
+//! Absolute times on this container are meaningless next to the paper's
+//! i9-12900 testbed; the harness reports **ratios** between models measured
+//! with the same helpers, which is the quantity the paper's claims
+//! (5.97× training, 8.09× inference) are stated in.
+
+use std::time::{Duration, Instant};
+
+/// A value together with how long it took to produce.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Timed<T> {
+    /// The computed value.
+    pub value: T,
+    /// Wall-clock time of the computation.
+    pub elapsed: Duration,
+}
+
+impl<T> Timed<T> {
+    /// Elapsed time in (fractional) seconds.
+    pub fn seconds(&self) -> f64 {
+        self.elapsed.as_secs_f64()
+    }
+}
+
+/// Runs `f` once and returns its result with the wall-clock duration.
+///
+/// # Example
+///
+/// ```
+/// let timed = disthd_eval::time_it(|| (0..1000).sum::<u64>());
+/// assert_eq!(timed.value, 499_500);
+/// ```
+pub fn time_it<T, F: FnOnce() -> T>(f: F) -> Timed<T> {
+    let start = Instant::now();
+    let value = f();
+    Timed {
+        value,
+        elapsed: start.elapsed(),
+    }
+}
+
+/// Runs `f` `repeats` times and returns the result of the last run together
+/// with the *mean* duration — smooths scheduler noise for sub-millisecond
+/// inference measurements.
+///
+/// # Panics
+///
+/// Panics if `repeats == 0`.
+pub fn time_mean<T, F: FnMut() -> T>(repeats: usize, mut f: F) -> Timed<T> {
+    assert!(repeats > 0, "repeats must be positive");
+    let start = Instant::now();
+    let mut value = None;
+    for _ in 0..repeats {
+        value = Some(f());
+    }
+    Timed {
+        value: value.expect("at least one repeat"),
+        elapsed: start.elapsed() / repeats as u32,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_it_returns_value() {
+        let t = time_it(|| 41 + 1);
+        assert_eq!(t.value, 42);
+    }
+
+    #[test]
+    fn time_it_measures_sleep() {
+        let t = time_it(|| std::thread::sleep(Duration::from_millis(20)));
+        assert!(t.elapsed >= Duration::from_millis(15), "elapsed {:?}", t.elapsed);
+        assert!(t.seconds() >= 0.015);
+    }
+
+    #[test]
+    fn time_mean_divides_by_repeats() {
+        let t = time_mean(4, || std::thread::sleep(Duration::from_millis(5)));
+        // Mean per-iteration should be ~5ms, not ~20ms.
+        assert!(t.elapsed < Duration::from_millis(15), "mean {:?}", t.elapsed);
+    }
+
+    #[test]
+    #[should_panic(expected = "repeats must be positive")]
+    fn zero_repeats_panics() {
+        time_mean(0, || ());
+    }
+}

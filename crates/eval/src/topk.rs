@@ -1,0 +1,78 @@
+//! Top-k accuracy — the measurement behind the paper's Fig. 2(b)
+//! motivation: SOTA HDC is far better at top-2 than top-1 classification.
+
+/// Fraction of samples whose true label appears in the `k` highest-scoring
+/// classes.
+///
+/// `scores` holds one row of per-class scores per sample.
+///
+/// Returns `0.0` for empty input.
+///
+/// # Panics
+///
+/// Panics if `scores.len() != labels.len()`, `k == 0`, or any row is
+/// shorter than `k`.
+pub fn top_k_accuracy(scores: &[Vec<f32>], labels: &[usize], k: usize) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+    assert!(k > 0, "k must be positive");
+    if scores.is_empty() {
+        return 0.0;
+    }
+    let mut hits = 0usize;
+    for (row, &label) in scores.iter().zip(labels) {
+        assert!(row.len() >= k, "row shorter than k");
+        let top = disthd_linalg::top_k_largest(row, k);
+        if top.contains(&label) {
+            hits += 1;
+        }
+    }
+    hits as f64 / scores.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scores() -> Vec<Vec<f32>> {
+        vec![
+            vec![0.9, 0.5, 0.1], // best: 0, second: 1
+            vec![0.2, 0.3, 0.8], // best: 2, second: 1
+            vec![0.4, 0.6, 0.5], // best: 1, second: 2
+        ]
+    }
+
+    #[test]
+    fn top1_counts_argmax_hits() {
+        let acc = top_k_accuracy(&scores(), &[0, 1, 1], 1);
+        assert!((acc - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn top2_is_at_least_top1() {
+        let labels = [1, 1, 0];
+        let s = scores();
+        let top1 = top_k_accuracy(&s, &labels, 1);
+        let top2 = top_k_accuracy(&s, &labels, 2);
+        let top3 = top_k_accuracy(&s, &labels, 3);
+        assert!(top2 >= top1);
+        assert!(top3 >= top2);
+        assert_eq!(top3, 1.0);
+    }
+
+    #[test]
+    fn empty_input_is_zero() {
+        assert_eq!(top_k_accuracy(&[], &[], 2), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        top_k_accuracy(&scores(), &[0, 0, 0], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        top_k_accuracy(&scores(), &[0], 1);
+    }
+}

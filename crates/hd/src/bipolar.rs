@@ -1,0 +1,204 @@
+use crate::bitpacked::BinaryHypervector;
+use disthd_linalg::SeededRng;
+
+/// A bipolar hypervector with components in `{-1, +1}`.
+///
+/// Bipolar vectors are the classical HDC representation (Rahimi et al. [6]):
+/// binding is exactly invertible (`(a*b)*b = a`) and similarity reduces to a
+/// scaled Hamming distance.  DistHD uses real hypervectors during training
+/// but quantizes to low precision (including the 1-bit/bipolar extreme) for
+/// deployment and for the Fig. 8 robustness study.
+///
+/// # Example
+///
+/// ```
+/// use disthd_hd::BipolarHypervector;
+/// use disthd_linalg::{RngSeed, SeededRng};
+///
+/// let mut rng = SeededRng::new(RngSeed(7));
+/// let a = BipolarHypervector::random(1024, &mut rng);
+/// let b = BipolarHypervector::random(1024, &mut rng);
+/// let bound = a.bound(&b);
+/// assert_eq!(bound.bound(&b), a); // binding is invertible
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct BipolarHypervector(Vec<i8>);
+
+impl BipolarHypervector {
+    /// All `+1` hypervector of dimension `dim`.
+    pub fn ones(dim: usize) -> Self {
+        Self(vec![1; dim])
+    }
+
+    /// Random hypervector with i.i.d. uniform `{-1, +1}` components.
+    pub fn random(dim: usize, rng: &mut SeededRng) -> Self {
+        Self((0..dim).map(|_| if rng.next_bool(0.5) { 1 } else { -1 }).collect())
+    }
+
+    /// Builds from raw components.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any component is not `-1` or `+1`.
+    pub fn from_components(values: Vec<i8>) -> Self {
+        assert!(
+            values.iter().all(|&v| v == 1 || v == -1),
+            "bipolar components must be -1 or +1"
+        );
+        Self(values)
+    }
+
+    /// Sign-quantizes a real hypervector (`>= 0` maps to `+1`).
+    pub fn from_real(values: &[f32]) -> Self {
+        Self(values.iter().map(|&v| if v >= 0.0 { 1 } else { -1 }).collect())
+    }
+
+    /// Dimensionality `D`.
+    pub fn dim(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Borrows the components.
+    pub fn as_slice(&self) -> &[i8] {
+        &self.0
+    }
+
+    /// Element-wise product (binding).  Exactly invertible in bipolar space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn bound(&self, other: &BipolarHypervector) -> BipolarHypervector {
+        assert_eq!(self.dim(), other.dim(), "bind: dimension mismatch");
+        Self(self.0.iter().zip(&other.0).map(|(a, b)| a * b).collect())
+    }
+
+    /// Dot product (equals `D - 2 * hamming_distance`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn dot(&self, other: &BipolarHypervector) -> i64 {
+        assert_eq!(self.dim(), other.dim(), "dot: dimension mismatch");
+        self.0
+            .iter()
+            .zip(&other.0)
+            .map(|(&a, &b)| (a as i64) * (b as i64))
+            .sum()
+    }
+
+    /// Normalized similarity in `[-1, 1]` (cosine for bipolar vectors).
+    pub fn similarity(&self, other: &BipolarHypervector) -> f32 {
+        if self.dim() == 0 {
+            return 0.0;
+        }
+        self.dot(other) as f32 / self.dim() as f32
+    }
+
+    /// Majority-vote bundling of several hypervectors.
+    ///
+    /// Ties (possible for an even count) resolve to `+1`, a fixed convention
+    /// so bundling stays deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty or dimensions differ.
+    pub fn majority(inputs: &[&BipolarHypervector]) -> BipolarHypervector {
+        assert!(!inputs.is_empty(), "majority of zero hypervectors");
+        let dim = inputs[0].dim();
+        let mut sums = vec![0i64; dim];
+        for hv in inputs {
+            assert_eq!(hv.dim(), dim, "majority: dimension mismatch");
+            for (s, &c) in sums.iter_mut().zip(hv.0.iter()) {
+                *s += c as i64;
+            }
+        }
+        Self(sums.iter().map(|&s| if s >= 0 { 1 } else { -1 }).collect())
+    }
+
+    /// Converts to the bit-packed binary form (`+1 → 1`, `-1 → 0`).
+    pub fn to_binary(&self) -> BinaryHypervector {
+        BinaryHypervector::from_bits(self.0.iter().map(|&v| v > 0))
+    }
+
+    /// Expands to a real-valued hypervector.
+    pub fn to_real(&self) -> Vec<f32> {
+        self.0.iter().map(|&v| v as f32).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disthd_linalg::RngSeed;
+
+    #[test]
+    fn random_is_balanced() {
+        let mut rng = SeededRng::new(RngSeed(1));
+        let hv = BipolarHypervector::random(10_000, &mut rng);
+        let pos = hv.as_slice().iter().filter(|&&v| v == 1).count();
+        assert!((4_500..5_500).contains(&pos), "positives: {pos}");
+    }
+
+    #[test]
+    #[should_panic(expected = "bipolar components")]
+    fn from_components_rejects_invalid() {
+        BipolarHypervector::from_components(vec![1, 0, -1]);
+    }
+
+    #[test]
+    fn binding_is_invertible() {
+        let mut rng = SeededRng::new(RngSeed(2));
+        let a = BipolarHypervector::random(512, &mut rng);
+        let b = BipolarHypervector::random(512, &mut rng);
+        assert_eq!(a.bound(&b).bound(&b), a);
+    }
+
+    #[test]
+    fn self_similarity_is_one() {
+        let mut rng = SeededRng::new(RngSeed(3));
+        let a = BipolarHypervector::random(256, &mut rng);
+        assert!((a.similarity(&a) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn random_pairs_nearly_orthogonal() {
+        let mut rng = SeededRng::new(RngSeed(4));
+        let a = BipolarHypervector::random(8192, &mut rng);
+        let b = BipolarHypervector::random(8192, &mut rng);
+        assert!(a.similarity(&b).abs() < 0.06);
+    }
+
+    #[test]
+    fn majority_recovers_members() {
+        let mut rng = SeededRng::new(RngSeed(5));
+        let a = BipolarHypervector::random(2048, &mut rng);
+        let b = BipolarHypervector::random(2048, &mut rng);
+        let c = BipolarHypervector::random(2048, &mut rng);
+        let m = BipolarHypervector::majority(&[&a, &b, &c]);
+        let d = BipolarHypervector::random(2048, &mut rng);
+        assert!(m.similarity(&a) > 0.3);
+        assert!(m.similarity(&d).abs() < 0.1);
+    }
+
+    #[test]
+    fn sign_quantization_from_real() {
+        let hv = BipolarHypervector::from_real(&[0.5, -0.1, 0.0]);
+        assert_eq!(hv.as_slice(), &[1, -1, 1]);
+    }
+
+    #[test]
+    fn binary_round_trip_preserves_signs() {
+        let hv = BipolarHypervector::from_components(vec![1, -1, 1, 1, -1]);
+        let bin = hv.to_binary();
+        assert_eq!(bin.count_ones(), 3);
+        assert_eq!(bin.dim(), 5);
+    }
+
+    #[test]
+    fn to_real_expands() {
+        let hv = BipolarHypervector::from_components(vec![1, -1]);
+        assert_eq!(hv.to_real(), vec![1.0, -1.0]);
+    }
+}

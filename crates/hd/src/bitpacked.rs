@@ -1,0 +1,176 @@
+/// A binary hypervector packed 64 dimensions per `u64` word.
+///
+/// Bit-packing is the deployment format on edge devices: similarity becomes
+/// XOR + popcount, 64 dimensions per instruction, and the Fig. 8 fault model
+/// (random bit flips on model memory) acts directly on these words.
+///
+/// # Example
+///
+/// ```
+/// use disthd_hd::BinaryHypervector;
+///
+/// let a = BinaryHypervector::from_bits([true, false, true, true]);
+/// let b = BinaryHypervector::from_bits([true, true, true, false]);
+/// assert_eq!(disthd_hd::hamming_distance(&a, &b), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct BinaryHypervector {
+    words: Vec<u64>,
+    dim: usize,
+}
+
+impl BinaryHypervector {
+    /// All-zero hypervector of dimension `dim`.
+    pub fn zeros(dim: usize) -> Self {
+        Self {
+            words: vec![0; dim.div_ceil(64)],
+            dim,
+        }
+    }
+
+    /// Builds from an iterator of bits (first bit = dimension 0).
+    pub fn from_bits<I: IntoIterator<Item = bool>>(bits: I) -> Self {
+        let mut words = Vec::new();
+        let mut dim = 0;
+        let mut current = 0u64;
+        for bit in bits {
+            let offset = dim % 64;
+            if bit {
+                current |= 1 << offset;
+            }
+            dim += 1;
+            if offset == 63 {
+                words.push(current);
+                current = 0;
+            }
+        }
+        if dim % 64 != 0 {
+            words.push(current);
+        }
+        Self { words, dim }
+    }
+
+    /// Dimensionality `D` in bits.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Reads the bit at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= dim()`.
+    pub fn bit(&self, index: usize) -> bool {
+        assert!(index < self.dim, "bit index out of bounds");
+        (self.words[index / 64] >> (index % 64)) & 1 == 1
+    }
+
+    /// Sets the bit at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= dim()`.
+    pub fn set_bit(&mut self, index: usize, value: bool) {
+        assert!(index < self.dim, "bit index out of bounds");
+        let mask = 1u64 << (index % 64);
+        if value {
+            self.words[index / 64] |= mask;
+        } else {
+            self.words[index / 64] &= !mask;
+        }
+    }
+
+    /// Flips the bit at `index` (the unit fault of the robustness study).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= dim()`.
+    pub fn flip_bit(&mut self, index: usize) {
+        assert!(index < self.dim, "bit index out of bounds");
+        self.words[index / 64] ^= 1 << (index % 64);
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> u64 {
+        self.words.iter().map(|w| w.count_ones() as u64).sum()
+    }
+
+    /// Borrows the packed words (trailing bits beyond `dim` are zero).
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// XOR with another hypervector (binary binding).
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn xor(&self, other: &BinaryHypervector) -> BinaryHypervector {
+        assert_eq!(self.dim, other.dim, "xor: dimension mismatch");
+        Self {
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a ^ b)
+                .collect(),
+            dim: self.dim,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_bits_round_trip() {
+        let bits = [true, false, false, true, true];
+        let hv = BinaryHypervector::from_bits(bits);
+        assert_eq!(hv.dim(), 5);
+        for (i, &b) in bits.iter().enumerate() {
+            assert_eq!(hv.bit(i), b, "bit {i}");
+        }
+    }
+
+    #[test]
+    fn packs_more_than_one_word() {
+        let hv = BinaryHypervector::from_bits((0..130).map(|i| i % 2 == 0));
+        assert_eq!(hv.dim(), 130);
+        assert_eq!(hv.as_words().len(), 3);
+        assert_eq!(hv.count_ones(), 65);
+        assert!(hv.bit(128));
+        assert!(!hv.bit(129));
+    }
+
+    #[test]
+    fn set_and_flip_bits() {
+        let mut hv = BinaryHypervector::zeros(70);
+        hv.set_bit(69, true);
+        assert!(hv.bit(69));
+        hv.flip_bit(69);
+        assert!(!hv.bit(69));
+        hv.flip_bit(0);
+        assert!(hv.bit(0));
+        assert_eq!(hv.count_ones(), 1);
+    }
+
+    #[test]
+    fn xor_is_self_inverse() {
+        let a = BinaryHypervector::from_bits((0..100).map(|i| i % 3 == 0));
+        let b = BinaryHypervector::from_bits((0..100).map(|i| i % 7 == 0));
+        assert_eq!(a.xor(&b).xor(&b), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn bit_out_of_bounds_panics() {
+        BinaryHypervector::zeros(8).bit(8);
+    }
+
+    #[test]
+    fn zeros_has_no_ones() {
+        assert_eq!(BinaryHypervector::zeros(1000).count_ones(), 0);
+    }
+}

@@ -1,0 +1,199 @@
+//! Per-dimension encoding centering.
+//!
+//! With a bandwidth-scaled RBF encoder (see
+//! [`crate::encoder::RbfEncoder::with_bandwidth`]) each output dimension
+//! has a nonzero mean across samples, so every encoded hypervector shares a
+//! large common component.  Mistake-driven adaptive updates redistribute
+//! that shared component unevenly between class hypervectors, which
+//! progressively corrupts the cosine ranking (training accuracy *decays*
+//! over epochs).  Centering — subtracting the per-dimension training mean —
+//! removes the shared component and makes adaptive retraining stable.
+//!
+//! The center is calibrated on the encoded training batch and must be
+//! applied to every query at inference; regenerated dimensions are
+//! recalibrated from their freshly re-encoded column.
+
+use disthd_linalg::{column_means, Matrix};
+
+/// Per-dimension means of an encoded training batch.
+///
+/// # Example
+///
+/// ```
+/// use disthd_hd::center::EncodingCenter;
+/// use disthd_linalg::Matrix;
+///
+/// let encoded = Matrix::from_rows(&[vec![1.0, 4.0], vec![3.0, 8.0]])?;
+/// let mut batch = encoded.clone();
+/// let center = EncodingCenter::fit_and_apply(&mut batch);
+/// assert_eq!(batch.row(0), &[-1.0, -2.0]);
+/// let mut query = vec![2.0, 6.0];
+/// center.apply(&mut query);
+/// assert_eq!(query, vec![0.0, 0.0]);
+/// # Ok::<(), disthd_linalg::ShapeError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct EncodingCenter {
+    means: Vec<f32>,
+}
+
+impl EncodingCenter {
+    /// Fits per-dimension means on a raw encoded batch.
+    pub fn fit(encoded: &Matrix) -> Self {
+        Self {
+            means: column_means(encoded),
+        }
+    }
+
+    /// Fits on the batch and centers it in place, returning the center.
+    pub fn fit_and_apply(encoded: &mut Matrix) -> Self {
+        let center = Self::fit(encoded);
+        center.apply_batch(encoded);
+        center
+    }
+
+    /// Dimensionality this center was fitted for.
+    pub fn dim(&self) -> usize {
+        self.means.len()
+    }
+
+    /// Borrows the per-dimension means.
+    pub fn means(&self) -> &[f32] {
+        &self.means
+    }
+
+    /// Reassembles a center from persisted means.
+    pub fn from_means(means: Vec<f32>) -> Self {
+        Self { means }
+    }
+
+    /// Centers one raw encoded hypervector in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hv.len() != dim()`.
+    pub fn apply(&self, hv: &mut [f32]) {
+        assert_eq!(hv.len(), self.means.len(), "dimension mismatch");
+        for (v, &mu) in hv.iter_mut().zip(&self.means) {
+            *v -= mu;
+        }
+    }
+
+    /// Centers every row of a raw encoded batch in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch.cols() != dim()`.
+    pub fn apply_batch(&self, batch: &mut Matrix) {
+        assert_eq!(batch.cols(), self.means.len(), "dimension mismatch");
+        for r in 0..batch.rows() {
+            self.apply_row(batch, r);
+        }
+    }
+
+    fn apply_row(&self, batch: &mut Matrix, r: usize) {
+        let row = batch.row_mut(r);
+        for (v, &mu) in row.iter_mut().zip(&self.means) {
+            *v -= mu;
+        }
+    }
+
+    /// Recalibrates the selected dimensions from their (raw) columns in
+    /// `batch` and centers those columns in place.
+    ///
+    /// Called after dimension regeneration: the regenerated columns of the
+    /// training batch hold fresh raw values; all other columns are already
+    /// centered and must not be touched.
+    ///
+    /// Out-of-range dims are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch.cols() != dim()`.
+    pub fn refit_dims(&mut self, batch: &mut Matrix, dims: &[usize]) {
+        assert_eq!(batch.cols(), self.means.len(), "dimension mismatch");
+        let rows = batch.rows().max(1) as f32;
+        for &d in dims {
+            if d >= self.means.len() {
+                continue;
+            }
+            let mut sum = 0.0f32;
+            for r in 0..batch.rows() {
+                sum += batch.get(r, d);
+            }
+            let mu = sum / rows;
+            self.means[d] = mu;
+            for r in 0..batch.rows() {
+                let v = batch.get(r, d);
+                batch.set(r, d, v - mu);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch() -> Matrix {
+        Matrix::from_rows(&[vec![1.0, 10.0, -2.0], vec![3.0, 20.0, 2.0]]).unwrap()
+    }
+
+    #[test]
+    fn fit_computes_column_means() {
+        let c = EncodingCenter::fit(&batch());
+        assert_eq!(c.means(), &[2.0, 15.0, 0.0]);
+        assert_eq!(c.dim(), 3);
+    }
+
+    #[test]
+    fn centered_batch_has_zero_column_means() {
+        let mut b = batch();
+        EncodingCenter::fit_and_apply(&mut b);
+        for mean in column_means(&b) {
+            assert!(mean.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn apply_centers_queries_consistently() {
+        let mut b = batch();
+        let c = EncodingCenter::fit_and_apply(&mut b);
+        let mut q = vec![1.0, 10.0, -2.0];
+        c.apply(&mut q);
+        assert_eq!(q.as_slice(), b.row(0));
+    }
+
+    #[test]
+    fn refit_dims_only_touches_selected_columns() {
+        let mut b = batch();
+        let mut c = EncodingCenter::fit_and_apply(&mut b);
+        // Simulate regeneration writing raw values into column 1.
+        b.set(0, 1, 100.0);
+        b.set(1, 1, 200.0);
+        let before_col0: Vec<f32> = b.column(0);
+        c.refit_dims(&mut b, &[1]);
+        assert_eq!(c.means()[1], 150.0);
+        assert_eq!(b.column(1), vec![-50.0, 50.0]);
+        assert_eq!(b.column(0), before_col0);
+        // Means of untouched dims unchanged.
+        assert_eq!(c.means()[0], 2.0);
+    }
+
+    #[test]
+    fn refit_ignores_out_of_range() {
+        let mut b = batch();
+        let mut c = EncodingCenter::fit_and_apply(&mut b);
+        let means = c.means().to_vec();
+        c.refit_dims(&mut b, &[99]);
+        assert_eq!(c.means(), means.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn apply_checks_dim() {
+        let c = EncodingCenter::fit(&batch());
+        c.apply(&mut [0.0; 2]);
+    }
+}

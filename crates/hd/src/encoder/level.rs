@@ -1,0 +1,190 @@
+use super::Encoder;
+use crate::bipolar::BipolarHypervector;
+use disthd_linalg::{Matrix, RngSeed, SeededRng, ShapeError};
+
+/// A level–ID binding encoder for quantized features.
+///
+/// Classical bipolar-HDC encoding (Rahimi et al. [6]): each feature position
+/// `k` owns a random *ID* hypervector, each quantization level `l` owns a
+/// *level* hypervector, and a sample encodes as
+/// `Σ_k ID_k * LEVEL_{q(f_k)}` where `q` buckets the feature value into one
+/// of `levels` bins over `[lo, hi]`.  Level hypervectors are built by
+/// progressive bit flipping so adjacent levels stay similar (value locality).
+///
+/// Included as the substrate for bipolar baselines and binary-deployment
+/// tests; DistHD itself uses [`super::RbfEncoder`].
+///
+/// # Example
+///
+/// ```
+/// use disthd_hd::encoder::{Encoder, LevelIdEncoder};
+/// use disthd_linalg::RngSeed;
+///
+/// let enc = LevelIdEncoder::new(4, 512, 16, (-1.0, 1.0), RngSeed(2));
+/// let hv = enc.encode(&[0.0, 0.5, -0.5, 1.0])?;
+/// assert_eq!(hv.len(), 512);
+/// # Ok::<(), disthd_linalg::ShapeError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct LevelIdEncoder {
+    ids: Vec<BipolarHypervector>,
+    levels: Vec<BipolarHypervector>,
+    range: (f32, f32),
+    input_dim: usize,
+    output_dim: usize,
+}
+
+impl LevelIdEncoder {
+    /// Creates an encoder with `level_count` quantization levels over the
+    /// closed feature range `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level_count == 0` or `range.0 >= range.1`.
+    pub fn new(
+        input_dim: usize,
+        output_dim: usize,
+        level_count: usize,
+        range: (f32, f32),
+        seed: RngSeed,
+    ) -> Self {
+        assert!(level_count > 0, "need at least one level");
+        assert!(range.0 < range.1, "invalid feature range");
+        let mut rng = SeededRng::derive_stream(seed, 0x1D1D);
+        let ids = (0..input_dim)
+            .map(|_| BipolarHypervector::random(output_dim, &mut rng))
+            .collect();
+
+        // Progressive flipping: level 0 is random; each subsequent level
+        // flips D/levels fresh positions, so level 0 and level L-1 are
+        // nearly orthogonal while neighbours stay correlated.
+        let mut levels = Vec::with_capacity(level_count);
+        let base = BipolarHypervector::random(output_dim, &mut rng);
+        levels.push(base);
+        let flips_per_step = (output_dim / level_count.max(1)).max(1);
+        let mut order: Vec<usize> = (0..output_dim).collect();
+        rng.shuffle(&mut order);
+        let mut cursor = 0usize;
+        for _ in 1..level_count {
+            let mut comps = levels.last().expect("non-empty").as_slice().to_vec();
+            for _ in 0..flips_per_step {
+                if cursor < order.len() {
+                    comps[order[cursor]] = -comps[order[cursor]];
+                    cursor += 1;
+                }
+            }
+            levels.push(BipolarHypervector::from_components(comps));
+        }
+
+        Self {
+            ids,
+            levels,
+            range,
+            input_dim,
+            output_dim,
+        }
+    }
+
+    /// Quantizes a feature value to a level index.
+    fn level_of(&self, value: f32) -> usize {
+        let (lo, hi) = self.range;
+        let t = ((value - lo) / (hi - lo)).clamp(0.0, 1.0);
+        ((t * self.levels.len() as f32) as usize).min(self.levels.len() - 1)
+    }
+
+    /// Number of quantization levels.
+    pub fn level_count(&self) -> usize {
+        self.levels.len()
+    }
+}
+
+impl Encoder for LevelIdEncoder {
+    fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    fn output_dim(&self) -> usize {
+        self.output_dim
+    }
+
+    fn encode(&self, features: &[f32]) -> Result<Vec<f32>, ShapeError> {
+        if features.len() != self.input_dim {
+            return Err(ShapeError::new(
+                "level_id_encode",
+                (1, features.len()),
+                (self.input_dim, self.output_dim),
+            ));
+        }
+        let mut out = vec![0.0f32; self.output_dim];
+        for (k, &f) in features.iter().enumerate() {
+            let level = &self.levels[self.level_of(f)];
+            let id = &self.ids[k];
+            for ((o, &lv), &iv) in out.iter_mut().zip(level.as_slice()).zip(id.as_slice()) {
+                *o += (lv * iv) as f32;
+            }
+        }
+        Ok(out)
+    }
+
+    fn encode_batch(&self, batch: &Matrix) -> Result<Matrix, ShapeError> {
+        let mut out = Matrix::zeros(batch.rows(), self.output_dim);
+        for r in 0..batch.rows() {
+            let encoded = self.encode(batch.row(r))?;
+            out.row_mut(r).copy_from_slice(&encoded);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disthd_linalg::cosine_similarity;
+
+    fn encoder() -> LevelIdEncoder {
+        LevelIdEncoder::new(4, 1024, 8, (0.0, 1.0), RngSeed(11))
+    }
+
+    #[test]
+    fn adjacent_levels_are_more_similar_than_distant() {
+        let enc = encoder();
+        let a = enc.encode(&[0.1, 0.1, 0.1, 0.1]).unwrap();
+        let b = enc.encode(&[0.15, 0.15, 0.15, 0.15]).unwrap();
+        let c = enc.encode(&[0.9, 0.9, 0.9, 0.9]).unwrap();
+        assert!(cosine_similarity(&a, &b) > cosine_similarity(&a, &c));
+    }
+
+    #[test]
+    fn level_of_clamps_out_of_range() {
+        let enc = encoder();
+        assert_eq!(enc.level_of(-10.0), 0);
+        assert_eq!(enc.level_of(10.0), enc.level_count() - 1);
+    }
+
+    #[test]
+    fn encode_has_integer_components() {
+        let enc = encoder();
+        let hv = enc.encode(&[0.2, 0.4, 0.6, 0.8]).unwrap();
+        assert!(hv.iter().all(|v| v.fract() == 0.0));
+        // Each component is a sum of 4 products in {-1, +1}.
+        assert!(hv.iter().all(|v| v.abs() <= 4.0));
+    }
+
+    #[test]
+    fn wrong_arity_is_rejected() {
+        assert!(encoder().encode(&[0.5]).is_err());
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = encoder().encode(&[0.3; 4]).unwrap();
+        let b = encoder().encode(&[0.3; 4]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one level")]
+    fn zero_levels_panics() {
+        LevelIdEncoder::new(2, 64, 0, (0.0, 1.0), RngSeed(1));
+    }
+}

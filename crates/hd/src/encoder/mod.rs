@@ -1,0 +1,92 @@
+//! Feature-to-hypervector encoders ( A in Fig. 3 of the paper).
+//!
+//! All encoders implement [`Encoder`]; encoders whose per-dimension base
+//! vectors can be *regenerated* — the heart of DistHD — also implement
+//! [`RegenerativeEncoder`].
+//!
+//! * [`RbfEncoder`] — the paper's nonlinear encoder:
+//!   `h_i = cos(B_i·F + c_i) · sin(B_i·F)` with `B_i ~ N(0,1)^n`,
+//!   `c_i ~ U[0, 2π)` (§III-C, after Rahimi & Recht's random features [21]).
+//! * [`LinearProjectionEncoder`] — plain random projection `H = B·F`,
+//!   the static encoder of classical HDC.
+//! * [`LevelIdEncoder`] — quantized level/ID binding encoder for
+//!   bipolar pipelines.
+//! * [`RecordEncoder`] — key–value record encoder with approximate
+//!   per-field readout.
+
+mod level;
+mod projection;
+mod rbf;
+mod record;
+
+pub use level::LevelIdEncoder;
+pub use projection::LinearProjectionEncoder;
+pub use rbf::{RbfEncoder, DEFAULT_BANDWIDTH};
+pub use record::RecordEncoder;
+
+use disthd_linalg::{Matrix, SeededRng, ShapeError};
+
+/// Maps low-dimensional feature vectors onto hyperdimensional space.
+///
+/// # Example
+///
+/// ```
+/// use disthd_hd::encoder::{Encoder, RbfEncoder};
+/// use disthd_linalg::RngSeed;
+///
+/// let encoder = RbfEncoder::new(8, 256, RngSeed(3));
+/// let hv = encoder.encode(&[0.5; 8])?;
+/// assert_eq!(hv.len(), 256);
+/// assert!(hv.iter().all(|h| (-1.0..=1.0).contains(h)));
+/// # Ok::<(), disthd_linalg::ShapeError>(())
+/// ```
+pub trait Encoder {
+    /// Number of input features `n`.
+    fn input_dim(&self) -> usize;
+
+    /// Hyperdimensional output dimensionality `D`.
+    fn output_dim(&self) -> usize;
+
+    /// Encodes one feature vector into a `D`-dimensional hypervector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `features.len() != input_dim()`.
+    fn encode(&self, features: &[f32]) -> Result<Vec<f32>, ShapeError>;
+
+    /// Encodes a batch (one sample per row) into a batch of hypervectors.
+    ///
+    /// The default implementation encodes row by row; implementations with a
+    /// matrix kernel (like [`RbfEncoder`]) override it with a single GEMM,
+    /// which is the "highly parallel matrix-wise" path the paper highlights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `batch.cols() != input_dim()`.
+    fn encode_batch(&self, batch: &Matrix) -> Result<Matrix, ShapeError> {
+        let mut out = Matrix::zeros(batch.rows(), self.output_dim());
+        for r in 0..batch.rows() {
+            let encoded = self.encode(batch.row(r))?;
+            out.row_mut(r).copy_from_slice(&encoded);
+        }
+        Ok(out)
+    }
+}
+
+/// An [`Encoder`] whose individual output dimensions can be re-randomized.
+///
+/// Dimension regeneration ( P in Fig. 3) replaces the base vector of each
+/// selected dimension with a fresh random draw so the dimension can encode a
+/// new, hopefully more discriminative, projection of the input.
+pub trait RegenerativeEncoder: Encoder {
+    /// Replaces the base vectors of `dims` with fresh random draws.
+    ///
+    /// Indices outside `0..output_dim()` are ignored (callers pass the
+    /// intersection set from Algorithm 2, which is always in range, but the
+    /// permissive contract keeps fault-injection tests simple).
+    fn regenerate(&mut self, dims: &[usize], rng: &mut SeededRng);
+
+    /// Count of dimensions regenerated so far (for effective-dimension
+    /// accounting, `D* = D + ΣR%·D`).
+    fn regenerated_count(&self) -> u64;
+}

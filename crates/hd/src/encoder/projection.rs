@@ -1,0 +1,146 @@
+use super::{Encoder, RegenerativeEncoder};
+use disthd_linalg::{Gaussian, Matrix, RngSeed, SeededRng, ShapeError};
+
+/// A plain linear random-projection encoder `H = F · B`.
+///
+/// This is the pre-generated *static* encoder of classical HDC pipelines —
+/// no nonlinearity, no phases.  It exists as a substrate for the BaselineHD
+/// comparator and for the Fig. 2(a) motivation experiment showing why static
+/// linear encoders need very high dimensionality.
+///
+/// # Example
+///
+/// ```
+/// use disthd_hd::encoder::{Encoder, LinearProjectionEncoder};
+/// use disthd_linalg::RngSeed;
+///
+/// let enc = LinearProjectionEncoder::new(3, 32, RngSeed(1));
+/// let hv = enc.encode(&[1.0, 0.0, 0.0])?;
+/// assert_eq!(hv.len(), 32);
+/// # Ok::<(), disthd_linalg::ShapeError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct LinearProjectionEncoder {
+    /// `n x D` projection; column `i` is the base vector of output dim `i`.
+    bases: Matrix,
+    input_dim: usize,
+    output_dim: usize,
+    regenerated: u64,
+}
+
+impl LinearProjectionEncoder {
+    /// Creates a projection with `N(0,1)` entries from the given seed.
+    pub fn new(input_dim: usize, output_dim: usize, seed: RngSeed) -> Self {
+        let mut rng = SeededRng::derive_stream(seed, 0x11EA);
+        let gaussian = Gaussian::standard();
+        let bases = Matrix::from_fn(input_dim, output_dim, |_, _| gaussian.sample(&mut rng));
+        Self {
+            bases,
+            input_dim,
+            output_dim,
+            regenerated: 0,
+        }
+    }
+
+    /// Borrows the projection matrix.
+    pub fn bases(&self) -> &Matrix {
+        &self.bases
+    }
+}
+
+impl Encoder for LinearProjectionEncoder {
+    fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    fn output_dim(&self) -> usize {
+        self.output_dim
+    }
+
+    fn encode(&self, features: &[f32]) -> Result<Vec<f32>, ShapeError> {
+        if features.len() != self.input_dim {
+            return Err(ShapeError::new(
+                "projection_encode",
+                (1, features.len()),
+                (self.input_dim, self.output_dim),
+            ));
+        }
+        let mut out = vec![0.0f32; self.output_dim];
+        for (k, &f) in features.iter().enumerate() {
+            if f == 0.0 {
+                continue;
+            }
+            disthd_linalg::axpy(f, self.bases.row(k), &mut out);
+        }
+        Ok(out)
+    }
+
+    fn encode_batch(&self, batch: &Matrix) -> Result<Matrix, ShapeError> {
+        batch.matmul(&self.bases)
+    }
+}
+
+impl RegenerativeEncoder for LinearProjectionEncoder {
+    fn regenerate(&mut self, dims: &[usize], rng: &mut SeededRng) {
+        let gaussian = Gaussian::standard();
+        for &d in dims {
+            if d >= self.output_dim {
+                continue;
+            }
+            for k in 0..self.input_dim {
+                self.bases.set(k, d, gaussian.sample(rng));
+            }
+            self.regenerated += 1;
+        }
+    }
+
+    fn regenerated_count(&self) -> u64 {
+        self.regenerated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_is_linear() {
+        let enc = LinearProjectionEncoder::new(4, 16, RngSeed(2));
+        let a = enc.encode(&[1.0, 0.0, 0.0, 0.0]).unwrap();
+        let b = enc.encode(&[0.0, 1.0, 0.0, 0.0]).unwrap();
+        let ab = enc.encode(&[1.0, 1.0, 0.0, 0.0]).unwrap();
+        for i in 0..16 {
+            assert!((ab[i] - (a[i] + b[i])).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn batch_matches_single() {
+        let enc = LinearProjectionEncoder::new(3, 8, RngSeed(3));
+        let rows = vec![vec![0.5, -1.0, 2.0]];
+        let batch = Matrix::from_rows(&rows).unwrap();
+        let encoded = enc.encode_batch(&batch).unwrap();
+        let single = enc.encode(&rows[0]).unwrap();
+        for (a, b) in encoded.row(0).iter().zip(single.iter()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn regenerate_changes_selected_columns() {
+        let mut enc = LinearProjectionEncoder::new(3, 8, RngSeed(4));
+        let before = enc.encode(&[1.0, 1.0, 1.0]).unwrap();
+        let mut rng = SeededRng::new(RngSeed(5));
+        enc.regenerate(&[2], &mut rng);
+        let after = enc.encode(&[1.0, 1.0, 1.0]).unwrap();
+        assert_ne!(before[2], after[2]);
+        assert_eq!(before[0], after[0]);
+        assert_eq!(enc.regenerated_count(), 1);
+    }
+
+    #[test]
+    fn wrong_arity_is_rejected() {
+        let enc = LinearProjectionEncoder::new(3, 8, RngSeed(6));
+        assert!(enc.encode(&[1.0]).is_err());
+    }
+}

@@ -1,0 +1,181 @@
+use super::Encoder;
+use crate::bipolar::BipolarHypervector;
+use disthd_linalg::{Matrix, RngSeed, SeededRng, ShapeError};
+
+/// Record-based (key–value binding) encoder.
+///
+/// The third classical HDC encoding (alongside the nonlinear projection and
+/// the level–ID scheme): each feature position `k` owns a random bipolar
+/// *key* hypervector `K_k`, each sample encodes as the bundle of keys bound
+/// to their scaled values,
+///
+/// ```text
+/// H = Σ_k  f_k · K_k
+/// ```
+///
+/// i.e. a signed random projection whose rows are bipolar rather than
+/// Gaussian.  Because binding with a key is invertible, an approximate
+/// per-field readout is possible: `unbind(H, k) ≈ f_k · D` plus cross-talk
+/// from the other fields — the property record encodings are used for in
+/// HDC data records.
+///
+/// # Example
+///
+/// ```
+/// use disthd_hd::encoder::{Encoder, RecordEncoder};
+/// use disthd_linalg::RngSeed;
+///
+/// let enc = RecordEncoder::new(4, 2048, RngSeed(5));
+/// let hv = enc.encode(&[1.0, -0.5, 0.0, 0.25])?;
+/// // Reading field 0 back recovers its sign and rough magnitude.
+/// let readout = enc.read_field(&hv, 0);
+/// assert!(readout > 0.5);
+/// # Ok::<(), disthd_linalg::ShapeError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct RecordEncoder {
+    keys: Vec<BipolarHypervector>,
+    input_dim: usize,
+    output_dim: usize,
+}
+
+impl RecordEncoder {
+    /// Creates an encoder with random bipolar keys.
+    pub fn new(input_dim: usize, output_dim: usize, seed: RngSeed) -> Self {
+        let mut rng = SeededRng::derive_stream(seed, 0x4EC0);
+        let keys = (0..input_dim)
+            .map(|_| BipolarHypervector::random(output_dim, &mut rng))
+            .collect();
+        Self {
+            keys,
+            input_dim,
+            output_dim,
+        }
+    }
+
+    /// Borrows the key hypervector of feature `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= input_dim()`.
+    pub fn key(&self, k: usize) -> &BipolarHypervector {
+        &self.keys[k]
+    }
+
+    /// Approximate readout of field `k` from an encoded record:
+    /// `(H · K_k) / D ≈ f_k` (plus `O(1/√D)` cross-talk per other field).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= input_dim()` or `hv.len() != output_dim()`.
+    pub fn read_field(&self, hv: &[f32], k: usize) -> f32 {
+        assert_eq!(hv.len(), self.output_dim, "record width mismatch");
+        let key = &self.keys[k];
+        let dot: f32 = hv
+            .iter()
+            .zip(key.as_slice())
+            .map(|(&h, &s)| h * s as f32)
+            .sum();
+        dot / self.output_dim as f32
+    }
+}
+
+impl Encoder for RecordEncoder {
+    fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    fn output_dim(&self) -> usize {
+        self.output_dim
+    }
+
+    fn encode(&self, features: &[f32]) -> Result<Vec<f32>, ShapeError> {
+        if features.len() != self.input_dim {
+            return Err(ShapeError::new(
+                "record_encode",
+                (1, features.len()),
+                (self.input_dim, self.output_dim),
+            ));
+        }
+        let mut out = vec![0.0f32; self.output_dim];
+        for (k, &f) in features.iter().enumerate() {
+            if f == 0.0 {
+                continue;
+            }
+            for (o, &s) in out.iter_mut().zip(self.keys[k].as_slice()) {
+                *o += f * s as f32;
+            }
+        }
+        Ok(out)
+    }
+
+    fn encode_batch(&self, batch: &Matrix) -> Result<Matrix, ShapeError> {
+        let mut out = Matrix::zeros(batch.rows(), self.output_dim);
+        for r in 0..batch.rows() {
+            let encoded = self.encode(batch.row(r))?;
+            out.row_mut(r).copy_from_slice(&encoded);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn encoder() -> RecordEncoder {
+        RecordEncoder::new(6, 4096, RngSeed(8))
+    }
+
+    #[test]
+    fn readout_recovers_field_values() {
+        let enc = encoder();
+        let features = [0.9, -0.4, 0.0, 0.2, -1.0, 0.5];
+        let hv = enc.encode(&features).unwrap();
+        for (k, &f) in features.iter().enumerate() {
+            let readout = enc.read_field(&hv, k);
+            assert!(
+                (readout - f).abs() < 0.15,
+                "field {k}: wrote {f}, read {readout}"
+            );
+        }
+    }
+
+    #[test]
+    fn encoding_is_linear_in_features() {
+        let enc = RecordEncoder::new(3, 256, RngSeed(1));
+        let a = enc.encode(&[1.0, 0.0, 0.0]).unwrap();
+        let b = enc.encode(&[0.0, 2.0, 0.0]).unwrap();
+        let ab = enc.encode(&[1.0, 2.0, 0.0]).unwrap();
+        for i in 0..256 {
+            assert!((ab[i] - (a[i] + b[i])).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn distinct_keys_are_nearly_orthogonal() {
+        let enc = encoder();
+        let sim = enc.key(0).similarity(enc.key(1));
+        assert!(sim.abs() < 0.08, "key similarity {sim}");
+    }
+
+    #[test]
+    fn wrong_arity_is_rejected() {
+        assert!(encoder().encode(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn batch_matches_single() {
+        let enc = RecordEncoder::new(4, 128, RngSeed(2));
+        let rows = vec![vec![0.5, -0.5, 1.0, 0.0]];
+        let batch = Matrix::from_rows(&rows).unwrap();
+        let encoded = enc.encode_batch(&batch).unwrap();
+        assert_eq!(encoded.row(0), enc.encode(&rows[0]).unwrap().as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn read_field_checks_width() {
+        encoder().read_field(&[0.0; 4], 0);
+    }
+}

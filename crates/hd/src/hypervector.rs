@@ -1,0 +1,223 @@
+use disthd_linalg::{cosine_similarity, dot, l2_norm, Gaussian, SeededRng, Uniform};
+
+/// A dense real-valued hypervector.
+///
+/// Real hypervectors are what the RBF encoder produces and what DistHD's
+/// class model accumulates.  The type is a thin newtype over `Vec<f32>` that
+/// carries the HDC vocabulary (bundle, bind, similarity) — batch-level work
+/// stays in [`disthd_linalg::Matrix`] for speed.
+///
+/// # Example
+///
+/// ```
+/// use disthd_hd::Hypervector;
+///
+/// let a = Hypervector::from_vec(vec![1.0, 0.0, -1.0]);
+/// let b = Hypervector::from_vec(vec![1.0, 1.0, 0.0]);
+/// let bundled = a.bundled(&b);
+/// assert_eq!(bundled.as_slice(), &[2.0, 1.0, -1.0]);
+/// assert!(bundled.cosine(&a) > bundled.cosine(&Hypervector::zeros(3)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Hypervector(Vec<f32>);
+
+impl Hypervector {
+    /// All-zero hypervector of dimension `dim`.
+    pub fn zeros(dim: usize) -> Self {
+        Self(vec![0.0; dim])
+    }
+
+    /// Wraps an existing buffer.
+    pub fn from_vec(values: Vec<f32>) -> Self {
+        Self(values)
+    }
+
+    /// Random hypervector with i.i.d. `N(0, 1)` components.
+    ///
+    /// In high dimension, two such draws are nearly orthogonal — the property
+    /// HDC relies on for pattern separation (§III-A).
+    pub fn random_gaussian(dim: usize, rng: &mut SeededRng) -> Self {
+        Self(Gaussian::standard().sample_vec(rng, dim))
+    }
+
+    /// Random hypervector with i.i.d. components uniform in `[-1, 1]`.
+    pub fn random_uniform(dim: usize, rng: &mut SeededRng) -> Self {
+        Self(Uniform::new(-1.0, 1.0).sample_vec(rng, dim))
+    }
+
+    /// Dimensionality `D`.
+    pub fn dim(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Borrow the components.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.0
+    }
+
+    /// Mutably borrow the components.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.0
+    }
+
+    /// Consumes the hypervector and returns the underlying buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.0
+    }
+
+    /// Dot product with another hypervector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn dot(&self, other: &Hypervector) -> f32 {
+        dot(&self.0, &other.0)
+    }
+
+    /// Cosine similarity `δ(self, other)` (eq. 1 of the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn cosine(&self, other: &Hypervector) -> f32 {
+        cosine_similarity(&self.0, &other.0)
+    }
+
+    /// L2 norm.
+    pub fn norm(&self) -> f32 {
+        l2_norm(&self.0)
+    }
+
+    /// Element-wise sum (bundling, the HDC memory operation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn bundled(&self, other: &Hypervector) -> Hypervector {
+        assert_eq!(self.dim(), other.dim(), "bundle: dimension mismatch");
+        Self(self.0.iter().zip(&other.0).map(|(a, b)| a + b).collect())
+    }
+
+    /// Element-wise product (binding, creates a near-orthogonal associate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn bound(&self, other: &Hypervector) -> Hypervector {
+        assert_eq!(self.dim(), other.dim(), "bind: dimension mismatch");
+        Self(self.0.iter().zip(&other.0).map(|(a, b)| a * b).collect())
+    }
+
+    /// Cyclic rotation by `shift` positions (the HDC permutation op, used to
+    /// encode sequence/position information).
+    pub fn permuted(&self, shift: usize) -> Hypervector {
+        if self.0.is_empty() {
+            return self.clone();
+        }
+        let d = self.0.len();
+        let s = shift % d;
+        let mut out = Vec::with_capacity(d);
+        out.extend_from_slice(&self.0[d - s..]);
+        out.extend_from_slice(&self.0[..d - s]);
+        Self(out)
+    }
+
+    /// Accumulates `alpha * other` into `self` (the adaptive-learning model
+    /// update of Algorithm 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn accumulate(&mut self, alpha: f32, other: &Hypervector) {
+        disthd_linalg::axpy(alpha, &other.0, &mut self.0);
+    }
+}
+
+impl From<Vec<f32>> for Hypervector {
+    fn from(v: Vec<f32>) -> Self {
+        Self(v)
+    }
+}
+
+impl AsRef<[f32]> for Hypervector {
+    fn as_ref(&self) -> &[f32] {
+        &self.0
+    }
+}
+
+impl FromIterator<f32> for Hypervector {
+    fn from_iter<I: IntoIterator<Item = f32>>(iter: I) -> Self {
+        Self(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disthd_linalg::RngSeed;
+
+    #[test]
+    fn zeros_has_zero_norm() {
+        assert_eq!(Hypervector::zeros(16).norm(), 0.0);
+    }
+
+    #[test]
+    fn random_gaussian_vectors_are_nearly_orthogonal_in_high_dim() {
+        let mut rng = SeededRng::new(RngSeed(1));
+        let a = Hypervector::random_gaussian(4096, &mut rng);
+        let b = Hypervector::random_gaussian(4096, &mut rng);
+        assert!(a.cosine(&b).abs() < 0.08, "cosine was {}", a.cosine(&b));
+    }
+
+    #[test]
+    fn bundle_preserves_membership_signal() {
+        // δ(H1 + H2, H1) >> δ(H1 + H2, H3) — the memory property from §III-A.
+        let mut rng = SeededRng::new(RngSeed(2));
+        let h1 = Hypervector::random_gaussian(2048, &mut rng);
+        let h2 = Hypervector::random_gaussian(2048, &mut rng);
+        let h3 = Hypervector::random_gaussian(2048, &mut rng);
+        let bundle = h1.bundled(&h2);
+        assert!(bundle.cosine(&h1) > 0.5);
+        assert!(bundle.cosine(&h3).abs() < 0.1);
+    }
+
+    #[test]
+    fn binding_creates_near_orthogonal_vector() {
+        let mut rng = SeededRng::new(RngSeed(3));
+        let h1 = Hypervector::random_gaussian(4096, &mut rng);
+        let h2 = Hypervector::random_gaussian(4096, &mut rng);
+        let bound = h1.bound(&h2);
+        assert!(bound.cosine(&h1).abs() < 0.1);
+        assert!(bound.cosine(&h2).abs() < 0.1);
+    }
+
+    #[test]
+    fn permutation_is_cyclic_and_invertible() {
+        let h = Hypervector::from_vec(vec![1.0, 2.0, 3.0, 4.0]);
+        let p = h.permuted(1);
+        assert_eq!(p.as_slice(), &[4.0, 1.0, 2.0, 3.0]);
+        assert_eq!(p.permuted(3).as_slice(), h.as_slice());
+        assert_eq!(h.permuted(4).as_slice(), h.as_slice());
+    }
+
+    #[test]
+    fn permutation_of_empty_is_noop() {
+        let h = Hypervector::zeros(0);
+        assert_eq!(h.permuted(5).dim(), 0);
+    }
+
+    #[test]
+    fn accumulate_applies_scaled_update() {
+        let mut h = Hypervector::from_vec(vec![1.0, 1.0]);
+        let u = Hypervector::from_vec(vec![2.0, -2.0]);
+        h.accumulate(0.5, &u);
+        assert_eq!(h.as_slice(), &[2.0, 0.0]);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let h: Hypervector = (0..3).map(|i| i as f32).collect();
+        assert_eq!(h.as_slice(), &[0.0, 1.0, 2.0]);
+    }
+}

@@ -1,0 +1,241 @@
+//! Associative item memory — the classic HDC lookup structure [20].
+//!
+//! An item memory stores named hypervectors and answers nearest-neighbour
+//! queries by similarity.  HDC systems use it for symbol tables (level/ID
+//! stores), cleanup after noisy binding arithmetic, and few-shot "one
+//! prototype per item" recognition.  It is the associative-memory substrate
+//! the paper's related work accelerates in hardware.
+
+use crate::similarity;
+use disthd_linalg::{Matrix, ShapeError};
+
+/// A lookup result: which item matched and how strongly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recall {
+    /// Index of the stored item (insertion order).
+    pub index: usize,
+    /// Name of the stored item.
+    pub name: String,
+    /// Cosine similarity of the query to the item.
+    pub similarity: f32,
+}
+
+/// An associative memory of named hypervectors with cosine recall.
+///
+/// # Example
+///
+/// ```
+/// use disthd_hd::ItemMemory;
+/// use disthd_hd::Hypervector;
+/// use disthd_linalg::{RngSeed, SeededRng};
+///
+/// let mut rng = SeededRng::new(RngSeed(1));
+/// let mut memory = ItemMemory::new(512);
+/// let apple = Hypervector::random_gaussian(512, &mut rng);
+/// let pear = Hypervector::random_gaussian(512, &mut rng);
+/// memory.store("apple", apple.as_slice())?;
+/// memory.store("pear", pear.as_slice())?;
+///
+/// // A noisy version of `apple` still recalls "apple".
+/// let mut noisy = apple.clone();
+/// noisy.as_mut_slice()[0] += 5.0;
+/// let recall = memory.recall(noisy.as_slice())?.expect("non-empty memory");
+/// assert_eq!(recall.name, "apple");
+/// # Ok::<(), disthd_linalg::ShapeError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ItemMemory {
+    items: Matrix,
+    normalized: Matrix,
+    names: Vec<String>,
+    dim: usize,
+}
+
+impl ItemMemory {
+    /// Creates an empty memory for `dim`-dimensional hypervectors.
+    pub fn new(dim: usize) -> Self {
+        Self {
+            items: Matrix::zeros(0, dim),
+            normalized: Matrix::zeros(0, dim),
+            names: Vec::new(),
+            dim,
+        }
+    }
+
+    /// Hypervector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of stored items.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the memory is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Stores a named hypervector; returns its index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `hv.len() != dim()`.
+    pub fn store(&mut self, name: &str, hv: &[f32]) -> Result<usize, ShapeError> {
+        if hv.len() != self.dim {
+            return Err(ShapeError::new("item_store", (1, hv.len()), (1, self.dim)));
+        }
+        self.items.push_row(hv)?;
+        self.normalized.push_row(&disthd_linalg::normalize_l2(hv))?;
+        self.names.push(name.to_string());
+        Ok(self.names.len() - 1)
+    }
+
+    /// Name of item `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    pub fn name(&self, index: usize) -> &str {
+        &self.names[index]
+    }
+
+    /// Stored hypervector of item `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    pub fn item(&self, index: usize) -> &[f32] {
+        self.items.row(index)
+    }
+
+    /// Most similar stored item, or `None` if the memory is empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `query.len() != dim()`.
+    pub fn recall(&self, query: &[f32]) -> Result<Option<Recall>, ShapeError> {
+        Ok(self.recall_top(query, 1)?.into_iter().next())
+    }
+
+    /// The `k` most similar stored items, best first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `query.len() != dim()`.
+    pub fn recall_top(&self, query: &[f32], k: usize) -> Result<Vec<Recall>, ShapeError> {
+        if self.is_empty() {
+            if query.len() != self.dim {
+                return Err(ShapeError::new("item_recall", (1, query.len()), (1, self.dim)));
+            }
+            return Ok(Vec::new());
+        }
+        let sims = similarity::similarity_to_all(
+            &disthd_linalg::normalize_l2(query),
+            &self.normalized,
+        )?;
+        let top = disthd_linalg::top_k_largest(&sims, k);
+        Ok(top
+            .into_iter()
+            .map(|index| Recall {
+                index,
+                name: self.names[index].clone(),
+                similarity: sims[index],
+            })
+            .collect())
+    }
+
+    /// Recall only if the best similarity reaches `threshold` — the HDC
+    /// "cleanup" operation (returns `None` for unrecognized noise).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `query.len() != dim()`.
+    pub fn cleanup(&self, query: &[f32], threshold: f32) -> Result<Option<Recall>, ShapeError> {
+        Ok(self
+            .recall(query)?
+            .filter(|recall| recall.similarity >= threshold))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Hypervector;
+    use disthd_linalg::{RngSeed, SeededRng};
+
+    fn filled_memory() -> (ItemMemory, Vec<Hypervector>) {
+        let mut rng = SeededRng::new(RngSeed(2));
+        let mut memory = ItemMemory::new(1024);
+        let items: Vec<Hypervector> = (0..5)
+            .map(|_| Hypervector::random_gaussian(1024, &mut rng))
+            .collect();
+        for (i, hv) in items.iter().enumerate() {
+            memory.store(&format!("item{i}"), hv.as_slice()).unwrap();
+        }
+        (memory, items)
+    }
+
+    #[test]
+    fn exact_recall_returns_self() {
+        let (memory, items) = filled_memory();
+        for (i, hv) in items.iter().enumerate() {
+            let recall = memory.recall(hv.as_slice()).unwrap().unwrap();
+            assert_eq!(recall.index, i);
+            assert!(recall.similarity > 0.99);
+        }
+    }
+
+    #[test]
+    fn noisy_recall_finds_the_right_item() {
+        let (memory, items) = filled_memory();
+        let mut rng = SeededRng::new(RngSeed(3));
+        let noise = Hypervector::random_gaussian(1024, &mut rng);
+        let noisy = items[2].bundled(&noise); // item + full-strength noise
+        let recall = memory.recall(noisy.as_slice()).unwrap().unwrap();
+        assert_eq!(recall.name, "item2");
+    }
+
+    #[test]
+    fn recall_top_orders_by_similarity() {
+        let (memory, items) = filled_memory();
+        let top = memory.recall_top(items[0].as_slice(), 3).unwrap();
+        assert_eq!(top.len(), 3);
+        assert_eq!(top[0].index, 0);
+        assert!(top[0].similarity >= top[1].similarity);
+        assert!(top[1].similarity >= top[2].similarity);
+    }
+
+    #[test]
+    fn cleanup_rejects_pure_noise() {
+        let (memory, _) = filled_memory();
+        let mut rng = SeededRng::new(RngSeed(4));
+        let noise = Hypervector::random_gaussian(1024, &mut rng);
+        assert!(memory.cleanup(noise.as_slice(), 0.5).unwrap().is_none());
+    }
+
+    #[test]
+    fn cleanup_accepts_real_items() {
+        let (memory, items) = filled_memory();
+        let recall = memory.cleanup(items[1].as_slice(), 0.5).unwrap();
+        assert_eq!(recall.unwrap().name, "item1");
+    }
+
+    #[test]
+    fn empty_memory_recalls_nothing() {
+        let memory = ItemMemory::new(8);
+        assert!(memory.recall(&[0.0; 8]).unwrap().is_none());
+        assert!(memory.is_empty());
+    }
+
+    #[test]
+    fn store_and_recall_check_dimensions() {
+        let mut memory = ItemMemory::new(8);
+        assert!(memory.store("bad", &[0.0; 4]).is_err());
+        memory.store("ok", &[1.0; 8]).unwrap();
+        assert!(memory.recall(&[0.0; 4]).is_err());
+        assert_eq!(memory.name(0), "ok");
+        assert_eq!(memory.item(0), &[1.0; 8]);
+    }
+}

@@ -1,0 +1,63 @@
+//! # disthd-hd
+//!
+//! Hyperdimensional-computing substrate for the DistHD reproduction.
+//!
+//! This crate provides everything §III-A of the paper assumes as background:
+//!
+//! * [`Hypervector`] — dense real hypervectors with bundling/binding/permutation,
+//!   plus [`BipolarHypervector`] and bit-packed [`BinaryHypervector`] variants;
+//! * [`encoder`] — the RBF nonlinear encoder `h_i = cos(B_i·F + c_i)·sin(B_i·F)`
+//!   used by DistHD (§III-C), a plain linear projection, and a level–ID encoder,
+//!   all behind the [`encoder::Encoder`] trait, with per-dimension
+//!   **regeneration** support;
+//! * [`ClassModel`] — the trained set of class hypervectors with normalized
+//!   cosine-similarity search (eq. 1) and top-k queries;
+//! * [`quantize`] — 1/2/4/8-bit model quantization for the Fig. 8 robustness
+//!   study;
+//! * [`noise`] — random bit-flip fault injection on stored model memory.
+//!
+//! ## Example
+//!
+//! ```
+//! use disthd_hd::encoder::{Encoder, RbfEncoder};
+//! use disthd_hd::ClassModel;
+//! use disthd_linalg::{Matrix, RngSeed};
+//!
+//! // Encode two 4-feature samples into a 64-dimensional space.
+//! let encoder = RbfEncoder::new(4, 64, RngSeed(1));
+//! let batch = Matrix::from_rows(&[vec![0.1, 0.4, 0.2, 0.9], vec![0.8, 0.1, 0.3, 0.2]])?;
+//! let encoded = encoder.encode_batch(&batch)?;
+//!
+//! // Bundle each into its own class and query.
+//! let mut model = disthd_hd::ClassModel::new(2, 64);
+//! model.bundle_into(0, encoded.row(0));
+//! model.bundle_into(1, encoded.row(1));
+//! assert_eq!(model.predict(encoded.row(0)), 0);
+//! # Ok::<(), disthd_linalg::ShapeError>(())
+//! ```
+
+#![deny(missing_docs)]
+
+mod bipolar;
+pub mod center;
+mod bitpacked;
+pub mod encoder;
+mod hypervector;
+mod item_memory;
+pub mod learn;
+mod model;
+pub mod noise;
+mod ops;
+pub mod quantize;
+mod similarity;
+
+pub use bipolar::BipolarHypervector;
+pub use bitpacked::BinaryHypervector;
+pub use hypervector::Hypervector;
+pub use item_memory::{ItemMemory, Recall};
+pub use model::{ClassModel, Prediction, TopK};
+pub use ops::{bind, bundle, permute, weighted_bundle};
+pub use similarity::{
+    exact_cosine_to_all,
+    cosine_similarity_matrix, hamming_distance, normalized_hamming_similarity, similarity_to_all,
+};

@@ -1,0 +1,391 @@
+use crate::similarity;
+use disthd_linalg::{Matrix, ShapeError};
+
+/// The top-1 result of a similarity query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prediction {
+    /// Index of the most similar class.
+    pub class: usize,
+    /// Similarity score of that class.
+    pub score: f32,
+}
+
+/// The top-2 result of a similarity query — the unit of information DistHD's
+/// dynamic encoder feeds on (§III-B).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TopK {
+    /// Most similar class and its score.
+    pub first: Prediction,
+    /// Second most similar class and its score.
+    pub second: Prediction,
+}
+
+/// A set of class hypervectors — the trained HDC model ( C in Fig. 3).
+///
+/// Stores the raw accumulated class hypervectors plus a lazily refreshed
+/// row-normalized copy so that cosine similarity (eq. 1) is a single dot
+/// product per class at query time.
+///
+/// # Example
+///
+/// ```
+/// use disthd_hd::ClassModel;
+///
+/// let mut model = ClassModel::new(2, 4);
+/// model.bundle_into(0, &[1.0, 0.0, 0.0, 0.0]);
+/// model.bundle_into(1, &[0.0, 1.0, 0.0, 0.0]);
+/// assert_eq!(model.predict(&[0.9, 0.1, 0.0, 0.0]), 0);
+/// let top2 = model.top2(&[0.9, 0.1, 0.0, 0.0])?;
+/// assert_eq!((top2.first.class, top2.second.class), (0, 1));
+/// # Ok::<(), disthd_linalg::ShapeError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClassModel {
+    classes: Matrix,
+    normalized: Matrix,
+    normalized_dirty: bool,
+}
+
+impl ClassModel {
+    /// Creates a model with `class_count` all-zero class hypervectors of
+    /// dimension `dim`.
+    pub fn new(class_count: usize, dim: usize) -> Self {
+        Self {
+            classes: Matrix::zeros(class_count, dim),
+            normalized: Matrix::zeros(class_count, dim),
+            normalized_dirty: false,
+        }
+    }
+
+    /// Builds a model from an existing class matrix (one row per class).
+    pub fn from_matrix(classes: Matrix) -> Self {
+        let normalized = similarity::cosine_similarity_matrix(&classes);
+        Self {
+            classes,
+            normalized,
+            normalized_dirty: false,
+        }
+    }
+
+    /// Number of classes `k`.
+    pub fn class_count(&self) -> usize {
+        self.classes.rows()
+    }
+
+    /// Hypervector dimensionality `D`.
+    pub fn dim(&self) -> usize {
+        self.classes.cols()
+    }
+
+    /// Borrows the raw (unnormalized) class matrix.
+    pub fn classes(&self) -> &Matrix {
+        &self.classes
+    }
+
+    /// Borrows class `c` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= class_count()`.
+    pub fn class(&self, c: usize) -> &[f32] {
+        self.classes.row(c)
+    }
+
+    /// Adds `alpha * hv` into class `c` (Algorithm 1's adaptive update).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range or `hv.len() != dim()`.
+    pub fn accumulate(&mut self, c: usize, alpha: f32, hv: &[f32]) {
+        disthd_linalg::axpy(alpha, hv, self.classes.row_mut(c));
+        self.normalized_dirty = true;
+    }
+
+    /// Bundles `hv` into class `c` with unit weight (single-pass training).
+    pub fn bundle_into(&mut self, c: usize, hv: &[f32]) {
+        self.accumulate(c, 1.0, hv);
+    }
+
+    /// Zeroes dimension `d` in every class (performed when a dimension is
+    /// dropped for regeneration: the model must relearn it from scratch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d >= dim()`.
+    pub fn reset_dimension(&mut self, d: usize) {
+        for c in 0..self.classes.rows() {
+            self.classes.set(c, d, 0.0);
+        }
+        self.normalized_dirty = true;
+    }
+
+    /// Zeroes several dimensions at once.
+    pub fn reset_dimensions(&mut self, dims: &[usize]) {
+        for &d in dims {
+            self.reset_dimension(d);
+        }
+    }
+
+    /// Bundle-initializes *only* the selected dimensions from an encoded
+    /// batch: `C[label_i][d] += encoded[i][d]` for every sample `i` and
+    /// every `d` in `dims`.
+    ///
+    /// After dimension regeneration the fresh dimensions hold zeros and the
+    /// mistake-driven adaptive updates would train them only glacially;
+    /// this one-pass partial bundling gives them the same warm start the
+    /// full model got from `bundle_init`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len() != encoded.rows()`, any label is out of
+    /// range, `encoded.cols() != dim()`, or any dim index is out of range.
+    pub fn bundle_dimensions(&mut self, encoded: &Matrix, labels: &[usize], dims: &[usize]) {
+        assert_eq!(labels.len(), encoded.rows(), "labels/sample count mismatch");
+        assert_eq!(encoded.cols(), self.dim(), "encoded width mismatch");
+        for (i, &label) in labels.iter().enumerate() {
+            assert!(label < self.class_count(), "label out of range");
+            let row = encoded.row(i);
+            for &d in dims {
+                let current = self.classes.get(label, d);
+                self.classes.set(label, d, current + row[d]);
+            }
+        }
+        self.normalized_dirty = true;
+    }
+
+    /// Refreshes the normalized row cache if stale.
+    fn refresh(&mut self) {
+        if self.normalized_dirty {
+            self.normalized = similarity::cosine_similarity_matrix(&self.classes);
+            self.normalized_dirty = false;
+        }
+    }
+
+    /// Similarity of `query` to every class (eq. 1, using normalized rows).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `query.len() != dim()`.
+    pub fn similarities(&mut self, query: &[f32]) -> Result<Vec<f32>, ShapeError> {
+        self.refresh();
+        similarity::similarity_to_all(query, &self.normalized)
+    }
+
+    /// Similarity without mutable access; the caller must have called a
+    /// query method since the last update (debug-asserted).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `query.len() != dim()`.
+    pub fn similarities_cached(&self, query: &[f32]) -> Result<Vec<f32>, ShapeError> {
+        debug_assert!(!self.normalized_dirty, "normalized cache is stale");
+        similarity::similarity_to_all(query, &self.normalized)
+    }
+
+    /// Ensures the normalized cache is fresh (call once before a read-only
+    /// batch of [`Self::similarities_cached`] queries, e.g. parallel
+    /// inference).
+    pub fn prepare_inference(&mut self) {
+        self.refresh();
+    }
+
+    /// Index of the most similar class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query.len() != dim()` or the model has no classes.
+    pub fn predict(&mut self, query: &[f32]) -> usize {
+        self.top1(query).expect("query length matches model dim").class
+    }
+
+    /// Most similar class with its score.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `query.len() != dim()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model has zero classes.
+    pub fn top1(&mut self, query: &[f32]) -> Result<Prediction, ShapeError> {
+        let sims = self.similarities(query)?;
+        let (class, score) = argmax(&sims);
+        Ok(Prediction { class, score })
+    }
+
+    /// Two most similar classes with scores (§III-B "Top-2 Labels").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `query.len() != dim()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model has fewer than two classes.
+    pub fn top2(&mut self, query: &[f32]) -> Result<TopK, ShapeError> {
+        let sims = self.similarities(query)?;
+        assert!(sims.len() >= 2, "top2 requires at least two classes");
+        let (first, second) = top2_of(&sims);
+        Ok(TopK { first, second })
+    }
+
+    /// The `k` most similar classes, best first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `query.len() != dim()`.
+    pub fn top_k(&mut self, query: &[f32], k: usize) -> Result<Vec<Prediction>, ShapeError> {
+        let sims = self.similarities(query)?;
+        let idx = disthd_linalg::top_k_largest(&sims, k);
+        Ok(idx
+            .into_iter()
+            .map(|class| Prediction {
+                class,
+                score: sims[class],
+            })
+            .collect())
+    }
+}
+
+/// `(argmax, max)` of a non-empty slice.
+fn argmax(values: &[f32]) -> (usize, f32) {
+    assert!(!values.is_empty(), "argmax of empty slice");
+    let mut best = 0;
+    for i in 1..values.len() {
+        if values[i] > values[best] {
+            best = i;
+        }
+    }
+    (best, values[best])
+}
+
+/// Top-2 entries of a slice with at least two elements, one pass.
+fn top2_of(values: &[f32]) -> (Prediction, Prediction) {
+    let (mut i1, mut i2) = if values[0] >= values[1] { (0, 1) } else { (1, 0) };
+    for i in 2..values.len() {
+        if values[i] > values[i1] {
+            i2 = i1;
+            i1 = i;
+        } else if values[i] > values[i2] {
+            i2 = i;
+        }
+    }
+    (
+        Prediction {
+            class: i1,
+            score: values[i1],
+        },
+        Prediction {
+            class: i2,
+            score: values[i2],
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_class_model() -> ClassModel {
+        let mut m = ClassModel::new(2, 4);
+        m.bundle_into(0, &[1.0, 0.0, 0.0, 0.0]);
+        m.bundle_into(1, &[0.0, 1.0, 0.0, 0.0]);
+        m
+    }
+
+    #[test]
+    fn predict_picks_most_similar() {
+        let mut m = two_class_model();
+        assert_eq!(m.predict(&[0.8, 0.2, 0.0, 0.0]), 0);
+        assert_eq!(m.predict(&[0.2, 0.8, 0.0, 0.0]), 1);
+    }
+
+    #[test]
+    fn top2_orders_by_score() {
+        let mut m = ClassModel::new(3, 3);
+        m.bundle_into(0, &[1.0, 0.0, 0.0]);
+        m.bundle_into(1, &[0.7, 0.7, 0.0]);
+        m.bundle_into(2, &[0.0, 0.0, 1.0]);
+        let t = m.top2(&[1.0, 0.1, 0.0]).unwrap();
+        assert_eq!(t.first.class, 0);
+        assert_eq!(t.second.class, 1);
+        assert!(t.first.score >= t.second.score);
+    }
+
+    #[test]
+    fn top_k_returns_sorted_prefix() {
+        let mut m = ClassModel::new(4, 2);
+        m.bundle_into(0, &[1.0, 0.0]);
+        m.bundle_into(1, &[0.9, 0.1]);
+        m.bundle_into(2, &[0.0, 1.0]);
+        m.bundle_into(3, &[-1.0, 0.0]);
+        let top = m.top_k(&[1.0, 0.0], 3).unwrap();
+        assert_eq!(top.len(), 3);
+        assert_eq!(top[0].class, 0);
+        assert!(top[0].score >= top[1].score && top[1].score >= top[2].score);
+    }
+
+    #[test]
+    fn accumulate_moves_decision_boundary() {
+        let mut m = two_class_model();
+        // Strongly reinforce class 1 along the first axis: class 1 becomes
+        // [5, 1, 0, 0], so a query pointing in exactly that direction must
+        // now prefer class 1 over the pure-axis class 0.
+        m.accumulate(1, 5.0, &[1.0, 0.0, 0.0, 0.0]);
+        assert_eq!(m.predict(&[5.0, 1.0, 0.0, 0.0]), 1);
+    }
+
+    #[test]
+    fn reset_dimension_erases_information() {
+        let mut m = two_class_model();
+        m.reset_dimension(0);
+        assert_eq!(m.class(0), &[0.0, 0.0, 0.0, 0.0]);
+        // Class 1 only used dim 1, unaffected.
+        assert_eq!(m.class(1), &[0.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn reset_dimensions_resets_many() {
+        let mut m = two_class_model();
+        m.reset_dimensions(&[0, 1]);
+        assert!(m.class(0).iter().all(|&v| v == 0.0));
+        assert!(m.class(1).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn similarities_have_one_entry_per_class() {
+        let mut m = two_class_model();
+        let sims = m.similarities(&[0.5, 0.5, 0.0, 0.0]).unwrap();
+        assert_eq!(sims.len(), 2);
+    }
+
+    #[test]
+    fn similarity_rejects_bad_query_shape() {
+        let mut m = two_class_model();
+        assert!(m.similarities(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn from_matrix_round_trips() {
+        let mat = Matrix::from_rows(&[vec![2.0, 0.0], vec![0.0, 3.0]]).unwrap();
+        let mut m = ClassModel::from_matrix(mat);
+        assert_eq!(m.class_count(), 2);
+        assert_eq!(m.predict(&[1.0, 0.0]), 0);
+    }
+
+    #[test]
+    fn cached_similarities_after_prepare() {
+        let mut m = two_class_model();
+        m.prepare_inference();
+        let sims = m.similarities_cached(&[1.0, 0.0, 0.0, 0.0]).unwrap();
+        assert!(sims[0] > sims[1]);
+    }
+
+    #[test]
+    fn top2_of_handles_descending_and_ascending() {
+        let (a, b) = top2_of(&[3.0, 1.0, 2.0]);
+        assert_eq!((a.class, b.class), (0, 2));
+        let (a, b) = top2_of(&[1.0, 2.0, 3.0]);
+        assert_eq!((a.class, b.class), (2, 1));
+    }
+}

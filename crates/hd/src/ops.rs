@@ -1,0 +1,108 @@
+//! Free-function HDC operations over real hypervectors.
+//!
+//! Method forms live on [`crate::Hypervector`]; these free functions are the
+//! batch-friendly equivalents used by encoders and trainers, operating on
+//! plain slices so callers can stay inside [`disthd_linalg::Matrix`] rows.
+
+/// Element-wise sum of many hypervectors (bundling, the memory operation).
+///
+/// # Panics
+///
+/// Panics if `inputs` is empty or the dimensions differ.
+pub fn bundle(inputs: &[&[f32]]) -> Vec<f32> {
+    assert!(!inputs.is_empty(), "bundle of zero hypervectors");
+    let dim = inputs[0].len();
+    let mut out = vec![0.0; dim];
+    for hv in inputs {
+        assert_eq!(hv.len(), dim, "bundle: dimension mismatch");
+        disthd_linalg::add_assign(&mut out, hv);
+    }
+    out
+}
+
+/// Weighted bundling `Σ w_i · H_i` — the saturation-aware accumulation of
+/// Algorithm 1, where each sample is scaled by `1 - δ` before joining the
+/// class hypervector.
+///
+/// # Panics
+///
+/// Panics if `inputs.len() != weights.len()`, if `inputs` is empty, or if
+/// dimensions differ.
+pub fn weighted_bundle(inputs: &[&[f32]], weights: &[f32]) -> Vec<f32> {
+    assert_eq!(inputs.len(), weights.len(), "weighted_bundle: arity mismatch");
+    assert!(!inputs.is_empty(), "weighted_bundle of zero hypervectors");
+    let dim = inputs[0].len();
+    let mut out = vec![0.0; dim];
+    for (hv, &w) in inputs.iter().zip(weights) {
+        assert_eq!(hv.len(), dim, "weighted_bundle: dimension mismatch");
+        disthd_linalg::axpy(w, hv, &mut out);
+    }
+    out
+}
+
+/// Element-wise product of two hypervectors (binding).
+///
+/// # Panics
+///
+/// Panics if dimensions differ.
+pub fn bind(a: &[f32], b: &[f32]) -> Vec<f32> {
+    assert_eq!(a.len(), b.len(), "bind: dimension mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).collect()
+}
+
+/// Cyclic rotation by `shift` positions (permutation).
+pub fn permute(v: &[f32], shift: usize) -> Vec<f32> {
+    if v.is_empty() {
+        return Vec::new();
+    }
+    let d = v.len();
+    let s = shift % d;
+    let mut out = Vec::with_capacity(d);
+    out.extend_from_slice(&v[d - s..]);
+    out.extend_from_slice(&v[..d - s]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bundle_sums_elementwise() {
+        let a = [1.0, 2.0];
+        let b = [3.0, -1.0];
+        assert_eq!(bundle(&[&a, &b]), vec![4.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero hypervectors")]
+    fn bundle_of_nothing_panics() {
+        bundle(&[]);
+    }
+
+    #[test]
+    fn weighted_bundle_scales_each_input() {
+        let a = [1.0, 0.0];
+        let b = [0.0, 1.0];
+        let out = weighted_bundle(&[&a, &b], &[0.25, 4.0]);
+        assert_eq!(out, vec![0.25, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn weighted_bundle_checks_arity() {
+        weighted_bundle(&[&[1.0]], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn bind_multiplies_elementwise() {
+        assert_eq!(bind(&[2.0, 3.0], &[4.0, -1.0]), vec![8.0, -3.0]);
+    }
+
+    #[test]
+    fn permute_rotates_right() {
+        assert_eq!(permute(&[1.0, 2.0, 3.0], 1), vec![3.0, 1.0, 2.0]);
+        assert_eq!(permute(&[1.0, 2.0, 3.0], 3), vec![1.0, 2.0, 3.0]);
+        assert!(permute(&[], 2).is_empty());
+    }
+}

@@ -1,0 +1,407 @@
+//! Low-precision model quantization for the Fig. 8 robustness study.
+//!
+//! The paper stores DistHD models at 1, 2, 4 or 8 bits per dimension and
+//! flips random bits in that memory.  [`QuantizedMatrix`] packs a row-major
+//! `f32` matrix into a dense bitstream at a chosen [`BitWidth`] with one
+//! symmetric scale per row, supports in-place bit faults (see
+//! [`crate::noise`]), and dequantizes back for inference.
+
+use disthd_linalg::Matrix;
+
+/// Supported quantization precisions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum BitWidth {
+    /// 1-bit sign quantization (bipolar deployment).
+    B1,
+    /// 2-bit symmetric signed.
+    B2,
+    /// 4-bit symmetric signed.
+    B4,
+    /// 8-bit symmetric signed (the DNN comparison precision).
+    B8,
+}
+
+impl BitWidth {
+    /// Number of bits per stored element.
+    pub fn bits(self) -> usize {
+        match self {
+            BitWidth::B1 => 1,
+            BitWidth::B2 => 2,
+            BitWidth::B4 => 4,
+            BitWidth::B8 => 8,
+        }
+    }
+
+    /// Largest positive quantized magnitude (`2^(b-1) - 1`, or 1 for 1-bit).
+    pub fn qmax(self) -> i32 {
+        match self {
+            BitWidth::B1 => 1,
+            BitWidth::B2 => 1,
+            BitWidth::B4 => 7,
+            BitWidth::B8 => 127,
+        }
+    }
+
+    /// All supported widths, smallest first (the Fig. 8 sweep order).
+    pub fn all() -> [BitWidth; 4] {
+        [BitWidth::B1, BitWidth::B2, BitWidth::B4, BitWidth::B8]
+    }
+
+    /// Parses a persisted bit count back to a width.
+    pub fn from_bits(bits: usize) -> Option<BitWidth> {
+        match bits {
+            1 => Some(BitWidth::B1),
+            2 => Some(BitWidth::B2),
+            4 => Some(BitWidth::B4),
+            8 => Some(BitWidth::B8),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for BitWidth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} bit{}", self.bits(), if self.bits() == 1 { "" } else { "s" })
+    }
+}
+
+/// A matrix stored as a packed low-precision bitstream.
+///
+/// Quantization is symmetric per row: `scale_r = max|row_r| / qmax`, each
+/// element stores `round(v / scale_r)` offset into an unsigned code of
+/// [`BitWidth::bits`] bits.  1-bit is sign quantization with the row's mean
+/// magnitude as the reconstruction level.
+///
+/// # Example
+///
+/// ```
+/// use disthd_hd::quantize::{BitWidth, QuantizedMatrix};
+/// use disthd_linalg::Matrix;
+///
+/// let m = Matrix::from_rows(&[vec![0.5, -1.0, 0.25]])?;
+/// let q = QuantizedMatrix::quantize(&m, BitWidth::B8);
+/// let back = q.dequantize();
+/// assert!((back.get(0, 1) - -1.0).abs() < 0.02);
+/// # Ok::<(), disthd_linalg::ShapeError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct QuantizedMatrix {
+    words: Vec<u64>,
+    scales: Vec<f32>,
+    width: BitWidth,
+    rows: usize,
+    cols: usize,
+}
+
+impl QuantizedMatrix {
+    /// Quantizes `m` at the given precision.
+    pub fn quantize(m: &Matrix, width: BitWidth) -> Self {
+        let rows = m.rows();
+        let cols = m.cols();
+        let bits = width.bits();
+        let total_bits = rows * cols * bits;
+        let mut words = vec![0u64; total_bits.div_ceil(64)];
+        let mut scales = Vec::with_capacity(rows);
+
+        for r in 0..rows {
+            let row = m.row(r);
+            let scale = row_scale(row, width);
+            scales.push(scale);
+            for (c, &v) in row.iter().enumerate() {
+                let code = encode_value(v, scale, width);
+                write_code(&mut words, (r * cols + c) * bits, bits, code);
+            }
+        }
+
+        Self {
+            words,
+            scales,
+            width,
+            rows,
+            cols,
+        }
+    }
+
+    /// Reconstructs the full-precision matrix.
+    pub fn dequantize(&self) -> Matrix {
+        let bits = self.width.bits();
+        Matrix::from_fn(self.rows, self.cols, |r, c| {
+            let code = read_code(&self.words, (r * self.cols + c) * bits, bits);
+            decode_value(code, self.scales[r], self.width)
+        })
+    }
+
+    /// Total number of stored payload bits (`rows * cols * bits`) — the
+    /// memory the fault model acts on.
+    pub fn payload_bits(&self) -> usize {
+        self.rows * self.cols * self.width.bits()
+    }
+
+    /// Flips the payload bit at `bit_index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit_index >= payload_bits()`.
+    pub fn flip_bit(&mut self, bit_index: usize) {
+        assert!(bit_index < self.payload_bits(), "bit index out of bounds");
+        self.words[bit_index / 64] ^= 1 << (bit_index % 64);
+    }
+
+    /// Storage precision.
+    pub fn width(&self) -> BitWidth {
+        self.width
+    }
+
+    /// Borrows the packed payload words (for persistence).
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Borrows the per-row scales (for persistence).
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// Reassembles a quantized matrix from its persisted parts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`disthd_linalg::ShapeError`] if the word count or scale
+    /// count disagrees with `rows x cols` at the given width.
+    pub fn from_parts(
+        words: Vec<u64>,
+        scales: Vec<f32>,
+        width: BitWidth,
+        rows: usize,
+        cols: usize,
+    ) -> Result<Self, disthd_linalg::ShapeError> {
+        let expected_words = (rows * cols * width.bits()).div_ceil(64);
+        if words.len() != expected_words || scales.len() != rows {
+            return Err(disthd_linalg::ShapeError::new(
+                "quantized_from_parts",
+                (rows, cols),
+                (words.len(), scales.len()),
+            ));
+        }
+        Ok(Self {
+            words,
+            scales,
+            width,
+            rows,
+            cols,
+        })
+    }
+
+    /// `(rows, cols)` of the logical matrix.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+}
+
+/// Per-row scale factor for symmetric quantization.
+fn row_scale(row: &[f32], width: BitWidth) -> f32 {
+    match width {
+        BitWidth::B1 => {
+            // Reconstruction level = mean magnitude (sign quantization).
+            let mean_abs = row.iter().map(|v| v.abs()).sum::<f32>() / row.len().max(1) as f32;
+            if mean_abs > 0.0 {
+                mean_abs
+            } else {
+                1.0
+            }
+        }
+        BitWidth::B2 => {
+            // Ternary {-1, 0, +1}: a mean-magnitude level (like 1-bit)
+            // keeps per-flip damage bounded; a max-abs level would make
+            // every flip a full-range swing and invert the paper's
+            // precision-vs-robustness ordering.
+            let mean_abs = row.iter().map(|v| v.abs()).sum::<f32>() / row.len().max(1) as f32;
+            if mean_abs > 0.0 {
+                1.5 * mean_abs
+            } else {
+                1.0
+            }
+        }
+        _ => {
+            let max_abs = row.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+            if max_abs > 0.0 {
+                max_abs / width.qmax() as f32
+            } else {
+                1.0
+            }
+        }
+    }
+}
+
+/// Encodes one value to an unsigned code of `width.bits()` bits.
+fn encode_value(v: f32, scale: f32, width: BitWidth) -> u64 {
+    match width {
+        BitWidth::B1 => u64::from(v >= 0.0),
+        _ => {
+            let qmax = width.qmax();
+            let q = (v / scale).round().clamp(-(qmax as f32), qmax as f32) as i32;
+            (q + qmax) as u64
+        }
+    }
+}
+
+/// Decodes an unsigned code back to a value.
+fn decode_value(code: u64, scale: f32, width: BitWidth) -> f32 {
+    match width {
+        BitWidth::B1 => {
+            if code & 1 == 1 {
+                scale
+            } else {
+                -scale
+            }
+        }
+        _ => {
+            let qmax = width.qmax();
+            // A bit fault can push the code beyond the encoding range
+            // (e.g. 2-bit code 3 when qmax = 1): clamp like saturating
+            // hardware would.
+            let q = (code as i64 - qmax as i64).clamp(-(qmax as i64), qmax as i64);
+            q as f32 * scale
+        }
+    }
+}
+
+/// Writes `bits` low bits of `code` at bit offset `offset`.
+fn write_code(words: &mut [u64], offset: usize, bits: usize, code: u64) {
+    for b in 0..bits {
+        let idx = offset + b;
+        let mask = 1u64 << (idx % 64);
+        if (code >> b) & 1 == 1 {
+            words[idx / 64] |= mask;
+        } else {
+            words[idx / 64] &= !mask;
+        }
+    }
+}
+
+/// Reads `bits` bits at bit offset `offset`.
+fn read_code(words: &[u64], offset: usize, bits: usize) -> u64 {
+    let mut code = 0u64;
+    for b in 0..bits {
+        let idx = offset + b;
+        if (words[idx / 64] >> (idx % 64)) & 1 == 1 {
+            code |= 1 << b;
+        }
+    }
+    code
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix {
+        Matrix::from_rows(&[
+            vec![1.0, -0.5, 0.25, 0.0],
+            vec![-2.0, 2.0, 0.1, -0.1],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn eight_bit_round_trip_is_tight() {
+        let m = sample();
+        let q = QuantizedMatrix::quantize(&m, BitWidth::B8);
+        let back = q.dequantize();
+        for r in 0..m.rows() {
+            for c in 0..m.cols() {
+                assert!(
+                    (m.get(r, c) - back.get(r, c)).abs() < 0.02,
+                    "({r},{c}): {} vs {}",
+                    m.get(r, c),
+                    back.get(r, c)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn one_bit_preserves_signs() {
+        let m = sample();
+        let q = QuantizedMatrix::quantize(&m, BitWidth::B1);
+        let back = q.dequantize();
+        for r in 0..m.rows() {
+            for c in 0..m.cols() {
+                let original = m.get(r, c);
+                let restored = back.get(r, c);
+                if original != 0.0 {
+                    assert_eq!(original >= 0.0, restored >= 0.0, "sign at ({r},{c})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coarser_widths_have_larger_error() {
+        let m = Matrix::from_fn(4, 64, |r, c| ((r * 31 + c * 7) as f32).sin());
+        let err = |w: BitWidth| {
+            let q = QuantizedMatrix::quantize(&m, w);
+            let back = q.dequantize();
+            m.as_slice()
+                .iter()
+                .zip(back.as_slice())
+                .map(|(a, b)| (a - b).abs())
+                .sum::<f32>()
+        };
+        assert!(err(BitWidth::B8) < err(BitWidth::B4));
+        assert!(err(BitWidth::B4) < err(BitWidth::B2));
+    }
+
+    #[test]
+    fn payload_bits_counts_logical_storage() {
+        let q = QuantizedMatrix::quantize(&sample(), BitWidth::B4);
+        assert_eq!(q.payload_bits(), 2 * 4 * 4);
+    }
+
+    #[test]
+    fn flip_bit_changes_dequantized_value() {
+        let m = sample();
+        let q0 = QuantizedMatrix::quantize(&m, BitWidth::B8);
+        let mut q1 = q0.clone();
+        q1.flip_bit(7); // MSB of element (0, 0)
+        let a = q0.dequantize();
+        let b = q1.dequantize();
+        assert_ne!(a.get(0, 0), b.get(0, 0));
+        assert_eq!(a.get(1, 0), b.get(1, 0));
+    }
+
+    #[test]
+    fn zero_row_quantizes_to_zero() {
+        let m = Matrix::zeros(1, 8);
+        for w in BitWidth::all() {
+            let back = QuantizedMatrix::quantize(&m, w).dequantize();
+            if w == BitWidth::B1 {
+                // Sign quantization cannot represent exact zero; the scale
+                // fallback keeps values at ±1.
+                assert!(back.as_slice().iter().all(|v| v.abs() == 1.0));
+            } else {
+                assert!(back.as_slice().iter().all(|&v| v == 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn faulted_code_is_clamped_not_wrapped() {
+        // 2-bit: qmax = 1, valid codes 0..=2; flipping both bits of code 2
+        // can yield 3, which must clamp to qmax rather than wrap negative.
+        let m = Matrix::from_rows(&[vec![1.0]]).unwrap();
+        let mut q = QuantizedMatrix::quantize(&m, BitWidth::B2);
+        q.flip_bit(0); // code 2 -> 3
+        let v = q.dequantize().get(0, 0);
+        assert!(v.is_finite());
+        // Bounded by qmax * scale (scale = 1.5 * mean|row| for 2-bit).
+        assert!(v.abs() <= 1.5 + 1e-6);
+    }
+
+    #[test]
+    fn display_formats_widths() {
+        assert_eq!(BitWidth::B1.to_string(), "1 bit");
+        assert_eq!(BitWidth::B8.to_string(), "8 bits");
+    }
+}

@@ -1,0 +1,135 @@
+//! Similarity kernels (eq. 1 of the paper).
+//!
+//! For real hypervectors the paper's cosine similarity against every class is
+//! computed as one matrix–vector product with *pre-normalized* class rows:
+//! `δ(H, C_l) ∝ H · N_l` where `N_l = C_l / ‖C_l‖` — the `‖H‖` factor is
+//! common to all classes and dropped.  For binary hypervectors similarity is
+//! Hamming distance over packed words.
+
+use crate::bitpacked::BinaryHypervector;
+use disthd_linalg::{dot, normalize_l2, Matrix, ShapeError};
+
+/// Dot-product similarity of a query against every row of `normalized_rows`.
+///
+/// The rows are expected to be pre-normalized (see
+/// [`cosine_similarity_matrix`]); the result then ranks classes identically
+/// to full cosine similarity.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `query.len() != normalized_rows.cols()`.
+pub fn similarity_to_all(query: &[f32], normalized_rows: &Matrix) -> Result<Vec<f32>, ShapeError> {
+    normalized_rows.matvec(query)
+}
+
+/// L2-normalizes every row of `rows`, producing the `N_l` matrix of eq. 1.
+///
+/// Zero rows (untrained classes) stay zero, which ranks them below any class
+/// with signal.
+pub fn cosine_similarity_matrix(rows: &Matrix) -> Matrix {
+    let mut out = rows.clone();
+    for r in 0..out.rows() {
+        let normalized = normalize_l2(out.row(r));
+        out.row_mut(r).copy_from_slice(&normalized);
+    }
+    out
+}
+
+/// Hamming distance between two packed binary hypervectors.
+///
+/// # Panics
+///
+/// Panics if dimensions differ.
+pub fn hamming_distance(a: &BinaryHypervector, b: &BinaryHypervector) -> u64 {
+    assert_eq!(a.dim(), b.dim(), "hamming: dimension mismatch");
+    a.as_words()
+        .iter()
+        .zip(b.as_words())
+        .map(|(x, y)| (x ^ y).count_ones() as u64)
+        .sum()
+}
+
+/// Similarity in `[-1, 1]` derived from Hamming distance:
+/// `1 - 2·hamming/D`, which equals the bipolar cosine.
+pub fn normalized_hamming_similarity(a: &BinaryHypervector, b: &BinaryHypervector) -> f32 {
+    if a.dim() == 0 {
+        return 0.0;
+    }
+    1.0 - 2.0 * hamming_distance(a, b) as f32 / a.dim() as f32
+}
+
+/// Full cosine similarity of `query` against each (unnormalized) row.
+///
+/// Slower than [`similarity_to_all`]; used by tests and diagnostics where the
+/// true cosine value (not just the ranking) matters.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `query.len() != rows.cols()`.
+pub fn exact_cosine_to_all(query: &[f32], rows: &Matrix) -> Result<Vec<f32>, ShapeError> {
+    if query.len() != rows.cols() {
+        return Err(ShapeError::new("exact_cosine", (1, query.len()), rows.shape()));
+    }
+    let qn = disthd_linalg::l2_norm(query);
+    Ok(rows
+        .iter_rows()
+        .map(|row| {
+            let rn = disthd_linalg::l2_norm(row);
+            if qn == 0.0 || rn == 0.0 {
+                0.0
+            } else {
+                dot(query, row) / (qn * rn)
+            }
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalized_rows_rank_like_cosine() {
+        let rows = Matrix::from_rows(&[vec![10.0, 0.0], vec![0.0, 0.5], vec![3.0, 3.0]]).unwrap();
+        let normalized = cosine_similarity_matrix(&rows);
+        let query = [1.0, 0.2];
+        let fast = similarity_to_all(&query, &normalized).unwrap();
+        let exact = exact_cosine_to_all(&query, &rows).unwrap();
+        // Same argmax and same ordering.
+        let rank = |v: &[f32]| {
+            let mut idx: Vec<usize> = (0..v.len()).collect();
+            idx.sort_by(|&a, &b| v[b].partial_cmp(&v[a]).unwrap());
+            idx
+        };
+        assert_eq!(rank(&fast), rank(&exact));
+    }
+
+    #[test]
+    fn zero_rows_stay_zero_after_normalization() {
+        let rows = Matrix::from_rows(&[vec![0.0, 0.0], vec![1.0, 1.0]]).unwrap();
+        let normalized = cosine_similarity_matrix(&rows);
+        assert_eq!(normalized.row(0), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn hamming_counts_differing_bits() {
+        let a = BinaryHypervector::from_bits([true, true, false, false]);
+        let b = BinaryHypervector::from_bits([true, false, true, false]);
+        assert_eq!(hamming_distance(&a, &b), 2);
+    }
+
+    #[test]
+    fn hamming_similarity_bounds() {
+        let a = BinaryHypervector::from_bits((0..64).map(|_| true));
+        let b = BinaryHypervector::from_bits((0..64).map(|_| false));
+        assert!((normalized_hamming_similarity(&a, &a) - 1.0).abs() < 1e-6);
+        assert!((normalized_hamming_similarity(&a, &b) + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn similarity_shape_checked() {
+        let rows = Matrix::zeros(2, 4);
+        assert!(similarity_to_all(&[1.0, 2.0], &rows).is_err());
+        assert!(exact_cosine_to_all(&[1.0, 2.0], &rows).is_err());
+    }
+}

@@ -1,0 +1,85 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when matrix/vector operands have incompatible shapes.
+///
+/// # Example
+///
+/// ```
+/// use disthd_linalg::Matrix;
+///
+/// let a = Matrix::zeros(2, 3);
+/// let b = Matrix::zeros(2, 3); // inner dimensions do not line up
+/// assert!(a.matmul(&b).is_err());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    /// Human-readable description of the operation that failed.
+    op: &'static str,
+    /// Shape of the left operand, `(rows, cols)`.
+    left: (usize, usize),
+    /// Shape of the right operand, `(rows, cols)`.
+    right: (usize, usize),
+}
+
+impl ShapeError {
+    /// Creates a shape error for operation `op` with the two operand shapes.
+    pub fn new(op: &'static str, left: (usize, usize), right: (usize, usize)) -> Self {
+        Self { op, left, right }
+    }
+
+    /// The operation name that produced this error.
+    pub fn op(&self) -> &'static str {
+        self.op
+    }
+
+    /// Shape of the left operand.
+    pub fn left(&self) -> (usize, usize) {
+        self.left
+    }
+
+    /// Shape of the right operand.
+    pub fn right(&self) -> (usize, usize) {
+        self.right
+    }
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "incompatible shapes for {}: left is {}x{}, right is {}x{}",
+            self.op, self.left.0, self.left.1, self.right.0, self.right.1
+        )
+    }
+}
+
+impl Error for ShapeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_operation_and_shapes() {
+        let err = ShapeError::new("matmul", (2, 3), (4, 5));
+        let text = err.to_string();
+        assert!(text.contains("matmul"));
+        assert!(text.contains("2x3"));
+        assert!(text.contains("4x5"));
+    }
+
+    #[test]
+    fn accessors_round_trip() {
+        let err = ShapeError::new("dot", (1, 7), (1, 9));
+        assert_eq!(err.op(), "dot");
+        assert_eq!(err.left(), (1, 7));
+        assert_eq!(err.right(), (1, 9));
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ShapeError>();
+    }
+}

@@ -1,0 +1,416 @@
+use crate::error::ShapeError;
+use crate::vector;
+
+/// A dense row-major `f32` matrix.
+///
+/// This is the workhorse container of the workspace: feature batches, encoded
+/// hypervector batches, base-vector matrices and class-model matrices are all
+/// `Matrix` values.  The layout is plain `Vec<f32>` in row-major order, which
+/// keeps the robustness experiments (bit flips on raw model memory) and the
+/// matrix-wise formulation of DistHD's Algorithms 1–2 straightforward.
+///
+/// # Example
+///
+/// ```
+/// use disthd_linalg::Matrix;
+///
+/// let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]])?;
+/// assert_eq!(m.get(1, 0), 3.0);
+/// assert_eq!(m.row(0), &[1.0, 2.0]);
+/// # Ok::<(), disthd_linalg::ShapeError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a `rows x cols` matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f32) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` for every element.
+    pub fn from_fn<F: FnMut(usize, usize) -> f32>(rows: usize, cols: usize, mut f: F) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the rows do not all have the same length.
+    pub fn from_rows(rows: &[Vec<f32>]) -> Result<Self, ShapeError> {
+        if rows.is_empty() {
+            return Ok(Self::zeros(0, 0));
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for row in rows {
+            if row.len() != cols {
+                return Err(ShapeError::new("from_rows", (rows.len(), cols), (1, row.len())));
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(Self {
+            rows: rows.len(),
+            cols,
+            data,
+        })
+    }
+
+    /// Builds a matrix from a flat row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self, ShapeError> {
+        if data.len() != rows * cols {
+            return Err(ShapeError::new("from_vec", (rows, cols), (1, data.len())));
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Whether the matrix holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Element at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= rows()` or `col >= cols()`.
+    pub fn get(&self, row: usize, col: usize) -> f32 {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        self.data[row * self.cols + col]
+    }
+
+    /// Sets the element at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= rows()` or `col >= cols()`.
+    pub fn set(&mut self, row: usize, col: usize, value: f32) {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// Borrows row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows()`.
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert!(r < self.rows, "row index out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrows row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows()`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        assert!(r < self.rows, "row index out of bounds");
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copies column `c` into a new vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= cols()`.
+    pub fn column(&self, c: usize) -> Vec<f32> {
+        assert!(c < self.cols, "column index out of bounds");
+        (0..self.rows).map(|r| self.data[r * self.cols + c]).collect()
+    }
+
+    /// Iterates over rows as slices.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f32]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// Flat row-major view of the underlying buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Flat mutable row-major view of the underlying buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns the underlying buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Matrix–matrix product `self · rhs`.
+    ///
+    /// Uses an ikj loop order so the inner loop streams contiguous rows of
+    /// `rhs`, which is the dominant cost of HDC encoding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `self.cols() != rhs.rows()`.
+    pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix, ShapeError> {
+        if self.cols != rhs.rows {
+            return Err(ShapeError::new("matmul", self.shape(), rhs.shape()));
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix–vector product `self · v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `v.len() != self.cols()`.
+    pub fn matvec(&self, v: &[f32]) -> Result<Vec<f32>, ShapeError> {
+        if v.len() != self.cols {
+            return Err(ShapeError::new("matvec", self.shape(), (v.len(), 1)));
+        }
+        Ok(self.iter_rows().map(|row| vector::dot(row, v)).collect())
+    }
+
+    /// Transposed copy of the matrix.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// In-place scalar multiplication.
+    pub fn scale(&mut self, factor: f32) {
+        for x in &mut self.data {
+            *x *= factor;
+        }
+    }
+
+    /// Appends a row to the bottom of the matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `row.len() != cols()` (unless the matrix is
+    /// empty, in which case the row defines the width).
+    pub fn push_row(&mut self, row: &[f32]) -> Result<(), ShapeError> {
+        if self.rows == 0 && self.cols == 0 {
+            self.cols = row.len();
+        } else if row.len() != self.cols {
+            return Err(ShapeError::new("push_row", self.shape(), (1, row.len())));
+        }
+        self.data.extend_from_slice(row);
+        self.rows += 1;
+        Ok(())
+    }
+
+    /// Returns a new matrix containing the selected rows, in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn select_rows(&self, indices: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(indices.len(), self.cols);
+        for (dst, &src) in indices.iter().enumerate() {
+            out.row_mut(dst).copy_from_slice(self.row(src));
+        }
+        out
+    }
+
+    /// Frobenius norm of the matrix.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+}
+
+impl Default for Matrix {
+    fn default() -> Self {
+        Self::zeros(0, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix {
+        Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap()
+    }
+
+    #[test]
+    fn zeros_has_expected_shape_and_content() {
+        let m = Matrix::zeros(3, 2);
+        assert_eq!(m.shape(), (3, 2));
+        assert!(m.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged_input() {
+        let err = Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]).unwrap_err();
+        assert_eq!(err.op(), "from_rows");
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Matrix::from_vec(2, 2, vec![0.0; 3]).is_err());
+        assert!(Matrix::from_vec(2, 2, vec![0.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn get_set_round_trip() {
+        let mut m = sample();
+        m.set(0, 2, 9.5);
+        assert_eq!(m.get(0, 2), 9.5);
+        assert_eq!(m.get(1, 1), 5.0);
+    }
+
+    #[test]
+    fn row_and_column_views() {
+        let m = sample();
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(m.column(2), vec![3.0, 6.0]);
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = sample(); // 2x3
+        let b = Matrix::from_rows(&[vec![7.0, 8.0], vec![9.0, 10.0], vec![11.0, 12.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.shape(), (2, 2));
+        assert_eq!(c.row(0), &[58.0, 64.0]);
+        assert_eq!(c.row(1), &[139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_rejects_mismatched_inner_dims() {
+        let a = sample();
+        let b = Matrix::zeros(2, 2);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn matmul_skips_zero_entries_correctly() {
+        // Sparse left operand exercises the `a == 0.0` fast path.
+        let a = Matrix::from_rows(&[vec![0.0, 2.0], vec![1.0, 0.0]]).unwrap();
+        let b = Matrix::from_rows(&[vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.row(0), &[10.0, 12.0]);
+        assert_eq!(c.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = sample();
+        let v = vec![1.0, 0.5, -1.0];
+        let out = a.matvec(&v).unwrap();
+        assert_eq!(out, vec![1.0 + 1.0 - 3.0, 4.0 + 2.5 - 6.0]);
+    }
+
+    #[test]
+    fn matvec_validates_length() {
+        assert!(sample().matvec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let m = sample();
+        let t = m.transpose();
+        assert_eq!(t.shape(), (3, 2));
+        assert_eq!(t.get(2, 1), 6.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn push_row_grows_matrix() {
+        let mut m = Matrix::default();
+        m.push_row(&[1.0, 2.0]).unwrap();
+        m.push_row(&[3.0, 4.0]).unwrap();
+        assert_eq!(m.shape(), (2, 2));
+        assert!(m.push_row(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn select_rows_picks_in_order() {
+        let m = sample();
+        let s = m.select_rows(&[1, 0, 1]);
+        assert_eq!(s.rows(), 3);
+        assert_eq!(s.row(0), &[4.0, 5.0, 6.0]);
+        assert_eq!(s.row(2), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn frobenius_norm_matches_definition() {
+        let m = Matrix::from_rows(&[vec![3.0, 4.0]]).unwrap();
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn iter_rows_yields_every_row() {
+        let m = sample();
+        let rows: Vec<&[f32]> = m.iter_rows().collect();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1], &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn scale_multiplies_every_element() {
+        let mut m = sample();
+        m.scale(2.0);
+        assert_eq!(m.get(1, 2), 12.0);
+    }
+}

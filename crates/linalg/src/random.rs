@@ -1,0 +1,297 @@
+//! Seeded random-number helpers.
+//!
+//! Every stochastic component in the workspace (base-vector generation,
+//! dataset synthesis, bit-flip fault injection, weight initialization) draws
+//! from a [`SeededRng`] so that experiments are bit-for-bit reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A 64-bit experiment seed.
+///
+/// Newtype so that seeds are not confused with other integer parameters
+/// (dimensionality, iteration counts, ...).
+///
+/// # Example
+///
+/// ```
+/// use disthd_linalg::{RngSeed, SeededRng, Gaussian};
+///
+/// let mut rng = SeededRng::new(RngSeed(42));
+/// let a = Gaussian::standard().sample(&mut rng);
+/// let mut rng2 = SeededRng::new(RngSeed(42));
+/// let b = Gaussian::standard().sample(&mut rng2);
+/// assert_eq!(a, b); // same seed, same stream
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RngSeed(pub u64);
+
+impl Default for RngSeed {
+    fn default() -> Self {
+        RngSeed(0x_D15C_0DE5)
+    }
+}
+
+impl From<u64> for RngSeed {
+    fn from(v: u64) -> Self {
+        RngSeed(v)
+    }
+}
+
+/// Deterministic random number generator used across the workspace.
+///
+/// Wraps [`rand::rngs::StdRng`] so the concrete generator can be swapped
+/// without touching call sites, and so `derive_stream` can split one
+/// experiment seed into independent sub-streams (encoder vs dataset vs noise).
+#[derive(Debug, Clone)]
+pub struct SeededRng {
+    inner: StdRng,
+}
+
+impl SeededRng {
+    /// Creates a generator from an experiment seed.
+    pub fn new(seed: RngSeed) -> Self {
+        Self {
+            inner: StdRng::seed_from_u64(seed.0),
+        }
+    }
+
+    /// Derives an independent sub-stream for component `label`.
+    ///
+    /// Mixing the label with a SplitMix64 step keeps the streams decorrelated
+    /// even for adjacent labels.
+    pub fn derive_stream(seed: RngSeed, label: u64) -> Self {
+        let mut z = seed.0 ^ label.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        Self::new(RngSeed(z))
+    }
+
+    /// Uniform `f32` in `[0, 1)`.
+    pub fn next_unit(&mut self) -> f32 {
+        self.inner.gen::<f32>()
+    }
+
+    /// Uniform `u64` over the full range.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.gen::<u64>()
+    }
+
+    /// Uniform `usize` in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn next_index(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "next_index: bound must be positive");
+        self.inner.gen_range(0..bound)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    pub fn next_bool(&mut self, p: f64) -> bool {
+        self.inner.gen_bool(p.clamp(0.0, 1.0))
+    }
+
+    /// Fisher–Yates shuffle of `indices`.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.next_index(i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// Access the underlying [`rand::Rng`] for callers that need the full trait.
+    pub fn rng(&mut self) -> &mut impl Rng {
+        &mut self.inner
+    }
+}
+
+/// Gaussian (normal) distribution sampled via the Box–Muller transform.
+///
+/// The paper's RBF encoder draws base vectors from `N(0, 1)`; dataset
+/// generators use shifted/scaled variants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gaussian {
+    mean: f32,
+    std_dev: f32,
+}
+
+impl Gaussian {
+    /// Standard normal `N(0, 1)`.
+    pub fn standard() -> Self {
+        Self {
+            mean: 0.0,
+            std_dev: 1.0,
+        }
+    }
+
+    /// Normal with given mean and standard deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std_dev < 0`.
+    pub fn new(mean: f32, std_dev: f32) -> Self {
+        assert!(std_dev >= 0.0, "standard deviation must be non-negative");
+        Self { mean, std_dev }
+    }
+
+    /// Mean of the distribution.
+    pub fn mean(&self) -> f32 {
+        self.mean
+    }
+
+    /// Standard deviation of the distribution.
+    pub fn std_dev(&self) -> f32 {
+        self.std_dev
+    }
+
+    /// Draws one sample.
+    pub fn sample(&self, rng: &mut SeededRng) -> f32 {
+        // Box–Muller: u1 must be > 0 for the log.
+        let mut u1 = rng.next_unit();
+        while u1 <= f32::EPSILON {
+            u1 = rng.next_unit();
+        }
+        let u2 = rng.next_unit();
+        let mag = (-2.0 * u1.ln()).sqrt();
+        let z = mag * (2.0 * std::f32::consts::PI * u2).cos();
+        self.mean + self.std_dev * z
+    }
+
+    /// Fills `out` with independent samples.
+    pub fn fill(&self, rng: &mut SeededRng, out: &mut [f32]) {
+        for x in out.iter_mut() {
+            *x = self.sample(rng);
+        }
+    }
+
+    /// Draws `n` samples into a new vector.
+    pub fn sample_vec(&self, rng: &mut SeededRng, n: usize) -> Vec<f32> {
+        let mut v = vec![0.0; n];
+        self.fill(rng, &mut v);
+        v
+    }
+}
+
+/// Uniform distribution over `[low, high)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    low: f32,
+    high: f32,
+}
+
+impl Uniform {
+    /// Uniform over `[low, high)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low > high`.
+    pub fn new(low: f32, high: f32) -> Self {
+        assert!(low <= high, "uniform bounds must satisfy low <= high");
+        Self { low, high }
+    }
+
+    /// The paper's phase distribution `U[0, 2π)` for the RBF encoder.
+    pub fn phase() -> Self {
+        Self::new(0.0, 2.0 * std::f32::consts::PI)
+    }
+
+    /// Draws one sample.
+    pub fn sample(&self, rng: &mut SeededRng) -> f32 {
+        self.low + (self.high - self.low) * rng.next_unit()
+    }
+
+    /// Draws `n` samples into a new vector.
+    pub fn sample_vec(&self, rng: &mut SeededRng, n: usize) -> Vec<f32> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SeededRng::new(RngSeed(7));
+        let mut b = SeededRng::new(RngSeed(7));
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SeededRng::new(RngSeed(1));
+        let mut b = SeededRng::new(RngSeed(2));
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 16);
+    }
+
+    #[test]
+    fn derived_streams_are_decorrelated() {
+        let mut a = SeededRng::derive_stream(RngSeed(5), 0);
+        let mut b = SeededRng::derive_stream(RngSeed(5), 1);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 16);
+    }
+
+    #[test]
+    fn gaussian_moments_are_close() {
+        let mut rng = SeededRng::new(RngSeed(11));
+        let g = Gaussian::new(2.0, 3.0);
+        let samples = g.sample_vec(&mut rng, 20_000);
+        let mean = samples.iter().sum::<f32>() / samples.len() as f32;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / samples.len() as f32;
+        assert!((mean - 2.0).abs() < 0.1, "mean was {mean}");
+        assert!((var.sqrt() - 3.0).abs() < 0.1, "std was {}", var.sqrt());
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = SeededRng::new(RngSeed(3));
+        let u = Uniform::new(-1.0, 4.0);
+        for _ in 0..1_000 {
+            let x = u.sample(&mut rng);
+            assert!((-1.0..4.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn phase_covers_zero_to_two_pi() {
+        let mut rng = SeededRng::new(RngSeed(9));
+        let u = Uniform::phase();
+        let samples = u.sample_vec(&mut rng, 1_000);
+        let max = samples.iter().cloned().fold(f32::MIN, f32::max);
+        let min = samples.iter().cloned().fold(f32::MAX, f32::min);
+        assert!(min >= 0.0 && max < 2.0 * std::f32::consts::PI);
+        assert!(max > 5.0, "phase samples should span most of [0, 2pi)");
+    }
+
+    #[test]
+    fn next_index_stays_in_bounds() {
+        let mut rng = SeededRng::new(RngSeed(4));
+        for _ in 0..100 {
+            assert!(rng.next_index(7) < 7);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SeededRng::new(RngSeed(6));
+        let mut v: Vec<usize> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut rng = SeededRng::new(RngSeed(8));
+        assert!(!(0..50).any(|_| rng.next_bool(0.0)));
+        assert!((0..50).all(|_| rng.next_bool(1.0)));
+    }
+}

@@ -1,0 +1,99 @@
+//! Index sorting and top-k selection.
+//!
+//! DistHD's dimension-regeneration step (Algorithm 2, line 15) needs the
+//! indices of the largest entries of the reduced distance vectors `M'` and
+//! `N'`; top-2 classification needs the two largest similarity scores.
+
+/// Indices of `values` sorted by ascending value.
+///
+/// Ties are broken by index so the result is deterministic.
+///
+/// # Example
+///
+/// ```
+/// let idx = disthd_linalg::argsort_ascending(&[3.0, 1.0, 2.0]);
+/// assert_eq!(idx, vec![1, 2, 0]);
+/// ```
+pub fn argsort_ascending(values: &[f32]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..values.len()).collect();
+    idx.sort_by(|&a, &b| {
+        values[a]
+            .partial_cmp(&values[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    idx
+}
+
+/// Indices of `values` sorted by descending value (deterministic ties).
+pub fn argsort_descending(values: &[f32]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..values.len()).collect();
+    idx.sort_by(|&a, &b| {
+        values[b]
+            .partial_cmp(&values[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    idx
+}
+
+/// Indices of the `k` largest values, in descending value order.
+///
+/// `k` is clamped to `values.len()`.  Uses a full argsort for simplicity —
+/// the callers select a few hundred dimensions out of a few thousand, where
+/// the O(D log D) sort is negligible next to the O(n·D) distance pass.
+pub fn top_k_largest(values: &[f32], k: usize) -> Vec<usize> {
+    let mut idx = argsort_descending(values);
+    idx.truncate(k.min(values.len()));
+    idx
+}
+
+/// Indices of the `k` smallest values, in ascending value order.
+pub fn top_k_indices(values: &[f32], k: usize) -> Vec<usize> {
+    let mut idx = argsort_ascending(values);
+    idx.truncate(k.min(values.len()));
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn argsort_ascending_sorts() {
+        assert_eq!(argsort_ascending(&[5.0, -1.0, 3.0]), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn argsort_descending_sorts() {
+        assert_eq!(argsort_descending(&[5.0, -1.0, 3.0]), vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn ties_break_by_index() {
+        assert_eq!(argsort_ascending(&[1.0, 1.0, 0.0]), vec![2, 0, 1]);
+        assert_eq!(argsort_descending(&[1.0, 1.0, 2.0]), vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn top_k_largest_takes_largest() {
+        assert_eq!(top_k_largest(&[0.1, 0.9, 0.5, 0.7], 2), vec![1, 3]);
+    }
+
+    #[test]
+    fn top_k_clamps_to_len() {
+        assert_eq!(top_k_largest(&[1.0, 2.0], 10), vec![1, 0]);
+        assert_eq!(top_k_indices(&[1.0, 2.0], 10), vec![0, 1]);
+    }
+
+    #[test]
+    fn top_k_zero_is_empty() {
+        assert!(top_k_largest(&[1.0], 0).is_empty());
+    }
+
+    #[test]
+    fn nan_values_do_not_panic() {
+        let idx = argsort_descending(&[f32::NAN, 1.0, 2.0]);
+        assert_eq!(idx.len(), 3);
+    }
+}

@@ -1,0 +1,173 @@
+//! Summary statistics over slices and matrices.
+//!
+//! Column-wise reductions implement Algorithm 2's `sum(M, columnwise)` step;
+//! variance powers the NeuralHD baseline (which scores dimensions by
+//! class-model variance); min–max normalization implements the paper's
+//! `Normalize(M)` step and feature preprocessing.
+
+use crate::matrix::Matrix;
+
+/// Arithmetic mean of a slice (`0.0` for an empty slice).
+pub fn mean(values: &[f32]) -> f32 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f32>() / values.len() as f32
+}
+
+/// Population variance of a slice (`0.0` for slices with < 2 elements).
+pub fn population_variance(values: &[f32]) -> f32 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    values.iter().map(|x| (x - m).powi(2)).sum::<f32>() / values.len() as f32
+}
+
+/// Population standard deviation of a slice.
+pub fn standard_deviation(values: &[f32]) -> f32 {
+    population_variance(values).sqrt()
+}
+
+/// `(min, max)` of a slice.
+///
+/// Returns `(0.0, 0.0)` for an empty slice.
+pub fn min_max(values: &[f32]) -> (f32, f32) {
+    let mut lo = f32::INFINITY;
+    let mut hi = f32::NEG_INFINITY;
+    for &v in values {
+        if v < lo {
+            lo = v;
+        }
+        if v > hi {
+            hi = v;
+        }
+    }
+    if values.is_empty() {
+        (0.0, 0.0)
+    } else {
+        (lo, hi)
+    }
+}
+
+/// Rescales `values` to `[0, 1]` in place.
+///
+/// A constant slice maps to all zeros (there is no spread to normalize).
+/// This is the `Normalize(·)` used on the distance matrices of Algorithm 2.
+pub fn normalize_min_max_in_place(values: &mut [f32]) {
+    let (lo, hi) = min_max(values);
+    let span = hi - lo;
+    if span <= 0.0 {
+        for v in values.iter_mut() {
+            *v = 0.0;
+        }
+        return;
+    }
+    for v in values.iter_mut() {
+        *v = (*v - lo) / span;
+    }
+}
+
+/// Column-wise sums of a matrix (the `sum(·, columnwise)` of Algorithm 2).
+pub fn column_sums(m: &Matrix) -> Vec<f32> {
+    let mut out = vec![0.0; m.cols()];
+    for row in m.iter_rows() {
+        for (acc, &v) in out.iter_mut().zip(row.iter()) {
+            *acc += v;
+        }
+    }
+    out
+}
+
+/// Column-wise means of a matrix.
+pub fn column_means(m: &Matrix) -> Vec<f32> {
+    let mut sums = column_sums(m);
+    let n = m.rows().max(1) as f32;
+    for s in &mut sums {
+        *s /= n;
+    }
+    sums
+}
+
+/// Column-wise population variances of a matrix.
+///
+/// This is the dimension score used by the NeuralHD baseline: dimensions
+/// whose values vary little across class hypervectors carry little
+/// discriminative information.
+pub fn column_variances(m: &Matrix) -> Vec<f32> {
+    let means = column_means(m);
+    let mut out = vec![0.0; m.cols()];
+    for row in m.iter_rows() {
+        for ((acc, &v), &mu) in out.iter_mut().zip(row.iter()).zip(means.iter()) {
+            let d = v - mu;
+            *acc += d * d;
+        }
+    }
+    let n = m.rows().max(1) as f32;
+    for v in &mut out {
+        *v /= n;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn mean_matches_hand_computation() {
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn variance_of_constant_is_zero() {
+        assert_eq!(population_variance(&[3.0, 3.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn variance_matches_hand_computation() {
+        // var([1,3]) = 1 (population)
+        assert!((population_variance(&[1.0, 3.0]) - 1.0).abs() < 1e-6);
+        assert!((standard_deviation(&[1.0, 3.0]) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn min_max_finds_extremes() {
+        assert_eq!(min_max(&[2.0, -1.0, 5.0]), (-1.0, 5.0));
+        assert_eq!(min_max(&[]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn min_max_normalization_maps_to_unit_interval() {
+        let mut v = vec![10.0, 20.0, 15.0];
+        normalize_min_max_in_place(&mut v);
+        assert_eq!(v, vec![0.0, 1.0, 0.5]);
+    }
+
+    #[test]
+    fn min_max_normalization_of_constant_is_zero() {
+        let mut v = vec![4.0, 4.0];
+        normalize_min_max_in_place(&mut v);
+        assert_eq!(v, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn column_sums_reduce_rows() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(column_sums(&m), vec![4.0, 6.0]);
+        assert_eq!(column_means(&m), vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn column_variances_match_per_column() {
+        let m = Matrix::from_rows(&[vec![1.0, 0.0], vec![3.0, 0.0]]).unwrap();
+        let v = column_variances(&m);
+        assert!((v[0] - 1.0).abs() < 1e-6);
+        assert_eq!(v[1], 0.0);
+    }
+}

@@ -1,0 +1,51 @@
+//! Spoken-letter recognition (ISOLET-like): a 26-class task where top-2
+//! information is rich — exactly the signal DistHD's dynamic encoder feeds
+//! on.  The example traces the regeneration process itself: how many
+//! dimensions each iteration drops and how held-out accuracy responds.
+//!
+//! Run with `cargo run --release --example voice_recognition`.
+
+use disthd_repro::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let data = PaperDataset::Isolet.generate(&SuiteConfig::at_scale(0.1))?;
+    println!(
+        "ISOLET-like spoken letters: {} train / {} test, 26 classes\n",
+        data.train.len(),
+        data.test.len()
+    );
+
+    // Train three times with increasing regeneration budgets.
+    for regen_rate in [0.0f64, 0.10, 0.20] {
+        let config = DistHdConfig {
+            dim: 500,
+            epochs: 20,
+            regen_rate,
+            // regen_interval 0 disables the top-2/regeneration machinery
+            // entirely for the static control run.
+            regen_interval: if regen_rate == 0.0 { 0 } else { 1 },
+            patience: None,
+            ..Default::default()
+        };
+        let mut model = DistHd::new(config, data.train.feature_dim(), data.train.class_count());
+        model.fit(&data.train, Some(&data.test))?;
+        let report = model.last_report().expect("fitted");
+        let final_eval = report
+            .history
+            .records()
+            .last()
+            .and_then(|r| r.eval_accuracy)
+            .unwrap_or(0.0);
+        println!(
+            "R = {:>4.0}%: accuracy {:>6.2}%, regenerated {:>4} dims over {} events (D* = {:.0})",
+            regen_rate * 100.0,
+            final_eval * 100.0,
+            report.regenerated_dims,
+            report.regen_events,
+            report.effective_dim,
+        );
+    }
+
+    println!("\nExpected: regeneration recovers accuracy a 0.5k static encoder leaves on the table.");
+    Ok(())
+}

@@ -1,0 +1,133 @@
+//! Integration tests of the Fig. 8 robustness pipeline on real trained
+//! models (train → quantize → fault → re-evaluate).
+
+use disthd_eval::robustness::{matrix_fault_campaign, RobustnessPoint};
+use disthd_hd::quantize::BitWidth;
+use disthd_hd::ClassModel;
+use disthd_repro::prelude::*;
+
+/// Trains DistHD once and returns (class matrix, pre-encoded test set,
+/// labels, clean accuracy).
+fn trained_setup(dim: usize) -> (Matrix, Matrix, Vec<usize>, f64) {
+    let data = PaperDataset::Ucihar
+        .generate(&SuiteConfig::at_scale(0.02))
+        .expect("dataset generation");
+    let mut model = DistHd::new(
+        DistHdConfig {
+            dim,
+            epochs: 15,
+            ..Default::default()
+        },
+        data.train.feature_dim(),
+        data.train.class_count(),
+    );
+    model.fit(&data.train, None).expect("fit");
+    let clean = model.accuracy(&data.test).expect("accuracy");
+    let encoded = model.encode_dataset(&data.test).expect("encode");
+    let classes = model.class_model().expect("fitted").classes().clone();
+    (classes, encoded, data.test.labels().to_vec(), clean)
+}
+
+fn evaluator<'a>(
+    encoded: &'a Matrix,
+    labels: &'a [usize],
+) -> impl FnMut(&Matrix) -> f64 + 'a {
+    move |m: &Matrix| {
+        let mut faulted = ClassModel::from_matrix(m.clone());
+        let correct = (0..encoded.rows())
+            .filter(|&i| faulted.predict(encoded.row(i)) == labels[i])
+            .count();
+        correct as f64 / labels.len().max(1) as f64
+    }
+}
+
+#[test]
+fn zero_error_rate_preserves_quantized_accuracy() {
+    let (classes, encoded, labels, _) = trained_setup(500);
+    let points = [RobustnessPoint {
+        width: BitWidth::B8,
+        error_rate: 0.0,
+    }];
+    let losses = matrix_fault_campaign(&classes, &points, 2, RngSeed(1), evaluator(&encoded, &labels));
+    assert!(losses[0].loss() < 1e-9, "zero flips must cost nothing");
+}
+
+#[test]
+fn quality_loss_grows_with_error_rate() {
+    let (classes, encoded, labels, _) = trained_setup(500);
+    let points: Vec<RobustnessPoint> = [0.01, 0.30]
+        .iter()
+        .map(|&error_rate| RobustnessPoint {
+            width: BitWidth::B8,
+            error_rate,
+        })
+        .collect();
+    let losses = matrix_fault_campaign(&classes, &points, 3, RngSeed(2), evaluator(&encoded, &labels));
+    assert!(
+        losses[1].loss() >= losses[0].loss(),
+        "30% flips ({:.3}) should cost at least as much as 1% ({:.3})",
+        losses[1].loss(),
+        losses[0].loss()
+    );
+}
+
+#[test]
+fn one_bit_storage_is_more_robust_than_eight_bit() {
+    // The paper's Fig. 8 headline: at high error rates, low-precision
+    // hypervector storage degrades more gracefully.
+    let (classes, encoded, labels, _) = trained_setup(2000);
+    let rate = 0.15;
+    let points: Vec<RobustnessPoint> = [BitWidth::B1, BitWidth::B8]
+        .iter()
+        .map(|&width| RobustnessPoint {
+            width,
+            error_rate: rate,
+        })
+        .collect();
+    let losses = matrix_fault_campaign(&classes, &points, 4, RngSeed(3), evaluator(&encoded, &labels));
+    assert!(
+        losses[0].loss() <= losses[1].loss() + 0.02,
+        "1-bit loss ({:.3}) should not exceed 8-bit loss ({:.3})",
+        losses[0].loss(),
+        losses[1].loss()
+    );
+}
+
+#[test]
+fn higher_dimensionality_improves_robustness() {
+    let rate = 0.10;
+    let mut losses_by_dim = Vec::new();
+    for dim in [500usize, 4000] {
+        let (classes, encoded, labels, _) = trained_setup(dim);
+        let points = [RobustnessPoint {
+            width: BitWidth::B1,
+            error_rate: rate,
+        }];
+        let losses =
+            matrix_fault_campaign(&classes, &points, 4, RngSeed(4), evaluator(&encoded, &labels));
+        losses_by_dim.push(losses[0].loss());
+    }
+    assert!(
+        losses_by_dim[1] <= losses_by_dim[0] + 0.02,
+        "4k loss ({:.3}) should not exceed 0.5k loss ({:.3})",
+        losses_by_dim[1],
+        losses_by_dim[0]
+    );
+}
+
+#[test]
+fn fault_campaign_reports_clean_accuracy_consistently() {
+    let (classes, encoded, labels, clean_f32) = trained_setup(500);
+    let points = [RobustnessPoint {
+        width: BitWidth::B8,
+        error_rate: 0.05,
+    }];
+    let losses = matrix_fault_campaign(&classes, &points, 2, RngSeed(5), evaluator(&encoded, &labels));
+    // The 8-bit clean accuracy should be within a few points of f32.
+    assert!(
+        (losses[0].clean_accuracy - clean_f32).abs() < 0.05,
+        "8-bit clean {:.3} vs f32 {:.3}",
+        losses[0].clean_accuracy,
+        clean_f32
+    );
+}
