@@ -145,7 +145,11 @@ impl BaselineHd {
 }
 
 impl Classifier for BaselineHd {
-    fn fit(&mut self, train: &Dataset, eval: Option<&Dataset>) -> Result<TrainingHistory, ModelError> {
+    fn fit(
+        &mut self,
+        train: &Dataset,
+        eval: Option<&Dataset>,
+    ) -> Result<TrainingHistory, ModelError> {
         if train.feature_dim() != self.encoder.input_dim() {
             return Err(ModelError::Incompatible(format!(
                 "expected {} features, dataset has {}",
@@ -171,7 +175,12 @@ impl Classifier for BaselineHd {
         let mut stall = 0usize;
         for epoch in 0..self.config.epochs {
             let start = Instant::now();
-            let stats = adaptive_epoch(&mut model, &encoded, train.labels(), self.config.learning_rate)?;
+            let stats = adaptive_epoch(
+                &mut model,
+                &encoded,
+                train.labels(),
+                self.config.learning_rate,
+            )?;
             let eval_accuracy = match eval {
                 Some(data) => Some(self.eval_accuracy(&mut model, &center, data)?),
                 None => None,
@@ -230,7 +239,11 @@ mod tests {
     #[test]
     fn fit_then_predict_beats_chance() {
         let data = small_data();
-        let mut model = BaselineHd::new(config(512), data.train.feature_dim(), data.train.class_count());
+        let mut model = BaselineHd::new(
+            config(512),
+            data.train.feature_dim(),
+            data.train.class_count(),
+        );
         model.fit(&data.train, None).unwrap();
         let acc = model.accuracy(&data.test).unwrap();
         assert!(acc > 0.4, "accuracy {acc} should beat 3-class chance");
@@ -258,7 +271,11 @@ mod tests {
     #[test]
     fn history_records_eval_accuracy_when_requested() {
         let data = small_data();
-        let mut model = BaselineHd::new(config(256), data.train.feature_dim(), data.train.class_count());
+        let mut model = BaselineHd::new(
+            config(256),
+            data.train.feature_dim(),
+            data.train.class_count(),
+        );
         let history = model.fit(&data.train, Some(&data.test)).unwrap();
         assert!(history.records().iter().all(|r| r.eval_accuracy.is_some()));
     }
@@ -280,8 +297,16 @@ mod tests {
     #[test]
     fn higher_dimensionality_does_not_hurt() {
         let data = small_data();
-        let mut low = BaselineHd::new(config(64), data.train.feature_dim(), data.train.class_count());
-        let mut high = BaselineHd::new(config(2048), data.train.feature_dim(), data.train.class_count());
+        let mut low = BaselineHd::new(
+            config(64),
+            data.train.feature_dim(),
+            data.train.class_count(),
+        );
+        let mut high = BaselineHd::new(
+            config(2048),
+            data.train.feature_dim(),
+            data.train.class_count(),
+        );
         low.fit(&data.train, None).unwrap();
         high.fit(&data.train, None).unwrap();
         let low_acc = low.accuracy(&data.test).unwrap();

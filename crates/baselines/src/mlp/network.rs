@@ -73,7 +73,12 @@ impl Mlp {
             layers.push(DenseLayer::new(in_dim, h, Activation::Relu, &mut rng));
             in_dim = h;
         }
-        layers.push(DenseLayer::new(in_dim, class_count, Activation::Linear, &mut rng));
+        layers.push(DenseLayer::new(
+            in_dim,
+            class_count,
+            Activation::Linear,
+            &mut rng,
+        ));
         Self {
             config,
             layers,
@@ -161,7 +166,11 @@ impl Mlp {
 }
 
 impl Classifier for Mlp {
-    fn fit(&mut self, train: &Dataset, eval: Option<&Dataset>) -> Result<TrainingHistory, ModelError> {
+    fn fit(
+        &mut self,
+        train: &Dataset,
+        eval: Option<&Dataset>,
+    ) -> Result<TrainingHistory, ModelError> {
         if train.feature_dim() != self.feature_dim {
             return Err(ModelError::Incompatible(format!(
                 "expected {} features, dataset has {}",

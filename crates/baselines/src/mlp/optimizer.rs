@@ -108,6 +108,9 @@ mod tests {
         }
         let sum_a: f32 = layers_a[0].weights().as_slice().iter().sum();
         let sum_b: f32 = layers_b[0].weights().as_slice().iter().sum();
-        assert!(sum_b < sum_a, "momentum ({sum_b}) should outrun plain SGD ({sum_a})");
+        assert!(
+            sum_b < sum_a,
+            "momentum ({sum_b}) should outrun plain SGD ({sum_a})"
+        );
     }
 }

@@ -158,7 +158,11 @@ impl NeuralHd {
 }
 
 impl Classifier for NeuralHd {
-    fn fit(&mut self, train: &Dataset, eval: Option<&Dataset>) -> Result<TrainingHistory, ModelError> {
+    fn fit(
+        &mut self,
+        train: &Dataset,
+        eval: Option<&Dataset>,
+    ) -> Result<TrainingHistory, ModelError> {
         if train.feature_dim() != self.encoder.input_dim() {
             return Err(ModelError::Incompatible(format!(
                 "expected {} features, dataset has {}",
@@ -186,7 +190,12 @@ impl Classifier for NeuralHd {
         let mut stall = 0usize;
         for epoch in 0..self.config.epochs {
             let start = Instant::now();
-            let stats = adaptive_epoch(&mut model, &encoded, train.labels(), self.config.learning_rate)?;
+            let stats = adaptive_epoch(
+                &mut model,
+                &encoded,
+                train.labels(),
+                self.config.learning_rate,
+            )?;
 
             // Variance-scored regeneration every `regen_interval` epochs
             // (never on the final epoch: the fresh dimensions would go
@@ -283,7 +292,11 @@ mod tests {
         cfg.patience = None;
         cfg.epochs = 5;
         cfg.regen_interval = 1;
-        let mut model = NeuralHd::new(cfg.clone(), data.train.feature_dim(), data.train.class_count());
+        let mut model = NeuralHd::new(
+            cfg.clone(),
+            data.train.feature_dim(),
+            data.train.class_count(),
+        );
         model.fit(&data.train, None).unwrap();
         // 4 regen events (never on last epoch) x 10% of 256 ≈ 26 dims each.
         let expected = 4 * ((cfg.dim as f64 * cfg.regen_rate).round() as u64);

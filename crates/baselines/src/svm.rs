@@ -96,7 +96,11 @@ impl LinearSvm {
 }
 
 impl Classifier for LinearSvm {
-    fn fit(&mut self, train: &Dataset, eval: Option<&Dataset>) -> Result<TrainingHistory, ModelError> {
+    fn fit(
+        &mut self,
+        train: &Dataset,
+        eval: Option<&Dataset>,
+    ) -> Result<TrainingHistory, ModelError> {
         if train.feature_dim() != self.feature_dim {
             return Err(ModelError::Incompatible(format!(
                 "expected {} features, dataset has {}",
@@ -140,9 +144,9 @@ impl Classifier for LinearSvm {
 
                 // Pegasos update for every binary subproblem.
                 let eta = 1.0 / (self.config.lambda * t as f32);
-                for c in 0..self.class_count {
+                for (c, &score) in scores.iter().enumerate() {
                     let y = if c == label { 1.0f32 } else { -1.0 };
-                    let margin = y * scores[c];
+                    let margin = y * score;
                     let w = self.weights.row_mut(c);
                     // Shrink (regularization).
                     let shrink = 1.0 - eta * self.config.lambda;

@@ -85,7 +85,11 @@ fn main() {
             accs.push(model.accuracy(&data.test).expect("accuracy"));
         }
         table.add_row(vec![
-            if interval == 0 { "never".into() } else { format!("every {interval}") },
+            if interval == 0 {
+                "never".into()
+            } else {
+                format!("every {interval}")
+            },
             TrialSummary::of(&accs).format_percent(),
         ]);
     }
@@ -128,9 +132,18 @@ fn main() {
 
         random_accs.push(random_drop_accuracy(&data, 500, 20, 0.10, seed));
     }
-    table.add_row(vec!["DistHD (learner-aware)".into(), TrialSummary::of(&disthd_accs).format_percent()]);
-    table.add_row(vec!["NeuralHD (variance)".into(), TrialSummary::of(&neural_accs).format_percent()]);
-    table.add_row(vec!["random drop".into(), TrialSummary::of(&random_accs).format_percent()]);
+    table.add_row(vec![
+        "DistHD (learner-aware)".into(),
+        TrialSummary::of(&disthd_accs).format_percent(),
+    ]);
+    table.add_row(vec![
+        "NeuralHD (variance)".into(),
+        TrialSummary::of(&neural_accs).format_percent(),
+    ]);
+    table.add_row(vec![
+        "random drop".into(),
+        TrialSummary::of(&random_accs).format_percent(),
+    ]);
     println!("{}", table.render());
 
     // ---- 4. Encoder bandwidth ----
@@ -141,7 +154,10 @@ fn main() {
         for &seed in &seeds {
             accs.push(bandwidth_accuracy(&data, gamma, seed));
         }
-        table.add_row(vec![format!("{gamma}"), TrialSummary::of(&accs).format_percent()]);
+        table.add_row(vec![
+            format!("{gamma}"),
+            TrialSummary::of(&accs).format_percent(),
+        ]);
     }
     println!("{}", table.render());
     println!("Expected: accuracy peaks at moderate gamma — too small underfits (kernel");

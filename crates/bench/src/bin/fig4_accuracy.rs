@@ -54,10 +54,25 @@ fn main() {
     // Paper summary deltas (model panel order fixed by `paper_models`).
     let mean = |mi: usize| accuracy[mi].iter().sum::<f64>() / accuracy[mi].len() as f64;
     let disthd = mean(5);
-    println!("DistHD(0.5k) vs DNN:               {:+.2}%", (disthd - mean(0)) * 100.0);
-    println!("DistHD(0.5k) vs SVM:               {:+.2}%  (paper: +1.17%)", (disthd - mean(1)) * 100.0);
-    println!("DistHD(0.5k) vs BaselineHD(0.5k):  {:+.2}%  (paper: +6.96%)", (disthd - mean(2)) * 100.0);
-    println!("DistHD(0.5k) vs BaselineHD(4k):    {:+.2}%  (paper: +1.82%)", (disthd - mean(3)) * 100.0);
-    println!("DistHD(0.5k) vs NeuralHD(0.5k):    {:+.2}%  (paper: +1.88%)", (disthd - mean(4)) * 100.0);
+    println!(
+        "DistHD(0.5k) vs DNN:               {:+.2}%",
+        (disthd - mean(0)) * 100.0
+    );
+    println!(
+        "DistHD(0.5k) vs SVM:               {:+.2}%  (paper: +1.17%)",
+        (disthd - mean(1)) * 100.0
+    );
+    println!(
+        "DistHD(0.5k) vs BaselineHD(0.5k):  {:+.2}%  (paper: +6.96%)",
+        (disthd - mean(2)) * 100.0
+    );
+    println!(
+        "DistHD(0.5k) vs BaselineHD(4k):    {:+.2}%  (paper: +1.82%)",
+        (disthd - mean(3)) * 100.0
+    );
+    println!(
+        "DistHD(0.5k) vs NeuralHD(0.5k):    {:+.2}%  (paper: +1.88%)",
+        (disthd - mean(4)) * 100.0
+    );
     println!("\nDimension reduction vs effective BaselineHD: 4000 / 500 = 8.0x (paper: 8.0x)");
 }

@@ -7,9 +7,7 @@
 //! Run with `cargo run --release -p disthd-bench --bin fig7_convergence`.
 
 use disthd::{DistHd, DistHdConfig};
-use disthd_baselines::{
-    BaselineHd, BaselineHdConfig, Classifier, NeuralHd, NeuralHdConfig,
-};
+use disthd_baselines::{BaselineHd, BaselineHdConfig, Classifier, NeuralHd, NeuralHdConfig};
 use disthd_bench::{default_scale, run_model, ModelKind};
 use disthd_datasets::suite::{PaperDataset, SuiteConfig};
 use disthd_eval::report::{percent, Table};
@@ -112,7 +110,11 @@ fn main() {
                 )
             })
             .collect();
-        println!("first iteration reaching {}: {}", percent(threshold), line.join(", "));
+        println!(
+            "first iteration reaching {}: {}",
+            percent(threshold),
+            line.join(", ")
+        );
     }
 
     // ---- Right panel: accuracy vs dimensionality ----

@@ -10,10 +10,10 @@ use disthd::{DistHd, DistHdConfig};
 use disthd_baselines::{Classifier, Mlp, MlpConfig};
 use disthd_bench::default_scale;
 use disthd_datasets::suite::{PaperDataset, SuiteConfig};
+use disthd_eval::report::Table;
 use disthd_eval::robustness::{
     matrix_fault_campaign, multi_matrix_fault_campaign, paper_error_rates, RobustnessPoint,
 };
-use disthd_eval::report::Table;
 use disthd_hd::quantize::BitWidth;
 use disthd_hd::ClassModel;
 use disthd_linalg::{Matrix, RngSeed};
@@ -57,17 +57,27 @@ fn main() {
     let mlp_eval = |matrices: &[Matrix]| -> f64 {
         let mut faulted = mlp.clone();
         for (layer, m) in faulted.layers_mut().iter_mut().zip(matrices) {
-            layer.weights_mut().as_mut_slice().copy_from_slice(m.as_slice());
+            layer
+                .weights_mut()
+                .as_mut_slice()
+                .copy_from_slice(m.as_slice());
         }
-        let predictions = faulted.predict_batch(data.test.features()).expect("predict");
+        let predictions = faulted
+            .predict_batch(data.test.features())
+            .expect("predict");
         disthd_eval::accuracy(&predictions, data.test.labels())
     };
-    let dnn_losses = multi_matrix_fault_campaign(&weight_stack, &points, TRIALS, RngSeed(41), mlp_eval);
+    let dnn_losses =
+        multi_matrix_fault_campaign(&weight_stack, &points, TRIALS, RngSeed(41), mlp_eval);
 
     let mut table = Table::new(header.clone());
     table.add_row(
         std::iter::once("DNN (8-bit)".to_string())
-            .chain(dnn_losses.iter().map(|l| format!("{:.1}%", l.loss() * 100.0)))
+            .chain(
+                dnn_losses
+                    .iter()
+                    .map(|l| format!("{:.1}%", l.loss() * 100.0)),
+            )
             .collect(),
     );
     println!("{}", table.render());
@@ -102,7 +112,8 @@ fn main() {
                 .iter()
                 .map(|&error_rate| RobustnessPoint { width, error_rate })
                 .collect();
-            let losses = matrix_fault_campaign(&class_matrix, &points, TRIALS, RngSeed(43), evaluate);
+            let losses =
+                matrix_fault_campaign(&class_matrix, &points, TRIALS, RngSeed(43), evaluate);
             table.add_row(
                 std::iter::once(format!("DistHD {dim} ({width})"))
                     .chain(losses.iter().map(|l| format!("{:.1}%", l.loss() * 100.0)))

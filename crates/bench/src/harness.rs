@@ -159,7 +159,11 @@ impl RunResult {
 /// # Errors
 ///
 /// Propagates model errors.
-pub fn run_model(kind: ModelKind, data: &TrainTest, seed: RngSeed) -> Result<RunResult, ModelError> {
+pub fn run_model(
+    kind: ModelKind,
+    data: &TrainTest,
+    seed: RngSeed,
+) -> Result<RunResult, ModelError> {
     let mut model = build_model(
         kind,
         data.train.feature_dim(),
@@ -191,7 +195,9 @@ pub fn default_scale() -> f64 {
 
 /// Deterministic per-trial seeds for repeated runs.
 pub fn trial_seeds(count: usize) -> Vec<RngSeed> {
-    (0..count as u64).map(|i| RngSeed(0xBE7C_u64 + 7919 * i)).collect()
+    (0..count as u64)
+        .map(|i| RngSeed(0xBE7C_u64 + 7919 * i))
+        .collect()
 }
 
 #[cfg(test)]
@@ -202,7 +208,10 @@ mod tests {
     #[test]
     fn labels_match_paper_legends() {
         assert_eq!(ModelKind::Dnn.label(), "DNN");
-        assert_eq!(ModelKind::BaselineHd { dim: 4000 }.label(), "BaselineHD (D=4k)");
+        assert_eq!(
+            ModelKind::BaselineHd { dim: 4000 }.label(),
+            "BaselineHD (D=4k)"
+        );
         assert_eq!(ModelKind::DistHd { dim: 500 }.label(), "DistHD (D=0.5k)");
     }
 

@@ -30,7 +30,10 @@ impl WeightParams {
     /// Panics if any weight is negative or `theta >= beta` (the paper's
     /// stated constraint).
     pub fn new(alpha: f32, beta: f32, theta: f32) -> Self {
-        assert!(alpha >= 0.0 && beta >= 0.0 && theta >= 0.0, "weights must be non-negative");
+        assert!(
+            alpha >= 0.0 && beta >= 0.0 && theta >= 0.0,
+            "weights must be non-negative"
+        );
         assert!(theta < beta, "paper constraint: theta < beta");
         Self { alpha, beta, theta }
     }
@@ -70,6 +73,13 @@ pub struct DistHdConfig {
     pub regen_rate: f64,
     /// Run the top-2 / regeneration step every this many epochs
     /// (`0` disables regeneration → pure static-encoder training).
+    ///
+    /// The default is `2`: dimensions regenerated in epoch `t` carry only
+    /// their one-pass bundle until the epoch `t + 1` adaptive pass refines
+    /// them, so scoring them again at `t + 1` re-flags half-trained
+    /// dimensions and churns the encoder — measurably losing accuracy at
+    /// every seed we swept.  One consolidation epoch between regenerations
+    /// keeps the selection honest.
     pub regen_interval: usize,
     /// Algorithm 2 weight parameters.
     pub weights: WeightParams,
@@ -87,7 +97,7 @@ impl Default for DistHdConfig {
             learning_rate: 0.05,
             epochs: 30,
             regen_rate: 0.10,
-            regen_interval: 1,
+            regen_interval: 2,
             weights: WeightParams::default(),
             patience: Some(6),
             seed: RngSeed::default(),

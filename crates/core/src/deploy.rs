@@ -239,7 +239,10 @@ mod tests {
         let mut deployed = DeployedModel::freeze(&model, BitWidth::B4).unwrap();
         let mut rng = SeededRng::new(RngSeed(5));
         let flipped = deployed.inject_faults(0.10, &mut rng);
-        assert_eq!(flipped, (deployed.memory_bits() as f64 * 0.10).round() as usize);
+        assert_eq!(
+            flipped,
+            (deployed.memory_bits() as f64 * 0.10).round() as usize
+        );
     }
 
     #[test]

@@ -80,9 +80,7 @@ pub fn select_undesired_dims(
                 let h = normalize_l2(encoded.row(i));
                 let true_c = normalized_classes.row(labels[i]);
                 let pred_c = normalized_classes.row(predicted);
-                for (((slot, &hv), &tc), &pc) in
-                    row.iter_mut().zip(&h).zip(true_c).zip(pred_c)
-                {
+                for (((slot, &hv), &tc), &pc) in row.iter_mut().zip(&h).zip(true_c).zip(pred_c) {
                     *slot = weights.alpha * (hv - tc).abs() - weights.beta * (hv - pc).abs();
                 }
                 m_rows.push_row(&row).expect("uniform width");
@@ -92,8 +90,12 @@ pub fn select_undesired_dims(
                 let true_c = normalized_classes.row(labels[i]);
                 let first_c = normalized_classes.row(first);
                 let second_c = normalized_classes.row(second);
-                for ((((slot, &hv), &tc), &fc), &sc) in
-                    row.iter_mut().zip(&h).zip(true_c).zip(first_c).zip(second_c)
+                for ((((slot, &hv), &tc), &fc), &sc) in row
+                    .iter_mut()
+                    .zip(&h)
+                    .zip(true_c)
+                    .zip(first_c)
+                    .zip(second_c)
                 {
                     *slot = weights.alpha * (hv - tc).abs()
                         - weights.beta * (hv - fc).abs()
@@ -116,8 +118,7 @@ pub fn select_undesired_dims(
             let m_top = top_set(&m_reduced, take);
             let n_top: std::collections::HashSet<usize> =
                 top_set(&n_reduced, take).into_iter().collect();
-            let mut both: Vec<usize> =
-                m_top.into_iter().filter(|d| n_top.contains(d)).collect();
+            let mut both: Vec<usize> = m_top.into_iter().filter(|d| n_top.contains(d)).collect();
             both.sort_unstable();
             both
         }
@@ -180,7 +181,11 @@ mod tests {
         );
         assert_eq!(scores.m_reduced.len(), 4);
         let argmax = disthd_linalg::argsort_descending(&scores.m_reduced)[0];
-        assert_eq!(argmax, 3, "dim 3 should be the most undesired: {:?}", scores.m_reduced);
+        assert_eq!(
+            argmax, 3,
+            "dim 3 should be the most undesired: {:?}",
+            scores.m_reduced
+        );
         // With only partial mistakes, the fallback selects from M alone.
         assert_eq!(scores.undesired, vec![3]);
     }
@@ -218,7 +223,10 @@ mod tests {
         let labels = vec![0usize, 0];
         let outcomes = vec![
             Top2Outcome::Partial { predicted: 1 },
-            Top2Outcome::Incorrect { first: 1, second: 2 },
+            Top2Outcome::Incorrect {
+                first: 1,
+                second: 2,
+            },
         ];
         let scores = select_undesired_dims(
             &encoded,
@@ -229,9 +237,13 @@ mod tests {
             0.5,
         );
         let m_top: std::collections::HashSet<usize> =
-            disthd_linalg::top_k_largest(&scores.m_reduced, 2).into_iter().collect();
+            disthd_linalg::top_k_largest(&scores.m_reduced, 2)
+                .into_iter()
+                .collect();
         let n_top: std::collections::HashSet<usize> =
-            disthd_linalg::top_k_largest(&scores.n_reduced, 2).into_iter().collect();
+            disthd_linalg::top_k_largest(&scores.n_reduced, 2)
+                .into_iter()
+                .collect();
         for d in &scores.undesired {
             assert!(m_top.contains(d) && n_top.contains(d));
         }
@@ -297,6 +309,13 @@ mod tests {
     #[should_panic(expected = "outcomes/sample mismatch")]
     fn outcome_count_checked() {
         let (encoded, labels, _, classes) = engineered_case();
-        select_undesired_dims(&encoded, &labels, &[], &classes, &WeightParams::default(), 0.1);
+        select_undesired_dims(
+            &encoded,
+            &labels,
+            &[],
+            &classes,
+            &WeightParams::default(),
+            0.1,
+        );
     }
 }

@@ -127,8 +127,8 @@ pub fn load_deployed<R: Read>(mut reader: R) -> Result<DeployedModel, PersistErr
         words.push(u64::from_le_bytes(buf));
     }
 
-    let bases = Matrix::from_vec(n, dim, bases)
-        .map_err(|e| PersistError::Corrupt(e.to_string()))?;
+    let bases =
+        Matrix::from_vec(n, dim, bases).map_err(|e| PersistError::Corrupt(e.to_string()))?;
     let encoder = RbfEncoder::from_parts(bases, phases, base_std)
         .map_err(|e| PersistError::Corrupt(e.to_string()))?;
     let center = EncodingCenter::from_means(means);

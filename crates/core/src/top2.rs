@@ -51,9 +51,8 @@ pub fn categorize(
     assert_eq!(labels.len(), encoded.rows(), "labels/sample count mismatch");
     assert!(model.class_count() >= 2, "top-2 needs at least two classes");
     let mut outcomes = Vec::with_capacity(labels.len());
-    for i in 0..encoded.rows() {
+    for (i, &label) in labels.iter().enumerate() {
         let top = model.top2(encoded.row(i))?;
-        let label = labels[i];
         let outcome = if top.first.class == label {
             Top2Outcome::Correct
         } else if top.second.class == label {
@@ -112,7 +111,11 @@ mod tests {
     fn is_mistake_flags_non_correct() {
         assert!(!Top2Outcome::Correct.is_mistake());
         assert!(Top2Outcome::Partial { predicted: 1 }.is_mistake());
-        assert!(Top2Outcome::Incorrect { first: 0, second: 1 }.is_mistake());
+        assert!(Top2Outcome::Incorrect {
+            first: 0,
+            second: 1
+        }
+        .is_mistake());
     }
 
     #[test]
@@ -128,5 +131,75 @@ mod tests {
         let mut m = ClassModel::new(1, 2);
         let encoded = Matrix::zeros(1, 2);
         categorize(&mut m, &encoded, &[0]).unwrap();
+    }
+
+    #[test]
+    fn exact_tie_resolves_to_lowest_class_index() {
+        // The sample is equidistant from classes 0 and 1; top-1 must
+        // deterministically be the lower index, so the taxonomy depends on
+        // which side of the tie the true label sits.
+        let mut m = model();
+        let encoded = Matrix::from_rows(&[vec![0.5, 0.5, 0.0]]).unwrap();
+        // Label 0: the tie winner is class 0 -> Correct.
+        let outcomes = categorize(&mut m, &encoded, &[0]).unwrap();
+        assert_eq!(outcomes[0], Top2Outcome::Correct);
+        // Label 1: class 0 wins the tie, the true label ranks second ->
+        // Partial, with the tie winner recorded as the prediction.
+        let outcomes = categorize(&mut m, &encoded, &[1]).unwrap();
+        assert_eq!(outcomes[0], Top2Outcome::Partial { predicted: 0 });
+    }
+
+    #[test]
+    fn three_way_tie_pushes_highest_index_label_out_of_top2() {
+        // All three classes tie; top-2 keeps indices 0 and 1, so label 2 is
+        // Incorrect even though its similarity equals the winners'.
+        let mut m = model();
+        let third = 1.0 / 3.0f32.sqrt();
+        let encoded = Matrix::from_rows(&[vec![third, third, third]]).unwrap();
+        let outcomes = categorize(&mut m, &encoded, &[2]).unwrap();
+        assert_eq!(
+            outcomes[0],
+            Top2Outcome::Incorrect {
+                first: 0,
+                second: 1
+            }
+        );
+    }
+
+    #[test]
+    fn two_class_model_never_produces_incorrect() {
+        // With exactly two classes the top-2 set covers every class, so the
+        // true label is always ranked first or second: the taxonomy
+        // degenerates to Correct/Partial and Incorrect is unreachable.
+        let mut m = ClassModel::new(2, 2);
+        m.bundle_into(0, &[1.0, 0.0]);
+        m.bundle_into(1, &[0.0, 1.0]);
+        let encoded = Matrix::from_rows(&[
+            vec![1.0, 0.2],
+            vec![0.2, 1.0],
+            vec![0.5, 0.5],
+            vec![-1.0, -1.0],
+        ])
+        .unwrap();
+        for label in 0..2 {
+            let outcomes = categorize(&mut m, &encoded, &[label; 4]).unwrap();
+            assert!(outcomes
+                .iter()
+                .all(|o| !matches!(o, Top2Outcome::Incorrect { .. })));
+        }
+    }
+
+    #[test]
+    fn tied_partial_still_records_the_tie_winner() {
+        // Regression guard for the Algorithm 2 inputs: the Partial outcome
+        // must carry the class that actually outranked the label, not the
+        // label itself, even under a tie.
+        let mut m = model();
+        let encoded = Matrix::from_rows(&[vec![0.0, 0.7, 0.7]]).unwrap();
+        let outcomes = categorize(&mut m, &encoded, &[2]).unwrap();
+        match outcomes[0] {
+            Top2Outcome::Partial { predicted } => assert_eq!(predicted, 1),
+            other => panic!("expected Partial, got {other:?}"),
+        }
     }
 }

@@ -168,7 +168,11 @@ impl DistHd {
 }
 
 impl Classifier for DistHd {
-    fn fit(&mut self, train: &Dataset, eval: Option<&Dataset>) -> Result<TrainingHistory, ModelError> {
+    fn fit(
+        &mut self,
+        train: &Dataset,
+        eval: Option<&Dataset>,
+    ) -> Result<TrainingHistory, ModelError> {
         if train.feature_dim() != self.encoder.input_dim() {
             return Err(ModelError::Incompatible(format!(
                 "expected {} features, dataset has {}",
@@ -205,7 +209,12 @@ impl Classifier for DistHd {
             let start = Instant::now();
 
             // (B/H) Adaptive learning over the encoded batch.
-            let stats = adaptive_epoch(&mut model, &encoded, train.labels(), self.config.learning_rate)?;
+            let stats = adaptive_epoch(
+                &mut model,
+                &encoded,
+                train.labels(),
+                self.config.learning_rate,
+            )?;
 
             // (I..Q) Top-2 classification + dimension regeneration.
             let is_regen_epoch = self.config.regen_interval > 0
@@ -230,8 +239,11 @@ impl Classifier for DistHd {
                     // got from `bundle_init`; without it the new dimensions
                     // would stay near zero and regeneration would only
                     // shrink the model).
-                    self.encoder
-                        .reencode_dims(train.features(), &mut encoded, &scores.undesired)?;
+                    self.encoder.reencode_dims(
+                        train.features(),
+                        &mut encoded,
+                        &scores.undesired,
+                    )?;
                     center.refit_dims(&mut encoded, &scores.undesired);
                     model.bundle_dimensions(&encoded, train.labels(), &scores.undesired);
                     regen_events += 1;
@@ -322,14 +334,29 @@ mod tests {
         let mut cfg = config();
         cfg.patience = None;
         cfg.epochs = 6;
-        let mut model = DistHd::new(cfg.clone(), data.train.feature_dim(), data.train.class_count());
+        let mut model = DistHd::new(
+            cfg.clone(),
+            data.train.feature_dim(),
+            data.train.class_count(),
+        );
         model.fit(&data.train, None).unwrap();
         let report = model.last_report().unwrap();
-        let full_budget = (cfg.dim as f64 * cfg.regen_rate).round() as u64 * 5;
+        // Regeneration can fire at epochs where (e+1) % interval == 0 and
+        // e+1 < epochs; each event selects at most R%·D dimensions.
+        let regen_epochs = (1..cfg.epochs)
+            .filter(|e| e % cfg.regen_interval == 0)
+            .count() as u64;
+        let full_budget = (cfg.dim as f64 * cfg.regen_rate).round() as u64 * regen_epochs;
         assert!(
             report.regenerated_dims <= full_budget,
             "regenerated {} should be <= budget {full_budget}",
             report.regenerated_dims
+        );
+        // The intersection rule should select strictly fewer than the full
+        // per-event budget overall (its efficiency edge over NeuralHD).
+        assert!(
+            report.regenerated_dims < full_budget || full_budget == 0,
+            "intersection rule never undershot the full budget"
         );
     }
 

@@ -66,10 +66,9 @@ pub fn read_csv<R: Read>(reader: R, class_count: usize) -> Result<Dataset, Datas
         let label_cell = cells
             .pop()
             .ok_or_else(|| DatasetError::Parse(format!("line {}: empty", lineno + 1)))?;
-        let label: usize = label_cell
-            .trim()
-            .parse()
-            .map_err(|_| DatasetError::Parse(format!("line {}: bad label {label_cell:?}", lineno + 1)))?;
+        let label: usize = label_cell.trim().parse().map_err(|_| {
+            DatasetError::Parse(format!("line {}: bad label {label_cell:?}", lineno + 1))
+        })?;
         let mut row = Vec::with_capacity(cells.len());
         for cell in cells {
             let v: f32 = cell.trim().parse().map_err(|_| {

@@ -47,7 +47,11 @@ impl Dataset {
     ///
     /// * [`DatasetError::LengthMismatch`] if rows ≠ labels;
     /// * [`DatasetError::LabelOutOfRange`] if any label ≥ `class_count`.
-    pub fn new(features: Matrix, labels: Vec<usize>, class_count: usize) -> Result<Self, DatasetError> {
+    pub fn new(
+        features: Matrix,
+        labels: Vec<usize>,
+        class_count: usize,
+    ) -> Result<Self, DatasetError> {
         if features.rows() != labels.len() {
             return Err(DatasetError::LengthMismatch {
                 features: features.rows(),
@@ -212,7 +216,10 @@ mod tests {
     fn new_validates_label_range() {
         let features = Matrix::zeros(2, 2);
         let err = Dataset::new(features, vec![0, 5], 2).unwrap_err();
-        assert!(matches!(err, DatasetError::LabelOutOfRange { label: 5, .. }));
+        assert!(matches!(
+            err,
+            DatasetError::LabelOutOfRange { label: 5, .. }
+        ));
     }
 
     #[test]

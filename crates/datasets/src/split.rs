@@ -38,7 +38,9 @@ pub fn stratified_split(
         )));
     }
     if data.is_empty() {
-        return Err(DatasetError::InvalidConfig("cannot split empty dataset".into()));
+        return Err(DatasetError::InvalidConfig(
+            "cannot split empty dataset".into(),
+        ));
     }
 
     // Bucket indices per class, shuffle each bucket, then cut.
@@ -83,7 +85,11 @@ pub fn k_fold(
     let mut folds = Vec::with_capacity(k);
     for f in 0..k {
         let start = f * fold_size;
-        let end = if f == k - 1 { data.len() } else { start + fold_size };
+        let end = if f == k - 1 {
+            data.len()
+        } else {
+            start + fold_size
+        };
         let val_idx: Vec<usize> = order[start..end].to_vec();
         let train_idx: Vec<usize> = order[..start]
             .iter()
@@ -131,11 +137,8 @@ mod tests {
         let (train, test) = stratified_split(&data, 0.25, &mut rng).unwrap();
         // Feature rows are unique by construction; check disjointness via
         // the first feature value.
-        let train_firsts: std::collections::HashSet<u32> = train
-            .features()
-            .iter_rows()
-            .map(|r| r[0] as u32)
-            .collect();
+        let train_firsts: std::collections::HashSet<u32> =
+            train.features().iter_rows().map(|r| r[0] as u32).collect();
         for row in test.features().iter_rows() {
             assert!(!train_firsts.contains(&(row[0] as u32)));
         }

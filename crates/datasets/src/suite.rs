@@ -88,14 +88,8 @@ impl PaperDataset {
         let floor = spec.class_count * 10;
         let train_size = scaled_size(spec.train_size, config.scale, floor);
         let test_size = scaled_size(spec.test_size, config.scale, floor);
-        let mut train = generator.generate(
-            train_size,
-            RngSeed(config.sample_seed.0 ^ 0x7_7A1A),
-        )?;
-        let mut test = generator.generate(
-            test_size,
-            RngSeed(config.sample_seed.0 ^ 0xF_E57A),
-        )?;
+        let mut train = generator.generate(train_size, RngSeed(config.sample_seed.0 ^ 0x7_7A1A))?;
+        let mut test = generator.generate(test_size, RngSeed(config.sample_seed.0 ^ 0xF_E57A))?;
         min_max_fit_apply(train.features_mut(), test.features_mut());
         Ok(TrainTest { train, test, spec })
     }
@@ -141,8 +135,8 @@ impl Default for SuiteConfig {
     fn default() -> Self {
         Self {
             scale: 0.05,
-            structure_seed: RngSeed(0xD157_4D),
-            sample_seed: RngSeed(0x5A11_7),
+            structure_seed: RngSeed(0x00D1_574D),
+            sample_seed: RngSeed(0x0005_A117),
         }
     }
 }

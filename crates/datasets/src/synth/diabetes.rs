@@ -63,7 +63,10 @@ mod tests {
 
     #[test]
     fn three_classes_generated() {
-        let data = generator(RngSeed(12)).unwrap().generate(30, RngSeed(13)).unwrap();
+        let data = generator(RngSeed(12))
+            .unwrap()
+            .generate(30, RngSeed(13))
+            .unwrap();
         assert_eq!(data.class_count(), 3);
         assert_eq!(data.feature_dim(), 49);
         assert!(data.class_histogram().iter().all(|&c| c == 10));

@@ -66,13 +66,20 @@ mod tests {
         let data = gen.generate(50, RngSeed(2)).unwrap();
         let values = data.features().as_slice();
         assert!(values.iter().all(|&v| (0.0..=1.0).contains(&v)));
-        let zero_fraction = values.iter().filter(|&&v| v == 0.0).count() as f32 / values.len() as f32;
-        assert!(zero_fraction > 0.3, "MNIST-like data should be sparse: {zero_fraction}");
+        let zero_fraction =
+            values.iter().filter(|&&v| v == 0.0).count() as f32 / values.len() as f32;
+        assert!(
+            zero_fraction > 0.3,
+            "MNIST-like data should be sparse: {zero_fraction}"
+        );
     }
 
     #[test]
     fn ten_balanced_classes() {
-        let data = generator(RngSeed(1)).unwrap().generate(100, RngSeed(3)).unwrap();
+        let data = generator(RngSeed(1))
+            .unwrap()
+            .generate(100, RngSeed(3))
+            .unwrap();
         assert_eq!(data.class_count(), 10);
         assert!(data.class_histogram().iter().all(|&c| c == 10));
     }

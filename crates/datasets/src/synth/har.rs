@@ -63,7 +63,10 @@ mod tests {
 
     #[test]
     fn twelve_classes_generated() {
-        let data = generator(RngSeed(4)).unwrap().generate(120, RngSeed(5)).unwrap();
+        let data = generator(RngSeed(4))
+            .unwrap()
+            .generate(120, RngSeed(5))
+            .unwrap();
         assert_eq!(data.class_count(), 12);
         assert_eq!(data.feature_dim(), 561);
         assert!(data.class_histogram().iter().all(|&c| c == 10));
@@ -73,7 +76,10 @@ mod tests {
     fn subject_bias_shifts_whole_rows() {
         // With SubjectBias the per-row mean varies more than per-feature
         // noise alone would allow.
-        let data = generator(RngSeed(4)).unwrap().generate(60, RngSeed(6)).unwrap();
+        let data = generator(RngSeed(4))
+            .unwrap()
+            .generate(60, RngSeed(6))
+            .unwrap();
         let row_means: Vec<f32> = data
             .features()
             .iter_rows()

@@ -63,7 +63,10 @@ mod tests {
 
     #[test]
     fn twenty_six_classes_generated() {
-        let data = generator(RngSeed(7)).unwrap().generate(130, RngSeed(8)).unwrap();
+        let data = generator(RngSeed(7))
+            .unwrap()
+            .generate(130, RngSeed(8))
+            .unwrap();
         assert_eq!(data.class_count(), 26);
         assert_eq!(data.feature_dim(), 617);
         assert!(data.class_histogram().iter().all(|&c| c == 5));
@@ -73,7 +76,10 @@ mod tests {
     fn adjacent_features_are_correlated() {
         // The Smooth post-transform should make |f[i+1] - f[i]| small
         // relative to overall feature spread.
-        let data = generator(RngSeed(7)).unwrap().generate(40, RngSeed(9)).unwrap();
+        let data = generator(RngSeed(7))
+            .unwrap()
+            .generate(40, RngSeed(9))
+            .unwrap();
         let mut adjacent_delta = 0.0f32;
         let mut random_delta = 0.0f32;
         let mut count = 0.0f32;

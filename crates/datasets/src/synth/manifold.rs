@@ -88,10 +88,14 @@ impl ManifoldConfig {
 
     fn validate(&self) -> Result<(), DatasetError> {
         if self.feature_dim == 0 {
-            return Err(DatasetError::InvalidConfig("feature_dim must be > 0".into()));
+            return Err(DatasetError::InvalidConfig(
+                "feature_dim must be > 0".into(),
+            ));
         }
         if self.class_count == 0 {
-            return Err(DatasetError::InvalidConfig("class_count must be > 0".into()));
+            return Err(DatasetError::InvalidConfig(
+                "class_count must be > 0".into(),
+            ));
         }
         if self.latent_dim == 0 {
             return Err(DatasetError::InvalidConfig("latent_dim must be > 0".into()));
@@ -236,7 +240,9 @@ impl ManifoldGenerator {
     /// Returns [`DatasetError::InvalidConfig`] if `total == 0`.
     pub fn generate(&self, total: usize, sample_seed: RngSeed) -> Result<Dataset, DatasetError> {
         if total == 0 {
-            return Err(DatasetError::InvalidConfig("cannot generate 0 samples".into()));
+            return Err(DatasetError::InvalidConfig(
+                "cannot generate 0 samples".into(),
+            ));
         }
         let k = self.config.class_count;
         let mut rng = SeededRng::derive_stream(sample_seed, 0xDA7A);
@@ -327,7 +333,10 @@ mod tests {
         let data = gen.generate(20, RngSeed(4)).unwrap();
         let values = data.features().as_slice();
         let zeros = values.iter().filter(|&&v| v == 0.0).count();
-        assert!(zeros > values.len() / 10, "expected sparsity, zeros={zeros}");
+        assert!(
+            zeros > values.len() / 10,
+            "expected sparsity, zeros={zeros}"
+        );
         assert!(values.iter().all(|&v| (0.0..=1.0).contains(&v)));
     }
 

@@ -63,7 +63,10 @@ mod tests {
 
     #[test]
     fn five_classes_generated() {
-        let data = generator(RngSeed(10)).unwrap().generate(50, RngSeed(11)).unwrap();
+        let data = generator(RngSeed(10))
+            .unwrap()
+            .generate(50, RngSeed(11))
+            .unwrap();
         assert_eq!(data.class_count(), 5);
         assert_eq!(data.feature_dim(), 54);
         assert!(data.class_histogram().iter().all(|&c| c == 10));

@@ -39,7 +39,10 @@ impl ConfusionMatrix {
 
     /// Total samples recorded.
     pub fn total(&self) -> usize {
-        self.counts.iter().map(|row| row.iter().sum::<usize>()).sum()
+        self.counts
+            .iter()
+            .map(|row| row.iter().sum::<usize>())
+            .sum()
     }
 
     /// Overall accuracy (trace / total).
@@ -58,11 +61,18 @@ impl ConfusionMatrix {
 /// # Panics
 ///
 /// Panics if lengths differ or a label/prediction is `>= class_count`.
-pub fn confusion_matrix(predicted: &[usize], actual: &[usize], class_count: usize) -> ConfusionMatrix {
+pub fn confusion_matrix(
+    predicted: &[usize],
+    actual: &[usize],
+    class_count: usize,
+) -> ConfusionMatrix {
     assert_eq!(predicted.len(), actual.len(), "length mismatch");
     let mut counts = vec![vec![0usize; class_count]; class_count];
     for (&p, &a) in predicted.iter().zip(actual) {
-        assert!(p < class_count && a < class_count, "class index out of range");
+        assert!(
+            p < class_count && a < class_count,
+            "class index out of range"
+        );
         counts[a][p] += 1;
     }
     ConfusionMatrix { counts }

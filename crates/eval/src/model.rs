@@ -123,7 +123,11 @@ pub trait Classifier {
     ///
     /// Returns [`ModelError::Incompatible`] if the dataset shape disagrees
     /// with the model configuration.
-    fn fit(&mut self, train: &Dataset, eval: Option<&Dataset>) -> Result<TrainingHistory, ModelError>;
+    fn fit(
+        &mut self,
+        train: &Dataset,
+        eval: Option<&Dataset>,
+    ) -> Result<TrainingHistory, ModelError>;
 
     /// Predicts the class of one feature vector.
     ///
@@ -139,7 +143,9 @@ pub trait Classifier {
     ///
     /// Propagates [`Self::predict_one`] errors.
     fn predict(&mut self, data: &Dataset) -> Result<Vec<usize>, ModelError> {
-        (0..data.len()).map(|i| self.predict_one(data.sample(i))).collect()
+        (0..data.len())
+            .map(|i| self.predict_one(data.sample(i)))
+            .collect()
     }
 
     /// Fraction of correctly classified samples of `data`.
@@ -213,7 +219,9 @@ mod tests {
 
     #[test]
     fn model_error_display() {
-        assert!(ModelError::NotFitted.to_string().contains("not been fitted"));
+        assert!(ModelError::NotFitted
+            .to_string()
+            .contains("not been fitted"));
         let e = ModelError::Incompatible("bad".into());
         assert!(e.to_string().contains("bad"));
     }

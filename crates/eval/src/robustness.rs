@@ -67,8 +67,7 @@ where
             let mut sum = 0.0;
             for trial in 0..trials.max(1) {
                 let mut faulted = quantized.clone();
-                let mut rng =
-                    SeededRng::derive_stream(seed, (pi as u64) << 32 | trial as u64);
+                let mut rng = SeededRng::derive_stream(seed, (pi as u64) << 32 | trial as u64);
                 flip_random_bits(&mut faulted, point.error_rate, &mut rng);
                 sum += evaluate(&faulted.dequantize());
             }

@@ -73,7 +73,11 @@ mod tests {
     #[test]
     fn time_it_measures_sleep() {
         let t = time_it(|| std::thread::sleep(Duration::from_millis(20)));
-        assert!(t.elapsed >= Duration::from_millis(15), "elapsed {:?}", t.elapsed);
+        assert!(
+            t.elapsed >= Duration::from_millis(15),
+            "elapsed {:?}",
+            t.elapsed
+        );
         assert!(t.seconds() >= 0.015);
     }
 
@@ -81,7 +85,11 @@ mod tests {
     fn time_mean_divides_by_repeats() {
         let t = time_mean(4, || std::thread::sleep(Duration::from_millis(5)));
         // Mean per-iteration should be ~5ms, not ~20ms.
-        assert!(t.elapsed < Duration::from_millis(15), "mean {:?}", t.elapsed);
+        assert!(
+            t.elapsed < Duration::from_millis(15),
+            "mean {:?}",
+            t.elapsed
+        );
     }
 
     #[test]

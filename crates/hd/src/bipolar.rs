@@ -33,7 +33,11 @@ impl BipolarHypervector {
 
     /// Random hypervector with i.i.d. uniform `{-1, +1}` components.
     pub fn random(dim: usize, rng: &mut SeededRng) -> Self {
-        Self((0..dim).map(|_| if rng.next_bool(0.5) { 1 } else { -1 }).collect())
+        Self(
+            (0..dim)
+                .map(|_| if rng.next_bool(0.5) { 1 } else { -1 })
+                .collect(),
+        )
     }
 
     /// Builds from raw components.
@@ -51,7 +55,12 @@ impl BipolarHypervector {
 
     /// Sign-quantizes a real hypervector (`>= 0` maps to `+1`).
     pub fn from_real(values: &[f32]) -> Self {
-        Self(values.iter().map(|&v| if v >= 0.0 { 1 } else { -1 }).collect())
+        Self(
+            values
+                .iter()
+                .map(|&v| if v >= 0.0 { 1 } else { -1 })
+                .collect(),
+        )
     }
 
     /// Dimensionality `D`.

@@ -173,4 +173,98 @@ mod tests {
     fn zeros_has_no_ones() {
         assert_eq!(BinaryHypervector::zeros(1000).count_ones(), 0);
     }
+
+    #[test]
+    fn from_bits_empty_input() {
+        let hv = BinaryHypervector::from_bits(std::iter::empty());
+        assert_eq!(hv.dim(), 0);
+        assert_eq!(hv.as_words().len(), 0);
+        assert_eq!(hv.count_ones(), 0);
+        assert_eq!(hv, BinaryHypervector::zeros(0));
+    }
+
+    #[test]
+    fn from_bits_exactly_one_word() {
+        // 64 bits must fill exactly one word, with no empty trailing word.
+        let hv = BinaryHypervector::from_bits((0..64).map(|_| true));
+        assert_eq!(hv.dim(), 64);
+        assert_eq!(hv.as_words(), &[u64::MAX]);
+        assert_eq!(hv.count_ones(), 64);
+        assert!(hv.bit(0) && hv.bit(63));
+    }
+
+    #[test]
+    fn from_bits_one_past_word_boundary() {
+        // 65 bits: the single overflow bit must land in word 1, bit 0.
+        let mut bits = vec![false; 65];
+        bits[64] = true;
+        let hv = BinaryHypervector::from_bits(bits);
+        assert_eq!(hv.dim(), 65);
+        assert_eq!(hv.as_words(), &[0, 1]);
+        assert!(hv.bit(64));
+        assert!(!hv.bit(63));
+    }
+
+    #[test]
+    fn ragged_dims_agree_with_zeros_layout() {
+        // For every dim near the word boundary, from_bits of all-false must
+        // produce the same word count as zeros(dim).
+        for dim in [1usize, 63, 64, 65, 127, 128, 129] {
+            let built = BinaryHypervector::from_bits((0..dim).map(|_| false));
+            let zeroed = BinaryHypervector::zeros(dim);
+            assert_eq!(built, zeroed, "dim {dim}");
+            assert_eq!(built.as_words().len(), dim.div_ceil(64), "dim {dim}");
+        }
+    }
+
+    #[test]
+    fn ragged_tail_bits_are_addressable_and_flippable() {
+        // dim % 64 != 0: exercise the last valid bit of the partial word.
+        let mut hv = BinaryHypervector::zeros(100);
+        hv.set_bit(99, true);
+        assert!(hv.bit(99));
+        assert_eq!(hv.count_ones(), 1);
+        hv.flip_bit(99);
+        assert_eq!(hv.count_ones(), 0);
+    }
+
+    #[test]
+    fn trailing_bits_beyond_dim_stay_zero() {
+        // `as_words` documents that padding bits beyond dim are zero; the
+        // fault-injection and popcount paths both rely on it.
+        let hv = BinaryHypervector::from_bits((0..70).map(|_| true));
+        let last = *hv.as_words().last().unwrap();
+        assert_eq!(last >> (70 % 64), 0, "padding bits must be zero");
+        assert_eq!(hv.count_ones(), 70);
+    }
+
+    #[test]
+    fn hamming_distance_is_symmetric_on_ragged_dims() {
+        let a = BinaryHypervector::from_bits((0..100).map(|i| i % 3 == 0));
+        let b = BinaryHypervector::from_bits((0..100).map(|i| i % 5 == 0));
+        assert_eq!(
+            crate::hamming_distance(&a, &b),
+            crate::hamming_distance(&b, &a)
+        );
+        assert_eq!(crate::hamming_distance(&a, &a), 0);
+    }
+
+    #[test]
+    fn hamming_distance_counts_cross_word_differences() {
+        let mut a = BinaryHypervector::zeros(130);
+        let b = BinaryHypervector::zeros(130);
+        // One difference per word, including the 2-bit tail word.
+        a.set_bit(0, true);
+        a.set_bit(64, true);
+        a.set_bit(129, true);
+        assert_eq!(crate::hamming_distance(&a, &b), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn hamming_distance_rejects_dim_mismatch() {
+        let a = BinaryHypervector::zeros(64);
+        let b = BinaryHypervector::zeros(65);
+        crate::hamming_distance(&a, &b);
+    }
 }

@@ -283,8 +283,12 @@ mod tests {
 
     #[test]
     fn same_seed_same_encoder() {
-        let a = RbfEncoder::new(6, 64, RngSeed(5)).encode(&[0.2; 6]).unwrap();
-        let b = RbfEncoder::new(6, 64, RngSeed(5)).encode(&[0.2; 6]).unwrap();
+        let a = RbfEncoder::new(6, 64, RngSeed(5))
+            .encode(&[0.2; 6])
+            .unwrap();
+        let b = RbfEncoder::new(6, 64, RngSeed(5))
+            .encode(&[0.2; 6])
+            .unwrap();
         assert_eq!(a, b);
     }
 

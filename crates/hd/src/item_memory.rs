@@ -127,14 +127,16 @@ impl ItemMemory {
     pub fn recall_top(&self, query: &[f32], k: usize) -> Result<Vec<Recall>, ShapeError> {
         if self.is_empty() {
             if query.len() != self.dim {
-                return Err(ShapeError::new("item_recall", (1, query.len()), (1, self.dim)));
+                return Err(ShapeError::new(
+                    "item_recall",
+                    (1, query.len()),
+                    (1, self.dim),
+                ));
             }
             return Ok(Vec::new());
         }
-        let sims = similarity::similarity_to_all(
-            &disthd_linalg::normalize_l2(query),
-            &self.normalized,
-        )?;
+        let sims =
+            similarity::similarity_to_all(&disthd_linalg::normalize_l2(query), &self.normalized)?;
         let top = disthd_linalg::top_k_largest(&sims, k);
         Ok(top
             .into_iter()

@@ -65,9 +65,8 @@ pub fn adaptive_epoch(
 ) -> Result<EpochStats, ShapeError> {
     assert_eq!(labels.len(), encoded.rows(), "labels/sample count mismatch");
     let mut mistakes = 0usize;
-    for i in 0..encoded.rows() {
+    for (i, &label) in labels.iter().enumerate() {
         let hv = encoded.row(i);
-        let label = labels[i];
         assert!(label < model.class_count(), "label out of range");
         let sims = model.similarities(hv)?;
         let predicted = argmax(&sims);
@@ -108,8 +107,8 @@ pub fn bundle_init(
             (model.class_count(), model.dim()),
         ));
     }
-    for i in 0..encoded.rows() {
-        model.bundle_into(labels[i], encoded.row(i));
+    for (i, &label) in labels.iter().enumerate() {
+        model.bundle_into(label, encoded.row(i));
     }
     Ok(())
 }
@@ -189,8 +188,8 @@ mod tests {
         let mut model = ClassModel::new(2, 1024);
         bundle_init(&mut model, &encoded, &labels).unwrap();
         let mut correct = 0;
-        for i in 0..encoded.rows() {
-            if model.predict(encoded.row(i)) == labels[i] {
+        for (i, &label) in labels.iter().enumerate() {
+            if model.predict(encoded.row(i)) == label {
                 correct += 1;
             }
         }

@@ -39,8 +39,8 @@
 #![deny(missing_docs)]
 
 mod bipolar;
-pub mod center;
 mod bitpacked;
+pub mod center;
 pub mod encoder;
 mod hypervector;
 mod item_memory;
@@ -58,6 +58,6 @@ pub use item_memory::{ItemMemory, Recall};
 pub use model::{ClassModel, Prediction, TopK};
 pub use ops::{bind, bundle, permute, weighted_bundle};
 pub use similarity::{
-    exact_cosine_to_all,
-    cosine_similarity_matrix, hamming_distance, normalized_hamming_similarity, similarity_to_all,
+    cosine_similarity_matrix, exact_cosine_to_all, hamming_distance, normalized_hamming_similarity,
+    similarity_to_all,
 };

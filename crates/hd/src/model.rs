@@ -195,7 +195,9 @@ impl ClassModel {
     ///
     /// Panics if `query.len() != dim()` or the model has no classes.
     pub fn predict(&mut self, query: &[f32]) -> usize {
-        self.top1(query).expect("query length matches model dim").class
+        self.top1(query)
+            .expect("query length matches model dim")
+            .class
     }
 
     /// Most similar class with its score.
@@ -261,7 +263,11 @@ fn argmax(values: &[f32]) -> (usize, f32) {
 
 /// Top-2 entries of a slice with at least two elements, one pass.
 fn top2_of(values: &[f32]) -> (Prediction, Prediction) {
-    let (mut i1, mut i2) = if values[0] >= values[1] { (0, 1) } else { (1, 0) };
+    let (mut i1, mut i2) = if values[0] >= values[1] {
+        (0, 1)
+    } else {
+        (1, 0)
+    };
     for i in 2..values.len() {
         if values[i] > values[i1] {
             i2 = i1;

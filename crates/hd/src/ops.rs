@@ -29,7 +29,11 @@ pub fn bundle(inputs: &[&[f32]]) -> Vec<f32> {
 /// Panics if `inputs.len() != weights.len()`, if `inputs` is empty, or if
 /// dimensions differ.
 pub fn weighted_bundle(inputs: &[&[f32]], weights: &[f32]) -> Vec<f32> {
-    assert_eq!(inputs.len(), weights.len(), "weighted_bundle: arity mismatch");
+    assert_eq!(
+        inputs.len(),
+        weights.len(),
+        "weighted_bundle: arity mismatch"
+    );
     assert!(!inputs.is_empty(), "weighted_bundle of zero hypervectors");
     let dim = inputs[0].len();
     let mut out = vec![0.0; dim];

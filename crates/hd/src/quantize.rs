@@ -62,7 +62,12 @@ impl BitWidth {
 
 impl std::fmt::Display for BitWidth {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{} bit{}", self.bits(), if self.bits() == 1 { "" } else { "s" })
+        write!(
+            f,
+            "{} bit{}",
+            self.bits(),
+            if self.bits() == 1 { "" } else { "s" }
+        )
     }
 }
 
@@ -297,11 +302,7 @@ mod tests {
     use super::*;
 
     fn sample() -> Matrix {
-        Matrix::from_rows(&[
-            vec![1.0, -0.5, 0.25, 0.0],
-            vec![-2.0, 2.0, 0.1, -0.1],
-        ])
-        .unwrap()
+        Matrix::from_rows(&[vec![1.0, -0.5, 0.25, 0.0], vec![-2.0, 2.0, 0.1, -0.1]]).unwrap()
     }
 
     #[test]

@@ -68,7 +68,11 @@ pub fn normalized_hamming_similarity(a: &BinaryHypervector, b: &BinaryHypervecto
 /// Returns [`ShapeError`] if `query.len() != rows.cols()`.
 pub fn exact_cosine_to_all(query: &[f32], rows: &Matrix) -> Result<Vec<f32>, ShapeError> {
     if query.len() != rows.cols() {
-        return Err(ShapeError::new("exact_cosine", (1, query.len()), rows.shape()));
+        return Err(ShapeError::new(
+            "exact_cosine",
+            (1, query.len()),
+            rows.shape(),
+        ));
     }
     let qn = disthd_linalg::l2_norm(query);
     Ok(rows

@@ -70,7 +70,11 @@ impl Matrix {
         let mut data = Vec::with_capacity(rows.len() * cols);
         for row in rows {
             if row.len() != cols {
-                return Err(ShapeError::new("from_rows", (rows.len(), cols), (1, row.len())));
+                return Err(ShapeError::new(
+                    "from_rows",
+                    (rows.len(), cols),
+                    (1, row.len()),
+                ));
             }
             data.extend_from_slice(row);
         }
@@ -160,7 +164,9 @@ impl Matrix {
     /// Panics if `c >= cols()`.
     pub fn column(&self, c: usize) -> Vec<f32> {
         assert!(c < self.cols, "column index out of bounds");
-        (0..self.rows).map(|r| self.data[r * self.cols + c]).collect()
+        (0..self.rows)
+            .map(|r| self.data[r * self.cols + c])
+            .collect()
     }
 
     /// Iterates over rows as slices.

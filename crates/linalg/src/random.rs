@@ -4,8 +4,44 @@
 //! dataset synthesis, bit-flip fault injection, weight initialization) draws
 //! from a [`SeededRng`] so that experiments are bit-for-bit reproducible.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+/// xoshiro256++ core so the workspace has zero external dependencies; the
+/// build environment cannot reach crates.io, and a small named-algorithm
+/// generator keeps streams bit-for-bit stable across toolchains anyway.
+#[derive(Debug, Clone)]
+struct Xoshiro256 {
+    state: [u64; 4],
+}
+
+impl Xoshiro256 {
+    /// Expands a 64-bit seed through SplitMix64, per the xoshiro authors'
+    /// recommendation, so low-entropy seeds still fill all 256 state bits.
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Self {
+            state: [next(), next(), next(), next()],
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
 
 /// A 64-bit experiment seed.
 ///
@@ -41,19 +77,19 @@ impl From<u64> for RngSeed {
 
 /// Deterministic random number generator used across the workspace.
 ///
-/// Wraps [`rand::rngs::StdRng`] so the concrete generator can be swapped
+/// Wraps a xoshiro256++ core so the concrete generator can be swapped
 /// without touching call sites, and so `derive_stream` can split one
 /// experiment seed into independent sub-streams (encoder vs dataset vs noise).
 #[derive(Debug, Clone)]
 pub struct SeededRng {
-    inner: StdRng,
+    inner: Xoshiro256,
 }
 
 impl SeededRng {
     /// Creates a generator from an experiment seed.
     pub fn new(seed: RngSeed) -> Self {
         Self {
-            inner: StdRng::seed_from_u64(seed.0),
+            inner: Xoshiro256::seed_from_u64(seed.0),
         }
     }
 
@@ -71,12 +107,13 @@ impl SeededRng {
 
     /// Uniform `f32` in `[0, 1)`.
     pub fn next_unit(&mut self) -> f32 {
-        self.inner.gen::<f32>()
+        // Top 24 bits: the widest mantissa an f32 can hold exactly.
+        (self.inner.next_u64() >> 40) as f32 * (1.0 / 16_777_216.0)
     }
 
     /// Uniform `u64` over the full range.
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.gen::<u64>()
+        self.inner.next_u64()
     }
 
     /// Uniform `usize` in `[0, bound)`.
@@ -86,12 +123,26 @@ impl SeededRng {
     /// Panics if `bound == 0`.
     pub fn next_index(&mut self, bound: usize) -> usize {
         assert!(bound > 0, "next_index: bound must be positive");
-        self.inner.gen_range(0..bound)
+        // Debiased multiply-shift (Lemire): keep drawing while the low word
+        // falls in the biased zone.  For the bounds used here (dims, dataset
+        // sizes) a retry is vanishingly rare.
+        let bound = bound as u64;
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let x = self.inner.next_u64();
+            let wide = u128::from(x) * u128::from(bound);
+            if (wide as u64) >= threshold {
+                return (wide >> 64) as usize;
+            }
+        }
     }
 
     /// Bernoulli draw with probability `p` of `true`.
     pub fn next_bool(&mut self, p: f64) -> bool {
-        self.inner.gen_bool(p.clamp(0.0, 1.0))
+        let p = p.clamp(0.0, 1.0);
+        // 53-bit uniform in [0, 1); `< p` gives exact 0.0 / 1.0 extremes.
+        let unit = (self.inner.next_u64() >> 11) as f64 * (1.0 / 9_007_199_254_740_992.0);
+        unit < p
     }
 
     /// Fisher–Yates shuffle of `indices`.
@@ -100,11 +151,6 @@ impl SeededRng {
             let j = self.next_index(i + 1);
             items.swap(i, j);
         }
-    }
-
-    /// Access the underlying [`rand::Rng`] for callers that need the full trait.
-    pub fn rng(&mut self) -> &mut impl Rng {
-        &mut self.inner
     }
 }
 

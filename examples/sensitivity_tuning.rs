@@ -17,9 +17,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     for (label, weights) in [
-        ("sensitive  (alpha/beta = 4.0)", WeightParams::new(4.0, 1.0, 0.25)),
+        (
+            "sensitive  (alpha/beta = 4.0)",
+            WeightParams::new(4.0, 1.0, 0.25),
+        ),
         ("balanced   (alpha/beta = 1.0)", WeightParams::default()),
-        ("specific   (alpha/beta = 0.25)", WeightParams::new(1.0, 4.0, 1.0)),
+        (
+            "specific   (alpha/beta = 0.25)",
+            WeightParams::new(1.0, 4.0, 1.0),
+        ),
     ] {
         let config = DistHdConfig {
             dim: 500,

@@ -46,6 +46,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    println!("\nExpected: regeneration recovers accuracy a 0.5k static encoder leaves on the table.");
+    println!(
+        "\nExpected: regeneration recovers accuracy a 0.5k static encoder leaves on the table."
+    );
     Ok(())
 }

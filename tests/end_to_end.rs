@@ -66,10 +66,7 @@ fn every_model_beats_chance_on_diabetes() {
                 k,
             )),
         ),
-        (
-            "svm",
-            Box::new(LinearSvm::new(SvmConfig::default(), n, k)),
-        ),
+        ("svm", Box::new(LinearSvm::new(SvmConfig::default(), n, k))),
     ];
 
     for (name, model) in &mut models {

@@ -28,10 +28,7 @@ fn trained_setup(dim: usize) -> (Matrix, Matrix, Vec<usize>, f64) {
     (classes, encoded, data.test.labels().to_vec(), clean)
 }
 
-fn evaluator<'a>(
-    encoded: &'a Matrix,
-    labels: &'a [usize],
-) -> impl FnMut(&Matrix) -> f64 + 'a {
+fn evaluator<'a>(encoded: &'a Matrix, labels: &'a [usize]) -> impl FnMut(&Matrix) -> f64 + 'a {
     move |m: &Matrix| {
         let mut faulted = ClassModel::from_matrix(m.clone());
         let correct = (0..encoded.rows())
@@ -48,7 +45,13 @@ fn zero_error_rate_preserves_quantized_accuracy() {
         width: BitWidth::B8,
         error_rate: 0.0,
     }];
-    let losses = matrix_fault_campaign(&classes, &points, 2, RngSeed(1), evaluator(&encoded, &labels));
+    let losses = matrix_fault_campaign(
+        &classes,
+        &points,
+        2,
+        RngSeed(1),
+        evaluator(&encoded, &labels),
+    );
     assert!(losses[0].loss() < 1e-9, "zero flips must cost nothing");
 }
 
@@ -62,7 +65,13 @@ fn quality_loss_grows_with_error_rate() {
             error_rate,
         })
         .collect();
-    let losses = matrix_fault_campaign(&classes, &points, 3, RngSeed(2), evaluator(&encoded, &labels));
+    let losses = matrix_fault_campaign(
+        &classes,
+        &points,
+        3,
+        RngSeed(2),
+        evaluator(&encoded, &labels),
+    );
     assert!(
         losses[1].loss() >= losses[0].loss(),
         "30% flips ({:.3}) should cost at least as much as 1% ({:.3})",
@@ -84,7 +93,13 @@ fn one_bit_storage_is_more_robust_than_eight_bit() {
             error_rate: rate,
         })
         .collect();
-    let losses = matrix_fault_campaign(&classes, &points, 4, RngSeed(3), evaluator(&encoded, &labels));
+    let losses = matrix_fault_campaign(
+        &classes,
+        &points,
+        4,
+        RngSeed(3),
+        evaluator(&encoded, &labels),
+    );
     assert!(
         losses[0].loss() <= losses[1].loss() + 0.02,
         "1-bit loss ({:.3}) should not exceed 8-bit loss ({:.3})",
@@ -103,8 +118,13 @@ fn higher_dimensionality_improves_robustness() {
             width: BitWidth::B1,
             error_rate: rate,
         }];
-        let losses =
-            matrix_fault_campaign(&classes, &points, 4, RngSeed(4), evaluator(&encoded, &labels));
+        let losses = matrix_fault_campaign(
+            &classes,
+            &points,
+            4,
+            RngSeed(4),
+            evaluator(&encoded, &labels),
+        );
         losses_by_dim.push(losses[0].loss());
     }
     assert!(
@@ -122,7 +142,13 @@ fn fault_campaign_reports_clean_accuracy_consistently() {
         width: BitWidth::B8,
         error_rate: 0.05,
     }];
-    let losses = matrix_fault_campaign(&classes, &points, 2, RngSeed(5), evaluator(&encoded, &labels));
+    let losses = matrix_fault_campaign(
+        &classes,
+        &points,
+        2,
+        RngSeed(5),
+        evaluator(&encoded, &labels),
+    );
     // The 8-bit clean accuracy should be within a few points of f32.
     assert!(
         (losses[0].clean_accuracy - clean_f32).abs() < 0.05,

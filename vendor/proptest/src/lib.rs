@@ -1,0 +1,83 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so `tests/properties.rs`
+//! runs against this minimal shim.  It keeps proptest's surface syntax —
+//! the `proptest!` macro, `Strategy`, `prop_assert*!`, `prop_assume!`,
+//! `ProptestConfig`, and the `collection` constructors — but samples each
+//! strategy from a deterministic per-test RNG and does **no shrinking**:
+//! a failing case panics with the plain assertion message.  Swapping in
+//! the real proptest later requires no changes to the test files.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// One-glob import mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Mirrors proptest's top-level `proptest!` macro: an optional
+/// `#![proptest_config(..)]` inner attribute followed by `#[test]`
+/// functions whose arguments are drawn from strategies.
+///
+/// Each generated test evaluates its strategies `config.cases` times from
+/// a deterministic RNG seeded by the test name, and runs the body once per
+/// sampled case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@expand ($cfg) $($rest)*);
+    };
+    (@expand ($cfg:expr)
+        $($(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                let mut rng =
+                    $crate::strategy::TestRng::from_label(stringify!($name));
+                for _case in 0..config.cases {
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                    )+
+                    // Zero-arg closure so `prop_assume!`'s early `return`
+                    // skips only the current case, and so the bindings above
+                    // keep their concrete strategy-value types.
+                    let mut body = move || $body;
+                    body();
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@expand ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+/// Mirrors `prop_assert!`: in this shim a plain `assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Mirrors `prop_assert_eq!`: in this shim a plain `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Mirrors `prop_assume!`: skips the current case when the premise fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+}

@@ -1,0 +1,132 @@
+//! Value-generation strategies and the deterministic test RNG.
+
+use std::ops::Range;
+
+/// Deterministic generator behind every sampled strategy.
+///
+/// xoshiro256++ seeded from an FNV-1a hash of the test name via SplitMix64,
+/// so every test draws an independent, reproducible stream.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: [u64; 4],
+}
+
+impl TestRng {
+    /// Seeds the generator from an arbitrary label (the test name).
+    pub fn from_label(label: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in label.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let mut sm = h;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        Self {
+            state: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Next raw 64-bit draw (xoshiro256++).
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` from the top 53 bits.
+    pub fn next_unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / 9_007_199_254_740_992.0)
+    }
+
+    /// Uniform `usize` in `[0, bound)`; `bound` must be positive.
+    pub fn next_index(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "next_index: bound must be positive");
+        (self.next_u64() % bound as u64) as usize
+    }
+}
+
+/// A source of values for one test argument.
+///
+/// Mirrors proptest's `Strategy` trait minus shrinking: `generate` draws
+/// one concrete value.
+pub trait Strategy {
+    /// Concrete type this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        // 24-bit unit so the f32 cast is exact; the final clamp guards
+        // against `start + span * unit` rounding up onto the excluded end.
+        let unit = (rng.next_u64() >> 40) as f32 * (1.0 / 16_777_216.0);
+        let v = self.start + (self.end - self.start) * unit;
+        if v >= self.end {
+            self.end.next_down().max(self.start)
+        } else {
+            v
+        }
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let v = self.start + (self.end - self.start) * rng.next_unit();
+        if v >= self.end {
+            self.end.next_down().max(self.start)
+        } else {
+            v
+        }
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty integer range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty integer range strategy");
+                let span = (self.end as i64 - self.start as i64) as u64;
+                (self.start as i64 + (rng.next_u64() % span) as i64) as $t
+            }
+        }
+    )*};
+}
+
+signed_range_strategy!(i8, i16, i32, i64, isize);

@@ -1,0 +1,21 @@
+//! Test-runner configuration.
+
+/// Mirrors `proptest::test_runner::Config`; only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of cases each property is evaluated with.
+    pub cases: u32,
+}
+
+impl Config {
+    /// Configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}

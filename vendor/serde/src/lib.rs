@@ -1,0 +1,22 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no crates.io access, so the workspace's
+//! `serde` feature flag is wired against this minimal shim instead of the
+//! real crate.  It provides only what the workspace's
+//! `#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]`
+//! attributes need: the two marker traits and the derive macros that emit
+//! empty impls.  Swapping in the real serde later is a one-line change in
+//! the workspace manifest; no source file references this shim directly.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+///
+/// The real trait carries a `'de` lifetime; the shim drops it because no
+/// code in this workspace names the trait explicitly — it is only ever
+/// derived.
+pub trait Deserialize {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

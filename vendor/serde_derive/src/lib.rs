@@ -1,0 +1,47 @@
+//! Derive half of the offline serde shim.
+//!
+//! Emits empty `impl serde::Serialize` / `impl serde::Deserialize` blocks
+//! for the derived type.  Written against `proc_macro` alone — `syn` and
+//! `quote` are unavailable offline — so it only supports what the
+//! workspace actually derives on: non-generic structs and enums.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Finds the type name: the identifier following the `struct` / `enum`
+/// keyword, skipping outer attributes and visibility modifiers.
+fn type_name(input: TokenStream) -> String {
+    let mut saw_kw = false;
+    for tt in input {
+        match tt {
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if saw_kw {
+                    return s;
+                }
+                if s == "struct" || s == "enum" {
+                    saw_kw = true;
+                }
+            }
+            _ => continue,
+        }
+    }
+    panic!("serde shim derive: expected a struct or enum");
+}
+
+/// Shim for `#[derive(serde::Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("valid impl block")
+}
+
+/// Shim for `#[derive(serde::Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Deserialize for {name} {{}}")
+        .parse()
+        .expect("valid impl block")
+}
