@@ -1,0 +1,255 @@
+//! Compute-backend throughput benchmark: encode / top-2 / predict / train
+//! samples-per-second, comparing the pre-backend scalar kernels against the
+//! cache-blocked kernel serial (1 thread) and parallel (`DISTHD_THREADS` or
+//! all cores).
+//!
+//! The workload is the Fig. 5 efficiency setting at `D = 4096` (the
+//! BaselineHD D* dimensionality — the heaviest encode in the paper's panel)
+//! on the synthetic ISOLET substitute.  Emits `BENCH_throughput.json`
+//! (override the path with `DISTHD_BENCH_OUT`) and exits non-zero if the
+//! parallel backend's results are not bit-identical to serial — the
+//! determinism contract CI enforces by diffing accuracies across
+//! `DISTHD_THREADS` values.
+//!
+//! Run with `cargo run --release -p disthd_bench --bin throughput`.
+
+use disthd::{categorize, categorize_batch, DistHd, DistHdConfig};
+use disthd_bench::default_scale;
+use disthd_datasets::suite::{PaperDataset, SuiteConfig};
+use disthd_eval::Classifier;
+use disthd_hd::encoder::{Encoder, RbfEncoder};
+use disthd_hd::learn::bundle_init;
+use disthd_hd::ClassModel;
+use disthd_linalg::{parallel, RngSeed};
+use std::time::Instant;
+
+/// Fig. 5's heavy dimensionality (BaselineHD's D* = 4k).
+const DIM: usize = 4096;
+/// Timing repetitions; the best rep is reported (least scheduler noise).
+const REPS: usize = 3;
+/// Epochs for the end-to-end training phase.
+const TRAIN_EPOCHS: usize = 6;
+
+/// Best-of-`REPS` wall-clock seconds for `f`, plus its last result.
+fn time_best<R>(mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut result = None;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        let r = f();
+        best = best.min(start.elapsed().as_secs_f64());
+        result = Some(r);
+    }
+    (best, result.expect("REPS > 0"))
+}
+
+/// Samples-per-second from a best-of timing.
+fn sps(samples: usize, seconds: f64) -> f64 {
+    samples as f64 / seconds.max(1e-12)
+}
+
+struct Phase {
+    name: &'static str,
+    reference_sps: Option<f64>,
+    serial_sps: f64,
+    parallel_sps: f64,
+}
+
+impl Phase {
+    fn speedup_serial(&self) -> Option<f64> {
+        self.reference_sps.map(|r| self.serial_sps / r)
+    }
+
+    fn speedup_parallel(&self) -> f64 {
+        self.parallel_sps / self.serial_sps
+    }
+
+    fn json(&self) -> String {
+        let reference = match self.reference_sps {
+            Some(r) => format!(
+                "\"reference_sps\": {:.2}, \"speedup_serial_over_reference\": {:.3}, ",
+                r,
+                self.speedup_serial().unwrap_or(0.0)
+            ),
+            None => String::new(),
+        };
+        format!(
+            "{{ {reference}\"serial_sps\": {:.2}, \"parallel_sps\": {:.2}, \
+             \"speedup_parallel_over_serial\": {:.3} }}",
+            self.serial_sps,
+            self.parallel_sps,
+            self.speedup_parallel()
+        )
+    }
+
+    fn print(&self) {
+        match (self.reference_sps, self.speedup_serial()) {
+            (Some(r), Some(s)) => println!(
+                "{:<8} {:>12.1} {:>12.1} {:>12.1}   {:>6.2}x {:>8.2}x",
+                self.name,
+                r,
+                self.serial_sps,
+                self.parallel_sps,
+                s,
+                self.speedup_parallel()
+            ),
+            _ => println!(
+                "{:<8} {:>12} {:>12.1} {:>12.1}   {:>6} {:>8.2}x",
+                self.name,
+                "-",
+                self.serial_sps,
+                self.parallel_sps,
+                "-",
+                self.speedup_parallel()
+            ),
+        }
+    }
+}
+
+fn main() {
+    let scale = default_scale();
+    let parallel_threads = parallel::thread_count();
+    let dataset = PaperDataset::Isolet;
+    let data = dataset
+        .generate(&SuiteConfig::at_scale(scale))
+        .expect("dataset generation");
+    let train_n = data.train.len();
+    let test_n = data.test.len();
+    println!(
+        "throughput: {} (scale {scale}), D = {DIM}, {} train / {} test samples, \
+         parallel = {parallel_threads} thread(s)\n",
+        dataset.name(),
+        train_n,
+        test_n
+    );
+
+    let encoder = RbfEncoder::new(data.train.feature_dim(), DIM, RngSeed(11));
+
+    // -- encode: pre-PR scalar kernel vs blocked serial vs blocked parallel.
+    let (ref_secs, _) = time_best(|| encoder.encode_batch_reference(data.train.features()));
+    let (serial_secs, encoded_serial) = parallel::with_thread_count(1, || {
+        time_best(|| encoder.encode_batch(data.train.features()).expect("encode"))
+    });
+    let (par_secs, encoded_parallel) = parallel::with_thread_count(parallel_threads, || {
+        time_best(|| encoder.encode_batch(data.train.features()).expect("encode"))
+    });
+    let mut bit_identical = encoded_serial.as_slice() == encoded_parallel.as_slice();
+    let encode = Phase {
+        name: "encode",
+        reference_sps: Some(sps(train_n, ref_secs)),
+        serial_sps: sps(train_n, serial_secs),
+        parallel_sps: sps(train_n, par_secs),
+    };
+
+    // -- top-2 categorization: per-sample matvecs vs one batched GEMM.
+    let mut model = ClassModel::new(data.train.class_count(), DIM);
+    bundle_init(&mut model, &encoded_serial, data.train.labels()).expect("bundle");
+    let (ref_secs, outcomes_ref) =
+        time_best(|| categorize(&mut model, &encoded_serial, data.train.labels()).expect("top2"));
+    let (serial_secs, outcomes_serial) = parallel::with_thread_count(1, || {
+        time_best(|| {
+            categorize_batch(&mut model, &encoded_serial, data.train.labels()).expect("top2")
+        })
+    });
+    let (par_secs, outcomes_parallel) = parallel::with_thread_count(parallel_threads, || {
+        time_best(|| {
+            categorize_batch(&mut model, &encoded_serial, data.train.labels()).expect("top2")
+        })
+    });
+    bit_identical &= outcomes_serial == outcomes_parallel;
+    let taxonomy_agrees = outcomes_ref == outcomes_serial;
+    let top2 = Phase {
+        name: "top2",
+        reference_sps: Some(sps(train_n, ref_secs)),
+        serial_sps: sps(train_n, serial_secs),
+        parallel_sps: sps(train_n, par_secs),
+    };
+
+    // -- end-to-end training and prediction (DistHD at D = 4096).
+    let config = DistHdConfig {
+        dim: DIM,
+        epochs: TRAIN_EPOCHS,
+        patience: None,
+        ..Default::default()
+    };
+    let fit_once = |threads: usize| {
+        parallel::with_thread_count(threads, || {
+            let mut m = DistHd::new(
+                config.clone(),
+                data.train.feature_dim(),
+                data.train.class_count(),
+            );
+            let start = Instant::now();
+            m.fit(&data.train, None).expect("fit");
+            let secs = start.elapsed().as_secs_f64();
+            let accuracy = m.accuracy(&data.test).expect("accuracy");
+            (m, secs, accuracy)
+        })
+    };
+    let (mut model_serial, serial_secs, accuracy_serial) = fit_once(1);
+    let (mut model_parallel, par_secs, accuracy_parallel) = fit_once(parallel_threads);
+    bit_identical &= accuracy_serial == accuracy_parallel;
+    let train = Phase {
+        name: "train",
+        reference_sps: None,
+        serial_sps: sps(train_n * TRAIN_EPOCHS, serial_secs),
+        parallel_sps: sps(train_n * TRAIN_EPOCHS, par_secs),
+    };
+
+    // -- prediction: per-sample encode+matvec loop vs batched pipeline.
+    let (ref_secs, _) = time_best(|| {
+        (0..test_n)
+            .map(|i| model_serial.predict_one(data.test.sample(i)).expect("pred"))
+            .collect::<Vec<usize>>()
+    });
+    let (serial_secs, predictions_serial) = parallel::with_thread_count(1, || {
+        time_best(|| model_serial.predict(&data.test).expect("predict"))
+    });
+    let (par_secs, predictions_parallel) = parallel::with_thread_count(parallel_threads, || {
+        time_best(|| model_parallel.predict(&data.test).expect("predict"))
+    });
+    bit_identical &= predictions_serial == predictions_parallel;
+    let predict = Phase {
+        name: "predict",
+        reference_sps: Some(sps(test_n, ref_secs)),
+        serial_sps: sps(test_n, serial_secs),
+        parallel_sps: sps(test_n, par_secs),
+    };
+
+    println!(
+        "{:<8} {:>12} {:>12} {:>12}   {:>7} {:>9}",
+        "phase", "ref sps", "serial sps", "par sps", "blk/ref", "par/serial"
+    );
+    for phase in [&encode, &top2, &train, &predict] {
+        phase.print();
+    }
+    println!("\naccuracy serial   = {accuracy_serial:.6}");
+    println!("accuracy parallel = {accuracy_parallel:.6}");
+    println!("top2 taxonomy batch == per-sample: {taxonomy_agrees}");
+    println!("parallel bit-identical to serial:  {bit_identical}");
+
+    let json = format!
+    (
+        "{{\n  \"bench\": \"throughput\",\n  \"dataset\": \"{}\",\n  \"dim\": {DIM},\n  \
+         \"scale\": {scale},\n  \"train_samples\": {train_n},\n  \"test_samples\": {test_n},\n  \
+         \"train_epochs\": {TRAIN_EPOCHS},\n  \"threads_parallel\": {parallel_threads},\n  \
+         \"phases\": {{\n    \"encode\": {},\n    \"top2\": {},\n    \"train\": {},\n    \
+         \"predict\": {}\n  }},\n  \"accuracy\": {{ \"serial\": {accuracy_serial:.6}, \
+         \"parallel\": {accuracy_parallel:.6} }},\n  \"top2_taxonomy_agrees\": {taxonomy_agrees},\n  \
+         \"parallel_bit_identical_to_serial\": {bit_identical}\n}}\n",
+        dataset.name(),
+        encode.json(),
+        top2.json(),
+        train.json(),
+        predict.json()
+    );
+    let out_path =
+        std::env::var("DISTHD_BENCH_OUT").unwrap_or_else(|_| "BENCH_throughput.json".into());
+    std::fs::write(&out_path, json).expect("write benchmark json");
+    println!("wrote {out_path}");
+
+    if !bit_identical {
+        eprintln!("ERROR: parallel results diverged from serial — determinism contract violated");
+        std::process::exit(1);
+    }
+}

@@ -24,7 +24,7 @@
 
 use crate::config::WeightParams;
 use crate::top2::Top2Outcome;
-use disthd_linalg::{normalize_l2, Matrix};
+use disthd_linalg::{normalize_l2_in_place, Matrix};
 
 /// The reduced distance vectors and the selected dimensions.
 #[derive(Debug, Clone, PartialEq)]
@@ -70,26 +70,43 @@ pub fn select_undesired_dims(
     // to the per-mistake row construction).
     let normalized_classes = disthd_hd::cosine_similarity_matrix(classes);
 
-    let mut m_rows = Matrix::zeros(0, 0);
-    let mut n_rows = Matrix::zeros(0, 0);
-    let mut row = vec![0.0f32; dim];
+    // Pre-size the mistake matrices from the outcome counts and write rows
+    // in place: no `push_row` reallocation growth, and one scratch buffer
+    // serves every row's L2 normalization.
+    let partial_count = outcomes
+        .iter()
+        .filter(|o| matches!(o, Top2Outcome::Partial { .. }))
+        .count();
+    let incorrect_count = outcomes
+        .iter()
+        .filter(|o| matches!(o, Top2Outcome::Incorrect { .. }))
+        .count();
+    let mut m_rows = Matrix::zeros(partial_count, dim);
+    let mut n_rows = Matrix::zeros(incorrect_count, dim);
+    let mut h = vec![0.0f32; dim];
+    let (mut m_next, mut n_next) = (0usize, 0usize);
     for (i, outcome) in outcomes.iter().enumerate() {
         match *outcome {
             Top2Outcome::Correct => {}
             Top2Outcome::Partial { predicted } => {
-                let h = normalize_l2(encoded.row(i));
+                h.copy_from_slice(encoded.row(i));
+                normalize_l2_in_place(&mut h);
                 let true_c = normalized_classes.row(labels[i]);
                 let pred_c = normalized_classes.row(predicted);
+                let row = m_rows.row_mut(m_next);
+                m_next += 1;
                 for (((slot, &hv), &tc), &pc) in row.iter_mut().zip(&h).zip(true_c).zip(pred_c) {
                     *slot = weights.alpha * (hv - tc).abs() - weights.beta * (hv - pc).abs();
                 }
-                m_rows.push_row(&row).expect("uniform width");
             }
             Top2Outcome::Incorrect { first, second } => {
-                let h = normalize_l2(encoded.row(i));
+                h.copy_from_slice(encoded.row(i));
+                normalize_l2_in_place(&mut h);
                 let true_c = normalized_classes.row(labels[i]);
                 let first_c = normalized_classes.row(first);
                 let second_c = normalized_classes.row(second);
+                let row = n_rows.row_mut(n_next);
+                n_next += 1;
                 for ((((slot, &hv), &tc), &fc), &sc) in row
                     .iter_mut()
                     .zip(&h)
@@ -101,7 +118,6 @@ pub fn select_undesired_dims(
                         - weights.beta * (hv - fc).abs()
                         - weights.theta * (hv - sc).abs();
                 }
-                n_rows.push_row(&row).expect("uniform width");
             }
         }
     }
@@ -246,6 +262,62 @@ mod tests {
                 .collect();
         for d in &scores.undesired {
             assert!(m_top.contains(d) && n_top.contains(d));
+        }
+    }
+
+    #[test]
+    fn intersection_is_sorted_and_stable_across_runs() {
+        // Regression guard: the top-R% intersection must come back in
+        // ascending dimension order, identically on every invocation —
+        // never in `HashSet` iteration order, which can vary and would make
+        // the downstream regeneration (RNG consumption order!) seed-unstable.
+        let classes = Matrix::from_rows(&[
+            vec![1.0, 1.0, -1.0, -1.0, 0.5, -0.5],
+            vec![-1.0, 1.0, 1.0, -1.0, -0.5, 0.5],
+            vec![-1.0, -1.0, 1.0, 1.0, 0.5, 0.5],
+        ])
+        .unwrap();
+        let encoded = Matrix::from_rows(&[
+            vec![1.0, 1.0, 1.0, -1.0, 0.4, 0.1],
+            vec![-1.0, 1.0, 1.0, 1.0, -0.2, 0.6],
+            vec![1.0, -1.0, 1.0, 1.0, 0.3, -0.6],
+        ])
+        .unwrap();
+        let labels = vec![0usize, 0, 1];
+        let outcomes = vec![
+            Top2Outcome::Partial { predicted: 1 },
+            Top2Outcome::Incorrect {
+                first: 1,
+                second: 2,
+            },
+            Top2Outcome::Incorrect {
+                first: 2,
+                second: 0,
+            },
+        ];
+        let reference = select_undesired_dims(
+            &encoded,
+            &labels,
+            &outcomes,
+            &classes,
+            &WeightParams::default(),
+            0.67,
+        );
+        assert!(
+            reference.undesired.windows(2).all(|w| w[0] < w[1]),
+            "selection must be strictly ascending: {:?}",
+            reference.undesired
+        );
+        for _ in 0..10 {
+            let again = select_undesired_dims(
+                &encoded,
+                &labels,
+                &outcomes,
+                &classes,
+                &WeightParams::default(),
+                0.67,
+            );
+            assert_eq!(again, reference);
         }
     }
 

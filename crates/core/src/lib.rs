@@ -52,5 +52,5 @@ mod trainer;
 pub use config::{DistHdConfig, WeightParams};
 pub use deploy::DeployedModel;
 pub use distance::{select_undesired_dims, DimensionScores};
-pub use top2::{categorize, Top2Outcome};
+pub use top2::{categorize, categorize_batch, Top2Outcome};
 pub use trainer::{DistHd, FitReport};

@@ -1,6 +1,6 @@
 //! Top-2 outcome categorization (§III-B / §III-C).
 
-use disthd_hd::ClassModel;
+use disthd_hd::{ClassModel, TopK};
 use disthd_linalg::{Matrix, ShapeError};
 
 /// How a sample fared under top-2 classification.
@@ -31,9 +31,18 @@ impl Top2Outcome {
     }
 }
 
-/// Categorizes every row of `encoded` against the partially trained model.
+/// Categorizes every row of `encoded` against the partially trained model,
+/// one sample at a time.
 ///
-/// Returns one [`Top2Outcome`] per sample, in order.
+/// Returns one [`Top2Outcome`] per sample, in order.  This is the scalar
+/// reference path — the trainer uses [`categorize_batch`], which computes
+/// the same taxonomy from one batched GEMM.  The two paths sum the same
+/// products in different orders (per-sample dots are 4-way unrolled, the
+/// GEMM is a single ascending chain), so scores can differ in their final
+/// ulps and a sample whose top-2 gap is below that noise could in
+/// principle be categorized differently; on real score distributions the
+/// taxonomies agree (asserted by a parity test and re-checked at runtime
+/// by the `throughput` binary).
 ///
 /// # Errors
 ///
@@ -53,21 +62,60 @@ pub fn categorize(
     let mut outcomes = Vec::with_capacity(labels.len());
     for (i, &label) in labels.iter().enumerate() {
         let top = model.top2(encoded.row(i))?;
-        let outcome = if top.first.class == label {
-            Top2Outcome::Correct
-        } else if top.second.class == label {
-            Top2Outcome::Partial {
-                predicted: top.first.class,
-            }
-        } else {
-            Top2Outcome::Incorrect {
-                first: top.first.class,
-                second: top.second.class,
-            }
-        };
-        outcomes.push(outcome);
+        outcomes.push(outcome_of(top, label));
     }
     Ok(outcomes)
+}
+
+/// Batched top-2 categorization: one `encoded · Nᵀ` GEMM over the whole
+/// batch followed by a row-wise top-2 scan.
+///
+/// Replaces the per-sample matvec loop of [`categorize`] on the training
+/// hot path — the cache-blocked parallel product streams the class matrix
+/// once per column tile instead of once per sample, and the scan is a
+/// single pass over the `samples × classes` score matrix.  The tie-break
+/// *rule* (lower class index wins on equal scores) is identical to the
+/// per-sample path, though the two paths' scores may differ in their last
+/// ulps (see [`categorize`]); because the backend is deterministic the
+/// outcomes of this function are bit-identical at any thread count.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `encoded.cols() != model.dim()`.
+///
+/// # Panics
+///
+/// Panics if `labels.len() != encoded.rows()` or the model has fewer than
+/// two classes.
+pub fn categorize_batch(
+    model: &mut ClassModel,
+    encoded: &Matrix,
+    labels: &[usize],
+) -> Result<Vec<Top2Outcome>, ShapeError> {
+    assert_eq!(labels.len(), encoded.rows(), "labels/sample count mismatch");
+    assert!(model.class_count() >= 2, "top-2 needs at least two classes");
+    let scores = model.similarity_matrix(encoded)?;
+    Ok(scores
+        .iter_rows()
+        .zip(labels)
+        .map(|(row, &label)| outcome_of(TopK::from_scores(row), label))
+        .collect())
+}
+
+/// Maps a top-2 query result and the true label onto the §III-B taxonomy.
+fn outcome_of(top: TopK, label: usize) -> Top2Outcome {
+    if top.first.class == label {
+        Top2Outcome::Correct
+    } else if top.second.class == label {
+        Top2Outcome::Partial {
+            predicted: top.first.class,
+        }
+    } else {
+        Top2Outcome::Incorrect {
+            first: top.first.class,
+            second: top.second.class,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -105,6 +153,84 @@ mod tests {
                 second: 1
             }
         );
+    }
+
+    #[test]
+    fn batch_categorization_matches_per_sample_path() {
+        let mut m = model();
+        // A spread of clear wins, partials, incorrects and exact ties.
+        let encoded = Matrix::from_rows(&[
+            vec![1.0, 0.1, 0.0],
+            vec![1.0, 0.6, 0.0],
+            vec![1.0, 0.6, 0.1],
+            vec![0.5, 0.5, 0.0],
+            vec![0.0, 0.7, 0.7],
+            vec![-0.2, 0.3, 0.9],
+        ])
+        .unwrap();
+        let labels = [0usize, 1, 2, 1, 2, 0];
+        let per_sample = categorize(&mut m, &encoded, &labels).unwrap();
+        let batched = categorize_batch(&mut m, &encoded, &labels).unwrap();
+        assert_eq!(per_sample, batched);
+    }
+
+    #[test]
+    fn batch_matches_per_sample_beyond_the_dot_unroll_width() {
+        // dim >= 4 engages the 4-way-unrolled accumulation in the
+        // per-sample dot product, whose summation order differs from the
+        // GEMM's single ascending chain — the taxonomies must still agree
+        // on realistic (non-sub-ulp-tied) scores.
+        let mut m = ClassModel::new(4, 24);
+        for c in 0..4 {
+            let proto: Vec<f32> = (0..24)
+                .map(|d| ((c * 24 + d) as f32 * 0.61).sin())
+                .collect();
+            m.bundle_into(c, &proto);
+        }
+        let encoded = Matrix::from_fn(41, 24, |r, d| ((r * 24 + d) as f32 * 0.23).cos());
+        let labels: Vec<usize> = (0..41).map(|i| i % 4).collect();
+        let per_sample = categorize(&mut m, &encoded, &labels).unwrap();
+        let batched = categorize_batch(&mut m, &encoded, &labels).unwrap();
+        assert_eq!(per_sample, batched);
+    }
+
+    #[test]
+    fn batch_categorization_is_identical_across_thread_counts() {
+        let mut m = model();
+        let encoded = Matrix::from_fn(37, 3, |r, c| ((r * 3 + c) as f32 * 0.37).sin());
+        let labels: Vec<usize> = (0..37).map(|i| i % 3).collect();
+        let serial = disthd_linalg::parallel::with_thread_count(1, || {
+            categorize_batch(&mut m, &encoded, &labels).unwrap()
+        });
+        for threads in [2usize, 8] {
+            let parallel = disthd_linalg::parallel::with_thread_count(threads, || {
+                categorize_batch(&mut m, &encoded, &labels).unwrap()
+            });
+            assert_eq!(serial, parallel, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn batch_ties_resolve_to_lowest_class_index() {
+        // Mirror of the per-sample tie taxonomy: the batch path must break
+        // exact ties identically (lower class index first).
+        let mut m = model();
+        let encoded = Matrix::from_rows(&[vec![0.5, 0.5, 0.0]]).unwrap();
+        assert_eq!(
+            categorize_batch(&mut m, &encoded, &[0]).unwrap(),
+            vec![Top2Outcome::Correct]
+        );
+        assert_eq!(
+            categorize_batch(&mut m, &encoded, &[1]).unwrap(),
+            vec![Top2Outcome::Partial { predicted: 0 }]
+        );
+    }
+
+    #[test]
+    fn batch_shape_mismatch_is_error() {
+        let mut m = model();
+        let encoded = Matrix::zeros(1, 5);
+        assert!(categorize_batch(&mut m, &encoded, &[0]).is_err());
     }
 
     #[test]

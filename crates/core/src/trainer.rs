@@ -1,6 +1,6 @@
 use crate::config::DistHdConfig;
 use crate::distance::select_undesired_dims;
-use crate::top2::categorize;
+use crate::top2::categorize_batch;
 use disthd_datasets::Dataset;
 use disthd_eval::{Classifier, EpochRecord, ModelError, TrainingHistory};
 use disthd_hd::center::EncodingCenter;
@@ -157,12 +157,12 @@ impl DistHd {
         }
         let mut encoded = self.encoder.encode_batch(data.features())?;
         center.apply_batch(&mut encoded);
-        let mut correct = 0usize;
-        for i in 0..encoded.rows() {
-            if model.predict(encoded.row(i)) == data.label(i) {
-                correct += 1;
-            }
-        }
+        let predictions = model.predict_batch(&encoded)?;
+        let correct = predictions
+            .iter()
+            .enumerate()
+            .filter(|&(i, &p)| p == data.label(i))
+            .count();
         Ok(correct as f64 / data.len() as f64)
     }
 }
@@ -221,7 +221,7 @@ impl Classifier for DistHd {
                 && (epoch + 1) % self.config.regen_interval == 0
                 && epoch + 1 < self.config.epochs;
             if is_regen_epoch {
-                let outcomes = categorize(&mut model, &encoded, train.labels())?;
+                let outcomes = categorize_batch(&mut model, &encoded, train.labels())?;
                 let scores = select_undesired_dims(
                     &encoded,
                     train.labels(),
@@ -292,6 +292,18 @@ impl Classifier for DistHd {
         let mut encoded = self.encoder.encode(features)?;
         center.apply(&mut encoded);
         Ok(model.predict(&encoded))
+    }
+
+    fn predict(&mut self, data: &Dataset) -> Result<Vec<usize>, ModelError> {
+        if data.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Whole-test-set inference is one fused encode GEMM plus one
+        // batched similarity GEMM — the path Fig. 5's latency panel times —
+        // instead of per-sample encode/matvec round trips.
+        let encoded = self.encode_dataset(data)?;
+        let model = self.model.as_mut().ok_or(ModelError::NotFitted)?;
+        Ok(model.predict_batch(&encoded)?)
     }
 }
 
@@ -410,6 +422,37 @@ mod tests {
         let mut model = DistHd::new(config(), data.train.feature_dim(), data.train.class_count());
         let history = model.fit(&data.train, Some(&data.test)).unwrap();
         assert!(history.records().iter().all(|r| r.eval_accuracy.is_some()));
+    }
+
+    #[test]
+    fn fit_is_bit_identical_across_thread_counts() {
+        // The whole training pipeline — encode GEMM, batched top-2,
+        // Algorithm 2, regeneration — must produce the same model whether
+        // the backend runs on 1, 2 or 8 threads.
+        let data = small_data();
+        let fit_with = |threads: usize| {
+            disthd_linalg::parallel::with_thread_count(threads, || {
+                let mut model =
+                    DistHd::new(config(), data.train.feature_dim(), data.train.class_count());
+                model.fit(&data.train, None).unwrap();
+                let classes = model.class_model().unwrap().classes().clone();
+                let predictions = model.predict(&data.test).unwrap();
+                (classes, predictions)
+            })
+        };
+        let (serial_classes, serial_predictions) = fit_with(1);
+        for threads in [2usize, 8] {
+            let (classes, predictions) = fit_with(threads);
+            assert_eq!(
+                serial_classes.as_slice(),
+                classes.as_slice(),
+                "class memory diverged at {threads} threads"
+            );
+            assert_eq!(
+                serial_predictions, predictions,
+                "predictions diverged at {threads} threads"
+            );
+        }
     }
 
     #[test]

@@ -40,6 +40,13 @@ pub struct RbfEncoder {
     bases: Matrix,
     /// Per-dimension phases `c_i`.
     phases: Vec<f32>,
+    /// Precomputed `sin(c_i)` per dimension: the nonlinearity is evaluated
+    /// through the product-to-sum identity `cos(p + c)·sin(p) =
+    /// ½(sin(2p + c) − sin(c))`, which needs one `sin` per element instead
+    /// of a `cos` plus a `sin` — the trig epilogue is a fixed per-element
+    /// cost on every encode, so halving it matters.  Kept in sync with
+    /// `phases` through construction and regeneration.
+    phase_sins: Vec<f32>,
     /// Standard deviation of base-vector entries (bandwidth / sqrt(n)).
     base_std: f32,
     input_dim: usize,
@@ -85,9 +92,11 @@ impl RbfEncoder {
         let gaussian = Gaussian::new(0.0, base_std);
         let bases = Matrix::from_fn(input_dim, output_dim, |_, _| gaussian.sample(&mut rng));
         let phases = Uniform::phase().sample_vec(&mut rng, output_dim);
+        let phase_sins = phases.iter().map(|c| c.sin()).collect();
         Self {
             bases,
             phases,
+            phase_sins,
             base_std,
             input_dim,
             output_dim,
@@ -95,10 +104,21 @@ impl RbfEncoder {
         }
     }
 
+    /// The nonlinearity `cos(p + c)·sin(p)`, evaluated as
+    /// `½(sin(2p + c) − sin(c))` with `sin(c)` precomputed.
+    #[inline]
+    fn nonlinearity(projection: f32, phase: f32, phase_sin: f32) -> f32 {
+        0.5 * ((2.0 * projection + phase).sin() - phase_sin)
+    }
+
     /// Applies the nonlinearity to a row of raw projections, in place.
     fn apply_nonlinearity(&self, projections: &mut [f32]) {
-        for (p, &c) in projections.iter_mut().zip(self.phases.iter()) {
-            *p = (*p + c).cos() * p.sin();
+        for ((p, &c), &sc) in projections
+            .iter_mut()
+            .zip(self.phases.iter())
+            .zip(self.phase_sins.iter())
+        {
+            *p = Self::nonlinearity(*p, c, sc);
         }
     }
 
@@ -154,9 +174,10 @@ impl RbfEncoder {
                 *slot = self.bases.get(k, d);
             }
             let phase = self.phases[d];
+            let phase_sin = self.phase_sins[d];
             for r in 0..batch.rows() {
                 let p = disthd_linalg::dot(batch.row(r), &column);
-                encoded.set(r, d, (p + phase).cos() * p.sin());
+                encoded.set(r, d, Self::nonlinearity(p, phase, phase_sin));
             }
         }
         Ok(())
@@ -165,6 +186,24 @@ impl RbfEncoder {
     /// Borrows the per-dimension phases.
     pub fn phases(&self) -> &[f32] {
         &self.phases
+    }
+
+    /// Pre-backend batch encoding: scalar reference matmul followed by a
+    /// separate nonlinearity pass over the projected batch.
+    ///
+    /// Kept as the ground truth for backend parity tests and as the
+    /// "pre-PR" baseline the throughput benchmark measures speedups
+    /// against.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `batch.cols() != input_dim()`.
+    pub fn encode_batch_reference(&self, batch: &Matrix) -> Result<Matrix, ShapeError> {
+        let mut projected = batch.matmul_reference(&self.bases)?;
+        for r in 0..projected.rows() {
+            self.apply_nonlinearity(projected.row_mut(r));
+        }
+        Ok(projected)
     }
 
     /// Standard deviation of base entries (`bandwidth / sqrt(n)`), needed
@@ -188,9 +227,11 @@ impl RbfEncoder {
         }
         let input_dim = bases.rows();
         let output_dim = bases.cols();
+        let phase_sins = phases.iter().map(|c| c.sin()).collect();
         Ok(Self {
             bases,
             phases,
+            phase_sins,
             base_std,
             input_dim,
             output_dim,
@@ -229,11 +270,15 @@ impl Encoder for RbfEncoder {
     }
 
     fn encode_batch(&self, batch: &Matrix) -> Result<Matrix, ShapeError> {
-        let mut projected = batch.matmul(&self.bases)?;
-        for r in 0..projected.rows() {
-            self.apply_nonlinearity(projected.row_mut(r));
-        }
-        Ok(projected)
+        // The cos·sin map runs inside the GEMM's store phase (the epilogue
+        // sees the output *column*, which selects the per-dimension phase),
+        // so the D-wide encoded batch is written exactly once instead of
+        // being re-streamed for a separate nonlinearity pass.
+        let phases = &self.phases;
+        let phase_sins = &self.phase_sins;
+        batch.matmul_map(&self.bases, |dim, p| {
+            Self::nonlinearity(p, phases[dim], phase_sins[dim])
+        })
     }
 }
 
@@ -249,6 +294,7 @@ impl RegenerativeEncoder for RbfEncoder {
                 self.bases.set(k, d, gaussian.sample(rng));
             }
             self.phases[d] = phase.sample(rng);
+            self.phase_sins[d] = self.phases[d].sin();
             self.regenerated += 1;
         }
     }
@@ -306,6 +352,32 @@ mod tests {
             for (a, b) in encoded.row(r).iter().zip(single.iter()) {
                 assert!((a - b).abs() < 1e-4, "batch {a} vs single {b}");
             }
+        }
+    }
+
+    #[test]
+    fn fused_encode_matches_reference_path() {
+        // All-nonzero features keep the reference kernel's sparse skip
+        // inactive, so the fused GEMM-epilogue path must match it bit for
+        // bit (identical k-ascending accumulation, identical cos·sin map).
+        let enc = encoder();
+        let batch = Matrix::from_fn(9, 6, |r, c| 0.1 + 0.07 * (r * 6 + c + 1) as f32);
+        let fused = enc.encode_batch(&batch).unwrap();
+        let reference = enc.encode_batch_reference(&batch).unwrap();
+        assert_eq!(fused.as_slice(), reference.as_slice());
+    }
+
+    #[test]
+    fn encode_batch_is_bit_identical_across_thread_counts() {
+        let enc = RbfEncoder::new(6, 1030, RngSeed(21));
+        let batch = Matrix::from_fn(19, 6, |r, c| ((r + 2 * c) as f32).sin() * 0.4 + 0.5);
+        let serial =
+            disthd_linalg::parallel::with_thread_count(1, || enc.encode_batch(&batch).unwrap());
+        for threads in [2usize, 8] {
+            let parallel = disthd_linalg::parallel::with_thread_count(threads, || {
+                enc.encode_batch(&batch).unwrap()
+            });
+            assert_eq!(serial.as_slice(), parallel.as_slice(), "{threads} threads");
         }
     }
 

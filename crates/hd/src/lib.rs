@@ -58,6 +58,6 @@ pub use item_memory::{ItemMemory, Recall};
 pub use model::{ClassModel, Prediction, TopK};
 pub use ops::{bind, bundle, permute, weighted_bundle};
 pub use similarity::{
-    cosine_similarity_matrix, exact_cosine_to_all, hamming_distance, normalized_hamming_similarity,
-    similarity_to_all,
+    cosine_similarity_matrix, exact_cosine_to_all, hamming_distance, hamming_distance_batch,
+    normalized_hamming_similarity, normalized_hamming_similarity_batch, similarity_to_all,
 };

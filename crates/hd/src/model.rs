@@ -20,6 +20,21 @@ pub struct TopK {
     pub second: Prediction,
 }
 
+impl TopK {
+    /// Top-2 scan over a per-class score slice (one row of a batched
+    /// similarity matrix).  Ties resolve to the lower class index, matching
+    /// [`ClassModel::top2`] exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scores.len() < 2`.
+    pub fn from_scores(scores: &[f32]) -> Self {
+        assert!(scores.len() >= 2, "top2 requires at least two classes");
+        let (first, second) = top2_of(scores);
+        TopK { first, second }
+    }
+}
+
 /// A set of class hypervectors — the trained HDC model ( C in Fig. 3).
 ///
 /// Stores the raw accumulated class hypervectors plus a lazily refreshed
@@ -43,6 +58,9 @@ pub struct TopK {
 pub struct ClassModel {
     classes: Matrix,
     normalized: Matrix,
+    /// `normalized` transposed (`D × k`), cached under the same dirty flag
+    /// so the batched similarity GEMM never re-transposes a clean model.
+    normalized_t: Matrix,
     normalized_dirty: bool,
 }
 
@@ -53,6 +71,7 @@ impl ClassModel {
         Self {
             classes: Matrix::zeros(class_count, dim),
             normalized: Matrix::zeros(class_count, dim),
+            normalized_t: Matrix::zeros(dim, class_count),
             normalized_dirty: false,
         }
     }
@@ -60,9 +79,11 @@ impl ClassModel {
     /// Builds a model from an existing class matrix (one row per class).
     pub fn from_matrix(classes: Matrix) -> Self {
         let normalized = similarity::cosine_similarity_matrix(&classes);
+        let normalized_t = normalized.transpose();
         Self {
             classes,
             normalized,
+            normalized_t,
             normalized_dirty: false,
         }
     }
@@ -153,10 +174,11 @@ impl ClassModel {
         self.normalized_dirty = true;
     }
 
-    /// Refreshes the normalized row cache if stale.
+    /// Refreshes the normalized row cache (and its transpose) if stale.
     fn refresh(&mut self) {
         if self.normalized_dirty {
             self.normalized = similarity::cosine_similarity_matrix(&self.classes);
+            self.normalized_t = self.normalized.transpose();
             self.normalized_dirty = false;
         }
     }
@@ -187,6 +209,52 @@ impl ClassModel {
     /// inference).
     pub fn prepare_inference(&mut self) {
         self.refresh();
+    }
+
+    /// Borrows the row-normalized class matrix (`N` of eq. 1), refreshing
+    /// it if stale.
+    pub fn normalized_classes(&mut self) -> &Matrix {
+        self.refresh();
+        &self.normalized
+    }
+
+    /// Similarities of every encoded sample to every class in one batched
+    /// GEMM: returns the `samples × classes` score matrix
+    /// `encoded · Nᵀ`.
+    ///
+    /// This replaces per-sample [`Self::similarities`] matvecs on the hot
+    /// paths (top-2 categorization, batch prediction): one cache-blocked,
+    /// parallel product over the whole batch instead of `n` strided passes
+    /// over the class matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `encoded.cols() != dim()`.
+    pub fn similarity_matrix(&mut self, encoded: &Matrix) -> Result<Matrix, ShapeError> {
+        self.refresh();
+        if encoded.cols() != self.dim() {
+            return Err(ShapeError::new(
+                "similarity_matrix",
+                encoded.shape(),
+                self.normalized.shape(),
+            ));
+        }
+        encoded.matmul(&self.normalized_t)
+    }
+
+    /// Predicted class for every row of `encoded`, via one batched GEMM and
+    /// a row-wise argmax.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `encoded.cols() != dim()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model has no classes.
+    pub fn predict_batch(&mut self, encoded: &Matrix) -> Result<Vec<usize>, ShapeError> {
+        let sims = self.similarity_matrix(encoded)?;
+        Ok(sims.iter_rows().map(|row| argmax(row).0).collect())
     }
 
     /// Index of the most similar class.
@@ -226,9 +294,7 @@ impl ClassModel {
     /// Panics if the model has fewer than two classes.
     pub fn top2(&mut self, query: &[f32]) -> Result<TopK, ShapeError> {
         let sims = self.similarities(query)?;
-        assert!(sims.len() >= 2, "top2 requires at least two classes");
-        let (first, second) = top2_of(&sims);
-        Ok(TopK { first, second })
+        Ok(TopK::from_scores(&sims))
     }
 
     /// The `k` most similar classes, best first.
@@ -385,6 +451,58 @@ mod tests {
         m.prepare_inference();
         let sims = m.similarities_cached(&[1.0, 0.0, 0.0, 0.0]).unwrap();
         assert!(sims[0] > sims[1]);
+    }
+
+    #[test]
+    fn similarity_matrix_matches_per_sample_queries() {
+        let mut m = two_class_model();
+        let encoded = Matrix::from_rows(&[
+            vec![0.8, 0.2, 0.0, 0.0],
+            vec![0.1, 0.9, 0.0, 0.0],
+            vec![0.5, 0.5, 0.5, 0.5],
+        ])
+        .unwrap();
+        let batched = m.similarity_matrix(&encoded).unwrap();
+        assert_eq!(batched.shape(), (3, 2));
+        for r in 0..3 {
+            let single = m.similarities(encoded.row(r)).unwrap();
+            for (c, &s) in single.iter().enumerate() {
+                assert!(
+                    (batched.get(r, c) - s).abs() < 1e-6,
+                    "({r},{c}): {} vs {}",
+                    batched.get(r, c),
+                    s
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn predict_batch_matches_predict() {
+        let mut m = two_class_model();
+        let encoded = Matrix::from_rows(&[
+            vec![0.8, 0.2, 0.0, 0.0],
+            vec![0.1, 0.9, 0.0, 0.0],
+            vec![-0.3, 0.1, 0.2, 0.2],
+        ])
+        .unwrap();
+        let batch = m.predict_batch(&encoded).unwrap();
+        for (r, &predicted) in batch.iter().enumerate() {
+            assert_eq!(predicted, m.predict(encoded.row(r)), "row {r}");
+        }
+    }
+
+    #[test]
+    fn batched_shapes_are_checked() {
+        let mut m = two_class_model();
+        assert!(m.similarity_matrix(&Matrix::zeros(2, 3)).is_err());
+        assert!(m.predict_batch(&Matrix::zeros(2, 5)).is_err());
+    }
+
+    #[test]
+    fn from_scores_ties_resolve_to_lower_index() {
+        let t = TopK::from_scores(&[0.5, 0.5, 0.1]);
+        assert_eq!((t.first.class, t.second.class), (0, 1));
     }
 
     #[test]

@@ -12,6 +12,12 @@
 //! sorting helpers the rest of the workspace needs — without pulling a general
 //! array library.
 //!
+//! The matrix product runs on a cache-blocked, register-blocked kernel fanned
+//! out over the deterministic [`parallel`] backend: results are bit-identical
+//! at any thread count (`DISTHD_THREADS` / [`parallel::set_thread_count`]),
+//! and a per-element epilogue can be fused into the store phase
+//! ([`Matrix::matmul_map`]) so encoders never re-stream their output.
+//!
 //! ## Example
 //!
 //! ```
@@ -29,6 +35,7 @@
 
 mod error;
 mod matrix;
+pub mod parallel;
 mod random;
 mod sort;
 mod stats;

@@ -1,5 +1,35 @@
 use crate::error::ShapeError;
+use crate::parallel;
 use crate::vector;
+
+/// Register-block height of the GEMM micro-kernel: four output rows share
+/// one streamed pass over each `rhs` cache line, quartering the memory
+/// traffic of the scalar loop.
+const GEMM_MR: usize = 4;
+
+/// Register-block width of the GEMM micro-kernel: 16 f32 = one 64-byte
+/// cache line of `rhs`, so the 4 × 16 accumulator tile (8 vector registers
+/// at AVX2 width) lives entirely in registers across the whole
+/// inner-dimension sweep — no accumulator loads or stores inside the hot
+/// loop.
+const GEMM_NW: usize = 16;
+
+/// Rows of the output each parallel work unit owns.  Fixed (never derived
+/// from the worker count) so chunk boundaries — and therefore accumulation
+/// order — are identical at any thread count.
+const GEMM_ROW_CHUNK: usize = 8;
+
+/// Below this many multiply-adds the kernel always runs on the calling
+/// thread.  The parallel region spawns fresh scoped threads per call
+/// (tens of microseconds each on Linux), so the crossover sits in the
+/// millions of MACs — ~2 M MACs is a few hundred microseconds of serial
+/// kernel work, comfortably above the fork/join cost; anything smaller
+/// is faster inline.
+const GEMM_PARALLEL_FLOP_THRESHOLD: usize = 1 << 21;
+
+/// Square tile edge for the blocked transpose (a `32 × 32` f32 tile is
+/// 4 KiB: both the row-major reads and column-major writes stay in L1).
+const TRANSPOSE_TILE: usize = 32;
 
 /// A dense row-major `f32` matrix.
 ///
@@ -191,13 +221,114 @@ impl Matrix {
 
     /// Matrix–matrix product `self · rhs`.
     ///
-    /// Uses an ikj loop order so the inner loop streams contiguous rows of
-    /// `rhs`, which is the dominant cost of HDC encoding.
+    /// Runs the cache-blocked, register-blocked parallel kernel (see
+    /// [`Matrix::matmul_map`]); results are bit-identical at any thread
+    /// count.
     ///
     /// # Errors
     ///
     /// Returns [`ShapeError`] if `self.cols() != rhs.rows()`.
     pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix, ShapeError> {
+        self.matmul_map(rhs, |_, x| x)
+    }
+
+    /// Matrix–matrix product with a fused per-element epilogue:
+    /// `out[r][c] = epilogue(c, (self · rhs)[r][c])`.
+    ///
+    /// The epilogue runs inside the GEMM's store phase, while the freshly
+    /// accumulated tile is still in L1 — encoders use this to apply their
+    /// nonlinearity without a second pass over the output (the paper's RBF
+    /// map only needs the *column* index, which selects the per-dimension
+    /// phase).
+    ///
+    /// The kernel packs `rhs` into 16-column tile-major panels, then
+    /// processes the output in fixed 8-row chunks (fanned out over
+    /// [`crate::parallel`] scoped workers) with a 4×16 register-tiled
+    /// inner loop.  Accumulation order per element is ascending over the
+    /// inner dimension regardless of blocking or thread count, so results
+    /// are **bit-identical** on 1 or N threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `self.cols() != rhs.rows()`.
+    pub fn matmul_map<F>(&self, rhs: &Matrix, epilogue: F) -> Result<Matrix, ShapeError>
+    where
+        F: Fn(usize, f32) -> f32 + Sync,
+    {
+        if self.cols != rhs.rows {
+            return Err(ShapeError::new("matmul", self.shape(), rhs.shape()));
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        let inner = self.cols;
+        let b_cols = rhs.cols;
+        if out.data.is_empty() {
+            return Ok(out);
+        }
+        if inner == 0 {
+            // Degenerate product: every element is an empty sum, but the
+            // epilogue must still see it.
+            for (i, slot) in out.data.iter_mut().enumerate() {
+                *slot = epilogue(i % b_cols, 0.0);
+            }
+            return Ok(out);
+        }
+
+        // Pack `rhs` into tile-major panels: tile `t` holds columns
+        // `[16t, 16t+16)` as `inner` consecutive 16-float groups, so the
+        // micro-kernel streams one contiguous 64-byte line per `k` step
+        // instead of striding `b_cols` floats (which defeats the prefetcher
+        // and thrashes the TLB for wide outputs).  The final tile is
+        // zero-padded to full width — padded lanes accumulate exact zeros
+        // and are simply not stored.  Packing is a pure relayout, so it
+        // cannot perturb results; its cost is amortized over every row
+        // block that reuses the panel.
+        let tiles = b_cols.div_ceil(GEMM_NW);
+        let mut packed = vec![0.0f32; tiles * inner * GEMM_NW];
+        let pack = |tile: usize, panel: &mut [f32]| {
+            let col0 = tile * GEMM_NW;
+            let width = (b_cols - col0).min(GEMM_NW);
+            for k in 0..inner {
+                panel[k * GEMM_NW..k * GEMM_NW + width]
+                    .copy_from_slice(&rhs.data[k * b_cols + col0..k * b_cols + col0 + width]);
+            }
+        };
+        // A small product runs entirely on the calling thread — same
+        // partitions as the parallel path, so still bit-identical — to
+        // skip the fork/join cost.
+        let small = self.rows * inner * b_cols < GEMM_PARALLEL_FLOP_THRESHOLD;
+        if small {
+            for (tile, panel) in packed.chunks_mut(inner * GEMM_NW).enumerate() {
+                pack(tile, panel);
+            }
+        } else {
+            parallel::par_chunks_mut(&mut packed, inner * GEMM_NW, pack);
+        }
+
+        let packed = &packed;
+        let kernel = |chunk_index: usize, out_chunk: &mut [f32]| {
+            let first_row = chunk_index * GEMM_ROW_CHUNK;
+            let block_rows = out_chunk.len() / b_cols;
+            let a_block = &self.data[first_row * inner..(first_row + block_rows) * inner];
+            gemm_row_block(a_block, inner, packed, b_cols, out_chunk, &epilogue);
+        };
+        if small {
+            for (index, chunk) in out.data.chunks_mut(GEMM_ROW_CHUNK * b_cols).enumerate() {
+                kernel(index, chunk);
+            }
+        } else {
+            parallel::par_chunks_mut(&mut out.data, GEMM_ROW_CHUNK * b_cols, kernel);
+        }
+        Ok(out)
+    }
+
+    /// Scalar reference matmul — the pre-backend ikj loop with the sparse
+    /// `a == 0` skip, kept verbatim as the ground truth for kernel parity
+    /// tests and as the "pre-PR" baseline of the throughput benchmark.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `self.cols() != rhs.rows()`.
+    pub fn matmul_reference(&self, rhs: &Matrix) -> Result<Matrix, ShapeError> {
         if self.cols != rhs.rows {
             return Err(ShapeError::new("matmul", self.shape(), rhs.shape()));
         }
@@ -231,11 +362,22 @@ impl Matrix {
     }
 
     /// Transposed copy of the matrix.
+    ///
+    /// Walks the matrix in `32 × 32` tiles so both the row-major source
+    /// reads and the column-major destination writes hit cache lines that
+    /// are already resident — the naive loop strides the destination by
+    /// `rows` floats per element and thrashes once matrices outgrow L1.
     pub fn transpose(&self) -> Matrix {
         let mut out = Matrix::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+        for r0 in (0..self.rows).step_by(TRANSPOSE_TILE) {
+            let r1 = (r0 + TRANSPOSE_TILE).min(self.rows);
+            for c0 in (0..self.cols).step_by(TRANSPOSE_TILE) {
+                let c1 = (c0 + TRANSPOSE_TILE).min(self.cols);
+                for r in r0..r1 {
+                    for c in c0..c1 {
+                        out.data[c * self.rows + r] = self.data[r * self.cols + c];
+                    }
+                }
             }
         }
         out
@@ -281,6 +423,90 @@ impl Matrix {
     /// Frobenius norm of the matrix.
     pub fn frobenius_norm(&self) -> f32 {
         self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+}
+
+/// Computes `block_rows` output rows of `A · B` with a fused epilogue.
+///
+/// `a_block` holds the `block_rows × inner` slice of the left operand that
+/// corresponds to this output chunk; `packed` is the tile-major packing of
+/// the right operand built by [`Matrix::matmul_map`] (one zero-padded
+/// `inner × 16` panel per 16-column tile); `out` is the `block_rows ×
+/// b_cols` output chunk.
+///
+/// The micro-kernel is a [`GEMM_MR`]`×`[`GEMM_NW`] register tile: a fixed
+/// 4 × 16 accumulator block stays in vector registers across the entire
+/// inner-dimension sweep — per `k` step only one contiguous 64-byte packed
+/// line and four broadcast `A` scalars move — then stores once through the
+/// epilogue.  Accumulation over `k` is a single ascending chain per element,
+/// the same order at every tile position, remainder path and thread count,
+/// which pins the floating-point result bit-for-bit.
+fn gemm_row_block<F: Fn(usize, f32) -> f32>(
+    a_block: &[f32],
+    inner: usize,
+    packed: &[f32],
+    b_cols: usize,
+    out: &mut [f32],
+    epilogue: &F,
+) {
+    if b_cols == 0 {
+        return;
+    }
+    let block_rows = out.len() / b_cols;
+    let panel_len = inner * GEMM_NW;
+    let mut r = 0;
+    while r + GEMM_MR <= block_rows {
+        let (a0_row, a1_row, a2_row, a3_row) = (
+            &a_block[r * inner..(r + 1) * inner],
+            &a_block[(r + 1) * inner..(r + 2) * inner],
+            &a_block[(r + 2) * inner..(r + 3) * inner],
+            &a_block[(r + 3) * inner..(r + 4) * inner],
+        );
+        for (tile, panel) in packed.chunks_exact(panel_len).enumerate() {
+            let col0 = tile * GEMM_NW;
+            let width = (b_cols - col0).min(GEMM_NW);
+            let mut c0 = [0.0f32; GEMM_NW];
+            let mut c1 = [0.0f32; GEMM_NW];
+            let mut c2 = [0.0f32; GEMM_NW];
+            let mut c3 = [0.0f32; GEMM_NW];
+            for (k, bv) in panel.chunks_exact(GEMM_NW).enumerate() {
+                let (a0, a1, a2, a3) = (a0_row[k], a1_row[k], a2_row[k], a3_row[k]);
+                for j in 0..GEMM_NW {
+                    c0[j] += a0 * bv[j];
+                    c1[j] += a1 * bv[j];
+                    c2[j] += a2 * bv[j];
+                    c3[j] += a3 * bv[j];
+                }
+            }
+            for (m, lane) in [&c0, &c1, &c2, &c3].into_iter().enumerate() {
+                let start = (r + m) * b_cols + col0;
+                for (j, &v) in lane[..width].iter().enumerate() {
+                    out[start + j] = epilogue(col0 + j, v);
+                }
+            }
+        }
+        r += GEMM_MR;
+    }
+    // Row tail (block_rows % 4): one row at a time, same register tiling
+    // and the same ascending-k accumulation order.
+    while r < block_rows {
+        let a_row = &a_block[r * inner..(r + 1) * inner];
+        for (tile, panel) in packed.chunks_exact(panel_len).enumerate() {
+            let col0 = tile * GEMM_NW;
+            let width = (b_cols - col0).min(GEMM_NW);
+            let mut c = [0.0f32; GEMM_NW];
+            for (k, bv) in panel.chunks_exact(GEMM_NW).enumerate() {
+                let a = a_row[k];
+                for j in 0..GEMM_NW {
+                    c[j] += a * bv[j];
+                }
+            }
+            let start = r * b_cols + col0;
+            for (j, &v) in c[..width].iter().enumerate() {
+                out[start + j] = epilogue(col0 + j, v);
+            }
+        }
+        r += 1;
     }
 }
 
@@ -418,5 +644,108 @@ mod tests {
         let mut m = sample();
         m.scale(2.0);
         assert_eq!(m.get(1, 2), 12.0);
+    }
+
+    /// Deterministic pseudo-random matrix with no exact zeros, so the
+    /// reference kernel's `a == 0` skip takes no branch and the blocked
+    /// kernel must match it bit for bit.
+    fn dense_random(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut state = seed | 1;
+        Matrix::from_fn(rows, cols, |_, _| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5 + 1.0e-3
+        })
+    }
+
+    #[test]
+    fn blocked_kernel_matches_reference_bitwise() {
+        // Shapes straddle every blocking boundary: rows % 4, cols % 16,
+        // single row/column, and the 8-row parallel chunk edge.
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (3, 5, 7),
+            (8, 16, 512),
+            (9, 17, 513),
+            (4, 600, 530),
+            (33, 7, 1030),
+        ] {
+            let a = dense_random(m, k, 0xA0 + m as u64);
+            let b = dense_random(k, n, 0xB0 + n as u64);
+            let blocked = a.matmul(&b).unwrap();
+            let reference = a.matmul_reference(&b).unwrap();
+            assert_eq!(
+                blocked.as_slice(),
+                reference.as_slice(),
+                "shape ({m},{k},{n})"
+            );
+        }
+    }
+
+    #[test]
+    fn matmul_is_bit_identical_across_thread_counts() {
+        // 40·64·1030 ≈ 2.6 M MACs: above the serial-fallback threshold, so
+        // the parallel path genuinely runs.
+        let a = dense_random(40, 64, 1);
+        let b = dense_random(64, 1030, 2);
+        let serial = crate::parallel::with_thread_count(1, || a.matmul(&b).unwrap());
+        for threads in [2usize, 8] {
+            let parallel = crate::parallel::with_thread_count(threads, || a.matmul(&b).unwrap());
+            assert_eq!(serial.as_slice(), parallel.as_slice(), "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn matmul_with_fewer_rows_than_threads() {
+        // 3 rows < 8 threads, but 3·1030·700 ≈ 2.2 M MACs keeps the
+        // parallel path engaged.
+        let a = dense_random(3, 1030, 3);
+        let b = dense_random(1030, 700, 4);
+        let got = crate::parallel::with_thread_count(8, || a.matmul(&b).unwrap());
+        let want = crate::parallel::with_thread_count(1, || a.matmul(&b).unwrap());
+        assert_eq!(got.as_slice(), want.as_slice());
+    }
+
+    #[test]
+    fn matmul_map_applies_epilogue_per_column() {
+        let a = sample(); // 2x3
+        let b = Matrix::from_rows(&[vec![7.0, 8.0], vec![9.0, 10.0], vec![11.0, 12.0]]).unwrap();
+        let plain = a.matmul(&b).unwrap();
+        let mapped = a.matmul_map(&b, |col, x| x + col as f32 * 100.0).unwrap();
+        for r in 0..2 {
+            for c in 0..2 {
+                assert_eq!(mapped.get(r, c), plain.get(r, c) + c as f32 * 100.0);
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_handles_degenerate_shapes() {
+        let a = Matrix::zeros(0, 5);
+        let b = Matrix::zeros(5, 4);
+        assert_eq!(a.matmul(&b).unwrap().shape(), (0, 4));
+        let a = Matrix::zeros(3, 0);
+        let b = Matrix::zeros(0, 4);
+        let out = a.matmul(&b).unwrap();
+        assert_eq!(out.shape(), (3, 4));
+        assert!(out.as_slice().iter().all(|&x| x == 0.0));
+        let a = Matrix::zeros(3, 5);
+        let b = Matrix::zeros(5, 0);
+        assert_eq!(a.matmul(&b).unwrap().shape(), (3, 0));
+    }
+
+    #[test]
+    fn blocked_transpose_matches_naive_on_odd_shapes() {
+        for &(r, c) in &[(1usize, 1usize), (31, 33), (32, 32), (65, 7), (5, 100)] {
+            let m = dense_random(r, c, (r * c) as u64);
+            let t = m.transpose();
+            assert_eq!(t.shape(), (c, r));
+            for i in 0..r {
+                for j in 0..c {
+                    assert_eq!(t.get(j, i), m.get(i, j), "({i},{j}) of {r}x{c}");
+                }
+            }
+        }
     }
 }

@@ -1,0 +1,287 @@
+//! Deterministic data-parallel primitives over `std::thread::scope`.
+//!
+//! The hot kernels of this workspace (encoding GEMMs, batched similarity,
+//! column reductions) are embarrassingly parallel across output rows.  This
+//! module provides the one primitive they need — [`par_chunks_mut`], a
+//! fork/join loop over fixed-size mutable chunks of a flat buffer — plus the
+//! thread-count policy shared by every caller.
+//!
+//! ## Determinism guarantee
+//!
+//! Work is split into chunks of a *fixed* size chosen by the caller, never
+//! derived from the worker count.  Each chunk is processed by exactly one
+//! worker using the same kernel code regardless of how many workers exist,
+//! and no two chunks alias, so floating-point accumulation order inside a
+//! chunk is identical at any thread count.  Results are therefore
+//! **bit-identical** whether a kernel runs on 1, 2 or 64 threads — the
+//! regression tests in this module and in `crates/core` assert exactly that.
+//!
+//! Chunk→worker assignment is itself deterministic (worker `w` takes chunks
+//! `w, w + T, w + 2T, …`), so thread-local effects like false sharing are
+//! reproducible run-to-run as well.
+//!
+//! ## Thread-count policy
+//!
+//! The worker count is resolved, in order, from:
+//!
+//! 1. a process-wide programmatic override ([`set_thread_count`]) — used by
+//!    benchmarks to compare serial and parallel execution in one process;
+//! 2. the `DISTHD_THREADS` environment variable;
+//! 3. [`std::thread::available_parallelism`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// `0` means "no override"; any other value is the forced worker count.
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Serializes [`with_thread_count`] scopes so concurrent callers (e.g.
+/// parallel test threads) cannot observe each other's override.
+static OVERRIDE_SCOPE: Mutex<()> = Mutex::new(());
+
+/// Forces the worker count for every subsequent parallel kernel in this
+/// process, overriding `DISTHD_THREADS`; `None` restores the default
+/// resolution order.
+///
+/// Because the backend is deterministic this only changes *speed*, never
+/// results — which is what makes it safe for benchmarks to flip mid-run.
+pub fn set_thread_count(threads: Option<usize>) {
+    THREAD_OVERRIDE.store(threads.unwrap_or(0), Ordering::SeqCst);
+}
+
+/// Runs `f` with the worker count forced to `threads`, restoring the
+/// previous override afterwards (even on panic).
+///
+/// Scopes are serialized through a process-wide lock so concurrent callers
+/// — benchmark phases, parallel test threads — never observe each other's
+/// override.  Do not nest calls on one thread; the inner scope would
+/// deadlock on the lock.
+pub fn with_thread_count<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    let _guard = OVERRIDE_SCOPE.lock().unwrap_or_else(|e| e.into_inner());
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_OVERRIDE.store(self.0, Ordering::SeqCst);
+        }
+    }
+    let _restore = Restore(THREAD_OVERRIDE.load(Ordering::SeqCst));
+    THREAD_OVERRIDE.store(threads.max(1), Ordering::SeqCst);
+    f()
+}
+
+/// Resolves the worker count used by the parallel kernels.
+///
+/// Resolution order: [`set_thread_count`] override, then the
+/// `DISTHD_THREADS` environment variable, then the machine's available
+/// parallelism.  Always at least 1.
+pub fn thread_count() -> usize {
+    let forced = THREAD_OVERRIDE.load(Ordering::SeqCst);
+    if forced > 0 {
+        return forced;
+    }
+    if let Ok(var) = std::env::var("DISTHD_THREADS") {
+        if let Ok(n) = var.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Applies `f(chunk_index, chunk)` to consecutive `chunk_len`-element chunks
+/// of `data` (the last chunk may be shorter), fanning the chunks out over
+/// [`thread_count`] scoped workers.
+///
+/// The chunk partition depends only on `data.len()` and `chunk_len` — never
+/// on the worker count — so per-chunk results are bit-identical at any
+/// thread count (see the module docs).  `f` must be safe to call from
+/// multiple threads at once on distinct chunks.
+///
+/// Falls back to a plain sequential loop when one worker suffices, so small
+/// inputs pay no spawn cost.
+///
+/// # Panics
+///
+/// Panics if `chunk_len == 0` (with non-empty data) or if `f` panics in any
+/// worker.
+pub fn par_chunks_mut<T, F>(data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    if data.is_empty() {
+        return;
+    }
+    assert!(chunk_len > 0, "par_chunks_mut: chunk_len must be positive");
+    let chunks = data.len().div_ceil(chunk_len);
+    let workers = thread_count().min(chunks).max(1);
+    if workers == 1 {
+        for (index, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(index, chunk);
+        }
+        return;
+    }
+
+    // Deal the chunks round-robin: worker w owns chunks w, w+T, w+2T, …
+    // The borrows are disjoint (`chunks_mut` guarantees it), so each worker
+    // can own its set mutably without any synchronization.
+    let mut per_worker: Vec<Vec<(usize, &mut [T])>> = (0..workers).map(|_| Vec::new()).collect();
+    for (index, chunk) in data.chunks_mut(chunk_len).enumerate() {
+        per_worker[index % workers].push((index, chunk));
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        // The first worker's share runs on the calling thread: one spawn
+        // fewer, and a 2-worker run degrades gracefully on one core.
+        let mut own = None;
+        for (w, work) in per_worker.into_iter().enumerate() {
+            if w == 0 {
+                own = Some(work);
+                continue;
+            }
+            scope.spawn(move || {
+                for (index, chunk) in work {
+                    f(index, chunk);
+                }
+            });
+        }
+        for (index, chunk) in own.into_iter().flatten() {
+            f(index, chunk);
+        }
+    });
+}
+
+/// Runs `f(row_index, row)` over every `row_len`-wide row of a flat
+/// row-major buffer, parallelized in blocks of `rows_per_chunk` rows.
+///
+/// Row-level convenience wrapper over [`par_chunks_mut`] for row-wise
+/// passes outside the GEMM (e.g. batch centering): the chunk size is
+/// expressed in *rows*, and `f` receives the global row index so callers
+/// can look up per-row state.
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a multiple of `row_len`, or if
+/// `rows_per_chunk == 0` with non-empty data.
+pub fn par_row_chunks<T, F>(data: &mut [T], row_len: usize, rows_per_chunk: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    if data.is_empty() {
+        return;
+    }
+    assert!(row_len > 0, "par_row_chunks: row_len must be positive");
+    assert_eq!(
+        data.len() % row_len,
+        0,
+        "par_row_chunks: buffer is not a whole number of rows"
+    );
+    par_chunks_mut(data, rows_per_chunk * row_len, |chunk_index, chunk| {
+        let first_row = chunk_index * rows_per_chunk;
+        for (offset, row) in chunk.chunks_mut(row_len).enumerate() {
+            f(first_row + offset, row);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_count_is_at_least_one() {
+        assert!(thread_count() >= 1);
+    }
+
+    #[test]
+    fn override_wins_and_clears() {
+        with_thread_count(3, || assert_eq!(thread_count(), 3));
+        assert!(thread_count() >= 1);
+    }
+
+    #[test]
+    fn every_chunk_is_visited_exactly_once() {
+        for workers in [1usize, 2, 8] {
+            let mut data = vec![0u32; 103];
+            with_thread_count(workers, || {
+                par_chunks_mut(&mut data, 10, |index, chunk| {
+                    for x in chunk.iter_mut() {
+                        *x += 1 + index as u32;
+                    }
+                });
+            });
+            for (i, &x) in data.iter().enumerate() {
+                assert_eq!(x, 1 + (i / 10) as u32, "element {i} at {workers} workers");
+            }
+        }
+    }
+
+    #[test]
+    fn results_are_identical_across_thread_counts() {
+        let run = |workers: usize| -> Vec<f32> {
+            let mut data = vec![0.0f32; 257];
+            with_thread_count(workers, || {
+                par_chunks_mut(&mut data, 16, |index, chunk| {
+                    let mut acc = index as f32 * 0.1;
+                    for x in chunk.iter_mut() {
+                        acc = acc * 1.0001 + 0.3;
+                        *x = acc;
+                    }
+                });
+            });
+            data
+        };
+        let serial = run(1);
+        for workers in [2usize, 5, 8] {
+            assert_eq!(serial, run(workers), "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn empty_input_is_a_no_op() {
+        let mut data: Vec<f32> = Vec::new();
+        par_chunks_mut(&mut data, 4, |_, _| panic!("must not be called"));
+        par_row_chunks(&mut data, 4, 2, |_, _| panic!("must not be called"));
+    }
+
+    #[test]
+    fn row_chunks_see_global_row_indices() {
+        let mut data = vec![0usize; 7 * 3];
+        with_thread_count(4, || {
+            par_row_chunks(&mut data, 3, 2, |row, slice| {
+                for x in slice.iter_mut() {
+                    *x = row;
+                }
+            });
+        });
+        for row in 0..7 {
+            for col in 0..3 {
+                assert_eq!(data[row * 3 + col], row);
+            }
+        }
+    }
+
+    #[test]
+    fn more_workers_than_chunks_is_fine() {
+        let mut data = vec![1.0f32; 5];
+        with_thread_count(64, || {
+            par_chunks_mut(&mut data, 2, |_, chunk| {
+                for x in chunk.iter_mut() {
+                    *x += 1.0;
+                }
+            });
+        });
+        assert!(data.iter().all(|&x| x == 2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of rows")]
+    fn ragged_row_buffer_panics() {
+        let mut data = vec![0.0f32; 7];
+        par_row_chunks(&mut data, 3, 1, |_, _| {});
+    }
+}

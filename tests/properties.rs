@@ -4,7 +4,7 @@
 use disthd_hd::encoder::{Encoder, RbfEncoder, RegenerativeEncoder};
 use disthd_hd::quantize::{BitWidth, QuantizedMatrix};
 use disthd_hd::{BinaryHypervector, BipolarHypervector, ClassModel};
-use disthd_linalg::{Matrix, RngSeed, SeededRng};
+use disthd_linalg::{parallel, Matrix, RngSeed, SeededRng};
 use proptest::prelude::*;
 
 fn feature_vec(n: usize) -> impl Strategy<Value = Vec<f32>> {
@@ -64,6 +64,44 @@ proptest! {
                 prop_assert!((a - b).abs() < 1e-4);
             }
         }
+    }
+
+    /// The blocked GEMM agrees with the scalar reference kernel on
+    /// arbitrary shapes (tile remainders included).
+    #[test]
+    fn blocked_matmul_matches_reference(
+        m in 1usize..12,
+        k in 1usize..24,
+        n in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = SeededRng::new(RngSeed(seed));
+        let a = Matrix::from_fn(m, k, |_, _| rng.next_unit() - 0.5);
+        let b = Matrix::from_fn(k, n, |_, _| rng.next_unit() - 0.5);
+        let blocked = a.matmul(&b).expect("matmul");
+        let reference = a.matmul_reference(&b).expect("reference");
+        for (x, y) in blocked.as_slice().iter().zip(reference.as_slice()) {
+            prop_assert!((x - y).abs() <= 1e-5 * (1.0 + y.abs()), "{} vs {}", x, y);
+        }
+    }
+
+    /// The parallel GEMM is bit-identical to serial at any worker count —
+    /// the backend's determinism contract.  Shapes are kept above the
+    /// kernel's serial-fallback threshold so threads actually run.
+    #[test]
+    fn matmul_is_thread_count_invariant(
+        m in 9usize..17,
+        k in 256usize..300,
+        n in 1024usize..1100,
+        threads in 2usize..9,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = SeededRng::new(RngSeed(seed));
+        let a = Matrix::from_fn(m, k, |_, _| rng.next_unit() - 0.5);
+        let b = Matrix::from_fn(k, n, |_, _| rng.next_unit() - 0.5);
+        let serial = parallel::with_thread_count(1, || a.matmul(&b).expect("matmul"));
+        let threaded = parallel::with_thread_count(threads, || a.matmul(&b).expect("matmul"));
+        prop_assert_eq!(serial.as_slice(), threaded.as_slice());
     }
 
     /// Bipolar binding is self-inverse: (a * b) * b == a.
