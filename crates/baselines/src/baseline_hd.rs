@@ -35,7 +35,7 @@ impl Default for BaselineHdConfig {
     }
 }
 
-/// Classical HDC with a pre-generated *static* encoder ("baselineHD" [6]).
+/// Classical HDC with a pre-generated *static* encoder ("baselineHD" \[6\]).
 ///
 /// The encoder never changes after construction: this is the property the
 /// paper identifies as the root cause of the dimensionality problem —

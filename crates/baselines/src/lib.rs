@@ -5,12 +5,12 @@
 //!
 //! * [`BaselineHd`] — classical HDC with a *static* RBF encoder and
 //!   adaptive retraining (the "baselineHD" of Fig. 4/5/7, after Rahimi et
-//!   al. [6]);
-//! * [`NeuralHd`] — the dynamic-encoding comparator [7]: periodically drops
+//!   al. \[6\]);
+//! * [`NeuralHd`] — the dynamic-encoding comparator \[7\]: periodically drops
 //!   the lowest-variance dimensions and regenerates them;
-//! * [`Mlp`] — the "SOTA DNN" comparator [27]: a from-scratch multilayer
+//! * [`Mlp`] — the "SOTA DNN" comparator \[27\]: a from-scratch multilayer
 //!   perceptron (ReLU, softmax cross-entropy, SGD + momentum);
-//! * [`LinearSvm`] — the SVM comparator [28]: one-vs-rest linear SVM
+//! * [`LinearSvm`] — the SVM comparator \[28\]: one-vs-rest linear SVM
 //!   trained with Pegasos-style SGD on the hinge loss.
 //!
 //! All models implement [`Classifier`], so the benchmark harness can sweep

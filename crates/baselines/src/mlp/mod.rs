@@ -1,5 +1,5 @@
 //! From-scratch multilayer perceptron — the paper's "SOTA DNN" comparator
-//! [27].
+//! \[27\].
 //!
 //! Architecture: fully connected layers with ReLU hidden activations and a
 //! softmax cross-entropy output, trained by mini-batch SGD with momentum.

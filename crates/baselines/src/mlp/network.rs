@@ -38,7 +38,7 @@ impl Default for MlpConfig {
 }
 
 /// Multilayer perceptron with ReLU hidden layers and softmax output — the
-/// "SOTA DNN" comparator of Figs. 4, 5 and 8 [27].
+/// "SOTA DNN" comparator of Figs. 4, 5 and 8 \[27\].
 ///
 /// # Example
 ///

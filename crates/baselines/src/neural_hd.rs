@@ -42,7 +42,7 @@ impl Default for NeuralHdConfig {
     }
 }
 
-/// The NeuralHD comparator [7]: dynamic encoding by *variance* scoring.
+/// The NeuralHD comparator \[7\]: dynamic encoding by *variance* scoring.
 ///
 /// Every `regen_interval` epochs, NeuralHD scores each dimension by the
 /// variance of its values **across the class hypervectors**: a dimension

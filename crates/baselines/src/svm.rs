@@ -24,7 +24,7 @@ impl Default for SvmConfig {
     }
 }
 
-/// One-vs-rest linear SVM trained with Pegasos-style SGD [28].
+/// One-vs-rest linear SVM trained with Pegasos-style SGD \[28\].
 ///
 /// Each class `c` owns a weight vector `w_c` and bias `b_c` trained on the
 /// binary problem "class c vs the rest" with hinge loss and step size

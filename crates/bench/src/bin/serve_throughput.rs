@@ -1,0 +1,177 @@
+//! Serving-layer throughput benchmark: queries/sec through the
+//! request-batching [`disthd_serve::ServeEngine`] as a function of the
+//! batch window, at 1 thread and at `DISTHD_THREADS` (or all cores).
+//!
+//! Window 1 is classic one-at-a-time serving — every query pays a full
+//! encode pass over the base matrix and a similarity pass over the class
+//! matrix by itself.  Wider windows coalesce queued queries into one
+//! batched pass, amortizing both streams; the sweep quantifies that
+//! latency-vs-throughput trade.  Predictions must be **bit-identical** at
+//! every window and thread count (the engine serves through the same
+//! deterministic kernels regardless of batch composition); the bin exits
+//! non-zero if they ever diverge.
+//!
+//! Emits `BENCH_serve.json` (override with `DISTHD_BENCH_OUT`); the
+//! workload scales with `DISTHD_SCALE`.  Run with
+//! `cargo run --release -p disthd_bench --bin serve_throughput`.
+
+use disthd::{DeployedModel, DistHd, DistHdConfig};
+use disthd_bench::default_scale;
+use disthd_datasets::suite::{PaperDataset, SuiteConfig};
+use disthd_eval::Classifier;
+use disthd_hd::quantize::BitWidth;
+use disthd_linalg::{parallel, Matrix};
+use disthd_serve::{BatchPolicy, ServeEngine};
+use std::time::Instant;
+
+/// Fig. 5's heavy dimensionality (BaselineHD's D* = 4k) — the encode cost
+/// batching has to amortize.
+const DIM: usize = 4096;
+/// Batch windows swept (1 = one-at-a-time serving).
+const WINDOWS: [usize; 5] = [1, 8, 32, 128, 512];
+/// Timing repetitions; the best rep is reported (least scheduler noise).
+const REPS: usize = 3;
+/// Offline training epochs for the served model.
+const TRAIN_EPOCHS: usize = 6;
+
+/// Best-of-`REPS` wall-clock seconds for `f`, plus its last result.
+fn time_best<R>(mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut result = None;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        let r = f();
+        best = best.min(start.elapsed().as_secs_f64());
+        result = Some(r);
+    }
+    (best, result.expect("REPS > 0"))
+}
+
+struct WindowResult {
+    window: usize,
+    serial_qps: f64,
+    parallel_qps: f64,
+}
+
+impl WindowResult {
+    fn json(&self, base: &WindowResult) -> String {
+        format!(
+            "{{ \"window\": {}, \"serial_qps\": {:.2}, \"parallel_qps\": {:.2}, \
+             \"speedup_serial_vs_window1\": {:.3}, \"speedup_parallel_vs_window1\": {:.3} }}",
+            self.window,
+            self.serial_qps,
+            self.parallel_qps,
+            self.serial_qps / base.serial_qps,
+            self.parallel_qps / base.parallel_qps
+        )
+    }
+}
+
+/// Serves every row of `queries` through a fresh engine at `window`,
+/// returning wall-clock seconds and the predictions.
+fn serve_once(model: &DeployedModel, queries: &Matrix, window: usize) -> (f64, Vec<usize>) {
+    time_best(|| {
+        let mut engine = ServeEngine::new(model.clone(), BatchPolicy::window(window));
+        engine.serve_all(queries).expect("serve")
+    })
+}
+
+fn main() {
+    let scale = default_scale();
+    let parallel_threads = parallel::thread_count();
+    let dataset = PaperDataset::Isolet;
+    let data = dataset
+        .generate(&SuiteConfig::at_scale(scale))
+        .expect("dataset generation");
+
+    // Offline-train the served model once (single-thread for a
+    // deterministic artifact regardless of the machine).
+    let mut model = DistHd::new(
+        DistHdConfig {
+            dim: DIM,
+            epochs: TRAIN_EPOCHS,
+            patience: None,
+            ..Default::default()
+        },
+        data.train.feature_dim(),
+        data.train.class_count(),
+    );
+    parallel::with_thread_count(parallel_threads, || {
+        model.fit(&data.train, None).expect("fit")
+    });
+    let deployed = DeployedModel::freeze(&model, BitWidth::B8).expect("freeze");
+
+    // Query stream: the test split cycled to a steady load.
+    let queries_n = (4 * data.test.len()).max(1024);
+    let indices: Vec<usize> = (0..queries_n).map(|i| i % data.test.len()).collect();
+    let queries = data.test.features().select_rows(&indices);
+    println!(
+        "serve_throughput: {} (scale {scale}), D = {DIM}, {} queries, \
+         parallel = {parallel_threads} thread(s)\n",
+        dataset.name(),
+        queries_n
+    );
+    println!(
+        "{:<8} {:>14} {:>14} {:>10} {:>10}",
+        "window", "serial qps", "par qps", "x1 serial", "x1 par"
+    );
+
+    let mut results: Vec<WindowResult> = Vec::new();
+    let mut baseline_predictions: Option<Vec<usize>> = None;
+    let mut bit_identical = true;
+    for window in WINDOWS {
+        let (serial_secs, serial_pred) =
+            parallel::with_thread_count(1, || serve_once(&deployed, &queries, window));
+        let (par_secs, par_pred) = parallel::with_thread_count(parallel_threads, || {
+            serve_once(&deployed, &queries, window)
+        });
+        match &baseline_predictions {
+            None => baseline_predictions = Some(serial_pred.clone()),
+            Some(base) => bit_identical &= base == &serial_pred,
+        }
+        bit_identical &= serial_pred == par_pred;
+        let result = WindowResult {
+            window,
+            serial_qps: queries_n as f64 / serial_secs.max(1e-12),
+            parallel_qps: queries_n as f64 / par_secs.max(1e-12),
+        };
+        println!(
+            "{:<8} {:>14.1} {:>14.1} {:>9.2}x {:>9.2}x",
+            result.window,
+            result.serial_qps,
+            result.parallel_qps,
+            result.serial_qps / results.first().map_or(result.serial_qps, |b| b.serial_qps),
+            result.parallel_qps
+                / results
+                    .first()
+                    .map_or(result.parallel_qps, |b| b.parallel_qps),
+        );
+        results.push(result);
+    }
+
+    let base = &results[0];
+    let batched_2x = results.iter().filter(|r| r.window >= 32).all(|r| {
+        r.serial_qps >= 2.0 * base.serial_qps && r.parallel_qps >= 2.0 * base.parallel_qps
+    });
+    println!("\npredictions bit-identical across windows and threads: {bit_identical}");
+    println!("every window >= 32 at least 2x one-at-a-time:          {batched_2x}");
+
+    let windows_json: Vec<String> = results.iter().map(|r| r.json(base)).collect();
+    let json = format!(
+        "{{\n  \"bench\": \"serve_throughput\",\n  \"dataset\": \"{}\",\n  \"dim\": {DIM},\n  \
+         \"scale\": {scale},\n  \"queries\": {queries_n},\n  \
+         \"threads_parallel\": {parallel_threads},\n  \"width_bits\": 8,\n  \"windows\": [\n    {}\n  ],\n  \
+         \"bit_identical_across_windows_and_threads\": {bit_identical},\n  \
+         \"batched_at_least_2x_over_one_at_a_time\": {batched_2x}\n}}\n",
+        dataset.name(),
+        windows_json.join(",\n    ")
+    );
+    let out_path = std::env::var("DISTHD_BENCH_OUT").unwrap_or_else(|_| "BENCH_serve.json".into());
+    std::fs::write(&out_path, json).expect("write benchmark json");
+    println!("wrote {out_path}");
+
+    if !bit_identical {
+        eprintln!("ERROR: batched serving changed predictions — determinism contract violated");
+        std::process::exit(1);
+    }
+}

@@ -18,7 +18,7 @@ use disthd_hd::encoder::{Encoder, RbfEncoder};
 use disthd_hd::noise::flip_random_bits;
 use disthd_hd::quantize::{BitWidth, QuantizedMatrix};
 use disthd_hd::ClassModel;
-use disthd_linalg::SeededRng;
+use disthd_linalg::{Matrix, SeededRng};
 
 /// A trained DistHD model frozen for low-precision edge deployment.
 ///
@@ -97,6 +97,86 @@ impl DeployedModel {
         let mut encoded = self.encoder.encode(features)?;
         self.center.apply(&mut encoded);
         Ok(self.snapshot.predict(&encoded))
+    }
+
+    /// Classifies a whole batch of feature vectors (one per row) through
+    /// the fused encode GEMM and one batched similarity GEMM.
+    ///
+    /// This is the entry point the serving layer's request-batching engine
+    /// coalesces queries into: per query it costs a slice of two large
+    /// matrix products instead of a full streaming pass over the base and
+    /// class matrices, which is where batched serving's throughput
+    /// advantage comes from.  Because every row is computed independently
+    /// by the deterministic backend, a query's prediction is bit-identical
+    /// whether it is served alone or inside any batch.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use disthd::{DeployedModel, DistHd, DistHdConfig};
+    /// use disthd_datasets::suite::{PaperDataset, SuiteConfig};
+    /// use disthd_eval::Classifier;
+    /// use disthd_hd::quantize::BitWidth;
+    /// use disthd_linalg::Matrix;
+    ///
+    /// let data = PaperDataset::Diabetes.generate(&SuiteConfig::at_scale(0.001))?;
+    /// let mut model = DistHd::new(
+    ///     DistHdConfig { dim: 256, epochs: 6, ..Default::default() },
+    ///     data.train.feature_dim(),
+    ///     data.train.class_count(),
+    /// );
+    /// model.fit(&data.train, None)?;
+    /// let mut deployed = DeployedModel::freeze(&model, BitWidth::B8)?;
+    /// let queries = Matrix::from_row_slices(
+    ///     data.test.feature_dim(),
+    ///     &[data.test.sample(0), data.test.sample(1)],
+    /// )?;
+    /// let batched = deployed.predict_batch(&queries)?;
+    /// // A batch of one is the same computation, so predictions agree.
+    /// let solo = deployed.predict_batch(&queries.select_rows(&[0]))?;
+    /// assert_eq!(batched[0], solo[0]);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if `queries.cols()` differs from the
+    /// encoder's input arity.
+    pub fn predict_batch(&mut self, queries: &Matrix) -> Result<Vec<usize>, ModelError> {
+        if queries.rows() == 0 {
+            return Ok(Vec::new());
+        }
+        let mut encoded = self.encoder.encode_batch(queries)?;
+        self.center.apply_batch(&mut encoded);
+        Ok(self.snapshot.predict_batch(&encoded)?)
+    }
+
+    /// Hot-swaps the quantized class memory, e.g. with a freshly
+    /// requantized model produced by [`crate::DistHd::partial_fit`], and
+    /// refreshes the inference snapshot.
+    ///
+    /// The encoder and centering are untouched: online adaptive updates
+    /// keep the encoder frozen between regeneration events, so the class
+    /// memory is the only part of the deployment that needs to move for a
+    /// live model refresh.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Incompatible`] if the replacement's shape
+    /// differs from the current memory — a swap may change weights, never
+    /// topology.
+    pub fn swap_class_memory(&mut self, memory: QuantizedMatrix) -> Result<(), ModelError> {
+        if memory.shape() != self.memory.shape() {
+            return Err(ModelError::Incompatible(format!(
+                "class memory shape {:?} cannot replace {:?}",
+                memory.shape(),
+                self.memory.shape()
+            )));
+        }
+        self.snapshot.set_classes(memory.dequantize());
+        self.snapshot.prepare_inference();
+        self.memory = memory;
+        Ok(())
     }
 
     /// Per-class similarity scores for one feature vector.
@@ -253,6 +333,63 @@ mod tests {
         deployed.inject_faults(0.05, &mut rng);
         let acc = deployed.accuracy(&data.test).unwrap();
         assert!(acc > 1.0 / 3.0, "faulted accuracy {acc}");
+    }
+
+    #[test]
+    fn predict_batch_is_invariant_to_batch_composition() {
+        // The serving engine relies on this: a query's prediction must not
+        // depend on which other queries happen to share its batch.
+        let (model, data) = trained();
+        let mut deployed = DeployedModel::freeze(&model, BitWidth::B8).unwrap();
+        let n = data.test.len().min(40);
+        let all: Vec<usize> = (0..n).collect();
+        let batched = deployed
+            .predict_batch(&data.test.features().select_rows(&all))
+            .unwrap();
+        for (i, &expected) in batched.iter().enumerate() {
+            let solo = deployed
+                .predict_batch(&data.test.features().select_rows(&[i]))
+                .unwrap();
+            assert_eq!(solo[0], expected, "sample {i}");
+        }
+    }
+
+    #[test]
+    fn predict_batch_checks_shapes_and_handles_empty() {
+        let (model, _) = trained();
+        let mut deployed = DeployedModel::freeze(&model, BitWidth::B4).unwrap();
+        assert!(deployed.predict_batch(&Matrix::zeros(2, 3)).is_err());
+        assert!(deployed
+            .predict_batch(&Matrix::zeros(0, 0))
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn swap_class_memory_changes_predictions_and_rejects_reshape() {
+        let (model, data) = trained();
+        let mut deployed = DeployedModel::freeze(&model, BitWidth::B8).unwrap();
+        let before = deployed.accuracy(&data.test).unwrap();
+        // Swapping in a permuted class memory must change behaviour.
+        let k = deployed.class_count();
+        let rotated: Vec<usize> = (0..k).map(|c| (c + 1) % k).collect();
+        let permuted = model.class_model().unwrap().classes().select_rows(&rotated);
+        deployed
+            .swap_class_memory(QuantizedMatrix::quantize(&permuted, BitWidth::B8))
+            .unwrap();
+        let after = deployed.accuracy(&data.test).unwrap();
+        assert!(after < before, "permuted memory should hurt: {after}");
+        // Swapping the original back restores the original accuracy.
+        let restore =
+            QuantizedMatrix::quantize(model.class_model().unwrap().classes(), BitWidth::B8);
+        deployed.swap_class_memory(restore).unwrap();
+        assert_eq!(deployed.accuracy(&data.test).unwrap(), before);
+        // Topology changes are rejected.
+        let wrong = QuantizedMatrix::quantize(&Matrix::zeros(k + 1, 512), BitWidth::B8);
+        assert!(matches!(
+            deployed.swap_class_memory(wrong),
+            Err(ModelError::Incompatible(_))
+        ));
     }
 
     #[test]

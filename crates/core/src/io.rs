@@ -6,7 +6,7 @@
 //! versioned little-endian binary format:
 //!
 //! ```text
-//! magic  "DHD1"            4 bytes
+//! magic  "DHD" + version   4 bytes (version is the ASCII digit '1')
 //! n (features)             u32    D (dims)    u32    k (classes)   u32
 //! width bits               u32    base_std    f32
 //! bases                    n*D f32 (row-major)
@@ -16,6 +16,17 @@
 //! memory word count        u32
 //! memory words             count u64
 //! ```
+//!
+//! ## Format evolution
+//!
+//! The fourth magic byte is the **format version** (currently `'1'`).
+//! Readers accept exactly the versions they know: a stream that starts
+//! with `DHD` but carries an unknown version digit fails with
+//! [`PersistError::UnsupportedVersion`] — distinct from [`PersistError::BadMagic`]
+//! (not a DHD stream at all) so callers can tell "newer than me" from
+//! "garbage".  Future versions may only *append* fields after the version-1
+//! payload; see `DESIGN.md` §6 for the full compatibility rules.  Every
+//! deserialization failure names the offending field.
 
 use crate::deploy::DeployedModel;
 use disthd_hd::center::EncodingCenter;
@@ -26,16 +37,28 @@ use std::error::Error;
 use std::fmt;
 use std::io::{Read, Write};
 
-const MAGIC: &[u8; 4] = b"DHD1";
+/// First three magic bytes shared by every DHD format version.
+const MAGIC_PREFIX: &[u8; 3] = b"DHD";
+/// Pre-allocation cap (elements) while deserializing: header counts are
+/// untrusted, so a forged size must not drive a giant upfront allocation —
+/// the vectors grow only as real payload bytes actually arrive, and a
+/// truncated stream fails with a named short-read error instead.
+const MAX_PREALLOC: usize = 1 << 20;
+/// Current format version, stored as an ASCII digit in the fourth byte.
+const FORMAT_VERSION: u8 = b'1';
 
 /// Errors produced while persisting or loading a deployed model.
 #[derive(Debug)]
 pub enum PersistError {
     /// Underlying I/O failure.
     Io(std::io::Error),
-    /// The stream does not start with the expected magic/version.
+    /// The stream does not start with the `DHD` magic at all.
     BadMagic,
-    /// A field failed validation (corrupt or truncated stream).
+    /// The stream is a DHD model, but of a format version this reader does
+    /// not understand (the byte is the raw version tag from the stream).
+    UnsupportedVersion(u8),
+    /// A field failed validation (corrupt or truncated stream); the message
+    /// names the offending field.
     Corrupt(String),
 }
 
@@ -43,7 +66,13 @@ impl fmt::Display for PersistError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PersistError::Io(e) => write!(f, "io error: {e}"),
-            PersistError::BadMagic => write!(f, "not a DHD1 model stream"),
+            PersistError::BadMagic => write!(f, "not a DHD1 model stream (bad magic)"),
+            PersistError::UnsupportedVersion(v) => write!(
+                f,
+                "unsupported DHD format version {:?} (this reader understands version {:?})",
+                char::from(*v),
+                char::from(FORMAT_VERSION)
+            ),
             PersistError::Corrupt(msg) => write!(f, "corrupt model stream: {msg}"),
         }
     }
@@ -72,7 +101,8 @@ impl From<std::io::Error> for PersistError {
 pub fn save_deployed<W: Write>(model: &DeployedModel, mut writer: W) -> Result<(), PersistError> {
     let encoder = model.encoder_parts();
     let (rows, cols) = model.memory_parts().shape();
-    writer.write_all(MAGIC)?;
+    writer.write_all(MAGIC_PREFIX)?;
+    writer.write_all(&[FORMAT_VERSION])?;
     write_u32(&mut writer, encoder.bases().rows() as u32)?;
     write_u32(&mut writer, cols as u32)?;
     write_u32(&mut writer, rows as u32)?;
@@ -95,45 +125,73 @@ pub fn save_deployed<W: Write>(model: &DeployedModel, mut writer: W) -> Result<(
 ///
 /// # Errors
 ///
-/// * [`PersistError::BadMagic`] if the stream is not a `DHD1` model;
-/// * [`PersistError::Corrupt`] on inconsistent sizes;
+/// * [`PersistError::BadMagic`] if the stream is not a `DHD` model;
+/// * [`PersistError::UnsupportedVersion`] for a DHD stream of a newer
+///   (or otherwise unknown) format version;
+/// * [`PersistError::Corrupt`] on inconsistent sizes or truncation, naming
+///   the offending field;
 /// * [`PersistError::Io`] on read failure.
 pub fn load_deployed<R: Read>(mut reader: R) -> Result<DeployedModel, PersistError> {
     let mut magic = [0u8; 4];
-    reader.read_exact(&mut magic)?;
-    if &magic != MAGIC {
+    read_field_bytes(&mut reader, &mut magic, "magic")?;
+    if &magic[..3] != MAGIC_PREFIX {
         return Err(PersistError::BadMagic);
     }
-    let n = read_u32(&mut reader)? as usize;
-    let dim = read_u32(&mut reader)? as usize;
-    let k = read_u32(&mut reader)? as usize;
-    let bits = read_u32(&mut reader)? as usize;
+    if magic[3] != FORMAT_VERSION {
+        return Err(PersistError::UnsupportedVersion(magic[3]));
+    }
+    let n = read_u32(&mut reader, "feature count n")? as usize;
+    let dim = read_u32(&mut reader, "dimensionality D")? as usize;
+    let k = read_u32(&mut reader, "class count k")? as usize;
+    let bits = read_u32(&mut reader, "width bits")? as usize;
     let width = BitWidth::from_bits(bits)
-        .ok_or_else(|| PersistError::Corrupt(format!("unsupported width {bits}")))?;
-    let base_std = read_f32(&mut reader)?;
-    if n == 0 || dim == 0 || k == 0 {
-        return Err(PersistError::Corrupt("zero-sized model".into()));
+        .ok_or_else(|| PersistError::Corrupt(format!("field `width bits`: unsupported {bits}")))?;
+    let base_std = read_f32(&mut reader, "base_std")?;
+    for (value, field) in [
+        (n, "feature count n"),
+        (dim, "dimensionality D"),
+        (k, "class count k"),
+    ] {
+        if value == 0 {
+            return Err(PersistError::Corrupt(format!("field `{field}` is zero")));
+        }
     }
 
-    let bases = read_f32_vec(&mut reader, n * dim)?;
-    let phases = read_f32_vec(&mut reader, dim)?;
-    let means = read_f32_vec(&mut reader, dim)?;
-    let scales = read_f32_vec(&mut reader, k)?;
-    let word_count = read_u32(&mut reader)? as usize;
-    let mut words = Vec::with_capacity(word_count);
+    let bases_len = n.checked_mul(dim).ok_or_else(|| {
+        PersistError::Corrupt("field `bases`: n * D overflows the address space".into())
+    })?;
+    let bases = read_f32_vec(&mut reader, bases_len, "bases")?;
+    let phases = read_f32_vec(&mut reader, dim, "phases")?;
+    let means = read_f32_vec(&mut reader, dim, "center means")?;
+    let scales = read_f32_vec(&mut reader, k, "memory scales")?;
+    let word_count = read_u32(&mut reader, "memory word count")? as usize;
+    let expected_words = k
+        .checked_mul(dim)
+        .and_then(|kd| kd.checked_mul(bits))
+        .map(|b| b.div_ceil(64))
+        .ok_or_else(|| {
+            PersistError::Corrupt("field `memory word count`: k * D * bits overflows".into())
+        })?;
+    if word_count != expected_words {
+        return Err(PersistError::Corrupt(format!(
+            "field `memory word count`: {word_count} words for a {k}x{dim} \
+             {bits}-bit memory (expected {expected_words})"
+        )));
+    }
+    let mut words = Vec::with_capacity(word_count.min(MAX_PREALLOC));
     for _ in 0..word_count {
         let mut buf = [0u8; 8];
-        reader.read_exact(&mut buf)?;
+        read_field_bytes(&mut reader, &mut buf, "memory words")?;
         words.push(u64::from_le_bytes(buf));
     }
 
-    let bases =
-        Matrix::from_vec(n, dim, bases).map_err(|e| PersistError::Corrupt(e.to_string()))?;
+    let bases = Matrix::from_vec(n, dim, bases)
+        .map_err(|e| PersistError::Corrupt(format!("field `bases`: {e}")))?;
     let encoder = RbfEncoder::from_parts(bases, phases, base_std)
-        .map_err(|e| PersistError::Corrupt(e.to_string()))?;
+        .map_err(|e| PersistError::Corrupt(format!("field `phases`: {e}")))?;
     let center = EncodingCenter::from_means(means);
     let memory = QuantizedMatrix::from_parts(words, scales, width, k, dim)
-        .map_err(|e| PersistError::Corrupt(e.to_string()))?;
+        .map_err(|e| PersistError::Corrupt(format!("field `memory words`: {e}")))?;
     Ok(DeployedModel::from_parts(encoder, center, memory))
 }
 
@@ -152,22 +210,42 @@ fn write_f32_slice<W: Write>(w: &mut W, values: &[f32]) -> std::io::Result<()> {
     Ok(())
 }
 
-fn read_u32<R: Read>(r: &mut R) -> std::io::Result<u32> {
+/// `read_exact` that converts a short read into a [`PersistError::Corrupt`]
+/// naming `field`; other I/O failures stay [`PersistError::Io`].
+fn read_field_bytes<R: Read>(
+    r: &mut R,
+    buf: &mut [u8],
+    field: &'static str,
+) -> Result<(), PersistError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            PersistError::Corrupt(format!("field `{field}` truncated (short read)"))
+        } else {
+            PersistError::Io(e)
+        }
+    })
+}
+
+fn read_u32<R: Read>(r: &mut R, field: &'static str) -> Result<u32, PersistError> {
     let mut buf = [0u8; 4];
-    r.read_exact(&mut buf)?;
+    read_field_bytes(r, &mut buf, field)?;
     Ok(u32::from_le_bytes(buf))
 }
 
-fn read_f32<R: Read>(r: &mut R) -> std::io::Result<f32> {
+fn read_f32<R: Read>(r: &mut R, field: &'static str) -> Result<f32, PersistError> {
     let mut buf = [0u8; 4];
-    r.read_exact(&mut buf)?;
+    read_field_bytes(r, &mut buf, field)?;
     Ok(f32::from_le_bytes(buf))
 }
 
-fn read_f32_vec<R: Read>(r: &mut R, count: usize) -> std::io::Result<Vec<f32>> {
-    let mut out = Vec::with_capacity(count);
+fn read_f32_vec<R: Read>(
+    r: &mut R,
+    count: usize,
+    field: &'static str,
+) -> Result<Vec<f32>, PersistError> {
+    let mut out = Vec::with_capacity(count.min(MAX_PREALLOC));
     for _ in 0..count {
-        out.push(read_f32(r)?);
+        out.push(read_f32(r, field)?);
     }
     Ok(out)
 }
@@ -214,35 +292,133 @@ mod tests {
     }
 
     #[test]
+    fn single_class_model_round_trips() {
+        // k = 1 is the degenerate deployment (an anomaly scorer): one class
+        // row, one memory scale.  The format must not confuse the
+        // single-element scale vector with an empty one.
+        let (full, data) = deployed();
+        let one_row = full.memory_parts().shape().1;
+        let classes = Matrix::from_fn(1, one_row, |_, c| (c as f32 * 0.37).sin());
+        let memory = QuantizedMatrix::quantize(&classes, BitWidth::B4);
+        let single = DeployedModel::from_parts(
+            full.encoder_parts().clone(),
+            full.center_parts().clone(),
+            memory,
+        );
+        let mut buffer = Vec::new();
+        save_deployed(&single, &mut buffer).unwrap();
+        let mut restored = load_deployed(buffer.as_slice()).unwrap();
+        assert_eq!(restored.class_count(), 1);
+        assert_eq!(restored.memory_bits(), single.memory_bits());
+        // Every query lands in the only class.
+        assert_eq!(restored.predict(data.test.sample(0)).unwrap(), 0);
+    }
+
+    #[test]
     fn bad_magic_is_rejected() {
         let err = load_deployed(&b"NOPE............"[..]).unwrap_err();
         assert!(matches!(err, PersistError::BadMagic));
     }
 
     #[test]
-    fn truncated_stream_is_io_error() {
+    fn newer_version_is_distinguished_from_garbage() {
+        let err = load_deployed(&b"DHD2............"[..]).unwrap_err();
+        assert!(
+            matches!(err, PersistError::UnsupportedVersion(b'2')),
+            "{err}"
+        );
+        assert!(err.to_string().contains('2'), "{err}");
+    }
+
+    #[test]
+    fn truncated_stream_names_the_offending_field() {
         let (original, _) = deployed();
         let mut buffer = Vec::new();
         save_deployed(&original, &mut buffer).unwrap();
-        buffer.truncate(buffer.len() / 2);
-        assert!(load_deployed(buffer.as_slice()).is_err());
+
+        // Cut inside the bases payload: header is magic(4) + 4 u32 + 1 f32.
+        let header = 4 + 4 * 4 + 4;
+        let err = load_deployed(&buffer[..header + 10]).unwrap_err();
+        assert!(err.to_string().contains("bases"), "{err}");
+
+        // Cut inside the magic itself.
+        let err = load_deployed(&buffer[..2]).unwrap_err();
+        assert!(err.to_string().contains("magic"), "{err}");
+
+        // Cut inside the trailing memory words.
+        let err = load_deployed(&buffer[..buffer.len() - 3]).unwrap_err();
+        assert!(err.to_string().contains("memory words"), "{err}");
+    }
+
+    #[test]
+    fn inconsistent_word_count_names_the_field() {
+        let (original, _) = deployed();
+        let mut buffer = Vec::new();
+        save_deployed(&original, &mut buffer).unwrap();
+        // The word count lives right before the words; corrupt it.
+        let words = original.memory_parts().as_words().len();
+        let offset = buffer.len() - words * 8 - 4;
+        buffer[offset..offset + 4].copy_from_slice(&(words as u32 + 7).to_le_bytes());
+        let err = load_deployed(buffer.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("memory word count"), "{err}");
     }
 
     #[test]
     fn unsupported_width_is_corrupt() {
         let mut buffer = Vec::new();
-        buffer.extend_from_slice(MAGIC);
+        buffer.extend_from_slice(b"DHD1");
         for v in [4u32, 8, 2, 3] {
             buffer.extend_from_slice(&v.to_le_bytes()); // width bits = 3: invalid
         }
         buffer.extend_from_slice(&1.0f32.to_le_bytes());
         let err = load_deployed(buffer.as_slice()).unwrap_err();
         assert!(matches!(err, PersistError::Corrupt(_)), "{err}");
+        assert!(err.to_string().contains("width bits"), "{err}");
+    }
+
+    #[test]
+    fn forged_giant_header_errors_instead_of_allocating() {
+        // A hostile 21-byte header claiming n = D = u32::MAX must fail with
+        // a named error (overflow or short read) — not panic on capacity
+        // overflow or attempt a multi-gigabyte allocation.
+        let mut buffer = Vec::new();
+        buffer.extend_from_slice(b"DHD1");
+        for v in [u32::MAX, u32::MAX, 3u32, 4] {
+            buffer.extend_from_slice(&v.to_le_bytes());
+        }
+        buffer.extend_from_slice(&1.0f32.to_le_bytes());
+        let err = load_deployed(buffer.as_slice()).unwrap_err();
+        assert!(matches!(err, PersistError::Corrupt(_)), "{err}");
+        // Large-but-representable counts run out of stream, naming the
+        // field, after reading only the bytes that actually exist.
+        let mut buffer = Vec::new();
+        buffer.extend_from_slice(b"DHD1");
+        for v in [1_000_000u32, 1_000_000, 3, 4] {
+            buffer.extend_from_slice(&v.to_le_bytes());
+        }
+        buffer.extend_from_slice(&1.0f32.to_le_bytes());
+        let err = load_deployed(buffer.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("bases"), "{err}");
+    }
+
+    #[test]
+    fn zero_sized_fields_are_named() {
+        let mut buffer = Vec::new();
+        buffer.extend_from_slice(b"DHD1");
+        for v in [5u32, 16, 0, 4] {
+            buffer.extend_from_slice(&v.to_le_bytes()); // k = 0
+        }
+        buffer.extend_from_slice(&1.0f32.to_le_bytes());
+        let err = load_deployed(buffer.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("class count k"), "{err}");
     }
 
     #[test]
     fn persist_error_display() {
         assert!(PersistError::BadMagic.to_string().contains("DHD1"));
         assert!(PersistError::Corrupt("x".into()).to_string().contains('x'));
+        assert!(PersistError::UnsupportedVersion(b'9')
+            .to_string()
+            .contains('9'));
     }
 }

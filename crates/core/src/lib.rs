@@ -39,6 +39,13 @@
 //! assert!(accuracy > 1.0 / 3.0);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! Beyond offline training, the crate covers the full model lifecycle:
+//! [`stream`] adds online learning over streaming mini-batches
+//! ([`DistHd::partial_fit`]), [`DeployedModel`] freezes a trained model at
+//! low precision for the edge, and [`io`] persists deployments in the
+//! versioned `DHD1` binary format that the `disthd_serve` crate loads and
+//! serves.
 
 #![deny(missing_docs)]
 
@@ -46,11 +53,13 @@ mod config;
 mod deploy;
 mod distance;
 pub mod io;
+pub mod stream;
 mod top2;
 mod trainer;
 
 pub use config::{DistHdConfig, WeightParams};
 pub use deploy::DeployedModel;
 pub use distance::{select_undesired_dims, DimensionScores};
+pub use stream::{StreamConfig, StreamStats};
 pub use top2::{categorize, categorize_batch, Top2Outcome};
 pub use trainer::{DistHd, FitReport};

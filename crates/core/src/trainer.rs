@@ -51,12 +51,15 @@ pub struct FitReport {
 /// ```
 #[derive(Debug, Clone)]
 pub struct DistHd {
-    config: DistHdConfig,
-    encoder: RbfEncoder,
-    model: Option<ClassModel>,
-    center: Option<EncodingCenter>,
-    class_count: usize,
-    last_report: Option<FitReport>,
+    pub(crate) config: DistHdConfig,
+    pub(crate) encoder: RbfEncoder,
+    pub(crate) model: Option<ClassModel>,
+    pub(crate) center: Option<EncodingCenter>,
+    pub(crate) class_count: usize,
+    pub(crate) last_report: Option<FitReport>,
+    /// Sliding-window state of the online [`DistHd::partial_fit`] path
+    /// (see [`crate::stream`]); `None` until the first streamed batch.
+    pub(crate) stream: Option<crate::stream::StreamState>,
 }
 
 impl DistHd {
@@ -77,6 +80,7 @@ impl DistHd {
             center: None,
             class_count,
             last_report: None,
+            stream: None,
         }
     }
 
@@ -283,6 +287,10 @@ impl Classifier for DistHd {
         });
         self.model = Some(model);
         self.center = Some(center);
+        // A full batch fit supersedes any in-progress stream: the window
+        // would reference the pre-fit encoder and must not leak into the
+        // next partial_fit call.
+        self.stream = None;
         Ok(history)
     }
 

@@ -1,5 +1,5 @@
 //! DIABETES-flavoured generator: 49 clinical features, 3 classes
-//! (hospital-readmission outcomes of diabetic patients [26]).
+//! (hospital-readmission outcomes of diabetic patients \[26\]).
 //!
 //! The Strack et al. dataset is tabular: demographics, diagnoses,
 //! medication counts — a mix of one-hot categorical indicators and a few

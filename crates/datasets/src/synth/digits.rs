@@ -1,5 +1,5 @@
 //! MNIST-flavoured generator: 784 sparse non-negative "pixel" features,
-//! 10 classes (handwritten-digit recognition [22]).
+//! 10 classes (handwritten-digit recognition \[22\]).
 //!
 //! Real MNIST rows are mostly-zero intensity images in `[0, 1]` where each
 //! digit class occupies a low-dimensional stroke manifold with substantial

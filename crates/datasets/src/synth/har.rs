@@ -1,5 +1,5 @@
 //! UCIHAR-flavoured generator: 561 smartphone-IMU statistical features,
-//! 12 classes (mobile activity recognition [23]).
+//! 12 classes (mobile activity recognition \[23\]).
 //!
 //! UCIHAR features are window statistics (means, deviations, band energies)
 //! of body-worn accelerometer/gyroscope signals.  Activities form smooth,

@@ -1,5 +1,5 @@
 //! ISOLET-flavoured generator: 617 spoken-letter spectral features,
-//! 26 classes (voice recognition [24]).
+//! 26 classes (voice recognition \[24\]).
 //!
 //! ISOLET features are spectral coefficients of isolated spoken letters;
 //! adjacent coefficients are strongly correlated (smooth spectra) and the

@@ -1,5 +1,5 @@
 //! PAMAP2-flavoured generator: 54 IMU features, 5 classes
-//! (physical-activity monitoring [25]).
+//! (physical-activity monitoring \[25\]).
 //!
 //! PAMAP2 rows are heart-rate plus three IMU units (hand/chest/ankle);
 //! compared to UCIHAR the feature count is small, the dataset is very large

@@ -10,6 +10,8 @@
 //! * [`roc`] — ROC curves and AUC (Fig. 6);
 //! * [`timing`] — wall-clock measurement helpers (Fig. 5);
 //! * [`robustness`] — quantize → bit-flip → re-evaluate campaigns (Fig. 8);
+//! * [`stream`] — prequential (test-then-train) accuracy for online
+//!   learners and live serving;
 //! * [`report`] — fixed-width text tables matching the paper's layouts.
 
 #![deny(missing_docs)]
@@ -20,6 +22,7 @@ pub mod report;
 pub mod robustness;
 pub mod roc;
 pub mod stats;
+pub mod stream;
 pub mod timing;
 pub mod topk;
 
@@ -31,5 +34,6 @@ pub use model::{Classifier, EpochRecord, ModelError, TrainingHistory};
 pub use robustness::{QualityLoss, RobustnessPoint};
 pub use roc::{auc, roc_curve, RocPoint};
 pub use stats::{speedup, TrialSummary};
+pub use stream::StreamingAccuracy;
 pub use timing::{time_it, Timed};
 pub use topk::top_k_accuracy;

@@ -1,0 +1,134 @@
+//! Streaming (prequential) accuracy for online learners.
+//!
+//! Offline accuracy over a frozen test split cannot describe an
+//! online-learning deployment, where the model changes between queries.
+//! The standard streaming protocol is *prequential* ("test then train"):
+//! every arriving sample is first scored with the current model, the
+//! prediction is recorded, and only then may the sample update the model.
+//! [`StreamingAccuracy`] accumulates that record — both the lifetime
+//! accuracy and a sliding-window accuracy that tracks recent behaviour
+//! (recovery after drift or a model hot-swap).
+
+use std::collections::VecDeque;
+
+/// Prequential accuracy accumulator with an optional sliding window.
+///
+/// # Example
+///
+/// ```
+/// use disthd_eval::stream::StreamingAccuracy;
+///
+/// let mut acc = StreamingAccuracy::with_window(2);
+/// acc.record(1, 1); // correct
+/// acc.record(0, 1); // wrong
+/// acc.record(1, 1); // correct
+/// assert!((acc.accuracy() - 2.0 / 3.0).abs() < 1e-12);
+/// // The window only sees the last two samples: one wrong, one correct.
+/// assert_eq!(acc.windowed_accuracy(), Some(0.5));
+/// assert_eq!(acc.len(), 3);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct StreamingAccuracy {
+    seen: usize,
+    correct: usize,
+    window: usize,
+    recent: VecDeque<bool>,
+}
+
+impl StreamingAccuracy {
+    /// Creates an accumulator without a sliding window (lifetime accuracy
+    /// only).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an accumulator that additionally tracks accuracy over the
+    /// last `window` samples (`0` disables the window).
+    pub fn with_window(window: usize) -> Self {
+        Self {
+            window,
+            ..Self::default()
+        }
+    }
+
+    /// Records one test-then-train outcome.
+    pub fn record(&mut self, predicted: usize, actual: usize) {
+        let hit = predicted == actual;
+        self.seen += 1;
+        self.correct += usize::from(hit);
+        if self.window > 0 {
+            if self.recent.len() == self.window {
+                self.recent.pop_front();
+            }
+            self.recent.push_back(hit);
+        }
+    }
+
+    /// Number of samples recorded so far.
+    pub fn len(&self) -> usize {
+        self.seen
+    }
+
+    /// Whether no sample has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.seen == 0
+    }
+
+    /// Lifetime prequential accuracy (`0.0` before any sample).
+    pub fn accuracy(&self) -> f64 {
+        if self.seen == 0 {
+            return 0.0;
+        }
+        self.correct as f64 / self.seen as f64
+    }
+
+    /// Accuracy over the sliding window, or `None` when no window was
+    /// configured or nothing has been recorded yet.
+    pub fn windowed_accuracy(&self) -> Option<f64> {
+        if self.window == 0 || self.recent.is_empty() {
+            return None;
+        }
+        let hits = self.recent.iter().filter(|&&h| h).count();
+        Some(hits as f64 / self.recent.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifetime_accuracy_accumulates() {
+        let mut acc = StreamingAccuracy::new();
+        assert!(acc.is_empty());
+        assert_eq!(acc.accuracy(), 0.0);
+        for (p, a) in [(0, 0), (1, 0), (2, 2), (3, 3)] {
+            acc.record(p, a);
+        }
+        assert_eq!(acc.len(), 4);
+        assert!((acc.accuracy() - 0.75).abs() < 1e-12);
+        assert_eq!(acc.windowed_accuracy(), None);
+    }
+
+    #[test]
+    fn window_tracks_recent_samples_only() {
+        let mut acc = StreamingAccuracy::with_window(3);
+        // Three misses, then three hits: lifetime 0.5, window 1.0.
+        for _ in 0..3 {
+            acc.record(0, 1);
+        }
+        for _ in 0..3 {
+            acc.record(1, 1);
+        }
+        assert!((acc.accuracy() - 0.5).abs() < 1e-12);
+        assert_eq!(acc.windowed_accuracy(), Some(1.0));
+    }
+
+    #[test]
+    fn partial_window_divides_by_observed_count() {
+        let mut acc = StreamingAccuracy::with_window(10);
+        acc.record(1, 1);
+        acc.record(0, 1);
+        assert_eq!(acc.windowed_accuracy(), Some(0.5));
+    }
+}

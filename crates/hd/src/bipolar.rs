@@ -3,7 +3,7 @@ use disthd_linalg::SeededRng;
 
 /// A bipolar hypervector with components in `{-1, +1}`.
 ///
-/// Bipolar vectors are the classical HDC representation (Rahimi et al. [6]):
+/// Bipolar vectors are the classical HDC representation (Rahimi et al. \[6\]):
 /// binding is exactly invertible (`(a*b)*b = a`) and similarity reduces to a
 /// scaled Hamming distance.  DistHD uses real hypervectors during training
 /// but quantizes to low precision (including the 1-bit/bipolar extreme) for

@@ -4,7 +4,7 @@ use disthd_linalg::{Matrix, RngSeed, SeededRng, ShapeError};
 
 /// A level–ID binding encoder for quantized features.
 ///
-/// Classical bipolar-HDC encoding (Rahimi et al. [6]): each feature position
+/// Classical bipolar-HDC encoding (Rahimi et al. \[6\]): each feature position
 /// `k` owns a random *ID* hypervector, each quantization level `l` owns a
 /// *level* hypervector, and a sample encodes as
 /// `Σ_k ID_k * LEVEL_{q(f_k)}` where `q` buckets the feature value into one

@@ -6,7 +6,7 @@
 //!
 //! * [`RbfEncoder`] — the paper's nonlinear encoder:
 //!   `h_i = cos(B_i·F + c_i) · sin(B_i·F)` with `B_i ~ N(0,1)^n`,
-//!   `c_i ~ U[0, 2π)` (§III-C, after Rahimi & Recht's random features [21]).
+//!   `c_i ~ U[0, 2π)` (§III-C, after Rahimi & Recht's random features \[21\]).
 //! * [`LinearProjectionEncoder`] — plain random projection `H = B·F`,
 //!   the static encoder of classical HDC.
 //! * [`LevelIdEncoder`] — quantized level/ID binding encoder for

@@ -10,7 +10,7 @@ use disthd_linalg::{Gaussian, Matrix, RngSeed, SeededRng, ShapeError, Uniform};
 /// h_i = cos(B_i · F + c_i) · sin(B_i · F)
 /// ```
 ///
-/// which approximates an RBF kernel feature map (Rahimi & Recht [21]) and
+/// which approximates an RBF kernel feature map (Rahimi & Recht \[21\]) and
 /// captures non-linear feature interactions.  Batch encoding is a single
 /// matrix product followed by the element-wise trigonometric map.
 ///

@@ -1,4 +1,4 @@
-//! Associative item memory — the classic HDC lookup structure [20].
+//! Associative item memory — the classic HDC lookup structure \[20\].
 //!
 //! An item memory stores named hypervectors and answers nearest-neighbour
 //! queries by similarity.  HDC systems use it for symbol tables (level/ID

@@ -88,6 +88,43 @@ impl ClassModel {
         }
     }
 
+    /// Replaces the class matrix in place — the hot-swap entry point.
+    ///
+    /// A live server periodically receives a freshly retrained (or freshly
+    /// dequantized) class memory; this swaps it in without rebuilding the
+    /// model value, and the normalized caches refresh lazily on the next
+    /// query, so readers never observe a half-normalized state.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use disthd_hd::ClassModel;
+    /// use disthd_linalg::Matrix;
+    ///
+    /// let mut model = ClassModel::new(2, 2);
+    /// model.bundle_into(0, &[1.0, 0.0]);
+    /// model.bundle_into(1, &[0.0, 1.0]);
+    /// // Retraining swapped the winning directions.
+    /// let retrained = Matrix::from_rows(&[vec![0.0, 2.0], vec![2.0, 0.0]])?;
+    /// model.set_classes(retrained);
+    /// assert_eq!(model.predict(&[1.0, 0.0]), 1);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes` does not match the model's `(class_count, dim)`
+    /// shape — a swap may change weights, never topology.
+    pub fn set_classes(&mut self, classes: Matrix) {
+        assert_eq!(
+            classes.shape(),
+            self.classes.shape(),
+            "hot-swap must preserve the (classes, dim) shape"
+        );
+        self.classes = classes;
+        self.normalized_dirty = true;
+    }
+
     /// Number of classes `k`.
     pub fn class_count(&self) -> usize {
         self.classes.rows()
@@ -395,6 +432,24 @@ mod tests {
         assert_eq!(top.len(), 3);
         assert_eq!(top[0].class, 0);
         assert!(top[0].score >= top[1].score && top[1].score >= top[2].score);
+    }
+
+    #[test]
+    fn set_classes_swaps_weights_and_invalidates_caches() {
+        let mut m = two_class_model();
+        m.prepare_inference();
+        assert_eq!(m.predict(&[1.0, 0.0, 0.0, 0.0]), 0);
+        let swapped =
+            Matrix::from_rows(&[vec![0.0, 1.0, 0.0, 0.0], vec![1.0, 0.0, 0.0, 0.0]]).unwrap();
+        m.set_classes(swapped);
+        assert_eq!(m.predict(&[1.0, 0.0, 0.0, 0.0]), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "hot-swap must preserve")]
+    fn set_classes_rejects_shape_change() {
+        let mut m = two_class_model();
+        m.set_classes(Matrix::zeros(3, 4));
     }
 
     #[test]

@@ -115,6 +115,53 @@ impl Matrix {
         })
     }
 
+    /// Builds a matrix from borrowed row slices — the queue-friendly batch
+    /// assembler.
+    ///
+    /// A request-batching server accumulates queries as independent slices
+    /// (one per pending request) and must coalesce them into one contiguous
+    /// row-major batch before the encode GEMM.  This constructor performs
+    /// exactly that gather with a single allocation and no per-row `Vec`
+    /// intermediaries, unlike [`Matrix::from_rows`].
+    ///
+    /// `cols` is explicit so an empty queue still produces a matrix of the
+    /// correct width (a `0 × cols` flush is a valid no-op batch).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use disthd_linalg::Matrix;
+    ///
+    /// let queued: Vec<Vec<f32>> = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+    /// let refs: Vec<&[f32]> = queued.iter().map(Vec::as_slice).collect();
+    /// let batch = Matrix::from_row_slices(2, &refs)?;
+    /// assert_eq!(batch.shape(), (2, 2));
+    /// assert_eq!(batch.row(1), &[3.0, 4.0]);
+    /// # Ok::<(), disthd_linalg::ShapeError>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if any row's length differs from `cols`.
+    pub fn from_row_slices(cols: usize, rows: &[&[f32]]) -> Result<Self, ShapeError> {
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for row in rows {
+            if row.len() != cols {
+                return Err(ShapeError::new(
+                    "from_row_slices",
+                    (rows.len(), cols),
+                    (1, row.len()),
+                ));
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(Self {
+            rows: rows.len(),
+            cols,
+            data,
+        })
+    }
+
     /// Builds a matrix from a flat row-major buffer.
     ///
     /// # Errors
@@ -247,6 +294,18 @@ impl Matrix {
     /// inner loop.  Accumulation order per element is ascending over the
     /// inner dimension regardless of blocking or thread count, so results
     /// are **bit-identical** on 1 or N threads.
+    ///
+    /// ## Epilogue contract
+    ///
+    /// The epilogue is called **exactly once per output element**, with
+    /// the element's *column* index and its fully accumulated value —
+    /// including the empty sum `0.0` when the inner dimension is zero.
+    /// It must be a pure function of `(column, value)`: it runs
+    /// concurrently from worker threads (hence the `Sync` bound) and its
+    /// invocation *order* across elements is unspecified, so any
+    /// side-channel state would break the bit-determinism guarantee.  Row
+    /// identity is deliberately not provided — an epilogue that needs it
+    /// would make chunk assignment observable.
     ///
     /// # Errors
     ///
@@ -541,6 +600,29 @@ mod tests {
     fn from_vec_validates_length() {
         assert!(Matrix::from_vec(2, 2, vec![0.0; 3]).is_err());
         assert!(Matrix::from_vec(2, 2, vec![0.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn from_row_slices_gathers_queued_rows() {
+        let m = sample();
+        let refs: Vec<&[f32]> = vec![m.row(1), m.row(0), m.row(1)];
+        let gathered = Matrix::from_row_slices(3, &refs).unwrap();
+        assert_eq!(gathered.shape(), (3, 3));
+        assert_eq!(gathered.row(0), m.row(1));
+        assert_eq!(gathered.row(1), m.row(0));
+    }
+
+    #[test]
+    fn from_row_slices_empty_keeps_width() {
+        let empty = Matrix::from_row_slices(5, &[]).unwrap();
+        assert_eq!(empty.shape(), (0, 5));
+    }
+
+    #[test]
+    fn from_row_slices_rejects_ragged_input() {
+        let short = [0.0f32; 2];
+        let err = Matrix::from_row_slices(3, &[&short]).unwrap_err();
+        assert_eq!(err.op(), "from_row_slices");
     }
 
     #[test]

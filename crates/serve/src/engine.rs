@@ -1,0 +1,334 @@
+//! The request-batching engine: coalesce single queries into batched GEMMs.
+
+use disthd::io::PersistError;
+use disthd::DeployedModel;
+use disthd_eval::ModelError;
+use disthd_hd::encoder::Encoder;
+use disthd_hd::quantize::QuantizedMatrix;
+use disthd_linalg::Matrix;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// The latency-vs-throughput knob of the serving layer.
+///
+/// `max_batch` is the **batch window**: how many queries the engine
+/// accumulates before it runs one batched encode + similarity pass.  A
+/// window of 1 is classic one-at-a-time serving (lowest per-query latency,
+/// lowest throughput); larger windows amortize each pass over more queries
+/// and multiply throughput at the cost of queueing delay.  `max_wait` only
+/// matters to the threaded [`crate::Server`]: it bounds how long a partial
+/// batch may wait for company before it is flushed anyway.
+///
+/// # Example
+///
+/// ```
+/// use disthd_serve::BatchPolicy;
+/// use std::time::Duration;
+///
+/// let throughput_oriented = BatchPolicy::window(64);
+/// assert_eq!(throughput_oriented.max_batch, 64);
+/// // Default: a moderate window with a 1 ms patience cap.
+/// assert_eq!(BatchPolicy::default().max_batch, 32);
+/// assert_eq!(BatchPolicy::default().max_wait, Duration::from_millis(1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Maximum queries coalesced into one batched pass (≥ 1).
+    pub max_batch: usize,
+    /// Upper bound a partial batch waits for more arrivals before being
+    /// flushed ([`crate::Server`] only; the synchronous engine flushes on
+    /// demand).
+    pub max_wait: Duration,
+}
+
+impl BatchPolicy {
+    /// Policy with the given batch window and the default 1 ms patience.
+    pub fn window(max_batch: usize) -> Self {
+        Self {
+            max_batch: max_batch.max(1),
+            ..Self::default()
+        }
+    }
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        Self {
+            max_batch: 32,
+            max_wait: Duration::from_millis(1),
+        }
+    }
+}
+
+/// Claim check for a submitted query; redeem it with
+/// [`ServeEngine::try_take`] after a flush.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ticket(u64);
+
+/// Lifetime counters of a [`ServeEngine`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Queries answered so far.
+    pub served: u64,
+    /// Batched passes executed (each one encode GEMM + one similarity
+    /// GEMM).
+    pub flushes: u64,
+}
+
+/// A synchronous request-batching inference engine over a
+/// [`DeployedModel`].
+///
+/// Queries are [`ServeEngine::submit`]ted individually and accumulate in a
+/// queue; when the queue reaches the [`BatchPolicy::max_batch`] window (or
+/// on an explicit [`ServeEngine::flush`]) the engine gathers them into one
+/// contiguous batch and answers them all through
+/// [`DeployedModel::predict_batch`].  Because the compute backend
+/// evaluates every batch row independently and deterministically, a
+/// query's prediction is **bit-identical whatever batch it happens to
+/// share** — batching changes throughput, never answers.
+///
+/// # Example
+///
+/// ```
+/// use disthd_serve::{BatchPolicy, ServeEngine};
+///
+/// let deployment = disthd_serve::testkit::tiny_deployment();
+/// let mut engine = ServeEngine::new(deployment, BatchPolicy::window(4));
+///
+/// // Submit three queries; nothing is computed until the window fills or
+/// // someone flushes.
+/// let queries = disthd_serve::testkit::tiny_queries(3);
+/// let tickets: Vec<_> = queries
+///     .iter()
+///     .map(|q| engine.submit(q))
+///     .collect::<Result<_, _>>()?;
+/// assert_eq!(engine.pending_len(), 3);
+/// engine.flush()?;
+/// for t in &tickets {
+///     assert!(engine.try_take(*t).is_some());
+/// }
+/// assert_eq!(engine.stats().flushes, 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct ServeEngine {
+    model: DeployedModel,
+    policy: BatchPolicy,
+    pending: Vec<(Ticket, Vec<f32>)>,
+    ready: HashMap<Ticket, usize>,
+    next_ticket: u64,
+    stats: EngineStats,
+}
+
+impl ServeEngine {
+    /// Wraps a deployed model in a batching engine.
+    pub fn new(model: DeployedModel, policy: BatchPolicy) -> Self {
+        Self {
+            model,
+            policy: BatchPolicy {
+                max_batch: policy.max_batch.max(1),
+                max_wait: policy.max_wait,
+            },
+            pending: Vec::new(),
+            ready: HashMap::new(),
+            next_ticket: 0,
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// Loads a `DHD1` deployment stream (see [`disthd::io`]) straight into
+    /// an engine — the serving entry point for a persisted artifact.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use disthd_serve::{BatchPolicy, ServeEngine};
+    ///
+    /// let deployment = disthd_serve::testkit::tiny_deployment();
+    /// let mut bytes = Vec::new();
+    /// disthd::io::save_deployed(&deployment, &mut bytes)?;
+    /// let mut engine = ServeEngine::load(bytes.as_slice(), BatchPolicy::default())?;
+    /// let query = disthd_serve::testkit::tiny_queries(1).remove(0);
+    /// let class = engine.predict_one(&query)?;
+    /// assert!(class < engine.model().class_count());
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PersistError`] from the model loader.
+    pub fn load<R: std::io::Read>(reader: R, policy: BatchPolicy) -> Result<Self, PersistError> {
+        Ok(Self::new(disthd::io::load_deployed(reader)?, policy))
+    }
+
+    /// The active batching policy.
+    pub fn policy(&self) -> BatchPolicy {
+        self.policy
+    }
+
+    /// Borrows the underlying deployment (for metadata queries).
+    pub fn model(&self) -> &DeployedModel {
+        &self.model
+    }
+
+    /// Feature arity queries must have.
+    pub fn feature_dim(&self) -> usize {
+        self.model.encoder_parts().input_dim()
+    }
+
+    /// Number of queries waiting for the next flush.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Queues one query, flushing automatically when the queue reaches the
+    /// batch window.  The returned [`Ticket`] redeems the prediction via
+    /// [`ServeEngine::try_take`] once a flush has run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Incompatible`] for a wrong-arity query
+    /// (rejected up front, so a malformed request cannot poison the batch
+    /// it would have joined), or any error from an automatic flush.
+    pub fn submit(&mut self, features: &[f32]) -> Result<Ticket, ModelError> {
+        if features.len() != self.feature_dim() {
+            return Err(ModelError::Incompatible(format!(
+                "query has {} features, model expects {}",
+                features.len(),
+                self.feature_dim()
+            )));
+        }
+        let ticket = Ticket(self.next_ticket);
+        self.next_ticket += 1;
+        self.pending.push((ticket, features.to_vec()));
+        if self.pending.len() >= self.policy.max_batch {
+            self.flush()?;
+        }
+        Ok(ticket)
+    }
+
+    /// Answers every pending query in one batched pass; returns how many
+    /// were served.  A flush with an empty queue is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel shape errors (impossible for queries accepted by
+    /// [`ServeEngine::submit`]).
+    pub fn flush(&mut self) -> Result<usize, ModelError> {
+        if self.pending.is_empty() {
+            return Ok(0);
+        }
+        let served = self.pending.len();
+        let batch = {
+            let rows: Vec<&[f32]> = self.pending.iter().map(|(_, q)| q.as_slice()).collect();
+            Matrix::from_row_slices(self.feature_dim(), &rows)?
+        };
+        let predictions = self.model.predict_batch(&batch)?;
+        for ((ticket, _), class) in self.pending.drain(..).zip(predictions) {
+            self.ready.insert(ticket, class);
+        }
+        self.stats.served += served as u64;
+        self.stats.flushes += 1;
+        Ok(served)
+    }
+
+    /// Redeems a ticket: `Some(class)` once the query's batch has been
+    /// flushed, `None` while it is still queued (or for an unknown
+    /// ticket).  Each ticket redeems at most once.
+    pub fn try_take(&mut self, ticket: Ticket) -> Option<usize> {
+        self.ready.remove(&ticket)
+    }
+
+    /// One-at-a-time serving: submit, flush, take.  This is the latency
+    /// path the throughput benchmark compares batched windows against.
+    ///
+    /// # Errors
+    ///
+    /// See [`ServeEngine::submit`].
+    pub fn predict_one(&mut self, features: &[f32]) -> Result<usize, ModelError> {
+        let ticket = self.submit(features)?;
+        self.flush()?;
+        Ok(self
+            .try_take(ticket)
+            .expect("flush answers every pending ticket"))
+    }
+
+    /// Streams every row of `queries` through the batching queue in order
+    /// (auto-flushing at the batch window) and returns the predictions in
+    /// row order — the bulk entry point the benchmark and tests use.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use disthd_serve::{BatchPolicy, ServeEngine};
+    /// use disthd_linalg::Matrix;
+    ///
+    /// let deployment = disthd_serve::testkit::tiny_deployment();
+    /// let queries = disthd_serve::testkit::tiny_queries(10);
+    /// let refs: Vec<&[f32]> = queries.iter().map(Vec::as_slice).collect();
+    /// let batch = Matrix::from_row_slices(queries[0].len(), &refs)?;
+    ///
+    /// // Predictions are identical at every batch window.
+    /// let mut narrow = ServeEngine::new(deployment.clone(), BatchPolicy::window(1));
+    /// let mut wide = ServeEngine::new(deployment, BatchPolicy::window(8));
+    /// assert_eq!(narrow.serve_all(&batch)?, wide.serve_all(&batch)?);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// See [`ServeEngine::submit`].
+    pub fn serve_all(&mut self, queries: &Matrix) -> Result<Vec<usize>, ModelError> {
+        let mut tickets = Vec::with_capacity(queries.rows());
+        for r in 0..queries.rows() {
+            tickets.push(self.submit(queries.row(r))?);
+        }
+        self.flush()?;
+        Ok(tickets
+            .into_iter()
+            .map(|t| {
+                self.try_take(t)
+                    .expect("flush answers every pending ticket")
+            })
+            .collect())
+    }
+
+    /// Hot-swaps the quantized class memory of the live deployment (see
+    /// [`DeployedModel::swap_class_memory`]).  Pending queries are flushed
+    /// *first*, so every query is answered by the model that was live when
+    /// it entered the queue.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flush errors and shape-mismatch rejections.
+    pub fn swap_class_memory(&mut self, memory: QuantizedMatrix) -> Result<(), ModelError> {
+        self.flush()?;
+        self.model.swap_class_memory(memory)
+    }
+
+    /// Replaces the whole deployment (the rollback path — see
+    /// [`crate::SnapshotStore`]).  Pending queries are flushed first, and
+    /// the replacement must serve the same feature arity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Incompatible`] if `model` expects a different
+    /// feature arity than the live deployment.
+    pub fn install_model(&mut self, model: DeployedModel) -> Result<(), ModelError> {
+        if model.encoder_parts().input_dim() != self.feature_dim() {
+            return Err(ModelError::Incompatible(format!(
+                "replacement expects {} features, live model serves {}",
+                model.encoder_parts().input_dim(),
+                self.feature_dim()
+            )));
+        }
+        self.flush()?;
+        self.model = model;
+        Ok(())
+    }
+}

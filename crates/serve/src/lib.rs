@@ -1,0 +1,294 @@
+//! # disthd-serve
+//!
+//! Streaming inference and online-learning serving layer for the DistHD
+//! reproduction — the request path between a persisted `DHD1` model
+//! artifact and live classification traffic.
+//!
+//! * [`ServeEngine`] — a synchronous **request-batching engine**: single
+//!   queries accumulate in a queue and are answered together through one
+//!   batched encode GEMM + one similarity GEMM on the deterministic
+//!   compute backend.  Predictions are bit-identical at every batch
+//!   window; only throughput changes.
+//! * [`BatchPolicy`] — the latency-vs-throughput knob (batch window +
+//!   patience bound).
+//! * [`Server`] / [`ServerClient`] — a worker thread that owns the engine
+//!   and coalesces *concurrent* client queries, with hot-swap of the
+//!   quantized class memory between batches (pair with
+//!   [`disthd::DistHd::partial_fit`] for online learning behind a live
+//!   server).
+//! * [`SnapshotStore`] — bounded, versioned `DHD1` snapshots with
+//!   restore/rollback.
+//!
+//! ## Serving quickstart
+//!
+//! ```
+//! use disthd_serve::{BatchPolicy, ServeEngine, SnapshotStore};
+//!
+//! // In production the artifact comes off disk or the network; here we
+//! // train a tiny one.
+//! let deployment = disthd_serve::testkit::tiny_deployment();
+//! let mut snapshots = SnapshotStore::new(8);
+//! let v0 = snapshots.push(&deployment)?;
+//!
+//! // Batch window 32: up to 32 queries share each batched pass.
+//! let mut engine = ServeEngine::new(deployment, BatchPolicy::window(32));
+//! for query in disthd_serve::testkit::tiny_queries(100) {
+//!     let _class = engine.predict_one(&query)?;
+//! }
+//! assert_eq!(engine.stats().served, 100);
+//!
+//! // Roll back to the snapshot if an online update misbehaves.
+//! engine.install_model(snapshots.restore(v0)?)?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! The serving workload is measured by `cargo run --release -p
+//! disthd_bench --bin serve_throughput` (queries/sec vs batch window;
+//! results in `BENCH_serve.json`), and `examples/streaming_serving.rs`
+//! walks the full serve → stream → hot-swap → rollback lifecycle.
+
+#![deny(missing_docs)]
+
+mod engine;
+mod server;
+mod snapshot;
+
+pub use engine::{BatchPolicy, EngineStats, ServeEngine, Ticket};
+pub use server::{ServeError, Server, ServerClient};
+pub use snapshot::{SnapshotError, SnapshotStore};
+
+/// Tiny trained artifacts for doc-tests and examples.
+///
+/// Not part of the serving API — the helpers train a miniature model so
+/// every example in this crate is runnable and fast.
+pub mod testkit {
+    use disthd::{DeployedModel, DistHd, DistHdConfig};
+    use disthd_datasets::suite::{PaperDataset, SuiteConfig};
+    use disthd_eval::Classifier;
+    use disthd_hd::quantize::BitWidth;
+
+    /// Trains a miniature Diabetes model and freezes it at 8 bits.
+    pub fn tiny_deployment() -> DeployedModel {
+        let data = PaperDataset::Diabetes
+            .generate(&SuiteConfig::at_scale(0.001))
+            .expect("synthetic dataset generation is infallible at this scale");
+        let mut model = DistHd::new(
+            DistHdConfig {
+                dim: 128,
+                epochs: 3,
+                patience: None,
+                ..Default::default()
+            },
+            data.train.feature_dim(),
+            data.train.class_count(),
+        );
+        model.fit(&data.train, None).expect("tiny fit");
+        DeployedModel::freeze(&model, BitWidth::B8).expect("freeze fitted model")
+    }
+
+    /// `n` query feature vectors matching [`tiny_deployment`]'s arity.
+    pub fn tiny_queries(n: usize) -> Vec<Vec<f32>> {
+        let data = PaperDataset::Diabetes
+            .generate(&SuiteConfig::at_scale(0.001))
+            .expect("synthetic dataset generation is infallible at this scale");
+        (0..n)
+            .map(|i| data.test.sample(i % data.test.len()).to_vec())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disthd_hd::quantize::{BitWidth, QuantizedMatrix};
+    use disthd_linalg::Matrix;
+
+    fn queries_matrix(n: usize) -> Matrix {
+        let queries = testkit::tiny_queries(n);
+        let refs: Vec<&[f32]> = queries.iter().map(Vec::as_slice).collect();
+        Matrix::from_row_slices(queries[0].len(), &refs).unwrap()
+    }
+
+    #[test]
+    fn batched_predictions_are_bit_identical_across_windows() {
+        let deployment = testkit::tiny_deployment();
+        let queries = queries_matrix(97);
+        let baseline = ServeEngine::new(deployment.clone(), BatchPolicy::window(1))
+            .serve_all(&queries)
+            .unwrap();
+        for window in [2usize, 8, 32, 128] {
+            let served = ServeEngine::new(deployment.clone(), BatchPolicy::window(window))
+                .serve_all(&queries)
+                .unwrap();
+            assert_eq!(baseline, served, "window {window}");
+        }
+    }
+
+    #[test]
+    fn submit_auto_flushes_at_the_window() {
+        let mut engine = ServeEngine::new(testkit::tiny_deployment(), BatchPolicy::window(3));
+        let queries = testkit::tiny_queries(3);
+        let t0 = engine.submit(&queries[0]).unwrap();
+        assert_eq!(engine.pending_len(), 1);
+        assert_eq!(engine.try_take(t0), None, "not flushed yet");
+        engine.submit(&queries[1]).unwrap();
+        engine.submit(&queries[2]).unwrap();
+        assert_eq!(engine.pending_len(), 0, "window filled, auto-flush");
+        assert!(engine.try_take(t0).is_some());
+        assert_eq!(engine.try_take(t0), None, "tickets redeem once");
+        assert_eq!(engine.stats().flushes, 1);
+    }
+
+    #[test]
+    fn malformed_query_is_rejected_without_poisoning_the_queue() {
+        let mut engine = ServeEngine::new(testkit::tiny_deployment(), BatchPolicy::window(4));
+        let good = testkit::tiny_queries(1).remove(0);
+        let t = engine.submit(&good).unwrap();
+        assert!(engine.submit(&[1.0, 2.0]).is_err());
+        engine.flush().unwrap();
+        assert!(engine.try_take(t).is_some());
+    }
+
+    #[test]
+    fn engine_round_trips_through_dhd1() {
+        let deployment = testkit::tiny_deployment();
+        let mut bytes = Vec::new();
+        disthd::io::save_deployed(&deployment, &mut bytes).unwrap();
+        let mut loaded = ServeEngine::load(bytes.as_slice(), BatchPolicy::window(16)).unwrap();
+        let mut direct = ServeEngine::new(deployment, BatchPolicy::window(16));
+        let queries = queries_matrix(20);
+        assert_eq!(
+            loaded.serve_all(&queries).unwrap(),
+            direct.serve_all(&queries).unwrap()
+        );
+    }
+
+    #[test]
+    fn hot_swap_answers_queued_queries_with_the_old_memory() {
+        let deployment = testkit::tiny_deployment();
+        let k = deployment.class_count();
+        let dim = deployment.memory_parts().shape().1;
+        let mut engine = ServeEngine::new(deployment, BatchPolicy::window(64));
+        let queries = testkit::tiny_queries(5);
+        let tickets: Vec<_> = queries.iter().map(|q| engine.submit(q).unwrap()).collect();
+        let old_served: Vec<usize> = {
+            let mut reference =
+                ServeEngine::new(testkit::tiny_deployment(), BatchPolicy::window(1));
+            queries
+                .iter()
+                .map(|q| reference.predict_one(q).unwrap())
+                .collect()
+        };
+        // Degenerate memory that maps everything to one class.
+        let constant = QuantizedMatrix::quantize(&Matrix::filled(k, dim, 1.0), BitWidth::B8);
+        engine.swap_class_memory(constant).unwrap();
+        for (t, expected) in tickets.iter().zip(&old_served) {
+            assert_eq!(engine.try_take(*t), Some(*expected));
+        }
+        // New queries see the swapped (constant) memory: every class row is
+        // identical, so argmax resolves to class 0.
+        assert_eq!(engine.predict_one(&queries[0]).unwrap(), 0);
+    }
+
+    #[test]
+    fn install_model_rejects_arity_mismatch() {
+        let mut engine = ServeEngine::new(testkit::tiny_deployment(), BatchPolicy::default());
+        let data = disthd_datasets::suite::PaperDataset::Pamap2
+            .generate(&disthd_datasets::suite::SuiteConfig::at_scale(0.001))
+            .unwrap();
+        let mut other = disthd::DistHd::new(
+            disthd::DistHdConfig {
+                dim: 128,
+                epochs: 2,
+                patience: None,
+                ..Default::default()
+            },
+            data.train.feature_dim(),
+            data.train.class_count(),
+        );
+        disthd_eval::Classifier::fit(&mut other, &data.train, None).unwrap();
+        let other = disthd::DeployedModel::freeze(&other, BitWidth::B8).unwrap();
+        assert!(engine.install_model(other).is_err());
+    }
+
+    #[test]
+    fn server_serves_concurrent_clients_and_shuts_down_cleanly() {
+        let server = Server::spawn(ServeEngine::new(
+            testkit::tiny_deployment(),
+            BatchPolicy::window(8),
+        ));
+        let queries = testkit::tiny_queries(24);
+        let mut expected = ServeEngine::new(testkit::tiny_deployment(), BatchPolicy::window(1));
+        let answers: Vec<usize> = std::thread::scope(|s| {
+            let handles: Vec<_> = queries
+                .iter()
+                .map(|q| {
+                    let client = server.client();
+                    s.spawn(move || client.predict(q).unwrap())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (q, a) in queries.iter().zip(&answers) {
+            assert_eq!(expected.predict_one(q).unwrap(), *a);
+        }
+        let engine = server.shutdown();
+        assert_eq!(engine.stats().served, 24);
+        // Clients created before shutdown observe the disconnect.
+    }
+
+    #[test]
+    fn dead_server_reports_disconnected() {
+        let server = Server::spawn(ServeEngine::new(
+            testkit::tiny_deployment(),
+            BatchPolicy::default(),
+        ));
+        let client = server.client();
+        server.shutdown();
+        let q = testkit::tiny_queries(1).remove(0);
+        assert!(matches!(client.predict(&q), Err(ServeError::Disconnected)));
+    }
+
+    #[test]
+    fn snapshot_store_evicts_oldest_and_restores_exact_bytes() {
+        let deployment = testkit::tiny_deployment();
+        let mut store = SnapshotStore::new(2);
+        let v0 = store.push(&deployment).unwrap();
+        let v1 = store.push(&deployment).unwrap();
+        let v2 = store.push(&deployment).unwrap();
+        assert_eq!(store.versions(), vec![v1, v2]);
+        assert!(matches!(
+            store.restore(v0),
+            Err(SnapshotError::UnknownVersion(0))
+        ));
+        let restored = store.restore(v2).unwrap();
+        assert_eq!(restored.class_count(), deployment.class_count());
+        assert!(store.bytes(v2).is_some());
+        assert_eq!(store.len(), 2);
+        assert!(!store.is_empty());
+    }
+
+    #[test]
+    fn rollback_through_server_restores_old_behaviour() {
+        let deployment = testkit::tiny_deployment();
+        let k = deployment.class_count();
+        let dim = deployment.memory_parts().shape().1;
+        let mut store = SnapshotStore::new(4);
+        let v0 = store.push(&deployment).unwrap();
+
+        let server = Server::spawn(ServeEngine::new(deployment, BatchPolicy::window(4)));
+        let client = server.client();
+        let q = testkit::tiny_queries(1).remove(0);
+        let before = client.predict(&q).unwrap();
+
+        // Bad update: constant memory collapses every answer to class 0.
+        let constant = QuantizedMatrix::quantize(&Matrix::filled(k, dim, 1.0), BitWidth::B8);
+        client.swap_class_memory(constant).unwrap();
+        assert_eq!(client.predict(&q).unwrap(), 0);
+
+        // Roll back to the snapshot.
+        client.install_model(store.restore(v0).unwrap()).unwrap();
+        assert_eq!(client.predict(&q).unwrap(), before);
+        server.shutdown();
+    }
+}

@@ -1,0 +1,281 @@
+//! A live, thread-backed server around the batching engine.
+
+use crate::engine::{ServeEngine, Ticket};
+use disthd::DeployedModel;
+use disthd_eval::ModelError;
+use disthd_hd::quantize::QuantizedMatrix;
+use std::error::Error;
+use std::fmt;
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Errors surfaced to serving clients.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The model rejected or failed the request.
+    Model(ModelError),
+    /// The server worker is gone (shut down or panicked).
+    Disconnected,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Model(e) => write!(f, "serving failed: {e}"),
+            ServeError::Disconnected => write!(f, "server is no longer running"),
+        }
+    }
+}
+
+impl Error for ServeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServeError::Model(e) => Some(e),
+            ServeError::Disconnected => None,
+        }
+    }
+}
+
+impl From<ModelError> for ServeError {
+    fn from(e: ModelError) -> Self {
+        ServeError::Model(e)
+    }
+}
+
+enum Request {
+    Predict {
+        features: Vec<f32>,
+        reply: Sender<Result<usize, ModelError>>,
+    },
+    Swap {
+        memory: QuantizedMatrix,
+        reply: Sender<Result<(), ModelError>>,
+    },
+    Install {
+        model: Box<DeployedModel>,
+        reply: Sender<Result<(), ModelError>>,
+    },
+    Shutdown,
+}
+
+/// A cloneable, `Send` handle for submitting requests to a [`Server`].
+#[derive(Clone)]
+pub struct ServerClient {
+    sender: Sender<Request>,
+}
+
+impl ServerClient {
+    /// Classifies one feature vector, blocking until the coalesced batch
+    /// containing it has been served.
+    ///
+    /// # Errors
+    ///
+    /// * [`ServeError::Model`] if the query is malformed;
+    /// * [`ServeError::Disconnected`] if the server has shut down.
+    pub fn predict(&self, features: &[f32]) -> Result<usize, ServeError> {
+        let (tx, rx) = mpsc::channel();
+        self.sender
+            .send(Request::Predict {
+                features: features.to_vec(),
+                reply: tx,
+            })
+            .map_err(|_| ServeError::Disconnected)?;
+        rx.recv()
+            .map_err(|_| ServeError::Disconnected)?
+            .map_err(ServeError::Model)
+    }
+
+    /// Hot-swaps the quantized class memory of the live model.  In-flight
+    /// queries are flushed against the old memory first; every query after
+    /// this call returns is answered by the new memory.
+    ///
+    /// # Errors
+    ///
+    /// * [`ServeError::Model`] on a topology mismatch;
+    /// * [`ServeError::Disconnected`] if the server has shut down.
+    pub fn swap_class_memory(&self, memory: QuantizedMatrix) -> Result<(), ServeError> {
+        let (tx, rx) = mpsc::channel();
+        self.sender
+            .send(Request::Swap { memory, reply: tx })
+            .map_err(|_| ServeError::Disconnected)?;
+        rx.recv()
+            .map_err(|_| ServeError::Disconnected)?
+            .map_err(ServeError::Model)
+    }
+
+    /// Replaces the whole live deployment (the rollback path; pair with
+    /// [`crate::SnapshotStore::restore`]).
+    ///
+    /// # Errors
+    ///
+    /// * [`ServeError::Model`] on a feature-arity mismatch;
+    /// * [`ServeError::Disconnected`] if the server has shut down.
+    pub fn install_model(&self, model: DeployedModel) -> Result<(), ServeError> {
+        let (tx, rx) = mpsc::channel();
+        self.sender
+            .send(Request::Install {
+                model: Box::new(model),
+                reply: tx,
+            })
+            .map_err(|_| ServeError::Disconnected)?;
+        rx.recv()
+            .map_err(|_| ServeError::Disconnected)?
+            .map_err(ServeError::Model)
+    }
+}
+
+/// A live classification server: one worker thread that owns a
+/// [`ServeEngine`] and coalesces concurrent client queries into batches.
+///
+/// The worker accumulates arriving queries until the policy's batch window
+/// fills or [`BatchPolicy::max_wait`](crate::BatchPolicy) elapses with a
+/// partial batch, then answers the whole batch in one pass.  Clients block
+/// only for their own answer.
+///
+/// # Example
+///
+/// ```
+/// use disthd_serve::{BatchPolicy, ServeEngine, Server};
+///
+/// let deployment = disthd_serve::testkit::tiny_deployment();
+/// let server = Server::spawn(ServeEngine::new(deployment, BatchPolicy::window(4)));
+///
+/// // Concurrent clients: each thread fires queries at the shared server.
+/// let queries = disthd_serve::testkit::tiny_queries(8);
+/// let classes: Vec<usize> = std::thread::scope(|s| {
+///     let handles: Vec<_> = queries
+///         .iter()
+///         .map(|q| {
+///             let client = server.client();
+///             s.spawn(move || client.predict(q).expect("server alive"))
+///         })
+///         .collect();
+///     handles.into_iter().map(|h| h.join().unwrap()).collect()
+/// });
+/// assert_eq!(classes.len(), 8);
+///
+/// let engine = server.shutdown();
+/// assert_eq!(engine.stats().served, 8);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct Server {
+    sender: Sender<Request>,
+    worker: JoinHandle<ServeEngine>,
+}
+
+impl Server {
+    /// Starts the worker thread and takes ownership of the engine.
+    pub fn spawn(engine: ServeEngine) -> Self {
+        let (sender, receiver) = mpsc::channel();
+        let worker = std::thread::spawn(move || run_worker(engine, receiver));
+        Self { sender, worker }
+    }
+
+    /// Creates a client handle; clients are cheap to clone and `Send`, so
+    /// every request thread can own one.
+    pub fn client(&self) -> ServerClient {
+        ServerClient {
+            sender: self.sender.clone(),
+        }
+    }
+
+    /// Stops the worker after it has flushed and answered every queued
+    /// query, returning the engine (and its lifetime stats).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the worker thread itself panicked.
+    pub fn shutdown(self) -> ServeEngine {
+        let _ = self.sender.send(Request::Shutdown);
+        drop(self.sender);
+        self.worker.join().expect("serve worker panicked")
+    }
+}
+
+/// Answers every outstanding ticket whose batch has been flushed.
+fn deliver(
+    engine: &mut ServeEngine,
+    outstanding: &mut Vec<(Ticket, Sender<Result<usize, ModelError>>)>,
+) {
+    outstanding.retain(|(ticket, reply)| match engine.try_take(*ticket) {
+        Some(class) => {
+            let _ = reply.send(Ok(class));
+            false
+        }
+        None => true,
+    });
+}
+
+fn flush_and_deliver(
+    engine: &mut ServeEngine,
+    outstanding: &mut Vec<(Ticket, Sender<Result<usize, ModelError>>)>,
+) {
+    // Shape errors cannot reach flush: submit validated every query.
+    let _ = engine.flush();
+    deliver(engine, outstanding);
+}
+
+fn run_worker(mut engine: ServeEngine, receiver: Receiver<Request>) -> ServeEngine {
+    let max_wait = engine.policy().max_wait;
+    let mut outstanding: Vec<(Ticket, Sender<Result<usize, ModelError>>)> = Vec::new();
+    // Deadline of the current partial batch, set when its first query is
+    // enqueued.  The bound must be measured from that first enqueue — a
+    // per-arrival idle timeout would let a trickle of sub-`max_wait`
+    // arrivals postpone the flush indefinitely (up to max_batch x the
+    // inter-arrival time), starving the oldest query.
+    let mut deadline: Option<Instant> = None;
+    loop {
+        let request = if outstanding.is_empty() {
+            deadline = None;
+            match receiver.recv() {
+                Ok(r) => r,
+                Err(_) => break,
+            }
+        } else {
+            let batch_deadline = *deadline.get_or_insert_with(|| Instant::now() + max_wait);
+            let remaining = batch_deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                flush_and_deliver(&mut engine, &mut outstanding);
+                continue;
+            }
+            match receiver.recv_timeout(remaining) {
+                Ok(r) => r,
+                Err(RecvTimeoutError::Timeout) => {
+                    flush_and_deliver(&mut engine, &mut outstanding);
+                    continue;
+                }
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        };
+        match request {
+            Request::Predict { features, reply } => match engine.submit(&features) {
+                Ok(ticket) => {
+                    outstanding.push((ticket, reply));
+                    if engine.pending_len() == 0 {
+                        // submit auto-flushed a full window.
+                        deliver(&mut engine, &mut outstanding);
+                    }
+                }
+                Err(e) => {
+                    let _ = reply.send(Err(e));
+                }
+            },
+            Request::Swap { memory, reply } => {
+                // swap flushes internally; queued queries are answered by
+                // the memory that was live when they arrived.
+                let result = engine.swap_class_memory(memory);
+                deliver(&mut engine, &mut outstanding);
+                let _ = reply.send(result);
+            }
+            Request::Install { model, reply } => {
+                let result = engine.install_model(*model);
+                deliver(&mut engine, &mut outstanding);
+                let _ = reply.send(result);
+            }
+            Request::Shutdown => break,
+        }
+    }
+    flush_and_deliver(&mut engine, &mut outstanding);
+    engine
+}

@@ -6,6 +6,8 @@
 //! library consumers should depend on the member crates directly:
 //!
 //! * [`disthd`] — the DistHD classifier (the paper's contribution);
+//! * [`disthd_serve`] — the request-batching serving layer (engine, live
+//!   server, snapshot/rollback);
 //! * [`disthd_hd`] — the HDC substrate (hypervectors, encoders, quantization);
 //! * [`disthd_baselines`] — BaselineHD, NeuralHD, MLP, linear SVM;
 //! * [`disthd_datasets`] — the synthetic Table I dataset suite;
@@ -27,6 +29,31 @@
 //! println!("accuracy: {:.1}%", model.accuracy(&data.test)? * 100.0);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! ## Serving quickstart
+//!
+//! The README's serving snippet, verbatim — a frozen model served through
+//! the request-batching engine with versioned snapshot/rollback:
+//!
+//! ```
+//! use disthd_repro::prelude::*;
+//! use disthd_serve::testkit;
+//!
+//! // Load a DHD1 artifact (or wrap a freshly frozen DeployedModel).
+//! let deployment = testkit::tiny_deployment();
+//! let mut snapshots = SnapshotStore::new(8);
+//! let v0 = snapshots.push(&deployment)?;
+//!
+//! // Batch window 32: up to 32 queued queries share each batched pass.
+//! let mut engine = ServeEngine::new(deployment, BatchPolicy::window(32));
+//! for query in testkit::tiny_queries(100) {
+//!     let _class = engine.predict_one(&query)?;
+//! }
+//!
+//! // Roll back to the snapshot if an online update misbehaves.
+//! engine.install_model(snapshots.restore(v0)?)?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
 #![deny(missing_docs)]
 
@@ -36,6 +63,7 @@ pub use disthd_datasets;
 pub use disthd_eval;
 pub use disthd_hd;
 pub use disthd_linalg;
+pub use disthd_serve;
 
 /// One-line import for examples and tests.
 pub mod prelude {
@@ -48,4 +76,5 @@ pub mod prelude {
     pub use disthd_datasets::{Dataset, TrainTest};
     pub use disthd_eval::{Classifier, ModelError, TrainingHistory};
     pub use disthd_linalg::{Matrix, RngSeed, SeededRng};
+    pub use disthd_serve::{BatchPolicy, ServeEngine, Server, SnapshotStore};
 }
