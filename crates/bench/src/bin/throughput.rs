@@ -109,6 +109,13 @@ impl Phase {
 fn main() {
     let scale = default_scale();
     let parallel_threads = parallel::thread_count();
+    // Physical parallelism actually available, as opposed to the requested
+    // worker count: on a single-core machine a >1x parallel speedup is
+    // physically impossible, so the regression gate only arms when the
+    // hardware could have delivered one.
+    let machine_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let dataset = PaperDataset::Isolet;
     let data = dataset
         .generate(&SuiteConfig::at_scale(scale))
@@ -223,19 +230,35 @@ fn main() {
     for phase in [&encode, &top2, &train, &predict] {
         phase.print();
     }
+    // The pool-backed regression signal: with every requested worker on
+    // its own core, parallel encode at or below serial throughput means
+    // the dispatch machinery is eating the win — exactly the failure mode
+    // the persistent pool exists to prevent.  Under oversubscription
+    // (workers > cores, including the 1-core case) the comparison is
+    // vacuous — parallel can at best tie serial — so the gate only arms
+    // when `machine_cores >= parallel_threads`; when it fires, the process
+    // exits non-zero.
+    let encode_speedup = encode.speedup_parallel();
+    let parallel_regression =
+        machine_cores >= parallel_threads && parallel_threads > 1 && encode_speedup < 1.0;
+
     println!("\naccuracy serial   = {accuracy_serial:.6}");
     println!("accuracy parallel = {accuracy_parallel:.6}");
     println!("top2 taxonomy batch == per-sample: {taxonomy_agrees}");
     println!("parallel bit-identical to serial:  {bit_identical}");
+    println!("machine cores = {machine_cores}, encode parallel/serial = {encode_speedup:.3}x");
 
     let json = format!
     (
         "{{\n  \"bench\": \"throughput\",\n  \"dataset\": \"{}\",\n  \"dim\": {DIM},\n  \
          \"scale\": {scale},\n  \"train_samples\": {train_n},\n  \"test_samples\": {test_n},\n  \
          \"train_epochs\": {TRAIN_EPOCHS},\n  \"threads_parallel\": {parallel_threads},\n  \
+         \"machine_cores\": {machine_cores},\n  \
          \"phases\": {{\n    \"encode\": {},\n    \"top2\": {},\n    \"train\": {},\n    \
          \"predict\": {}\n  }},\n  \"accuracy\": {{ \"serial\": {accuracy_serial:.6}, \
          \"parallel\": {accuracy_parallel:.6} }},\n  \"top2_taxonomy_agrees\": {taxonomy_agrees},\n  \
+         \"encode_speedup_parallel_over_serial\": {encode_speedup:.3},\n  \
+         \"parallel_regression\": {parallel_regression},\n  \
          \"parallel_bit_identical_to_serial\": {bit_identical}\n}}\n",
         dataset.name(),
         encode.json(),
@@ -250,6 +273,13 @@ fn main() {
 
     if !bit_identical {
         eprintln!("ERROR: parallel results diverged from serial — determinism contract violated");
+        std::process::exit(1);
+    }
+    if parallel_regression {
+        eprintln!(
+            "ERROR: parallel encode is slower than serial ({encode_speedup:.3}x) on a \
+             {machine_cores}-core machine — parallel regression"
+        );
         std::process::exit(1);
     }
 }

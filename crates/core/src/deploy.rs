@@ -6,10 +6,18 @@
 //! query), while the class memory — the part that dominates storage and is
 //! exposed to memory faults — lives in a [`QuantizedMatrix`].
 //!
-//! The deployment keeps the quantized words as the source of truth:
+//! The quantized words are the **only** copy of the class memory: inference
+//! reads them directly through the integer similarity kernels
+//! (`disthd_hd::quantized_similarity_*`), never materializing an `f32`
+//! snapshot.  Construct, hot-swap and predict therefore perform zero
+//! `dequantize()` calls (a regression test pins this via
+//! `disthd_hd::quantize::dequantize_calls`), the similarity working set
+//! shrinks by up to 32× (1-bit vs f32), and
+//! [`DeployedModel::swap_class_memory`] is allocation-free.
 //! [`DeployedModel::inject_faults`] flips bits in place exactly like the
-//! Fig. 8 fault model, and inference always reads through a dequantized
-//! snapshot, so a faulted deployment behaves like the faulted device would.
+//! Fig. 8 fault model, and the very same faulted words are what inference
+//! reads — a faulted deployment behaves like the faulted device would, with
+//! out-of-range codes saturating as on hardware.
 
 use crate::trainer::DistHd;
 use disthd_eval::ModelError;
@@ -17,7 +25,7 @@ use disthd_hd::center::EncodingCenter;
 use disthd_hd::encoder::{Encoder, RbfEncoder};
 use disthd_hd::noise::flip_random_bits;
 use disthd_hd::quantize::{BitWidth, QuantizedMatrix};
-use disthd_hd::ClassModel;
+use disthd_hd::{quantized_similarity_matrix, quantized_similarity_to_all};
 use disthd_linalg::{Matrix, SeededRng};
 
 /// A trained DistHD model frozen for low-precision edge deployment.
@@ -37,7 +45,7 @@ use disthd_linalg::{Matrix, SeededRng};
 ///     data.train.class_count(),
 /// );
 /// model.fit(&data.train, None)?;
-/// let mut deployed = DeployedModel::freeze(&model, BitWidth::B1)?;
+/// let deployed = DeployedModel::freeze(&model, BitWidth::B1)?;
 /// let class = deployed.predict(data.test.sample(0))?;
 /// assert!(class < data.test.class_count());
 /// # Ok::<(), Box<dyn std::error::Error>>(())
@@ -47,9 +55,10 @@ pub struct DeployedModel {
     encoder: RbfEncoder,
     center: EncodingCenter,
     memory: QuantizedMatrix,
-    /// Dequantized snapshot used for similarity search; refreshed after
-    /// fault injection.
-    snapshot: ClassModel,
+    /// Reciprocal integer code norms, one per class — the only derived
+    /// state inference needs on top of the packed words.  Refreshed in
+    /// place (no allocation) on hot-swap and fault injection.
+    inv_norms: Vec<f32>,
     class_count: usize,
 }
 
@@ -63,12 +72,13 @@ impl DeployedModel {
         let class_model = model.class_model().ok_or(ModelError::NotFitted)?;
         let center = model.center().ok_or(ModelError::NotFitted)?.clone();
         let memory = QuantizedMatrix::quantize(class_model.classes(), width);
-        let snapshot = ClassModel::from_matrix(memory.dequantize());
+        let mut inv_norms = Vec::new();
+        memory.code_inv_norms_into(&mut inv_norms);
         Ok(Self {
             encoder: model.encoder().clone(),
             center,
             memory,
-            snapshot,
+            inv_norms,
             class_count: class_model.class_count(),
         })
     }
@@ -88,27 +98,29 @@ impl DeployedModel {
         self.class_count
     }
 
-    /// Classifies one feature vector.
+    /// Classifies one feature vector, reading the packed quantized words
+    /// directly (no dequantized snapshot exists to consult).
     ///
     /// # Errors
     ///
     /// Returns a shape error for a wrong-length input.
-    pub fn predict(&mut self, features: &[f32]) -> Result<usize, ModelError> {
-        let mut encoded = self.encoder.encode(features)?;
-        self.center.apply(&mut encoded);
-        Ok(self.snapshot.predict(&encoded))
+    pub fn predict(&self, features: &[f32]) -> Result<usize, ModelError> {
+        let scores = self.decision_scores(features)?;
+        Ok(argmax(&scores))
     }
 
     /// Classifies a whole batch of feature vectors (one per row) through
-    /// the fused encode GEMM and one batched similarity GEMM.
+    /// the fused encode GEMM and one batched integer-similarity pass over
+    /// the packed class words.
     ///
     /// This is the entry point the serving layer's request-batching engine
-    /// coalesces queries into: per query it costs a slice of two large
-    /// matrix products instead of a full streaming pass over the base and
-    /// class matrices, which is where batched serving's throughput
-    /// advantage comes from.  Because every row is computed independently
-    /// by the deterministic backend, a query's prediction is bit-identical
-    /// whether it is served alone or inside any batch.
+    /// coalesces queries into: per query it costs a slice of one large
+    /// matrix product plus a packed-word similarity scan instead of a full
+    /// streaming pass over the base and class matrices, which is where
+    /// batched serving's throughput advantage comes from.  Because every
+    /// row is computed independently by the deterministic backend, a
+    /// query's prediction is bit-identical whether it is served alone or
+    /// inside any batch.
     ///
     /// # Example
     ///
@@ -126,7 +138,7 @@ impl DeployedModel {
     ///     data.train.class_count(),
     /// );
     /// model.fit(&data.train, None)?;
-    /// let mut deployed = DeployedModel::freeze(&model, BitWidth::B8)?;
+    /// let deployed = DeployedModel::freeze(&model, BitWidth::B8)?;
     /// let queries = Matrix::from_row_slices(
     ///     data.test.feature_dim(),
     ///     &[data.test.sample(0), data.test.sample(1)],
@@ -142,23 +154,28 @@ impl DeployedModel {
     ///
     /// Returns a shape error if `queries.cols()` differs from the
     /// encoder's input arity.
-    pub fn predict_batch(&mut self, queries: &Matrix) -> Result<Vec<usize>, ModelError> {
+    pub fn predict_batch(&self, queries: &Matrix) -> Result<Vec<usize>, ModelError> {
         if queries.rows() == 0 {
             return Ok(Vec::new());
         }
         let mut encoded = self.encoder.encode_batch(queries)?;
         self.center.apply_batch(&mut encoded);
-        Ok(self.snapshot.predict_batch(&encoded)?)
+        let scores = quantized_similarity_matrix(&encoded, &self.memory, &self.inv_norms)?;
+        Ok(scores.iter_rows().map(argmax).collect())
     }
 
     /// Hot-swaps the quantized class memory, e.g. with a freshly
-    /// requantized model produced by [`crate::DistHd::partial_fit`], and
-    /// refreshes the inference snapshot.
+    /// requantized model produced by [`crate::DistHd::partial_fit`].
     ///
     /// The encoder and centering are untouched: online adaptive updates
     /// keep the encoder frozen between regeneration events, so the class
     /// memory is the only part of the deployment that needs to move for a
     /// live model refresh.
+    ///
+    /// The swap moves the replacement's words in and refreshes the per-row
+    /// code norms into the existing buffer — **allocation-free**, so a hot
+    /// serving loop can swap between batches without touching the
+    /// allocator (no `f32` snapshot is rebuilt; there is none).
     ///
     /// # Errors
     ///
@@ -173,21 +190,27 @@ impl DeployedModel {
                 self.memory.shape()
             )));
         }
-        self.snapshot.set_classes(memory.dequantize());
-        self.snapshot.prepare_inference();
+        memory.code_inv_norms_into(&mut self.inv_norms);
         self.memory = memory;
         Ok(())
     }
 
-    /// Per-class similarity scores for one feature vector.
+    /// Per-class similarity scores for one feature vector: the encoded
+    /// query dotted against the integer codes of each class, normalized by
+    /// the class's code norm — cosine-equivalent to the dequantized
+    /// similarity (the quantization scale cancels).
     ///
     /// # Errors
     ///
     /// Returns a shape error for a wrong-length input.
-    pub fn decision_scores(&mut self, features: &[f32]) -> Result<Vec<f32>, ModelError> {
+    pub fn decision_scores(&self, features: &[f32]) -> Result<Vec<f32>, ModelError> {
         let mut encoded = self.encoder.encode(features)?;
         self.center.apply(&mut encoded);
-        Ok(self.snapshot.similarities(&encoded)?)
+        Ok(quantized_similarity_to_all(
+            &encoded,
+            &self.memory,
+            &self.inv_norms,
+        )?)
     }
 
     /// Accuracy over a dataset.
@@ -195,7 +218,7 @@ impl DeployedModel {
     /// # Errors
     ///
     /// Propagates prediction errors.
-    pub fn accuracy(&mut self, data: &disthd_datasets::Dataset) -> Result<f64, ModelError> {
+    pub fn accuracy(&self, data: &disthd_datasets::Dataset) -> Result<f64, ModelError> {
         if data.is_empty() {
             return Ok(0.0);
         }
@@ -214,13 +237,14 @@ impl DeployedModel {
         center: EncodingCenter,
         memory: QuantizedMatrix,
     ) -> Self {
-        let snapshot = ClassModel::from_matrix(memory.dequantize());
-        let class_count = snapshot.class_count();
+        let mut inv_norms = Vec::new();
+        memory.code_inv_norms_into(&mut inv_norms);
+        let class_count = memory.shape().0;
         Self {
             encoder,
             center,
             memory,
-            snapshot,
+            inv_norms,
             class_count,
         }
     }
@@ -241,13 +265,26 @@ impl DeployedModel {
     }
 
     /// Flips `round(rate * memory_bits())` random bits of the stored class
-    /// memory (the Fig. 8 fault model) and refreshes the inference
-    /// snapshot.  Returns the number of bits flipped.
+    /// memory (the Fig. 8 fault model) and refreshes the per-class code
+    /// norms in place.  Inference reads the very same faulted words, so no
+    /// snapshot rebuild is needed.  Returns the number of bits flipped.
     pub fn inject_faults(&mut self, rate: f64, rng: &mut SeededRng) -> usize {
         let flipped = flip_random_bits(&mut self.memory, rate, rng);
-        self.snapshot = ClassModel::from_matrix(self.memory.dequantize());
+        self.memory.code_inv_norms_into(&mut self.inv_norms);
         flipped
     }
+}
+
+/// Index of the strictly greatest score (ties resolve to the lower class
+/// index, matching `ClassModel`'s argmax convention).
+fn argmax(scores: &[f32]) -> usize {
+    let mut best = 0;
+    for i in 1..scores.len() {
+        if scores[i] > scores[best] {
+            best = i;
+        }
+    }
+    best
 }
 
 #[cfg(test)]
@@ -292,10 +329,53 @@ mod tests {
     }
 
     #[test]
+    fn integer_path_predictions_match_f32_snapshot_at_every_width() {
+        // The zero-dequantize serving path must predict exactly what the
+        // old dequantize-into-a-ClassModel snapshot path predicted, for
+        // every sample, at every storage precision — including after a
+        // hot-swap and after fault injection.
+        use disthd_hd::ClassModel;
+        let (model, data) = trained();
+        for width in BitWidth::all() {
+            let mut deployed = DeployedModel::freeze(&model, width).unwrap();
+            let mut rng = SeededRng::new(RngSeed(17));
+            for phase in 0..2 {
+                if phase == 1 {
+                    deployed.inject_faults(0.02, &mut rng);
+                }
+                let mut snapshot = ClassModel::from_matrix(deployed.memory_parts().dequantize());
+                for i in 0..data.test.len() {
+                    let mut encoded = deployed
+                        .encoder_parts()
+                        .encode(data.test.sample(i))
+                        .unwrap();
+                    deployed.center_parts().apply(&mut encoded);
+                    let expected = snapshot.predict(&encoded);
+                    let got = deployed.predict(data.test.sample(i)).unwrap();
+                    assert_eq!(got, expected, "{width}, sample {i}, phase {phase}");
+                }
+                // The batched path agrees with the single path.
+                let n = data.test.len().min(32);
+                let rows: Vec<usize> = (0..n).collect();
+                let batch = deployed
+                    .predict_batch(&data.test.features().select_rows(&rows))
+                    .unwrap();
+                for (i, &b) in batch.iter().enumerate() {
+                    assert_eq!(
+                        b,
+                        deployed.predict(data.test.sample(i)).unwrap(),
+                        "{width}, batched sample {i}, phase {phase}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn eight_bit_deployment_matches_f32_closely() {
         let (mut model, data) = trained();
         let f32_acc = model.accuracy(&data.test).unwrap();
-        let mut deployed = DeployedModel::freeze(&model, BitWidth::B8).unwrap();
+        let deployed = DeployedModel::freeze(&model, BitWidth::B8).unwrap();
         let deployed_acc = deployed.accuracy(&data.test).unwrap();
         assert!(
             (f32_acc - deployed_acc).abs() < 0.05,
@@ -340,7 +420,7 @@ mod tests {
         // The serving engine relies on this: a query's prediction must not
         // depend on which other queries happen to share its batch.
         let (model, data) = trained();
-        let mut deployed = DeployedModel::freeze(&model, BitWidth::B8).unwrap();
+        let deployed = DeployedModel::freeze(&model, BitWidth::B8).unwrap();
         let n = data.test.len().min(40);
         let all: Vec<usize> = (0..n).collect();
         let batched = deployed
@@ -357,7 +437,7 @@ mod tests {
     #[test]
     fn predict_batch_checks_shapes_and_handles_empty() {
         let (model, _) = trained();
-        let mut deployed = DeployedModel::freeze(&model, BitWidth::B4).unwrap();
+        let deployed = DeployedModel::freeze(&model, BitWidth::B4).unwrap();
         assert!(deployed.predict_batch(&Matrix::zeros(2, 3)).is_err());
         assert!(deployed
             .predict_batch(&Matrix::zeros(0, 0))
@@ -395,7 +475,7 @@ mod tests {
     #[test]
     fn decision_scores_rank_like_predict() {
         let (model, data) = trained();
-        let mut deployed = DeployedModel::freeze(&model, BitWidth::B8).unwrap();
+        let deployed = DeployedModel::freeze(&model, BitWidth::B8).unwrap();
         let x = data.test.sample(0);
         let predicted = deployed.predict(x).unwrap();
         let scores = deployed.decision_scores(x).unwrap();

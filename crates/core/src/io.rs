@@ -276,10 +276,10 @@ mod tests {
 
     #[test]
     fn round_trip_preserves_predictions() {
-        let (mut original, data) = deployed();
+        let (original, data) = deployed();
         let mut buffer = Vec::new();
         save_deployed(&original, &mut buffer).unwrap();
-        let mut restored = load_deployed(buffer.as_slice()).unwrap();
+        let restored = load_deployed(buffer.as_slice()).unwrap();
         for i in 0..data.test.len().min(50) {
             assert_eq!(
                 original.predict(data.test.sample(i)).unwrap(),
@@ -307,7 +307,7 @@ mod tests {
         );
         let mut buffer = Vec::new();
         save_deployed(&single, &mut buffer).unwrap();
-        let mut restored = load_deployed(buffer.as_slice()).unwrap();
+        let restored = load_deployed(buffer.as_slice()).unwrap();
         assert_eq!(restored.class_count(), 1);
         assert_eq!(restored.memory_bits(), single.memory_bits());
         // Every query lands in the only class.

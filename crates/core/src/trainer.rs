@@ -464,6 +464,45 @@ mod tests {
     }
 
     #[test]
+    fn fit_is_bit_identical_under_concurrent_pool_use() {
+        // Two OS threads drive full fit + predict pipelines through the
+        // shared worker pool *at the same time*, at every thread count.
+        // Concurrent jobs interleave in the pool's queue, but chunk
+        // partitions are fixed by shapes alone, so both submitters must
+        // reproduce the serial model bit for bit.
+        let data = small_data();
+        let run = || {
+            let mut model =
+                DistHd::new(config(), data.train.feature_dim(), data.train.class_count());
+            model.fit(&data.train, None).unwrap();
+            let classes = model.class_model().unwrap().classes().clone();
+            let predictions = model.predict(&data.test).unwrap();
+            (classes, predictions)
+        };
+        let (serial_classes, serial_predictions) =
+            disthd_linalg::parallel::with_thread_count(1, run);
+        for threads in [2usize, 8] {
+            disthd_linalg::parallel::with_thread_count(threads, || {
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..2).map(|_| scope.spawn(run)).collect();
+                    for handle in handles {
+                        let (classes, predictions) = handle.join().expect("fit thread");
+                        assert_eq!(
+                            serial_classes.as_slice(),
+                            classes.as_slice(),
+                            "class memory diverged at {threads} threads under concurrency"
+                        );
+                        assert_eq!(
+                            serial_predictions, predictions,
+                            "predictions diverged at {threads} threads under concurrency"
+                        );
+                    }
+                });
+            });
+        }
+    }
+
+    #[test]
     fn fit_is_reproducible_for_same_seed() {
         let data = small_data();
         let mut a = DistHd::new(config(), data.train.feature_dim(), data.train.class_count());

@@ -358,13 +358,28 @@ mod tests {
     #[test]
     fn fused_encode_matches_reference_path() {
         // All-nonzero features keep the reference kernel's sparse skip
-        // inactive, so the fused GEMM-epilogue path must match it bit for
-        // bit (identical k-ascending accumulation, identical cos·sin map).
+        // inactive, so the fused GEMM-epilogue path performs the same
+        // k-ascending accumulation and the same cos·sin map.  On
+        // FMA-capable machines the GEMM fuses each multiply-add into one
+        // rounding (the reference kernel rounds twice), so the projections
+        // agree to ≤ 1 ulp per accumulation step; the nonlinearity is
+        // 1-Lipschitz in the projection, so a small absolute tolerance
+        // covers every tier.
         let enc = encoder();
         let batch = Matrix::from_fn(9, 6, |r, c| 0.1 + 0.07 * (r * 6 + c + 1) as f32);
         let fused = enc.encode_batch(&batch).unwrap();
         let reference = enc.encode_batch_reference(&batch).unwrap();
-        assert_eq!(fused.as_slice(), reference.as_slice());
+        for (i, (&a, &b)) in fused
+            .as_slice()
+            .iter()
+            .zip(reference.as_slice().iter())
+            .enumerate()
+        {
+            assert!(
+                (a - b).abs() < 1e-5,
+                "element {i}: fused {a} vs reference {b}"
+            );
+        }
     }
 
     #[test]

@@ -59,5 +59,25 @@ pub use model::{ClassModel, Prediction, TopK};
 pub use ops::{bind, bundle, permute, weighted_bundle};
 pub use similarity::{
     cosine_similarity_matrix, exact_cosine_to_all, hamming_distance, hamming_distance_batch,
-    normalized_hamming_similarity, normalized_hamming_similarity_batch, similarity_to_all,
+    normalized_hamming_similarity, normalized_hamming_similarity_batch, packed_similarity_to_all,
+    quantized_similarity_matrix, quantized_similarity_to_all, similarity_to_all,
 };
+
+#[cfg(test)]
+pub(crate) mod test_util {
+    //! Shared deterministic inputs for kernel-equivalence tests.
+    use disthd_linalg::Matrix;
+
+    /// Deterministic continuous values in `[-0.5, 0.5)` from a 64-bit LCG;
+    /// pick a `cols` that is not a multiple of `64 / bits` so quantized
+    /// rows start mid-word.
+    pub(crate) fn lcg_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut state = seed | 1;
+        Matrix::from_fn(rows, cols, |_, _| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+        })
+    }
+}

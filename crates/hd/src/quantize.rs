@@ -7,6 +7,21 @@
 //! [`crate::noise`]), and dequantizes back for inference.
 
 use disthd_linalg::Matrix;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide count of [`QuantizedMatrix::dequantize`] calls.
+///
+/// The serving layer's zero-dequantize contract (no `f32` reconstruction on
+/// deployment construct, hot-swap or predict) is enforced by a regression
+/// test that snapshots this counter around the serving path; it has no
+/// other purpose.  Monotonic, never reset.
+static DEQUANTIZE_CALLS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of [`QuantizedMatrix::dequantize`] calls this process has made so
+/// far — the observability hook behind the zero-dequantize serving tests.
+pub fn dequantize_calls() -> u64 {
+    DEQUANTIZE_CALLS.load(Ordering::Relaxed)
+}
 
 /// Supported quantization precisions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -129,7 +144,12 @@ impl QuantizedMatrix {
     }
 
     /// Reconstructs the full-precision matrix.
+    ///
+    /// The serving hot path never calls this (see [`dequantize_calls`]);
+    /// it remains the entry point for offline analysis, tests and the
+    /// robustness studies that inspect reconstructed weights.
     pub fn dequantize(&self) -> Matrix {
+        DEQUANTIZE_CALLS.fetch_add(1, Ordering::Relaxed);
         let bits = self.width.bits();
         Matrix::from_fn(self.rows, self.cols, |r, c| {
             let code = read_code(&self.words, (r * self.cols + c) * bits, bits);
@@ -202,6 +222,251 @@ impl QuantizedMatrix {
     pub fn shape(&self) -> (usize, usize) {
         (self.rows, self.cols)
     }
+
+    /// Calls `f(col, value)` for `len` elements of row `r` starting at
+    /// column `col0`, with each element's *scale-free* signed integer
+    /// value (`clamp(code − qmax)`, or `±1` for 1-bit), streamed straight
+    /// off the packed words.
+    ///
+    /// This is the zero-dequantize read primitive: one word load yields up
+    /// to 64 values, no `f32` matrix is materialized, and faulted
+    /// out-of-range codes saturate exactly like [`QuantizedMatrix::dequantize`].
+    #[inline]
+    fn for_each_row_value_range<F: FnMut(usize, i32)>(
+        &self,
+        r: usize,
+        col0: usize,
+        len: usize,
+        mut f: F,
+    ) {
+        assert!(r < self.rows, "row index out of bounds");
+        assert!(col0 + len <= self.cols, "column range out of bounds");
+        let bits = self.width.bits();
+        let mask: u64 = (1u64 << bits) - 1;
+        let qmax = self.width.qmax() as i64;
+        let one_bit = self.width == BitWidth::B1;
+        let mut bit = (r * self.cols + col0) * bits;
+        let mut c = col0;
+        let end = col0 + len;
+        while c < end {
+            let offset = bit % 64;
+            let mut w = self.words[bit / 64] >> offset;
+            // Codes are `bits`-aligned and 64 % bits == 0, so no code ever
+            // spans two words: drain whole lanes from this word.
+            let lanes = ((64 - offset) / bits).min(end - c);
+            for _ in 0..lanes {
+                let code = w & mask;
+                let value = if one_bit {
+                    if code == 1 {
+                        1
+                    } else {
+                        -1
+                    }
+                } else {
+                    ((code as i64) - qmax).clamp(-qmax, qmax) as i32
+                };
+                f(c, value);
+                w >>= bits;
+                c += 1;
+            }
+            bit += lanes * bits;
+        }
+    }
+
+    /// Calls `f(col, value)` for every element of row `r` (see
+    /// [`QuantizedMatrix::for_each_row_value_range`]).
+    #[inline]
+    fn for_each_row_value<F: FnMut(usize, i32)>(&self, r: usize, f: F) {
+        self.for_each_row_value_range(r, 0, self.cols, f);
+    }
+
+    /// Unpacks `out.len()` scale-free integer values of row `r` starting
+    /// at column `col0` into an `f32` scratch segment.
+    ///
+    /// This is how the batched similarity kernel amortizes bit-unpacking:
+    /// one cache-resident segment is decoded once and then dotted against
+    /// a whole chunk of queries with vectorizable fused multiply-adds,
+    /// while the class memory itself still streams at its packed width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range falls outside the row or `r` is out of bounds.
+    pub fn unpack_row_segment(&self, r: usize, col0: usize, out: &mut [f32]) {
+        let base = col0;
+        self.for_each_row_value_range(r, col0, out.len(), |c, v| out[c - base] = v as f32);
+    }
+
+    /// Dot product of an `f32` query against the integer codes of row `r`
+    /// (scale **not** applied), accumulated segment by segment in the
+    /// fixed lane order of [`lane_dot`] — identical at any thread count
+    /// and identical to the batched kernel's per-element computation.
+    ///
+    /// This is the serving fast path: together with
+    /// [`QuantizedMatrix::code_inv_norms_into`] it ranks classes exactly
+    /// like dequantize-then-cosine — the per-row scale cancels between the
+    /// numerator and the norm — while streaming 4–32× fewer bytes than an
+    /// `f32` class snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query.len() != cols` or `r` is out of bounds.
+    pub fn row_dot_f32(&self, r: usize, query: &[f32]) -> f32 {
+        assert_eq!(
+            query.len(),
+            self.cols,
+            "row_dot_f32: query length must equal the column count"
+        );
+        let mut buf = [0.0f32; UNPACK_SEGMENT];
+        let mut acc = 0.0f32;
+        let mut col0 = 0;
+        while col0 < self.cols {
+            let len = (self.cols - col0).min(UNPACK_SEGMENT);
+            self.unpack_row_segment(r, col0, &mut buf[..len]);
+            acc += lane_dot(&buf[..len], &query[col0..col0 + len]);
+            col0 += len;
+        }
+        acc
+    }
+
+    /// Fills `out` with one reciprocal L2 norm of the integer codes per
+    /// row (`1 / √Σ value²`, or `0.0` for an all-zero row, which ranks
+    /// untrained classes below any class with signal — matching
+    /// `cosine_similarity_matrix`'s zero-row convention).
+    ///
+    /// The sum of squares is computed exactly in integer arithmetic.
+    /// Reuses `out`'s allocation; after the first call on a model of `k`
+    /// classes, refreshing norms (hot-swap, fault injection) allocates
+    /// nothing.
+    pub fn code_inv_norms_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        out.reserve(self.rows);
+        for r in 0..self.rows {
+            let mut sum_squares: u64 = 0;
+            self.for_each_row_value(r, |_, v| sum_squares += (v as i64 * v as i64) as u64);
+            out.push(if sum_squares == 0 {
+                0.0
+            } else {
+                1.0 / (sum_squares as f32).sqrt()
+            });
+        }
+    }
+
+    /// Widening integer dot product of row `ra` against row `rb` of
+    /// `other`: every code pair is decoded to its signed value (i8-range
+    /// for 8-bit, i4-range for 4-bit, …), multiplied in `i32` and
+    /// accumulated in `i64` — exact for any supported width and dimension.
+    ///
+    /// 1-bit rows dispatch to the popcount kernel
+    /// ([`QuantizedMatrix::row_hamming`]): `dot = D − 2·hamming`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths or column counts differ, or an index is out of
+    /// bounds.
+    pub fn row_dot_widening(&self, ra: usize, other: &QuantizedMatrix, rb: usize) -> i64 {
+        assert_eq!(self.width, other.width, "row_dot_widening: width mismatch");
+        assert_eq!(
+            self.cols, other.cols,
+            "row_dot_widening: column count mismatch"
+        );
+        assert!(ra < self.rows && rb < other.rows, "row index out of bounds");
+        if self.width == BitWidth::B1 {
+            return self.cols as i64 - 2 * self.row_hamming(ra, other, rb) as i64;
+        }
+        let bits = self.width.bits();
+        let mask: u64 = (1u64 << bits) - 1;
+        let qmax = self.width.qmax() as i64;
+        let decode = |code: u64| ((code as i64) - qmax).clamp(-qmax, qmax) as i32;
+        let mut bit_a = ra * self.cols * bits;
+        let mut bit_b = rb * other.cols * bits;
+        let mut acc = 0i64;
+        for _ in 0..self.cols {
+            let code_a = (self.words[bit_a / 64] >> (bit_a % 64)) & mask;
+            let code_b = (other.words[bit_b / 64] >> (bit_b % 64)) & mask;
+            acc += (decode(code_a) * decode(code_b)) as i64;
+            bit_a += bits;
+            bit_b += bits;
+        }
+        acc
+    }
+
+    /// Popcount Hamming distance between two 1-bit rows, 64 sign bits per
+    /// XOR+`count_ones` step, directly over the packed words (rows that
+    /// start mid-word are realigned with a shift, never unpacked).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either matrix is not 1-bit, the column counts differ, or
+    /// an index is out of bounds.
+    pub fn row_hamming(&self, ra: usize, other: &QuantizedMatrix, rb: usize) -> u64 {
+        assert_eq!(self.width, BitWidth::B1, "row_hamming: self is not 1-bit");
+        assert_eq!(other.width, BitWidth::B1, "row_hamming: other is not 1-bit");
+        assert_eq!(self.cols, other.cols, "row_hamming: column count mismatch");
+        assert!(ra < self.rows && rb < other.rows, "row index out of bounds");
+        let mut distance = 0u64;
+        let mut i = 0;
+        while i < self.cols {
+            let take = (self.cols - i).min(64);
+            let wa = bit_window(&self.words, ra * self.cols + i, take);
+            let wb = bit_window(&other.words, rb * other.cols + i, take);
+            distance += (wa ^ wb).count_ones() as u64;
+            i += take;
+        }
+        distance
+    }
+}
+
+/// Columns per unpacked segment of the integer similarity kernels: a 1 KiB
+/// f32 scratch block — resident in L1 alongside the query slices it is
+/// dotted against.
+pub const UNPACK_SEGMENT: usize = 256;
+
+/// Dot product in a fixed 8-lane accumulation order: lane `j` accumulates
+/// elements `j, j+8, j+16, …` with fused multiply-adds, and the lanes
+/// reduce in a fixed tree at the end.
+///
+/// The lane structure removes the serial dependency a plain ascending dot
+/// has, letting the autovectorizer keep 8 FMA chains in flight; because the
+/// order is a pure function of the slice length it is identical at any
+/// thread count and shared verbatim by the single-query and batched
+/// similarity kernels.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+pub fn lane_dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "lane_dot: length mismatch");
+    const LANES: usize = 8;
+    let mut lanes = [0.0f32; LANES];
+    let chunks = a.len() / LANES;
+    for i in 0..chunks {
+        for j in 0..LANES {
+            lanes[j] = a[i * LANES + j].mul_add(b[i * LANES + j], lanes[j]);
+        }
+    }
+    let mut tail = 0.0f32;
+    for i in chunks * LANES..a.len() {
+        tail = a[i].mul_add(b[i], tail);
+    }
+    (((lanes[0] + lanes[4]) + (lanes[1] + lanes[5]))
+        + ((lanes[2] + lanes[6]) + (lanes[3] + lanes[7])))
+        + tail
+}
+
+/// Extracts `len ≤ 64` bits starting at absolute bit offset `start`,
+/// low-aligned and zero-padded above `len`.
+#[inline]
+fn bit_window(words: &[u64], start: usize, len: usize) -> u64 {
+    let offset = start % 64;
+    let mut w = words[start / 64] >> offset;
+    let available = 64 - offset;
+    if available < len {
+        w |= words[start / 64 + 1] << available;
+    }
+    if len < 64 {
+        w &= (1u64 << len) - 1;
+    }
+    w
 }
 
 /// Per-row scale factor for symmetric quantization.
@@ -404,5 +669,142 @@ mod tests {
     fn display_formats_widths() {
         assert_eq!(BitWidth::B1.to_string(), "1 bit");
         assert_eq!(BitWidth::B8.to_string(), "8 bits");
+    }
+
+    use crate::test_util::lcg_matrix as odd_matrix;
+
+    #[test]
+    fn row_dot_f32_matches_dequantized_dot_over_scale() {
+        // dot(query, codes_r) must equal dot(query, dequantize(r)) / scale_r
+        // up to f32 rounding, at every width and at misaligned row starts.
+        let m = odd_matrix(3, 37, 0x11);
+        let query: Vec<f32> = odd_matrix(1, 37, 0x22).into_vec();
+        for w in BitWidth::all() {
+            let q = QuantizedMatrix::quantize(&m, w);
+            let back = q.dequantize();
+            for r in 0..m.rows() {
+                let got = q.row_dot_f32(r, &query);
+                let expected: f32 = back
+                    .row(r)
+                    .iter()
+                    .zip(query.iter())
+                    .map(|(&v, &x)| v * x)
+                    .sum::<f32>()
+                    / q.scales()[r];
+                assert!(
+                    (got - expected).abs() < 1e-3 * expected.abs().max(1.0),
+                    "{w}, row {r}: {got} vs {expected}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn code_inv_norms_match_dequantized_norms() {
+        let m = odd_matrix(4, 37, 0x33);
+        for w in BitWidth::all() {
+            let q = QuantizedMatrix::quantize(&m, w);
+            let back = q.dequantize();
+            let mut inv = Vec::new();
+            q.code_inv_norms_into(&mut inv);
+            assert_eq!(inv.len(), 4);
+            for (r, &got) in inv.iter().enumerate() {
+                let norm: f32 = back.row(r).iter().map(|v| v * v).sum::<f32>().sqrt();
+                let expected = q.scales()[r] / norm;
+                assert!(
+                    (got - expected).abs() < 1e-4 * expected.abs().max(1.0),
+                    "{w}, row {r}: {got} vs {expected}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn inv_norms_are_zero_for_zero_rows() {
+        let mut m = Matrix::zeros(2, 16);
+        for c in 0..16 {
+            m.set(1, c, 0.5);
+        }
+        for w in [BitWidth::B2, BitWidth::B4, BitWidth::B8] {
+            let q = QuantizedMatrix::quantize(&m, w);
+            let mut inv = Vec::new();
+            q.code_inv_norms_into(&mut inv);
+            assert_eq!(inv[0], 0.0, "{w}");
+            assert!(inv[1] > 0.0, "{w}");
+        }
+    }
+
+    #[test]
+    fn widening_dot_matches_exact_integer_products() {
+        let a = odd_matrix(3, 37, 0x44);
+        let b = odd_matrix(2, 37, 0x55);
+        for w in BitWidth::all() {
+            let qa = QuantizedMatrix::quantize(&a, w);
+            let qb = QuantizedMatrix::quantize(&b, w);
+            for ra in 0..3 {
+                for rb in 0..2 {
+                    let got = qa.row_dot_widening(ra, &qb, rb);
+                    // Ground truth: decode both rows through dequantize and
+                    // divide the scales back out (values are exact small
+                    // integers, so the f64 arithmetic is exact).
+                    let da = qa.dequantize();
+                    let db = qb.dequantize();
+                    let expected: f64 = da
+                        .row(ra)
+                        .iter()
+                        .zip(db.row(rb).iter())
+                        .map(|(&x, &y)| {
+                            f64::from((x / qa.scales()[ra]).round())
+                                * f64::from((y / qb.scales()[rb]).round())
+                        })
+                        .sum();
+                    assert_eq!(got, expected as i64, "{w}, rows ({ra},{rb})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn row_hamming_counts_sign_disagreements_on_misaligned_rows() {
+        // 37 columns: row 1 starts at bit 37, well inside a word.
+        let m = odd_matrix(3, 37, 0x66);
+        let q = QuantizedMatrix::quantize(&m, BitWidth::B1);
+        for ra in 0..3 {
+            for rb in 0..3 {
+                let expected = (0..37)
+                    .filter(|&c| (m.get(ra, c) >= 0.0) != (m.get(rb, c) >= 0.0))
+                    .count() as u64;
+                assert_eq!(q.row_hamming(ra, &q, rb), expected, "rows ({ra},{rb})");
+            }
+        }
+    }
+
+    #[test]
+    fn one_bit_widening_dot_is_cols_minus_twice_hamming() {
+        let m = odd_matrix(2, 130, 0x77);
+        let q = QuantizedMatrix::quantize(&m, BitWidth::B1);
+        let hamming = q.row_hamming(0, &q, 1);
+        assert_eq!(q.row_dot_widening(0, &q, 1), 130 - 2 * hamming as i64);
+        // Self-dot of a sign row is exactly the dimension.
+        assert_eq!(q.row_dot_widening(1, &q, 1), 130);
+    }
+
+    #[test]
+    fn faulted_codes_saturate_in_integer_reads_like_dequantize() {
+        // 2-bit code 3 (a faulted pattern) must clamp to qmax in the
+        // integer read exactly as dequantize clamps it.
+        let m = Matrix::from_rows(&[vec![1.0, -1.0]]).unwrap();
+        let mut q = QuantizedMatrix::quantize(&m, BitWidth::B2);
+        q.flip_bit(0); // element (0,0): code 2 -> 3
+        let deq = q.dequantize();
+        let got = q.row_dot_f32(0, &[1.0, 0.0]);
+        assert_eq!(got * q.scales()[0], deq.get(0, 0));
+    }
+
+    #[test]
+    fn dequantize_counter_is_monotonic() {
+        let before = dequantize_calls();
+        let _ = QuantizedMatrix::quantize(&sample(), BitWidth::B4).dequantize();
+        assert!(dequantize_calls() > before);
     }
 }

@@ -7,7 +7,13 @@
 //! Hamming distance over packed words.
 
 use crate::bitpacked::BinaryHypervector;
-use disthd_linalg::{dot, normalize_l2, Matrix, ShapeError};
+use crate::quantize::QuantizedMatrix;
+use disthd_linalg::{dot, normalize_l2, parallel, Matrix, ShapeError};
+
+/// Rows of the score matrix each parallel work unit of
+/// [`quantized_similarity_matrix`] owns — fixed, so chunk boundaries (and
+/// thus results) are independent of the worker count.
+const QSIM_ROW_CHUNK: usize = 8;
 
 /// Dot-product similarity of a query against every row of `normalized_rows`.
 ///
@@ -107,6 +113,152 @@ pub fn normalized_hamming_similarity(a: &BinaryHypervector, b: &BinaryHypervecto
         return 0.0;
     }
     1.0 - 2.0 * hamming_distance(a, b) as f32 / a.dim() as f32
+}
+
+/// Similarity of an `f32` query against every row of a quantized class
+/// memory, read **directly off the packed words** — the zero-dequantize
+/// serving kernel.
+///
+/// `inv_norms` must hold one reciprocal code norm per row (from
+/// [`QuantizedMatrix::code_inv_norms_into`]).  The score for row `l` is
+/// `dot(query, codes_l) · inv_norms[l]`, which ranks classes identically to
+/// dequantize-then-[`similarity_to_all`]: the per-row quantization scale
+/// cancels between the dequantized dot and the dequantized norm, so only
+/// f32 rounding (≈ 1 ulp per accumulation) separates the two paths.
+/// All-zero rows score exactly `0.0`, matching
+/// [`cosine_similarity_matrix`]'s zero-row convention.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `query.len() != classes.shape().1` or
+/// `inv_norms.len() != classes.shape().0`.
+pub fn quantized_similarity_to_all(
+    query: &[f32],
+    classes: &QuantizedMatrix,
+    inv_norms: &[f32],
+) -> Result<Vec<f32>, ShapeError> {
+    let (rows, cols) = classes.shape();
+    if query.len() != cols || inv_norms.len() != rows {
+        return Err(ShapeError::new(
+            "quantized_similarity",
+            (1, query.len()),
+            (rows, cols),
+        ));
+    }
+    Ok((0..rows)
+        .map(|l| classes.row_dot_f32(l, query) * inv_norms[l])
+        .collect())
+}
+
+/// Batched [`quantized_similarity_to_all`]: the `samples × classes` score
+/// matrix of every encoded row against a quantized class memory, fanned out
+/// over the parallel worker pool in fixed 8-sample chunks.
+///
+/// Within a chunk, each class row is unpacked one
+/// [`UNPACK_SEGMENT`](crate::quantize::UNPACK_SEGMENT)-column
+/// segment at a time and that segment is dotted against *every* query in
+/// the chunk — the bit-unpack cost is amortized across the chunk while the
+/// class memory still streams at its packed width (up to 32× fewer bytes
+/// than an f32 snapshot).  Every `(sample, class)` score accumulates
+/// segment-by-segment in [`crate::quantize::lane_dot`]'s fixed lane order —
+/// exactly the computation [`quantized_similarity_to_all`] performs — so
+/// batch composition and thread count never change a bit of the result.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `encoded.cols() != classes.shape().1` or
+/// `inv_norms.len() != classes.shape().0`.
+pub fn quantized_similarity_matrix(
+    encoded: &Matrix,
+    classes: &QuantizedMatrix,
+    inv_norms: &[f32],
+) -> Result<Matrix, ShapeError> {
+    use crate::quantize::{lane_dot, UNPACK_SEGMENT};
+    let (class_count, dim) = classes.shape();
+    if encoded.cols() != dim || inv_norms.len() != class_count {
+        return Err(ShapeError::new(
+            "quantized_similarity",
+            encoded.shape(),
+            (class_count, dim),
+        ));
+    }
+    let mut scores = Matrix::zeros(encoded.rows(), class_count);
+    if scores.is_empty() {
+        return Ok(scores);
+    }
+    parallel::par_chunks_mut(
+        scores.as_mut_slice(),
+        QSIM_ROW_CHUNK * class_count,
+        |chunk_index, chunk| {
+            let first_sample = chunk_index * QSIM_ROW_CHUNK;
+            let chunk_samples = chunk.len() / class_count;
+            let mut segment = [0.0f32; UNPACK_SEGMENT];
+            let mut partial = [0.0f32; QSIM_ROW_CHUNK];
+            for l in 0..class_count {
+                partial[..chunk_samples].fill(0.0);
+                let mut col0 = 0;
+                while col0 < dim {
+                    let len = (dim - col0).min(UNPACK_SEGMENT);
+                    classes.unpack_row_segment(l, col0, &mut segment[..len]);
+                    for (s, acc) in partial[..chunk_samples].iter_mut().enumerate() {
+                        let query = &encoded.row(first_sample + s)[col0..col0 + len];
+                        *acc += lane_dot(&segment[..len], query);
+                    }
+                    col0 += len;
+                }
+                for (s, &acc) in partial[..chunk_samples].iter().enumerate() {
+                    chunk[s * class_count + l] = acc * inv_norms[l];
+                }
+            }
+        },
+    );
+    Ok(scores)
+}
+
+/// Fully-integer similarity of a quantized query (a `1 × D`
+/// [`QuantizedMatrix`]) against every row of a quantized class memory:
+/// widening i8/i4/i2 dot products — or XOR+popcount for 1-bit — over the
+/// packed words, normalized by the exact integer code norms on both sides.
+///
+/// `class_inv_norms` must hold one reciprocal code norm per class row
+/// (from [`QuantizedMatrix::code_inv_norms_into`]) — the norms are
+/// query-independent, so a serving loop computes them once per class
+/// memory instead of re-decoding every class row per request.  Only the
+/// query's own norm is computed here (one `O(D)` pass over the query it
+/// already dots).
+///
+/// The returned scores are cosine similarities of the *dequantized* values
+/// (the scales cancel), so argmax and top-2 agree with
+/// dequantize-then-[`exact_cosine_to_all`] — the equivalence the
+/// exhaustive kernel tests pin at every width.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `query` is not a single row, the widths or
+/// column counts differ, or `class_inv_norms` has the wrong length.
+pub fn packed_similarity_to_all(
+    query: &QuantizedMatrix,
+    classes: &QuantizedMatrix,
+    class_inv_norms: &[f32],
+) -> Result<Vec<f32>, ShapeError> {
+    let (query_rows, query_cols) = query.shape();
+    let (class_rows, class_cols) = classes.shape();
+    if query_rows != 1
+        || query_cols != class_cols
+        || query.width() != classes.width()
+        || class_inv_norms.len() != class_rows
+    {
+        return Err(ShapeError::new(
+            "packed_similarity",
+            query.shape(),
+            classes.shape(),
+        ));
+    }
+    let mut query_inv = Vec::with_capacity(1);
+    query.code_inv_norms_into(&mut query_inv);
+    Ok((0..class_rows)
+        .map(|l| query.row_dot_widening(0, classes, l) as f32 * query_inv[0] * class_inv_norms[l])
+        .collect())
 }
 
 /// Full cosine similarity of `query` against each (unnormalized) row.
@@ -210,5 +362,218 @@ mod tests {
         let rows = Matrix::zeros(2, 4);
         assert!(similarity_to_all(&[1.0, 2.0], &rows).is_err());
         assert!(exact_cosine_to_all(&[1.0, 2.0], &rows).is_err());
+    }
+
+    use crate::quantize::BitWidth;
+    use crate::test_util::lcg_matrix;
+    use crate::TopK;
+
+    #[test]
+    fn quantized_similarity_ranks_like_dequantized_snapshot() {
+        // The serving contract: reading the packed words must produce the
+        // same argmax and top-2 classes as the dequantize-then-f32 snapshot
+        // path, at every width.
+        let classes = lcg_matrix(5, 37, 0x91);
+        let queries = lcg_matrix(7, 37, 0x92);
+        for w in BitWidth::all() {
+            let q = QuantizedMatrix::quantize(&classes, w);
+            let snapshot = cosine_similarity_matrix(&q.dequantize());
+            let mut inv_norms = Vec::new();
+            q.code_inv_norms_into(&mut inv_norms);
+            for s in 0..queries.rows() {
+                let query = queries.row(s);
+                let fast = quantized_similarity_to_all(query, &q, &inv_norms).unwrap();
+                let reference = similarity_to_all(query, &snapshot).unwrap();
+                let fast_top = TopK::from_scores(&fast);
+                let reference_top = TopK::from_scores(&reference);
+                assert_eq!(
+                    fast_top.first.class, reference_top.first.class,
+                    "{w}, query {s}: argmax"
+                );
+                assert_eq!(
+                    fast_top.second.class, reference_top.second.class,
+                    "{w}, query {s}: runner-up"
+                );
+                for (l, (&a, &b)) in fast.iter().zip(reference.iter()).enumerate() {
+                    assert!(
+                        (a - b).abs() < 1e-4 * b.abs().max(1.0),
+                        "{w}, query {s}, class {l}: {a} vs {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_similarity_matrix_matches_per_query_and_threads() {
+        let classes = lcg_matrix(4, 50, 0xA1);
+        let queries = lcg_matrix(19, 50, 0xA2);
+        for w in BitWidth::all() {
+            let q = QuantizedMatrix::quantize(&classes, w);
+            let mut inv_norms = Vec::new();
+            q.code_inv_norms_into(&mut inv_norms);
+            let serial = disthd_linalg::parallel::with_thread_count(1, || {
+                quantized_similarity_matrix(&queries, &q, &inv_norms).unwrap()
+            });
+            for s in 0..queries.rows() {
+                let single = quantized_similarity_to_all(queries.row(s), &q, &inv_norms).unwrap();
+                assert_eq!(serial.row(s), single.as_slice(), "{w}, row {s}");
+            }
+            for threads in [2usize, 8] {
+                let parallel = disthd_linalg::parallel::with_thread_count(threads, || {
+                    quantized_similarity_matrix(&queries, &q, &inv_norms).unwrap()
+                });
+                assert_eq!(
+                    serial.as_slice(),
+                    parallel.as_slice(),
+                    "{w}, {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_similarity_shapes_are_checked() {
+        let q = QuantizedMatrix::quantize(&lcg_matrix(2, 8, 1), BitWidth::B4);
+        let inv = vec![1.0; 2];
+        assert!(quantized_similarity_to_all(&[0.0; 7], &q, &inv).is_err());
+        assert!(quantized_similarity_to_all(&[0.0; 8], &q, &[1.0]).is_err());
+        assert!(quantized_similarity_matrix(&Matrix::zeros(3, 7), &q, &inv).is_err());
+        let other = QuantizedMatrix::quantize(&lcg_matrix(1, 8, 2), BitWidth::B8);
+        assert!(packed_similarity_to_all(&other, &q, &inv).is_err());
+        let two_rows = QuantizedMatrix::quantize(&lcg_matrix(2, 8, 3), BitWidth::B4);
+        assert!(packed_similarity_to_all(&two_rows, &q, &inv).is_err());
+        let one_row = QuantizedMatrix::quantize(&lcg_matrix(1, 8, 4), BitWidth::B4);
+        assert!(packed_similarity_to_all(&one_row, &q, &[1.0]).is_err());
+    }
+
+    /// f64 ground-truth cosine of two quantized rows, from exact integer
+    /// dots and norms — the adjudicator for mathematical ties in the
+    /// exhaustive sweeps below.
+    fn exact_cosine64(query: &QuantizedMatrix, classes: &QuantizedMatrix, l: usize) -> f64 {
+        let dot = query.row_dot_widening(0, classes, l) as f64;
+        let norm = |m: &QuantizedMatrix, r: usize| {
+            let mut inv = Vec::new();
+            m.code_inv_norms_into(&mut inv);
+            if inv[r] == 0.0 {
+                0.0
+            } else {
+                1.0 / f64::from(inv[r])
+            }
+        };
+        let nq = norm(query, 0);
+        let nl = norm(classes, l);
+        if nq == 0.0 || nl == 0.0 {
+            0.0
+        } else {
+            dot / (nq * nl)
+        }
+    }
+
+    /// Asserts that the packed integer kernels and the dequantize-then-f32
+    /// path agree on argmax and the top-2 classes for one query, allowing a
+    /// divergence only where the mathematical scores actually tie.
+    fn assert_packed_matches_f32(query: &QuantizedMatrix, classes: &QuantizedMatrix) {
+        let mut class_inv_norms = Vec::new();
+        classes.code_inv_norms_into(&mut class_inv_norms);
+        let packed = packed_similarity_to_all(query, classes, &class_inv_norms).unwrap();
+        let deq_query = query.dequantize();
+        let f32_path = exact_cosine_to_all(deq_query.row(0), &classes.dequantize()).unwrap();
+        let packed_top = TopK::from_scores(&packed);
+        let f32_top = TopK::from_scores(&f32_path);
+        for (which, a, b) in [
+            ("argmax", packed_top.first.class, f32_top.first.class),
+            ("runner-up", packed_top.second.class, f32_top.second.class),
+        ] {
+            if a != b {
+                // Divergence is only legal on an exact mathematical tie
+                // (e.g. two class rows that are scalar multiples), where
+                // f32 rounding may order the equal scores either way.
+                let sa = exact_cosine64(query, classes, a);
+                let sb = exact_cosine64(query, classes, b);
+                assert!(
+                    (sa - sb).abs() <= 1e-9 * sa.abs().max(1.0),
+                    "{}: packed chose {a} ({sa}), f32 chose {b} ({sb})",
+                    which
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn packed_one_bit_similarity_exhaustive() {
+        // Every 6-bit sign pattern as a class row, queried by every 6-bit
+        // sign pattern: 64 × 64 popcount-kernel rankings checked against
+        // the dequantize-then-f32 path.
+        let rows: Vec<Vec<f32>> = (0u32..64)
+            .map(|p| {
+                (0..6)
+                    .map(|b| if (p >> b) & 1 == 1 { 0.5 } else { -0.5 })
+                    .collect()
+            })
+            .collect();
+        let classes = QuantizedMatrix::quantize(&Matrix::from_rows(&rows).unwrap(), BitWidth::B1);
+        for pattern in &rows {
+            let query = QuantizedMatrix::quantize(
+                &Matrix::from_rows(std::slice::from_ref(pattern)).unwrap(),
+                BitWidth::B1,
+            );
+            assert_packed_matches_f32(&query, &classes);
+        }
+    }
+
+    #[test]
+    fn packed_integer_similarity_exhaustive_grid() {
+        // Exhaustive 2-D value grid per width (every pair of grid levels is
+        // a class row, every pair is also a query): the widening i8/i4/i2
+        // dots must rank exactly like dequantize-then-f32 wherever the
+        // mathematical ordering is determined.
+        for (width, levels) in [
+            (BitWidth::B2, vec![-1.0f32, 0.0, 1.0]),
+            (BitWidth::B4, vec![-7.0, -4.0, -1.0, 0.0, 2.0, 5.0, 7.0]),
+            (
+                BitWidth::B8,
+                vec![-127.0, -80.0, -33.0, 0.0, 15.0, 64.0, 127.0],
+            ),
+        ] {
+            let mut rows = Vec::new();
+            for &a in &levels {
+                for &b in &levels {
+                    if a != 0.0 || b != 0.0 {
+                        rows.push(vec![a, b]);
+                    }
+                }
+            }
+            let classes = QuantizedMatrix::quantize(&Matrix::from_rows(&rows).unwrap(), width);
+            for row in &rows {
+                let query = QuantizedMatrix::quantize(
+                    &Matrix::from_rows(std::slice::from_ref(row)).unwrap(),
+                    width,
+                );
+                assert_packed_matches_f32(&query, &classes);
+            }
+            let _ = width; // silence per-iteration shadowing lints
+        }
+    }
+
+    #[test]
+    fn packed_similarity_matches_f32_on_dense_random_rows() {
+        // Dense random rows at every width and a misaligned column count.
+        // Quantization collapses continuous values onto few levels (1-bit
+        // keeps only signs), so genuine score ties still occur — the
+        // adjudicator demands exact agreement except on such mathematical
+        // ties.
+        let classes_f32 = lcg_matrix(6, 37, 0xB1);
+        let queries_f32 = lcg_matrix(10, 37, 0xB2);
+        for w in BitWidth::all() {
+            let classes = QuantizedMatrix::quantize(&classes_f32, w);
+            for s in 0..queries_f32.rows() {
+                let query = QuantizedMatrix::quantize(
+                    &Matrix::from_rows(std::slice::from_ref(&queries_f32.row(s).to_vec())).unwrap(),
+                    w,
+                );
+                assert_packed_matches_f32(&query, &classes);
+            }
+        }
     }
 }

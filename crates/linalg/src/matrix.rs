@@ -1,6 +1,7 @@
 use crate::error::ShapeError;
 use crate::parallel;
 use crate::vector;
+use std::sync::OnceLock;
 
 /// Register-block height of the GEMM micro-kernel: four output rows share
 /// one streamed pass over each `rhs` cache line, quartering the memory
@@ -20,12 +21,13 @@ const GEMM_NW: usize = 16;
 const GEMM_ROW_CHUNK: usize = 8;
 
 /// Below this many multiply-adds the kernel always runs on the calling
-/// thread.  The parallel region spawns fresh scoped threads per call
-/// (tens of microseconds each on Linux), so the crossover sits in the
-/// millions of MACs — ~2 M MACs is a few hundred microseconds of serial
-/// kernel work, comfortably above the fork/join cost; anything smaller
-/// is faster inline.
-const GEMM_PARALLEL_FLOP_THRESHOLD: usize = 1 << 21;
+/// thread.  Dispatching to the persistent worker pool costs roughly one
+/// lock + condvar wake (~a microsecond — the pool's parked workers replace
+/// the old per-call thread spawn, which cost tens of microseconds each), so
+/// the crossover sits near half a million MACs: ~0.5 M MACs is tens of
+/// microseconds of serial kernel work, comfortably above the dispatch cost;
+/// anything smaller is faster inline.
+const GEMM_PARALLEL_FLOP_THRESHOLD: usize = 1 << 19;
 
 /// Square tile edge for the blocked transpose (a `32 × 32` f32 tile is
 /// 4 KiB: both the row-major reads and column-major writes stay in L1).
@@ -289,11 +291,18 @@ impl Matrix {
     /// phase).
     ///
     /// The kernel packs `rhs` into 16-column tile-major panels, then
-    /// processes the output in fixed 8-row chunks (fanned out over
-    /// [`crate::parallel`] scoped workers) with a 4×16 register-tiled
-    /// inner loop.  Accumulation order per element is ascending over the
-    /// inner dimension regardless of blocking or thread count, so results
-    /// are **bit-identical** on 1 or N threads.
+    /// processes the output in fixed 8-row chunks (fanned out over the
+    /// [`crate::parallel`] worker pool) with a 4×16 register-tiled inner
+    /// loop whose arithmetic tier is resolved once per process (portable
+    /// mul-then-add, autovectorized `mul_add`, or explicit AVX2+FMA under
+    /// runtime detection — see `KernelTier`).  Accumulation order per
+    /// element is ascending over the inner dimension regardless of
+    /// blocking, tier or thread count, so results are **bit-identical**
+    /// on 1 or N threads.  FMA-capable machines fuse each multiply-add
+    /// into one rounding, so their results differ from non-FMA machines
+    /// (and from [`Matrix::matmul_reference`]) by ≤ 1 ulp per
+    /// accumulation step — determinism is per-machine, never
+    /// per-thread-count.
     ///
     /// ## Epilogue contract
     ///
@@ -311,6 +320,21 @@ impl Matrix {
     ///
     /// Returns [`ShapeError`] if `self.cols() != rhs.rows()`.
     pub fn matmul_map<F>(&self, rhs: &Matrix, epilogue: F) -> Result<Matrix, ShapeError>
+    where
+        F: Fn(usize, f32) -> f32 + Sync,
+    {
+        self.matmul_map_tier(rhs, epilogue, kernel_tier())
+    }
+
+    /// [`Matrix::matmul_map`] with an explicit micro-kernel tier — the
+    /// parity-test entry point (the public API always uses the tier
+    /// resolved by `kernel_tier`).
+    fn matmul_map_tier<F>(
+        &self,
+        rhs: &Matrix,
+        epilogue: F,
+        tier: KernelTier,
+    ) -> Result<Matrix, ShapeError>
     where
         F: Fn(usize, f32) -> f32 + Sync,
     {
@@ -368,7 +392,7 @@ impl Matrix {
             let first_row = chunk_index * GEMM_ROW_CHUNK;
             let block_rows = out_chunk.len() / b_cols;
             let a_block = &self.data[first_row * inner..(first_row + block_rows) * inner];
-            gemm_row_block(a_block, inner, packed, b_cols, out_chunk, &epilogue);
+            gemm_row_block(tier, a_block, inner, packed, b_cols, out_chunk, &epilogue);
         };
         if small {
             for (index, chunk) in out.data.chunks_mut(GEMM_ROW_CHUNK * b_cols).enumerate() {
@@ -485,6 +509,219 @@ impl Matrix {
     }
 }
 
+/// Which micro-kernel implementation computes the accumulator tiles.
+///
+/// All tiers share the identical per-element accumulation *order* (a single
+/// ascending chain over the inner dimension), so every tier is bit-identical
+/// at any thread count.  The `Fma` and `Avx2` tiers additionally share
+/// identical *rounding* — both fuse each multiply-add into one rounding via
+/// `f32::mul_add` semantics — so runtime AVX2 detection never changes
+/// results on a given machine.  Only `Portable` (two roundings per
+/// multiply-add, exactly the scalar reference) differs numerically, which
+/// is why it stays the baseline for bitwise parity tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum KernelTier {
+    /// The original mul-then-add tile loop: bit-identical to
+    /// [`Matrix::matmul_reference`], and the fallback on targets without
+    /// hardware FMA (where `f32::mul_add` would fall back to a slow libm
+    /// call).
+    Portable,
+    /// Explicitly unrolled `f32::mul_add` tile loop, written so the
+    /// autovectorizer emits 8-lane FMA under `target-cpu=native`.
+    Fma,
+    /// Hand-written `std::arch` AVX2+FMA tile (8 × 256-bit accumulators),
+    /// selected by runtime feature detection on x86_64.
+    #[cfg(target_arch = "x86_64")]
+    Avx2,
+}
+
+/// Resolves the micro-kernel tier once per process.
+///
+/// x86_64 with runtime AVX2+FMA gets the `std::arch` kernel; targets whose
+/// build enables hardware FMA (e.g. `target-cpu=native` on any modern
+/// x86_64, or aarch64) get the `mul_add` kernel; everything else keeps the
+/// portable mul-then-add kernel, whose results match `matmul_reference` bit
+/// for bit.
+fn kernel_tier() -> KernelTier {
+    static TIER: OnceLock<KernelTier> = OnceLock::new();
+    *TIER.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+            {
+                return KernelTier::Avx2;
+            }
+        }
+        // `target_feature = "fma"` is x86 naming; aarch64 spells its fused
+        // multiply-add `neon` and has had it in the base ISA since ARMv8,
+        // so the tier is unconditionally correct (and fast) there.
+        #[cfg(any(target_feature = "fma", target_arch = "aarch64"))]
+        {
+            return KernelTier::Fma;
+        }
+        #[allow(unreachable_code)]
+        KernelTier::Portable
+    })
+}
+
+/// [`GEMM_MR`]-row accumulator tile over one packed panel: the original
+/// mul-then-add loop (two roundings per multiply-add), kept verbatim as the
+/// portable tier and the bitwise mirror of [`Matrix::matmul_reference`].
+#[inline]
+fn tile4_portable(a: [&[f32]; GEMM_MR], panel: &[f32]) -> [[f32; GEMM_NW]; GEMM_MR] {
+    let mut c = [[0.0f32; GEMM_NW]; GEMM_MR];
+    for (k, bv) in panel.chunks_exact(GEMM_NW).enumerate() {
+        for m in 0..GEMM_MR {
+            let am = a[m][k];
+            for j in 0..GEMM_NW {
+                c[m][j] += am * bv[j];
+            }
+        }
+    }
+    c
+}
+
+/// Single-row portable accumulator tile (row tail of a block).
+#[inline]
+fn tile1_portable(a: &[f32], panel: &[f32]) -> [f32; GEMM_NW] {
+    let mut c = [0.0f32; GEMM_NW];
+    for (k, bv) in panel.chunks_exact(GEMM_NW).enumerate() {
+        let am = a[k];
+        for j in 0..GEMM_NW {
+            c[j] += am * bv[j];
+        }
+    }
+    c
+}
+
+/// [`GEMM_MR`]-row accumulator tile with fused multiply-adds.
+///
+/// `f32::mul_add` guarantees single-rounding semantics on every target, so
+/// this tier is bit-identical to the AVX2 intrinsics tier lane for lane; the
+/// explicit 16-lane unroll is what lets the autovectorizer turn each `m`
+/// row into two 8-lane `vfmadd` chains under `target-cpu=native`.
+#[inline]
+fn tile4_fma(a: [&[f32]; GEMM_MR], panel: &[f32]) -> [[f32; GEMM_NW]; GEMM_MR] {
+    let mut c = [[0.0f32; GEMM_NW]; GEMM_MR];
+    for (k, bv) in panel.chunks_exact(GEMM_NW).enumerate() {
+        for m in 0..GEMM_MR {
+            let am = a[m][k];
+            for j in 0..GEMM_NW {
+                c[m][j] = am.mul_add(bv[j], c[m][j]);
+            }
+        }
+    }
+    c
+}
+
+/// Single-row fused-multiply-add accumulator tile (row tail of a block).
+#[inline]
+fn tile1_fma(a: &[f32], panel: &[f32]) -> [f32; GEMM_NW] {
+    let mut c = [0.0f32; GEMM_NW];
+    for (k, bv) in panel.chunks_exact(GEMM_NW).enumerate() {
+        let am = a[k];
+        for j in 0..GEMM_NW {
+            c[j] = am.mul_add(bv[j], c[j]);
+        }
+    }
+    c
+}
+
+/// [`GEMM_MR`]-row accumulator tile in explicit AVX2+FMA intrinsics: eight
+/// 256-bit accumulators (4 rows × 2 half-tiles) live in registers across
+/// the whole inner-dimension sweep; per `k` step two 256-bit panel loads
+/// and four broadcasts feed eight `vfmadd231ps`.
+///
+/// Each output lane accumulates `fma(a[m][k], b[k][j], acc)` in ascending
+/// `k` — the same fused operation sequence as [`tile4_fma`], hence
+/// bit-identical results (asserted by a parity test).
+///
+/// # Safety
+///
+/// The caller must have verified AVX2 and FMA support at runtime (see
+/// [`kernel_tier`]).  `panel.len()` must equal `a[m].len() * GEMM_NW`.
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn tile4_avx2(a: [&[f32]; GEMM_MR], panel: &[f32]) -> [[f32; GEMM_NW]; GEMM_MR] {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(panel.len(), a[0].len() * GEMM_NW);
+    let mut acc = [_mm256_setzero_ps(); 2 * GEMM_MR];
+    let mut b = panel.as_ptr();
+    for k in 0..a[0].len() {
+        let b_lo = _mm256_loadu_ps(b);
+        let b_hi = _mm256_loadu_ps(b.add(8));
+        for m in 0..GEMM_MR {
+            let am = _mm256_set1_ps(*a[m].get_unchecked(k));
+            acc[2 * m] = _mm256_fmadd_ps(am, b_lo, acc[2 * m]);
+            acc[2 * m + 1] = _mm256_fmadd_ps(am, b_hi, acc[2 * m + 1]);
+        }
+        b = b.add(GEMM_NW);
+    }
+    let mut c = [[0.0f32; GEMM_NW]; GEMM_MR];
+    for m in 0..GEMM_MR {
+        _mm256_storeu_ps(c[m].as_mut_ptr(), acc[2 * m]);
+        _mm256_storeu_ps(c[m].as_mut_ptr().add(8), acc[2 * m + 1]);
+    }
+    c
+}
+
+/// Single-row AVX2+FMA accumulator tile (row tail of a block).
+///
+/// # Safety
+///
+/// Same contract as [`tile4_avx2`].
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn tile1_avx2(a: &[f32], panel: &[f32]) -> [f32; GEMM_NW] {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(panel.len(), a.len() * GEMM_NW);
+    let mut acc_lo = _mm256_setzero_ps();
+    let mut acc_hi = _mm256_setzero_ps();
+    let mut b = panel.as_ptr();
+    for k in 0..a.len() {
+        let am = _mm256_set1_ps(*a.get_unchecked(k));
+        acc_lo = _mm256_fmadd_ps(am, _mm256_loadu_ps(b), acc_lo);
+        acc_hi = _mm256_fmadd_ps(am, _mm256_loadu_ps(b.add(8)), acc_hi);
+        b = b.add(GEMM_NW);
+    }
+    let mut c = [0.0f32; GEMM_NW];
+    _mm256_storeu_ps(c.as_mut_ptr(), acc_lo);
+    _mm256_storeu_ps(c.as_mut_ptr().add(8), acc_hi);
+    c
+}
+
+/// Tier dispatch for the 4-row tile.
+#[allow(unsafe_code)]
+#[inline]
+fn tile4(tier: KernelTier, a: [&[f32]; GEMM_MR], panel: &[f32]) -> [[f32; GEMM_NW]; GEMM_MR] {
+    match tier {
+        KernelTier::Portable => tile4_portable(a, panel),
+        KernelTier::Fma => tile4_fma(a, panel),
+        // SAFETY: the Avx2 tier is only ever constructed after runtime
+        // AVX2+FMA detection (see `kernel_tier`), and the panel invariant
+        // is maintained by `gemm_row_block`.
+        #[cfg(target_arch = "x86_64")]
+        KernelTier::Avx2 => unsafe { tile4_avx2(a, panel) },
+    }
+}
+
+/// Tier dispatch for the single-row tile.
+#[allow(unsafe_code)]
+#[inline]
+fn tile1(tier: KernelTier, a: &[f32], panel: &[f32]) -> [f32; GEMM_NW] {
+    match tier {
+        KernelTier::Portable => tile1_portable(a, panel),
+        KernelTier::Fma => tile1_fma(a, panel),
+        // SAFETY: as in `tile4` — tier construction implies runtime
+        // detection passed.
+        #[cfg(target_arch = "x86_64")]
+        KernelTier::Avx2 => unsafe { tile1_avx2(a, panel) },
+    }
+}
+
 /// Computes `block_rows` output rows of `A · B` with a fused epilogue.
 ///
 /// `a_block` holds the `block_rows × inner` slice of the left operand that
@@ -497,10 +734,13 @@ impl Matrix {
 /// 4 × 16 accumulator block stays in vector registers across the entire
 /// inner-dimension sweep — per `k` step only one contiguous 64-byte packed
 /// line and four broadcast `A` scalars move — then stores once through the
-/// epilogue.  Accumulation over `k` is a single ascending chain per element,
-/// the same order at every tile position, remainder path and thread count,
-/// which pins the floating-point result bit-for-bit.
+/// epilogue.  The tile arithmetic itself is supplied by `tier` (see
+/// [`KernelTier`]); within any tier, accumulation over `k` is a single
+/// ascending chain per element, the same order at every tile position,
+/// remainder path and thread count, which pins the floating-point result
+/// bit-for-bit.
 fn gemm_row_block<F: Fn(usize, f32) -> f32>(
+    tier: KernelTier,
     a_block: &[f32],
     inner: usize,
     packed: &[f32],
@@ -515,29 +755,17 @@ fn gemm_row_block<F: Fn(usize, f32) -> f32>(
     let panel_len = inner * GEMM_NW;
     let mut r = 0;
     while r + GEMM_MR <= block_rows {
-        let (a0_row, a1_row, a2_row, a3_row) = (
+        let a = [
             &a_block[r * inner..(r + 1) * inner],
             &a_block[(r + 1) * inner..(r + 2) * inner],
             &a_block[(r + 2) * inner..(r + 3) * inner],
             &a_block[(r + 3) * inner..(r + 4) * inner],
-        );
+        ];
         for (tile, panel) in packed.chunks_exact(panel_len).enumerate() {
             let col0 = tile * GEMM_NW;
             let width = (b_cols - col0).min(GEMM_NW);
-            let mut c0 = [0.0f32; GEMM_NW];
-            let mut c1 = [0.0f32; GEMM_NW];
-            let mut c2 = [0.0f32; GEMM_NW];
-            let mut c3 = [0.0f32; GEMM_NW];
-            for (k, bv) in panel.chunks_exact(GEMM_NW).enumerate() {
-                let (a0, a1, a2, a3) = (a0_row[k], a1_row[k], a2_row[k], a3_row[k]);
-                for j in 0..GEMM_NW {
-                    c0[j] += a0 * bv[j];
-                    c1[j] += a1 * bv[j];
-                    c2[j] += a2 * bv[j];
-                    c3[j] += a3 * bv[j];
-                }
-            }
-            for (m, lane) in [&c0, &c1, &c2, &c3].into_iter().enumerate() {
+            let c = tile4(tier, a, panel);
+            for (m, lane) in c.iter().enumerate() {
                 let start = (r + m) * b_cols + col0;
                 for (j, &v) in lane[..width].iter().enumerate() {
                     out[start + j] = epilogue(col0 + j, v);
@@ -553,13 +781,7 @@ fn gemm_row_block<F: Fn(usize, f32) -> f32>(
         for (tile, panel) in packed.chunks_exact(panel_len).enumerate() {
             let col0 = tile * GEMM_NW;
             let width = (b_cols - col0).min(GEMM_NW);
-            let mut c = [0.0f32; GEMM_NW];
-            for (k, bv) in panel.chunks_exact(GEMM_NW).enumerate() {
-                let a = a_row[k];
-                for j in 0..GEMM_NW {
-                    c[j] += a * bv[j];
-                }
-            }
+            let c = tile1(tier, a_row, panel);
             let start = r * b_cols + col0;
             for (j, &v) in c[..width].iter().enumerate() {
                 out[start + j] = epilogue(col0 + j, v);
@@ -741,27 +963,87 @@ mod tests {
         })
     }
 
+    /// Shapes that straddle every blocking boundary: rows % 4, cols % 16,
+    /// single row/column, the 8-row parallel chunk edge, and ragged row
+    /// blocks (5/6/7/9 rows leave 1–3-row tails after the 4-row tile).
+    const PARITY_SHAPES: &[(usize, usize, usize)] = &[
+        (1, 1, 1),
+        (3, 5, 7),
+        (5, 40, 33),
+        (6, 12, 100),
+        (7, 64, 48),
+        (8, 16, 512),
+        (9, 17, 513),
+        (4, 600, 530),
+        (33, 7, 1030),
+    ];
+
     #[test]
-    fn blocked_kernel_matches_reference_bitwise() {
-        // Shapes straddle every blocking boundary: rows % 4, cols % 16,
-        // single row/column, and the 8-row parallel chunk edge.
-        for &(m, k, n) in &[
-            (1usize, 1usize, 1usize),
-            (3, 5, 7),
-            (8, 16, 512),
-            (9, 17, 513),
-            (4, 600, 530),
-            (33, 7, 1030),
-        ] {
+    fn portable_tier_matches_reference_bitwise() {
+        // The portable tile loop performs exactly the reference kernel's
+        // mul-then-add sequence per element, so blocking and packing must
+        // not change a single bit.
+        for &(m, k, n) in PARITY_SHAPES {
             let a = dense_random(m, k, 0xA0 + m as u64);
             let b = dense_random(k, n, 0xB0 + n as u64);
-            let blocked = a.matmul(&b).unwrap();
+            let blocked = a
+                .matmul_map_tier(&b, |_, x| x, KernelTier::Portable)
+                .unwrap();
             let reference = a.matmul_reference(&b).unwrap();
             assert_eq!(
                 blocked.as_slice(),
                 reference.as_slice(),
                 "shape ({m},{k},{n})"
             );
+        }
+    }
+
+    #[test]
+    fn active_tier_matches_portable_within_fma_tolerance() {
+        // FMA tiers round once per multiply-add instead of twice; the
+        // element-wise drift from the portable kernel is bounded by the
+        // accumulated rounding difference (≪ 1e-5 relative at these
+        // magnitudes).  Also asserts the active kernel handles every
+        // blocking boundary.
+        for &(m, k, n) in PARITY_SHAPES {
+            let a = dense_random(m, k, 0xC0 + m as u64);
+            let b = dense_random(k, n, 0xD0 + n as u64);
+            let active = a.matmul(&b).unwrap();
+            let portable = a
+                .matmul_map_tier(&b, |_, x| x, KernelTier::Portable)
+                .unwrap();
+            for (i, (&x, &y)) in active
+                .as_slice()
+                .iter()
+                .zip(portable.as_slice().iter())
+                .enumerate()
+            {
+                let tolerance = 1e-5 * y.abs().max(1.0);
+                assert!(
+                    (x - y).abs() <= tolerance,
+                    "element {i} of ({m},{k},{n}): active {x} vs portable {y}"
+                );
+            }
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn fma_and_avx2_tiers_agree_bitwise() {
+        // Both tiers fuse each multiply-add into one rounding in the same
+        // ascending-k order, so runtime AVX2 detection must never change
+        // results.  Skipped (trivially passes) on machines without AVX2.
+        if !(std::arch::is_x86_feature_detected!("avx2")
+            && std::arch::is_x86_feature_detected!("fma"))
+        {
+            return;
+        }
+        for &(m, k, n) in PARITY_SHAPES {
+            let a = dense_random(m, k, 0xE0 + m as u64);
+            let b = dense_random(k, n, 0xF0 + n as u64);
+            let fma = a.matmul_map_tier(&b, |_, x| x, KernelTier::Fma).unwrap();
+            let avx2 = a.matmul_map_tier(&b, |_, x| x, KernelTier::Avx2).unwrap();
+            assert_eq!(fma.as_slice(), avx2.as_slice(), "shape ({m},{k},{n})");
         }
     }
 

@@ -299,7 +299,9 @@ impl ServeEngine {
     }
 
     /// Hot-swaps the quantized class memory of the live deployment (see
-    /// [`DeployedModel::swap_class_memory`]).  Pending queries are flushed
+    /// [`DeployedModel::swap_class_memory`] — allocation-free: the packed
+    /// words move in and the per-class code norms refresh in place, with
+    /// no `f32` snapshot to rebuild).  Pending queries are flushed
     /// *first*, so every query is answered by the model that was live when
     /// it entered the queue.
     ///

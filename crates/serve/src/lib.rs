@@ -6,9 +6,11 @@
 //!
 //! * [`ServeEngine`] — a synchronous **request-batching engine**: single
 //!   queries accumulate in a queue and are answered together through one
-//!   batched encode GEMM + one similarity GEMM on the deterministic
-//!   compute backend.  Predictions are bit-identical at every batch
-//!   window; only throughput changes.
+//!   batched encode GEMM + one integer-similarity pass that reads the
+//!   quantized class words directly (the deployment keeps **no** `f32`
+//!   class snapshot — see `disthd::DeployedModel`), all on the
+//!   deterministic compute backend.  Predictions are bit-identical at
+//!   every batch window; only throughput changes.
 //! * [`BatchPolicy`] — the latency-vs-throughput knob (batch window +
 //!   patience bound).
 //! * [`Server`] / [`ServerClient`] — a worker thread that owns the engine
