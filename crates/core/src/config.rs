@@ -1,3 +1,4 @@
+use disthd_hd::encoder::EncoderBackend;
 use disthd_linalg::RngSeed;
 
 /// The α/β/θ weight parameters of Algorithm 2.
@@ -88,6 +89,11 @@ pub struct DistHdConfig {
     pub patience: Option<usize>,
     /// Seed for the encoder and regeneration stream.
     pub seed: RngSeed,
+    /// RBF encoder implementation: the paper-literal dense `O(F·D)` GEMM
+    /// encoder, or the structured `O(D log D)` Walsh–Hadamard construction
+    /// (same kernel map, same regeneration semantics — a speed knob; see
+    /// `disthd_hd::encoder::StructuredRbfEncoder`).
+    pub encoder_backend: EncoderBackend,
 }
 
 impl Default for DistHdConfig {
@@ -101,6 +107,7 @@ impl Default for DistHdConfig {
             weights: WeightParams::default(),
             patience: Some(6),
             seed: RngSeed::default(),
+            encoder_backend: EncoderBackend::default(),
         }
     }
 }

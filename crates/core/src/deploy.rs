@@ -6,23 +6,31 @@
 //! query), while the class memory — the part that dominates storage and is
 //! exposed to memory faults — lives in a [`QuantizedMatrix`].
 //!
-//! The quantized words are the **only** copy of the class memory: inference
-//! reads them directly through the integer similarity kernels
-//! (`disthd_hd::quantized_similarity_*`), never materializing an `f32`
-//! snapshot.  Construct, hot-swap and predict therefore perform zero
-//! `dequantize()` calls (a regression test pins this via
-//! `disthd_hd::quantize::dequantize_calls`), the similarity working set
-//! shrinks by up to 32× (1-bit vs f32), and
-//! [`DeployedModel::swap_class_memory`] is allocation-free.
+//! The quantized words are the **single source of truth** for the class
+//! memory: no dequantized `ClassModel` snapshot exists, and construct,
+//! hot-swap and predict perform zero `dequantize()` calls (a regression
+//! test pins this via `disthd_hd::quantize::dequantize_calls`).
 //! [`DeployedModel::inject_faults`] flips bits in place exactly like the
-//! Fig. 8 fault model, and the very same faulted words are what inference
-//! reads — a faulted deployment behaves like the faulted device would, with
-//! out-of-range codes saturating as on hardware.
+//! Fig. 8 fault model, and inference derives everything it reads from
+//! those very words — a faulted deployment behaves like the faulted device
+//! would, with out-of-range codes saturating as on hardware.
+//!
+//! Batched scoring decodes the codes straight into the GEMM's packed-panel
+//! layout and runs the full 4×16 register-tiled similarity micro-kernel
+//! ([`disthd_hd::quantized_similarity_matrix`]): the decode streams the
+//! class memory at its packed width (4× fewer source bytes than the f32
+//! snapshot's per-call pack had to copy) and the panel is written
+//! immediately before the GEMM reads it back out of cache, which is what
+//! finally puts the integer path ahead of the old dequantize-into-a-
+//! snapshot pipeline at every batch size.  Single queries stream the
+//! packed words through a 1 KiB decode segment
+//! ([`disthd_hd::quantized_similarity_to_all`]) in the GEMM's per-element
+//! accumulation order, scoring bit-identically to the batched kernel.
 
 use crate::trainer::DistHd;
 use disthd_eval::ModelError;
 use disthd_hd::center::EncodingCenter;
-use disthd_hd::encoder::{Encoder, RbfEncoder};
+use disthd_hd::encoder::{AnyRbfEncoder, Encoder};
 use disthd_hd::noise::flip_random_bits;
 use disthd_hd::quantize::{BitWidth, QuantizedMatrix};
 use disthd_hd::{quantized_similarity_matrix, quantized_similarity_to_all};
@@ -52,7 +60,7 @@ use disthd_linalg::{Matrix, SeededRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct DeployedModel {
-    encoder: RbfEncoder,
+    encoder: AnyRbfEncoder,
     center: EncodingCenter,
     memory: QuantizedMatrix,
     /// Reciprocal integer code norms, one per class — the only derived
@@ -160,7 +168,23 @@ impl DeployedModel {
         }
         let mut encoded = self.encoder.encode_batch(queries)?;
         self.center.apply_batch(&mut encoded);
-        let scores = quantized_similarity_matrix(&encoded, &self.memory, &self.inv_norms)?;
+        self.predict_encoded_batch(&encoded)
+    }
+
+    /// Classifies a batch of **already encoded and centered** hypervectors
+    /// (one per row) through the amortized integer scoring GEMM.
+    ///
+    /// This is the class-scoring stage of [`DeployedModel::predict_batch`]
+    /// in isolation — for callers that pre-encode once and score many
+    /// model variants (the Fig. 8 robustness harness) or benchmark the
+    /// scoring stage without the shared encode cost.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if `encoded.cols()` differs from the class
+    /// memory's dimensionality.
+    pub fn predict_encoded_batch(&self, encoded: &Matrix) -> Result<Vec<usize>, ModelError> {
+        let scores = quantized_similarity_matrix(encoded, &self.memory, &self.inv_norms)?;
         Ok(scores.iter_rows().map(argmax).collect())
     }
 
@@ -233,7 +257,7 @@ impl DeployedModel {
 
     /// Reassembles a deployment from persisted parts (see [`crate::io`]).
     pub fn from_parts(
-        encoder: RbfEncoder,
+        encoder: AnyRbfEncoder,
         center: EncodingCenter,
         memory: QuantizedMatrix,
     ) -> Self {
@@ -250,7 +274,7 @@ impl DeployedModel {
     }
 
     /// Borrows the encoder (persistence access).
-    pub fn encoder_parts(&self) -> &RbfEncoder {
+    pub fn encoder_parts(&self) -> &AnyRbfEncoder {
         &self.encoder
     }
 

@@ -1,9 +1,9 @@
 //! Binary persistence of deployed models.
 //!
 //! A [`crate::DeployedModel`] is the artifact that ships to an edge device:
-//! the f32 encoder (bases + phases), the per-dimension centering means and
-//! the quantized class memory.  This module writes and reads a compact,
-//! versioned little-endian binary format:
+//! the f32 encoder, the per-dimension centering means and the quantized
+//! class memory.  This module writes and reads a compact, versioned
+//! little-endian binary format.  Version `'1'` is the dense-encoder layout:
 //!
 //! ```text
 //! magic  "DHD" + version   4 bytes (version is the ASCII digit '1')
@@ -17,20 +17,46 @@
 //! memory words             count u64
 //! ```
 //!
+//! Version `'2'` adds an **encoder-kind byte** right after the magic so a
+//! deployment can carry either RBF backend; kind `0` (dense) is followed by
+//! the version-1 payload verbatim, kind `1` (structured) replaces the base
+//! matrix with the Walsh–Hadamard construction's parts:
+//!
+//! ```text
+//! magic  "DHD" + '2'       4 bytes
+//! encoder kind             u8  (0 = dense, 1 = structured)
+//! n, D, k, width bits      u32 each      base_std  f32
+//! -- structured kind only --
+//! block dim                u32 (padded FHT length, n.next_power_of_two())
+//! sign word count          u32
+//! sign words               count u64 (packed ±1 diagonals, bit = +1)
+//! phases                   D f32
+//! overlay count m          u32
+//! overlay dims             m u32
+//! overlay bases            m*n f32 (row-major, one base row per dim)
+//! -- shared tail --
+//! center means             D f32
+//! memory scales            k f32
+//! memory word count        u32
+//! memory words             count u64
+//! ```
+//!
 //! ## Format evolution
 //!
-//! The fourth magic byte is the **format version** (currently `'1'`).
-//! Readers accept exactly the versions they know: a stream that starts
-//! with `DHD` but carries an unknown version digit fails with
-//! [`PersistError::UnsupportedVersion`] — distinct from [`PersistError::BadMagic`]
-//! (not a DHD stream at all) so callers can tell "newer than me" from
-//! "garbage".  Future versions may only *append* fields after the version-1
-//! payload; see `DESIGN.md` §6 for the full compatibility rules.  Every
-//! deserialization failure names the offending field.
+//! The fourth magic byte is the **format version**.  Readers accept exactly
+//! the versions they know: a stream that starts with `DHD` but carries an
+//! unknown version digit fails with [`PersistError::UnsupportedVersion`] —
+//! distinct from [`PersistError::BadMagic`] (not a DHD stream at all) so
+//! callers can tell "newer than me" from "garbage".  Dense deployments are
+//! still **written** as version `'1'`, so pre-structured readers keep
+//! loading every dense artifact this writer produces; only structured
+//! deployments need the `'2'` stream.  See `DESIGN.md` §6/§8 for the full
+//! compatibility rules.  Every deserialization failure names the offending
+//! field.
 
 use crate::deploy::DeployedModel;
 use disthd_hd::center::EncodingCenter;
-use disthd_hd::encoder::RbfEncoder;
+use disthd_hd::encoder::{AnyRbfEncoder, Encoder, RbfEncoder, StructuredRbfEncoder};
 use disthd_hd::quantize::{BitWidth, QuantizedMatrix};
 use disthd_linalg::Matrix;
 use std::error::Error;
@@ -44,8 +70,15 @@ const MAGIC_PREFIX: &[u8; 3] = b"DHD";
 /// the vectors grow only as real payload bytes actually arrive, and a
 /// truncated stream fails with a named short-read error instead.
 const MAX_PREALLOC: usize = 1 << 20;
-/// Current format version, stored as an ASCII digit in the fourth byte.
-const FORMAT_VERSION: u8 = b'1';
+/// Dense-encoder format version (the original layout, still written for
+/// dense deployments).
+const VERSION_DENSE: u8 = b'1';
+/// Encoder-kind-dispatched format version (structured deployments).
+const VERSION_KINDED: u8 = b'2';
+/// Encoder-kind byte: dense RBF encoder (version-1 payload follows).
+const ENCODER_KIND_DENSE: u8 = 0;
+/// Encoder-kind byte: structured Walsh–Hadamard RBF encoder.
+const ENCODER_KIND_STRUCTURED: u8 = 1;
 
 /// Errors produced while persisting or loading a deployed model.
 #[derive(Debug)]
@@ -69,9 +102,10 @@ impl fmt::Display for PersistError {
             PersistError::BadMagic => write!(f, "not a DHD1 model stream (bad magic)"),
             PersistError::UnsupportedVersion(v) => write!(
                 f,
-                "unsupported DHD format version {:?} (this reader understands version {:?})",
+                "unsupported DHD format version {:?} (this reader understands versions {:?}–{:?})",
                 char::from(*v),
-                char::from(FORMAT_VERSION)
+                char::from(VERSION_DENSE),
+                char::from(VERSION_KINDED)
             ),
             PersistError::Corrupt(msg) => write!(f, "corrupt model stream: {msg}"),
         }
@@ -95,21 +129,50 @@ impl From<std::io::Error> for PersistError {
 
 /// Writes a deployed model to `writer` (pass `&mut` for reuse).
 ///
+/// Dense-encoder deployments are written as format version `'1'`
+/// (byte-compatible with pre-structured readers); structured-encoder
+/// deployments need the encoder-kind dispatch and are written as `'2'`.
+///
 /// # Errors
 ///
 /// Returns [`PersistError::Io`] on write failure.
 pub fn save_deployed<W: Write>(model: &DeployedModel, mut writer: W) -> Result<(), PersistError> {
-    let encoder = model.encoder_parts();
     let (rows, cols) = model.memory_parts().shape();
-    writer.write_all(MAGIC_PREFIX)?;
-    writer.write_all(&[FORMAT_VERSION])?;
-    write_u32(&mut writer, encoder.bases().rows() as u32)?;
-    write_u32(&mut writer, cols as u32)?;
-    write_u32(&mut writer, rows as u32)?;
-    write_u32(&mut writer, model.width().bits() as u32)?;
-    write_f32(&mut writer, encoder.base_std())?;
-    write_f32_slice(&mut writer, encoder.bases().as_slice())?;
-    write_f32_slice(&mut writer, encoder.phases())?;
+    let write_dims = |writer: &mut W, n: usize| -> Result<(), PersistError> {
+        write_u32(writer, n as u32)?;
+        write_u32(writer, cols as u32)?;
+        write_u32(writer, rows as u32)?;
+        write_u32(writer, model.width().bits() as u32)?;
+        write_f32(writer, model.encoder_parts().base_std())?;
+        Ok(())
+    };
+    match model.encoder_parts() {
+        AnyRbfEncoder::Dense(encoder) => {
+            writer.write_all(MAGIC_PREFIX)?;
+            writer.write_all(&[VERSION_DENSE])?;
+            write_dims(&mut writer, encoder.bases().rows())?;
+            write_f32_slice(&mut writer, encoder.bases().as_slice())?;
+            write_f32_slice(&mut writer, encoder.phases())?;
+        }
+        AnyRbfEncoder::Structured(encoder) => {
+            writer.write_all(MAGIC_PREFIX)?;
+            writer.write_all(&[VERSION_KINDED])?;
+            writer.write_all(&[ENCODER_KIND_STRUCTURED])?;
+            write_dims(&mut writer, encoder.input_dim())?;
+            write_u32(&mut writer, encoder.block_dim() as u32)?;
+            let sign_words = encoder.packed_signs();
+            write_u32(&mut writer, sign_words.len() as u32)?;
+            for &w in &sign_words {
+                writer.write_all(&w.to_le_bytes())?;
+            }
+            write_f32_slice(&mut writer, encoder.phases())?;
+            write_u32(&mut writer, encoder.overlay_dims().len() as u32)?;
+            for &d in encoder.overlay_dims() {
+                write_u32(&mut writer, d as u32)?;
+            }
+            write_f32_slice(&mut writer, encoder.overlay_rows().as_slice())?;
+        }
+    }
     write_f32_slice(&mut writer, model.center_parts().means())?;
     write_f32_slice(&mut writer, model.memory_parts().scales())?;
     let words = model.memory_parts().as_words();
@@ -121,32 +184,25 @@ pub fn save_deployed<W: Write>(model: &DeployedModel, mut writer: W) -> Result<(
     Ok(())
 }
 
-/// Reads a deployed model from `reader` (pass `&mut` for reuse).
-///
-/// # Errors
-///
-/// * [`PersistError::BadMagic`] if the stream is not a `DHD` model;
-/// * [`PersistError::UnsupportedVersion`] for a DHD stream of a newer
-///   (or otherwise unknown) format version;
-/// * [`PersistError::Corrupt`] on inconsistent sizes or truncation, naming
-///   the offending field;
-/// * [`PersistError::Io`] on read failure.
-pub fn load_deployed<R: Read>(mut reader: R) -> Result<DeployedModel, PersistError> {
-    let mut magic = [0u8; 4];
-    read_field_bytes(&mut reader, &mut magic, "magic")?;
-    if &magic[..3] != MAGIC_PREFIX {
-        return Err(PersistError::BadMagic);
-    }
-    if magic[3] != FORMAT_VERSION {
-        return Err(PersistError::UnsupportedVersion(magic[3]));
-    }
-    let n = read_u32(&mut reader, "feature count n")? as usize;
-    let dim = read_u32(&mut reader, "dimensionality D")? as usize;
-    let k = read_u32(&mut reader, "class count k")? as usize;
-    let bits = read_u32(&mut reader, "width bits")? as usize;
+/// The `n / D / k / width / base_std` header shared by every layout.
+struct Header {
+    n: usize,
+    dim: usize,
+    k: usize,
+    bits: usize,
+    width: BitWidth,
+    base_std: f32,
+}
+
+/// Reads and validates the shared dimension header.
+fn read_header<R: Read>(reader: &mut R) -> Result<Header, PersistError> {
+    let n = read_u32(reader, "feature count n")? as usize;
+    let dim = read_u32(reader, "dimensionality D")? as usize;
+    let k = read_u32(reader, "class count k")? as usize;
+    let bits = read_u32(reader, "width bits")? as usize;
     let width = BitWidth::from_bits(bits)
         .ok_or_else(|| PersistError::Corrupt(format!("field `width bits`: unsupported {bits}")))?;
-    let base_std = read_f32(&mut reader, "base_std")?;
+    let base_std = read_f32(reader, "base_std")?;
     for (value, field) in [
         (n, "feature count n"),
         (dim, "dimensionality D"),
@@ -156,15 +212,147 @@ pub fn load_deployed<R: Read>(mut reader: R) -> Result<DeployedModel, PersistErr
             return Err(PersistError::Corrupt(format!("field `{field}` is zero")));
         }
     }
+    Ok(Header {
+        n,
+        dim,
+        k,
+        bits,
+        width,
+        base_std,
+    })
+}
 
-    let bases_len = n.checked_mul(dim).ok_or_else(|| {
+/// Reads a deployed model from `reader` (pass `&mut` for reuse).
+///
+/// # Errors
+///
+/// * [`PersistError::BadMagic`] if the stream is not a `DHD` model;
+/// * [`PersistError::UnsupportedVersion`] for a DHD stream of a newer
+///   (or otherwise unknown) format version;
+/// * [`PersistError::Corrupt`] on inconsistent sizes, truncation or an
+///   unknown encoder kind, naming the offending field;
+/// * [`PersistError::Io`] on read failure.
+pub fn load_deployed<R: Read>(mut reader: R) -> Result<DeployedModel, PersistError> {
+    let mut magic = [0u8; 4];
+    read_field_bytes(&mut reader, &mut magic, "magic")?;
+    if &magic[..3] != MAGIC_PREFIX {
+        return Err(PersistError::BadMagic);
+    }
+    match magic[3] {
+        VERSION_DENSE => load_dense_body(&mut reader),
+        VERSION_KINDED => {
+            let mut kind = [0u8; 1];
+            read_field_bytes(&mut reader, &mut kind, "encoder kind")?;
+            match kind[0] {
+                ENCODER_KIND_DENSE => load_dense_body(&mut reader),
+                ENCODER_KIND_STRUCTURED => load_structured_body(&mut reader),
+                other => Err(PersistError::Corrupt(format!(
+                    "field `encoder kind`: unknown kind {other}"
+                ))),
+            }
+        }
+        version => Err(PersistError::UnsupportedVersion(version)),
+    }
+}
+
+/// Reads the dense-encoder payload (everything after the magic / kind
+/// dispatch) — the version-1 layout.
+fn load_dense_body<R: Read>(reader: &mut R) -> Result<DeployedModel, PersistError> {
+    let header = read_header(reader)?;
+    let bases_len = header.n.checked_mul(header.dim).ok_or_else(|| {
         PersistError::Corrupt("field `bases`: n * D overflows the address space".into())
     })?;
-    let bases = read_f32_vec(&mut reader, bases_len, "bases")?;
-    let phases = read_f32_vec(&mut reader, dim, "phases")?;
-    let means = read_f32_vec(&mut reader, dim, "center means")?;
-    let scales = read_f32_vec(&mut reader, k, "memory scales")?;
-    let word_count = read_u32(&mut reader, "memory word count")? as usize;
+    let bases = read_f32_vec(reader, bases_len, "bases")?;
+    let phases = read_f32_vec(reader, header.dim, "phases")?;
+    let bases = Matrix::from_vec(header.n, header.dim, bases)
+        .map_err(|e| PersistError::Corrupt(format!("field `bases`: {e}")))?;
+    let encoder = RbfEncoder::from_parts(bases, phases, header.base_std)
+        .map_err(|e| PersistError::Corrupt(format!("field `phases`: {e}")))?;
+    load_shared_tail(reader, header, AnyRbfEncoder::Dense(encoder))
+}
+
+/// Reads the structured-encoder payload (version-2, kind 1).
+fn load_structured_body<R: Read>(reader: &mut R) -> Result<DeployedModel, PersistError> {
+    let header = read_header(reader)?;
+    let block_dim = read_u32(reader, "block dim")? as usize;
+    if block_dim != header.n.next_power_of_two() {
+        return Err(PersistError::Corrupt(format!(
+            "field `block dim`: {block_dim} is not the padded size of {} features",
+            header.n
+        )));
+    }
+    let blocks = header.dim.div_ceil(block_dim);
+    let expected_sign_words = blocks
+        .checked_mul(block_dim)
+        .and_then(|per_stage| per_stage.checked_mul(3))
+        .map(|bits| bits.div_ceil(64))
+        .ok_or_else(|| {
+            PersistError::Corrupt(
+                "field `sign word count`: 3 * blocks * block_dim overflows".into(),
+            )
+        })?;
+    let sign_word_count = read_u32(reader, "sign word count")? as usize;
+    if sign_word_count != expected_sign_words {
+        return Err(PersistError::Corrupt(format!(
+            "field `sign word count`: {sign_word_count} words for {blocks} blocks of \
+             {block_dim} (expected {expected_sign_words})"
+        )));
+    }
+    let mut sign_words = Vec::with_capacity(sign_word_count.min(MAX_PREALLOC));
+    for _ in 0..sign_word_count {
+        let mut buf = [0u8; 8];
+        read_field_bytes(reader, &mut buf, "sign words")?;
+        sign_words.push(u64::from_le_bytes(buf));
+    }
+    let phases = read_f32_vec(reader, header.dim, "phases")?;
+    let overlay_count = read_u32(reader, "overlay count")? as usize;
+    if overlay_count > header.dim {
+        return Err(PersistError::Corrupt(format!(
+            "field `overlay count`: {overlay_count} overlaid dims in a D={} model",
+            header.dim
+        )));
+    }
+    let mut overlay_dims = Vec::with_capacity(overlay_count.min(MAX_PREALLOC));
+    for _ in 0..overlay_count {
+        overlay_dims.push(read_u32(reader, "overlay dims")? as usize);
+    }
+    let overlay_len = overlay_count.checked_mul(header.n).ok_or_else(|| {
+        PersistError::Corrupt("field `overlay bases`: m * n overflows the address space".into())
+    })?;
+    let overlay_values = read_f32_vec(reader, overlay_len, "overlay bases")?;
+    let overlay_rows = Matrix::from_vec(overlay_count, header.n, overlay_values)
+        .map_err(|e| PersistError::Corrupt(format!("field `overlay bases`: {e}")))?;
+    let encoder = StructuredRbfEncoder::from_parts(
+        header.n,
+        header.dim,
+        header.base_std,
+        block_dim,
+        &sign_words,
+        phases,
+        overlay_dims,
+        overlay_rows,
+    )
+    .map_err(|e| PersistError::Corrupt(format!("field `overlay dims`: {e}")))?;
+    load_shared_tail(reader, header, AnyRbfEncoder::Structured(encoder))
+}
+
+/// Reads the tail every layout shares — centering means, memory scales and
+/// packed class-memory words — and assembles the deployment.
+fn load_shared_tail<R: Read>(
+    reader: &mut R,
+    header: Header,
+    encoder: AnyRbfEncoder,
+) -> Result<DeployedModel, PersistError> {
+    let Header {
+        dim,
+        k,
+        bits,
+        width,
+        ..
+    } = header;
+    let means = read_f32_vec(reader, dim, "center means")?;
+    let scales = read_f32_vec(reader, k, "memory scales")?;
+    let word_count = read_u32(reader, "memory word count")? as usize;
     let expected_words = k
         .checked_mul(dim)
         .and_then(|kd| kd.checked_mul(bits))
@@ -181,14 +369,9 @@ pub fn load_deployed<R: Read>(mut reader: R) -> Result<DeployedModel, PersistErr
     let mut words = Vec::with_capacity(word_count.min(MAX_PREALLOC));
     for _ in 0..word_count {
         let mut buf = [0u8; 8];
-        read_field_bytes(&mut reader, &mut buf, "memory words")?;
+        read_field_bytes(reader, &mut buf, "memory words")?;
         words.push(u64::from_le_bytes(buf));
     }
-
-    let bases = Matrix::from_vec(n, dim, bases)
-        .map_err(|e| PersistError::Corrupt(format!("field `bases`: {e}")))?;
-    let encoder = RbfEncoder::from_parts(bases, phases, base_std)
-        .map_err(|e| PersistError::Corrupt(format!("field `phases`: {e}")))?;
     let center = EncodingCenter::from_means(means);
     let memory = QuantizedMatrix::from_parts(words, scales, width, k, dim)
         .map_err(|e| PersistError::Corrupt(format!("field `memory words`: {e}")))?;
@@ -322,12 +505,129 @@ mod tests {
 
     #[test]
     fn newer_version_is_distinguished_from_garbage() {
-        let err = load_deployed(&b"DHD2............"[..]).unwrap_err();
+        let err = load_deployed(&b"DHD3............"[..]).unwrap_err();
         assert!(
-            matches!(err, PersistError::UnsupportedVersion(b'2')),
+            matches!(err, PersistError::UnsupportedVersion(b'3')),
             "{err}"
         );
-        assert!(err.to_string().contains('2'), "{err}");
+        assert!(err.to_string().contains('3'), "{err}");
+    }
+
+    fn structured_deployed() -> (DeployedModel, disthd_datasets::TrainTest) {
+        let data = PaperDataset::Diabetes
+            .generate(&SuiteConfig::at_scale(0.002))
+            .unwrap();
+        let mut model = DistHd::new(
+            DistHdConfig {
+                dim: 256,
+                epochs: 8,
+                encoder_backend: disthd_hd::encoder::EncoderBackend::Structured,
+                ..Default::default()
+            },
+            data.train.feature_dim(),
+            data.train.class_count(),
+        );
+        model.fit(&data.train, None).unwrap();
+        (DeployedModel::freeze(&model, BitWidth::B4).unwrap(), data)
+    }
+
+    #[test]
+    fn dense_deployments_still_write_version_one() {
+        // Pre-structured readers only understand 'DHD1'; a dense model from
+        // this writer must stay loadable by them.
+        let (original, _) = deployed();
+        let mut buffer = Vec::new();
+        save_deployed(&original, &mut buffer).unwrap();
+        assert_eq!(&buffer[..4], b"DHD1");
+    }
+
+    #[test]
+    fn structured_encoder_kind_round_trips() {
+        // A regenerated structured model carries signs, phases and a
+        // non-empty overlay; the v2 stream must reproduce its predictions
+        // exactly.
+        let (original, data) = structured_deployed();
+        assert!(
+            original
+                .encoder_parts()
+                .as_structured()
+                .map(|e| e.overlay_len() > 0)
+                .unwrap_or(false),
+            "fit should have evicted dims into the overlay"
+        );
+        let mut buffer = Vec::new();
+        save_deployed(&original, &mut buffer).unwrap();
+        assert_eq!(&buffer[..5], b"DHD2\x01");
+        let restored = load_deployed(buffer.as_slice()).unwrap();
+        assert!(restored.encoder_parts().as_structured().is_some());
+        for i in 0..data.test.len().min(50) {
+            assert_eq!(
+                original.predict(data.test.sample(i)).unwrap(),
+                restored.predict(data.test.sample(i)).unwrap(),
+                "sample {i}"
+            );
+        }
+        assert_eq!(original.width(), restored.width());
+        assert_eq!(original.memory_bits(), restored.memory_bits());
+    }
+
+    #[test]
+    fn version_two_dense_kind_loads_like_version_one() {
+        // The kind byte exists so future dense streams may use v2 as well:
+        // splicing a dense-kind byte into a v1 stream must load the same
+        // model.
+        let (original, data) = deployed();
+        let mut buffer = Vec::new();
+        save_deployed(&original, &mut buffer).unwrap();
+        let mut v2 = Vec::with_capacity(buffer.len() + 1);
+        v2.extend_from_slice(b"DHD2\x00");
+        v2.extend_from_slice(&buffer[4..]);
+        let restored = load_deployed(v2.as_slice()).unwrap();
+        assert_eq!(
+            original.predict(data.test.sample(0)).unwrap(),
+            restored.predict(data.test.sample(0)).unwrap()
+        );
+    }
+
+    #[test]
+    fn unknown_encoder_kind_is_corrupt_and_named() {
+        let err = load_deployed(&b"DHD2\x07..........."[..]).unwrap_err();
+        assert!(matches!(err, PersistError::Corrupt(_)), "{err}");
+        assert!(err.to_string().contains("encoder kind"), "{err}");
+    }
+
+    #[test]
+    fn truncated_structured_stream_names_the_offending_field() {
+        let (original, _) = structured_deployed();
+        let mut buffer = Vec::new();
+        save_deployed(&original, &mut buffer).unwrap();
+
+        // Cut right after the magic + kind byte: header dims are first.
+        let err = load_deployed(&buffer[..7]).unwrap_err();
+        assert!(err.to_string().contains("feature count n"), "{err}");
+
+        // Cut inside the sign words: header is magic(4) + kind(1) +
+        // 4 u32 + f32 + block_dim u32 + sign word count u32.
+        let header = 5 + 4 * 4 + 4 + 4 + 4;
+        let err = load_deployed(&buffer[..header + 10]).unwrap_err();
+        assert!(err.to_string().contains("sign words"), "{err}");
+
+        // Cut inside the trailing memory words.
+        let err = load_deployed(&buffer[..buffer.len() - 3]).unwrap_err();
+        assert!(err.to_string().contains("memory words"), "{err}");
+    }
+
+    #[test]
+    fn structured_block_dim_mismatch_is_corrupt() {
+        let (original, _) = structured_deployed();
+        let mut buffer = Vec::new();
+        save_deployed(&original, &mut buffer).unwrap();
+        // block dim lives right after the 5-byte magic+kind and the
+        // 4 u32 + f32 header.
+        let offset = 5 + 4 * 4 + 4;
+        buffer[offset..offset + 4].copy_from_slice(&3u32.to_le_bytes());
+        let err = load_deployed(buffer.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("block dim"), "{err}");
     }
 
     #[test]

@@ -4,7 +4,7 @@ use crate::top2::categorize_batch;
 use disthd_datasets::Dataset;
 use disthd_eval::{Classifier, EpochRecord, ModelError, TrainingHistory};
 use disthd_hd::center::EncodingCenter;
-use disthd_hd::encoder::{Encoder, RbfEncoder, RegenerativeEncoder};
+use disthd_hd::encoder::{AnyRbfEncoder, Encoder, RegenerativeEncoder};
 use disthd_hd::learn::{adaptive_epoch, bundle_init};
 use disthd_hd::ClassModel;
 use disthd_linalg::SeededRng;
@@ -52,7 +52,7 @@ pub struct FitReport {
 #[derive(Debug, Clone)]
 pub struct DistHd {
     pub(crate) config: DistHdConfig,
-    pub(crate) encoder: RbfEncoder,
+    pub(crate) encoder: AnyRbfEncoder,
     pub(crate) model: Option<ClassModel>,
     pub(crate) center: Option<EncodingCenter>,
     pub(crate) class_count: usize,
@@ -72,7 +72,8 @@ impl DistHd {
     /// [`DistHdConfig::validate`]).
     pub fn new(config: DistHdConfig, feature_dim: usize, class_count: usize) -> Self {
         config.validate();
-        let encoder = RbfEncoder::new(feature_dim, config.dim, config.seed);
+        let encoder =
+            AnyRbfEncoder::new(config.encoder_backend, feature_dim, config.dim, config.seed);
         Self {
             config,
             encoder,
@@ -90,7 +91,7 @@ impl DistHd {
     }
 
     /// Borrows the (regenerative) encoder.
-    pub fn encoder(&self) -> &RbfEncoder {
+    pub fn encoder(&self) -> &AnyRbfEncoder {
         &self.encoder
     }
 

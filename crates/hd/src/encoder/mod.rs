@@ -7,6 +7,13 @@
 //! * [`RbfEncoder`] — the paper's nonlinear encoder:
 //!   `h_i = cos(B_i·F + c_i) · sin(B_i·F)` with `B_i ~ N(0,1)^n`,
 //!   `c_i ~ U[0, 2π)` (§III-C, after Rahimi & Recht's random features \[21\]).
+//! * [`StructuredRbfEncoder`] — the same kernel map with the dense Gaussian
+//!   bases replaced by sign-diagonal × Walsh–Hadamard products
+//!   (SORF/Fastfood): `O(D log D)` encode instead of `O(F·D)`, with a dense
+//!   overlay so per-dimension regeneration still works.
+//! * [`AnyRbfEncoder`] — runtime dispatch between the two RBF backends
+//!   (selected by [`EncoderBackend`]); what the trainer and deployments
+//!   actually hold.
 //! * [`LinearProjectionEncoder`] — plain random projection `H = B·F`,
 //!   the static encoder of classical HDC.
 //! * [`LevelIdEncoder`] — quantized level/ID binding encoder for
@@ -18,13 +25,25 @@ mod level;
 mod projection;
 mod rbf;
 mod record;
+mod structured;
 
 pub use level::LevelIdEncoder;
 pub use projection::LinearProjectionEncoder;
 pub use rbf::{RbfEncoder, DEFAULT_BANDWIDTH};
 pub use record::RecordEncoder;
+pub use structured::StructuredRbfEncoder;
 
-use disthd_linalg::{Matrix, SeededRng, ShapeError};
+use disthd_linalg::{Matrix, RngSeed, SeededRng, ShapeError};
+
+/// The fused RBF epilogue `cos(p + c)·sin(p)`, evaluated through the
+/// product-to-sum identity `½(sin(2p + c) − sin(c))` with `sin(c)`
+/// precomputed — one `sin` per element instead of a `cos` plus a `sin`.
+/// Shared verbatim by the dense and structured encoders so backend choice
+/// never changes the nonlinearity's numerics.
+#[inline]
+pub(crate) fn half_angle_cosine(projection: f32, phase: f32, phase_sin: f32) -> f32 {
+    0.5 * ((2.0 * projection + phase).sin() - phase_sin)
+}
 
 /// Maps low-dimensional feature vectors onto hyperdimensional space.
 ///
@@ -89,4 +108,270 @@ pub trait RegenerativeEncoder: Encoder {
     /// Count of dimensions regenerated so far (for effective-dimension
     /// accounting, `D* = D + ΣR%·D`).
     fn regenerated_count(&self) -> u64;
+}
+
+/// Which RBF encoder implementation a model uses.
+///
+/// `Dense` is the paper-literal `O(F·D)` Gaussian base matrix; `Structured`
+/// is the `O(D log D)` SORF construction ([`StructuredRbfEncoder`]) that
+/// approximates the same kernel.  Both feed the identical fused half-angle
+/// epilogue and expose identical regeneration semantics, so the choice is a
+/// speed/fidelity knob, not a behavioural one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EncoderBackend {
+    /// Dense Gaussian base matrix ([`RbfEncoder`]).
+    #[default]
+    Dense,
+    /// Sign-diagonal × Walsh–Hadamard products ([`StructuredRbfEncoder`]).
+    Structured,
+}
+
+impl EncoderBackend {
+    /// Parses a backend name as used by `DISTHD_ENCODER` and the bench
+    /// bins (`"dense"` / `"structured"`, case-insensitive).
+    pub fn parse(name: &str) -> Option<Self> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "dense" => Some(Self::Dense),
+            "structured" => Some(Self::Structured),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for EncoderBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Self::Dense => "dense",
+            Self::Structured => "structured",
+        })
+    }
+}
+
+/// Runtime dispatch over the two RBF encoder backends.
+///
+/// The trainer, the serving deployment and the persistence layer all hold
+/// this enum so one `DistHdConfig` field switches the entire pipeline
+/// between the dense GEMM encoder and the structured FHT encoder.
+///
+/// # Example
+///
+/// ```
+/// use disthd_hd::encoder::{AnyRbfEncoder, Encoder, EncoderBackend};
+/// use disthd_linalg::RngSeed;
+///
+/// let enc = AnyRbfEncoder::new(EncoderBackend::Structured, 8, 256, RngSeed(3));
+/// assert_eq!(enc.backend(), EncoderBackend::Structured);
+/// assert_eq!(enc.encode(&[0.5; 8])?.len(), 256);
+/// # Ok::<(), disthd_linalg::ShapeError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub enum AnyRbfEncoder {
+    /// Dense Gaussian base matrix.
+    Dense(RbfEncoder),
+    /// Structured Walsh–Hadamard construction with a dense regeneration
+    /// overlay.
+    Structured(StructuredRbfEncoder),
+}
+
+impl AnyRbfEncoder {
+    /// Creates an encoder of the requested backend with the default
+    /// bandwidth.
+    pub fn new(
+        backend: EncoderBackend,
+        input_dim: usize,
+        output_dim: usize,
+        seed: RngSeed,
+    ) -> Self {
+        Self::with_bandwidth(backend, input_dim, output_dim, DEFAULT_BANDWIDTH, seed)
+    }
+
+    /// Creates an encoder of the requested backend with an explicit kernel
+    /// bandwidth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidth <= 0` (and, for the structured backend, if
+    /// either dimension is zero).
+    pub fn with_bandwidth(
+        backend: EncoderBackend,
+        input_dim: usize,
+        output_dim: usize,
+        bandwidth: f32,
+        seed: RngSeed,
+    ) -> Self {
+        match backend {
+            EncoderBackend::Dense => Self::Dense(RbfEncoder::with_bandwidth(
+                input_dim, output_dim, bandwidth, seed,
+            )),
+            EncoderBackend::Structured => Self::Structured(StructuredRbfEncoder::with_bandwidth(
+                input_dim, output_dim, bandwidth, seed,
+            )),
+        }
+    }
+
+    /// Which backend this encoder runs on.
+    pub fn backend(&self) -> EncoderBackend {
+        match self {
+            Self::Dense(_) => EncoderBackend::Dense,
+            Self::Structured(_) => EncoderBackend::Structured,
+        }
+    }
+
+    /// Standard deviation of the (implicit) base vectors — needed to
+    /// persist and reconstruct either backend.
+    pub fn base_std(&self) -> f32 {
+        match self {
+            Self::Dense(e) => e.base_std(),
+            Self::Structured(e) => e.base_std(),
+        }
+    }
+
+    /// Re-encodes only the selected dimensions of an already-encoded batch
+    /// (see [`RbfEncoder::reencode_dims`] /
+    /// [`StructuredRbfEncoder::reencode_dims`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] on a batch or encoded-shape mismatch.
+    pub fn reencode_dims(
+        &self,
+        batch: &Matrix,
+        encoded: &mut Matrix,
+        dims: &[usize],
+    ) -> Result<(), ShapeError> {
+        match self {
+            Self::Dense(e) => e.reencode_dims(batch, encoded, dims),
+            Self::Structured(e) => e.reencode_dims(batch, encoded, dims),
+        }
+    }
+
+    /// Borrows the dense variant, if that is the active backend
+    /// (persistence dispatch).
+    pub fn as_dense(&self) -> Option<&RbfEncoder> {
+        match self {
+            Self::Dense(e) => Some(e),
+            Self::Structured(_) => None,
+        }
+    }
+
+    /// Borrows the structured variant, if that is the active backend
+    /// (persistence dispatch).
+    pub fn as_structured(&self) -> Option<&StructuredRbfEncoder> {
+        match self {
+            Self::Dense(_) => None,
+            Self::Structured(e) => Some(e),
+        }
+    }
+}
+
+impl From<RbfEncoder> for AnyRbfEncoder {
+    fn from(encoder: RbfEncoder) -> Self {
+        Self::Dense(encoder)
+    }
+}
+
+impl From<StructuredRbfEncoder> for AnyRbfEncoder {
+    fn from(encoder: StructuredRbfEncoder) -> Self {
+        Self::Structured(encoder)
+    }
+}
+
+impl Encoder for AnyRbfEncoder {
+    fn input_dim(&self) -> usize {
+        match self {
+            Self::Dense(e) => e.input_dim(),
+            Self::Structured(e) => e.input_dim(),
+        }
+    }
+
+    fn output_dim(&self) -> usize {
+        match self {
+            Self::Dense(e) => e.output_dim(),
+            Self::Structured(e) => e.output_dim(),
+        }
+    }
+
+    fn encode(&self, features: &[f32]) -> Result<Vec<f32>, ShapeError> {
+        match self {
+            Self::Dense(e) => e.encode(features),
+            Self::Structured(e) => e.encode(features),
+        }
+    }
+
+    fn encode_batch(&self, batch: &Matrix) -> Result<Matrix, ShapeError> {
+        match self {
+            Self::Dense(e) => e.encode_batch(batch),
+            Self::Structured(e) => e.encode_batch(batch),
+        }
+    }
+}
+
+impl RegenerativeEncoder for AnyRbfEncoder {
+    fn regenerate(&mut self, dims: &[usize], rng: &mut SeededRng) {
+        match self {
+            Self::Dense(e) => e.regenerate(dims, rng),
+            Self::Structured(e) => e.regenerate(dims, rng),
+        }
+    }
+
+    fn regenerated_count(&self) -> u64 {
+        match self {
+            Self::Dense(e) => e.regenerated_count(),
+            Self::Structured(e) => e.regenerated_count(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod backend_tests {
+    use super::*;
+
+    #[test]
+    fn backend_parse_and_display_round_trip() {
+        for backend in [EncoderBackend::Dense, EncoderBackend::Structured] {
+            assert_eq!(EncoderBackend::parse(&backend.to_string()), Some(backend));
+        }
+        assert_eq!(
+            EncoderBackend::parse(" Structured "),
+            Some(EncoderBackend::Structured)
+        );
+        assert_eq!(EncoderBackend::parse("fastfood"), None);
+        assert_eq!(EncoderBackend::default(), EncoderBackend::Dense);
+    }
+
+    #[test]
+    fn any_encoder_dispatches_to_the_selected_backend() {
+        let mut rng = SeededRng::new(RngSeed(2));
+        for backend in [EncoderBackend::Dense, EncoderBackend::Structured] {
+            let mut enc = AnyRbfEncoder::new(backend, 5, 64, RngSeed(1));
+            assert_eq!(enc.backend(), backend);
+            assert_eq!(enc.input_dim(), 5);
+            assert_eq!(enc.output_dim(), 64);
+            assert!(enc.base_std() > 0.0);
+            let x = [0.2, -0.1, 0.5, 0.9, 0.0];
+            let single = enc.encode(&x).unwrap();
+            let batch = enc
+                .encode_batch(&Matrix::from_rows(&[x.to_vec()]).unwrap())
+                .unwrap();
+            for (a, b) in single.iter().zip(batch.row(0)) {
+                assert!((a - b).abs() < 1e-5, "{backend}: {a} vs {b}");
+            }
+            let before = enc.encode(&x).unwrap();
+            enc.regenerate(&[3], &mut rng);
+            assert_eq!(enc.regenerated_count(), 1);
+            let after = enc.encode(&x).unwrap();
+            assert_ne!(before[3], after[3], "{backend}");
+            assert_eq!(before[4], after[4], "{backend}");
+        }
+    }
+
+    #[test]
+    fn as_variant_accessors_match_backend() {
+        let dense = AnyRbfEncoder::new(EncoderBackend::Dense, 4, 16, RngSeed(1));
+        assert!(dense.as_dense().is_some());
+        assert!(dense.as_structured().is_none());
+        let structured = AnyRbfEncoder::new(EncoderBackend::Structured, 4, 16, RngSeed(1));
+        assert!(structured.as_dense().is_none());
+        assert!(structured.as_structured().is_some());
+    }
 }

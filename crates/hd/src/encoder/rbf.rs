@@ -105,10 +105,11 @@ impl RbfEncoder {
     }
 
     /// The nonlinearity `cos(p + c)·sin(p)`, evaluated as
-    /// `½(sin(2p + c) − sin(c))` with `sin(c)` precomputed.
+    /// `½(sin(2p + c) − sin(c))` with `sin(c)` precomputed — shared with
+    /// the structured backend via [`super::half_angle_cosine`].
     #[inline]
     fn nonlinearity(projection: f32, phase: f32, phase_sin: f32) -> f32 {
-        0.5 * ((2.0 * projection + phase).sin() - phase_sin)
+        super::half_angle_cosine(projection, phase, phase_sin)
     }
 
     /// Applies the nonlinearity to a row of raw projections, in place.

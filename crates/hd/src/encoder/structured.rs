@@ -1,0 +1,854 @@
+use super::{half_angle_cosine, Encoder, RegenerativeEncoder};
+use disthd_linalg::{
+    dot, fht_inplace, parallel, Gaussian, Matrix, RngSeed, SeededRng, ShapeError, Uniform,
+};
+use std::collections::BTreeMap;
+
+/// Rows per parallel work unit of the structured batch encode.  Fixed (never
+/// derived from the worker count) so results are bit-identical at any thread
+/// count, exactly like the GEMM's row chunking.
+const ENCODE_ROW_CHUNK: usize = 8;
+
+/// Sentinel in the dim → overlay-column map: "still on the structured
+/// backbone".
+const NOT_OVERLAID: u32 = u32::MAX;
+
+/// Structured (SORF/Fastfood-style) drop-in for [`super::RbfEncoder`]:
+/// the dense Gaussian base matrix is replaced by blocks of
+/// `H·diag(s₃)·H·diag(s₂)·H·diag(s₁)` — three Walsh–Hadamard transforms
+/// interleaved with random sign diagonals — cutting batch encode from
+/// `O(F·D)` multiply-adds to `O(D log D)` butterflies per sample.
+///
+/// ## Construction
+///
+/// The input is zero-padded to `d = F.next_power_of_two()` and
+/// `⌈D / d⌉` independent blocks are stacked, each with its own three
+/// Rademacher sign vectors.  With the unnormalized Hadamard transform
+/// (`H·Hᵀ = d·I`) the product `M = H·S₃·H·S₂·H·S₁` satisfies
+/// `M·Mᵀ = d³·I`, so scaling by `base_std / d` gives every implicit base
+/// vector the exact norm `base_std·√d` — the expected norm of the dense
+/// encoder's `N(0, base_std²)^d` draws — and projections with the same
+/// `base_std²·‖F‖²` variance as the dense encoder (the SORF approximation
+/// of the same RBF kernel).  The projections then feed the identical fused
+/// half-angle cosine epilogue, so downstream behaviour (bandwidth,
+/// centering, quantization) is unchanged.
+///
+/// ## Regeneration: the dense overlay
+///
+/// DistHD's Algorithm 2 regenerates *individual* dimensions, but a
+/// structured dimension has no private base vector to redraw — every output
+/// of a block shares the same sign diagonals.  A regenerated dimension is
+/// therefore **evicted** from the structured backbone into a small dense
+/// overlay: it gets a fresh private Gaussian base vector (exactly a dense
+/// [`super::RbfEncoder`] column), stored as one row of a patch matrix.
+/// Encoding computes the structured pass for all `D` dimensions and then
+/// overwrites the overlaid columns via the existing 4×16 GEMM
+/// ([`Matrix::matmul_map`]).  `fit` / `partial_fit` / regeneration semantics
+/// are therefore identical to the dense encoder's, and the overlay GEMM
+/// costs `O(F·m)` per sample for `m` evicted dimensions — tiny relative to
+/// the FHT pass while regeneration touches a minority of dimensions.
+///
+/// # Example
+///
+/// ```
+/// use disthd_hd::encoder::{Encoder, RegenerativeEncoder, StructuredRbfEncoder};
+/// use disthd_linalg::{RngSeed, SeededRng};
+///
+/// let mut encoder = StructuredRbfEncoder::new(4, 128, RngSeed(9));
+/// let before = encoder.encode(&[0.3, 0.1, 0.8, 0.5])?;
+/// let mut rng = SeededRng::new(RngSeed(10));
+/// encoder.regenerate(&[0, 1, 2], &mut rng);
+/// let after = encoder.encode(&[0.3, 0.1, 0.8, 0.5])?;
+/// assert_ne!(before[0], after[0]);      // regenerated dims change
+/// assert_eq!(before[3], after[3]);      // untouched dims are stable
+/// # Ok::<(), disthd_linalg::ShapeError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct StructuredRbfEncoder {
+    input_dim: usize,
+    output_dim: usize,
+    /// Standard deviation the implicit base vectors emulate
+    /// (`bandwidth / √n`, same as the dense encoder).
+    base_std: f32,
+    /// Padded transform length `d = input_dim.next_power_of_two()`.
+    block_dim: usize,
+    /// Number of stacked blocks `⌈D / d⌉`.
+    blocks: usize,
+    /// Rademacher sign diagonals as `±1.0` (ready to multiply):
+    /// `3 · blocks · block_dim` entries, laid out `[block][stage][lane]`.
+    signs: Vec<f32>,
+    /// Per-dimension phases `c_i ~ U[0, 2π)`.
+    phases: Vec<f32>,
+    /// Precomputed `sin(c_i)` (see `RbfEncoder::phase_sins`).
+    phase_sins: Vec<f32>,
+    /// Dim → overlay row index, [`NOT_OVERLAID`] while structured.
+    overlay_index: Vec<u32>,
+    /// Evicted dims in eviction order (row `j` of `overlay_rows` is the
+    /// private base vector of `overlay_dims[j]`).
+    overlay_dims: Vec<usize>,
+    /// `m × n` overlay base vectors, one row per evicted dim.
+    overlay_rows: Matrix,
+    /// Cached `n × m` transpose of `overlay_rows` — the right-hand side of
+    /// the overlay GEMM, rebuilt once per [`RegenerativeEncoder::regenerate`]
+    /// call so the encode hot path never re-transposes.
+    overlay_cols: Matrix,
+    regenerated: u64,
+}
+
+impl StructuredRbfEncoder {
+    /// Creates a structured encoder for `input_dim` features and
+    /// `output_dim` hyperdimensions with the default bandwidth.
+    pub fn new(input_dim: usize, output_dim: usize, seed: RngSeed) -> Self {
+        Self::with_bandwidth(input_dim, output_dim, super::DEFAULT_BANDWIDTH, seed)
+    }
+
+    /// Creates a structured encoder with an explicit kernel bandwidth `γ`
+    /// (see [`super::RbfEncoder::with_bandwidth`] for the scaling rationale;
+    /// the structured construction targets the same projection variance).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidth <= 0`, `input_dim == 0` or `output_dim == 0`.
+    pub fn with_bandwidth(
+        input_dim: usize,
+        output_dim: usize,
+        bandwidth: f32,
+        seed: RngSeed,
+    ) -> Self {
+        assert!(bandwidth > 0.0, "bandwidth must be positive");
+        assert!(input_dim > 0, "input_dim must be positive");
+        assert!(output_dim > 0, "output_dim must be positive");
+        let base_std = bandwidth / (input_dim as f32).sqrt();
+        let block_dim = input_dim.next_power_of_two();
+        let blocks = output_dim.div_ceil(block_dim);
+        let mut rng = SeededRng::derive_stream(seed, 0x50FF);
+        let signs: Vec<f32> = (0..3 * blocks * block_dim)
+            .map(|_| if rng.next_bool(0.5) { 1.0 } else { -1.0 })
+            .collect();
+        let phases = Uniform::phase().sample_vec(&mut rng, output_dim);
+        let phase_sins = phases.iter().map(|c| c.sin()).collect();
+        Self {
+            input_dim,
+            output_dim,
+            base_std,
+            block_dim,
+            blocks,
+            signs,
+            phases,
+            phase_sins,
+            overlay_index: vec![NOT_OVERLAID; output_dim],
+            overlay_dims: Vec::new(),
+            overlay_rows: Matrix::zeros(0, input_dim),
+            overlay_cols: Matrix::zeros(input_dim, 0),
+            regenerated: 0,
+        }
+    }
+
+    /// Padded transform length `d` (the per-block FHT size).
+    pub fn block_dim(&self) -> usize {
+        self.block_dim
+    }
+
+    /// Standard deviation the implicit base vectors emulate (persistence).
+    pub fn base_std(&self) -> f32 {
+        self.base_std
+    }
+
+    /// Borrows the per-dimension phases (persistence).
+    pub fn phases(&self) -> &[f32] {
+        &self.phases
+    }
+
+    /// Evicted dimensions in overlay-row order (persistence).
+    pub fn overlay_dims(&self) -> &[usize] {
+        &self.overlay_dims
+    }
+
+    /// Borrows the `m × n` overlay base-vector rows (persistence).
+    pub fn overlay_rows(&self) -> &Matrix {
+        &self.overlay_rows
+    }
+
+    /// Total sign entries (`3 · blocks · block_dim`), derivable from the
+    /// shape but exposed so readers can size their buffers.
+    pub fn sign_count(&self) -> usize {
+        self.signs.len()
+    }
+
+    /// Packs the sign diagonals into `u64` words, bit `i` set ⇔ sign `i` is
+    /// `+1` (persistence: 64 signs per word instead of one f32 each).
+    pub fn packed_signs(&self) -> Vec<u64> {
+        let mut words = vec![0u64; self.signs.len().div_ceil(64)];
+        for (i, &s) in self.signs.iter().enumerate() {
+            if s > 0.0 {
+                words[i / 64] |= 1 << (i % 64);
+            }
+        }
+        words
+    }
+
+    /// Reassembles an encoder from persisted parts.
+    ///
+    /// `packed_signs` is the [`StructuredRbfEncoder::packed_signs`] word
+    /// vector; overlay rows carry one private base vector per entry of
+    /// `overlay_dims`, in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the dimensions are inconsistent:
+    /// `block_dim` not the padded input size, too few sign words, a phase
+    /// count different from `output_dim`, an overlay shape mismatch, or an
+    /// overlay dim out of range / repeated.
+    // One parameter per persisted field of the DHD2 structured layout; a
+    // builder would only re-spell the format.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        input_dim: usize,
+        output_dim: usize,
+        base_std: f32,
+        block_dim: usize,
+        packed_signs: &[u64],
+        phases: Vec<f32>,
+        overlay_dims: Vec<usize>,
+        overlay_rows: Matrix,
+    ) -> Result<Self, ShapeError> {
+        if input_dim == 0
+            || output_dim == 0
+            || block_dim != input_dim.next_power_of_two()
+            || phases.len() != output_dim
+        {
+            return Err(ShapeError::new(
+                "structured_from_parts",
+                (input_dim, output_dim),
+                (block_dim, phases.len()),
+            ));
+        }
+        let blocks = output_dim.div_ceil(block_dim);
+        let sign_count = 3 * blocks * block_dim;
+        if packed_signs.len() != sign_count.div_ceil(64) {
+            return Err(ShapeError::new(
+                "structured_from_parts",
+                (sign_count, 0),
+                (packed_signs.len(), 64),
+            ));
+        }
+        let signs: Vec<f32> = (0..sign_count)
+            .map(|i| {
+                if (packed_signs[i / 64] >> (i % 64)) & 1 == 1 {
+                    1.0
+                } else {
+                    -1.0
+                }
+            })
+            .collect();
+        if overlay_rows.shape() != (overlay_dims.len(), input_dim) {
+            return Err(ShapeError::new(
+                "structured_from_parts",
+                overlay_rows.shape(),
+                (overlay_dims.len(), input_dim),
+            ));
+        }
+        let mut overlay_index = vec![NOT_OVERLAID; output_dim];
+        for (j, &d) in overlay_dims.iter().enumerate() {
+            if d >= output_dim || overlay_index[d] != NOT_OVERLAID {
+                return Err(ShapeError::new(
+                    "structured_from_parts",
+                    (d, j),
+                    (output_dim, overlay_dims.len()),
+                ));
+            }
+            overlay_index[d] = j as u32;
+        }
+        let phase_sins = phases.iter().map(|c| c.sin()).collect();
+        let overlay_cols = overlay_rows.transpose();
+        Ok(Self {
+            input_dim,
+            output_dim,
+            base_std,
+            block_dim,
+            blocks,
+            signs,
+            phases,
+            phase_sins,
+            overlay_index,
+            overlay_dims,
+            overlay_rows,
+            overlay_cols,
+            regenerated: 0,
+        })
+    }
+
+    /// Number of dimensions currently evicted into the dense overlay.
+    pub fn overlay_len(&self) -> usize {
+        self.overlay_dims.len()
+    }
+
+    /// Scale applied to raw block-transform outputs (see the type docs).
+    #[inline]
+    fn projection_scale(&self) -> f32 {
+        self.base_std / self.block_dim as f32
+    }
+
+    /// Raw block transform: `scratch ← H·(s₃ ⊙ H·(s₂ ⊙ H·(s₁ ⊙ x_pad)))`
+    /// for block `b`, with the `s₁` multiply fused into the zero-padding
+    /// copy.  No scale or nonlinearity — shared verbatim by the batch
+    /// encode and the partial re-encode so both are bit-identical.
+    fn transform_block(&self, features: &[f32], b: usize, scratch: &mut [f32]) {
+        let d = self.block_dim;
+        debug_assert_eq!(scratch.len(), d);
+        let signs = &self.signs[b * 3 * d..(b + 1) * 3 * d];
+        let (s1, rest) = signs.split_at(d);
+        let (s2, s3) = rest.split_at(d);
+        for ((slot, &f), &s) in scratch.iter_mut().zip(features.iter()).zip(s1.iter()) {
+            *slot = f * s;
+        }
+        scratch[features.len()..].fill(0.0);
+        fht_inplace(scratch);
+        for (v, &s) in scratch.iter_mut().zip(s2.iter()) {
+            *v *= s;
+        }
+        fht_inplace(scratch);
+        for (v, &s) in scratch.iter_mut().zip(s3.iter()) {
+            *v *= s;
+        }
+        fht_inplace(scratch);
+    }
+
+    /// Structured pass for one sample: every output dimension through the
+    /// block transforms, scale and half-angle epilogue.  Overlay columns
+    /// are written too (and overwritten by the caller's overlay pass) —
+    /// skipping them would cost a branch per lane on the hot path.
+    fn encode_structured_row(&self, features: &[f32], out: &mut [f32], scratch: &mut [f32]) {
+        debug_assert_eq!(out.len(), self.output_dim);
+        let d = self.block_dim;
+        let scale = self.projection_scale();
+        for b in 0..self.blocks {
+            self.transform_block(features, b, scratch);
+            let start = b * d;
+            let width = (self.output_dim - start).min(d);
+            for (j, slot) in out[start..start + width].iter_mut().enumerate() {
+                let dim = start + j;
+                *slot =
+                    half_angle_cosine(scratch[j] * scale, self.phases[dim], self.phase_sins[dim]);
+            }
+        }
+    }
+
+    /// Re-encodes only the selected dimensions of an already-encoded batch
+    /// (the partial update Algorithm 2 relies on — see
+    /// [`super::RbfEncoder::reencode_dims`]).
+    ///
+    /// Overlaid dims recompute through their private dense base rows;
+    /// still-structured dims re-run their block's transform (grouped per
+    /// block so the FHT cost is paid once per block per sample), which is
+    /// bit-identical to a full [`Encoder::encode_batch`].  Out-of-range
+    /// dims are ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `batch.cols() != input_dim()` or `encoded`
+    /// has the wrong shape.
+    pub fn reencode_dims(
+        &self,
+        batch: &Matrix,
+        encoded: &mut Matrix,
+        dims: &[usize],
+    ) -> Result<(), ShapeError> {
+        if batch.cols() != self.input_dim {
+            return Err(ShapeError::new(
+                "reencode_dims",
+                batch.shape(),
+                (self.input_dim, self.output_dim),
+            ));
+        }
+        if encoded.shape() != (batch.rows(), self.output_dim) {
+            return Err(ShapeError::new(
+                "reencode_dims",
+                encoded.shape(),
+                (batch.rows(), self.output_dim),
+            ));
+        }
+        let mut structured_by_block: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for &dim in dims {
+            if dim >= self.output_dim {
+                continue;
+            }
+            let j = self.overlay_index[dim];
+            if j == NOT_OVERLAID {
+                structured_by_block
+                    .entry(dim / self.block_dim)
+                    .or_default()
+                    .push(dim);
+            } else {
+                let base = self.overlay_rows.row(j as usize);
+                let phase = self.phases[dim];
+                let phase_sin = self.phase_sins[dim];
+                for r in 0..batch.rows() {
+                    let p = dot(batch.row(r), base);
+                    encoded.set(r, dim, half_angle_cosine(p, phase, phase_sin));
+                }
+            }
+        }
+        if !structured_by_block.is_empty() {
+            let scale = self.projection_scale();
+            let mut scratch = vec![0.0f32; self.block_dim];
+            for (&b, block_dims) in &structured_by_block {
+                for r in 0..batch.rows() {
+                    self.transform_block(batch.row(r), b, &mut scratch);
+                    for &dim in block_dims {
+                        let value = half_angle_cosine(
+                            scratch[dim - b * self.block_dim] * scale,
+                            self.phases[dim],
+                            self.phase_sins[dim],
+                        );
+                        encoded.set(r, dim, value);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Encoder for StructuredRbfEncoder {
+    fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    fn output_dim(&self) -> usize {
+        self.output_dim
+    }
+
+    fn encode(&self, features: &[f32]) -> Result<Vec<f32>, ShapeError> {
+        if features.len() != self.input_dim {
+            return Err(ShapeError::new(
+                "structured_encode",
+                (1, features.len()),
+                (self.input_dim, self.output_dim),
+            ));
+        }
+        let mut out = vec![0.0f32; self.output_dim];
+        let mut scratch = vec![0.0f32; self.block_dim];
+        self.encode_structured_row(features, &mut out, &mut scratch);
+        for (j, &dim) in self.overlay_dims.iter().enumerate() {
+            let p = dot(features, self.overlay_rows.row(j));
+            out[dim] = half_angle_cosine(p, self.phases[dim], self.phase_sins[dim]);
+        }
+        Ok(out)
+    }
+
+    fn encode_batch(&self, batch: &Matrix) -> Result<Matrix, ShapeError> {
+        if batch.cols() != self.input_dim {
+            return Err(ShapeError::new(
+                "structured_encode",
+                batch.shape(),
+                (self.input_dim, self.output_dim),
+            ));
+        }
+        let mut out = Matrix::zeros(batch.rows(), self.output_dim);
+        if out.is_empty() {
+            return Ok(out);
+        }
+        // Structured pass, fanned out over the worker pool in fixed 8-row
+        // chunks (bit-identical at any thread count).  The per-chunk
+        // scratch makes the FHT workspace thread-private without a
+        // per-row allocation.
+        parallel::par_chunks_mut(
+            out.as_mut_slice(),
+            ENCODE_ROW_CHUNK * self.output_dim,
+            |chunk_index, chunk| {
+                let mut scratch = vec![0.0f32; self.block_dim];
+                let first = chunk_index * ENCODE_ROW_CHUNK;
+                for (offset, row) in chunk.chunks_mut(self.output_dim).enumerate() {
+                    self.encode_structured_row(batch.row(first + offset), row, &mut scratch);
+                }
+            },
+        );
+        // Overlay pass: one small dense GEMM over the evicted dims'
+        // private base vectors, fused with the same epilogue, scattered
+        // into the overlaid columns.
+        if !self.overlay_dims.is_empty() {
+            let patch = batch.matmul_map(&self.overlay_cols, |j, p| {
+                let dim = self.overlay_dims[j];
+                half_angle_cosine(p, self.phases[dim], self.phase_sins[dim])
+            })?;
+            for r in 0..batch.rows() {
+                let patch_row = patch.row(r);
+                let out_row = out.row_mut(r);
+                for (j, &dim) in self.overlay_dims.iter().enumerate() {
+                    out_row[dim] = patch_row[j];
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl RegenerativeEncoder for StructuredRbfEncoder {
+    fn regenerate(&mut self, dims: &[usize], rng: &mut SeededRng) {
+        let gaussian = Gaussian::new(0.0, self.base_std);
+        let phase = Uniform::phase();
+        let mut column = vec![0.0f32; self.input_dim];
+        let mut evicted_any = false;
+        for &dim in dims {
+            if dim >= self.output_dim {
+                continue;
+            }
+            // Same draw pattern as the dense encoder: n Gaussians for the
+            // base vector, then one phase.
+            gaussian.fill(rng, &mut column);
+            let new_phase = phase.sample(rng);
+            let j = self.overlay_index[dim];
+            if j == NOT_OVERLAID {
+                self.overlay_index[dim] = self.overlay_dims.len() as u32;
+                self.overlay_dims.push(dim);
+                self.overlay_rows
+                    .push_row(&column)
+                    .expect("overlay row width is input_dim by construction");
+                evicted_any = true;
+            } else {
+                self.overlay_rows
+                    .row_mut(j as usize)
+                    .copy_from_slice(&column);
+            }
+            self.phases[dim] = new_phase;
+            self.phase_sins[dim] = new_phase.sin();
+            self.regenerated += 1;
+        }
+        if evicted_any || !dims.is_empty() {
+            // The GEMM-side transpose is rebuilt once per regeneration
+            // call, never on the encode hot path.
+            self.overlay_cols = self.overlay_rows.transpose();
+        }
+    }
+
+    fn regenerated_count(&self) -> u64 {
+        self.regenerated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn encoder() -> StructuredRbfEncoder {
+        StructuredRbfEncoder::new(6, 200, RngSeed(42))
+    }
+
+    #[test]
+    fn output_is_bounded_by_unit_interval() {
+        let enc = encoder();
+        let hv = enc.encode(&[0.9, -0.5, 0.1, 2.0, -1.5, 0.3]).unwrap();
+        assert!(hv.iter().all(|h| (-1.0..=1.0).contains(h)));
+    }
+
+    #[test]
+    fn encode_is_deterministic_and_seeded() {
+        let enc = encoder();
+        let a = enc.encode(&[0.1; 6]).unwrap();
+        let b = enc.encode(&[0.1; 6]).unwrap();
+        assert_eq!(a, b);
+        let c = StructuredRbfEncoder::new(6, 200, RngSeed(43))
+            .encode(&[0.1; 6])
+            .unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn batch_encode_matches_single_encode_exactly_without_overlay() {
+        // The structured pass is the very same code for single and batch
+        // encoding, so with no overlay the results are bit-identical.
+        let enc = encoder();
+        let rows = vec![
+            vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6],
+            vec![-1.0, 0.0, 1.0, 0.5, -0.5, 0.25],
+            vec![0.0; 6],
+        ];
+        let batch = Matrix::from_rows(&rows).unwrap();
+        let encoded = enc.encode_batch(&batch).unwrap();
+        for (r, row) in rows.iter().enumerate() {
+            assert_eq!(encoded.row(r), enc.encode(row).unwrap().as_slice());
+        }
+    }
+
+    #[test]
+    fn batch_encode_matches_single_encode_with_overlay() {
+        // The overlay runs through the GEMM in batch mode and plain dots in
+        // single mode; FMA tiers may differ by ≤ 1 ulp per accumulation.
+        let mut enc = encoder();
+        let mut rng = SeededRng::new(RngSeed(5));
+        enc.regenerate(&[0, 7, 100, 199], &mut rng);
+        let rows = vec![
+            vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6],
+            vec![-1.0, 0.0, 1.0, 0.5, -0.5, 0.25],
+        ];
+        let batch = Matrix::from_rows(&rows).unwrap();
+        let encoded = enc.encode_batch(&batch).unwrap();
+        for (r, row) in rows.iter().enumerate() {
+            let single = enc.encode(row).unwrap();
+            for (c, (&a, &b)) in encoded.row(r).iter().zip(single.iter()).enumerate() {
+                assert!((a - b).abs() < 1e-5, "({r},{c}): batch {a} vs single {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn projection_variance_tracks_the_dense_target() {
+        // Mean squared raw projection over many dims should approximate
+        // base_std² · ‖x‖² — the dense encoder's projection variance.  The
+        // projections are recovered through asin of the encoded value at
+        // phase 0... instead, probe the implicit base matrix directly:
+        // encode basis vectors and use linearity of the pre-nonlinearity
+        // transform via two-point differences is overkill — check the
+        // implicit row norms instead: the transform of a basis vector eₖ
+        // yields column k of the implicit base matrix; accumulating squares
+        // over k gives every implicit row's norm, which must equal
+        // base_std·√d exactly (the construction is exactly orthogonal).
+        let n = 8;
+        let dim = 64;
+        let enc = StructuredRbfEncoder::new(n, dim, RngSeed(3));
+        let d = enc.block_dim();
+        assert_eq!(d, 8);
+        let mut row_sq = vec![0.0f64; dim];
+        let mut scratch = vec![0.0f32; d];
+        for k in 0..d {
+            let mut e = vec![0.0f32; n];
+            if k < n {
+                e[k] = 1.0;
+            }
+            for b in 0..enc.blocks {
+                enc.transform_block(&e, b, &mut scratch);
+                for (j, &v) in scratch.iter().enumerate() {
+                    let dim_index = b * d + j;
+                    if dim_index < dim {
+                        let scaled = f64::from(v) * f64::from(enc.projection_scale());
+                        row_sq[dim_index] += scaled * scaled;
+                    }
+                }
+            }
+        }
+        let expected = f64::from(enc.base_std) * (d as f64).sqrt();
+        for (i, &sq) in row_sq.iter().enumerate() {
+            let norm = sq.sqrt();
+            assert!(
+                (norm - expected).abs() < 1e-4 * expected,
+                "implicit row {i}: norm {norm} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn nearby_inputs_encode_to_similar_hypervectors() {
+        let enc = StructuredRbfEncoder::new(6, 2048, RngSeed(7));
+        let a = enc.encode(&[0.5, 0.5, 0.5, 0.5, 0.5, 0.5]).unwrap();
+        let b = enc.encode(&[0.51, 0.5, 0.5, 0.5, 0.5, 0.5]).unwrap();
+        let c = enc.encode(&[-0.9, 0.9, -0.9, 0.9, -0.9, 0.9]).unwrap();
+        let sim_ab = disthd_linalg::cosine_similarity(&a, &b);
+        let sim_ac = disthd_linalg::cosine_similarity(&a, &c);
+        assert!(sim_ab > sim_ac, "locality: {sim_ab} vs {sim_ac}");
+        assert!(sim_ab > 0.9);
+    }
+
+    #[test]
+    fn regeneration_changes_only_selected_dims_and_evicts_them() {
+        let mut enc = encoder();
+        let input = [0.3, -0.2, 0.7, 0.1, 0.9, -0.4];
+        let before = enc.encode(&input).unwrap();
+        let mut rng = SeededRng::new(RngSeed(99));
+        enc.regenerate(&[3, 5, 11], &mut rng);
+        assert_eq!(enc.overlay_len(), 3);
+        assert_eq!(enc.overlay_dims(), &[3, 5, 11]);
+        let after = enc.encode(&input).unwrap();
+        for i in 0..enc.output_dim() {
+            if [3, 5, 11].contains(&i) {
+                assert_ne!(before[i], after[i], "dim {i} should change");
+            } else {
+                assert_eq!(before[i], after[i], "dim {i} should be stable");
+            }
+        }
+        assert_eq!(enc.regenerated_count(), 3);
+        // Regenerating an already-evicted dim resamples in place, without
+        // growing the overlay.
+        enc.regenerate(&[5], &mut rng);
+        assert_eq!(enc.overlay_len(), 3);
+        let again = enc.encode(&input).unwrap();
+        assert_ne!(again[5], after[5]);
+        assert_eq!(again[3], after[3]);
+    }
+
+    #[test]
+    fn regeneration_ignores_out_of_range_dims() {
+        let mut enc = encoder();
+        let mut rng = SeededRng::new(RngSeed(1));
+        enc.regenerate(&[9999], &mut rng);
+        assert_eq!(enc.regenerated_count(), 0);
+        assert_eq!(enc.overlay_len(), 0);
+    }
+
+    #[test]
+    fn partial_reencode_matches_full_reencode() {
+        let mut enc = encoder();
+        let batch = Matrix::from_rows(&[
+            vec![0.1, 0.9, 0.4, 0.3, 0.7, 0.2],
+            vec![0.5, 0.5, 0.5, 0.5, 0.5, 0.5],
+        ])
+        .unwrap();
+        let mut encoded = enc.encode_batch(&batch).unwrap();
+        let mut rng = SeededRng::new(RngSeed(13));
+        let dims = [2usize, 7, 30, 199];
+        enc.regenerate(&dims, &mut rng);
+        enc.reencode_dims(&batch, &mut encoded, &dims).unwrap();
+        let full = enc.encode_batch(&batch).unwrap();
+        for r in 0..encoded.rows() {
+            for c in 0..encoded.cols() {
+                assert!(
+                    (encoded.get(r, c) - full.get(r, c)).abs() < 1e-4,
+                    "({r},{c}): partial {} vs full {}",
+                    encoded.get(r, c),
+                    full.get(r, c)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reencode_of_structured_dims_is_bit_identical_to_encode() {
+        // Re-encoding a dim that was never evicted re-runs the very same
+        // block transform, so the value must match encode_batch bit for bit.
+        let enc = encoder();
+        let batch = Matrix::from_rows(&[
+            vec![0.2, -0.4, 0.6, 0.1, 0.0, 0.9],
+            vec![0.8, 0.3, -0.2, 0.5, 0.4, -0.6],
+        ])
+        .unwrap();
+        let reference = enc.encode_batch(&batch).unwrap();
+        let mut encoded = reference.clone();
+        // Scribble over a few columns, then ask for them back.
+        let dims = [0usize, 9, 150, 199];
+        for r in 0..encoded.rows() {
+            for &d in &dims {
+                encoded.set(r, d, f32::NAN);
+            }
+        }
+        enc.reencode_dims(&batch, &mut encoded, &dims).unwrap();
+        assert_eq!(encoded.as_slice(), reference.as_slice());
+    }
+
+    #[test]
+    fn encode_batch_is_bit_identical_across_thread_counts() {
+        let mut enc = StructuredRbfEncoder::new(6, 1030, RngSeed(21));
+        let mut rng = SeededRng::new(RngSeed(22));
+        enc.regenerate(&[1, 40, 700], &mut rng);
+        let batch = Matrix::from_fn(19, 6, |r, c| ((r + 2 * c) as f32).sin() * 0.4 + 0.5);
+        let serial =
+            disthd_linalg::parallel::with_thread_count(1, || enc.encode_batch(&batch).unwrap());
+        for threads in [2usize, 8] {
+            let parallel = disthd_linalg::parallel::with_thread_count(threads, || {
+                enc.encode_batch(&batch).unwrap()
+            });
+            assert_eq!(serial.as_slice(), parallel.as_slice(), "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_inputs_are_padded() {
+        // 6 features pad to an 8-point transform; 200 dims need 25 blocks.
+        let enc = encoder();
+        assert_eq!(enc.block_dim(), 8);
+        assert_eq!(enc.blocks, 25);
+        // Power-of-two inputs pad to themselves.
+        let pow2 = StructuredRbfEncoder::new(16, 64, RngSeed(2));
+        assert_eq!(pow2.block_dim(), 16);
+        assert_eq!(pow2.blocks, 4);
+    }
+
+    #[test]
+    fn encode_rejects_wrong_arity() {
+        assert!(encoder().encode(&[0.0; 5]).is_err());
+        assert!(encoder().encode_batch(&Matrix::zeros(2, 5)).is_err());
+    }
+
+    #[test]
+    fn partial_reencode_validates_shapes() {
+        let enc = encoder();
+        let batch = Matrix::zeros(2, 6);
+        let mut wrong = Matrix::zeros(2, 10);
+        assert!(enc.reencode_dims(&batch, &mut wrong, &[0]).is_err());
+        let bad_batch = Matrix::zeros(2, 3);
+        let mut encoded = Matrix::zeros(2, 200);
+        assert!(enc.reencode_dims(&bad_batch, &mut encoded, &[0]).is_err());
+    }
+
+    #[test]
+    fn from_parts_round_trips() {
+        let mut enc = StructuredRbfEncoder::new(6, 100, RngSeed(17));
+        let mut rng = SeededRng::new(RngSeed(18));
+        enc.regenerate(&[4, 50], &mut rng);
+        let rebuilt = StructuredRbfEncoder::from_parts(
+            6,
+            100,
+            enc.base_std(),
+            enc.block_dim(),
+            &enc.packed_signs(),
+            enc.phases().to_vec(),
+            enc.overlay_dims().to_vec(),
+            enc.overlay_rows().clone(),
+        )
+        .unwrap();
+        let x = [0.3, 0.1, -0.2, 0.8, 0.5, -0.9];
+        assert_eq!(enc.encode(&x).unwrap(), rebuilt.encode(&x).unwrap());
+    }
+
+    #[test]
+    fn from_parts_validates_consistency() {
+        let enc = StructuredRbfEncoder::new(6, 100, RngSeed(17));
+        // Wrong block_dim.
+        assert!(StructuredRbfEncoder::from_parts(
+            6,
+            100,
+            enc.base_std(),
+            16,
+            &enc.packed_signs(),
+            enc.phases().to_vec(),
+            vec![],
+            Matrix::zeros(0, 6),
+        )
+        .is_err());
+        // Short sign words.
+        assert!(StructuredRbfEncoder::from_parts(
+            6,
+            100,
+            enc.base_std(),
+            8,
+            &enc.packed_signs()[..1],
+            enc.phases().to_vec(),
+            vec![],
+            Matrix::zeros(0, 6),
+        )
+        .is_err());
+        // Overlay dim out of range.
+        assert!(StructuredRbfEncoder::from_parts(
+            6,
+            100,
+            enc.base_std(),
+            8,
+            &enc.packed_signs(),
+            enc.phases().to_vec(),
+            vec![500],
+            Matrix::zeros(1, 6),
+        )
+        .is_err());
+        // Duplicate overlay dim.
+        assert!(StructuredRbfEncoder::from_parts(
+            6,
+            100,
+            enc.base_std(),
+            8,
+            &enc.packed_signs(),
+            enc.phases().to_vec(),
+            vec![3, 3],
+            Matrix::zeros(2, 6),
+        )
+        .is_err());
+    }
+}

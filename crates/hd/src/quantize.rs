@@ -297,15 +297,17 @@ impl QuantizedMatrix {
     }
 
     /// Dot product of an `f32` query against the integer codes of row `r`
-    /// (scale **not** applied), accumulated segment by segment in the
-    /// fixed lane order of [`lane_dot`] — identical at any thread count
-    /// and identical to the batched kernel's per-element computation.
+    /// (scale **not** applied), accumulated in one ascending chain in the
+    /// GEMM micro-kernel's per-element order
+    /// ([`disthd_linalg::dot_gemm_order_from`]) — so a single query scores
+    /// **bit-identically** to the same query inside any batched
+    /// [`crate::quantized_similarity_matrix`] call, at any thread count.
     ///
-    /// This is the serving fast path: together with
+    /// This is the single-query serving path: together with
     /// [`QuantizedMatrix::code_inv_norms_into`] it ranks classes exactly
     /// like dequantize-then-cosine — the per-row scale cancels between the
-    /// numerator and the norm — while streaming 4–32× fewer bytes than an
-    /// `f32` class snapshot.
+    /// numerator and the norm — while the class memory stays at its packed
+    /// width (codes decode through a 1 KiB cache-resident segment).
     ///
     /// # Panics
     ///
@@ -322,10 +324,41 @@ impl QuantizedMatrix {
         while col0 < self.cols {
             let len = (self.cols - col0).min(UNPACK_SEGMENT);
             self.unpack_row_segment(r, col0, &mut buf[..len]);
-            acc += lane_dot(&buf[..len], &query[col0..col0 + len]);
+            acc = disthd_linalg::dot_gemm_order_from(acc, &buf[..len], &query[col0..col0 + len]);
             col0 += len;
         }
         acc
+    }
+
+    /// Unpacks every code into `panel` as the right-hand GEMM operand
+    /// `codesᵀ` (logical column `l` of the panel = integer codes of row
+    /// `l`, saturated exactly like [`QuantizedMatrix::dequantize`] but
+    /// scale-free).
+    ///
+    /// This is how the batched similarity path gets GEMM-grade throughput
+    /// without an f32 class *snapshot*: the packed words remain the single
+    /// source of truth (faults and hot-swaps mutate them, and this repack
+    /// rereads them), while the panel is a derived, in-place-refreshed
+    /// operand that lets the scoring GEMM run the full 4×16 register-tiled
+    /// micro-kernel.  Refreshing overwrites every logical slot, so a panel
+    /// can be reused across swaps without reallocation; padded lanes stay
+    /// zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `panel` was not created as `PackedRhs::new(cols, rows)`.
+    pub fn pack_codes_into(&self, panel: &mut disthd_linalg::PackedRhs) {
+        assert_eq!(
+            (panel.inner(), panel.cols()),
+            (self.cols, self.rows),
+            "pack_codes_into: panel shape must be (cols, rows)"
+        );
+        for l in 0..self.rows {
+            let mut slots = panel.column_slots(l);
+            self.for_each_row_value(l, |_, v| {
+                *slots.next().expect("panel inner equals column count") = v as f32;
+            });
+        }
     }
 
     /// Fills `out` with one reciprocal L2 norm of the integer codes per
@@ -416,42 +449,10 @@ impl QuantizedMatrix {
     }
 }
 
-/// Columns per unpacked segment of the integer similarity kernels: a 1 KiB
-/// f32 scratch block — resident in L1 alongside the query slices it is
-/// dotted against.
+/// Columns per unpacked segment of the single-query integer similarity
+/// kernel: a 1 KiB f32 scratch block — resident in L1 alongside the query
+/// slices it is dotted against.
 pub const UNPACK_SEGMENT: usize = 256;
-
-/// Dot product in a fixed 8-lane accumulation order: lane `j` accumulates
-/// elements `j, j+8, j+16, …` with fused multiply-adds, and the lanes
-/// reduce in a fixed tree at the end.
-///
-/// The lane structure removes the serial dependency a plain ascending dot
-/// has, letting the autovectorizer keep 8 FMA chains in flight; because the
-/// order is a pure function of the slice length it is identical at any
-/// thread count and shared verbatim by the single-query and batched
-/// similarity kernels.
-///
-/// # Panics
-///
-/// Panics if the slice lengths differ.
-pub fn lane_dot(a: &[f32], b: &[f32]) -> f32 {
-    assert_eq!(a.len(), b.len(), "lane_dot: length mismatch");
-    const LANES: usize = 8;
-    let mut lanes = [0.0f32; LANES];
-    let chunks = a.len() / LANES;
-    for i in 0..chunks {
-        for j in 0..LANES {
-            lanes[j] = a[i * LANES + j].mul_add(b[i * LANES + j], lanes[j]);
-        }
-    }
-    let mut tail = 0.0f32;
-    for i in chunks * LANES..a.len() {
-        tail = a[i].mul_add(b[i], tail);
-    }
-    (((lanes[0] + lanes[4]) + (lanes[1] + lanes[5]))
-        + ((lanes[2] + lanes[6]) + (lanes[3] + lanes[7])))
-        + tail
-}
 
 /// Extracts `len ≤ 64` bits starting at absolute bit offset `start`,
 /// low-aligned and zero-padded above `len`.
@@ -799,6 +800,46 @@ mod tests {
         let deq = q.dequantize();
         let got = q.row_dot_f32(0, &[1.0, 0.0]);
         assert_eq!(got * q.scales()[0], deq.get(0, 0));
+    }
+
+    #[test]
+    fn packed_codes_panel_matches_unpacked_rows() {
+        // The GEMM panel must hold exactly the saturated scale-free codes,
+        // column l = row l, at every width and at an odd (padded-tile)
+        // class count.
+        let m = odd_matrix(5, 37, 0xAB);
+        for w in BitWidth::all() {
+            let q = QuantizedMatrix::quantize(&m, w);
+            let mut panel = disthd_linalg::PackedRhs::new(37, 5);
+            q.pack_codes_into(&mut panel);
+            for l in 0..5 {
+                let mut expected = vec![0.0f32; 37];
+                q.unpack_row_segment(l, 0, &mut expected);
+                let got: Vec<f32> = panel.column_slots(l).map(|v| *v).collect();
+                assert_eq!(got, expected, "{w}, row {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn row_dot_f32_matches_gemm_order_on_the_unpacked_row() {
+        // The segmented single-query chain must equal one continuous
+        // dot_gemm_order over the fully unpacked row — the bridge to the
+        // batched GEMM's per-element chain.
+        let m = odd_matrix(2, 300, 0xCD);
+        let query: Vec<f32> = odd_matrix(1, 300, 0xEF).into_vec();
+        for w in BitWidth::all() {
+            let q = QuantizedMatrix::quantize(&m, w);
+            for r in 0..2 {
+                let mut unpacked = vec![0.0f32; 300];
+                q.unpack_row_segment(r, 0, &mut unpacked);
+                assert_eq!(
+                    q.row_dot_f32(r, &query),
+                    disthd_linalg::dot_gemm_order(&unpacked, &query),
+                    "{w}, row {r}"
+                );
+            }
+        }
     }
 
     #[test]

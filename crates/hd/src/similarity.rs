@@ -8,12 +8,7 @@
 
 use crate::bitpacked::BinaryHypervector;
 use crate::quantize::QuantizedMatrix;
-use disthd_linalg::{dot, normalize_l2, parallel, Matrix, ShapeError};
-
-/// Rows of the score matrix each parallel work unit of
-/// [`quantized_similarity_matrix`] owns — fixed, so chunk boundaries (and
-/// thus results) are independent of the worker count.
-const QSIM_ROW_CHUNK: usize = 8;
+use disthd_linalg::{dot, normalize_l2, Matrix, PackedRhs, ShapeError};
 
 /// Dot-product similarity of a query against every row of `normalized_rows`.
 ///
@@ -151,18 +146,29 @@ pub fn quantized_similarity_to_all(
 }
 
 /// Batched [`quantized_similarity_to_all`]: the `samples × classes` score
-/// matrix of every encoded row against a quantized class memory, fanned out
-/// over the parallel worker pool in fixed 8-sample chunks.
+/// matrix of every encoded row against a quantized class memory.
 ///
-/// Within a chunk, each class row is unpacked one
-/// [`UNPACK_SEGMENT`](crate::quantize::UNPACK_SEGMENT)-column
-/// segment at a time and that segment is dotted against *every* query in
-/// the chunk — the bit-unpack cost is amortized across the chunk while the
-/// class memory still streams at its packed width (up to 32× fewer bytes
-/// than an f32 snapshot).  Every `(sample, class)` score accumulates
-/// segment-by-segment in [`crate::quantize::lane_dot`]'s fixed lane order —
-/// exactly the computation [`quantized_similarity_to_all`] performs — so
-/// batch composition and thread count never change a bit of the result.
+/// The class codes run through the full 4×16 register-tiled GEMM
+/// micro-kernel ([`Matrix::matmul_prepacked_map`]): the packed words are
+/// decoded **once** into a tile-major [`PackedRhs`] panel of scale-free
+/// integer codes (saturating faulted codes exactly like `dequantize`), and
+/// the whole batch multiplies against that panel with the per-class
+/// `inv_norms` scaling fused into the store epilogue.  Per `(sample,
+/// class)` the accumulation is the GEMM's single ascending chain — exactly
+/// what [`quantized_similarity_to_all`] computes via
+/// [`disthd_linalg::dot_gemm_order_from`] — so batch composition and
+/// thread count never change a bit of the result.
+///
+/// The panel is decoded per call — written immediately before the GEMM
+/// reads it back out of cache, which measures *faster* than keeping a
+/// long-lived panel that starts every call cold (and it keeps the packed
+/// words the only state).  Batches too small to amortize the decode
+/// (fewer than [`QSIM_GEMM_MIN_ROWS`] rows — e.g. one-at-a-time serving)
+/// skip the panel entirely and score row by row through the single-query
+/// kernel, which is bit-identical by the shared accumulation chain.  A
+/// caller that genuinely reuses one panel across many products can decode
+/// it once ([`QuantizedMatrix::pack_codes_into`]) and call
+/// [`quantized_similarity_prepacked`] per batch.
 ///
 /// # Errors
 ///
@@ -173,7 +179,6 @@ pub fn quantized_similarity_matrix(
     classes: &QuantizedMatrix,
     inv_norms: &[f32],
 ) -> Result<Matrix, ShapeError> {
-    use crate::quantize::{lane_dot, UNPACK_SEGMENT};
     let (class_count, dim) = classes.shape();
     if encoded.cols() != dim || inv_norms.len() != class_count {
         return Err(ShapeError::new(
@@ -182,37 +187,48 @@ pub fn quantized_similarity_matrix(
             (class_count, dim),
         ));
     }
-    let mut scores = Matrix::zeros(encoded.rows(), class_count);
-    if scores.is_empty() {
+    if encoded.rows() < QSIM_GEMM_MIN_ROWS {
+        let mut scores = Matrix::zeros(encoded.rows(), class_count);
+        for r in 0..encoded.rows() {
+            let row = quantized_similarity_to_all(encoded.row(r), classes, inv_norms)?;
+            scores.row_mut(r).copy_from_slice(&row);
+        }
         return Ok(scores);
     }
-    parallel::par_chunks_mut(
-        scores.as_mut_slice(),
-        QSIM_ROW_CHUNK * class_count,
-        |chunk_index, chunk| {
-            let first_sample = chunk_index * QSIM_ROW_CHUNK;
-            let chunk_samples = chunk.len() / class_count;
-            let mut segment = [0.0f32; UNPACK_SEGMENT];
-            let mut partial = [0.0f32; QSIM_ROW_CHUNK];
-            for l in 0..class_count {
-                partial[..chunk_samples].fill(0.0);
-                let mut col0 = 0;
-                while col0 < dim {
-                    let len = (dim - col0).min(UNPACK_SEGMENT);
-                    classes.unpack_row_segment(l, col0, &mut segment[..len]);
-                    for (s, acc) in partial[..chunk_samples].iter_mut().enumerate() {
-                        let query = &encoded.row(first_sample + s)[col0..col0 + len];
-                        *acc += lane_dot(&segment[..len], query);
-                    }
-                    col0 += len;
-                }
-                for (s, &acc) in partial[..chunk_samples].iter().enumerate() {
-                    chunk[s * class_count + l] = acc * inv_norms[l];
-                }
-            }
-        },
-    );
-    Ok(scores)
+    let mut panel = PackedRhs::new(dim, class_count);
+    classes.pack_codes_into(&mut panel);
+    quantized_similarity_prepacked(encoded, &panel, inv_norms)
+}
+
+/// Below this many query rows the batched kernel scores row by row instead
+/// of decoding the full GEMM panel: decoding all `k·D` codes (plus the
+/// panel allocation) costs more than a couple of latency-bound single-query
+/// passes.  Both paths accumulate in the identical per-element chain, so
+/// the crossover affects speed only — never a result bit.
+const QSIM_GEMM_MIN_ROWS: usize = 4;
+
+/// [`quantized_similarity_matrix`] against an already-decoded code panel,
+/// for callers that score many batches against one class memory and keep
+/// the panel hot themselves (the bundled deployment deliberately does
+/// *not* — see [`quantized_similarity_matrix`]).
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `encoded.cols() != codes_panel.inner()` or
+/// `inv_norms.len() != codes_panel.cols()`.
+pub fn quantized_similarity_prepacked(
+    encoded: &Matrix,
+    codes_panel: &PackedRhs,
+    inv_norms: &[f32],
+) -> Result<Matrix, ShapeError> {
+    if encoded.cols() != codes_panel.inner() || inv_norms.len() != codes_panel.cols() {
+        return Err(ShapeError::new(
+            "quantized_similarity",
+            encoded.shape(),
+            (codes_panel.cols(), codes_panel.inner()),
+        ));
+    }
+    encoded.matmul_prepacked_map(codes_panel, |l, v| v * inv_norms[l])
 }
 
 /// Fully-integer similarity of a quantized query (a `1 × D`
@@ -428,6 +444,31 @@ mod tests {
                     parallel.as_slice(),
                     "{w}, {threads} threads"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn small_batches_row_path_matches_the_gemm_path_bitwise() {
+        // Batches under QSIM_GEMM_MIN_ROWS rows skip the panel and score
+        // through the single-query kernel; the shared accumulation chain
+        // makes that a pure speed decision — every score must equal the
+        // GEMM path's bit for bit.
+        let classes = lcg_matrix(4, 50, 0xC1);
+        let queries = lcg_matrix(9, 50, 0xC2);
+        for w in BitWidth::all() {
+            let q = QuantizedMatrix::quantize(&classes, w);
+            let mut inv_norms = Vec::new();
+            q.code_inv_norms_into(&mut inv_norms);
+            let full = quantized_similarity_matrix(&queries, &q, &inv_norms).unwrap();
+            for rows in [1usize, 2, 3] {
+                let subset: Vec<usize> = (0..rows).collect();
+                let small =
+                    quantized_similarity_matrix(&queries.select_rows(&subset), &q, &inv_norms)
+                        .unwrap();
+                for r in 0..rows {
+                    assert_eq!(small.row(r), full.row(r), "{w}, {rows} rows, row {r}");
+                }
             }
         }
     }

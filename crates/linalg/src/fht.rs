@@ -1,0 +1,387 @@
+//! In-place fast Walsh–Hadamard transform (FHT).
+//!
+//! The structured RBF encoder replaces its dense Gaussian base matrix with
+//! products of sign diagonals and Walsh–Hadamard transforms (SORF/Fastfood
+//! construction), which turns the `O(F·D)` encode GEMM into `O(D log D)`
+//! butterfly passes.  This module provides the kernel: an unnormalized
+//! Hadamard transform (`H·Hᵀ = n·I`, entries ±1 in Sylvester order) applied
+//! in place to a power-of-two-length `f32` slice.
+//!
+//! ## Determinism
+//!
+//! The butterfly schedule is **globally ascending in stride** — stride 1
+//! first, `n/2` last — regardless of blocking or arithmetic tier.  Every
+//! butterfly is one add and one subtract of the same two operands in every
+//! tier, so results are **bit-identical** across tiers and identical to the
+//! naive ascending loop.  (The cache-blocked order below performs stride-`s`
+//! passes inside each L1 block before any cross-block pass; since a
+//! stride-`s` butterfly only ever pairs elements within one `2s`-aligned
+//! group, this reorders *independent* butterflies and touches no operand
+//! early — the per-element operation sequence is unchanged.)
+//!
+//! ## Performance shape
+//!
+//! * **Cache blocking** — strides below [`FHT_BLOCK`] run to completion
+//!   inside one 16 KiB (L1-resident) block before the large cross-block
+//!   strides stream the whole buffer, so an `n`-point transform makes
+//!   `O(log(n / FHT_BLOCK))` full-buffer passes instead of `log n`.
+//! * **Radix-8 base** — strides 1, 2 and 4 are a fully unrolled in-register
+//!   kernel ([`butterfly8`]); those strides are shuffle-bound when expressed
+//!   as slice loops, and they account for 3 of the 12 passes at `n = 4096`.
+//! * **SIMD tiers** — the cross passes (stride ≥ 8, contiguous dual-stream
+//!   add/sub) run autovectorized by default, with a runtime-detected
+//!   AVX2 `std::arch` tier on x86_64, mirroring the GEMM's `KernelTier`.
+//!   Tiers never change results (adds and subtracts of identical operands).
+
+use std::sync::OnceLock;
+
+/// Largest sub-transform run to completion inside one cache block:
+/// 4096 f32 = 16 KiB, resident in a 32 KiB L1 alongside its write stream.
+const FHT_BLOCK: usize = 4096;
+
+/// Which implementation executes the stride ≥ 8 butterfly passes.
+///
+/// Both tiers perform the identical adds/subtracts in the identical order,
+/// so runtime detection never changes results — asserted by a parity test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FhtTier {
+    /// Plain slice loops; the autovectorizer handles them well under
+    /// `target-cpu=native`, and they are the fallback everywhere.
+    Portable,
+    /// Explicit 256-bit `std::arch` loads/adds/subs, selected by runtime
+    /// AVX2 detection on x86_64.
+    #[cfg(target_arch = "x86_64")]
+    Avx2,
+}
+
+/// Resolves the butterfly tier once per process (mirrors the GEMM's
+/// `kernel_tier`).
+fn fht_tier() -> FhtTier {
+    static TIER: OnceLock<FhtTier> = OnceLock::new();
+    *TIER.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx2") {
+                return FhtTier::Avx2;
+            }
+        }
+        FhtTier::Portable
+    })
+}
+
+/// Applies the unnormalized Walsh–Hadamard transform to `data` in place.
+///
+/// The transform is its own inverse up to the factor `n = data.len()`:
+/// `fht(fht(x)) = n · x` (exactly, when all intermediate sums are exactly
+/// representable).  An empty or single-element slice is returned unchanged.
+///
+/// # Example
+///
+/// ```
+/// use disthd_linalg::fht_inplace;
+///
+/// let mut x = vec![1.0f32, 0.0, 0.0, 0.0];
+/// fht_inplace(&mut x);            // first basis vector -> first Hadamard row
+/// assert_eq!(x, vec![1.0, 1.0, 1.0, 1.0]);
+/// fht_inplace(&mut x);            // involution: back to n * input
+/// assert_eq!(x, vec![4.0, 0.0, 0.0, 0.0]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a power of two (callers zero-pad; the
+/// structured encoder rounds its block size up to the next power of two).
+pub fn fht_inplace(data: &mut [f32]) {
+    fht_inplace_tier(data, fht_tier());
+}
+
+/// [`fht_inplace`] with an explicit butterfly tier — the parity-test entry
+/// point (the public API always uses the runtime-resolved tier).
+fn fht_inplace_tier(data: &mut [f32], tier: FhtTier) {
+    let n = data.len();
+    if n <= 1 {
+        return;
+    }
+    assert!(
+        n.is_power_of_two(),
+        "fht_inplace: length {n} is not a power of two"
+    );
+    // L1-resident phase: run every stride below the block size to
+    // completion inside each block (one load of the block covers
+    // log2(FHT_BLOCK) passes).
+    let block = n.min(FHT_BLOCK);
+    for chunk in data.chunks_mut(block) {
+        fht_in_cache(chunk, tier);
+    }
+    // Streaming phase: the remaining strides pair elements across blocks.
+    let mut stride = block;
+    while stride < n {
+        cross_pass(data, stride, tier);
+        stride <<= 1;
+    }
+}
+
+/// Full transform of one cache-resident block (`len ≤ FHT_BLOCK`).
+fn fht_in_cache(data: &mut [f32], tier: FhtTier) {
+    let n = data.len();
+    if n < 8 {
+        // n ∈ {2, 4}: too short for the radix-8 base kernel.
+        let mut stride = 1;
+        while stride < n {
+            cross_pass_portable(data, stride);
+            stride <<= 1;
+        }
+        return;
+    }
+    for group in data.chunks_exact_mut(8) {
+        butterfly8(group);
+    }
+    let mut stride = 8;
+    while stride < n {
+        cross_pass(data, stride, tier);
+        stride <<= 1;
+    }
+}
+
+/// Strides 1, 2 and 4 of one 8-element group, fully unrolled so the whole
+/// sub-transform lives in registers.  The operation order is exactly the
+/// ascending-stride schedule (pairs (0,1)(2,3)…, then (0,2)(1,3)…, then
+/// (0,4)(1,5)…), so the result is bit-identical to three scalar passes.
+#[inline]
+fn butterfly8(x: &mut [f32]) {
+    let (a0, a1) = (x[0] + x[1], x[0] - x[1]);
+    let (a2, a3) = (x[2] + x[3], x[2] - x[3]);
+    let (a4, a5) = (x[4] + x[5], x[4] - x[5]);
+    let (a6, a7) = (x[6] + x[7], x[6] - x[7]);
+    let (b0, b2) = (a0 + a2, a0 - a2);
+    let (b1, b3) = (a1 + a3, a1 - a3);
+    let (b4, b6) = (a4 + a6, a4 - a6);
+    let (b5, b7) = (a5 + a7, a5 - a7);
+    x[0] = b0 + b4;
+    x[1] = b1 + b5;
+    x[2] = b2 + b6;
+    x[3] = b3 + b7;
+    x[4] = b0 - b4;
+    x[5] = b1 - b5;
+    x[6] = b2 - b6;
+    x[7] = b3 - b7;
+}
+
+/// One stride-`s` butterfly pass, tier-dispatched.
+#[allow(unsafe_code)]
+#[inline]
+fn cross_pass(data: &mut [f32], stride: usize, tier: FhtTier) {
+    match tier {
+        FhtTier::Portable => cross_pass_portable(data, stride),
+        // SAFETY: the Avx2 tier is only ever constructed after runtime
+        // AVX2 detection (see `fht_tier`).
+        #[cfg(target_arch = "x86_64")]
+        FhtTier::Avx2 => unsafe { cross_pass_avx2(data, stride) },
+    }
+}
+
+/// One stride-`s` pass in plain slice loops: for every `2s`-aligned group,
+/// `(lo, hi) ← (lo + hi, lo − hi)` lane by lane.  The two streams are
+/// contiguous, so the autovectorizer emits full-width add/sub pairs.
+fn cross_pass_portable(data: &mut [f32], stride: usize) {
+    for group in data.chunks_exact_mut(2 * stride) {
+        let (lo, hi) = group.split_at_mut(stride);
+        for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
+            let (x, y) = (*a, *b);
+            *a = x + y;
+            *b = x - y;
+        }
+    }
+}
+
+/// One stride-`s` pass (`s ≥ 8`) in explicit AVX2 intrinsics: per step, two
+/// 256-bit loads feed one `vaddps` and one `vsubps` — the same adds and
+/// subtracts of the same operands as [`cross_pass_portable`], hence
+/// bit-identical results.
+///
+/// # Safety
+///
+/// The caller must have verified AVX2 support at runtime (see
+/// [`fht_tier`]); `stride` must be a multiple of 8 and `data.len()` a
+/// multiple of `2 * stride`.
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+#[target_feature(enable = "avx2")]
+unsafe fn cross_pass_avx2(data: &mut [f32], stride: usize) {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(stride % 8, 0);
+    debug_assert_eq!(data.len() % (2 * stride), 0);
+    let mut group = data.as_mut_ptr();
+    let groups = data.len() / (2 * stride);
+    for _ in 0..groups {
+        let lo_base = group;
+        let hi_base = group.add(stride);
+        for j in (0..stride).step_by(8) {
+            let lo = lo_base.add(j);
+            let hi = hi_base.add(j);
+            let x = _mm256_loadu_ps(lo);
+            let y = _mm256_loadu_ps(hi);
+            _mm256_storeu_ps(lo, _mm256_add_ps(x, y));
+            _mm256_storeu_ps(hi, _mm256_sub_ps(x, y));
+        }
+        group = group.add(2 * stride);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Plain ascending-stride scalar transform — the schedule ground truth.
+    fn fht_reference(data: &mut [f32]) {
+        let n = data.len();
+        let mut stride = 1;
+        while stride < n {
+            cross_pass_portable(data, stride);
+            stride <<= 1;
+        }
+    }
+
+    /// Naive `O(n²)` Hadamard product in f64 (Sylvester order:
+    /// `H[i][j] = (-1)^popcount(i & j)`).
+    fn naive_hadamard(input: &[f32]) -> Vec<f64> {
+        let n = input.len();
+        (0..n)
+            .map(|i| {
+                (0..n)
+                    .map(|j| {
+                        let sign = if (i & j).count_ones() % 2 == 0 {
+                            1.0
+                        } else {
+                            -1.0
+                        };
+                        sign * f64::from(input[j])
+                    })
+                    .sum()
+            })
+            .collect()
+    }
+
+    fn pseudo_random(n: usize, seed: u64) -> Vec<f32> {
+        let mut state = seed | 1;
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_hadamard_on_every_small_size() {
+        for exp in 0..=9 {
+            let n = 1 << exp;
+            let input = pseudo_random(n, 0x5EED + exp as u64);
+            let mut fast = input.clone();
+            fht_inplace(&mut fast);
+            let expected = naive_hadamard(&input);
+            for (i, (&got, &want)) in fast.iter().zip(expected.iter()).enumerate() {
+                assert!(
+                    (f64::from(got) - want).abs() < 1e-3 * want.abs().max(1.0),
+                    "n = {n}, element {i}: {got} vs {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_schedule_matches_ascending_reference_bitwise() {
+        // Above FHT_BLOCK the kernel switches to block-then-stream order;
+        // that must not change a single bit relative to the plain
+        // ascending-stride loop.
+        for n in [2 * FHT_BLOCK, 4 * FHT_BLOCK] {
+            let input = pseudo_random(n, n as u64);
+            let mut blocked = input.clone();
+            fht_inplace(&mut blocked);
+            let mut reference = input;
+            fht_reference(&mut reference);
+            assert_eq!(blocked, reference, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn radix8_base_matches_reference_bitwise() {
+        let input = pseudo_random(64, 7);
+        let mut fast = input.clone();
+        fht_inplace(&mut fast);
+        let mut reference = input;
+        fht_reference(&mut reference);
+        assert_eq!(fast, reference);
+    }
+
+    #[test]
+    fn involution_is_exact_on_integer_inputs() {
+        // Small integers keep every intermediate sum exactly representable,
+        // so H(H(x)) == n·x must hold bit for bit.
+        for n in [8usize, 256, 4096, 8192] {
+            let input: Vec<f32> = (0..n).map(|i| ((i * 37 + 11) % 41) as f32 - 20.0).collect();
+            let mut data = input.clone();
+            fht_inplace(&mut data);
+            fht_inplace(&mut data);
+            for (i, (&got, &x)) in data.iter().zip(input.iter()).enumerate() {
+                assert_eq!(got, x * n as f32, "n = {n}, element {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn rows_are_orthogonal() {
+        // fht(e_i) is the i-th Hadamard row; distinct rows are orthogonal
+        // and every row has squared norm n.
+        let n = 128;
+        let row = |i: usize| {
+            let mut e = vec![0.0f32; n];
+            e[i] = 1.0;
+            fht_inplace(&mut e);
+            e
+        };
+        let r3 = row(3);
+        let r77 = row(77);
+        let dot: f32 = r3.iter().zip(r77.iter()).map(|(a, b)| a * b).sum();
+        let norm: f32 = r3.iter().map(|a| a * a).sum();
+        assert_eq!(dot, 0.0);
+        assert_eq!(norm, n as f32);
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx2_tier_matches_portable_bitwise() {
+        if !std::arch::is_x86_feature_detected!("avx2") {
+            return;
+        }
+        for n in [16usize, 1024, 2 * FHT_BLOCK] {
+            let input = pseudo_random(n, 0xA7 + n as u64);
+            let mut portable = input.clone();
+            fht_inplace_tier(&mut portable, FhtTier::Portable);
+            let mut avx2 = input;
+            fht_inplace_tier(&mut avx2, FhtTier::Avx2);
+            assert_eq!(portable, avx2, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn degenerate_lengths_are_no_ops() {
+        let mut empty: Vec<f32> = Vec::new();
+        fht_inplace(&mut empty);
+        let mut one = vec![3.5f32];
+        fht_inplace(&mut one);
+        assert_eq!(one, vec![3.5]);
+        let mut two = vec![1.0f32, 2.0];
+        fht_inplace(&mut two);
+        assert_eq!(two, vec![3.0, -1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_length_panics() {
+        let mut data = vec![0.0f32; 12];
+        fht_inplace(&mut data);
+    }
+}

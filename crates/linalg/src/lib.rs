@@ -34,6 +34,7 @@
 #![deny(missing_docs)]
 
 mod error;
+mod fht;
 mod matrix;
 pub mod parallel;
 mod random;
@@ -42,7 +43,8 @@ mod stats;
 mod vector;
 
 pub use error::ShapeError;
-pub use matrix::Matrix;
+pub use fht::fht_inplace;
+pub use matrix::{dot_gemm_order, dot_gemm_order_from, Matrix, PackedRhs};
 pub use random::{Gaussian, RngSeed, SeededRng, Uniform};
 pub use sort::{argsort_ascending, argsort_descending, top_k_indices, top_k_largest};
 pub use stats::{

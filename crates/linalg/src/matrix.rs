@@ -341,15 +341,15 @@ impl Matrix {
         if self.cols != rhs.rows {
             return Err(ShapeError::new("matmul", self.shape(), rhs.shape()));
         }
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
         let inner = self.cols;
         let b_cols = rhs.cols;
-        if out.data.is_empty() {
-            return Ok(out);
+        if self.rows * b_cols == 0 {
+            return Ok(Matrix::zeros(self.rows, b_cols));
         }
         if inner == 0 {
             // Degenerate product: every element is an empty sum, but the
             // epilogue must still see it.
+            let mut out = Matrix::zeros(self.rows, b_cols);
             for (i, slot) in out.data.iter_mut().enumerate() {
                 *slot = epilogue(i % b_cols, 0.0);
             }
@@ -365,8 +365,7 @@ impl Matrix {
         // and are simply not stored.  Packing is a pure relayout, so it
         // cannot perturb results; its cost is amortized over every row
         // block that reuses the panel.
-        let tiles = b_cols.div_ceil(GEMM_NW);
-        let mut packed = vec![0.0f32; tiles * inner * GEMM_NW];
+        let mut packed = PackedRhs::new(inner, b_cols);
         let pack = |tile: usize, panel: &mut [f32]| {
             let col0 = tile * GEMM_NW;
             let width = (b_cols - col0).min(GEMM_NW);
@@ -375,26 +374,86 @@ impl Matrix {
                     .copy_from_slice(&rhs.data[k * b_cols + col0..k * b_cols + col0 + width]);
             }
         };
-        // A small product runs entirely on the calling thread — same
-        // partitions as the parallel path, so still bit-identical — to
-        // skip the fork/join cost.
-        let small = self.rows * inner * b_cols < GEMM_PARALLEL_FLOP_THRESHOLD;
-        if small {
-            for (tile, panel) in packed.chunks_mut(inner * GEMM_NW).enumerate() {
+        // A small product packs on the calling thread (same partitions as
+        // the parallel path, so still bit-identical) to skip the fork/join
+        // cost; the kernel below makes the same call.
+        if gemm_runs_serial(self.rows, inner, b_cols) {
+            for (tile, panel) in packed.data.chunks_mut(inner * GEMM_NW).enumerate() {
                 pack(tile, panel);
             }
         } else {
-            parallel::par_chunks_mut(&mut packed, inner * GEMM_NW, pack);
+            parallel::par_chunks_mut(&mut packed.data, inner * GEMM_NW, pack);
         }
+        self.gemm_prepacked(&packed, epilogue, tier)
+    }
 
-        let packed = &packed;
+    /// Matrix product against an externally packed right-hand side, with a
+    /// fused per-element epilogue: `out[r][c] = epilogue(c, (self · B)[r][c])`
+    /// where `B` is the matrix `packed` was filled from.
+    ///
+    /// This is [`Matrix::matmul_map`] minus the per-call packing step: the
+    /// caller owns the [`PackedRhs`] and may reuse it across any number of
+    /// products (the zero-dequantize serving path keeps its class codes
+    /// permanently packed this way).  Numerics are identical to
+    /// [`Matrix::matmul_map`] against the equivalent dense `rhs` — same
+    /// micro-kernel, same ascending-`k` per-element accumulation chain (see
+    /// [`dot_gemm_order`]), same bit-identity at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `self.cols() != packed.inner()`.
+    pub fn matmul_prepacked_map<F>(
+        &self,
+        packed: &PackedRhs,
+        epilogue: F,
+    ) -> Result<Matrix, ShapeError>
+    where
+        F: Fn(usize, f32) -> f32 + Sync,
+    {
+        if self.cols != packed.inner {
+            return Err(ShapeError::new(
+                "matmul_prepacked",
+                self.shape(),
+                (packed.inner, packed.cols),
+            ));
+        }
+        if self.rows * packed.cols == 0 {
+            return Ok(Matrix::zeros(self.rows, packed.cols));
+        }
+        if packed.inner == 0 {
+            let mut out = Matrix::zeros(self.rows, packed.cols);
+            for (i, slot) in out.data.iter_mut().enumerate() {
+                *slot = epilogue(i % packed.cols, 0.0);
+            }
+            return Ok(out);
+        }
+        self.gemm_prepacked(packed, epilogue, kernel_tier())
+    }
+
+    /// Shared row-block sweep over a packed panel (`inner > 0`, non-empty
+    /// output).
+    fn gemm_prepacked<F>(
+        &self,
+        packed: &PackedRhs,
+        epilogue: F,
+        tier: KernelTier,
+    ) -> Result<Matrix, ShapeError>
+    where
+        F: Fn(usize, f32) -> f32 + Sync,
+    {
+        let inner = packed.inner;
+        let b_cols = packed.cols;
+        let mut out = Matrix::zeros(self.rows, b_cols);
+        let panel_data = &packed.data;
         let kernel = |chunk_index: usize, out_chunk: &mut [f32]| {
             let first_row = chunk_index * GEMM_ROW_CHUNK;
             let block_rows = out_chunk.len() / b_cols;
             let a_block = &self.data[first_row * inner..(first_row + block_rows) * inner];
-            gemm_row_block(tier, a_block, inner, packed, b_cols, out_chunk, &epilogue);
+            gemm_row_block(
+                tier, a_block, inner, panel_data, b_cols, out_chunk, &epilogue,
+            );
         };
-        if small {
+        if gemm_runs_serial(self.rows, inner, b_cols) {
             for (index, chunk) in out.data.chunks_mut(GEMM_ROW_CHUNK * b_cols).enumerate() {
                 kernel(index, chunk);
             }
@@ -507,6 +566,141 @@ impl Matrix {
     pub fn frobenius_norm(&self) -> f32 {
         self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
     }
+}
+
+/// A right-hand GEMM operand in the packed tile-major panel layout the
+/// micro-kernel streams.
+///
+/// [`Matrix::matmul_map`] packs its `rhs` into this layout on every call.
+/// Owning a `PackedRhs` decouples *filling* the panel from *multiplying*
+/// through it ([`Matrix::matmul_prepacked_map`]): the quantized serving
+/// kernel decodes packed integer codes straight into panel slots (no
+/// dense `rhs` matrix ever exists), and a caller whose right-hand side
+/// survives across many products can fill once and multiply repeatedly —
+/// with the caveat that a panel is only faster than re-packing while it
+/// stays cache-resident between uses.
+///
+/// Layout: tile `t` holds columns `[16t, 16t+16)` as `inner` consecutive
+/// 16-float groups (`panel[k·16 + lane] = B[k][16t + lane]`); the final
+/// tile is zero-padded, so freshly constructed panels are valid (an
+/// all-zero `B`) and padded lanes never reach the epilogue.
+///
+/// # Example
+///
+/// ```
+/// use disthd_linalg::{Matrix, PackedRhs};
+///
+/// let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]])?;
+/// let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]])?;
+/// let mut packed = PackedRhs::new(2, 2);
+/// for col in 0..2 {
+///     for (k, slot) in packed.column_slots(col).enumerate() {
+///         *slot = b.get(k, col);
+///     }
+/// }
+/// let fast = a.matmul_prepacked_map(&packed, |_, x| x)?;
+/// assert_eq!(fast, a.matmul(&b)?);
+/// # Ok::<(), disthd_linalg::ShapeError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PackedRhs {
+    /// Rows of the logical right-hand matrix (the product's inner dim).
+    inner: usize,
+    /// Columns of the logical right-hand matrix.
+    cols: usize,
+    /// `cols.div_ceil(16) * inner * 16` floats in tile-major panel order.
+    data: Vec<f32>,
+}
+
+impl PackedRhs {
+    /// Creates a zeroed panel for an `inner × cols` right-hand matrix.
+    pub fn new(inner: usize, cols: usize) -> Self {
+        Self {
+            inner,
+            cols,
+            data: vec![0.0; cols.div_ceil(GEMM_NW) * inner * GEMM_NW],
+        }
+    }
+
+    /// Rows of the logical right-hand matrix.
+    pub fn inner(&self) -> usize {
+        self.inner
+    }
+
+    /// Columns of the logical right-hand matrix.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Mutable slots of logical column `col`, in ascending row (`k`)
+    /// order — the filler writes `B[k][col]` into the `k`-th slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col >= cols()`.
+    pub fn column_slots(&mut self, col: usize) -> impl Iterator<Item = &mut f32> + '_ {
+        assert!(col < self.cols, "column index out of bounds");
+        let tile = col / GEMM_NW;
+        let lane = col % GEMM_NW;
+        let panel = &mut self.data[tile * self.inner * GEMM_NW..(tile + 1) * self.inner * GEMM_NW];
+        panel.iter_mut().skip(lane).step_by(GEMM_NW)
+    }
+}
+
+/// Whether a GEMM of this shape runs on the calling thread.
+///
+/// Below [`GEMM_PARALLEL_FLOP_THRESHOLD`] the fork/join cost outweighs the
+/// arithmetic outright.  **Narrow outputs** (at most two 16-column packed
+/// tiles) additionally need far more arithmetic before the pool pays: their
+/// 8-row chunks span only a few hundred bytes, so adjacent chunks — dealt
+/// to different workers — share boundary cache lines and ping-pong them,
+/// and the packed panel is too small to amortize per-worker warmup.  The
+/// trainer's per-epoch similarity GEMMs (`samples × D · D × k` with k ≈
+/// tens of classes) sit exactly in that class; gating them serial until
+/// they are genuinely large is what keeps the train phase from losing
+/// throughput when workers outnumber useful parallelism.
+fn gemm_runs_serial(rows: usize, inner: usize, b_cols: usize) -> bool {
+    let macs = rows * inner * b_cols;
+    let threshold = if b_cols <= 2 * GEMM_NW {
+        GEMM_PARALLEL_FLOP_THRESHOLD << 4
+    } else {
+        GEMM_PARALLEL_FLOP_THRESHOLD
+    };
+    macs < threshold
+}
+
+/// Dot product in exactly the GEMM micro-kernel's **per-element
+/// accumulation order**: one ascending chain over the inner dimension,
+/// fused multiply-adds on the FMA/AVX2 tiers, mul-then-add on the portable
+/// tier (resolved from the same runtime detection as the GEMM).
+///
+/// A caller that scores one query against one stored row reproduces — bit
+/// for bit — the value [`Matrix::matmul_prepacked_map`] computes for that
+/// (row, column), which is what keeps single-query serving and batched
+/// serving byte-identical.  The chain may be resumed across segments via
+/// `init` (pass the previous segment's return value).
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+pub fn dot_gemm_order_from(init: f32, a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot_gemm_order: length mismatch");
+    match kernel_tier() {
+        KernelTier::Portable => a
+            .iter()
+            .zip(b.iter())
+            .fold(init, |acc, (&x, &y)| acc + x * y),
+        _ => a
+            .iter()
+            .zip(b.iter())
+            .fold(init, |acc, (&x, &y)| x.mul_add(y, acc)),
+    }
+}
+
+/// [`dot_gemm_order_from`] starting a fresh chain (an empty sum is `0.0`,
+/// matching the GEMM's accumulator initialization).
+pub fn dot_gemm_order(a: &[f32], b: &[f32]) -> f32 {
+    dot_gemm_order_from(0.0, a, b)
 }
 
 /// Which micro-kernel implementation computes the accumulator tiles.
@@ -1044,6 +1238,74 @@ mod tests {
             let fma = a.matmul_map_tier(&b, |_, x| x, KernelTier::Fma).unwrap();
             let avx2 = a.matmul_map_tier(&b, |_, x| x, KernelTier::Avx2).unwrap();
             assert_eq!(fma.as_slice(), avx2.as_slice(), "shape ({m},{k},{n})");
+        }
+    }
+
+    /// Packs `rhs` into a fresh panel through the public slot API.
+    fn pack_rhs(rhs: &Matrix) -> PackedRhs {
+        let mut packed = PackedRhs::new(rhs.rows(), rhs.cols());
+        for col in 0..rhs.cols() {
+            for (k, slot) in packed.column_slots(col).enumerate() {
+                *slot = rhs.get(k, col);
+            }
+        }
+        packed
+    }
+
+    #[test]
+    fn prepacked_matmul_is_bitwise_equal_to_matmul() {
+        // The prepacked entry point skips the per-call pack but must run
+        // the identical kernel on identical panels — bit for bit, at every
+        // blocking boundary.
+        for &(m, k, n) in PARITY_SHAPES {
+            let a = dense_random(m, k, 0x10 + m as u64);
+            let b = dense_random(k, n, 0x20 + n as u64);
+            let packed = pack_rhs(&b);
+            assert_eq!(packed.inner(), k);
+            assert_eq!(packed.cols(), n);
+            let fast = a.matmul_prepacked_map(&packed, |_, x| x).unwrap();
+            let reference = a.matmul(&b).unwrap();
+            assert_eq!(fast.as_slice(), reference.as_slice(), "shape ({m},{k},{n})");
+        }
+    }
+
+    #[test]
+    fn prepacked_matmul_applies_epilogue_and_checks_shapes() {
+        let a = sample(); // 2x3
+        let b = dense_random(3, 5, 9);
+        let packed = pack_rhs(&b);
+        let mapped = a
+            .matmul_prepacked_map(&packed, |col, x| x + 1000.0 * col as f32)
+            .unwrap();
+        let plain = a.matmul(&b).unwrap();
+        for r in 0..2 {
+            for c in 0..5 {
+                assert_eq!(mapped.get(r, c), plain.get(r, c) + 1000.0 * c as f32);
+            }
+        }
+        let wrong = PackedRhs::new(4, 5);
+        assert!(a.matmul_prepacked_map(&wrong, |_, x| x).is_err());
+    }
+
+    #[test]
+    fn dot_gemm_order_matches_gemm_elements_bitwise() {
+        // The single-query chain must reproduce the batched kernel's
+        // per-element value exactly — including when resumed segment by
+        // segment.
+        let a = dense_random(3, 133, 0x31);
+        let b = dense_random(133, 20, 0x32);
+        let product = a.matmul(&b).unwrap();
+        for r in 0..3 {
+            for c in 0..20 {
+                let col = b.column(c);
+                let whole = dot_gemm_order(a.row(r), &col);
+                let mut segmented = 0.0f32;
+                for (row_seg, col_seg) in a.row(r).chunks(40).zip(col.chunks(40)) {
+                    segmented = dot_gemm_order_from(segmented, row_seg, col_seg);
+                }
+                assert_eq!(whole, product.get(r, c), "({r},{c})");
+                assert_eq!(segmented, whole, "({r},{c}) segmented");
+            }
         }
     }
 

@@ -67,7 +67,7 @@ pub use disthd_serve;
 
 /// One-line import for examples and tests.
 pub mod prelude {
-    pub use disthd::{DistHd, DistHdConfig, WeightParams};
+    pub use disthd::{DistHd, DistHdConfig, EncoderBackend, WeightParams};
     pub use disthd_baselines::{
         BaselineHd, BaselineHdConfig, LinearSvm, Mlp, MlpConfig, NeuralHd, NeuralHdConfig,
         SvmConfig,

@@ -270,3 +270,60 @@ fn histories_expose_convergence_information() {
     assert!(history.best_eval_accuracy().expect("eval recorded") > 0.5);
     assert!(history.total_time().as_nanos() > 0);
 }
+
+#[test]
+fn structured_backend_matches_dense_accuracy_on_isolet() {
+    // The tentpole contract of the structured encoder: swapping the dense
+    // O(F·D) GEMM encoder for the O(D log D) Walsh–Hadamard construction
+    // is a speed knob, not an accuracy knob.  At D = 2048 on the ISOLET
+    // substitute the two backends must land within a whisker of each
+    // other (the committed BENCH_throughput.json pins the ≤ 1-point
+    // criterion at the full D = 4096 bench setting; the band here adds a
+    // little slack for the smaller test split).
+    let data = PaperDataset::Isolet
+        .generate(&SuiteConfig::at_scale(0.05))
+        .expect("dataset generation");
+    let fit_with = |backend: EncoderBackend| {
+        let mut model = DistHd::new(
+            DistHdConfig {
+                dim: 2048,
+                epochs: 6,
+                patience: None,
+                encoder_backend: backend,
+                ..Default::default()
+            },
+            data.train.feature_dim(),
+            data.train.class_count(),
+        );
+        model.fit(&data.train, None).expect("fit");
+        model
+    };
+    let mut dense = fit_with(EncoderBackend::Dense);
+    let mut structured = fit_with(EncoderBackend::Structured);
+    let dense_acc = dense.accuracy(&data.test).expect("accuracy");
+    let structured_acc = structured.accuracy(&data.test).expect("accuracy");
+    assert!(
+        (dense_acc - structured_acc).abs() <= 0.02,
+        "backend accuracy gap too wide: dense {dense_acc:.4} vs structured {structured_acc:.4}"
+    );
+    assert!(
+        structured_acc > 0.85,
+        "structured accuracy {structured_acc:.4}"
+    );
+
+    // The frozen structured deployment serves through the batching engine
+    // exactly like the dense one: identical predictions at any window.
+    let deployed = disthd::DeployedModel::freeze(&structured, disthd_hd::quantize::BitWidth::B8)
+        .expect("freeze");
+    let queries = data
+        .test
+        .features()
+        .select_rows(&(0..32).collect::<Vec<_>>());
+    let mut one_at_a_time = ServeEngine::new(deployed.clone(), BatchPolicy::window(1));
+    let mut batched = ServeEngine::new(deployed, BatchPolicy::window(8));
+    assert_eq!(
+        one_at_a_time.serve_all(&queries).expect("serve"),
+        batched.serve_all(&queries).expect("serve"),
+        "structured serving must be batch-invariant"
+    );
+}
