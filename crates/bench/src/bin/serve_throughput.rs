@@ -1,28 +1,45 @@
-//! Serving-layer throughput benchmark: queries/sec through the
-//! request-batching [`disthd_serve::ServeEngine`] as a function of the
-//! batch window, at 1 thread and at `DISTHD_THREADS` (or all cores).
+//! Serving-layer throughput benchmark: queries/sec as a function of the
+//! batch window, serial vs sharded.
 //!
 //! Window 1 is classic one-at-a-time serving — every query pays a full
 //! encode pass over the base matrix and a similarity pass over the class
 //! matrix by itself.  Wider windows coalesce queued queries into one
 //! batched pass, amortizing both streams; the sweep quantifies that
-//! latency-vs-throughput trade.  Predictions must be **bit-identical** at
-//! every window and thread count (the engine serves through the same
-//! deterministic kernels regardless of batch composition); the bin exits
-//! non-zero if they ever diverge.
+//! latency-vs-throughput trade.  The serial column serves through the
+//! synchronous [`disthd_serve::ServeEngine`] with single-threaded kernels;
+//! the parallel column drives a sharded [`disthd_serve::Server`] — one
+//! scoring worker per shard, GEMM threads pinned to 1 so every bit of
+//! speedup comes from shard concurrency, not kernel parallelism.
+//! Predictions must be **bit-identical** at every window, shard count and
+//! thread count (every path serves through the same deterministic
+//! kernels); the bin exits non-zero if they ever diverge.
+//!
+//! With `DISTHD_SOAK_SECS` > 0 the bin additionally runs a sustained
+//! closed-loop soak at 1 shard and at `DISTHD_THREADS` shards, recording
+//! p50/p99/p999 latency histograms, backpressure counters (shed requests,
+//! stolen batches, peak queue depth) and an FNV-1a hash of a deterministic
+//! post-soak prediction pass — the hash must be byte-for-byte identical
+//! across shard counts and equal to the serial baseline.
+//!
+//! The `parallel_regression` gate only arms when
+//! `parallel_comparison_meaningful` is true — the machine can host every
+//! shard on its own core (`machine_cores >= DISTHD_THREADS > 1`).  On a
+//! single-core runner parallel can at best tie serial, so the artifact
+//! records the comparison as not meaningful instead of reporting a green
+//! (or red) speedup that measures only the scheduler.
 //!
 //! Emits `BENCH_serve.json` (override with `DISTHD_BENCH_OUT`); the
 //! workload scales with `DISTHD_SCALE`.  Run with
 //! `cargo run --release -p disthd_bench --bin serve_throughput`.
 
 use disthd::{DeployedModel, DistHd, DistHdConfig, EncoderBackend};
-use disthd_bench::default_scale;
+use disthd_bench::{default_scale, LatencyHistogram};
 use disthd_datasets::suite::{PaperDataset, SuiteConfig};
 use disthd_eval::Classifier;
 use disthd_hd::quantize::BitWidth;
 use disthd_linalg::{parallel, Matrix};
-use disthd_serve::{BatchPolicy, ServeEngine};
-use std::time::Instant;
+use disthd_serve::{BatchPolicy, Prediction, ServeEngine, Server, ServerClient, ServerOptions};
+use std::time::{Duration, Instant};
 
 /// Fig. 5's heavy dimensionality (BaselineHD's D* = 4k) — the encode cost
 /// batching has to amortize.
@@ -33,6 +50,9 @@ const WINDOWS: [usize; 5] = [1, 8, 32, 128, 512];
 const REPS: usize = 3;
 /// Offline training epochs for the served model.
 const TRAIN_EPOCHS: usize = 6;
+/// Batch window of the sustained-load soak: wide enough to amortize, small
+/// enough that the 1 ms patience cap — not the window — sets the tail.
+const SOAK_WINDOW: usize = 32;
 
 /// Best-of-`REPS` wall-clock seconds for `f`, plus its last result.
 fn time_best<R>(mut f: impl FnMut() -> R) -> (f64, R) {
@@ -47,32 +67,214 @@ fn time_best<R>(mut f: impl FnMut() -> R) -> (f64, R) {
     (best, result.expect("REPS > 0"))
 }
 
+/// FNV-1a over the prediction stream — the byte-for-byte artifact CI diffs
+/// between shard counts.
+fn fnv1a(predictions: &[usize]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &p in predictions {
+        for byte in (p as u64).to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    hash
+}
+
 struct WindowResult {
     window: usize,
     serial_qps: f64,
     parallel_qps: f64,
+    parallel_shed: u64,
+    parallel_stolen: u64,
+    parallel_peak_depth: usize,
 }
 
 impl WindowResult {
     fn json(&self, base: &WindowResult) -> String {
         format!(
             "{{ \"window\": {}, \"serial_qps\": {:.2}, \"parallel_qps\": {:.2}, \
-             \"speedup_serial_vs_window1\": {:.3}, \"speedup_parallel_vs_window1\": {:.3} }}",
+             \"speedup_serial_vs_window1\": {:.3}, \"speedup_parallel_vs_window1\": {:.3}, \
+             \"parallel_shed\": {}, \"parallel_stolen_batches\": {}, \
+             \"parallel_peak_queue_depth\": {} }}",
             self.window,
             self.serial_qps,
             self.parallel_qps,
             self.serial_qps / base.serial_qps,
-            self.parallel_qps / base.parallel_qps
+            self.parallel_qps / base.parallel_qps,
+            self.parallel_shed,
+            self.parallel_stolen,
+            self.parallel_peak_depth
         )
     }
 }
 
-/// Serves every row of `queries` through a fresh engine at `window`,
-/// returning wall-clock seconds and the predictions.
+/// Serves every row of `queries` through a fresh synchronous engine at
+/// `window`, returning wall-clock seconds and the predictions.
 fn serve_once(model: &DeployedModel, queries: &Matrix, window: usize) -> (f64, Vec<usize>) {
     time_best(|| {
         let mut engine = ServeEngine::new(model.clone(), BatchPolicy::window(window));
         engine.serve_all(queries).expect("serve")
+    })
+}
+
+/// Submits every row of `queries` and waits in submission order, so the
+/// returned predictions line up with the query stream regardless of which
+/// shard scored which batch.
+fn drive(client: &ServerClient, queries: &Matrix) -> Vec<usize> {
+    let pending: Vec<Prediction> = (0..queries.rows())
+        .map(|q| client.submit(queries.row(q)).expect("submit"))
+        .collect();
+    pending
+        .into_iter()
+        .map(|p| p.wait().expect("prediction"))
+        .collect()
+}
+
+/// Serves the query stream through a sharded [`Server`] with GEMM threads
+/// pinned to 1 — shard concurrency is the only parallelism being measured.
+/// Returns best-of-reps seconds, the predictions, and the server's
+/// lifetime backpressure counters (accumulated over all reps).
+fn serve_sharded(
+    model: &DeployedModel,
+    queries: &Matrix,
+    window: usize,
+    shards: usize,
+) -> (f64, Vec<usize>, disthd_serve::ServerStats) {
+    parallel::with_thread_count(1, || {
+        // The whole open-loop burst must be admissible: capacity covers the
+        // full stream so the throughput number never includes shed work.
+        let options = ServerOptions {
+            shards,
+            queue_capacity: queries.rows().max(1),
+        };
+        let server = Server::spawn_with(model.clone(), BatchPolicy::window(window), options);
+        let client = server.client();
+        let (secs, predictions) = time_best(|| drive(&client, queries));
+        (secs, predictions, server.shutdown())
+    })
+}
+
+/// One sustained-load soak measurement at a fixed shard count.
+struct SoakRun {
+    shards: usize,
+    clients: usize,
+    qps: f64,
+    p50_us: f64,
+    p99_us: f64,
+    p999_us: f64,
+    requests: u64,
+    mismatches: u64,
+    shed: u64,
+    stolen_batches: u64,
+    peak_queue_depth: usize,
+    flushes: u64,
+    predictions_fnv1a: u64,
+}
+
+impl SoakRun {
+    fn json(&self) -> String {
+        format!(
+            "{{ \"shards\": {}, \"clients\": {}, \"qps\": {:.2}, \"p50_us\": {:.1}, \
+             \"p99_us\": {:.1}, \"p999_us\": {:.1}, \"requests\": {}, \"mismatches\": {}, \
+             \"shed\": {}, \"stolen_batches\": {}, \"peak_queue_depth\": {}, \"flushes\": {}, \
+             \"predictions_fnv1a\": \"{:#018x}\" }}",
+            self.shards,
+            self.clients,
+            self.qps,
+            self.p50_us,
+            self.p99_us,
+            self.p999_us,
+            self.requests,
+            self.mismatches,
+            self.shed,
+            self.stolen_batches,
+            self.peak_queue_depth,
+            self.flushes,
+            self.predictions_fnv1a
+        )
+    }
+}
+
+/// Closed-loop soak: `2 * shards` client threads issue blocking predicts
+/// against a sharded server for `secs` seconds, recording per-request
+/// latency and checking every answer against the serial baseline.  A
+/// deterministic in-order pass afterwards produces the prediction hash CI
+/// diffs across shard counts.
+fn soak(
+    model: &DeployedModel,
+    queries: &Matrix,
+    expected: &[usize],
+    secs: f64,
+    shards: usize,
+) -> SoakRun {
+    parallel::with_thread_count(1, || {
+        let server = Server::spawn_with(
+            model.clone(),
+            BatchPolicy::window(SOAK_WINDOW),
+            ServerOptions::sharded(shards),
+        );
+        let clients = (2 * shards).max(2);
+        let start = Instant::now();
+        let deadline = start + Duration::from_secs_f64(secs);
+        let (histogram, mismatches) = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..clients)
+                .map(|t| {
+                    let client = server.client();
+                    s.spawn(move || {
+                        let mut histogram = LatencyHistogram::new();
+                        let mut mismatches = 0u64;
+                        // Stride by the client count so the threads jointly
+                        // cycle the whole stream instead of convoying on
+                        // the same rows.
+                        let mut i = t;
+                        while Instant::now() < deadline {
+                            let q = i % queries.rows();
+                            let sent = Instant::now();
+                            let answer = client.predict(queries.row(q)).expect("soak predict");
+                            histogram.record(sent.elapsed());
+                            mismatches += u64::from(answer != expected[q]);
+                            i += clients;
+                        }
+                        (histogram, mismatches)
+                    })
+                })
+                .collect();
+            let mut histogram = LatencyHistogram::new();
+            let mut mismatches = 0u64;
+            for handle in handles {
+                let (h, m) = handle.join().expect("soak client");
+                histogram.merge(&h);
+                mismatches += m;
+            }
+            (histogram, mismatches)
+        });
+        let elapsed = start.elapsed().as_secs_f64();
+
+        // The byte-for-byte artifact: one deterministic in-order pass over
+        // the whole stream through the still-running soak server.
+        let verify = drive(&server.client(), queries);
+        let mismatches = mismatches
+            + verify
+                .iter()
+                .zip(expected)
+                .filter(|(got, want)| got != want)
+                .count() as u64;
+        let stats = server.shutdown();
+        SoakRun {
+            shards,
+            clients,
+            qps: histogram.count() as f64 / elapsed.max(1e-12),
+            p50_us: histogram.quantile_us(0.50),
+            p99_us: histogram.quantile_us(0.99),
+            p999_us: histogram.quantile_us(0.999),
+            requests: histogram.count(),
+            mismatches,
+            shed: stats.shed,
+            stolen_batches: stats.stolen_batches,
+            peak_queue_depth: stats.peak_queue_depth,
+            flushes: stats.flushes,
+            predictions_fnv1a: fnv1a(&verify),
+        }
     })
 }
 
@@ -88,6 +290,10 @@ fn main() {
         .ok()
         .map(|name| EncoderBackend::parse(&name).expect("DISTHD_ENCODER: dense|structured"))
         .unwrap_or(EncoderBackend::Structured);
+    let soak_secs: f64 = std::env::var("DISTHD_SOAK_SECS")
+        .ok()
+        .map(|v| v.trim().parse().expect("DISTHD_SOAK_SECS: seconds"))
+        .unwrap_or(0.0);
     let dataset = PaperDataset::Isolet;
     let data = dataset
         .generate(&SuiteConfig::at_scale(scale))
@@ -117,13 +323,13 @@ fn main() {
     let queries = data.test.features().select_rows(&indices);
     println!(
         "serve_throughput: {} (scale {scale}), D = {DIM}, encoder = {encoder_backend}, \
-         {} queries, parallel = {parallel_threads} thread(s)\n",
+         {} queries, parallel = {parallel_threads} shard(s)\n",
         dataset.name(),
         queries_n
     );
     println!(
-        "{:<8} {:>14} {:>14} {:>10} {:>10}",
-        "window", "serial qps", "par qps", "x1 serial", "x1 par"
+        "{:<8} {:>14} {:>14} {:>10} {:>10} {:>8} {:>8}",
+        "window", "serial qps", "par qps", "x1 serial", "x1 par", "stolen", "peakq"
     );
 
     let mut results: Vec<WindowResult> = Vec::new();
@@ -132,9 +338,8 @@ fn main() {
     for window in WINDOWS {
         let (serial_secs, serial_pred) =
             parallel::with_thread_count(1, || serve_once(&deployed, &queries, window));
-        let (par_secs, par_pred) = parallel::with_thread_count(parallel_threads, || {
-            serve_once(&deployed, &queries, window)
-        });
+        let (par_secs, par_pred, par_stats) =
+            serve_sharded(&deployed, &queries, window, parallel_threads);
         match &baseline_predictions {
             None => baseline_predictions = Some(serial_pred.clone()),
             Some(base) => bit_identical &= base == &serial_pred,
@@ -144,9 +349,12 @@ fn main() {
             window,
             serial_qps: queries_n as f64 / serial_secs.max(1e-12),
             parallel_qps: queries_n as f64 / par_secs.max(1e-12),
+            parallel_shed: par_stats.shed,
+            parallel_stolen: par_stats.stolen_batches,
+            parallel_peak_depth: par_stats.peak_queue_depth,
         };
         println!(
-            "{:<8} {:>14.1} {:>14.1} {:>9.2}x {:>9.2}x",
+            "{:<8} {:>14.1} {:>14.1} {:>9.2}x {:>9.2}x {:>8} {:>8}",
             result.window,
             result.serial_qps,
             result.parallel_qps,
@@ -155,9 +363,12 @@ fn main() {
                 / results
                     .first()
                     .map_or(result.parallel_qps, |b| b.parallel_qps),
+            result.parallel_stolen,
+            result.parallel_peak_depth,
         );
         results.push(result);
     }
+    let baseline_predictions = baseline_predictions.expect("at least one window");
 
     // Per-optimisation before/after: the zero-dequantize integer path
     // against the pre-PR f32-snapshot path, measured as the **class-scoring
@@ -248,39 +459,102 @@ fn main() {
          ({int_speedup:.2}x), predictions match: {int_predictions_match}"
     );
 
+    // Sustained-load soak at 1 shard and at the full shard count; every
+    // answer is checked live against the serial baseline and the post-soak
+    // deterministic pass is hashed for the cross-shard byte diff.
+    let serial_fnv1a = fnv1a(&baseline_predictions);
+    let soak_runs: Vec<SoakRun> = if soak_secs > 0.0 {
+        let mut shard_counts = vec![1];
+        if parallel_threads > 1 {
+            shard_counts.push(parallel_threads);
+        }
+        shard_counts
+            .into_iter()
+            .map(|shards| {
+                let run = soak(
+                    &deployed,
+                    &queries,
+                    &baseline_predictions,
+                    soak_secs,
+                    shards,
+                );
+                println!(
+                    "soak {:>4.1}s @ {} shard(s): {:>10.1} qps, p50 {:>8.1} us, p99 {:>8.1} us, \
+                     p999 {:>8.1} us, shed {}, stolen {}, peakq {}, mismatches {}",
+                    soak_secs,
+                    run.shards,
+                    run.qps,
+                    run.p50_us,
+                    run.p99_us,
+                    run.p999_us,
+                    run.shed,
+                    run.stolen_batches,
+                    run.peak_queue_depth,
+                    run.mismatches
+                );
+                run
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let soak_mismatch = soak_runs.iter().any(|r| r.mismatches > 0);
+    let soak_hashes_identical = soak_runs
+        .iter()
+        .all(|r| r.predictions_fnv1a == serial_fnv1a);
+
     let base = &results[0];
     let batched_2x = results.iter().filter(|r| r.window >= 32).all(|r| {
         r.serial_qps >= 2.0 * base.serial_qps && r.parallel_qps >= 2.0 * base.parallel_qps
     });
     // The regression signal this file exists to never silently record
     // again: at amortized windows (>= 32, where per-flush overhead is
-    // negligible) the multi-threaded engine must not serve fewer
-    // queries/sec than the serial one.  The comparison only arms when the
-    // machine can host every requested worker on its own core
-    // (`machine_cores >= parallel_threads`) — under oversubscription
-    // parallel can at best tie serial, so a deficit there is scheduler
-    // noise, not a code regression (the recorded `machine_cores` keeps
-    // that context in the artifact).  When the field is true the process
-    // exits non-zero.
+    // negligible) the sharded server must not serve fewer queries/sec than
+    // the serial engine.  The comparison is only **meaningful** when the
+    // machine can host every shard on its own core
+    // (`machine_cores >= parallel_threads > 1`) — on one core, or
+    // oversubscribed, parallel can at best tie serial, so both a green and
+    // a red speedup there measure the scheduler, not the code.  The
+    // `parallel_comparison_meaningful` field records that verdict in the
+    // artifact, and the gate arms only when it is true.
     let machine_cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    let parallel_regression = machine_cores >= parallel_threads
-        && parallel_threads > 1
+    let parallel_comparison_meaningful = machine_cores >= parallel_threads && parallel_threads > 1;
+    let parallel_regression = parallel_comparison_meaningful
         && results
             .iter()
             .filter(|r| r.window >= 32)
             .any(|r| r.parallel_qps < r.serial_qps);
-    println!("\npredictions bit-identical across windows and threads: {bit_identical}");
+    println!("\npredictions bit-identical across windows, shards and threads: {bit_identical}");
     println!("every window >= 32 at least 2x one-at-a-time:          {batched_2x}");
+    println!(
+        "parallel comparison meaningful ({machine_cores} core(s), {parallel_threads} \
+         shard(s)):        {parallel_comparison_meaningful}"
+    );
     println!("parallel regression at any window >= 32:               {parallel_regression}");
 
     let windows_json: Vec<String> = results.iter().map(|r| r.json(base)).collect();
+    let soak_json = if soak_runs.is_empty() {
+        "null".to_string()
+    } else {
+        format!(
+            "{{ \"seconds\": {soak_secs}, \"window\": {SOAK_WINDOW}, \"runs\": [\n    {}\n  ], \
+             \"serial_predictions_fnv1a\": \"{serial_fnv1a:#018x}\", \
+             \"predictions_identical_across_shards\": {soak_hashes_identical} }}",
+            soak_runs
+                .iter()
+                .map(SoakRun::json)
+                .collect::<Vec<_>>()
+                .join(",\n    ")
+        )
+    };
     let json = format!(
         "{{\n  \"bench\": \"serve_throughput\",\n  \"dataset\": \"{}\",\n  \"dim\": {DIM},\n  \
          \"scale\": {scale},\n  \"encoder_backend\": \"{encoder_backend}\",\n  \
          \"queries\": {queries_n},\n  \
-         \"threads_parallel\": {parallel_threads},\n  \"machine_cores\": {machine_cores},\n  \
+         \"threads_parallel\": {parallel_threads},\n  \"shards\": {parallel_threads},\n  \
+         \"machine_cores\": {machine_cores},\n  \
          \"width_bits\": 8,\n  \"windows\": [\n    {}\n  ],\n  \
          \"quantized_path\": {{ \"scoring_window\": {SCORING_WINDOW}, \
          \"refresh_every\": {REFRESH_EVERY}, \"int_qps\": {int_qps:.2}, \
@@ -288,7 +562,9 @@ fn main() {
          \"speedup_int_over_f32_snapshot\": {int_speedup:.3}, \
          \"predictions_match\": {int_predictions_match}, \
          \"quantized_regression\": {quantized_regression} }},\n  \
+         \"soak\": {soak_json},\n  \
          \"bit_identical_across_windows_and_threads\": {bit_identical},\n  \
+         \"parallel_comparison_meaningful\": {parallel_comparison_meaningful},\n  \
          \"parallel_regression\": {parallel_regression},\n  \
          \"batched_at_least_2x_over_one_at_a_time\": {batched_2x}\n}}\n",
         dataset.name(),
@@ -304,7 +580,7 @@ fn main() {
     }
     if parallel_regression {
         eprintln!(
-            "ERROR: the {parallel_threads}-thread engine is slower than serial at an amortized \
+            "ERROR: the {parallel_threads}-shard server is slower than serial at an amortized \
              batch window on a {machine_cores}-core machine — parallel regression"
         );
         std::process::exit(1);
@@ -314,6 +590,20 @@ fn main() {
             "ERROR: the zero-dequantize scoring path lost to the f32-snapshot path \
              ({int_speedup:.3}x, predictions match: {int_predictions_match}) — quantized-path \
              regression"
+        );
+        std::process::exit(1);
+    }
+    if soak_mismatch {
+        eprintln!(
+            "ERROR: a soak response diverged from the serial baseline — sharded serving \
+             changed a prediction under sustained load"
+        );
+        std::process::exit(1);
+    }
+    if !soak_hashes_identical {
+        eprintln!(
+            "ERROR: post-soak prediction hashes differ across shard counts — sharded serving \
+             is not byte-for-byte identical to the serial baseline"
         );
         std::process::exit(1);
     }

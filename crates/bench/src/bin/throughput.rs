@@ -331,8 +331,14 @@ fn main() {
     // 0.79x parallel loss from per-epoch GEMMs too small to fan out.
     let encode_speedup = encode.speedup_parallel();
     let train_speedup = train.speedup_parallel();
-    let gates_armed = machine_cores >= parallel_threads && parallel_threads > 1;
-    let parallel_regression = gates_armed && (encode_speedup < 1.0 || train_speedup < 1.0);
+    // `parallel_comparison_meaningful` is the same predicate the gates arm
+    // on, recorded in the artifact so a green-looking
+    // `*_speedup_parallel_over_serial` emitted from a single-core (or
+    // oversubscribed) run cannot be mistaken for a measured win — on such
+    // machines the number measures the scheduler, not the code.
+    let parallel_comparison_meaningful = machine_cores >= parallel_threads && parallel_threads > 1;
+    let parallel_regression =
+        parallel_comparison_meaningful && (encode_speedup < 1.0 || train_speedup < 1.0);
     // The tentpole gates: structured encode must stay ≥ 2× dense serial
     // encode at D = 4096 (armed on multi-core machines only — single-core
     // containers run every phase on one thread where the factor is still
@@ -353,7 +359,8 @@ fn main() {
     println!("parallel bit-identical to serial:  {bit_identical}");
     println!(
         "machine cores = {machine_cores}, encode parallel/serial = {encode_speedup:.3}x, \
-         train parallel/serial = {train_speedup:.3}x"
+         train parallel/serial = {train_speedup:.3}x \
+         (comparison meaningful: {parallel_comparison_meaningful})"
     );
     println!("structured encode vs dense serial  = {structured_speedup:.3}x");
 
@@ -376,6 +383,7 @@ fn main() {
          \"top2_taxonomy_agrees\": {taxonomy_agrees},\n  \
          \"encode_speedup_parallel_over_serial\": {encode_speedup:.3},\n  \
          \"train_speedup_parallel_over_serial\": {train_speedup:.3},\n  \
+         \"parallel_comparison_meaningful\": {parallel_comparison_meaningful},\n  \
          \"parallel_regression\": {parallel_regression},\n  \
          \"parallel_bit_identical_to_serial\": {bit_identical}\n}}\n",
         dataset.name(),

@@ -1,0 +1,202 @@
+//! Log-bucketed latency histogram for the serving soak benchmark.
+//!
+//! Latencies span four orders of magnitude between a cache-warm window-1
+//! hit and a deadline-flushed tail, so a linear histogram either truncates
+//! the tail or wastes memory.  This one buckets by (exponent, 5-bit
+//! mantissa prefix) — HDR-style — giving ≤ 1/32 (~3 %) relative error at
+//! every scale with a fixed 15 KiB footprint, mergeable across client
+//! threads without locks.
+
+/// Mantissa bits retained per octave (32 sub-buckets, ≤ 1/32 rel. error).
+const SUB_BITS: u32 = 5;
+/// Sub-buckets per octave.
+const SUB: u64 = 1 << SUB_BITS;
+/// Bucket count covering the full `u64` nanosecond range: one identity
+/// octave block below [`SUB`] plus one block per remaining octave (the
+/// top exponent is 63, giving a maximum index of
+/// `(63 - SUB_BITS + 1) * SUB + SUB - 1`).
+const BUCKETS: usize = ((64 - SUB_BITS + 1) as usize) * (SUB as usize);
+
+/// A fixed-size log-bucketed histogram of nanosecond latencies.
+///
+/// # Example
+///
+/// ```
+/// use disthd_bench::LatencyHistogram;
+/// use std::time::Duration;
+///
+/// let mut h = LatencyHistogram::new();
+/// for us in [50u64, 100, 150, 10_000] {
+///     h.record(Duration::from_micros(us));
+/// }
+/// assert_eq!(h.count(), 4);
+/// // p50 falls on the second value, p999 on the tail — within the
+/// // histogram's 1/32 relative resolution.
+/// assert!((h.quantile_us(0.5) - 100.0).abs() / 100.0 < 0.04);
+/// assert!((h.quantile_us(0.999) - 10_000.0).abs() / 10_000.0 < 0.04);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Bucket index of a nanosecond value: identity below [`SUB`], then
+/// (octave, top-[`SUB_BITS`]-mantissa) above it.
+fn bucket_index(nanos: u64) -> usize {
+    if nanos < SUB {
+        return nanos as usize;
+    }
+    let exp = 63 - nanos.leading_zeros();
+    let sub = (nanos >> (exp - SUB_BITS)) - SUB;
+    ((u64::from(exp - SUB_BITS + 1) * SUB) + sub) as usize
+}
+
+/// Inclusive upper bound (nanoseconds) of the values a bucket holds.
+fn bucket_upper(index: usize) -> u64 {
+    let index = index as u64;
+    if index < SUB {
+        return index;
+    }
+    let exp = index / SUB + SUB_BITS as u64 - 1;
+    let sub = index % SUB;
+    let width = 1u64 << (exp - SUB_BITS as u64);
+    (SUB + sub) * width + (width - 1)
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+        }
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: std::time::Duration) {
+        let nanos = u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX);
+        self.buckets[bucket_index(nanos)] += 1;
+        self.count += 1;
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Folds another histogram into this one (per-thread collection, one
+    /// merge at the end — no locks on the hot path).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+    }
+
+    /// The latency (microseconds) at or below which a `q` fraction of the
+    /// samples fall, resolved to the containing bucket's upper bound
+    /// (≤ 1/32 relative error).  Returns 0 for an empty histogram.
+    pub fn quantile_us(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (index, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return bucket_upper(index) as f64 / 1_000.0;
+            }
+        }
+        bucket_upper(BUCKETS - 1) as f64 / 1_000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn bucket_index_is_monotone_and_in_range() {
+        let mut values: Vec<u64> = (0..64u32)
+            .flat_map(|shift| [0u64, 1, 3].map(|offset| (1u64 << shift).saturating_add(offset)))
+            .collect();
+        values.sort_unstable();
+        let mut last = 0usize;
+        for v in values {
+            let index = bucket_index(v);
+            assert!(index >= last, "index regressed at {v}");
+            assert!(index < BUCKETS);
+            last = index;
+        }
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_upper_bounds_its_own_values() {
+        for v in (0u64..4096).chain([1u64 << 20, 1 << 40, u64::MAX - 1]) {
+            let upper = bucket_upper(bucket_index(v));
+            assert!(upper >= v, "upper {upper} < value {v}");
+            // Relative resolution: the bound overshoots by at most 1/32.
+            if v >= SUB {
+                assert!(
+                    (upper - v) as f64 / v as f64 <= 1.0 / SUB as f64,
+                    "resolution worse than 1/{SUB} at {v}: upper {upper}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_resolve_known_distributions() {
+        let mut h = LatencyHistogram::new();
+        for us in 1..=1000u64 {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.count(), 1000);
+        for (q, expected_us) in [(0.5, 500.0), (0.99, 990.0), (0.999, 999.0)] {
+            let got = h.quantile_us(q);
+            assert!(
+                (got - expected_us).abs() / expected_us <= 1.0 / SUB as f64,
+                "p{q}: got {got}, expected ~{expected_us}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let mut left = LatencyHistogram::new();
+        let mut right = LatencyHistogram::new();
+        let mut all = LatencyHistogram::new();
+        for i in 0..500u64 {
+            let d = Duration::from_nanos(i * i + 1);
+            if i % 2 == 0 {
+                left.record(d);
+            } else {
+                right.record(d);
+            }
+            all.record(d);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), all.count());
+        for q in [0.1, 0.5, 0.9, 0.99, 0.999] {
+            assert_eq!(left.quantile_us(q), all.quantile_us(q));
+        }
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile_us(0.5), 0.0);
+    }
+}

@@ -35,6 +35,7 @@ use disthd_hd::noise::flip_random_bits;
 use disthd_hd::quantize::{BitWidth, QuantizedMatrix};
 use disthd_hd::{quantized_similarity_matrix, quantized_similarity_to_all};
 use disthd_linalg::{Matrix, SeededRng};
+use std::sync::Arc;
 
 /// A trained DistHD model frozen for low-precision edge deployment.
 ///
@@ -60,7 +61,11 @@ use disthd_linalg::{Matrix, SeededRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct DeployedModel {
-    encoder: AnyRbfEncoder,
+    /// The frozen encoder, shared structurally across clones: a deployment
+    /// clone (e.g. a serving snapshot published for lock-free readers) costs
+    /// O(class memory), not O(encoder) — the encoder is immutable after
+    /// freeze, so every clone can point at the same instance.
+    encoder: Arc<AnyRbfEncoder>,
     center: EncodingCenter,
     memory: QuantizedMatrix,
     /// Reciprocal integer code norms, one per class — the only derived
@@ -83,7 +88,7 @@ impl DeployedModel {
         let mut inv_norms = Vec::new();
         memory.code_inv_norms_into(&mut inv_norms);
         Ok(Self {
-            encoder: model.encoder().clone(),
+            encoder: Arc::new(model.encoder().clone()),
             center,
             memory,
             inv_norms,
@@ -219,6 +224,44 @@ impl DeployedModel {
         Ok(())
     }
 
+    /// Builds a **new** deployment that serves `memory` in place of the
+    /// current class memory, without mutating `self` — the copy-on-write
+    /// counterpart of [`DeployedModel::swap_class_memory`] for snapshot
+    /// publication: a serving layer that shares one immutable deployment
+    /// across reader threads derives the post-swap generation from the live
+    /// one and publishes it, while in-flight readers keep scoring the old
+    /// generation untouched.
+    ///
+    /// The encoder and centering are structurally shared with `self`
+    /// (`Arc`), so the construction cost is the class memory plus its code
+    /// norms — independent of the encoder's size.  Predictions of the
+    /// returned deployment are bit-identical to calling
+    /// [`DeployedModel::swap_class_memory`] on a clone.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Incompatible`] if the replacement's shape
+    /// differs from the current memory — a swap may change weights, never
+    /// topology.
+    pub fn with_swapped_memory(&self, memory: QuantizedMatrix) -> Result<Self, ModelError> {
+        if memory.shape() != self.memory.shape() {
+            return Err(ModelError::Incompatible(format!(
+                "class memory shape {:?} cannot replace {:?}",
+                memory.shape(),
+                self.memory.shape()
+            )));
+        }
+        let mut inv_norms = Vec::with_capacity(self.inv_norms.len());
+        memory.code_inv_norms_into(&mut inv_norms);
+        Ok(Self {
+            encoder: Arc::clone(&self.encoder),
+            center: self.center.clone(),
+            memory,
+            inv_norms,
+            class_count: self.class_count,
+        })
+    }
+
     /// Per-class similarity scores for one feature vector: the encoded
     /// query dotted against the integer codes of each class, normalized by
     /// the class's code norm — cosine-equivalent to the dequantized
@@ -265,7 +308,7 @@ impl DeployedModel {
         memory.code_inv_norms_into(&mut inv_norms);
         let class_count = memory.shape().0;
         Self {
-            encoder,
+            encoder: Arc::new(encoder),
             center,
             memory,
             inv_norms,
@@ -275,7 +318,7 @@ impl DeployedModel {
 
     /// Borrows the encoder (persistence access).
     pub fn encoder_parts(&self) -> &AnyRbfEncoder {
-        &self.encoder
+        self.encoder.as_ref()
     }
 
     /// Borrows the centering means (persistence access).
@@ -492,6 +535,48 @@ mod tests {
         let wrong = QuantizedMatrix::quantize(&Matrix::zeros(k + 1, 512), BitWidth::B8);
         assert!(matches!(
             deployed.swap_class_memory(wrong),
+            Err(ModelError::Incompatible(_))
+        ));
+    }
+
+    #[test]
+    fn with_swapped_memory_matches_in_place_swap_and_shares_the_encoder() {
+        let (model, data) = trained();
+        let deployed = DeployedModel::freeze(&model, BitWidth::B8).unwrap();
+        let k = deployed.class_count();
+        let rotated: Vec<usize> = (0..k).map(|c| (c + 1) % k).collect();
+        let permuted = model.class_model().unwrap().classes().select_rows(&rotated);
+        let replacement = QuantizedMatrix::quantize(&permuted, BitWidth::B8);
+
+        // Copy-on-write swap: `self` is untouched, the derived generation
+        // predicts exactly like an in-place swap on a clone.
+        let derived = deployed.with_swapped_memory(replacement.clone()).unwrap();
+        let mut swapped = deployed.clone();
+        swapped.swap_class_memory(replacement).unwrap();
+        for i in 0..data.test.len().min(40) {
+            let x = data.test.sample(i);
+            assert_eq!(
+                derived.predict(x).unwrap(),
+                swapped.predict(x).unwrap(),
+                "sample {i}"
+            );
+        }
+        // The pre-swap deployment still serves the old memory.
+        assert_eq!(
+            deployed.accuracy(&data.test).unwrap(),
+            DeployedModel::freeze(&model, BitWidth::B8)
+                .unwrap()
+                .accuracy(&data.test)
+                .unwrap()
+        );
+        // Structural sharing: both generations point at one encoder, so
+        // publication costs O(class memory), not O(encoder).
+        assert!(Arc::ptr_eq(&deployed.encoder, &derived.encoder));
+        assert!(Arc::ptr_eq(&deployed.encoder, &deployed.clone().encoder));
+        // Topology changes are rejected, exactly like the in-place swap.
+        let wrong = QuantizedMatrix::quantize(&Matrix::zeros(k + 1, 512), BitWidth::B8);
+        assert!(matches!(
+            deployed.with_swapped_memory(wrong),
             Err(ModelError::Incompatible(_))
         ));
     }

@@ -163,7 +163,7 @@ pub fn quantized_similarity_to_all(
 /// reads it back out of cache, which measures *faster* than keeping a
 /// long-lived panel that starts every call cold (and it keeps the packed
 /// words the only state).  Batches too small to amortize the decode
-/// (fewer than [`QSIM_GEMM_MIN_ROWS`] rows — e.g. one-at-a-time serving)
+/// (fewer than `QSIM_GEMM_MIN_ROWS` rows — e.g. one-at-a-time serving)
 /// skip the panel entirely and score row by row through the single-query
 /// kernel, which is bit-identical by the shared accumulation chain.  A
 /// caller that genuinely reuses one panel across many products can decode

@@ -13,11 +13,17 @@
 //!   every batch window; only throughput changes.
 //! * [`BatchPolicy`] — the latency-vs-throughput knob (batch window +
 //!   patience bound).
-//! * [`Server`] / [`ServerClient`] — a worker thread that owns the engine
-//!   and coalesces *concurrent* client queries, with hot-swap of the
-//!   quantized class memory between batches (pair with
+//! * [`Server`] / [`ServerClient`] — the live, **sharded** server: N
+//!   worker threads (one per shard), each pulling batches from its own
+//!   queue with work stealing, so qps scales with cores.  Admission
+//!   control sheds requests when a queue is at capacity
+//!   ([`ServerOptions::queue_capacity`]).  Pair with
 //!   [`disthd::DistHd::partial_fit`] for online learning behind a live
-//!   server).
+//!   server.
+//! * [`PublishedModel`] — epoch-based snapshot publication: hot-swap and
+//!   rollback **publish** a new immutable model generation that workers
+//!   pick up at batch boundaries; writers never block readers, batches
+//!   never tear, and a publication is visible by the next batch.
 //! * [`SnapshotStore`] — bounded, versioned `DHD1` snapshots with
 //!   restore/rollback.
 //!
@@ -52,11 +58,13 @@
 #![deny(missing_docs)]
 
 mod engine;
+mod publish;
 mod server;
 mod snapshot;
 
 pub use engine::{BatchPolicy, EngineStats, ServeEngine, Ticket};
-pub use server::{ServeError, Server, ServerClient};
+pub use publish::{ModelReader, PublishedModel};
+pub use server::{Prediction, ServeError, Server, ServerClient, ServerOptions, ServerStats};
 pub use snapshot::{SnapshotError, SnapshotStore};
 
 /// Tiny trained artifacts for doc-tests and examples.
@@ -215,10 +223,7 @@ mod tests {
 
     #[test]
     fn server_serves_concurrent_clients_and_shuts_down_cleanly() {
-        let server = Server::spawn(ServeEngine::new(
-            testkit::tiny_deployment(),
-            BatchPolicy::window(8),
-        ));
+        let server = Server::spawn(testkit::tiny_deployment(), BatchPolicy::window(8));
         let queries = testkit::tiny_queries(24);
         let mut expected = ServeEngine::new(testkit::tiny_deployment(), BatchPolicy::window(1));
         let answers: Vec<usize> = std::thread::scope(|s| {
@@ -234,17 +239,14 @@ mod tests {
         for (q, a) in queries.iter().zip(&answers) {
             assert_eq!(expected.predict_one(q).unwrap(), *a);
         }
-        let engine = server.shutdown();
-        assert_eq!(engine.stats().served, 24);
+        let stats = server.shutdown();
+        assert_eq!(stats.served, 24);
         // Clients created before shutdown observe the disconnect.
     }
 
     #[test]
     fn dead_server_reports_disconnected() {
-        let server = Server::spawn(ServeEngine::new(
-            testkit::tiny_deployment(),
-            BatchPolicy::default(),
-        ));
+        let server = Server::spawn(testkit::tiny_deployment(), BatchPolicy::default());
         let client = server.client();
         server.shutdown();
         let q = testkit::tiny_queries(1).remove(0);
@@ -278,7 +280,7 @@ mod tests {
         let mut store = SnapshotStore::new(4);
         let v0 = store.push(&deployment).unwrap();
 
-        let server = Server::spawn(ServeEngine::new(deployment, BatchPolicy::window(4)));
+        let server = Server::spawn(deployment, BatchPolicy::window(4));
         let client = server.client();
         let q = testkit::tiny_queries(1).remove(0);
         let before = client.predict(&q).unwrap();

@@ -1,12 +1,33 @@
-//! A live, thread-backed server around the batching engine.
+//! The sharded, live serving layer: N batch workers, lock-free hot-swap.
+//!
+//! A [`Server`] spawns one scoring worker per **shard**.  Every worker
+//! owns a batch queue; clients are dealt across the queues round-robin,
+//! and an idle worker steals the oldest queued work from the deepest
+//! other queue, so throughput scales with cores instead of serializing
+//! behind one dispatcher thread (the pre-shard design topped out at one
+//! engine regardless of load — see `DESIGN.md` §9).
+//!
+//! The model itself is **published, not locked**: workers read an
+//! epoch-versioned snapshot ([`crate::PublishedModel`]) that hot-swap and
+//! rollback replace wholesale.  A worker resolves the snapshot once per
+//! batch, so a swap never blocks an in-flight batch, a batch can never
+//! tear across two generations, and a publication is visible by the next
+//! batch — while the per-batch cost in the steady state is a single
+//! atomic load.
 
-use crate::engine::{ServeEngine, Ticket};
+use crate::engine::BatchPolicy;
+use crate::publish::PublishedModel;
 use disthd::DeployedModel;
 use disthd_eval::ModelError;
+use disthd_hd::encoder::Encoder;
 use disthd_hd::quantize::QuantizedMatrix;
+use disthd_linalg::Matrix;
+use std::collections::VecDeque;
 use std::error::Error;
 use std::fmt;
-use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -17,6 +38,11 @@ pub enum ServeError {
     Model(ModelError),
     /// The server worker is gone (shut down or panicked).
     Disconnected,
+    /// Admission control shed the request: the target shard's queue was at
+    /// capacity.  The client may retry; the server sheds instead of letting
+    /// queueing delay grow without bound (see
+    /// [`ServerOptions::queue_capacity`]).
+    Overloaded,
 }
 
 impl fmt::Display for ServeError {
@@ -24,6 +50,7 @@ impl fmt::Display for ServeError {
         match self {
             ServeError::Model(e) => write!(f, "serving failed: {e}"),
             ServeError::Disconnected => write!(f, "server is no longer running"),
+            ServeError::Overloaded => write!(f, "server queue is full; request shed"),
         }
     }
 }
@@ -32,7 +59,7 @@ impl Error for ServeError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             ServeError::Model(e) => Some(e),
-            ServeError::Disconnected => None,
+            ServeError::Disconnected | ServeError::Overloaded => None,
         }
     }
 }
@@ -43,103 +70,275 @@ impl From<ModelError> for ServeError {
     }
 }
 
-enum Request {
-    Predict {
-        features: Vec<f32>,
-        reply: Sender<Result<usize, ModelError>>,
-    },
-    Swap {
-        memory: QuantizedMatrix,
-        reply: Sender<Result<(), ModelError>>,
-    },
-    Install {
-        model: Box<DeployedModel>,
-        reply: Sender<Result<(), ModelError>>,
-    },
-    Shutdown,
+/// Deployment options of a [`Server`] beyond the batch policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerOptions {
+    /// Number of shard workers (≥ 1).  Each worker scores batches
+    /// independently against the published snapshot, so qps scales with
+    /// shards until the machine runs out of cores.  The default resolves
+    /// `DISTHD_SERVE_SHARDS`, falling back to 1 (the single-worker
+    /// behaviour of the pre-shard server).
+    pub shards: usize,
+    /// Per-shard admission bound: a predict request targeting a shard whose
+    /// queue already holds this many waiting queries is shed with
+    /// [`ServeError::Overloaded`] (and counted in
+    /// [`ServerStats::shed`]) instead of queueing unboundedly.
+    pub queue_capacity: usize,
+}
+
+/// Default per-shard admission bound.
+const DEFAULT_QUEUE_CAPACITY: usize = 8192;
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        let shards = std::env::var("DISTHD_SERVE_SHARDS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(1);
+        Self {
+            shards,
+            queue_capacity: DEFAULT_QUEUE_CAPACITY,
+        }
+    }
+}
+
+impl ServerOptions {
+    /// Options with the given shard count and the default admission bound.
+    pub fn sharded(shards: usize) -> Self {
+        Self {
+            shards: shards.max(1),
+            ..Self::default()
+        }
+    }
+}
+
+/// Lifetime counters of a [`Server`], aggregated across shards.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Queries answered.
+    pub served: u64,
+    /// Batched scoring passes executed (each one encode GEMM + one
+    /// integer-similarity pass).
+    pub flushes: u64,
+    /// Batches an idle worker stole from another shard's queue.
+    pub stolen_batches: u64,
+    /// Requests shed by admission control (queue at capacity).
+    pub shed: u64,
+    /// Deepest any shard queue has been (admission/backpressure gauge).
+    pub peak_queue_depth: usize,
+}
+
+/// One queued predict request.
+struct Job {
+    /// Enqueue instant; the shard's flush deadline is measured from the
+    /// *oldest* queued job so a trickle of arrivals cannot starve it.
+    at: Instant,
+    features: Vec<f32>,
+    reply: Sender<Result<usize, ModelError>>,
+}
+
+/// A shard: one batch queue plus the condvar its worker parks on.
+struct Shard {
+    queue: Mutex<VecDeque<Job>>,
+    cv: Condvar,
+}
+
+/// State shared by every client handle and worker thread.
+struct Shared {
+    published: PublishedModel,
+    policy: BatchPolicy,
+    queue_capacity: usize,
+    feature_dim: usize,
+    shards: Vec<Shard>,
+    /// Round-robin admission cursor.
+    rr: AtomicUsize,
+    shutdown: AtomicBool,
+    served: AtomicU64,
+    flushes: AtomicU64,
+    stolen: AtomicU64,
+    shed: AtomicU64,
+    peak_depth: AtomicUsize,
+}
+
+impl Shared {
+    fn stats(&self) -> ServerStats {
+        ServerStats {
+            served: self.served.load(Ordering::Relaxed),
+            flushes: self.flushes.load(Ordering::Relaxed),
+            stolen_batches: self.stolen.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            peak_queue_depth: self.peak_depth.load(Ordering::Relaxed),
+        }
+    }
+}
+
+fn lock<'a, T>(mutex: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    mutex.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// An in-flight prediction submitted with [`ServerClient::submit`]; redeem
+/// it with [`Prediction::wait`].  Dropping it abandons the answer (the
+/// query is still scored with its batch).
+#[derive(Debug)]
+pub struct Prediction {
+    rx: Receiver<Result<usize, ModelError>>,
+}
+
+impl Prediction {
+    /// Blocks until the batch containing this query has been scored.
+    ///
+    /// # Errors
+    ///
+    /// * [`ServeError::Model`] if scoring failed;
+    /// * [`ServeError::Disconnected`] if the server shut down first.
+    pub fn wait(self) -> Result<usize, ServeError> {
+        self.rx
+            .recv()
+            .map_err(|_| ServeError::Disconnected)?
+            .map_err(ServeError::Model)
+    }
 }
 
 /// A cloneable, `Send` handle for submitting requests to a [`Server`].
 #[derive(Clone)]
 pub struct ServerClient {
-    sender: Sender<Request>,
+    shared: Arc<Shared>,
 }
 
 impl ServerClient {
     /// Classifies one feature vector, blocking until the coalesced batch
-    /// containing it has been served.
+    /// containing it has been scored.
     ///
     /// # Errors
     ///
     /// * [`ServeError::Model`] if the query is malformed;
+    /// * [`ServeError::Overloaded`] if admission control shed the request;
     /// * [`ServeError::Disconnected`] if the server has shut down.
     pub fn predict(&self, features: &[f32]) -> Result<usize, ServeError> {
-        let (tx, rx) = mpsc::channel();
-        self.sender
-            .send(Request::Predict {
-                features: features.to_vec(),
-                reply: tx,
-            })
-            .map_err(|_| ServeError::Disconnected)?;
-        rx.recv()
-            .map_err(|_| ServeError::Disconnected)?
-            .map_err(ServeError::Model)
+        self.submit(features)?.wait()
     }
 
-    /// Hot-swaps the quantized class memory of the live model.  In-flight
-    /// queries are flushed against the old memory first; every query after
-    /// this call returns is answered by the new memory.
+    /// Enqueues one query without blocking on its answer; the returned
+    /// [`Prediction`] redeems it.  This is the pipelined entry point: a
+    /// client can keep a window of submissions in flight and let the shard
+    /// workers coalesce them.
+    ///
+    /// # Errors
+    ///
+    /// See [`ServerClient::predict`] — malformed and shed requests are
+    /// rejected here, before anything is queued.
+    pub fn submit(&self, features: &[f32]) -> Result<Prediction, ServeError> {
+        let shared = &self.shared;
+        if shared.shutdown.load(Ordering::Acquire) {
+            return Err(ServeError::Disconnected);
+        }
+        if features.len() != shared.feature_dim {
+            return Err(ServeError::Model(ModelError::Incompatible(format!(
+                "query has {} features, model expects {}",
+                features.len(),
+                shared.feature_dim
+            ))));
+        }
+        let index = shared.rr.fetch_add(1, Ordering::Relaxed) % shared.shards.len();
+        let shard = &shared.shards[index];
+        let (tx, rx) = mpsc::channel();
+        let depth = {
+            let mut queue = lock(&shard.queue);
+            // Re-check under the lock: a worker only exits after observing
+            // (shutdown ∧ empty queue) under this lock, so a job admitted
+            // here is guaranteed to be drained.
+            if shared.shutdown.load(Ordering::Acquire) {
+                return Err(ServeError::Disconnected);
+            }
+            if queue.len() >= shared.queue_capacity {
+                shared.shed.fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::Overloaded);
+            }
+            queue.push_back(Job {
+                at: Instant::now(),
+                features: features.to_vec(),
+                reply: tx,
+            });
+            queue.len()
+        };
+        shared.peak_depth.fetch_max(depth, Ordering::Relaxed);
+        shard.cv.notify_one();
+        if depth > shared.policy.max_batch {
+            // More than one batch is backed up on this shard: wake every
+            // worker so an idle one can steal the overflow.
+            for other in &shared.shards {
+                other.cv.notify_one();
+            }
+        }
+        Ok(Prediction { rx })
+    }
+
+    /// Hot-swaps the quantized class memory of the live model by
+    /// **publishing** a derived snapshot (copy-on-write, see
+    /// [`DeployedModel::with_swapped_memory`]).  The call never waits on a
+    /// scoring worker: in-flight batches finish against the generation they
+    /// started with, and every batch that begins after this returns is
+    /// scored by the new memory.
     ///
     /// # Errors
     ///
     /// * [`ServeError::Model`] on a topology mismatch;
     /// * [`ServeError::Disconnected`] if the server has shut down.
     pub fn swap_class_memory(&self, memory: QuantizedMatrix) -> Result<(), ServeError> {
-        let (tx, rx) = mpsc::channel();
-        self.sender
-            .send(Request::Swap { memory, reply: tx })
-            .map_err(|_| ServeError::Disconnected)?;
-        rx.recv()
-            .map_err(|_| ServeError::Disconnected)?
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            return Err(ServeError::Disconnected);
+        }
+        self.shared
+            .published
+            .publish_with(|live| live.with_swapped_memory(memory))
+            .map(|_| ())
             .map_err(ServeError::Model)
     }
 
     /// Replaces the whole live deployment (the rollback path; pair with
-    /// [`crate::SnapshotStore::restore`]).
+    /// [`crate::SnapshotStore::restore`]).  Like
+    /// [`ServerClient::swap_class_memory`] this publishes a new snapshot
+    /// and returns immediately — visible by the next batch, never blocking
+    /// an in-flight one.
     ///
     /// # Errors
     ///
     /// * [`ServeError::Model`] on a feature-arity mismatch;
     /// * [`ServeError::Disconnected`] if the server has shut down.
     pub fn install_model(&self, model: DeployedModel) -> Result<(), ServeError> {
-        let (tx, rx) = mpsc::channel();
-        self.sender
-            .send(Request::Install {
-                model: Box::new(model),
-                reply: tx,
-            })
-            .map_err(|_| ServeError::Disconnected)?;
-        rx.recv()
-            .map_err(|_| ServeError::Disconnected)?
-            .map_err(ServeError::Model)
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            return Err(ServeError::Disconnected);
+        }
+        if model.encoder_parts().input_dim() != self.shared.feature_dim {
+            return Err(ServeError::Model(ModelError::Incompatible(format!(
+                "replacement expects {} features, live model serves {}",
+                model.encoder_parts().input_dim(),
+                self.shared.feature_dim
+            ))));
+        }
+        self.shared.published.publish(model);
+        Ok(())
     }
 }
 
-/// A live classification server: one worker thread that owns a
-/// [`ServeEngine`] and coalesces concurrent client queries into batches.
+/// A live classification server: per-shard worker threads that coalesce
+/// concurrent client queries into batches and score them against a
+/// published model snapshot.
 ///
-/// The worker accumulates arriving queries until the policy's batch window
-/// fills or [`BatchPolicy::max_wait`](crate::BatchPolicy) elapses with a
-/// partial batch, then answers the whole batch in one pass.  Clients block
-/// only for their own answer.
+/// Each worker accumulates arriving queries until the policy's batch
+/// window fills or [`BatchPolicy::max_wait`] elapses with a partial batch
+/// (measured from the oldest queued query), then answers the whole batch
+/// in one pass.  Clients block only for their own answer.  Hot-swap and
+/// rollback go through snapshot **publication** and never block scoring.
 ///
 /// # Example
 ///
 /// ```
-/// use disthd_serve::{BatchPolicy, ServeEngine, Server};
+/// use disthd_serve::{BatchPolicy, Server};
 ///
 /// let deployment = disthd_serve::testkit::tiny_deployment();
-/// let server = Server::spawn(ServeEngine::new(deployment, BatchPolicy::window(4)));
+/// let server = Server::spawn(deployment, BatchPolicy::window(4));
 ///
 /// // Concurrent clients: each thread fires queries at the shared server.
 /// let queries = disthd_serve::testkit::tiny_queries(8);
@@ -155,127 +354,393 @@ impl ServerClient {
 /// });
 /// assert_eq!(classes.len(), 8);
 ///
-/// let engine = server.shutdown();
-/// assert_eq!(engine.stats().served, 8);
+/// let stats = server.shutdown();
+/// assert_eq!(stats.served, 8);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub struct Server {
-    sender: Sender<Request>,
-    worker: JoinHandle<ServeEngine>,
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
 }
 
 impl Server {
-    /// Starts the worker thread and takes ownership of the engine.
-    pub fn spawn(engine: ServeEngine) -> Self {
-        let (sender, receiver) = mpsc::channel();
-        let worker = std::thread::spawn(move || run_worker(engine, receiver));
-        Self { sender, worker }
+    /// Starts a server with [`ServerOptions::default`] (one shard unless
+    /// `DISTHD_SERVE_SHARDS` says otherwise).
+    pub fn spawn(model: DeployedModel, policy: BatchPolicy) -> Self {
+        Self::spawn_with(model, policy, ServerOptions::default())
+    }
+
+    /// Starts a server with an explicit shard count.
+    pub fn spawn_sharded(model: DeployedModel, policy: BatchPolicy, shards: usize) -> Self {
+        Self::spawn_with(model, policy, ServerOptions::sharded(shards))
+    }
+
+    /// Starts the shard workers and publishes `model` as generation 0.
+    pub fn spawn_with(model: DeployedModel, policy: BatchPolicy, options: ServerOptions) -> Self {
+        let shards = options.shards.max(1);
+        let feature_dim = model.encoder_parts().input_dim();
+        let shared = Arc::new(Shared {
+            published: PublishedModel::new(model),
+            policy: BatchPolicy {
+                max_batch: policy.max_batch.max(1),
+                max_wait: policy.max_wait,
+            },
+            queue_capacity: options.queue_capacity.max(1),
+            feature_dim,
+            shards: (0..shards)
+                .map(|_| Shard {
+                    queue: Mutex::new(VecDeque::new()),
+                    cv: Condvar::new(),
+                })
+                .collect(),
+            rr: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            served: AtomicU64::new(0),
+            flushes: AtomicU64::new(0),
+            stolen: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            peak_depth: AtomicUsize::new(0),
+        });
+        let workers = (0..shards)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("disthd-serve-{index}"))
+                    .spawn(move || run_worker(&shared, index))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        Self { shared, workers }
     }
 
     /// Creates a client handle; clients are cheap to clone and `Send`, so
     /// every request thread can own one.
     pub fn client(&self) -> ServerClient {
         ServerClient {
-            sender: self.sender.clone(),
+            shared: Arc::clone(&self.shared),
         }
     }
 
-    /// Stops the worker after it has flushed and answered every queued
-    /// query, returning the engine (and its lifetime stats).
+    /// Live lifetime counters (racy snapshot; exact after
+    /// [`Server::shutdown`]).
+    pub fn stats(&self) -> ServerStats {
+        self.shared.stats()
+    }
+
+    /// Stops every worker after it has drained and answered its queued
+    /// queries, returning the final counters.  Requests submitted after
+    /// this call starts are rejected with [`ServeError::Disconnected`].
     ///
     /// # Panics
     ///
-    /// Panics if the worker thread itself panicked.
-    pub fn shutdown(self) -> ServeEngine {
-        let _ = self.sender.send(Request::Shutdown);
-        drop(self.sender);
-        self.worker.join().expect("serve worker panicked")
+    /// Panics if a worker thread itself panicked.
+    pub fn shutdown(self) -> ServerStats {
+        self.shared.shutdown.store(true, Ordering::Release);
+        for shard in &self.shared.shards {
+            shard.cv.notify_all();
+        }
+        for worker in self.workers {
+            worker.join().expect("serve worker panicked");
+        }
+        self.shared.stats()
     }
 }
 
-/// Answers every outstanding ticket whose batch has been flushed.
-fn deliver(
-    engine: &mut ServeEngine,
-    outstanding: &mut Vec<(Ticket, Sender<Result<usize, ModelError>>)>,
-) {
-    outstanding.retain(|(ticket, reply)| match engine.try_take(*ticket) {
-        Some(class) => {
-            let _ = reply.send(Ok(class));
-            false
-        }
-        None => true,
-    });
+/// Takes up to `max_batch` jobs from the front of `queue` (oldest first).
+fn drain_batch(queue: &mut VecDeque<Job>, max_batch: usize) -> Vec<Job> {
+    let n = queue.len().min(max_batch);
+    queue.drain(..n).collect()
 }
 
-fn flush_and_deliver(
-    engine: &mut ServeEngine,
-    outstanding: &mut Vec<(Ticket, Sender<Result<usize, ModelError>>)>,
-) {
-    // Shape errors cannot reach flush: submit validated every query.
-    let _ = engine.flush();
-    deliver(engine, outstanding);
-}
-
-fn run_worker(mut engine: ServeEngine, receiver: Receiver<Request>) -> ServeEngine {
-    let max_wait = engine.policy().max_wait;
-    let mut outstanding: Vec<(Ticket, Sender<Result<usize, ModelError>>)> = Vec::new();
-    // Deadline of the current partial batch, set when its first query is
-    // enqueued.  The bound must be measured from that first enqueue — a
-    // per-arrival idle timeout would let a trickle of sub-`max_wait`
-    // arrivals postpone the flush indefinitely (up to max_batch x the
-    // inter-arrival time), starving the oldest query.
-    let mut deadline: Option<Instant> = None;
+/// Collects the next batch for shard `index`, blocking per the policy.
+/// Returns an empty batch only when the server is shutting down and the
+/// shard's queue has been observed empty under its lock.
+fn collect_batch(shared: &Shared, index: usize) -> Vec<Job> {
+    let shard = &shared.shards[index];
+    let max_batch = shared.policy.max_batch;
+    let max_wait = shared.policy.max_wait;
+    let mut queue = lock(&shard.queue);
     loop {
-        let request = if outstanding.is_empty() {
-            deadline = None;
-            match receiver.recv() {
-                Ok(r) => r,
-                Err(_) => break,
+        let shutting_down = shared.shutdown.load(Ordering::Acquire);
+        if queue.len() >= max_batch || (shutting_down && !queue.is_empty()) {
+            return drain_batch(&mut queue, max_batch);
+        }
+        if let Some(oldest) = queue.front() {
+            let deadline = oldest.at + max_wait;
+            let now = Instant::now();
+            if now >= deadline {
+                // Deadline reached: drain everything that is queued *right
+                // now* in one batch.  (The pre-shard dispatcher could hit a
+                // zero-remaining `recv_timeout` here and flush short even
+                // though queued messages would have filled the batch.)
+                return drain_batch(&mut queue, max_batch);
             }
-        } else {
-            let batch_deadline = *deadline.get_or_insert_with(|| Instant::now() + max_wait);
-            let remaining = batch_deadline.saturating_duration_since(Instant::now());
-            if remaining.is_zero() {
-                flush_and_deliver(&mut engine, &mut outstanding);
-                continue;
-            }
-            match receiver.recv_timeout(remaining) {
-                Ok(r) => r,
-                Err(RecvTimeoutError::Timeout) => {
-                    flush_and_deliver(&mut engine, &mut outstanding);
-                    continue;
-                }
-                Err(RecvTimeoutError::Disconnected) => break,
-            }
-        };
-        match request {
-            Request::Predict { features, reply } => match engine.submit(&features) {
-                Ok(ticket) => {
-                    outstanding.push((ticket, reply));
-                    if engine.pending_len() == 0 {
-                        // submit auto-flushed a full window.
-                        deliver(&mut engine, &mut outstanding);
-                    }
-                }
-                Err(e) => {
-                    let _ = reply.send(Err(e));
-                }
-            },
-            Request::Swap { memory, reply } => {
-                // swap flushes internally; queued queries are answered by
-                // the memory that was live when they arrived.
-                let result = engine.swap_class_memory(memory);
-                deliver(&mut engine, &mut outstanding);
-                let _ = reply.send(result);
-            }
-            Request::Install { model, reply } => {
-                let result = engine.install_model(*model);
-                deliver(&mut engine, &mut outstanding);
-                let _ = reply.send(result);
-            }
-            Request::Shutdown => break,
+            queue = shard
+                .cv
+                .wait_timeout(queue, deadline - now)
+                .unwrap_or_else(|e| e.into_inner())
+                .0;
+            continue;
+        }
+        // Own queue is empty.
+        if shutting_down {
+            return Vec::new();
+        }
+        drop(queue);
+        if let Some(stolen) = steal_batch(shared, index) {
+            shared.stolen.fetch_add(1, Ordering::Relaxed);
+            return stolen;
+        }
+        queue = lock(&shard.queue);
+        if queue.is_empty() && !shared.shutdown.load(Ordering::Acquire) {
+            queue = shard.cv.wait(queue).unwrap_or_else(|e| e.into_inner());
         }
     }
-    flush_and_deliver(&mut engine, &mut outstanding);
-    engine
+}
+
+/// Steals up to one batch of the oldest work from the deepest other
+/// shard's queue.
+fn steal_batch(shared: &Shared, thief: usize) -> Option<Vec<Job>> {
+    if shared.shards.len() == 1 {
+        return None;
+    }
+    let victim = (0..shared.shards.len())
+        .filter(|&v| v != thief)
+        .map(|v| (lock(&shared.shards[v].queue).len(), v))
+        .filter(|&(len, _)| len > 0)
+        .max()?
+        .1;
+    let mut queue = lock(&shared.shards[victim].queue);
+    if queue.is_empty() {
+        // Raced with the victim's own worker (or another thief).
+        return None;
+    }
+    Some(drain_batch(&mut queue, shared.policy.max_batch))
+}
+
+/// Scores one batch against the published snapshot and answers each job.
+fn score_batch(shared: &Shared, model: &DeployedModel, batch: Vec<Job>) {
+    let rows: Vec<&[f32]> = batch.iter().map(|job| job.features.as_slice()).collect();
+    let predictions = Matrix::from_row_slices(shared.feature_dim, &rows)
+        .map_err(ModelError::from)
+        .and_then(|queries| model.predict_batch(&queries));
+    match predictions {
+        Ok(classes) => {
+            for (job, class) in batch.into_iter().zip(classes) {
+                let _ = job.reply.send(Ok(class));
+            }
+        }
+        Err(e) => {
+            // Unreachable for queries admitted by `submit` (arity is
+            // validated up front); answer every job rather than hanging it.
+            let message = e.to_string();
+            for job in batch {
+                let _ = job
+                    .reply
+                    .send(Err(ModelError::Incompatible(message.clone())));
+            }
+        }
+    }
+}
+
+/// The shard worker loop: collect a batch, resolve the snapshot **once at
+/// the batch boundary**, score, repeat; exit after draining on shutdown.
+fn run_worker(shared: &Shared, index: usize) {
+    let mut reader = shared.published.reader();
+    loop {
+        let batch = collect_batch(shared, index);
+        if batch.is_empty() {
+            debug_assert!(shared.shutdown.load(Ordering::Acquire));
+            return;
+        }
+        let served = batch.len() as u64;
+        reader.refresh();
+        score_batch(shared, reader.snapshot(), batch);
+        shared.served.fetch_add(served, Ordering::Relaxed);
+        shared.flushes.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit;
+    use disthd_hd::quantize::BitWidth;
+    use std::time::Duration;
+
+    /// A class memory whose every row is identical, so argmax resolves to
+    /// class 0 for any query — a recognizable "generation marker".
+    fn constant_memory(model: &DeployedModel) -> QuantizedMatrix {
+        let (k, dim) = model.memory_parts().shape();
+        QuantizedMatrix::quantize(&Matrix::filled(k, dim, 1.0), BitWidth::B8)
+    }
+
+    #[test]
+    fn a_burst_within_the_patience_window_coalesces_into_one_batch() {
+        // Regression for the pre-shard dispatcher's deadline busy-path: a
+        // burst that arrives while the worker is waiting out the patience
+        // window must be drained into ONE batch at the deadline, not split
+        // because the deadline check raced the queue.
+        let server = Server::spawn_sharded(
+            testkit::tiny_deployment(),
+            BatchPolicy {
+                max_batch: 1024,
+                max_wait: Duration::from_millis(200),
+            },
+            1,
+        );
+        let client = server.client();
+        let queries = testkit::tiny_queries(40);
+        let pending: Vec<Prediction> = queries.iter().map(|q| client.submit(q).unwrap()).collect();
+        for p in pending {
+            p.wait().unwrap();
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.served, 40);
+        assert_eq!(
+            stats.flushes, 1,
+            "burst inside one patience window must coalesce into one batch"
+        );
+    }
+
+    #[test]
+    fn swap_published_mid_batch_is_visible_without_waiting_on_scoring() {
+        // A swap issued while a partial batch is still queued (long
+        // patience) must (a) return immediately — publication, not a trip
+        // through the worker loop — and (b) be visible to that very batch,
+        // because the worker resolves the snapshot at the batch boundary,
+        // after the publication.
+        let deployment = testkit::tiny_deployment();
+        let constant = constant_memory(&deployment);
+        let server = Server::spawn_sharded(
+            deployment,
+            BatchPolicy {
+                max_batch: 64,
+                max_wait: Duration::from_millis(300),
+            },
+            1,
+        );
+        let client = server.client();
+        let q = testkit::tiny_queries(1).remove(0);
+        let queued = client.submit(&q).unwrap();
+
+        let swap_started = Instant::now();
+        client.swap_class_memory(constant).unwrap();
+        let swap_latency = swap_started.elapsed();
+        assert!(
+            swap_latency < Duration::from_millis(150),
+            "swap must not wait out the batch window ({swap_latency:?})"
+        );
+
+        // The queued query's batch flushes after the publication, so it is
+        // scored by the constant memory (every row identical → class 0).
+        assert_eq!(queued.wait().unwrap(), 0);
+        // So is everything that follows.
+        assert_eq!(client.predict(&q).unwrap(), 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn install_rollback_restores_old_predictions() {
+        let deployment = testkit::tiny_deployment();
+        let constant = constant_memory(&deployment);
+        let server = Server::spawn(deployment.clone(), BatchPolicy::window(4));
+        let client = server.client();
+        let q = testkit::tiny_queries(1).remove(0);
+        let before = client.predict(&q).unwrap();
+        client.swap_class_memory(constant).unwrap();
+        assert_eq!(client.predict(&q).unwrap(), 0);
+        client.install_model(deployment).unwrap();
+        assert_eq!(client.predict(&q).unwrap(), before);
+        server.shutdown();
+    }
+
+    #[test]
+    fn full_shard_queue_sheds_with_overloaded() {
+        // Window far above capacity + long patience: the worker parks on
+        // the deadline while jobs accumulate, so the queue depth (and the
+        // shed decision) is deterministic.
+        let server = Server::spawn_with(
+            testkit::tiny_deployment(),
+            BatchPolicy {
+                max_batch: 1024,
+                max_wait: Duration::from_secs(5),
+            },
+            ServerOptions {
+                shards: 1,
+                queue_capacity: 4,
+            },
+        );
+        let client = server.client();
+        let q = testkit::tiny_queries(1).remove(0);
+        let pending: Vec<Prediction> = (0..4).map(|_| client.submit(&q).unwrap()).collect();
+        assert!(matches!(client.submit(&q), Err(ServeError::Overloaded)));
+        // Shutdown drains the admitted four; none are lost.
+        let drained: Vec<_> = std::thread::scope(|s| {
+            let waiter = s.spawn(move || {
+                pending
+                    .into_iter()
+                    .map(|p| p.wait().unwrap())
+                    .collect::<Vec<_>>()
+            });
+            let stats = server.shutdown();
+            assert_eq!(stats.served, 4);
+            assert_eq!(stats.shed, 1);
+            assert!(stats.peak_queue_depth >= 4);
+            waiter.join().unwrap()
+        });
+        assert_eq!(drained.len(), 4);
+    }
+
+    #[test]
+    fn sharded_server_answers_identically_to_a_single_shard() {
+        let deployment = testkit::tiny_deployment();
+        let queries = testkit::tiny_queries(64);
+        let expected: Vec<usize> = {
+            let mut engine = crate::ServeEngine::new(deployment.clone(), BatchPolicy::window(1));
+            queries
+                .iter()
+                .map(|q| engine.predict_one(q).unwrap())
+                .collect()
+        };
+        for shards in [1usize, 2, 4] {
+            let server = Server::spawn_sharded(deployment.clone(), BatchPolicy::window(8), shards);
+            let client = server.client();
+            let pending: Vec<Prediction> =
+                queries.iter().map(|q| client.submit(q).unwrap()).collect();
+            let answers: Vec<usize> = pending.into_iter().map(|p| p.wait().unwrap()).collect();
+            assert_eq!(answers, expected, "{shards} shards");
+            let stats = server.shutdown();
+            assert_eq!(stats.served, 64, "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn sharded_burst_is_drained_completely_across_windows() {
+        // A burst several windows deep lands on every shard (round-robin);
+        // overflow notifications wake all workers, and whether a shard's
+        // backlog is flushed by its owner or stolen by an idle neighbour,
+        // no query may be lost or double-answered.
+        let server = Server::spawn_with(
+            testkit::tiny_deployment(),
+            BatchPolicy {
+                max_batch: 4,
+                max_wait: Duration::from_millis(400),
+            },
+            ServerOptions {
+                shards: 4,
+                queue_capacity: DEFAULT_QUEUE_CAPACITY,
+            },
+        );
+        let client = server.client();
+        let queries = testkit::tiny_queries(64);
+        let pending: Vec<Prediction> = queries.iter().map(|q| client.submit(q).unwrap()).collect();
+        for p in pending {
+            p.wait().unwrap();
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.served, 64);
+        // 64 queries at window 4 cannot fit in fewer than 16 flushes.
+        assert!(stats.flushes >= 16);
+    }
 }

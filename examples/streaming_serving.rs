@@ -54,8 +54,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut snapshots = SnapshotStore::new(8);
     let v0 = snapshots.push(&deployed)?;
 
-    // Go live: a worker thread coalesces concurrent queries (window 32).
-    let server = Server::spawn(ServeEngine::new(deployed, BatchPolicy::window(32)));
+    // Go live: two shard workers coalesce concurrent queries (window 32),
+    // each scoring its own batches against the epoch-published snapshot.
+    let server = Server::spawn_sharded(deployed, BatchPolicy::window(32), 2);
     println!(
         "serving PAMAP2-like traffic: day-0 accuracy {:.2}%",
         day0_acc * 100.0
@@ -140,11 +141,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         (rolled_back - day0_acc).abs() < 1e-12
     );
 
-    let engine = server.shutdown();
+    let stats = server.shutdown();
     println!(
-        "\nserver lifetime: {} queries in {} batched passes",
-        engine.stats().served,
-        engine.stats().flushes
+        "\nserver lifetime: {} queries in {} batched passes ({} stolen, {} shed)",
+        stats.served, stats.flushes, stats.stolen_batches, stats.shed
     );
     Ok(())
 }
