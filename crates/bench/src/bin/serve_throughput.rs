@@ -36,7 +36,7 @@ use disthd::{DeployedModel, DistHd, DistHdConfig, EncoderBackend};
 use disthd_bench::{default_scale, LatencyHistogram};
 use disthd_datasets::suite::{PaperDataset, SuiteConfig};
 use disthd_eval::Classifier;
-use disthd_hd::quantize::BitWidth;
+use disthd_hd::quantize::{BitWidth, QuantizedMatrix};
 use disthd_linalg::{parallel, Matrix};
 use disthd_serve::{BatchPolicy, Prediction, ServeEngine, Server, ServerClient, ServerOptions};
 use std::time::{Duration, Instant};
@@ -146,6 +146,7 @@ fn serve_sharded(
         let options = ServerOptions {
             shards,
             queue_capacity: queries.rows().max(1),
+            integer_pipeline: false,
         };
         let server = Server::spawn_with(model.clone(), BatchPolicy::window(window), options);
         let client = server.client();
@@ -370,6 +371,111 @@ fn main() {
     }
     let baseline_predictions = baseline_predictions.expect("at least one window");
 
+    // Fused integer encode vs the f32 round-trip, per storage width.  Both
+    // legs serve the same queries against the same packed class memory with
+    // the same packed-query scoring — the only difference is how the packed
+    // query codes are produced:
+    //   * int leg  — `predict_quantized_batch`: the fused quantize epilogue
+    //     packs codes straight out of the encode kernel, no f32 encoded
+    //     matrix ever exists;
+    //   * f32 leg  — the pre-fusion route: f32 `encode_batch`, centering,
+    //     then a separate `QuantizedMatrix::quantize` pass over the
+    //     materialized matrix.
+    // The fused path is contractually bit-identical to the round-trip
+    // (`fused_quantized_encode_matches_quantize_after_f32_encode`), so
+    // `predictions_match` must hold at every width; the bin exits non-zero
+    // on any mismatch or on a width serving below 1x.  `DISTHD_WIDTH`
+    // (1|2|4|8) narrows the sweep to one width for CI matrix runs.
+    let widths: Vec<BitWidth> = match std::env::var("DISTHD_WIDTH") {
+        Ok(v) => {
+            let bits: usize = v.trim().parse().expect("DISTHD_WIDTH: 1|2|4|8");
+            vec![BitWidth::from_bits(bits).expect("DISTHD_WIDTH: 1|2|4|8")]
+        }
+        Err(_) => BitWidth::all().to_vec(),
+    };
+    struct IntEncodeResult {
+        bits: usize,
+        int_qps: f64,
+        f32_qps: f64,
+        speedup: f64,
+        predictions_match: bool,
+    }
+    println!(
+        "\n{:<8} {:>14} {:>14} {:>10} {:>8}",
+        "width", "int qps", "f32 qps", "speedup", "match"
+    );
+    let int_encode_results: Vec<IntEncodeResult> =
+        parallel::with_thread_count(parallel_threads, || {
+            use disthd_hd::encoder::Encoder;
+            widths
+                .iter()
+                .map(|&width| {
+                    let frozen = DeployedModel::freeze(&model, width).expect("freeze at width");
+                    let mut inv_norms = Vec::new();
+                    frozen.memory_parts().code_inv_norms_into(&mut inv_norms);
+                    // Interleave the legs' repetitions so slow container
+                    // drift (frequency steps, neighbor load) lands on both
+                    // equally instead of biasing whichever leg ran second;
+                    // best-of-5 tightens the scoring-dominated widths where
+                    // the encode delta is a small share of the leg.
+                    const INT_REPS: usize = 5;
+                    let mut int_secs = f64::INFINITY;
+                    let mut f32_secs = f64::INFINITY;
+                    let mut int_predictions = Vec::new();
+                    let mut f32_predictions = Vec::new();
+                    for _ in 0..INT_REPS {
+                        let start = Instant::now();
+                        int_predictions = frozen
+                            .predict_quantized_batch(&queries)
+                            .expect("fused int path");
+                        int_secs = int_secs.min(start.elapsed().as_secs_f64());
+                        let start = Instant::now();
+                        f32_predictions = {
+                            let mut encoded = frozen
+                                .encoder_parts()
+                                .encode_batch(&queries)
+                                .expect("f32 encode");
+                            frozen.center_parts().apply_batch(&mut encoded);
+                            let packed = QuantizedMatrix::quantize(&encoded, width);
+                            disthd_hd::packed_predict_batch(
+                                &packed,
+                                frozen.memory_parts(),
+                                &inv_norms,
+                            )
+                            .expect("packed predict")
+                        };
+                        f32_secs = f32_secs.min(start.elapsed().as_secs_f64());
+                    }
+                    let result = IntEncodeResult {
+                        bits: width.bits(),
+                        int_qps: queries_n as f64 / int_secs.max(1e-12),
+                        f32_qps: queries_n as f64 / f32_secs.max(1e-12),
+                        speedup: f32_secs.max(1e-12) / int_secs.max(1e-12),
+                        predictions_match: int_predictions == f32_predictions,
+                    };
+                    println!(
+                        "{:<8} {:>14.1} {:>14.1} {:>9.2}x {:>8}",
+                        result.bits,
+                        result.int_qps,
+                        result.f32_qps,
+                        result.speedup,
+                        result.predictions_match
+                    );
+                    result
+                })
+                .collect()
+        });
+    // Same slack convention as `quantized_regression` below: a few percent
+    // absorbs timer noise on scoring-dominated widths whose encode share is
+    // small; a genuine fused-path regression lands far below it.
+    let int_encode_regression = int_encode_results
+        .iter()
+        .any(|r| !r.predictions_match || r.speedup < 0.95);
+    let speedup_int_encode_over_f32 = int_encode_results
+        .iter()
+        .find(|r| r.bits == 1)
+        .map(|r| r.speedup);
+
     // Per-optimisation before/after: the zero-dequantize integer path
     // against the pre-PR f32-snapshot path, measured as the **class-scoring
     // loop of a live online-learning deployment** — the scenario the
@@ -535,6 +641,19 @@ fn main() {
     println!("parallel regression at any window >= 32:               {parallel_regression}");
 
     let windows_json: Vec<String> = results.iter().map(|r| r.json(base)).collect();
+    let int_encode_json: Vec<String> = int_encode_results
+        .iter()
+        .map(|r| {
+            format!(
+                "{{ \"width_bits\": {}, \"int_qps\": {:.2}, \"f32_qps\": {:.2}, \
+                 \"speedup_int_encode_over_f32\": {:.3}, \"predictions_match\": {} }}",
+                r.bits, r.int_qps, r.f32_qps, r.speedup, r.predictions_match
+            )
+        })
+        .collect();
+    let headline_int_speedup = speedup_int_encode_over_f32
+        .map(|s| format!("{s:.3}"))
+        .unwrap_or_else(|| "null".into());
     let soak_json = if soak_runs.is_empty() {
         "null".to_string()
     } else {
@@ -556,6 +675,9 @@ fn main() {
          \"threads_parallel\": {parallel_threads},\n  \"shards\": {parallel_threads},\n  \
          \"machine_cores\": {machine_cores},\n  \
          \"width_bits\": 8,\n  \"windows\": [\n    {}\n  ],\n  \
+         \"int_encode\": [\n    {}\n  ],\n  \
+         \"speedup_int_encode_over_f32\": {headline_int_speedup},\n  \
+         \"int_encode_regression\": {int_encode_regression},\n  \
          \"quantized_path\": {{ \"scoring_window\": {SCORING_WINDOW}, \
          \"refresh_every\": {REFRESH_EVERY}, \"int_qps\": {int_qps:.2}, \
          \"f32_snapshot_qps\": {f32_snapshot_qps:.2}, \
@@ -568,7 +690,8 @@ fn main() {
          \"parallel_regression\": {parallel_regression},\n  \
          \"batched_at_least_2x_over_one_at_a_time\": {batched_2x}\n}}\n",
         dataset.name(),
-        windows_json.join(",\n    ")
+        windows_json.join(",\n    "),
+        int_encode_json.join(",\n    ")
     );
     let out_path = std::env::var("DISTHD_BENCH_OUT").unwrap_or_else(|_| "BENCH_serve.json".into());
     std::fs::write(&out_path, json).expect("write benchmark json");
@@ -582,6 +705,13 @@ fn main() {
         eprintln!(
             "ERROR: the {parallel_threads}-shard server is slower than serial at an amortized \
              batch window on a {machine_cores}-core machine — parallel regression"
+        );
+        std::process::exit(1);
+    }
+    if int_encode_regression {
+        eprintln!(
+            "ERROR: the fused integer encode path mismatched or served below 0.95x the f32 \
+             round-trip at some width — int-encode regression"
         );
         std::process::exit(1);
     }

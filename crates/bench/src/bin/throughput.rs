@@ -24,8 +24,9 @@ use disthd::{categorize, categorize_batch, DistHd, DistHdConfig, EncoderBackend}
 use disthd_bench::default_scale;
 use disthd_datasets::suite::{PaperDataset, SuiteConfig};
 use disthd_eval::Classifier;
-use disthd_hd::encoder::{Encoder, RbfEncoder, StructuredRbfEncoder};
+use disthd_hd::encoder::{AnyRbfEncoder, Encoder, RbfEncoder, StructuredRbfEncoder};
 use disthd_hd::learn::bundle_init;
+use disthd_hd::quantize::{BitWidth, QuantizedMatrix};
 use disthd_hd::ClassModel;
 use disthd_linalg::{parallel, RngSeed};
 use std::time::Instant;
@@ -312,12 +313,104 @@ fn main() {
         parallel_sps: sps(test_n, par_secs),
     };
 
+    // -- fused integer encode: the bit-sliced encode-with-quantize
+    //    epilogue against the f32 round-trip (encode → center → quantize)
+    //    it replaces, on the `DISTHD_ENCODER`-selected backend.
+    //    `DISTHD_WIDTH` (1|2|4|8) narrows the sweep to one storage width
+    //    so CI can pin a width per job.  Parity is exact: both legs must
+    //    produce identical packed words and row scales at every width.
+    let int_widths: Vec<BitWidth> = match std::env::var("DISTHD_WIDTH") {
+        Ok(v) => {
+            let bits: usize = v.trim().parse().expect("DISTHD_WIDTH: 1|2|4|8");
+            vec![BitWidth::from_bits(bits).expect("DISTHD_WIDTH: 1|2|4|8")]
+        }
+        Err(_) => BitWidth::all().to_vec(),
+    };
+    let any_encoder = match encoder_backend {
+        EncoderBackend::Dense => AnyRbfEncoder::Dense(encoder.clone()),
+        EncoderBackend::Structured => AnyRbfEncoder::Structured(structured_encoder.clone()),
+    };
+    // Centering vector representative of the deployed
+    // encode → center → quantize pipeline: the per-dimension mean of the
+    // encoded training batch.
+    let center: Vec<f32> = {
+        let mut sums = vec![0.0f64; DIM];
+        for r in 0..encoded_serial.rows() {
+            for (s, &v) in sums.iter_mut().zip(encoded_serial.row(r)) {
+                *s += f64::from(v);
+            }
+        }
+        sums.iter()
+            .map(|s| (*s / train_n.max(1) as f64) as f32)
+            .collect()
+    };
+    struct IntEncodeResult {
+        bits: usize,
+        int_sps: f64,
+        f32_sps: f64,
+        speedup: f64,
+        parity: bool,
+    }
+    let int_encode_results: Vec<IntEncodeResult> =
+        parallel::with_thread_count(parallel_threads, || {
+            int_widths
+                .iter()
+                .map(|&width| {
+                    let (int_secs, fused) = time_best(|| {
+                        any_encoder
+                            .encode_batch_quantized(data.train.features(), Some(&center), width)
+                            .expect("fused quantized encode")
+                    });
+                    let (f32_secs, round_trip) = time_best(|| {
+                        let mut m = any_encoder
+                            .encode_batch(data.train.features())
+                            .expect("f32 encode");
+                        for r in 0..m.rows() {
+                            for (v, c) in m.row_mut(r).iter_mut().zip(&center) {
+                                *v -= *c;
+                            }
+                        }
+                        QuantizedMatrix::quantize(&m, width)
+                    });
+                    let parity = fused.as_words() == round_trip.as_words()
+                        && fused.scales() == round_trip.scales();
+                    IntEncodeResult {
+                        bits: width.bits(),
+                        int_sps: sps(train_n, int_secs),
+                        f32_sps: sps(train_n, f32_secs),
+                        speedup: f32_secs / int_secs.max(1e-12),
+                        parity,
+                    }
+                })
+                .collect()
+        });
+    // Same slack convention as the serve bench's int-encode gate: a few
+    // percent absorbs timer noise; a genuine fused-path loss lands far
+    // below it.  Parity has no noise to absorb and gates exactly.
+    let int_encode_regression = int_encode_results
+        .iter()
+        .any(|r| !r.parity || r.speedup < 0.95);
+    let speedup_int_encode_over_f32 = int_encode_results
+        .iter()
+        .find(|r| r.bits == 1)
+        .map(|r| r.speedup);
+
     println!(
         "{:<8} {:>12} {:>12} {:>12}   {:>7} {:>9}",
         "phase", "ref sps", "serial sps", "par sps", "blk/ref", "par/serial"
     );
     for phase in [&encode, &encode_structured, &top2, &train, &predict] {
         phase.print();
+    }
+    println!(
+        "\n{:<8} {:>12} {:>12} {:>10} {:>8}",
+        "width", "int sps", "f32 sps", "speedup", "parity"
+    );
+    for r in &int_encode_results {
+        println!(
+            "{:<8} {:>12.1} {:>12.1} {:>9.2}x {:>8}",
+            r.bits, r.int_sps, r.f32_sps, r.speedup, r.parity
+        );
     }
     // The pool-backed regression signal: with every requested worker on
     // its own core, a parallel phase at or below serial throughput means
@@ -364,6 +457,19 @@ fn main() {
     );
     println!("structured encode vs dense serial  = {structured_speedup:.3}x");
 
+    let int_encode_json: Vec<String> = int_encode_results
+        .iter()
+        .map(|r| {
+            format!(
+                "{{ \"width_bits\": {}, \"int_sps\": {:.2}, \"f32_sps\": {:.2}, \
+                 \"speedup_int_encode_over_f32\": {:.3}, \"parity\": {} }}",
+                r.bits, r.int_sps, r.f32_sps, r.speedup, r.parity
+            )
+        })
+        .collect();
+    let headline_int_speedup = speedup_int_encode_over_f32
+        .map(|s| format!("{s:.3}"))
+        .unwrap_or_else(|| "null".into());
     let json = format!(
         "{{\n  \"bench\": \"throughput\",\n  \"dataset\": \"{}\",\n  \"dim\": {DIM},\n  \
          \"scale\": {scale},\n  \"train_samples\": {train_n},\n  \"test_samples\": {test_n},\n  \
@@ -372,7 +478,10 @@ fn main() {
          \"machine_cores\": {machine_cores},\n  \
          \"phases\": {{\n    \"encode\": {},\n    \"encode_structured\": {},\n    \
          \"top2\": {},\n    \"train\": {},\n    \
-         \"predict\": {}\n  }},\n  \"accuracy\": {{ \"serial\": {accuracy_serial:.6}, \
+         \"predict\": {}\n  }},\n  \"int_encode\": [\n    {}\n  ],\n  \
+         \"speedup_int_encode_over_f32\": {headline_int_speedup},\n  \
+         \"int_encode_regression\": {int_encode_regression},\n  \
+         \"accuracy\": {{ \"serial\": {accuracy_serial:.6}, \
          \"parallel\": {accuracy_parallel:.6} }},\n  \
          \"structured_vs_dense\": {{ \"accuracy_dense\": {accuracy_dense:.6}, \
          \"accuracy_structured\": {accuracy_structured:.6}, \
@@ -391,7 +500,8 @@ fn main() {
         encode_structured.json(),
         top2.json(),
         train.json(),
-        predict.json()
+        predict.json(),
+        int_encode_json.join(",\n    ")
     );
     let out_path =
         std::env::var("DISTHD_BENCH_OUT").unwrap_or_else(|_| "BENCH_throughput.json".into());
@@ -414,6 +524,13 @@ fn main() {
             "ERROR: structured-encoder regression — encode {structured_speedup:.3}x dense \
              serial (gate on multi-core: >= 2x), accuracy gap {accuracy_gap:.4} \
              (gate: <= {accuracy_tolerance:.4})"
+        );
+        std::process::exit(1);
+    }
+    if int_encode_regression {
+        eprintln!(
+            "ERROR: the fused integer encode diverged from the f32 round-trip or ran below \
+             0.95x its throughput at some width — int-encode regression"
         );
         std::process::exit(1);
     }

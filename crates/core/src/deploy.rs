@@ -33,7 +33,7 @@ use disthd_hd::center::EncodingCenter;
 use disthd_hd::encoder::{AnyRbfEncoder, Encoder};
 use disthd_hd::noise::flip_random_bits;
 use disthd_hd::quantize::{BitWidth, QuantizedMatrix};
-use disthd_hd::{quantized_similarity_matrix, quantized_similarity_to_all};
+use disthd_hd::{packed_predict_batch, quantized_similarity_matrix, quantized_similarity_to_all};
 use disthd_linalg::{Matrix, SeededRng};
 use std::sync::Arc;
 
@@ -174,6 +174,41 @@ impl DeployedModel {
         let mut encoded = self.encoder.encode_batch(queries)?;
         self.center.apply_batch(&mut encoded);
         self.predict_encoded_batch(&encoded)
+    }
+
+    /// Classifies a whole batch through the **end-to-end integer
+    /// dataflow**: the fused bit-sliced encode quantizes each encoded,
+    /// centered query row straight into packed words at the class memory's
+    /// width (no intermediate f32 hypervector matrix), and scoring runs
+    /// entirely on packed integers — XOR+popcount at 1 bit, widening
+    /// i2/i4/i8 dot products otherwise.  After featurization the hot loop
+    /// performs **zero f32 similarity work and zero `dequantize()` calls**;
+    /// the only float arithmetic left is the scalar `dot × inv_norm`
+    /// scaling of each integer dot.
+    ///
+    /// Compared to [`DeployedModel::predict_batch`] the query side is
+    /// quantized too, so predictions can differ where query-quantization
+    /// error flips a near-tie; the serving benchmark records the agreement
+    /// rate per width.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if `queries.cols()` differs from the
+    /// encoder's input arity.
+    pub fn predict_quantized_batch(&self, queries: &Matrix) -> Result<Vec<usize>, ModelError> {
+        if queries.rows() == 0 {
+            return Ok(Vec::new());
+        }
+        let encoded = self.encoder.encode_batch_quantized(
+            queries,
+            Some(self.center.means()),
+            self.memory.width(),
+        )?;
+        Ok(packed_predict_batch(
+            &encoded,
+            &self.memory,
+            &self.inv_norms,
+        )?)
     }
 
     /// Classifies a batch of **already encoded and centered** hypervectors
@@ -499,6 +534,60 @@ mod tests {
                 .unwrap();
             assert_eq!(solo[0], expected, "sample {i}");
         }
+    }
+
+    #[test]
+    fn quantized_batch_predictions_track_the_f32_pipeline() {
+        // The all-integer pipeline quantizes the query side too, so it may
+        // legitimately flip near-ties against the mixed f32-query pipeline
+        // — but agreement must stay high at every width and the resulting
+        // accuracy must not collapse.
+        let (model, data) = trained();
+        let n = data.test.len();
+        let all: Vec<usize> = (0..n).collect();
+        let queries = data.test.features().select_rows(&all);
+        for width in BitWidth::all() {
+            let deployed = DeployedModel::freeze(&model, width).unwrap();
+            let f32_preds = deployed.predict_batch(&queries).unwrap();
+            let int_preds = deployed.predict_quantized_batch(&queries).unwrap();
+            assert_eq!(int_preds.len(), n);
+            let agree = f32_preds
+                .iter()
+                .zip(&int_preds)
+                .filter(|(a, b)| a == b)
+                .count() as f64
+                / n as f64;
+            let floor = match width {
+                BitWidth::B1 | BitWidth::B2 => 0.85,
+                _ => 0.95,
+            };
+            assert!(agree >= floor, "{width}: agreement {agree:.3} < {floor}");
+            let f32_acc = f32_preds
+                .iter()
+                .enumerate()
+                .filter(|&(i, &p)| p == data.test.label(i))
+                .count() as f64
+                / n as f64;
+            let int_acc = int_preds
+                .iter()
+                .enumerate()
+                .filter(|&(i, &p)| p == data.test.label(i))
+                .count() as f64
+                / n as f64;
+            assert!(
+                int_acc >= f32_acc - 0.05,
+                "{width}: integer accuracy {int_acc:.3} vs f32 {f32_acc:.3}"
+            );
+        }
+        // Degenerate shapes behave like predict_batch.
+        let deployed = DeployedModel::freeze(&model, BitWidth::B1).unwrap();
+        assert!(deployed
+            .predict_quantized_batch(&Matrix::zeros(2, 3))
+            .is_err());
+        assert!(deployed
+            .predict_quantized_batch(&Matrix::zeros(0, 0))
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

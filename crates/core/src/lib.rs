@@ -61,6 +61,6 @@ pub use config::{DistHdConfig, WeightParams};
 pub use deploy::DeployedModel;
 pub use distance::{select_undesired_dims, DimensionScores};
 pub use disthd_hd::encoder::EncoderBackend;
-pub use stream::{StreamConfig, StreamStats};
+pub use stream::{ErrorFeedbackQuantizer, StreamConfig, StreamStats};
 pub use top2::{categorize, categorize_batch, Top2Outcome};
 pub use trainer::{DistHd, FitReport};

@@ -40,9 +40,15 @@ use disthd_linalg::{Matrix, RngSeed, SeededRng, ShapeError};
 /// precomputed — one `sin` per element instead of a `cos` plus a `sin`.
 /// Shared verbatim by the dense and structured encoders so backend choice
 /// never changes the nonlinearity's numerics.
+///
+/// Delegates to [`disthd_linalg::half_angle`], whose deterministic sine
+/// ([`disthd_linalg::sin_det`]) is bit-identical to the vectorized
+/// [`disthd_linalg::half_angle_row`] used by the batch store phases and the
+/// fused quantized encode — every encode path (scalar, batch, bit-sliced)
+/// therefore produces the exact same bits on every machine.
 #[inline]
 pub(crate) fn half_angle_cosine(projection: f32, phase: f32, phase_sin: f32) -> f32 {
-    0.5 * ((2.0 * projection + phase).sin() - phase_sin)
+    disthd_linalg::half_angle(projection, phase, phase_sin)
 }
 
 /// Maps low-dimensional feature vectors onto hyperdimensional space.
@@ -245,6 +251,28 @@ impl AnyRbfEncoder {
         }
     }
 
+    /// Fused bit-sliced batch encode straight into a
+    /// [`crate::quantize::QuantizedMatrix`] — projection, half-angle
+    /// epilogue, optional centering and quantization in one pass, with no
+    /// intermediate f32 matrix (see
+    /// [`RbfEncoder::encode_batch_quantized`] /
+    /// [`StructuredRbfEncoder::encode_batch_quantized`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] on a batch or center shape mismatch.
+    pub fn encode_batch_quantized(
+        &self,
+        batch: &Matrix,
+        center: Option<&[f32]>,
+        width: crate::quantize::BitWidth,
+    ) -> Result<crate::quantize::QuantizedMatrix, ShapeError> {
+        match self {
+            Self::Dense(e) => e.encode_batch_quantized(batch, center, width),
+            Self::Structured(e) => e.encode_batch_quantized(batch, center, width),
+        }
+    }
+
     /// Borrows the dense variant, if that is the active backend
     /// (persistence dispatch).
     pub fn as_dense(&self) -> Option<&RbfEncoder> {
@@ -362,6 +390,57 @@ mod backend_tests {
             let after = enc.encode(&x).unwrap();
             assert_ne!(before[3], after[3], "{backend}");
             assert_eq!(before[4], after[4], "{backend}");
+        }
+    }
+
+    #[test]
+    fn fused_quantized_encode_matches_quantize_after_f32_encode() {
+        use crate::quantize::{BitWidth, QuantizedMatrix};
+        let mut rng = SeededRng::new(RngSeed(77));
+        // One shape small enough for the fused constructor's serial loop,
+        // one wide enough to fan out over the pool; both with regenerated
+        // (overlay) dims so the structured backend's dense patch is
+        // exercised too.
+        for (rows, dim) in [(9usize, 257usize), (40, 1030)] {
+            for backend in [EncoderBackend::Dense, EncoderBackend::Structured] {
+                let mut enc = AnyRbfEncoder::new(backend, 6, dim, RngSeed(31));
+                enc.regenerate(&[0, 5, 63, dim - 1], &mut rng);
+                let batch =
+                    Matrix::from_fn(rows, 6, |r, c| ((r * 6 + c) as f32 * 0.37).sin() * 0.8);
+                let encoded = enc.encode_batch(&batch).unwrap();
+                let center: Vec<f32> = (0..dim).map(|d| (d as f32 * 0.013).sin() * 0.05).collect();
+                let mut centered = encoded.clone();
+                for r in 0..rows {
+                    for (v, &mu) in centered.row_mut(r).iter_mut().zip(&center) {
+                        *v -= mu;
+                    }
+                }
+                for width in BitWidth::all() {
+                    let cases = [
+                        (QuantizedMatrix::quantize(&encoded, width), None),
+                        (
+                            QuantizedMatrix::quantize(&centered, width),
+                            Some(center.as_slice()),
+                        ),
+                    ];
+                    for (reference, center_arg) in cases {
+                        for threads in [1usize, 2, 8] {
+                            let fused = disthd_linalg::parallel::with_thread_count(threads, || {
+                                enc.encode_batch_quantized(&batch, center_arg, width)
+                                    .unwrap()
+                            });
+                            let tag = format!(
+                                "{backend} {rows}x{dim} w{} t{threads} centered={}",
+                                width.bits(),
+                                center_arg.is_some()
+                            );
+                            assert_eq!(fused.shape(), reference.shape(), "{tag}");
+                            assert_eq!(fused.as_words(), reference.as_words(), "{tag}");
+                            assert_eq!(fused.scales(), reference.scales(), "{tag}");
+                        }
+                    }
+                }
+            }
         }
     }
 

@@ -1,5 +1,8 @@
 use super::{Encoder, RegenerativeEncoder};
-use disthd_linalg::{Gaussian, Matrix, RngSeed, SeededRng, ShapeError, Uniform};
+use crate::quantize::{BitWidth, QuantizedMatrix};
+use disthd_linalg::{
+    half_angle_row, sin_det, Gaussian, Matrix, PackedRhs, RngSeed, SeededRng, ShapeError, Uniform,
+};
 
 /// The paper's RBF-inspired nonlinear encoder (§III-C).
 ///
@@ -92,7 +95,7 @@ impl RbfEncoder {
         let gaussian = Gaussian::new(0.0, base_std);
         let bases = Matrix::from_fn(input_dim, output_dim, |_, _| gaussian.sample(&mut rng));
         let phases = Uniform::phase().sample_vec(&mut rng, output_dim);
-        let phase_sins = phases.iter().map(|c| c.sin()).collect();
+        let phase_sins = phases.iter().map(|&c| sin_det(c)).collect();
         Self {
             bases,
             phases,
@@ -228,7 +231,7 @@ impl RbfEncoder {
         }
         let input_dim = bases.rows();
         let output_dim = bases.cols();
-        let phase_sins = phases.iter().map(|c| c.sin()).collect();
+        let phase_sins = phases.iter().map(|&c| sin_det(c)).collect();
         Ok(Self {
             bases,
             phases,
@@ -238,6 +241,68 @@ impl RbfEncoder {
             output_dim,
             regenerated: 0,
         })
+    }
+
+    /// Fused bit-sliced batch encode: project, apply the half-angle
+    /// epilogue, optionally subtract a centering mean, and quantize each
+    /// row straight into packed words — no full-precision output matrix is
+    /// ever materialized.
+    ///
+    /// The projection runs through [`Matrix::matmul_rows_into`] against a
+    /// once-packed right-hand side (bit-identical to the
+    /// [`Encoder::encode_batch`] GEMM for any row partition) and the
+    /// epilogue through [`disthd_linalg::half_angle_row`] (bit-identical to
+    /// the scalar half-angle map), so the result equals quantizing the
+    /// centered f32 encode of the same batch **bit for bit**, at every
+    /// kernel tier and thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `batch.cols() != input_dim()` or `center`
+    /// is not `output_dim()` long.
+    pub fn encode_batch_quantized(
+        &self,
+        batch: &Matrix,
+        center: Option<&[f32]>,
+        width: BitWidth,
+    ) -> Result<QuantizedMatrix, ShapeError> {
+        if batch.cols() != self.input_dim {
+            return Err(ShapeError::new(
+                "rbf_encode_quantized",
+                batch.shape(),
+                (self.input_dim, self.output_dim),
+            ));
+        }
+        if let Some(means) = center {
+            if means.len() != self.output_dim {
+                return Err(ShapeError::new(
+                    "rbf_encode_quantized",
+                    (1, means.len()),
+                    (1, self.output_dim),
+                ));
+            }
+        }
+        let packed = PackedRhs::pack(&self.bases);
+        let cols = self.output_dim;
+        Ok(QuantizedMatrix::from_row_producer(
+            batch.rows(),
+            cols,
+            width,
+            |first_row, values| {
+                batch
+                    .matmul_rows_into(&packed, first_row, values)
+                    .expect("shapes validated before packing");
+                for row in values.chunks_exact_mut(cols) {
+                    // Unit scale is an exact no-op on the projections.
+                    half_angle_row(row, 1.0, &self.phases, &self.phase_sins);
+                    if let Some(means) = center {
+                        for (v, &mu) in row.iter_mut().zip(means) {
+                            *v -= mu;
+                        }
+                    }
+                }
+            },
+        ))
     }
 }
 
@@ -295,7 +360,7 @@ impl RegenerativeEncoder for RbfEncoder {
                 self.bases.set(k, d, gaussian.sample(rng));
             }
             self.phases[d] = phase.sample(rng);
-            self.phase_sins[d] = self.phases[d].sin();
+            self.phase_sins[d] = sin_det(self.phases[d]);
             self.regenerated += 1;
         }
     }

@@ -1,13 +1,36 @@
 use super::{half_angle_cosine, Encoder, RegenerativeEncoder};
+use crate::quantize::{BitWidth, QuantizedMatrix};
 use disthd_linalg::{
-    dot, fht_inplace, parallel, Gaussian, Matrix, RngSeed, SeededRng, ShapeError, Uniform,
+    dot, fht_inplace, half_angle_row, parallel, sin_det, Gaussian, Matrix, PackedRhs, RngSeed,
+    SeededRng, ShapeError, Uniform,
 };
 use std::collections::BTreeMap;
 
-/// Rows per parallel work unit of the structured batch encode.  Fixed (never
-/// derived from the worker count) so results are bit-identical at any thread
-/// count, exactly like the GEMM's row chunking.
+/// Minimum rows per parallel work unit of the structured batch encode.
+/// Fixed (never derived from the worker count) so results are bit-identical
+/// at any thread count, exactly like the GEMM's row chunking.
 const ENCODE_ROW_CHUNK: usize = 8;
+
+/// Minimum output elements per parallel work unit.  Narrow outputs scale
+/// the row chunk up until each unit carries this much butterfly-plus-sine
+/// arithmetic, so fork/join and per-chunk scratch setup stay amortized.
+const ENCODE_CHUNK_MIN_ELEMS: usize = 1 << 14;
+
+/// Below this many output elements the whole batch encodes serially: the
+/// pool's fork/join cost dwarfs the per-element arithmetic (the same
+/// reasoning as the GEMM's serial threshold, tuned for the heavier
+/// per-element trigonometric epilogue).
+const ENCODE_PAR_MIN_ELEMS: usize = 1 << 15;
+
+/// Rows per parallel work unit, derived from the output width alone —
+/// never the worker count — so the partition (and the output bits) are
+/// identical at any thread count.
+fn encode_chunk_rows(output_dim: usize) -> usize {
+    let scale = ENCODE_CHUNK_MIN_ELEMS
+        .div_ceil(ENCODE_ROW_CHUNK * output_dim.max(1))
+        .max(1);
+    ENCODE_ROW_CHUNK * scale
+}
 
 /// Sentinel in the dim → overlay-column map: "still on the structured
 /// backbone".
@@ -126,7 +149,7 @@ impl StructuredRbfEncoder {
             .map(|_| if rng.next_bool(0.5) { 1.0 } else { -1.0 })
             .collect();
         let phases = Uniform::phase().sample_vec(&mut rng, output_dim);
-        let phase_sins = phases.iter().map(|c| c.sin()).collect();
+        let phase_sins = phases.iter().map(|&c| sin_det(c)).collect();
         Self {
             input_dim,
             output_dim,
@@ -259,7 +282,7 @@ impl StructuredRbfEncoder {
             }
             overlay_index[d] = j as u32;
         }
-        let phase_sins = phases.iter().map(|c| c.sin()).collect();
+        let phase_sins = phases.iter().map(|&c| sin_det(c)).collect();
         let overlay_cols = overlay_rows.transpose();
         Ok(Self {
             input_dim,
@@ -326,11 +349,18 @@ impl StructuredRbfEncoder {
             self.transform_block(features, b, scratch);
             let start = b * d;
             let width = (self.output_dim - start).min(d);
-            for (j, slot) in out[start..start + width].iter_mut().enumerate() {
-                let dim = start + j;
-                *slot =
-                    half_angle_cosine(scratch[j] * scale, self.phases[dim], self.phase_sins[dim]);
-            }
+            // Copy the raw block outputs to their contiguous destination,
+            // then run the vectorized half-angle store over the slice —
+            // bit-identical to the scalar `half_angle_cosine` loop it
+            // replaces (the row kernel's contract), at SIMD throughput.
+            let slots = &mut out[start..start + width];
+            slots.copy_from_slice(&scratch[..width]);
+            half_angle_row(
+                slots,
+                scale,
+                &self.phases[start..start + width],
+                &self.phase_sins[start..start + width],
+            );
         }
     }
 
@@ -408,6 +438,87 @@ impl StructuredRbfEncoder {
         }
         Ok(())
     }
+
+    /// Fused bit-sliced batch encode: FHT backbone, overlay patch,
+    /// optional centering and quantization, written straight into packed
+    /// words — no full-precision output matrix is ever materialized.
+    ///
+    /// Each stage reuses the exact kernel of the f32
+    /// [`Encoder::encode_batch`] path (per-row block transforms plus
+    /// [`disthd_linalg::half_angle_row`]; the overlay GEMM via
+    /// [`Matrix::matmul_rows_into`] with the same scalar epilogue), so the
+    /// result equals quantizing the centered f32 encode of the same batch
+    /// **bit for bit**, at every kernel tier and thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `batch.cols() != input_dim()` or `center`
+    /// is not `output_dim()` long.
+    pub fn encode_batch_quantized(
+        &self,
+        batch: &Matrix,
+        center: Option<&[f32]>,
+        width: BitWidth,
+    ) -> Result<QuantizedMatrix, ShapeError> {
+        if batch.cols() != self.input_dim {
+            return Err(ShapeError::new(
+                "structured_encode_quantized",
+                batch.shape(),
+                (self.input_dim, self.output_dim),
+            ));
+        }
+        if let Some(means) = center {
+            if means.len() != self.output_dim {
+                return Err(ShapeError::new(
+                    "structured_encode_quantized",
+                    (1, means.len()),
+                    (1, self.output_dim),
+                ));
+            }
+        }
+        let overlay_packed = if self.overlay_dims.is_empty() {
+            None
+        } else {
+            Some(PackedRhs::pack(&self.overlay_cols))
+        };
+        let cols = self.output_dim;
+        let m = self.overlay_dims.len();
+        Ok(QuantizedMatrix::from_row_producer(
+            batch.rows(),
+            cols,
+            width,
+            |first_row, values| {
+                let n = values.len() / cols;
+                let mut scratch = vec![0.0f32; self.block_dim];
+                for (i, row) in values.chunks_exact_mut(cols).enumerate() {
+                    self.encode_structured_row(batch.row(first_row + i), row, &mut scratch);
+                }
+                if let Some(packed) = &overlay_packed {
+                    let mut patch = vec![0.0f32; n * m];
+                    batch
+                        .matmul_rows_into(packed, first_row, &mut patch)
+                        .expect("shapes validated before packing");
+                    for (row, patch_row) in values.chunks_exact_mut(cols).zip(patch.chunks_exact(m))
+                    {
+                        for (j, &dim) in self.overlay_dims.iter().enumerate() {
+                            row[dim] = half_angle_cosine(
+                                patch_row[j],
+                                self.phases[dim],
+                                self.phase_sins[dim],
+                            );
+                        }
+                    }
+                }
+                if let Some(means) = center {
+                    for row in values.chunks_exact_mut(cols) {
+                        for (v, &mu) in row.iter_mut().zip(means) {
+                            *v -= mu;
+                        }
+                    }
+                }
+            },
+        ))
+    }
 }
 
 impl Encoder for StructuredRbfEncoder {
@@ -449,21 +560,30 @@ impl Encoder for StructuredRbfEncoder {
         if out.is_empty() {
             return Ok(out);
         }
-        // Structured pass, fanned out over the worker pool in fixed 8-row
-        // chunks (bit-identical at any thread count).  The per-chunk
-        // scratch makes the FHT workspace thread-private without a
-        // per-row allocation.
-        parallel::par_chunks_mut(
-            out.as_mut_slice(),
-            ENCODE_ROW_CHUNK * self.output_dim,
-            |chunk_index, chunk| {
-                let mut scratch = vec![0.0f32; self.block_dim];
-                let first = chunk_index * ENCODE_ROW_CHUNK;
-                for (offset, row) in chunk.chunks_mut(self.output_dim).enumerate() {
-                    self.encode_structured_row(batch.row(first + offset), row, &mut scratch);
-                }
-            },
-        );
+        // Structured pass.  Small batches run serially — the pool's
+        // fork/join cost exceeds the butterfly work — and larger ones fan
+        // out in fixed shape-derived chunks (bit-identical at any thread
+        // count).  The per-chunk scratch makes the FHT workspace
+        // thread-private without a per-row allocation.
+        if batch.rows() * self.output_dim < ENCODE_PAR_MIN_ELEMS {
+            let mut scratch = vec![0.0f32; self.block_dim];
+            for r in 0..batch.rows() {
+                self.encode_structured_row(batch.row(r), out.row_mut(r), &mut scratch);
+            }
+        } else {
+            let chunk_rows = encode_chunk_rows(self.output_dim);
+            parallel::par_chunks_mut(
+                out.as_mut_slice(),
+                chunk_rows * self.output_dim,
+                |chunk_index, chunk| {
+                    let mut scratch = vec![0.0f32; self.block_dim];
+                    let first = chunk_index * chunk_rows;
+                    for (offset, row) in chunk.chunks_mut(self.output_dim).enumerate() {
+                        self.encode_structured_row(batch.row(first + offset), row, &mut scratch);
+                    }
+                },
+            );
+        }
         // Overlay pass: one small dense GEMM over the evicted dims'
         // private base vectors, fused with the same epilogue, scattered
         // into the overlaid columns.
@@ -512,7 +632,7 @@ impl RegenerativeEncoder for StructuredRbfEncoder {
                     .copy_from_slice(&column);
             }
             self.phases[dim] = new_phase;
-            self.phase_sins[dim] = new_phase.sin();
+            self.phase_sins[dim] = sin_det(new_phase);
             self.regenerated += 1;
         }
         if evicted_any || !dims.is_empty() {

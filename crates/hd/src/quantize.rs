@@ -123,17 +123,96 @@ impl QuantizedMatrix {
         let total_bits = rows * cols * bits;
         let mut words = vec![0u64; total_bits.div_ceil(64)];
         let mut scales = Vec::with_capacity(rows);
+        let mut codes = vec![0u8; cols];
 
         for r in 0..rows {
             let row = m.row(r);
             let scale = row_scale(row, width);
             scales.push(scale);
-            for (c, &v) in row.iter().enumerate() {
-                let code = encode_value(v, scale, width);
-                write_code(&mut words, (r * cols + c) * bits, bits, code);
-            }
+            row_codes(row, scale, width, &mut codes);
+            pack_codes_at(&mut words, r * cols * bits, bits, &codes);
         }
 
+        Self {
+            words,
+            scales,
+            width,
+            rows,
+            cols,
+        }
+    }
+
+    /// Builds a quantized matrix **directly from produced rows** — the
+    /// bit-sliced encode constructor: no full-precision matrix is ever
+    /// materialized.
+    ///
+    /// `fill(first_row, values)` must overwrite every element of `values`
+    /// with rows `first_row ..` of the logical matrix (`values.len()` is a
+    /// multiple of `cols`); it runs once per chunk, possibly concurrently
+    /// from pool workers on thread-private scratch.  Each chunk's values
+    /// are scaled, converted to codes through the shared
+    /// [`disthd_linalg::sign_codes`] / [`disthd_linalg::symmetric_codes`]
+    /// kernels and bit-packed in place, so the result is **bit-identical
+    /// to [`QuantizedMatrix::quantize`] of the same rows** provided `fill`
+    /// computes each row independently of the chunk partition (true of
+    /// every encoder: per-element GEMM chains and per-row FHTs do not
+    /// cross rows).
+    ///
+    /// Chunks are sized so every chunk starts on a packed-word boundary
+    /// (rows per chunk is a multiple of `64 / gcd(cols·bits, 64)`), fixed
+    /// by the shape alone — never the worker count — so output is
+    /// bit-identical at any thread count; small products skip the pool.
+    pub fn from_row_producer<F>(rows: usize, cols: usize, width: BitWidth, fill: F) -> Self
+    where
+        F: Fn(usize, &mut [f32]) + Sync,
+    {
+        let bits = width.bits();
+        let row_bits = cols * bits;
+        let mut words = vec![0u64; (rows * row_bits).div_ceil(64)];
+        // Empty rows scale to 1.0 in `row_scale`, matching `quantize`.
+        let mut scales = vec![if cols == 0 { 1.0f32 } else { 0.0 }; rows];
+        if rows > 0 && cols > 0 {
+            let chunk_rows = aligned_chunk_rows(row_bits);
+            // chunk_rows · row_bits ≡ 0 (mod 64): exact words per chunk.
+            let chunk_words = chunk_rows * row_bits / 64;
+            let produce = |index: usize, chunk_words: &mut [u64], chunk_scales: &mut [f32]| {
+                let first_row = index * chunk_rows;
+                let n = chunk_scales.len();
+                with_encode_scratch(n * cols, cols, |values, codes| {
+                    fill(first_row, values);
+                    for (i, (row, scale)) in values
+                        .chunks_exact_mut(cols)
+                        .zip(chunk_scales.iter_mut())
+                        .enumerate()
+                    {
+                        *scale = row_scale(row, width);
+                        row_codes(row, *scale, width, codes);
+                        pack_codes_at(chunk_words, i * row_bits, bits, codes);
+                    }
+                });
+            };
+            // Below ~32k elements the fork/join cost dwarfs the per-chunk
+            // arithmetic; the serial loop walks the identical partition.
+            if rows * cols < 1 << 15 {
+                for index in 0..rows.div_ceil(chunk_rows) {
+                    let r1 = ((index + 1) * chunk_rows).min(rows);
+                    let w1 = ((index + 1) * chunk_words).min(words.len());
+                    produce(
+                        index,
+                        &mut words[index * chunk_words..w1],
+                        &mut scales[index * chunk_rows..r1],
+                    );
+                }
+            } else {
+                disthd_linalg::parallel::par_chunks_pair_mut(
+                    &mut words,
+                    chunk_words,
+                    &mut scales,
+                    chunk_rows,
+                    produce,
+                );
+            }
+        }
         Self {
             words,
             scales,
@@ -505,7 +584,9 @@ fn row_scale(row: &[f32], width: BitWidth) -> f32 {
     }
 }
 
-/// Encodes one value to an unsigned code of `width.bits()` bits.
+/// Encodes one value to an unsigned code of `width.bits()` bits — the
+/// scalar reference the tier-dispatched [`row_codes`] kernels are held to.
+#[cfg(test)]
 fn encode_value(v: f32, scale: f32, width: BitWidth) -> u64 {
     match width {
         BitWidth::B1 => u64::from(v >= 0.0),
@@ -515,6 +596,70 @@ fn encode_value(v: f32, scale: f32, width: BitWidth) -> u64 {
             (q + qmax) as u64
         }
     }
+}
+
+/// Converts one row of values to unsigned codes through the shared
+/// tier-dispatched kernels (bit-identical to [`encode_value`] per
+/// element).
+fn row_codes(row: &[f32], scale: f32, width: BitWidth, codes: &mut [u8]) {
+    match width {
+        BitWidth::B1 => disthd_linalg::sign_codes(row, codes),
+        _ => disthd_linalg::symmetric_codes(row, scale, width.qmax(), codes),
+    }
+}
+
+/// Bit-packs a run of codes into **pre-zeroed** words starting at
+/// `start_bit`.  `start_bit` stays a multiple of `bits` and
+/// `64 % bits == 0`, so no code ever spans two words.
+fn pack_codes_at(words: &mut [u64], start_bit: usize, bits: usize, codes: &[u8]) {
+    let mut bit = start_bit;
+    for &code in codes {
+        words[bit / 64] |= u64::from(code) << (bit % 64);
+        bit += bits;
+    }
+}
+
+/// Rows per fused-encode chunk: the base granularity rounded up so every
+/// chunk's first row starts on a 64-bit word boundary
+/// (`group = 64 / gcd(row_bits, 64)` rows always span whole words).
+fn aligned_chunk_rows(row_bits: usize) -> usize {
+    // Tall chunks let the GEMM's column-group blocking re-read each packed
+    // panel once per 64 rows rather than once per 8; the per-worker values
+    // scratch stays modest (64 rows × dim f32) and the partition is still
+    // shape-derived, so output is identical at any thread count.
+    const BASE_ROWS: usize = 64;
+    let mut a = row_bits as u64;
+    let mut b = 64u64;
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    let group = (64 / a) as usize;
+    group * BASE_ROWS.div_ceil(group)
+}
+
+/// Thread-private scratch for the fused encode: one values buffer and one
+/// codes buffer per worker, reused across chunks and calls (pool workers
+/// are persistent, so steady-state encode allocates nothing).
+fn with_encode_scratch<R>(
+    values_len: usize,
+    codes_len: usize,
+    f: impl FnOnce(&mut [f32], &mut [u8]) -> R,
+) -> R {
+    use std::cell::RefCell;
+    thread_local! {
+        static SCRATCH: RefCell<(Vec<f32>, Vec<u8>)> = const { RefCell::new((Vec::new(), Vec::new())) };
+    }
+    SCRATCH.with(|cell| {
+        let mut scratch = cell.borrow_mut();
+        let (values, codes) = &mut *scratch;
+        if values.len() < values_len {
+            values.resize(values_len, 0.0);
+        }
+        if codes.len() < codes_len {
+            codes.resize(codes_len, 0);
+        }
+        f(&mut values[..values_len], &mut codes[..codes_len])
+    })
 }
 
 /// Decodes an unsigned code back to a value.
@@ -534,19 +679,6 @@ fn decode_value(code: u64, scale: f32, width: BitWidth) -> f32 {
             // hardware would.
             let q = (code as i64 - qmax as i64).clamp(-(qmax as i64), qmax as i64);
             q as f32 * scale
-        }
-    }
-}
-
-/// Writes `bits` low bits of `code` at bit offset `offset`.
-fn write_code(words: &mut [u64], offset: usize, bits: usize, code: u64) {
-    for b in 0..bits {
-        let idx = offset + b;
-        let mask = 1u64 << (idx % 64);
-        if (code >> b) & 1 == 1 {
-            words[idx / 64] |= mask;
-        } else {
-            words[idx / 64] &= !mask;
         }
     }
 }
@@ -847,5 +979,81 @@ mod tests {
         let before = dequantize_calls();
         let _ = QuantizedMatrix::quantize(&sample(), BitWidth::B4).dequantize();
         assert!(dequantize_calls() > before);
+    }
+
+    #[test]
+    fn row_codes_matches_encode_value_reference() {
+        // The tier-dispatched code kernels against the scalar reference,
+        // on a grid that includes ties, zeros, negative zero and
+        // saturating magnitudes at every width.
+        let mut values: Vec<f32> = crate::test_util::lcg_matrix(1, 200, 0x71).into_vec();
+        values[0] = 0.0;
+        values[1] = -0.0;
+        values[2] = 10.0;
+        values[3] = -10.0;
+        for w in BitWidth::all() {
+            for scale in [1.0f32, 0.125, 0.37] {
+                values[4] = 0.5 * scale;
+                values[5] = -2.5 * scale;
+                let mut codes = vec![0u8; values.len()];
+                row_codes(&values, scale, w, &mut codes);
+                for (j, &v) in values.iter().enumerate() {
+                    assert_eq!(
+                        u64::from(codes[j]),
+                        encode_value(v, scale, w),
+                        "{w}, scale {scale}, value {v}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn row_producer_is_bit_identical_to_quantize() {
+        // The fused constructor against quantize-after-materialize, at
+        // every width, at shapes whose rows start mid-word, at sizes on
+        // both sides of the serial threshold, and at several thread
+        // counts (the chunk partition is fixed by shape alone).
+        use disthd_linalg::parallel::with_thread_count;
+        for (rows, cols) in [(1usize, 5usize), (7, 37), (40, 129), (9, 4096)] {
+            let m = crate::test_util::lcg_matrix(rows, cols, 0xF00D ^ (rows * cols) as u64);
+            for w in BitWidth::all() {
+                let reference = QuantizedMatrix::quantize(&m, w);
+                for threads in [1usize, 2, 8] {
+                    let fused = with_thread_count(threads, || {
+                        QuantizedMatrix::from_row_producer(rows, cols, w, |first_row, values| {
+                            let n = values.len() / cols;
+                            values.copy_from_slice(
+                                &m.as_slice()[first_row * cols..(first_row + n) * cols],
+                            );
+                        })
+                    });
+                    assert_eq!(
+                        fused.as_words(),
+                        reference.as_words(),
+                        "{w} {rows}x{cols} t{threads}"
+                    );
+                    assert_eq!(
+                        fused.scales(),
+                        reference.scales(),
+                        "{w} {rows}x{cols} t{threads}"
+                    );
+                    assert_eq!(fused.shape(), reference.shape());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn row_producer_handles_degenerate_shapes() {
+        for (rows, cols) in [(0usize, 4usize), (3, 0), (0, 0)] {
+            let q = QuantizedMatrix::from_row_producer(rows, cols, BitWidth::B4, |_, _| {
+                panic!("no chunk to fill")
+            });
+            assert_eq!(q.shape(), (rows, cols));
+            assert!(q.as_words().is_empty());
+            assert_eq!(q.scales().len(), rows);
+            assert!(q.scales().iter().all(|&s| s == 1.0));
+        }
     }
 }

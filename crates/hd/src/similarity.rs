@@ -277,6 +277,55 @@ pub fn packed_similarity_to_all(
         .collect())
 }
 
+/// Fully-integer batch prediction: the argmax class of every row of a
+/// quantized query batch against a quantized class memory, straight off the
+/// packed words — XOR+popcount at 1 bit, widening i2/i4/i8 dot products
+/// otherwise.  **No f32 similarity work**: the only float arithmetic is the
+/// final per-class `dot × inv_norm` scaling of an integer dot.
+///
+/// The per-query reciprocal code norm of [`packed_similarity_to_all`] is
+/// skipped: it is one positive constant per query, so it scales every
+/// class score identically and cannot move the argmax.  Ties (equal scaled
+/// scores) resolve to the lower class index, matching the f32 pipeline's
+/// argmax convention.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if the widths or column counts differ, or
+/// `class_inv_norms` is not one entry per class row.
+pub fn packed_predict_batch(
+    queries: &QuantizedMatrix,
+    classes: &QuantizedMatrix,
+    class_inv_norms: &[f32],
+) -> Result<Vec<usize>, ShapeError> {
+    let (query_rows, query_cols) = queries.shape();
+    let (class_rows, class_cols) = classes.shape();
+    if query_cols != class_cols
+        || queries.width() != classes.width()
+        || class_inv_norms.len() != class_rows
+    {
+        return Err(ShapeError::new(
+            "packed_predict",
+            queries.shape(),
+            classes.shape(),
+        ));
+    }
+    let mut out = Vec::with_capacity(query_rows);
+    for r in 0..query_rows {
+        let mut best = 0usize;
+        let mut best_score = f32::NEG_INFINITY;
+        for (l, &inv_norm) in class_inv_norms.iter().enumerate() {
+            let score = queries.row_dot_widening(r, classes, l) as f32 * inv_norm;
+            if score > best_score {
+                best = l;
+                best_score = score;
+            }
+        }
+        out.push(best);
+    }
+    Ok(out)
+}
+
 /// Full cosine similarity of `query` against each (unnormalized) row.
 ///
 /// Slower than [`similarity_to_all`]; used by tests and diagnostics where the
@@ -595,6 +644,60 @@ mod tests {
             }
             let _ = width; // silence per-iteration shadowing lints
         }
+    }
+
+    #[test]
+    fn packed_predict_batch_matches_single_query_argmax() {
+        // The batch predictor must pick the same class as the single-query
+        // packed scorer's argmax; its skipped per-query norm is a positive
+        // constant, so any divergence is only legal on an exact
+        // mathematical tie.
+        let classes_f32 = lcg_matrix(5, 37, 0xD1);
+        let queries_f32 = lcg_matrix(11, 37, 0xD2);
+        for w in BitWidth::all() {
+            let classes = QuantizedMatrix::quantize(&classes_f32, w);
+            let queries = QuantizedMatrix::quantize(&queries_f32, w);
+            let mut inv_norms = Vec::new();
+            classes.code_inv_norms_into(&mut inv_norms);
+            let preds = packed_predict_batch(&queries, &classes, &inv_norms).unwrap();
+            assert_eq!(preds.len(), queries_f32.rows());
+            for (s, &pred) in preds.iter().enumerate() {
+                let single = QuantizedMatrix::quantize(
+                    &Matrix::from_rows(std::slice::from_ref(&queries_f32.row(s).to_vec())).unwrap(),
+                    w,
+                );
+                let scores = packed_similarity_to_all(&single, &classes, &inv_norms).unwrap();
+                let want = TopK::from_scores(&scores).first.class;
+                if pred != want {
+                    let sa = exact_cosine64(&single, &classes, pred);
+                    let sb = exact_cosine64(&single, &classes, want);
+                    assert!(
+                        (sa - sb).abs() <= 1e-9 * sa.abs().max(1.0),
+                        "{w}, query {s}: batch chose {pred} ({sa}), single chose {want} ({sb})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_predict_batch_checks_shapes_and_breaks_ties_low() {
+        let classes = QuantizedMatrix::quantize(&lcg_matrix(3, 16, 0xE1), BitWidth::B4);
+        let mut inv_norms = Vec::new();
+        classes.code_inv_norms_into(&mut inv_norms);
+        let narrow = QuantizedMatrix::quantize(&lcg_matrix(2, 8, 0xE2), BitWidth::B4);
+        assert!(packed_predict_batch(&narrow, &classes, &inv_norms).is_err());
+        let wrong_width = QuantizedMatrix::quantize(&lcg_matrix(2, 16, 0xE3), BitWidth::B8);
+        assert!(packed_predict_batch(&wrong_width, &classes, &inv_norms).is_err());
+        let queries = QuantizedMatrix::quantize(&lcg_matrix(2, 16, 0xE4), BitWidth::B4);
+        assert!(packed_predict_batch(&queries, &classes, &inv_norms[..2]).is_err());
+        // Identical class rows score identically — the lower index wins.
+        let same = Matrix::from_rows(&[vec![1.0f32; 16], vec![1.0; 16]]).unwrap();
+        let dup = QuantizedMatrix::quantize(&same, BitWidth::B4);
+        let mut dup_inv = Vec::new();
+        dup.code_inv_norms_into(&mut dup_inv);
+        let preds = packed_predict_batch(&queries, &dup, &dup_inv).unwrap();
+        assert!(preds.iter().all(|&p| p == 0));
     }
 
     #[test]

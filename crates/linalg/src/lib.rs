@@ -33,6 +33,8 @@
 
 #![deny(missing_docs)]
 
+mod codepack;
+mod epilogue;
 mod error;
 mod fht;
 mod matrix;
@@ -42,6 +44,8 @@ mod sort;
 mod stats;
 mod vector;
 
+pub use codepack::{sign_codes, symmetric_codes};
+pub use epilogue::{half_angle, half_angle_row, sin_det};
 pub use error::ShapeError;
 pub use fht::fht_inplace;
 pub use matrix::{dot_gemm_order, dot_gemm_order_from, Matrix, PackedRhs};

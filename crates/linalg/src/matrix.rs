@@ -20,6 +20,14 @@ const GEMM_NW: usize = 16;
 /// order — are identical at any thread count.
 const GEMM_ROW_CHUNK: usize = 8;
 
+/// Cache budget for one column group of packed panels (see
+/// [`gemm_row_block`]): a group of `rhs` tiles this large is swept by every
+/// row of the block before the next group is touched, so with tall row
+/// blocks each panel byte is read once per ~`block_rows / GEMM_MR` row
+/// tiles instead of once per 4 rows.  256 KiB keeps the group resident in
+/// any L2 alongside the streaming `lhs` block.
+const GEMM_GROUP_BYTES: usize = 256 * 1024;
+
 /// Below this many multiply-adds the kernel always runs on the calling
 /// thread.  Dispatching to the persistent worker pool costs roughly one
 /// lock + condvar wake (~a microsecond — the pool's parked workers replace
@@ -430,6 +438,75 @@ impl Matrix {
         self.gemm_prepacked(packed, epilogue, kernel_tier())
     }
 
+    /// Computes a row range of `self · B` **serially** into a caller
+    /// buffer, storing the raw accumulated values (no epilogue): row
+    /// `first_row + i` of the product lands in
+    /// `out[i * packed.cols()..(i + 1) * packed.cols()]`.
+    ///
+    /// This is the building block of the bit-sliced encode path: a fused
+    /// producer runs this per chunk into thread-private scratch and
+    /// quantizes the scratch in place, never materializing the full f32
+    /// product.  Each output element's value is one ascending-`k`
+    /// accumulation chain (see [`dot_gemm_order`]) that depends only on
+    /// its own row and column, so *any* partition of the rows across
+    /// calls — including the caller's own parallel chunking — produces
+    /// output bit-identical to one [`Matrix::matmul_prepacked_map`] over
+    /// the whole matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `self.cols() != packed.inner()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len()` is not a multiple of `packed.cols()` or the
+    /// implied row range runs past `self.rows()`.
+    pub fn matmul_rows_into(
+        &self,
+        packed: &PackedRhs,
+        first_row: usize,
+        out: &mut [f32],
+    ) -> Result<(), ShapeError> {
+        if self.cols != packed.inner {
+            return Err(ShapeError::new(
+                "matmul_rows_into",
+                self.shape(),
+                (packed.inner, packed.cols),
+            ));
+        }
+        let b_cols = packed.cols;
+        if b_cols == 0 {
+            assert!(out.is_empty(), "output buffer for a zero-column product");
+            return Ok(());
+        }
+        assert_eq!(out.len() % b_cols, 0, "output buffer is not whole rows");
+        let block_rows = out.len() / b_cols;
+        assert!(
+            first_row + block_rows <= self.rows,
+            "row range {}..{} exceeds {} rows",
+            first_row,
+            first_row + block_rows,
+            self.rows
+        );
+        let inner = packed.inner;
+        if inner == 0 {
+            // Empty sums, matching the degenerate matmul_map product.
+            out.fill(0.0);
+            return Ok(());
+        }
+        let a_block = &self.data[first_row * inner..(first_row + block_rows) * inner];
+        gemm_row_block(
+            kernel_tier(),
+            a_block,
+            inner,
+            &packed.data,
+            b_cols,
+            out,
+            &|_, v| v,
+        );
+        Ok(())
+    }
+
     /// Shared row-block sweep over a packed panel (`inner > 0`, non-empty
     /// output).
     fn gemm_prepacked<F>(
@@ -454,9 +531,11 @@ impl Matrix {
             );
         };
         if gemm_runs_serial(self.rows, inner, b_cols) {
-            for (index, chunk) in out.data.chunks_mut(GEMM_ROW_CHUNK * b_cols).enumerate() {
-                kernel(index, chunk);
-            }
+            // One tall block: the column-group blocking in
+            // `gemm_row_block` then re-reads each packed panel once per
+            // call instead of once per 8-row chunk.  Identical results —
+            // only the visiting order differs from the parallel path.
+            kernel(0, &mut out.data);
         } else {
             parallel::par_chunks_mut(&mut out.data, GEMM_ROW_CHUNK * b_cols, kernel);
         }
@@ -630,6 +709,43 @@ impl PackedRhs {
     /// Columns of the logical right-hand matrix.
     pub fn cols(&self) -> usize {
         self.cols
+    }
+
+    /// Packs a dense right-hand matrix into panel order — the exact
+    /// relayout [`Matrix::matmul_map`] performs internally, exposed so a
+    /// caller can pack once and reuse the panel across
+    /// [`Matrix::matmul_prepacked_map`] / [`Matrix::matmul_rows_into`]
+    /// calls (the fused encoders keep their base matrices permanently
+    /// packed this way).  Packing is a pure relayout: products against
+    /// the panel are bit-identical to products against `rhs`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use disthd_linalg::{Matrix, PackedRhs};
+    ///
+    /// let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]])?;
+    /// let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]])?;
+    /// let packed = PackedRhs::pack(&b);
+    /// assert_eq!(a.matmul_prepacked_map(&packed, |_, x| x)?, a.matmul(&b)?);
+    /// # Ok::<(), disthd_linalg::ShapeError>(())
+    /// ```
+    pub fn pack(rhs: &Matrix) -> Self {
+        let inner = rhs.rows;
+        let b_cols = rhs.cols;
+        let mut packed = Self::new(inner, b_cols);
+        if inner == 0 || b_cols == 0 {
+            return packed;
+        }
+        for (tile, panel) in packed.data.chunks_mut(inner * GEMM_NW).enumerate() {
+            let col0 = tile * GEMM_NW;
+            let width = (b_cols - col0).min(GEMM_NW);
+            for k in 0..inner {
+                panel[k * GEMM_NW..k * GEMM_NW + width]
+                    .copy_from_slice(&rhs.data[k * b_cols + col0..k * b_cols + col0 + width]);
+            }
+        }
+        packed
     }
 
     /// Mutable slots of logical column `col`, in ascending row (`k`)
@@ -947,41 +1063,52 @@ fn gemm_row_block<F: Fn(usize, f32) -> f32>(
     }
     let block_rows = out.len() / b_cols;
     let panel_len = inner * GEMM_NW;
-    let mut r = 0;
-    while r + GEMM_MR <= block_rows {
-        let a = [
-            &a_block[r * inner..(r + 1) * inner],
-            &a_block[(r + 1) * inner..(r + 2) * inner],
-            &a_block[(r + 2) * inner..(r + 3) * inner],
-            &a_block[(r + 3) * inner..(r + 4) * inner],
-        ];
-        for (tile, panel) in packed.chunks_exact(panel_len).enumerate() {
-            let col0 = tile * GEMM_NW;
-            let width = (b_cols - col0).min(GEMM_NW);
-            let c = tile4(tier, a, panel);
-            for (m, lane) in c.iter().enumerate() {
-                let start = (r + m) * b_cols + col0;
-                for (j, &v) in lane[..width].iter().enumerate() {
+    // Column-group blocking: sweep every row of the block over one
+    // L2-sized group of packed panels before touching the next group, so
+    // panel bytes are re-read once per group per block, not once per 4
+    // rows.  Each output element is still produced by a single tile call
+    // accumulating ascending `k`, so the visiting order changes cache
+    // traffic only — results stay bit-identical for any group size or
+    // row-block height.
+    let group_tiles = (GEMM_GROUP_BYTES / (panel_len * std::mem::size_of::<f32>())).max(1);
+    for (group_index, group) in packed.chunks(group_tiles * panel_len).enumerate() {
+        let group_col0 = group_index * group_tiles * GEMM_NW;
+        let mut r = 0;
+        while r + GEMM_MR <= block_rows {
+            let a = [
+                &a_block[r * inner..(r + 1) * inner],
+                &a_block[(r + 1) * inner..(r + 2) * inner],
+                &a_block[(r + 2) * inner..(r + 3) * inner],
+                &a_block[(r + 3) * inner..(r + 4) * inner],
+            ];
+            for (tile, panel) in group.chunks_exact(panel_len).enumerate() {
+                let col0 = group_col0 + tile * GEMM_NW;
+                let width = (b_cols - col0).min(GEMM_NW);
+                let c = tile4(tier, a, panel);
+                for (m, lane) in c.iter().enumerate() {
+                    let start = (r + m) * b_cols + col0;
+                    for (j, &v) in lane[..width].iter().enumerate() {
+                        out[start + j] = epilogue(col0 + j, v);
+                    }
+                }
+            }
+            r += GEMM_MR;
+        }
+        // Row tail (block_rows % 4): one row at a time, same register
+        // tiling and the same ascending-k accumulation order.
+        while r < block_rows {
+            let a_row = &a_block[r * inner..(r + 1) * inner];
+            for (tile, panel) in group.chunks_exact(panel_len).enumerate() {
+                let col0 = group_col0 + tile * GEMM_NW;
+                let width = (b_cols - col0).min(GEMM_NW);
+                let c = tile1(tier, a_row, panel);
+                let start = r * b_cols + col0;
+                for (j, &v) in c[..width].iter().enumerate() {
                     out[start + j] = epilogue(col0 + j, v);
                 }
             }
+            r += 1;
         }
-        r += GEMM_MR;
-    }
-    // Row tail (block_rows % 4): one row at a time, same register tiling
-    // and the same ascending-k accumulation order.
-    while r < block_rows {
-        let a_row = &a_block[r * inner..(r + 1) * inner];
-        for (tile, panel) in packed.chunks_exact(panel_len).enumerate() {
-            let col0 = tile * GEMM_NW;
-            let width = (b_cols - col0).min(GEMM_NW);
-            let c = tile1(tier, a_row, panel);
-            let start = r * b_cols + col0;
-            for (j, &v) in c[..width].iter().enumerate() {
-                out[start + j] = epilogue(col0 + j, v);
-            }
-        }
-        r += 1;
     }
 }
 

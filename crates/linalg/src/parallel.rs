@@ -398,6 +398,96 @@ where
     run_slots(workers, &runner);
 }
 
+/// Applies `f(chunk_index, a_chunk, b_chunk)` to *paired* chunks of two
+/// buffers: chunk `i` spans `a[i·a_chunk ..]` and `b[i·b_chunk ..]`
+/// (final chunks may be shorter), fanned out like [`par_chunks_mut`].
+///
+/// The bit-sliced quantized encoder needs this shape: each chunk owns a
+/// run of packed words in one buffer *and* the matching run of per-row
+/// scales in another.  Both partitions depend only on lengths and chunk
+/// sizes — never on the worker count — so per-chunk results stay
+/// bit-identical at any thread count.  The two buffers must cover the
+/// same number of chunks.
+///
+/// # Panics
+///
+/// Panics if either chunk length is zero with its buffer non-empty, if
+/// the buffers imply different chunk counts, or if `f` panics in any
+/// worker (the first panic payload is re-thrown on the calling thread).
+pub fn par_chunks_pair_mut<A, B, F>(a: &mut [A], a_chunk: usize, b: &mut [B], b_chunk: usize, f: F)
+where
+    A: Send,
+    B: Send,
+    F: Fn(usize, &mut [A], &mut [B]) + Sync,
+{
+    if a.is_empty() && b.is_empty() {
+        return;
+    }
+    assert!(
+        a.is_empty() || a_chunk > 0,
+        "par_chunks_pair_mut: a_chunk must be positive"
+    );
+    assert!(
+        b.is_empty() || b_chunk > 0,
+        "par_chunks_pair_mut: b_chunk must be positive"
+    );
+    let chunks_a = if a.is_empty() {
+        0
+    } else {
+        a.len().div_ceil(a_chunk)
+    };
+    let chunks_b = if b.is_empty() {
+        0
+    } else {
+        b.len().div_ceil(b_chunk)
+    };
+    let chunks = chunks_a.max(chunks_b);
+    assert!(
+        (chunks_a == chunks || chunks_a == 0) && (chunks_b == chunks || chunks_b == 0),
+        "par_chunks_pair_mut: buffers disagree on chunk count ({chunks_a} vs {chunks_b})"
+    );
+    let (a_len, b_len) = (a.len(), b.len());
+    let sub = |len: usize, chunk_len: usize, index: usize| -> (usize, usize) {
+        if len == 0 {
+            return (0, 0);
+        }
+        let start = index * chunk_len;
+        (start, (start + chunk_len).min(len))
+    };
+    let workers = thread_count().min(chunks).max(1);
+    if workers == 1 {
+        for index in 0..chunks {
+            let (a0, a1) = sub(a_len, a_chunk, index);
+            let (b0, b1) = sub(b_len, b_chunk, index);
+            f(index, &mut a[a0..a1], &mut b[b0..b1]);
+        }
+        return;
+    }
+
+    // Deal the chunks round-robin exactly like `par_chunks_mut`.
+    let a_base = SendPtr(a.as_mut_ptr());
+    let b_base = SendPtr(b.as_mut_ptr());
+    let runner = move |slot: usize| {
+        let (a_base, b_base) = (a_base, b_base);
+        let mut index = slot;
+        while index < chunks {
+            let (a0, a1) = sub(a_len, a_chunk, index);
+            let (b0, b1) = sub(b_len, b_chunk, index);
+            // SAFETY: chunk `index` spans disjoint ranges of both buffers
+            // (distinct indices → distinct ranges, each index claimed by
+            // exactly one slot), and both borrows outlive the dispatch
+            // (caller blocked in `run_slots`).
+            let a_chunk_slice =
+                unsafe { std::slice::from_raw_parts_mut(a_base.0.add(a0), a1 - a0) };
+            let b_chunk_slice =
+                unsafe { std::slice::from_raw_parts_mut(b_base.0.add(b0), b1 - b0) };
+            f(index, a_chunk_slice, b_chunk_slice);
+            index += workers;
+        }
+    };
+    run_slots(workers, &runner);
+}
+
 /// Runs `f(row_index, row)` over every `row_len`-wide row of a flat
 /// row-major buffer, parallelized in blocks of `rows_per_chunk` rows.
 ///
@@ -452,6 +542,40 @@ mod tests {
     #[should_panic(expected = "must not be nested")]
     fn nested_override_is_caught_in_debug() {
         with_thread_count(2, || with_thread_count(3, || ()));
+    }
+
+    #[test]
+    fn paired_chunks_visit_both_buffers_consistently() {
+        for workers in [1usize, 2, 8] {
+            // 7 chunks: words in runs of 16 (last short), rows in runs of 3
+            // (last short) — the quantized-encode shape.
+            let mut words = vec![0u64; 100];
+            let mut scales = vec![0.0f32; 19];
+            with_thread_count(workers, || {
+                par_chunks_pair_mut(&mut words, 16, &mut scales, 3, |index, w, s| {
+                    for x in w.iter_mut() {
+                        *x = index as u64 + 1;
+                    }
+                    for x in s.iter_mut() {
+                        *x = index as f32 + 1.0;
+                    }
+                });
+            });
+            for (i, &w) in words.iter().enumerate() {
+                assert_eq!(w, (i / 16) as u64 + 1, "workers {workers} word {i}");
+            }
+            for (i, &s) in scales.iter().enumerate() {
+                assert_eq!(s, (i / 3) as f32 + 1.0, "workers {workers} scale {i}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk count")]
+    fn paired_chunks_reject_mismatched_partitions() {
+        let mut a = vec![0u8; 10];
+        let mut b = vec![0u8; 10];
+        par_chunks_pair_mut(&mut a, 2, &mut b, 5, |_, _, _| ());
     }
 
     #[test]

@@ -118,6 +118,7 @@ pub struct ServeEngine {
     ready: HashMap<Ticket, usize>,
     next_ticket: u64,
     stats: EngineStats,
+    integer_pipeline: bool,
 }
 
 impl ServeEngine {
@@ -133,7 +134,28 @@ impl ServeEngine {
             ready: HashMap::new(),
             next_ticket: 0,
             stats: EngineStats::default(),
+            integer_pipeline: false,
         }
+    }
+
+    /// Selects the scoring pipeline for every subsequent flush.
+    ///
+    /// With the integer pipeline enabled, each batch is answered through
+    /// [`DeployedModel::predict_quantized_batch`]: the fused quantize
+    /// epilogue packs encoded queries straight to the class memory's
+    /// storage width and classes are ranked by XOR+popcount (1-bit) or
+    /// widening integer dot products — after featurization the hot loop
+    /// never touches an `f32` hypervector.  Disabled (the default), the
+    /// engine scores f32-encoded queries against the packed memory via
+    /// [`DeployedModel::predict_batch`].
+    pub fn with_integer_pipeline(mut self, enabled: bool) -> Self {
+        self.integer_pipeline = enabled;
+        self
+    }
+
+    /// Whether flushes run the end-to-end integer pipeline.
+    pub fn integer_pipeline(&self) -> bool {
+        self.integer_pipeline
     }
 
     /// Loads a `DHD1` deployment stream (see [`disthd::io`]) straight into
@@ -228,7 +250,11 @@ impl ServeEngine {
             let rows: Vec<&[f32]> = self.pending.iter().map(|(_, q)| q.as_slice()).collect();
             Matrix::from_row_slices(self.feature_dim(), &rows)?
         };
-        let predictions = self.model.predict_batch(&batch)?;
+        let predictions = if self.integer_pipeline {
+            self.model.predict_quantized_batch(&batch)?
+        } else {
+            self.model.predict_batch(&batch)?
+        };
         for ((ticket, _), class) in self.pending.drain(..).zip(predictions) {
             self.ready.insert(ticket, class);
         }

@@ -84,6 +84,14 @@ pub struct ServerOptions {
     /// [`ServeError::Overloaded`] (and counted in
     /// [`ServerStats::shed`]) instead of queueing unboundedly.
     pub queue_capacity: usize,
+    /// Score batches through the end-to-end integer pipeline
+    /// ([`DeployedModel::predict_quantized_batch`]): the fused quantize
+    /// epilogue packs encoded queries at the class memory's storage width
+    /// and similarity runs on XOR+popcount (1-bit) or widening integer
+    /// dots — no `f32` hypervector after featurization.  The default
+    /// resolves `DISTHD_SERVE_INT` (`1`/`true`), falling back to the
+    /// f32-query scoring path.
+    pub integer_pipeline: bool,
 }
 
 /// Default per-shard admission bound.
@@ -96,9 +104,13 @@ impl Default for ServerOptions {
             .and_then(|v| v.trim().parse::<usize>().ok())
             .filter(|&n| n > 0)
             .unwrap_or(1);
+        let integer_pipeline = std::env::var("DISTHD_SERVE_INT")
+            .map(|v| matches!(v.trim(), "1" | "true"))
+            .unwrap_or(false);
         Self {
             shards,
             queue_capacity: DEFAULT_QUEUE_CAPACITY,
+            integer_pipeline,
         }
     }
 }
@@ -150,6 +162,7 @@ struct Shared {
     policy: BatchPolicy,
     queue_capacity: usize,
     feature_dim: usize,
+    integer_pipeline: bool,
     shards: Vec<Shard>,
     /// Round-robin admission cursor.
     rr: AtomicUsize,
@@ -387,6 +400,7 @@ impl Server {
             },
             queue_capacity: options.queue_capacity.max(1),
             feature_dim,
+            integer_pipeline: options.integer_pipeline,
             shards: (0..shards)
                 .map(|_| Shard {
                     queue: Mutex::new(VecDeque::new()),
@@ -523,7 +537,13 @@ fn score_batch(shared: &Shared, model: &DeployedModel, batch: Vec<Job>) {
     let rows: Vec<&[f32]> = batch.iter().map(|job| job.features.as_slice()).collect();
     let predictions = Matrix::from_row_slices(shared.feature_dim, &rows)
         .map_err(ModelError::from)
-        .and_then(|queries| model.predict_batch(&queries));
+        .and_then(|queries| {
+            if shared.integer_pipeline {
+                model.predict_quantized_batch(&queries)
+            } else {
+                model.predict_batch(&queries)
+            }
+        });
     match predictions {
         Ok(classes) => {
             for (job, class) in batch.into_iter().zip(classes) {
@@ -669,6 +689,7 @@ mod tests {
             ServerOptions {
                 shards: 1,
                 queue_capacity: 4,
+                integer_pipeline: false,
             },
         );
         let client = server.client();
@@ -716,6 +737,43 @@ mod tests {
     }
 
     #[test]
+    fn integer_pipeline_matches_the_direct_quantized_batch_path() {
+        // The integer-pipeline server and engine must answer exactly like
+        // DeployedModel::predict_quantized_batch: the fused encode is
+        // per-row deterministic, so batching (and sharding) can never
+        // change an answer.
+        let deployment = testkit::tiny_deployment();
+        let queries = testkit::tiny_queries(48);
+        let refs: Vec<&[f32]> = queries.iter().map(|q| q.as_slice()).collect();
+        let batch = Matrix::from_row_slices(queries[0].len(), &refs).unwrap();
+        let expected = deployment.predict_quantized_batch(&batch).unwrap();
+
+        let engine_answers = crate::ServeEngine::new(deployment.clone(), BatchPolicy::window(7))
+            .with_integer_pipeline(true)
+            .serve_all(&batch)
+            .unwrap();
+        assert_eq!(engine_answers, expected, "integer engine");
+
+        for shards in [1usize, 2] {
+            let server = Server::spawn_with(
+                deployment.clone(),
+                BatchPolicy::window(8),
+                ServerOptions {
+                    shards,
+                    queue_capacity: DEFAULT_QUEUE_CAPACITY,
+                    integer_pipeline: true,
+                },
+            );
+            let client = server.client();
+            let pending: Vec<Prediction> =
+                queries.iter().map(|q| client.submit(q).unwrap()).collect();
+            let answers: Vec<usize> = pending.into_iter().map(|p| p.wait().unwrap()).collect();
+            assert_eq!(answers, expected, "{shards} integer shards");
+            server.shutdown();
+        }
+    }
+
+    #[test]
     fn sharded_burst_is_drained_completely_across_windows() {
         // A burst several windows deep lands on every shard (round-robin);
         // overflow notifications wake all workers, and whether a shard's
@@ -730,6 +788,7 @@ mod tests {
             ServerOptions {
                 shards: 4,
                 queue_capacity: DEFAULT_QUEUE_CAPACITY,
+                integer_pipeline: false,
             },
         );
         let client = server.client();

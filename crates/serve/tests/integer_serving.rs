@@ -1,0 +1,76 @@
+//! The zero-dequantize contract of the integer serving pipeline.
+//!
+//! Like `disthd`'s `no_dequantize` test, this lives alone in its own test
+//! binary (its own process) because it asserts on the process-wide
+//! [`disthd_hd::quantize::dequantize_calls`] counter; sharing a binary
+//! with any test that legitimately dequantizes would race the counter.
+
+use disthd_hd::quantize::{dequantize_calls, BitWidth, QuantizedMatrix};
+use disthd_linalg::Matrix;
+use disthd_serve::{testkit, BatchPolicy, ServeEngine, Server, ServerOptions};
+
+/// Engine and sharded server in integer mode, across flushes, hot-swaps,
+/// rollback installs and shutdown: no step may reconstruct an `f32` class
+/// matrix.
+#[test]
+fn integer_serving_lifecycle_performs_zero_dequantize_calls() {
+    let deployment = testkit::tiny_deployment();
+    let queries = testkit::tiny_queries(40);
+    let before = dequantize_calls();
+
+    // Synchronous engine: submit/auto-flush, explicit flush, swap, install.
+    let mut engine =
+        ServeEngine::new(deployment.clone(), BatchPolicy::window(8)).with_integer_pipeline(true);
+    assert!(engine.integer_pipeline());
+    let tickets: Vec<_> = queries
+        .iter()
+        .map(|q| engine.submit(q).expect("submit"))
+        .collect();
+    engine.flush().expect("flush");
+    for t in tickets {
+        assert!(engine.try_take(t).is_some());
+    }
+    engine
+        .swap_class_memory(deployment.memory_parts().clone())
+        .expect("swap");
+    engine.predict_one(&queries[0]).expect("post-swap");
+    engine.install_model(deployment.clone()).expect("install");
+    engine.predict_one(&queries[0]).expect("post-install");
+
+    // Sharded server: concurrent predicts against the published snapshot,
+    // a mid-stream memory publication, then a drained shutdown.
+    let server = Server::spawn_with(
+        deployment.clone(),
+        BatchPolicy::window(4),
+        ServerOptions {
+            shards: 2,
+            queue_capacity: 1024,
+            integer_pipeline: true,
+        },
+    );
+    let client = server.client();
+    let pending: Vec<_> = queries.iter().map(|q| client.submit(q).unwrap()).collect();
+    for p in pending {
+        p.wait().expect("integer batch scored");
+    }
+    client
+        .swap_class_memory(deployment.memory_parts().clone())
+        .expect("published swap");
+    client.predict(&queries[0]).expect("post-publication");
+    let stats = server.shutdown();
+    assert_eq!(stats.served, queries.len() as u64 + 1);
+
+    assert_eq!(
+        dequantize_calls(),
+        before,
+        "integer serving must never call QuantizedMatrix::dequantize"
+    );
+
+    // Sanity: the counter is live in this process.
+    let _ = QuantizedMatrix::quantize(
+        &Matrix::from_rows(&[vec![1.0, -1.0]]).unwrap(),
+        BitWidth::B8,
+    )
+    .dequantize();
+    assert_eq!(dequantize_calls(), before + 1);
+}
