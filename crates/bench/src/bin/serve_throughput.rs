@@ -38,7 +38,10 @@ use disthd_datasets::suite::{PaperDataset, SuiteConfig};
 use disthd_eval::Classifier;
 use disthd_hd::quantize::{BitWidth, QuantizedMatrix};
 use disthd_linalg::{parallel, Matrix};
-use disthd_serve::{BatchPolicy, Prediction, ServeEngine, Server, ServerClient, ServerOptions};
+use disthd_serve::{
+    BatchPolicy, Prediction, ServeEngine, Server, ServerClient, ServerOptions, TaskKind,
+    TaskResponse,
+};
 use std::time::{Duration, Instant};
 
 /// Fig. 5's heavy dimensionality (BaselineHD's D* = 4k) — the encode cost
@@ -67,17 +70,23 @@ fn time_best<R>(mut f: impl FnMut() -> R) -> (f64, R) {
     (best, result.expect("REPS > 0"))
 }
 
-/// FNV-1a over the prediction stream — the byte-for-byte artifact CI diffs
-/// between shard counts.
-fn fnv1a(predictions: &[usize]) -> u64 {
+/// FNV-1a over a stream of 64-bit words (little-endian) — the
+/// byte-for-byte artifacts CI diffs between runs.
+fn fnv1a_words(words: impl IntoIterator<Item = u64>) -> u64 {
     let mut hash = 0xcbf2_9ce4_8422_2325u64;
-    for &p in predictions {
-        for byte in (p as u64).to_le_bytes() {
+    for word in words {
+        for byte in word.to_le_bytes() {
             hash ^= u64::from(byte);
             hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
         }
     }
     hash
+}
+
+/// FNV-1a over the prediction stream — the byte-for-byte artifact CI diffs
+/// between shard counts.
+fn fnv1a(predictions: &[usize]) -> u64 {
+    fnv1a_words(predictions.iter().map(|&p| p as u64))
 }
 
 struct WindowResult {
@@ -114,6 +123,28 @@ fn serve_once(model: &DeployedModel, queries: &Matrix, window: usize) -> (f64, V
     time_best(|| {
         let mut engine = ServeEngine::new(model.clone(), BatchPolicy::window(window));
         engine.serve_all(queries).expect("serve")
+    })
+}
+
+/// Serves every row of `queries` under one task kind through a fresh
+/// synchronous engine at `window`, returning wall-clock seconds and the
+/// responses in row order.
+fn serve_tasks_once(
+    model: &DeployedModel,
+    queries: &Matrix,
+    window: usize,
+    kind: TaskKind,
+) -> (f64, Vec<TaskResponse>) {
+    time_best(|| {
+        let mut engine = ServeEngine::new(model.clone(), BatchPolicy::window(window));
+        let tickets: Vec<_> = (0..queries.rows())
+            .map(|r| engine.submit_task(queries.row(r), kind).expect("submit"))
+            .collect();
+        engine.flush().expect("flush");
+        tickets
+            .into_iter()
+            .map(|t| engine.try_take_response(t).expect("response"))
+            .collect()
     })
 }
 
@@ -565,6 +596,78 @@ fn main() {
          ({int_speedup:.2}x), predictions match: {int_predictions_match}"
     );
 
+    // Serving task types on the batched path: top-k ranking and one-class
+    // anomaly scoring at the amortized window, against the classify qps of
+    // the same window.  Both endpoints run the identical encode GEMM and
+    // similarity pass and differ only in a cheap per-row epilogue (a
+    // truncated argsort / a norm + threshold), so neither may fall below
+    // 0.95x classify.  Parity: every ranking's leading entry must equal
+    // the classify answer for its query, and every anomaly score must be
+    // bit-identical to the direct DeployedModel API; the response streams
+    // are hashed (topk_fnv1a / anomaly_fnv1a) for cross-run byte diffs.
+    const TASK_WINDOW: usize = 32;
+    const TASK_TOP_K: usize = 3;
+    let tasked = {
+        let mut tasked = deployed.clone();
+        tasked
+            .set_tasks(disthd::ServingTasks {
+                top_k: Some(TASK_TOP_K.min(tasked.class_count())),
+                anomaly_threshold: Some(0.0),
+            })
+            .expect("task configuration");
+        tasked
+    };
+    let classify_window_qps = results
+        .iter()
+        .find(|r| r.window == TASK_WINDOW)
+        .map(|r| r.serial_qps)
+        .expect("TASK_WINDOW is swept");
+    let (topk_secs, topk_responses) = parallel::with_thread_count(1, || {
+        serve_tasks_once(&tasked, &queries, TASK_WINDOW, TaskKind::TopK)
+    });
+    let (anomaly_secs, anomaly_responses) = parallel::with_thread_count(1, || {
+        serve_tasks_once(&tasked, &queries, TASK_WINDOW, TaskKind::Anomaly)
+    });
+    let topk_qps = queries_n as f64 / topk_secs.max(1e-12);
+    let anomaly_qps = queries_n as f64 / anomaly_secs.max(1e-12);
+    let topk_first_matches_classify =
+        topk_responses
+            .iter()
+            .zip(&baseline_predictions)
+            .all(|(response, &want)| {
+                matches!(response, TaskResponse::Ranked(ranks) if ranks.first() == Some(&want))
+            });
+    let direct_anomaly_scores = tasked.anomaly_scores(&queries).expect("anomaly scores");
+    let anomaly_scores_match_direct =
+        anomaly_responses
+            .iter()
+            .zip(&direct_anomaly_scores)
+            .all(|(response, want)| {
+                matches!(response, TaskResponse::Anomaly(v) if v.score.to_bits() == want.to_bits())
+            });
+    let topk_fnv1a = fnv1a_words(topk_responses.iter().flat_map(|response| {
+        let ranks: Vec<u64> = match response {
+            TaskResponse::Ranked(ranks) => ranks.iter().map(|&c| c as u64).collect(),
+            _ => unreachable!("top-k responses only"),
+        };
+        ranks
+    }));
+    let anomaly_fnv1a = fnv1a_words(anomaly_responses.iter().map(|response| match response {
+        TaskResponse::Anomaly(v) => u64::from(v.score.to_bits()),
+        _ => unreachable!("anomaly responses only"),
+    }));
+    let task_regression = !topk_first_matches_classify
+        || !anomaly_scores_match_direct
+        || topk_qps < 0.95 * classify_window_qps
+        || anomaly_qps < 0.95 * classify_window_qps;
+    println!(
+        "\ntask endpoints (window {TASK_WINDOW}): top-{TASK_TOP_K} {topk_qps:.1} qps \
+         ({:.2}x classify), anomaly {anomaly_qps:.1} qps ({:.2}x classify), \
+         top-1 parity: {topk_first_matches_classify}, score parity: {anomaly_scores_match_direct}",
+        topk_qps / classify_window_qps.max(1e-12),
+        anomaly_qps / classify_window_qps.max(1e-12),
+    );
+
     // Sustained-load soak at 1 shard and at the full shard count; every
     // answer is checked live against the serial baseline and the post-soak
     // deterministic pass is hashed for the cross-shard byte diff.
@@ -684,6 +787,14 @@ fn main() {
          \"speedup_int_over_f32_snapshot\": {int_speedup:.3}, \
          \"predictions_match\": {int_predictions_match}, \
          \"quantized_regression\": {quantized_regression} }},\n  \
+         \"task_endpoints\": {{ \"window\": {TASK_WINDOW}, \"top_k\": {TASK_TOP_K}, \
+         \"classify_qps\": {classify_window_qps:.2}, \"topk_qps\": {topk_qps:.2}, \
+         \"anomaly_qps\": {anomaly_qps:.2}, \
+         \"topk_first_matches_classify\": {topk_first_matches_classify}, \
+         \"anomaly_scores_match_direct\": {anomaly_scores_match_direct}, \
+         \"topk_fnv1a\": \"{topk_fnv1a:#018x}\", \
+         \"anomaly_fnv1a\": \"{anomaly_fnv1a:#018x}\", \
+         \"task_regression\": {task_regression} }},\n  \
          \"soak\": {soak_json},\n  \
          \"bit_identical_across_windows_and_threads\": {bit_identical},\n  \
          \"parallel_comparison_meaningful\": {parallel_comparison_meaningful},\n  \
@@ -720,6 +831,13 @@ fn main() {
             "ERROR: the zero-dequantize scoring path lost to the f32-snapshot path \
              ({int_speedup:.3}x, predictions match: {int_predictions_match}) — quantized-path \
              regression"
+        );
+        std::process::exit(1);
+    }
+    if task_regression {
+        eprintln!(
+            "ERROR: a task endpoint regressed — top-1/score parity broke or top-k/anomaly \
+             serving fell below 0.95x classify at window {TASK_WINDOW}"
         );
         std::process::exit(1);
     }

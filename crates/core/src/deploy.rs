@@ -33,9 +33,43 @@ use disthd_hd::center::EncodingCenter;
 use disthd_hd::encoder::{AnyRbfEncoder, Encoder};
 use disthd_hd::noise::flip_random_bits;
 use disthd_hd::quantize::{BitWidth, QuantizedMatrix};
-use disthd_hd::{packed_predict_batch, quantized_similarity_matrix, quantized_similarity_to_all};
+use disthd_hd::{
+    packed_cosine_matrix, packed_predict_batch, quantized_similarity_matrix,
+    quantized_similarity_to_all,
+};
 use disthd_linalg::{Matrix, SeededRng};
 use std::sync::Arc;
+
+/// Optional serving-task configuration carried by a deployment.
+///
+/// Beyond plain classification, a deployment can serve two more task
+/// types on the same batched GEMM path: **top-k multi-label prediction**
+/// (the `k` most similar classes, ranked) and **one-class anomaly
+/// scoring** (is this query close enough to *any* class to be an
+/// inlier?).  Both are pure post-processing of the similarity scores the
+/// classify path already computes, so they inherit its batch-composition
+/// invariance; this struct holds the knobs they need, travels with the
+/// deployment through hot-swap and snapshot publication, and persists in
+/// the `DHD` artifact (format version `'3'`, written only when a task is
+/// actually configured — see [`crate::io`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ServingTasks {
+    /// Ranked classes returned by top-k serving requests (`None` = top-k
+    /// requests fall back to `k = 1`, i.e. plain argmax in a vector).
+    pub top_k: Option<usize>,
+    /// Decision threshold of the one-class anomaly scorer: a query whose
+    /// best class cosine falls **below** this is flagged anomalous.
+    /// Calibrate with [`DeployedModel::calibrate_anomaly_threshold`].
+    pub anomaly_threshold: Option<f32>,
+}
+
+impl ServingTasks {
+    /// `true` when no task is configured (the artifact then persists in
+    /// its task-free pre-v3 format, byte-identical to older writers).
+    pub fn is_empty(&self) -> bool {
+        self.top_k.is_none() && self.anomaly_threshold.is_none()
+    }
+}
 
 /// A trained DistHD model frozen for low-precision edge deployment.
 ///
@@ -73,6 +107,9 @@ pub struct DeployedModel {
     /// place (no allocation) on hot-swap and fault injection.
     inv_norms: Vec<f32>,
     class_count: usize,
+    /// Optional top-k / anomaly serving configuration; rides along through
+    /// clone, hot-swap and persistence.
+    tasks: ServingTasks,
 }
 
 impl DeployedModel {
@@ -93,6 +130,7 @@ impl DeployedModel {
             memory,
             inv_norms,
             class_count: class_model.class_count(),
+            tasks: ServingTasks::default(),
         })
     }
 
@@ -294,6 +332,7 @@ impl DeployedModel {
             memory,
             inv_norms,
             class_count: self.class_count,
+            tasks: self.tasks,
         })
     }
 
@@ -348,6 +387,7 @@ impl DeployedModel {
             memory,
             inv_norms,
             class_count,
+            tasks: ServingTasks::default(),
         }
     }
 
@@ -366,6 +406,193 @@ impl DeployedModel {
         &self.memory
     }
 
+    /// The serving-task configuration this deployment carries.
+    pub fn tasks(&self) -> ServingTasks {
+        self.tasks
+    }
+
+    /// Sets the serving-task configuration (see [`ServingTasks`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Incompatible`] if `top_k` is configured as 0
+    /// or exceeds the class count — a `k` outside `1..=classes` cannot
+    /// rank anything.
+    pub fn set_tasks(&mut self, tasks: ServingTasks) -> Result<(), ModelError> {
+        if let Some(k) = tasks.top_k {
+            if k == 0 || k > self.class_count {
+                return Err(ModelError::Incompatible(format!(
+                    "top-k of {k} is outside 1..={} classes",
+                    self.class_count
+                )));
+            }
+        }
+        self.tasks = tasks;
+        Ok(())
+    }
+
+    /// The `k` most similar classes per query row, best first — the top-k
+    /// multi-label serving task on the batched GEMM path.
+    ///
+    /// The scores are the same `samples × classes` similarity matrix the
+    /// classify path ranks ([`disthd_hd::quantized_similarity_matrix`]),
+    /// so `result[r][0]` always equals [`DeployedModel::predict_batch`]'s
+    /// answer for row `r` (ties resolve to the lower class index in both),
+    /// and every row is computed independently — a query's ranking is
+    /// bit-identical in any batch.  `k` is clamped to the class count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Incompatible`] for `k = 0`, or a shape error
+    /// if `queries.cols()` differs from the encoder's input arity.
+    pub fn top_k_batch(&self, queries: &Matrix, k: usize) -> Result<Vec<Vec<usize>>, ModelError> {
+        if k == 0 {
+            return Err(ModelError::Incompatible("top-k of 0 ranks nothing".into()));
+        }
+        if queries.rows() == 0 {
+            return Ok(Vec::new());
+        }
+        let mut encoded = self.encoder.encode_batch(queries)?;
+        self.center.apply_batch(&mut encoded);
+        let scores = quantized_similarity_matrix(&encoded, &self.memory, &self.inv_norms)?;
+        Ok(scores
+            .iter_rows()
+            .map(|row| disthd_linalg::top_k_largest(row, k))
+            .collect())
+    }
+
+    /// [`DeployedModel::top_k_batch`] on the **end-to-end integer
+    /// pipeline**: queries are quantized by the fused encode and ranked by
+    /// packed integer cosines ([`disthd_hd::packed_cosine_matrix`]) — the
+    /// per-query norm the argmax-only predictor skips is applied here, so
+    /// the scores backing the ranking are true cosines (shared with the
+    /// anomaly scorer; one kernel serves both tasks).
+    ///
+    /// # Errors
+    ///
+    /// See [`DeployedModel::top_k_batch`].
+    pub fn top_k_quantized_batch(
+        &self,
+        queries: &Matrix,
+        k: usize,
+    ) -> Result<Vec<Vec<usize>>, ModelError> {
+        if k == 0 {
+            return Err(ModelError::Incompatible("top-k of 0 ranks nothing".into()));
+        }
+        if queries.rows() == 0 {
+            return Ok(Vec::new());
+        }
+        let scores = self.quantized_cosines(queries)?;
+        Ok(scores
+            .iter_rows()
+            .map(|row| disthd_linalg::top_k_largest(row, k))
+            .collect())
+    }
+
+    /// One-class anomaly scores: each query row's **best class cosine** in
+    /// `[-1, 1]`.  An inlier resembles some class and scores high; a query
+    /// from outside the training distribution resembles none and scores
+    /// low.  Unlike the classify/top-k rankings, these values are compared
+    /// **across queries** (against a threshold), so the per-query norm the
+    /// ranking paths may drop is applied here: the classify scores are
+    /// divided by the encoded query's L2 norm, making them genuine
+    /// cosines.  Rows are scored independently — batch-composition
+    /// invariant like every serving path.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if `queries.cols()` differs from the
+    /// encoder's input arity.
+    pub fn anomaly_scores(&self, queries: &Matrix) -> Result<Vec<f32>, ModelError> {
+        if queries.rows() == 0 {
+            return Ok(Vec::new());
+        }
+        let mut encoded = self.encoder.encode_batch(queries)?;
+        self.center.apply_batch(&mut encoded);
+        let scores = quantized_similarity_matrix(&encoded, &self.memory, &self.inv_norms)?;
+        Ok(scores
+            .iter_rows()
+            .enumerate()
+            .map(|(r, row)| {
+                let norm = disthd_linalg::l2_norm(encoded.row(r));
+                if norm == 0.0 {
+                    0.0
+                } else {
+                    max_score(row) / norm
+                }
+            })
+            .collect())
+    }
+
+    /// [`DeployedModel::anomaly_scores`] on the **end-to-end integer
+    /// pipeline**: the fused encode quantizes each query and
+    /// [`disthd_hd::packed_cosine_matrix`] produces true integer-code
+    /// cosines (per-query *and* per-class norms applied), whose row
+    /// maximum is the anomaly score.
+    ///
+    /// # Errors
+    ///
+    /// See [`DeployedModel::anomaly_scores`].
+    pub fn anomaly_scores_quantized(&self, queries: &Matrix) -> Result<Vec<f32>, ModelError> {
+        if queries.rows() == 0 {
+            return Ok(Vec::new());
+        }
+        let scores = self.quantized_cosines(queries)?;
+        Ok(scores.iter_rows().map(max_score).collect())
+    }
+
+    /// Calibrates the one-class anomaly threshold from labelled
+    /// calibration batches: `inliers` should come from the training
+    /// distribution, `outliers` from outside it.  Both are scored with
+    /// [`DeployedModel::anomaly_scores`], an ROC curve is swept over the
+    /// pooled scores (`disthd_eval::roc`) and the threshold maximizing
+    /// Youden's J (`tpr − fpr`) is stored in [`ServingTasks`] and
+    /// returned.  A query scoring **below** the threshold is anomalous.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Incompatible`] if either batch is empty or
+    /// the scores cannot separate anything (degenerate ROC curve), or a
+    /// shape error for wrong-arity rows.
+    pub fn calibrate_anomaly_threshold(
+        &mut self,
+        inliers: &Matrix,
+        outliers: &Matrix,
+    ) -> Result<f32, ModelError> {
+        if inliers.rows() == 0 || outliers.rows() == 0 {
+            return Err(ModelError::Incompatible(
+                "anomaly calibration needs at least one inlier and one outlier".into(),
+            ));
+        }
+        let mut scores = self.anomaly_scores(inliers)?;
+        let mut labels = vec![true; scores.len()];
+        scores.extend(self.anomaly_scores(outliers)?);
+        labels.resize(scores.len(), false);
+        let curve = disthd_eval::roc_curve(&scores, &labels);
+        let threshold = disthd_eval::youden_threshold(&curve).ok_or_else(|| {
+            ModelError::Incompatible(
+                "anomaly calibration scores are degenerate (no separating threshold)".into(),
+            )
+        })?;
+        self.tasks.anomaly_threshold = Some(threshold);
+        Ok(threshold)
+    }
+
+    /// The integer-pipeline cosine matrix shared by the quantized top-k
+    /// and anomaly paths: fused quantizing encode, then packed cosines.
+    fn quantized_cosines(&self, queries: &Matrix) -> Result<Matrix, ModelError> {
+        let encoded = self.encoder.encode_batch_quantized(
+            queries,
+            Some(self.center.means()),
+            self.memory.width(),
+        )?;
+        Ok(packed_cosine_matrix(
+            &encoded,
+            &self.memory,
+            &self.inv_norms,
+        )?)
+    }
+
     /// Flips `round(rate * memory_bits())` random bits of the stored class
     /// memory (the Fig. 8 fault model) and refreshes the per-class code
     /// norms in place.  Inference reads the very same faulted words, so no
@@ -375,6 +602,11 @@ impl DeployedModel {
         self.memory.code_inv_norms_into(&mut self.inv_norms);
         flipped
     }
+}
+
+/// Greatest score of a non-empty row (the anomaly scorer's "best class").
+fn max_score(scores: &[f32]) -> f32 {
+    scores[argmax(scores)]
 }
 
 /// Index of the strictly greatest score (ties resolve to the lower class
@@ -668,6 +900,145 @@ mod tests {
             deployed.with_swapped_memory(wrong),
             Err(ModelError::Incompatible(_))
         ));
+    }
+
+    #[test]
+    fn top_k_first_choice_matches_the_classify_path_on_both_pipelines() {
+        // Top-k is post-processing of the very scores classify ranks, so
+        // rank 0 must equal predict_batch (f32 pipeline) and
+        // predict_quantized_batch (integer pipeline) — and k clamps.
+        let (model, data) = trained();
+        let n = data.test.len().min(40);
+        let all: Vec<usize> = (0..n).collect();
+        let queries = data.test.features().select_rows(&all);
+        for width in [BitWidth::B8, BitWidth::B1] {
+            let deployed = DeployedModel::freeze(&model, width).unwrap();
+            let k = deployed.class_count();
+            let ranked = deployed.top_k_batch(&queries, 2).unwrap();
+            let classes = deployed.predict_batch(&queries).unwrap();
+            for (r, ranks) in ranked.iter().enumerate() {
+                assert_eq!(ranks.len(), 2, "{width}, row {r}");
+                assert_eq!(ranks[0], classes[r], "{width}, row {r}");
+            }
+            let int_ranked = deployed.top_k_quantized_batch(&queries, 2).unwrap();
+            let int_classes = deployed.predict_quantized_batch(&queries).unwrap();
+            for (r, ranks) in int_ranked.iter().enumerate() {
+                assert_eq!(ranks[0], int_classes[r], "{width}, integer row {r}");
+            }
+            // k beyond the class count clamps to a full ranking.
+            let full = deployed.top_k_batch(&queries, k + 10).unwrap();
+            assert!(full.iter().all(|ranks| ranks.len() == k));
+            // Rankings are batch-composition invariant.
+            let solo = deployed.top_k_batch(&queries.select_rows(&[3]), 2).unwrap();
+            assert_eq!(solo[0], ranked[3], "{width}: solo vs batched ranking");
+        }
+        let deployed = DeployedModel::freeze(&model, BitWidth::B8).unwrap();
+        assert!(deployed.top_k_batch(&queries, 0).is_err());
+        assert!(deployed.top_k_quantized_batch(&queries, 0).is_err());
+        assert!(deployed
+            .top_k_batch(&Matrix::zeros(0, 0), 2)
+            .unwrap()
+            .is_empty());
+    }
+
+    /// Uniform-noise queries with the deployment's arity — off the
+    /// training manifold, so they should resemble no class.
+    fn noise_queries(n: usize, dim: usize, seed: u64) -> Matrix {
+        let mut rng = SeededRng::new(RngSeed(seed));
+        Matrix::from_fn(n, dim, |_, _| rng.next_unit())
+    }
+
+    #[test]
+    fn anomaly_scores_separate_the_manifold_from_noise_and_calibrate() {
+        let (model, data) = trained();
+        let mut deployed = DeployedModel::freeze(&model, BitWidth::B8).unwrap();
+        let n = data.test.len().min(60);
+        let all: Vec<usize> = (0..n).collect();
+        let inliers = data.test.features().select_rows(&all);
+        let outliers = noise_queries(n, data.test.feature_dim(), 0xA70);
+
+        let in_scores = deployed.anomaly_scores(&inliers).unwrap();
+        let out_scores = deployed.anomaly_scores(&outliers).unwrap();
+        // Scores are genuine cosines.
+        for s in in_scores.iter().chain(&out_scores) {
+            assert!((-1.001..=1.001).contains(s), "score {s}");
+        }
+        let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len() as f32;
+        assert!(
+            mean(&in_scores) > mean(&out_scores) + 0.05,
+            "inliers {:.3} vs outliers {:.3}",
+            mean(&in_scores),
+            mean(&out_scores)
+        );
+
+        // Youden calibration stores a threshold that actually separates.
+        let threshold = deployed
+            .calibrate_anomaly_threshold(&inliers, &outliers)
+            .unwrap();
+        assert_eq!(deployed.tasks().anomaly_threshold, Some(threshold));
+        let inlier_pass = in_scores.iter().filter(|&&s| s >= threshold).count();
+        let outlier_flagged = out_scores.iter().filter(|&&s| s < threshold).count();
+        assert!(
+            inlier_pass * 10 >= n * 8,
+            "only {inlier_pass}/{n} inliers pass"
+        );
+        assert!(
+            outlier_flagged * 10 >= n * 8,
+            "only {outlier_flagged}/{n} outliers flagged"
+        );
+
+        // Batch-composition invariance: a solo score equals the batched one.
+        let solo = deployed.anomaly_scores(&inliers.select_rows(&[5])).unwrap();
+        assert_eq!(solo[0].to_bits(), in_scores[5].to_bits());
+
+        // The integer pipeline agrees directionally (same separation).
+        let int_in = deployed.anomaly_scores_quantized(&inliers).unwrap();
+        let int_out = deployed.anomaly_scores_quantized(&outliers).unwrap();
+        assert!(mean(&int_in) > mean(&int_out) + 0.05);
+        let int_solo = deployed
+            .anomaly_scores_quantized(&inliers.select_rows(&[5]))
+            .unwrap();
+        assert_eq!(int_solo[0].to_bits(), int_in[5].to_bits());
+    }
+
+    #[test]
+    fn task_configuration_validates_and_travels_with_swaps() {
+        let (model, _) = trained();
+        let mut deployed = DeployedModel::freeze(&model, BitWidth::B8).unwrap();
+        assert!(deployed.tasks().is_empty());
+        // k outside 1..=classes is rejected.
+        assert!(deployed
+            .set_tasks(ServingTasks {
+                top_k: Some(0),
+                anomaly_threshold: None
+            })
+            .is_err());
+        assert!(deployed
+            .set_tasks(ServingTasks {
+                top_k: Some(deployed.class_count() + 1),
+                anomaly_threshold: None
+            })
+            .is_err());
+        let tasks = ServingTasks {
+            top_k: Some(2),
+            anomaly_threshold: Some(0.25),
+        };
+        deployed.set_tasks(tasks).unwrap();
+        assert!(!deployed.tasks().is_empty());
+        // Hot-swap derivation keeps the configuration.
+        let derived = deployed
+            .with_swapped_memory(deployed.memory_parts().clone())
+            .unwrap();
+        assert_eq!(derived.tasks(), tasks);
+        assert_eq!(deployed.clone().tasks(), tasks);
+        // Calibration rejects empty batches.
+        let dim = model.encoder().input_dim();
+        assert!(deployed
+            .calibrate_anomaly_threshold(&Matrix::zeros(0, dim), &noise_queries(4, dim, 1))
+            .is_err());
+        assert!(deployed
+            .calibrate_anomaly_threshold(&noise_queries(4, dim, 1), &Matrix::zeros(0, dim))
+            .is_err());
     }
 
     #[test]

@@ -41,6 +41,17 @@
 //! memory words             count u64
 //! ```
 //!
+//! Version `'3'` appends a **serving-task section** after the shared tail
+//! (and always carries the encoder-kind byte, like `'2'`):
+//!
+//! ```text
+//! magic  "DHD" + '3'       4 bytes
+//! encoder kind             u8 (then the v1/v2 payload + shared tail)
+//! task count               u32 (1..=2; each task kind at most once)
+//! per task: kind           u8  (0 = top-k, 1 = anomaly threshold)
+//!           payload        u32 k   |   f32 threshold
+//! ```
+//!
 //! ## Format evolution
 //!
 //! The fourth magic byte is the **format version**.  Readers accept exactly
@@ -50,9 +61,13 @@
 //! callers can tell "newer than me" from "garbage".  Dense deployments are
 //! still **written** as version `'1'`, so pre-structured readers keep
 //! loading every dense artifact this writer produces; only structured
-//! deployments need the `'2'` stream.  See `DESIGN.md` §6/§8 for the full
-//! compatibility rules.  Every deserialization failure names the offending
-//! field.
+//! deployments need the `'2'` stream, and only deployments with a
+//! configured [`crate::ServingTasks`] need `'3'` — a task-free deployment
+//! round-trips **byte-identical** to what pre-task writers produced, and
+//! an unknown task kind fails closed ([`PersistError::Corrupt`], naming
+//! the field) rather than silently serving a misconfigured task.  See
+//! `DESIGN.md` §6/§8/§11 for the full compatibility rules.  Every
+//! deserialization failure names the offending field.
 
 use crate::deploy::DeployedModel;
 use disthd_hd::center::EncodingCenter;
@@ -75,10 +90,17 @@ const MAX_PREALLOC: usize = 1 << 20;
 const VERSION_DENSE: u8 = b'1';
 /// Encoder-kind-dispatched format version (structured deployments).
 const VERSION_KINDED: u8 = b'2';
+/// Serving-task-carrying format version (written only when a
+/// [`crate::ServingTasks`] is configured).
+const VERSION_TASKED: u8 = b'3';
 /// Encoder-kind byte: dense RBF encoder (version-1 payload follows).
 const ENCODER_KIND_DENSE: u8 = 0;
 /// Encoder-kind byte: structured Walsh–Hadamard RBF encoder.
 const ENCODER_KIND_STRUCTURED: u8 = 1;
+/// Task-kind byte: top-k ranking configuration (u32 `k` payload).
+const TASK_KIND_TOP_K: u8 = 0;
+/// Task-kind byte: one-class anomaly threshold (f32 payload).
+const TASK_KIND_ANOMALY: u8 = 1;
 
 /// Errors produced while persisting or loading a deployed model.
 #[derive(Debug)]
@@ -105,7 +127,7 @@ impl fmt::Display for PersistError {
                 "unsupported DHD format version {:?} (this reader understands versions {:?}–{:?})",
                 char::from(*v),
                 char::from(VERSION_DENSE),
-                char::from(VERSION_KINDED)
+                char::from(VERSION_TASKED)
             ),
             PersistError::Corrupt(msg) => write!(f, "corrupt model stream: {msg}"),
         }
@@ -132,12 +154,16 @@ impl From<std::io::Error> for PersistError {
 /// Dense-encoder deployments are written as format version `'1'`
 /// (byte-compatible with pre-structured readers); structured-encoder
 /// deployments need the encoder-kind dispatch and are written as `'2'`.
+/// A deployment with a configured [`crate::ServingTasks`] is written as
+/// `'3'` (the task section has to ride somewhere); with no tasks the
+/// output is **byte-identical** to what pre-task writers produced.
 ///
 /// # Errors
 ///
 /// Returns [`PersistError::Io`] on write failure.
 pub fn save_deployed<W: Write>(model: &DeployedModel, mut writer: W) -> Result<(), PersistError> {
     let (rows, cols) = model.memory_parts().shape();
+    let tasks = model.tasks();
     let write_dims = |writer: &mut W, n: usize| -> Result<(), PersistError> {
         write_u32(writer, n as u32)?;
         write_u32(writer, cols as u32)?;
@@ -149,14 +175,23 @@ pub fn save_deployed<W: Write>(model: &DeployedModel, mut writer: W) -> Result<(
     match model.encoder_parts() {
         AnyRbfEncoder::Dense(encoder) => {
             writer.write_all(MAGIC_PREFIX)?;
-            writer.write_all(&[VERSION_DENSE])?;
+            if tasks.is_empty() {
+                writer.write_all(&[VERSION_DENSE])?;
+            } else {
+                writer.write_all(&[VERSION_TASKED, ENCODER_KIND_DENSE])?;
+            }
             write_dims(&mut writer, encoder.bases().rows())?;
             write_f32_slice(&mut writer, encoder.bases().as_slice())?;
             write_f32_slice(&mut writer, encoder.phases())?;
         }
         AnyRbfEncoder::Structured(encoder) => {
             writer.write_all(MAGIC_PREFIX)?;
-            writer.write_all(&[VERSION_KINDED])?;
+            let version = if tasks.is_empty() {
+                VERSION_KINDED
+            } else {
+                VERSION_TASKED
+            };
+            writer.write_all(&[version])?;
             writer.write_all(&[ENCODER_KIND_STRUCTURED])?;
             write_dims(&mut writer, encoder.input_dim())?;
             write_u32(&mut writer, encoder.block_dim() as u32)?;
@@ -179,6 +214,18 @@ pub fn save_deployed<W: Write>(model: &DeployedModel, mut writer: W) -> Result<(
     write_u32(&mut writer, words.len() as u32)?;
     for &w in words {
         writer.write_all(&w.to_le_bytes())?;
+    }
+    if !tasks.is_empty() {
+        let count = tasks.top_k.is_some() as u32 + tasks.anomaly_threshold.is_some() as u32;
+        write_u32(&mut writer, count)?;
+        if let Some(k) = tasks.top_k {
+            writer.write_all(&[TASK_KIND_TOP_K])?;
+            write_u32(&mut writer, k as u32)?;
+        }
+        if let Some(threshold) = tasks.anomaly_threshold {
+            writer.write_all(&[TASK_KIND_ANOMALY])?;
+            write_f32(&mut writer, threshold)?;
+        }
     }
     writer.flush()?;
     Ok(())
@@ -240,19 +287,80 @@ pub fn load_deployed<R: Read>(mut reader: R) -> Result<DeployedModel, PersistErr
     }
     match magic[3] {
         VERSION_DENSE => load_dense_body(&mut reader),
-        VERSION_KINDED => {
+        VERSION_KINDED | VERSION_TASKED => {
             let mut kind = [0u8; 1];
             read_field_bytes(&mut reader, &mut kind, "encoder kind")?;
-            match kind[0] {
-                ENCODER_KIND_DENSE => load_dense_body(&mut reader),
-                ENCODER_KIND_STRUCTURED => load_structured_body(&mut reader),
-                other => Err(PersistError::Corrupt(format!(
-                    "field `encoder kind`: unknown kind {other}"
-                ))),
+            let mut model = match kind[0] {
+                ENCODER_KIND_DENSE => load_dense_body(&mut reader)?,
+                ENCODER_KIND_STRUCTURED => load_structured_body(&mut reader)?,
+                other => {
+                    return Err(PersistError::Corrupt(format!(
+                        "field `encoder kind`: unknown kind {other}"
+                    )))
+                }
+            };
+            if magic[3] == VERSION_TASKED {
+                load_task_section(&mut reader, &mut model)?;
             }
+            Ok(model)
         }
         version => Err(PersistError::UnsupportedVersion(version)),
     }
+}
+
+/// Reads the version-3 serving-task section and installs it on `model`.
+///
+/// Fails **closed**: an unknown task kind, a duplicate kind, an
+/// out-of-range count or an invalid payload is [`PersistError::Corrupt`]
+/// naming the field — a reader must never silently drop (or guess at) a
+/// task the artifact was configured to serve.
+fn load_task_section<R: Read>(
+    reader: &mut R,
+    model: &mut DeployedModel,
+) -> Result<(), PersistError> {
+    let count = read_u32(reader, "task count")? as usize;
+    if count == 0 || count > 2 {
+        return Err(PersistError::Corrupt(format!(
+            "field `task count`: {count} tasks (a v3 stream carries 1..=2)"
+        )));
+    }
+    let mut tasks = crate::deploy::ServingTasks::default();
+    for _ in 0..count {
+        let mut kind = [0u8; 1];
+        read_field_bytes(reader, &mut kind, "task kind")?;
+        match kind[0] {
+            TASK_KIND_TOP_K => {
+                if tasks.top_k.is_some() {
+                    return Err(PersistError::Corrupt(
+                        "field `task kind`: duplicate top-k task".into(),
+                    ));
+                }
+                tasks.top_k = Some(read_u32(reader, "top-k task")? as usize);
+            }
+            TASK_KIND_ANOMALY => {
+                if tasks.anomaly_threshold.is_some() {
+                    return Err(PersistError::Corrupt(
+                        "field `task kind`: duplicate anomaly task".into(),
+                    ));
+                }
+                let threshold = read_f32(reader, "anomaly threshold task")?;
+                if !threshold.is_finite() {
+                    return Err(PersistError::Corrupt(format!(
+                        "field `anomaly threshold task`: {threshold} is not finite"
+                    )));
+                }
+                tasks.anomaly_threshold = Some(threshold);
+            }
+            other => {
+                return Err(PersistError::Corrupt(format!(
+                    "field `task kind`: unknown kind {other}"
+                )))
+            }
+        }
+    }
+    model
+        .set_tasks(tasks)
+        .map_err(|e| PersistError::Corrupt(format!("field `top-k task`: {e}")))
 }
 
 /// Reads the dense-encoder payload (everything after the magic / kind
@@ -505,12 +613,12 @@ mod tests {
 
     #[test]
     fn newer_version_is_distinguished_from_garbage() {
-        let err = load_deployed(&b"DHD3............"[..]).unwrap_err();
+        let err = load_deployed(&b"DHD4............"[..]).unwrap_err();
         assert!(
-            matches!(err, PersistError::UnsupportedVersion(b'3')),
+            matches!(err, PersistError::UnsupportedVersion(b'4')),
             "{err}"
         );
-        assert!(err.to_string().contains('3'), "{err}");
+        assert!(err.to_string().contains('4'), "{err}");
     }
 
     fn structured_deployed() -> (DeployedModel, disthd_datasets::TrainTest) {
@@ -711,6 +819,176 @@ mod tests {
         buffer.extend_from_slice(&1.0f32.to_le_bytes());
         let err = load_deployed(buffer.as_slice()).unwrap_err();
         assert!(err.to_string().contains("class count k"), "{err}");
+    }
+
+    use crate::ServingTasks;
+
+    /// A deployment with both serving tasks configured.
+    fn tasked(original: &DeployedModel) -> DeployedModel {
+        let mut model = original.clone();
+        model
+            .set_tasks(ServingTasks {
+                top_k: Some(2),
+                anomaly_threshold: Some(0.375),
+            })
+            .unwrap();
+        model
+    }
+
+    #[test]
+    fn task_free_streams_stay_byte_identical_and_tasks_round_trip() {
+        // The compatibility contract of version '3': a deployment with no
+        // tasks must serialize to the exact pre-task bytes (v1 dense, v2
+        // structured), and a tasked deployment must round-trip both its
+        // predictions and its task configuration through the v3 stream.
+        for structured in [false, true] {
+            let (original, data) = if structured {
+                structured_deployed()
+            } else {
+                deployed()
+            };
+            let mut task_free = Vec::new();
+            save_deployed(&original, &mut task_free).unwrap();
+            let expected_magic: &[u8] = if structured { b"DHD2\x01" } else { b"DHD1" };
+            assert_eq!(&task_free[..expected_magic.len()], expected_magic);
+
+            let with_tasks = tasked(&original);
+            let mut buffer = Vec::new();
+            save_deployed(&with_tasks, &mut buffer).unwrap();
+            let v3_magic: &[u8] = if structured { b"DHD3\x01" } else { b"DHD3\x00" };
+            assert_eq!(&buffer[..v3_magic.len()], v3_magic);
+            let restored = load_deployed(buffer.as_slice()).unwrap();
+            assert_eq!(restored.tasks(), with_tasks.tasks());
+            for i in 0..data.test.len().min(20) {
+                assert_eq!(
+                    with_tasks.predict(data.test.sample(i)).unwrap(),
+                    restored.predict(data.test.sample(i)).unwrap(),
+                    "structured={structured}, sample {i}"
+                );
+            }
+
+            // Dropping the tasks again reproduces the pre-task bytes
+            // exactly.
+            let mut cleared = with_tasks.clone();
+            cleared.set_tasks(ServingTasks::default()).unwrap();
+            let mut second = Vec::new();
+            save_deployed(&cleared, &mut second).unwrap();
+            assert_eq!(second, task_free, "structured={structured}");
+        }
+    }
+
+    #[test]
+    fn single_task_streams_round_trip() {
+        let (original, _) = deployed();
+        for tasks in [
+            ServingTasks {
+                top_k: Some(3),
+                anomaly_threshold: None,
+            },
+            ServingTasks {
+                top_k: None,
+                anomaly_threshold: Some(-0.125),
+            },
+        ] {
+            let mut model = original.clone();
+            model.set_tasks(tasks).unwrap();
+            let mut buffer = Vec::new();
+            save_deployed(&model, &mut buffer).unwrap();
+            let restored = load_deployed(buffer.as_slice()).unwrap();
+            assert_eq!(restored.tasks(), tasks);
+        }
+    }
+
+    /// Serializes a top-k-only tasked deployment; its task section is the
+    /// trailing 9 bytes: count u32, kind u8, k u32.
+    fn top_k_only_stream() -> Vec<u8> {
+        let (original, _) = deployed();
+        let mut model = original;
+        model
+            .set_tasks(ServingTasks {
+                top_k: Some(2),
+                anomaly_threshold: None,
+            })
+            .unwrap();
+        let mut buffer = Vec::new();
+        save_deployed(&model, &mut buffer).unwrap();
+        buffer
+    }
+
+    #[test]
+    fn unknown_task_kind_fails_closed_and_names_the_field() {
+        let mut buffer = top_k_only_stream();
+        let kind_at = buffer.len() - 5;
+        buffer[kind_at] = 7;
+        let err = load_deployed(buffer.as_slice()).unwrap_err();
+        assert!(matches!(err, PersistError::Corrupt(_)), "{err}");
+        assert!(err.to_string().contains("task kind"), "{err}");
+    }
+
+    #[test]
+    fn truncated_task_section_names_the_offending_field() {
+        let buffer = top_k_only_stream();
+        // Cut inside the k payload.
+        let err = load_deployed(&buffer[..buffer.len() - 2]).unwrap_err();
+        assert!(err.to_string().contains("top-k task"), "{err}");
+        // Cut right after the count: the kind byte itself is missing.
+        let err = load_deployed(&buffer[..buffer.len() - 5]).unwrap_err();
+        assert!(err.to_string().contains("task kind"), "{err}");
+        // Cut inside the count.
+        let err = load_deployed(&buffer[..buffer.len() - 7]).unwrap_err();
+        assert!(err.to_string().contains("task count"), "{err}");
+    }
+
+    #[test]
+    fn task_count_out_of_range_is_corrupt() {
+        for forged in [0u32, 3] {
+            let mut buffer = top_k_only_stream();
+            let count_at = buffer.len() - 9;
+            buffer[count_at..count_at + 4].copy_from_slice(&forged.to_le_bytes());
+            let err = load_deployed(buffer.as_slice()).unwrap_err();
+            assert!(err.to_string().contains("task count"), "{forged}: {err}");
+        }
+    }
+
+    #[test]
+    fn duplicate_task_kinds_are_corrupt() {
+        let (original, _) = deployed();
+        let with_both = tasked(&original);
+        let mut buffer = Vec::new();
+        save_deployed(&with_both, &mut buffer).unwrap();
+        // Section layout: count(4) kind(1) k(4) kind(1) threshold(4); turn
+        // the anomaly kind into a second top-k kind.
+        let second_kind_at = buffer.len() - 5;
+        buffer[second_kind_at] = 0;
+        let err = load_deployed(buffer.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("duplicate top-k"), "{err}");
+    }
+
+    #[test]
+    fn invalid_task_payloads_are_corrupt_and_named() {
+        // k = 0 is structurally readable but semantically invalid; the
+        // loader must reject it like `set_tasks` would.
+        let mut buffer = top_k_only_stream();
+        let k_at = buffer.len() - 4;
+        buffer[k_at..].copy_from_slice(&0u32.to_le_bytes());
+        let err = load_deployed(buffer.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("top-k task"), "{err}");
+
+        // A NaN anomaly threshold can never flag anything coherently.
+        let (original, _) = deployed();
+        let mut model = original;
+        model
+            .set_tasks(ServingTasks {
+                top_k: None,
+                anomaly_threshold: Some(0.5),
+            })
+            .unwrap();
+        let mut buffer = Vec::new();
+        save_deployed(&model, &mut buffer).unwrap();
+        let t_at = buffer.len() - 4;
+        buffer[t_at..].copy_from_slice(&f32::NAN.to_le_bytes());
+        let err = load_deployed(buffer.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("anomaly threshold task"), "{err}");
     }
 
     #[test]

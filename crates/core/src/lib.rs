@@ -53,14 +53,16 @@ mod config;
 mod deploy;
 mod distance;
 pub mod io;
+pub mod merge;
 pub mod stream;
 mod top2;
 mod trainer;
 
 pub use config::{DistHdConfig, WeightParams};
-pub use deploy::DeployedModel;
+pub use deploy::{DeployedModel, ServingTasks};
 pub use distance::{select_undesired_dims, DimensionScores};
 pub use disthd_hd::encoder::EncoderBackend;
+pub use merge::MergeStats;
 pub use stream::{ErrorFeedbackQuantizer, StreamConfig, StreamStats};
 pub use top2::{categorize, categorize_batch, Top2Outcome};
 pub use trainer::{DistHd, FitReport};

@@ -60,6 +60,9 @@ pub struct DistHd {
     /// Sliding-window state of the online [`DistHd::partial_fit`] path
     /// (see [`crate::stream`]); `None` until the first streamed batch.
     pub(crate) stream: Option<crate::stream::StreamState>,
+    /// Fixed-point accumulator of the exact shard-merge path (see
+    /// [`crate::merge`]); `None` unless trained via [`DistHd::fit_shard`].
+    pub(crate) shard: Option<crate::merge::ShardState>,
 }
 
 impl DistHd {
@@ -82,6 +85,7 @@ impl DistHd {
             class_count,
             last_report: None,
             stream: None,
+            shard: None,
         }
     }
 
@@ -288,10 +292,11 @@ impl Classifier for DistHd {
         });
         self.model = Some(model);
         self.center = Some(center);
-        // A full batch fit supersedes any in-progress stream: the window
-        // would reference the pre-fit encoder and must not leak into the
-        // next partial_fit call.
+        // A full batch fit supersedes any in-progress stream or shard
+        // accumulator: both would reference the pre-fit encoder and must
+        // not leak into later partial_fit / fit_shard calls.
         self.stream = None;
+        self.shard = None;
         Ok(history)
     }
 

@@ -12,6 +12,8 @@
 //! * [`synth`] — the manifold generator and the five domain-flavoured
 //!   generators (digits, HAR, ISOLET, PAMAP2, DIABETES);
 //! * [`suite`] — one-call access to the paper's Table I roster;
+//! * [`drift`] — abrupt/gradual/recurring concept-drift streams over the
+//!   suite manifolds;
 //! * [`normalize`] — per-column min–max / z-score preprocessing;
 //! * [`split`] — stratified train/test splitting;
 //! * [`csv`] — plain-text persistence.
@@ -32,6 +34,7 @@
 
 pub mod csv;
 mod dataset;
+pub mod drift;
 mod error;
 pub mod normalize;
 pub mod split;

@@ -8,6 +8,11 @@
 //! [`StreamingAccuracy`] accumulates that record — both the lifetime
 //! accuracy and a sliding-window accuracy that tracks recent behaviour
 //! (recovery after drift or a model hot-swap).
+//!
+//! [`PrequentialTrace`] extends the accumulator for **concept-drift
+//! experiments**: it keeps the full per-sample windowed-accuracy trace so
+//! that post-drift recovery time and forgetting can be measured exactly
+//! (see `DESIGN.md` §11).
 
 use std::collections::VecDeque;
 
@@ -93,6 +98,144 @@ impl StreamingAccuracy {
     }
 }
 
+/// Prequential accuracy trace for concept-drift experiments.
+///
+/// Wraps [`StreamingAccuracy`] and additionally remembers the windowed
+/// accuracy *after every recorded sample*, so drift experiments can ask
+/// exact, reproducible questions about the trace:
+///
+/// * [`recovery_time`](Self::recovery_time) — how many samples after a
+///   drift point the windowed accuracy first climbs back to a target;
+/// * [`forgetting`](Self::forgetting) — how far the windowed accuracy
+///   fell after the drift relative to its pre-drift peak;
+/// * [`trace`](Self::trace) — the raw per-sample windowed-accuracy curve.
+///
+/// # Example
+///
+/// ```
+/// use disthd_eval::stream::PrequentialTrace;
+///
+/// let mut trace = PrequentialTrace::new(2);
+/// for (p, a) in [(1, 1), (1, 1), (0, 1), (0, 1), (1, 1), (1, 1)] {
+///     trace.record(p, a);
+/// }
+/// // Drift hit at sample 2; the window recovers to 1.0 three samples later.
+/// assert_eq!(trace.recovery_time(2, 1.0), Some(3));
+/// // Windowed accuracy fell from a pre-drift peak of 1.0 down to 0.0.
+/// assert!((trace.forgetting(2) - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PrequentialTrace {
+    inner: StreamingAccuracy,
+    trace: Vec<f64>,
+}
+
+impl PrequentialTrace {
+    /// Creates a trace whose windowed accuracy spans the last `window`
+    /// samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0` — a drift trace without a window cannot
+    /// measure recovery.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "PrequentialTrace requires a non-zero window");
+        Self {
+            inner: StreamingAccuracy::with_window(window),
+            trace: Vec::new(),
+        }
+    }
+
+    /// Records one test-then-train outcome and snapshots the windowed
+    /// accuracy.
+    pub fn record(&mut self, predicted: usize, actual: usize) {
+        self.inner.record(predicted, actual);
+        self.trace.push(
+            self.inner
+                .windowed_accuracy()
+                .expect("window is non-zero and a sample was just recorded"),
+        );
+    }
+
+    /// Number of samples recorded so far.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether no sample has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Lifetime prequential accuracy (`0.0` before any sample).
+    pub fn accuracy(&self) -> f64 {
+        self.inner.accuracy()
+    }
+
+    /// The windowed accuracy after the most recent sample, or `None` when
+    /// nothing has been recorded yet.
+    pub fn windowed_accuracy(&self) -> Option<f64> {
+        self.inner.windowed_accuracy()
+    }
+
+    /// The windowed accuracy after each recorded sample, in arrival order.
+    pub fn trace(&self) -> &[f64] {
+        &self.trace
+    }
+
+    /// Samples needed after the drift point for the windowed accuracy to
+    /// first reach `target`.
+    ///
+    /// `drift_at` is the index of the first post-drift sample (sample
+    /// indices count from zero).  Returns `Some(n)` where the windowed
+    /// accuracy at sample `drift_at + n` is the first at-or-after the
+    /// drift to satisfy `>= target`; `Some(0)` therefore means the trace
+    /// never dipped below the target at the drift point.  Returns `None`
+    /// when the target is never reached (or `drift_at` is beyond the
+    /// trace).
+    pub fn recovery_time(&self, drift_at: usize, target: f64) -> Option<usize> {
+        self.trace
+            .iter()
+            .enumerate()
+            .skip(drift_at)
+            .find(|(_, &acc)| acc >= target)
+            .map(|(i, _)| i - drift_at)
+    }
+
+    /// How much windowed accuracy the drift cost before recovery: the
+    /// pre-drift peak minus the post-drift minimum.
+    ///
+    /// Returns `0.0` when the trace is too short to have both a pre-drift
+    /// and a post-drift segment (`drift_at == 0` or beyond the trace), and
+    /// is clamped below at `0.0` (a drift that *helps* does not count as
+    /// negative forgetting).
+    pub fn forgetting(&self, drift_at: usize) -> f64 {
+        if drift_at == 0 || drift_at >= self.trace.len() {
+            return 0.0;
+        }
+        let peak = self.trace[..drift_at]
+            .iter()
+            .fold(f64::NEG_INFINITY, |m, &v| m.max(v));
+        let trough = self.trace[drift_at..]
+            .iter()
+            .fold(f64::INFINITY, |m, &v| m.min(v));
+        (peak - trough).max(0.0)
+    }
+
+    /// The minimum windowed accuracy at or after sample index `at`
+    /// (`None` when `at` is beyond the trace).
+    pub fn min_after(&self, at: usize) -> Option<f64> {
+        if at >= self.trace.len() {
+            return None;
+        }
+        Some(
+            self.trace[at..]
+                .iter()
+                .fold(f64::INFINITY, |m, &v| m.min(v)),
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,5 +273,131 @@ mod tests {
         acc.record(1, 1);
         acc.record(0, 1);
         assert_eq!(acc.windowed_accuracy(), Some(0.5));
+    }
+
+    #[test]
+    fn window_boundary_is_exact() {
+        // A window of 4 must hold exactly the last 4 outcomes: the 5th
+        // record evicts the 1st, no sooner and no later.
+        let mut acc = StreamingAccuracy::with_window(4);
+        acc.record(0, 1); // miss — the only miss
+        for _ in 0..3 {
+            acc.record(1, 1);
+        }
+        // Window full at exactly `window` samples: [miss, hit, hit, hit].
+        assert_eq!(acc.windowed_accuracy(), Some(0.75));
+        // One more hit evicts the miss: window is all hits.
+        acc.record(1, 1);
+        assert_eq!(acc.windowed_accuracy(), Some(1.0));
+        assert!((acc.accuracy() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_of_one_reflects_only_the_last_sample() {
+        let mut acc = StreamingAccuracy::with_window(1);
+        acc.record(0, 1);
+        assert_eq!(acc.windowed_accuracy(), Some(0.0));
+        acc.record(1, 1);
+        assert_eq!(acc.windowed_accuracy(), Some(1.0));
+        acc.record(0, 1);
+        assert_eq!(acc.windowed_accuracy(), Some(0.0));
+        assert!((acc.accuracy() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_recorder_is_well_defined() {
+        let acc = StreamingAccuracy::with_window(8);
+        assert!(acc.is_empty());
+        assert_eq!(acc.len(), 0);
+        assert_eq!(acc.accuracy(), 0.0);
+        assert_eq!(acc.windowed_accuracy(), None);
+        let no_window = StreamingAccuracy::new();
+        assert_eq!(no_window.windowed_accuracy(), None);
+    }
+
+    #[test]
+    fn windowed_and_cumulative_diverge_under_label_flip() {
+        // A perfect predictor whose world flips labels mid-stream: the
+        // cumulative accuracy decays slowly while the window collapses to
+        // zero, then snaps back once the window slides past the flip.
+        let mut acc = StreamingAccuracy::with_window(5);
+        for _ in 0..20 {
+            acc.record(1, 1);
+        }
+        for _ in 0..5 {
+            acc.record(1, 0); // concept flipped, model still answers 1
+        }
+        assert_eq!(acc.windowed_accuracy(), Some(0.0));
+        assert!((acc.accuracy() - 0.8).abs() < 1e-12);
+        // The model adapts: five correct answers refill the window while
+        // the lifetime accuracy still carries the flip's cost.
+        for _ in 0..5 {
+            acc.record(0, 0);
+        }
+        assert_eq!(acc.windowed_accuracy(), Some(1.0));
+        assert!((acc.accuracy() - 25.0 / 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trace_records_windowed_accuracy_per_sample() {
+        let mut trace = PrequentialTrace::new(2);
+        trace.record(1, 1);
+        trace.record(0, 1);
+        trace.record(0, 1);
+        assert_eq!(trace.trace(), &[1.0, 0.5, 0.0]);
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace.windowed_accuracy(), Some(0.0));
+        assert!((trace.accuracy() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recovery_time_counts_samples_from_the_drift_point() {
+        let mut trace = PrequentialTrace::new(2);
+        // 4 hits, drift at sample 4, 3 misses, then hits again.
+        for _ in 0..4 {
+            trace.record(1, 1);
+        }
+        for _ in 0..3 {
+            trace.record(1, 0);
+        }
+        for _ in 0..4 {
+            trace.record(0, 0);
+        }
+        // Window=2: first post-drift sample with windowed acc >= 1.0 is
+        // the second recovered hit (samples 7 and 8 → index 8).
+        assert_eq!(trace.recovery_time(4, 1.0), Some(4));
+        // At the drift sample itself the window still holds a pre-drift
+        // hit, so a 0.5 target is met immediately.
+        assert_eq!(trace.recovery_time(4, 0.5), Some(0));
+        // Once the window is all misses (sample 5), half-recovery takes
+        // until the first post-drift hit at sample 7.
+        assert_eq!(trace.recovery_time(5, 0.5), Some(2));
+        // A target the trace never reaches.
+        assert_eq!(trace.recovery_time(4, 1.1), None);
+        // Drift index beyond the trace.
+        assert_eq!(trace.recovery_time(100, 0.5), None);
+    }
+
+    #[test]
+    fn forgetting_measures_peak_to_trough() {
+        let mut trace = PrequentialTrace::new(2);
+        for _ in 0..4 {
+            trace.record(1, 1);
+        }
+        for _ in 0..2 {
+            trace.record(1, 0);
+        }
+        assert!((trace.forgetting(4) - 1.0).abs() < 1e-12);
+        // Degenerate drift points.
+        assert_eq!(trace.forgetting(0), 0.0);
+        assert_eq!(trace.forgetting(100), 0.0);
+        assert_eq!(trace.min_after(4), Some(0.0));
+        assert_eq!(trace.min_after(100), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero window")]
+    fn trace_rejects_zero_window() {
+        let _ = PrequentialTrace::new(0);
     }
 }

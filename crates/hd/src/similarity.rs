@@ -326,6 +326,57 @@ pub fn packed_predict_batch(
     Ok(out)
 }
 
+/// Batched fully-integer **true-cosine** scores: the `samples × classes`
+/// matrix of every row of a quantized query batch against a quantized
+/// class memory, with the per-query reciprocal code norm applied.
+///
+/// [`packed_predict_batch`] deliberately skips the per-query norm — it is
+/// a positive constant per query, so it cannot move an argmax — but a
+/// serving task that **compares scores across queries** (one-class anomaly
+/// detection thresholds a query's best similarity) needs the real cosine:
+/// without the query norm, a long query outscores a short one at the same
+/// angle and the threshold stops meaning anything.  Row `s` here is
+/// bit-identical to [`packed_similarity_to_all`] on query `s` alone (same
+/// integer dots, same two scalar multiplies in the same order), so a
+/// batched anomaly/top-k pass scores exactly like one-at-a-time serving.
+///
+/// All query inverse norms are computed in one integer pass up front
+/// ([`QuantizedMatrix::code_inv_norms_into`]); an all-zero query row
+/// scores `0.0` against every class, matching the zero-row convention.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if the widths or column counts differ, or
+/// `class_inv_norms` is not one entry per class row.
+pub fn packed_cosine_matrix(
+    queries: &QuantizedMatrix,
+    classes: &QuantizedMatrix,
+    class_inv_norms: &[f32],
+) -> Result<Matrix, ShapeError> {
+    let (query_rows, query_cols) = queries.shape();
+    let (class_rows, class_cols) = classes.shape();
+    if query_cols != class_cols
+        || queries.width() != classes.width()
+        || class_inv_norms.len() != class_rows
+    {
+        return Err(ShapeError::new(
+            "packed_cosine",
+            queries.shape(),
+            classes.shape(),
+        ));
+    }
+    let mut query_inv = Vec::new();
+    queries.code_inv_norms_into(&mut query_inv);
+    let mut scores = Matrix::zeros(query_rows, class_rows);
+    for (r, &q_inv) in query_inv.iter().enumerate() {
+        let row = scores.row_mut(r);
+        for (l, &inv_norm) in class_inv_norms.iter().enumerate() {
+            row[l] = queries.row_dot_widening(r, classes, l) as f32 * q_inv * inv_norm;
+        }
+    }
+    Ok(scores)
+}
+
 /// Full cosine similarity of `query` against each (unnormalized) row.
 ///
 /// Slower than [`similarity_to_all`]; used by tests and diagnostics where the
@@ -698,6 +749,79 @@ mod tests {
         dup.code_inv_norms_into(&mut dup_inv);
         let preds = packed_predict_batch(&queries, &dup, &dup_inv).unwrap();
         assert!(preds.iter().all(|&p| p == 0));
+    }
+
+    #[test]
+    fn packed_cosine_matrix_rows_match_the_single_query_kernel_bitwise() {
+        // The anomaly/top-k serving contract: batching must not change a
+        // score bit, so every row of the batched cosine matrix equals the
+        // single-query packed scorer's output exactly — at every width.
+        let classes_f32 = lcg_matrix(5, 37, 0xF1);
+        let queries_f32 = lcg_matrix(9, 37, 0xF2);
+        for w in BitWidth::all() {
+            let classes = QuantizedMatrix::quantize(&classes_f32, w);
+            let queries = QuantizedMatrix::quantize(&queries_f32, w);
+            let mut inv_norms = Vec::new();
+            classes.code_inv_norms_into(&mut inv_norms);
+            let scores = packed_cosine_matrix(&queries, &classes, &inv_norms).unwrap();
+            assert_eq!(scores.shape(), (9, 5));
+            for s in 0..queries_f32.rows() {
+                let single = QuantizedMatrix::quantize(
+                    &Matrix::from_rows(std::slice::from_ref(&queries_f32.row(s).to_vec())).unwrap(),
+                    w,
+                );
+                let expected = packed_similarity_to_all(&single, &classes, &inv_norms).unwrap();
+                assert_eq!(scores.row(s), expected.as_slice(), "{w}, query {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_cosine_matrix_scores_are_true_cosines() {
+        // Unlike the argmax-only batch predictor, the cosine matrix must be
+        // comparable ACROSS queries: every value agrees with the f64
+        // integer ground truth and lives in [-1, 1].
+        let classes_f32 = lcg_matrix(4, 20, 0xF3);
+        let queries_f32 = lcg_matrix(6, 20, 0xF4);
+        for w in BitWidth::all() {
+            let classes = QuantizedMatrix::quantize(&classes_f32, w);
+            let queries = QuantizedMatrix::quantize(&queries_f32, w);
+            let mut inv_norms = Vec::new();
+            classes.code_inv_norms_into(&mut inv_norms);
+            let scores = packed_cosine_matrix(&queries, &classes, &inv_norms).unwrap();
+            for s in 0..queries_f32.rows() {
+                let single = QuantizedMatrix::quantize(
+                    &Matrix::from_rows(std::slice::from_ref(&queries_f32.row(s).to_vec())).unwrap(),
+                    w,
+                );
+                for l in 0..classes_f32.rows() {
+                    let truth = exact_cosine64(&single, &classes, l) as f32;
+                    let got = scores.row(s)[l];
+                    assert!(
+                        (got - truth).abs() < 1e-4,
+                        "{w}, query {s}, class {l}: {got} vs {truth}"
+                    );
+                    assert!((-1.0001..=1.0001).contains(&got), "{w}: cosine {got}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_cosine_matrix_checks_shapes_and_zero_rows() {
+        let classes = QuantizedMatrix::quantize(&lcg_matrix(3, 16, 0xF5), BitWidth::B4);
+        let mut inv_norms = Vec::new();
+        classes.code_inv_norms_into(&mut inv_norms);
+        let narrow = QuantizedMatrix::quantize(&lcg_matrix(2, 8, 0xF6), BitWidth::B4);
+        assert!(packed_cosine_matrix(&narrow, &classes, &inv_norms).is_err());
+        let wrong_width = QuantizedMatrix::quantize(&lcg_matrix(2, 16, 0xF7), BitWidth::B8);
+        assert!(packed_cosine_matrix(&wrong_width, &classes, &inv_norms).is_err());
+        let queries = QuantizedMatrix::quantize(&lcg_matrix(2, 16, 0xF8), BitWidth::B4);
+        assert!(packed_cosine_matrix(&queries, &classes, &inv_norms[..2]).is_err());
+        // An all-zero query row has no direction: it scores 0 everywhere.
+        let zero = QuantizedMatrix::quantize(&Matrix::zeros(1, 16), BitWidth::B4);
+        let scores = packed_cosine_matrix(&zero, &classes, &inv_norms).unwrap();
+        assert!(scores.row(0).iter().all(|&v| v == 0.0));
     }
 
     #[test]

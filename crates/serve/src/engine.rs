@@ -9,6 +9,134 @@ use disthd_linalg::Matrix;
 use std::collections::HashMap;
 use std::time::Duration;
 
+/// The serving task a submitted query asks for.
+///
+/// Every kind rides the same batched encode + similarity path; they
+/// differ only in how the per-row scores are post-processed, so mixed
+/// batches coalesce freely and every answer stays bit-identical whatever
+/// batch (or task mix) a query lands in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TaskKind {
+    /// Plain classification: the argmax class.
+    Classify,
+    /// Top-k multi-label ranking; `k` comes from the live model's
+    /// [`disthd::ServingTasks::top_k`] (resolved at flush time, so a
+    /// hot-swap retunes queued rankings coherently with the memory that
+    /// scores them), falling back to `k = 1`.
+    TopK,
+    /// One-class anomaly scoring against the live model's calibrated
+    /// [`disthd::ServingTasks::anomaly_threshold`].
+    Anomaly,
+}
+
+/// One-class anomaly answer: the query's best class cosine plus the
+/// thresholded verdict.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnomalyVerdict {
+    /// Best class cosine in `[-1, 1]` (higher = more inlier-like).
+    pub score: f32,
+    /// `score < threshold` under the model's calibrated threshold;
+    /// always `false` when the model carries no threshold (an
+    /// uncalibrated deployment flags nothing rather than guessing).
+    pub anomalous: bool,
+}
+
+/// A flushed answer, one variant per [`TaskKind`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum TaskResponse {
+    /// Answer to a [`TaskKind::Classify`] query.
+    Class(usize),
+    /// Answer to a [`TaskKind::TopK`] query: classes, best first.
+    Ranked(Vec<usize>),
+    /// Answer to a [`TaskKind::Anomaly`] query.
+    Anomaly(AnomalyVerdict),
+}
+
+/// Scores one coalesced batch of mixed-task queries against `model`.
+///
+/// The rows are split by task kind and each sub-batch runs the matching
+/// batched [`DeployedModel`] API (classify keeps its exact historical
+/// path, so existing classify answers cannot move by a bit); because
+/// every API computes its rows independently, the split preserves
+/// batch-composition invariance.  Task configuration (`k`, threshold) is
+/// resolved from `model` **here** — at flush time, from the same snapshot
+/// that scores the batch — so a hot-swap can never pair one generation's
+/// scores with another generation's threshold.
+pub(crate) fn score_task_batch(
+    model: &DeployedModel,
+    integer_pipeline: bool,
+    feature_dim: usize,
+    rows: &[&[f32]],
+    kinds: &[TaskKind],
+) -> Result<Vec<TaskResponse>, ModelError> {
+    debug_assert_eq!(rows.len(), kinds.len());
+    let batch = Matrix::from_row_slices(feature_dim, rows)?;
+    let mut out: Vec<Option<TaskResponse>> = vec![None; rows.len()];
+    for kind in [TaskKind::Classify, TaskKind::TopK, TaskKind::Anomaly] {
+        let idx: Vec<usize> = kinds
+            .iter()
+            .enumerate()
+            .filter(|&(_, k)| *k == kind)
+            .map(|(i, _)| i)
+            .collect();
+        if idx.is_empty() {
+            continue;
+        }
+        let selected;
+        let sub = if idx.len() == batch.rows() {
+            &batch
+        } else {
+            selected = batch.select_rows(&idx);
+            &selected
+        };
+        match kind {
+            TaskKind::Classify => {
+                let classes = if integer_pipeline {
+                    model.predict_quantized_batch(sub)?
+                } else {
+                    model.predict_batch(sub)?
+                };
+                for (&i, class) in idx.iter().zip(classes) {
+                    out[i] = Some(TaskResponse::Class(class));
+                }
+            }
+            TaskKind::TopK => {
+                let k = model
+                    .tasks()
+                    .top_k
+                    .unwrap_or(1)
+                    .clamp(1, model.class_count());
+                let ranked = if integer_pipeline {
+                    model.top_k_quantized_batch(sub, k)?
+                } else {
+                    model.top_k_batch(sub, k)?
+                };
+                for (&i, ranks) in idx.iter().zip(ranked) {
+                    out[i] = Some(TaskResponse::Ranked(ranks));
+                }
+            }
+            TaskKind::Anomaly => {
+                let threshold = model.tasks().anomaly_threshold;
+                let scores = if integer_pipeline {
+                    model.anomaly_scores_quantized(sub)?
+                } else {
+                    model.anomaly_scores(sub)?
+                };
+                for (&i, score) in idx.iter().zip(scores) {
+                    out[i] = Some(TaskResponse::Anomaly(AnomalyVerdict {
+                        score,
+                        anomalous: threshold.is_some_and(|t| score < t),
+                    }));
+                }
+            }
+        }
+    }
+    Ok(out
+        .into_iter()
+        .map(|r| r.expect("every batch row is scored by its kind's pass"))
+        .collect())
+}
+
 /// The latency-vs-throughput knob of the serving layer.
 ///
 /// `max_batch` is the **batch window**: how many queries the engine
@@ -114,8 +242,8 @@ pub struct EngineStats {
 pub struct ServeEngine {
     model: DeployedModel,
     policy: BatchPolicy,
-    pending: Vec<(Ticket, Vec<f32>)>,
-    ready: HashMap<Ticket, usize>,
+    pending: Vec<(Ticket, TaskKind, Vec<f32>)>,
+    ready: HashMap<Ticket, TaskResponse>,
     next_ticket: u64,
     stats: EngineStats,
     integer_pipeline: bool,
@@ -218,6 +346,20 @@ impl ServeEngine {
     /// (rejected up front, so a malformed request cannot poison the batch
     /// it would have joined), or any error from an automatic flush.
     pub fn submit(&mut self, features: &[f32]) -> Result<Ticket, ModelError> {
+        self.submit_task(features, TaskKind::Classify)
+    }
+
+    /// Queues one query under an explicit [`TaskKind`]; otherwise behaves
+    /// exactly like [`ServeEngine::submit`].  Mixed-kind queues coalesce
+    /// into the same flush — the batch is partitioned by kind and each
+    /// partition runs its own batched pass, so a ranking request never
+    /// changes a classification answer sharing its window (and vice
+    /// versa).
+    ///
+    /// # Errors
+    ///
+    /// See [`ServeEngine::submit`].
+    pub fn submit_task(&mut self, features: &[f32], kind: TaskKind) -> Result<Ticket, ModelError> {
         if features.len() != self.feature_dim() {
             return Err(ModelError::Incompatible(format!(
                 "query has {} features, model expects {}",
@@ -227,7 +369,7 @@ impl ServeEngine {
         }
         let ticket = Ticket(self.next_ticket);
         self.next_ticket += 1;
-        self.pending.push((ticket, features.to_vec()));
+        self.pending.push((ticket, kind, features.to_vec()));
         if self.pending.len() >= self.policy.max_batch {
             self.flush()?;
         }
@@ -246,27 +388,46 @@ impl ServeEngine {
             return Ok(0);
         }
         let served = self.pending.len();
-        let batch = {
-            let rows: Vec<&[f32]> = self.pending.iter().map(|(_, q)| q.as_slice()).collect();
-            Matrix::from_row_slices(self.feature_dim(), &rows)?
+        let responses = {
+            let rows: Vec<&[f32]> = self.pending.iter().map(|(_, _, q)| q.as_slice()).collect();
+            let kinds: Vec<TaskKind> = self.pending.iter().map(|(_, k, _)| *k).collect();
+            score_task_batch(
+                &self.model,
+                self.integer_pipeline,
+                self.feature_dim(),
+                &rows,
+                &kinds,
+            )?
         };
-        let predictions = if self.integer_pipeline {
-            self.model.predict_quantized_batch(&batch)?
-        } else {
-            self.model.predict_batch(&batch)?
-        };
-        for ((ticket, _), class) in self.pending.drain(..).zip(predictions) {
-            self.ready.insert(ticket, class);
+        for ((ticket, _, _), response) in self.pending.drain(..).zip(responses) {
+            self.ready.insert(ticket, response);
         }
         self.stats.served += served as u64;
         self.stats.flushes += 1;
         Ok(served)
     }
 
-    /// Redeems a ticket: `Some(class)` once the query's batch has been
-    /// flushed, `None` while it is still queued (or for an unknown
-    /// ticket).  Each ticket redeems at most once.
+    /// Redeems a classification ticket: `Some(class)` once the query's
+    /// batch has been flushed, `None` while it is still queued (or for an
+    /// unknown ticket).  Each ticket redeems at most once.  Tickets from
+    /// [`ServeEngine::submit_task`] with a non-classify kind are left in
+    /// place (and `None` returned) — redeem those with
+    /// [`ServeEngine::try_take_response`].
     pub fn try_take(&mut self, ticket: Ticket) -> Option<usize> {
+        match self.ready.get(&ticket) {
+            Some(TaskResponse::Class(class)) => {
+                let class = *class;
+                self.ready.remove(&ticket);
+                Some(class)
+            }
+            _ => None,
+        }
+    }
+
+    /// Redeems a ticket of any task kind.  Each ticket redeems at most
+    /// once; `None` while the query is still queued or for an unknown
+    /// ticket.
+    pub fn try_take_response(&mut self, ticket: Ticket) -> Option<TaskResponse> {
         self.ready.remove(&ticket)
     }
 
@@ -282,6 +443,40 @@ impl ServeEngine {
         Ok(self
             .try_take(ticket)
             .expect("flush answers every pending ticket"))
+    }
+
+    /// One-at-a-time top-k ranking: submit as [`TaskKind::TopK`], flush,
+    /// take.  `k` comes from the live model's configured serving tasks
+    /// (default 1); the leading entry always equals
+    /// [`ServeEngine::predict_one`] on the same query.
+    ///
+    /// # Errors
+    ///
+    /// See [`ServeEngine::submit`].
+    pub fn rank_one(&mut self, features: &[f32]) -> Result<Vec<usize>, ModelError> {
+        let ticket = self.submit_task(features, TaskKind::TopK)?;
+        self.flush()?;
+        match self.try_take_response(ticket) {
+            Some(TaskResponse::Ranked(ranks)) => Ok(ranks),
+            _ => unreachable!("flush answers every pending ticket with its own kind"),
+        }
+    }
+
+    /// One-at-a-time anomaly scoring: submit as [`TaskKind::Anomaly`],
+    /// flush, take.  The verdict thresholds against the live model's
+    /// calibrated [`disthd::ServingTasks::anomaly_threshold`]; without one
+    /// the score is still exact but nothing is flagged.
+    ///
+    /// # Errors
+    ///
+    /// See [`ServeEngine::submit`].
+    pub fn score_anomaly_one(&mut self, features: &[f32]) -> Result<AnomalyVerdict, ModelError> {
+        let ticket = self.submit_task(features, TaskKind::Anomaly)?;
+        self.flush()?;
+        match self.try_take_response(ticket) {
+            Some(TaskResponse::Anomaly(verdict)) => Ok(verdict),
+            _ => unreachable!("flush answers every pending ticket with its own kind"),
+        }
     }
 
     /// Streams every row of `queries` through the batching queue in order

@@ -13,6 +13,11 @@
 //!   every batch window; only throughput changes.
 //! * [`BatchPolicy`] — the latency-vs-throughput knob (batch window +
 //!   patience bound).
+//! * [`TaskKind`] / [`TaskResponse`] — serving **task types** on the same
+//!   batched path: plain classification, top-k multi-label ranking, and
+//!   one-class anomaly scoring against a calibrated similarity threshold
+//!   (see `disthd::ServingTasks`).  Mixed batches are partitioned by kind
+//!   at flush time, so no answer ever depends on batch composition.
 //! * [`Server`] / [`ServerClient`] — the live, **sharded** server: N
 //!   worker threads (one per shard), each pulling batches from its own
 //!   queue with work stealing, so qps scales with cores.  Admission
@@ -62,7 +67,9 @@ mod publish;
 mod server;
 mod snapshot;
 
-pub use engine::{BatchPolicy, EngineStats, ServeEngine, Ticket};
+pub use engine::{
+    AnomalyVerdict, BatchPolicy, EngineStats, ServeEngine, TaskKind, TaskResponse, Ticket,
+};
 pub use publish::{ModelReader, PublishedModel};
 pub use server::{Prediction, ServeError, Server, ServerClient, ServerOptions, ServerStats};
 pub use snapshot::{SnapshotError, SnapshotStore};
@@ -117,6 +124,142 @@ mod tests {
         let queries = testkit::tiny_queries(n);
         let refs: Vec<&[f32]> = queries.iter().map(Vec::as_slice).collect();
         Matrix::from_row_slices(queries[0].len(), &refs).unwrap()
+    }
+
+    /// The tiny deployment with both serving tasks configured.
+    fn tasked_deployment(top_k: usize, threshold: f32) -> disthd::DeployedModel {
+        let mut deployment = testkit::tiny_deployment();
+        deployment
+            .set_tasks(disthd::ServingTasks {
+                top_k: Some(top_k),
+                anomaly_threshold: Some(threshold),
+            })
+            .unwrap();
+        deployment
+    }
+
+    const KIND_CYCLE: [TaskKind; 3] = [TaskKind::Classify, TaskKind::TopK, TaskKind::Anomaly];
+
+    #[test]
+    fn task_responses_are_bit_identical_across_batch_windows() {
+        // The headline serving invariant, extended to the new task types:
+        // whatever window (and task mix) a query shares, its answer —
+        // class, full ranking, or anomaly score — must not move by a bit,
+        // on both scoring pipelines.
+        let deployment = tasked_deployment(2, 0.5);
+        let queries = testkit::tiny_queries(60);
+        let serve = |window: usize, integer: bool| -> Vec<TaskResponse> {
+            let mut engine = ServeEngine::new(deployment.clone(), BatchPolicy::window(window))
+                .with_integer_pipeline(integer);
+            let tickets: Vec<_> = queries
+                .iter()
+                .enumerate()
+                .map(|(i, q)| engine.submit_task(q, KIND_CYCLE[i % 3]).unwrap())
+                .collect();
+            engine.flush().unwrap();
+            tickets
+                .into_iter()
+                .map(|t| engine.try_take_response(t).unwrap())
+                .collect()
+        };
+        for integer in [false, true] {
+            let baseline = serve(1, integer);
+            for window in [2usize, 8, 32, 128] {
+                assert_eq!(
+                    serve(window, integer),
+                    baseline,
+                    "window {window}, integer {integer}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_batches_match_the_direct_model_apis() {
+        // One coalesced flush of interleaved kinds must answer each query
+        // exactly like the matching DeployedModel batch API — the classify
+        // sub-batch in particular keeps its historical path.
+        let deployment = tasked_deployment(3, 0.4);
+        let queries = queries_matrix(30);
+        let expected_classes = deployment.predict_batch(&queries).unwrap();
+        let expected_ranks = deployment.top_k_batch(&queries, 3).unwrap();
+        let expected_scores = deployment.anomaly_scores(&queries).unwrap();
+        let mut engine = ServeEngine::new(deployment, BatchPolicy::window(256));
+        let mut tickets = Vec::new();
+        for r in 0..queries.rows() {
+            let kind = KIND_CYCLE[r % 3];
+            tickets.push((r, kind, engine.submit_task(queries.row(r), kind).unwrap()));
+        }
+        engine.flush().unwrap();
+        for (r, kind, ticket) in tickets {
+            match (kind, engine.try_take_response(ticket).unwrap()) {
+                (TaskKind::Classify, TaskResponse::Class(class)) => {
+                    assert_eq!(class, expected_classes[r], "row {r}");
+                }
+                (TaskKind::TopK, TaskResponse::Ranked(ranks)) => {
+                    assert_eq!(ranks, expected_ranks[r], "row {r}");
+                }
+                (TaskKind::Anomaly, TaskResponse::Anomaly(verdict)) => {
+                    assert_eq!(
+                        verdict.score.to_bits(),
+                        expected_scores[r].to_bits(),
+                        "row {r}"
+                    );
+                    assert_eq!(verdict.anomalous, verdict.score < 0.4, "row {r}");
+                }
+                (kind, response) => panic!("{kind:?} answered with {response:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn classify_try_take_leaves_other_kinds_for_try_take_response() {
+        let mut engine = ServeEngine::new(tasked_deployment(2, 0.0), BatchPolicy::window(8));
+        let q = testkit::tiny_queries(1).remove(0);
+        let ticket = engine.submit_task(&q, TaskKind::TopK).unwrap();
+        engine.flush().unwrap();
+        assert_eq!(
+            engine.try_take(ticket),
+            None,
+            "classify redemption must not consume a ranking"
+        );
+        assert!(matches!(
+            engine.try_take_response(ticket),
+            Some(TaskResponse::Ranked(ranks)) if ranks.len() == 2
+        ));
+        // One-shot conveniences agree with the classify path.
+        let ranks = engine.rank_one(&q).unwrap();
+        assert_eq!(ranks.len(), 2);
+        assert_eq!(ranks[0], engine.predict_one(&q).unwrap());
+        let verdict = engine.score_anomaly_one(&q).unwrap();
+        assert_eq!(verdict.anomalous, verdict.score < 0.0);
+    }
+
+    #[test]
+    fn unconfigured_models_default_to_k1_and_never_flag() {
+        let mut engine = ServeEngine::new(testkit::tiny_deployment(), BatchPolicy::window(2));
+        let q = testkit::tiny_queries(1).remove(0);
+        let ranks = engine.rank_one(&q).unwrap();
+        assert_eq!(ranks, vec![engine.predict_one(&q).unwrap()]);
+        assert!(!engine.score_anomaly_one(&q).unwrap().anomalous);
+    }
+
+    #[test]
+    fn persisted_task_configuration_serves_after_load() {
+        // A DHD3 artifact carries its task section into a fresh engine:
+        // the loaded k and threshold drive serving without reconfiguration.
+        let deployment = tasked_deployment(2, 0.9);
+        let mut bytes = Vec::new();
+        disthd::io::save_deployed(&deployment, &mut bytes).unwrap();
+        let mut engine = ServeEngine::load(bytes.as_slice(), BatchPolicy::window(4)).unwrap();
+        assert_eq!(engine.model().tasks().top_k, Some(2));
+        let q = testkit::tiny_queries(1).remove(0);
+        assert_eq!(engine.rank_one(&q).unwrap().len(), 2);
+        let solo = Matrix::from_row_slices(q.len(), &[&q]).unwrap();
+        let direct = deployment.anomaly_scores(&solo).unwrap()[0];
+        let verdict = engine.score_anomaly_one(&q).unwrap();
+        assert_eq!(verdict.score.to_bits(), direct.to_bits());
+        assert_eq!(verdict.anomalous, direct < 0.9);
     }
 
     #[test]

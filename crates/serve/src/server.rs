@@ -15,13 +15,12 @@
 //! batch — while the per-batch cost in the steady state is a single
 //! atomic load.
 
-use crate::engine::BatchPolicy;
+use crate::engine::{score_task_batch, AnomalyVerdict, BatchPolicy, TaskKind, TaskResponse};
 use crate::publish::PublishedModel;
 use disthd::DeployedModel;
 use disthd_eval::ModelError;
 use disthd_hd::encoder::Encoder;
 use disthd_hd::quantize::QuantizedMatrix;
-use disthd_linalg::Matrix;
 use std::collections::VecDeque;
 use std::error::Error;
 use std::fmt;
@@ -141,13 +140,14 @@ pub struct ServerStats {
     pub peak_queue_depth: usize,
 }
 
-/// One queued predict request.
+/// One queued serving request (any [`TaskKind`]).
 struct Job {
     /// Enqueue instant; the shard's flush deadline is measured from the
     /// *oldest* queued job so a trickle of arrivals cannot starve it.
     at: Instant,
     features: Vec<f32>,
-    reply: Sender<Result<usize, ModelError>>,
+    kind: TaskKind,
+    reply: Sender<Result<TaskResponse, ModelError>>,
 }
 
 /// A shard: one batch queue plus the condvar its worker parks on.
@@ -190,22 +190,45 @@ fn lock<'a, T>(mutex: &'a Mutex<T>) -> MutexGuard<'a, T> {
     mutex.lock().unwrap_or_else(|e| e.into_inner())
 }
 
-/// An in-flight prediction submitted with [`ServerClient::submit`]; redeem
-/// it with [`Prediction::wait`].  Dropping it abandons the answer (the
-/// query is still scored with its batch).
+/// An in-flight request submitted with [`ServerClient::submit`] or
+/// [`ServerClient::submit_task`]; redeem it with [`Prediction::wait`]
+/// (classification) or [`Prediction::wait_response`] (any task kind).
+/// Dropping it abandons the answer (the query is still scored with its
+/// batch).
 #[derive(Debug)]
 pub struct Prediction {
-    rx: Receiver<Result<usize, ModelError>>,
+    rx: Receiver<Result<TaskResponse, ModelError>>,
 }
 
 impl Prediction {
-    /// Blocks until the batch containing this query has been scored.
+    /// Blocks until the batch containing this query has been scored and
+    /// returns the predicted class.  Only valid for
+    /// [`TaskKind::Classify`] submissions; a ranking or anomaly ticket
+    /// surfaces [`ServeError::Model`] here — redeem those with
+    /// [`Prediction::wait_response`].
+    ///
+    /// # Errors
+    ///
+    /// * [`ServeError::Model`] if scoring failed or the submission was
+    ///   not a classification task;
+    /// * [`ServeError::Disconnected`] if the server shut down first.
+    pub fn wait(self) -> Result<usize, ServeError> {
+        match self.wait_response()? {
+            TaskResponse::Class(class) => Ok(class),
+            other => Err(ServeError::Model(ModelError::Incompatible(format!(
+                "ticket holds a {other:?}, not a classification; redeem with wait_response"
+            )))),
+        }
+    }
+
+    /// Blocks until the batch containing this query has been scored and
+    /// returns the full [`TaskResponse`], whatever the task kind.
     ///
     /// # Errors
     ///
     /// * [`ServeError::Model`] if scoring failed;
     /// * [`ServeError::Disconnected`] if the server shut down first.
-    pub fn wait(self) -> Result<usize, ServeError> {
+    pub fn wait_response(self) -> Result<TaskResponse, ServeError> {
         self.rx
             .recv()
             .map_err(|_| ServeError::Disconnected)?
@@ -232,6 +255,46 @@ impl ServerClient {
         self.submit(features)?.wait()
     }
 
+    /// Ranks the top-k classes for one feature vector, blocking until its
+    /// coalesced batch has been scored.  `k` comes from the live
+    /// snapshot's [`disthd::ServingTasks::top_k`] (resolved by the worker
+    /// at the batch boundary, so a hot-swap retunes queued rankings
+    /// together with the memory scoring them), falling back to 1; the
+    /// leading entry always equals [`ServerClient::predict`] on the same
+    /// query.
+    ///
+    /// # Errors
+    ///
+    /// See [`ServerClient::predict`].
+    pub fn rank(&self, features: &[f32]) -> Result<Vec<usize>, ServeError> {
+        match self
+            .submit_task(features, TaskKind::TopK)?
+            .wait_response()?
+        {
+            TaskResponse::Ranked(ranks) => Ok(ranks),
+            other => unreachable!("top-k job answered with {other:?}"),
+        }
+    }
+
+    /// Scores one feature vector for one-class anomaly detection,
+    /// blocking until its coalesced batch has been scored.  The verdict
+    /// thresholds against the live snapshot's calibrated
+    /// [`disthd::ServingTasks::anomaly_threshold`]; an uncalibrated model
+    /// still returns the exact score but flags nothing.
+    ///
+    /// # Errors
+    ///
+    /// See [`ServerClient::predict`].
+    pub fn score_anomaly(&self, features: &[f32]) -> Result<AnomalyVerdict, ServeError> {
+        match self
+            .submit_task(features, TaskKind::Anomaly)?
+            .wait_response()?
+        {
+            TaskResponse::Anomaly(verdict) => Ok(verdict),
+            other => unreachable!("anomaly job answered with {other:?}"),
+        }
+    }
+
     /// Enqueues one query without blocking on its answer; the returned
     /// [`Prediction`] redeems it.  This is the pipelined entry point: a
     /// client can keep a window of submissions in flight and let the shard
@@ -242,6 +305,20 @@ impl ServerClient {
     /// See [`ServerClient::predict`] — malformed and shed requests are
     /// rejected here, before anything is queued.
     pub fn submit(&self, features: &[f32]) -> Result<Prediction, ServeError> {
+        self.submit_task(features, TaskKind::Classify)
+    }
+
+    /// Enqueues one query under an explicit [`TaskKind`] without blocking
+    /// on its answer.  Mixed-kind traffic coalesces into the same shard
+    /// batches; the worker partitions each batch by kind, so sharing a
+    /// window with rankings or anomaly probes can never move a
+    /// classification answer (and vice versa).
+    ///
+    /// # Errors
+    ///
+    /// See [`ServerClient::predict`] — malformed and shed requests are
+    /// rejected here, before anything is queued.
+    pub fn submit_task(&self, features: &[f32], kind: TaskKind) -> Result<Prediction, ServeError> {
         let shared = &self.shared;
         if shared.shutdown.load(Ordering::Acquire) {
             return Err(ServeError::Disconnected);
@@ -271,6 +348,7 @@ impl ServerClient {
             queue.push_back(Job {
                 at: Instant::now(),
                 features: features.to_vec(),
+                kind,
                 reply: tx,
             });
             queue.len()
@@ -532,22 +610,24 @@ fn steal_batch(shared: &Shared, thief: usize) -> Option<Vec<Job>> {
     Some(drain_batch(&mut queue, shared.policy.max_batch))
 }
 
-/// Scores one batch against the published snapshot and answers each job.
+/// Scores one (possibly mixed-task) batch against the published snapshot
+/// and answers each job.  The kind partitioning, and the flush-time
+/// resolution of task configuration from the very snapshot scoring the
+/// batch, live in [`score_task_batch`] — shared with the synchronous
+/// engine so both layers answer bit-identically.
 fn score_batch(shared: &Shared, model: &DeployedModel, batch: Vec<Job>) {
     let rows: Vec<&[f32]> = batch.iter().map(|job| job.features.as_slice()).collect();
-    let predictions = Matrix::from_row_slices(shared.feature_dim, &rows)
-        .map_err(ModelError::from)
-        .and_then(|queries| {
-            if shared.integer_pipeline {
-                model.predict_quantized_batch(&queries)
-            } else {
-                model.predict_batch(&queries)
-            }
-        });
-    match predictions {
-        Ok(classes) => {
-            for (job, class) in batch.into_iter().zip(classes) {
-                let _ = job.reply.send(Ok(class));
+    let kinds: Vec<TaskKind> = batch.iter().map(|job| job.kind).collect();
+    match score_task_batch(
+        model,
+        shared.integer_pipeline,
+        shared.feature_dim,
+        &rows,
+        &kinds,
+    ) {
+        Ok(responses) => {
+            for (job, response) in batch.into_iter().zip(responses) {
+                let _ = job.reply.send(Ok(response));
             }
         }
         Err(e) => {
@@ -586,6 +666,7 @@ mod tests {
     use super::*;
     use crate::testkit;
     use disthd_hd::quantize::BitWidth;
+    use disthd_linalg::Matrix;
     use std::time::Duration;
 
     /// A class memory whose every row is identical, so argmax resolves to
@@ -771,6 +852,109 @@ mod tests {
             assert_eq!(answers, expected, "{shards} integer shards");
             server.shutdown();
         }
+    }
+
+    #[test]
+    fn task_endpoints_match_the_engine_across_shards() {
+        // The threaded server and the synchronous engine share one scorer,
+        // so rankings and anomaly verdicts must agree bit-for-bit however
+        // many shards the traffic is dealt across.
+        let mut deployment = testkit::tiny_deployment();
+        deployment
+            .set_tasks(disthd::ServingTasks {
+                top_k: Some(2),
+                anomaly_threshold: Some(0.5),
+            })
+            .unwrap();
+        let queries = testkit::tiny_queries(30);
+        let (expected_ranks, expected_verdicts) = {
+            let mut engine = crate::ServeEngine::new(deployment.clone(), BatchPolicy::window(1));
+            let ranks: Vec<Vec<usize>> = queries
+                .iter()
+                .map(|q| engine.rank_one(q).unwrap())
+                .collect();
+            let verdicts: Vec<AnomalyVerdict> = queries
+                .iter()
+                .map(|q| engine.score_anomaly_one(q).unwrap())
+                .collect();
+            (ranks, verdicts)
+        };
+        for shards in [1usize, 2] {
+            let server = Server::spawn_sharded(deployment.clone(), BatchPolicy::window(8), shards);
+            let client = server.client();
+            // Pipeline mixed traffic so both kinds coalesce inside shard
+            // batches instead of flushing one by one.
+            let pending: Vec<(usize, Prediction, Prediction)> = queries
+                .iter()
+                .enumerate()
+                .map(|(i, q)| {
+                    (
+                        i,
+                        client.submit_task(q, TaskKind::TopK).unwrap(),
+                        client.submit_task(q, TaskKind::Anomaly).unwrap(),
+                    )
+                })
+                .collect();
+            for (i, ranked, anomaly) in pending {
+                match ranked.wait_response().unwrap() {
+                    TaskResponse::Ranked(ranks) => {
+                        assert_eq!(ranks, expected_ranks[i], "{shards} shards, query {i}");
+                    }
+                    other => panic!("top-k job answered with {other:?}"),
+                }
+                match anomaly.wait_response().unwrap() {
+                    TaskResponse::Anomaly(verdict) => {
+                        assert_eq!(
+                            verdict.score.to_bits(),
+                            expected_verdicts[i].score.to_bits(),
+                            "{shards} shards, query {i}"
+                        );
+                        assert_eq!(verdict.anomalous, expected_verdicts[i].anomalous);
+                    }
+                    other => panic!("anomaly job answered with {other:?}"),
+                }
+            }
+            server.shutdown();
+        }
+    }
+
+    #[test]
+    fn wait_on_a_non_classify_ticket_is_a_model_error() {
+        let server = Server::spawn(testkit::tiny_deployment(), BatchPolicy::window(1));
+        let client = server.client();
+        let q = testkit::tiny_queries(1).remove(0);
+        let pending = client.submit_task(&q, TaskKind::TopK).unwrap();
+        assert!(matches!(pending.wait(), Err(ServeError::Model(_))));
+        // Blocking conveniences on an unconfigured model: k defaults to 1
+        // and an uncalibrated threshold flags nothing.
+        assert_eq!(client.rank(&q).unwrap().len(), 1);
+        assert!(!client.score_anomaly(&q).unwrap().anomalous);
+        server.shutdown();
+    }
+
+    #[test]
+    fn hot_swap_retunes_task_configuration_at_the_batch_boundary() {
+        // Task configuration travels with the published snapshot: after an
+        // install, queued-after requests are ranked with the new k and
+        // thresholded by the new calibration — never a mix of generations.
+        let deployment = testkit::tiny_deployment();
+        let mut retuned = deployment.clone();
+        retuned
+            .set_tasks(disthd::ServingTasks {
+                top_k: Some(3),
+                anomaly_threshold: Some(2.0),
+            })
+            .unwrap();
+        let server = Server::spawn(deployment, BatchPolicy::window(4));
+        let client = server.client();
+        let q = testkit::tiny_queries(1).remove(0);
+        assert_eq!(client.rank(&q).unwrap().len(), 1);
+        assert!(!client.score_anomaly(&q).unwrap().anomalous);
+        client.install_model(retuned).unwrap();
+        assert_eq!(client.rank(&q).unwrap().len(), 3);
+        // A threshold of 2.0 exceeds any cosine, so everything flags.
+        assert!(client.score_anomaly(&q).unwrap().anomalous);
+        server.shutdown();
     }
 
     #[test]

@@ -1,0 +1,189 @@
+//! Property-based tests for the exact shard-merge algebra
+//! (`DistHd::fit_shard` / `DistHd::merge`, see `DESIGN.md` §11).
+//!
+//! The fixed-point accumulator makes shard training a sum over the
+//! *multiset* of absorbed samples, so the derived class memory must be
+//! invariant under every way of slicing, assigning, ordering and merging
+//! the stream.  These properties probe exactly that: any partition, any
+//! merge tree, any interleaving of absorption with merging — always
+//! bit-identical to one node absorbing the concatenated stream.
+
+use disthd::{DistHd, DistHdConfig};
+use disthd_datasets::Dataset;
+use disthd_hd::encoder::EncoderBackend;
+use disthd_linalg::{Matrix, RngSeed, SeededRng};
+use proptest::prelude::*;
+
+const FEATURES: usize = 8;
+const CLASSES: usize = 3;
+const DIM: usize = 64;
+
+fn config(backend: EncoderBackend) -> DistHdConfig {
+    DistHdConfig {
+        dim: DIM,
+        encoder_backend: backend,
+        ..Default::default()
+    }
+}
+
+fn fresh(backend: EncoderBackend) -> DistHd {
+    DistHd::new(config(backend), FEATURES, CLASSES)
+}
+
+/// A deterministic random dataset of `n` samples.
+fn random_data(n: usize, seed: u64) -> Dataset {
+    let mut rng = SeededRng::new(RngSeed(seed));
+    let features = Matrix::from_fn(n, FEATURES, |_, _| rng.next_unit());
+    let labels: Vec<usize> = (0..n).map(|_| rng.next_index(CLASSES)).collect();
+    Dataset::new(features, labels, CLASSES).expect("valid random dataset")
+}
+
+/// Class-memory bits of a model (the merge algebra's observable value).
+fn class_bits(model: &DistHd) -> Vec<u32> {
+    model
+        .class_model()
+        .expect("trained")
+        .classes()
+        .as_slice()
+        .iter()
+        .map(|v| v.to_bits())
+        .collect()
+}
+
+/// Single-node reference: one model absorbs the whole dataset.
+fn single_node(data: &Dataset, backend: EncoderBackend) -> Vec<u32> {
+    let mut model = fresh(backend);
+    model.fit_shard(data).expect("reference fit_shard");
+    class_bits(&model)
+}
+
+/// Splits `data` into contiguous chunks at the given cut points.
+fn split_at(data: &Dataset, cuts: &[usize]) -> Vec<Dataset> {
+    let mut parts = Vec::new();
+    let mut lo = 0usize;
+    for &cut in cuts {
+        let hi = cut.min(data.len()).max(lo);
+        parts.push(data.select(&(lo..hi).collect::<Vec<_>>()));
+        lo = hi;
+    }
+    parts.push(data.select(&(lo..data.len()).collect::<Vec<_>>()));
+    parts
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Any contiguous partition over any shard count, merged left to
+    /// right, is bit-identical to the single node — on both encoder
+    /// backends.
+    #[test]
+    fn any_partition_matches_single_node(
+        n in 12usize..48,
+        shards in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let data = random_data(n, seed);
+        for backend in [EncoderBackend::Dense, EncoderBackend::Structured] {
+            let reference = single_node(&data, backend);
+            let per = n.div_ceil(shards);
+            let cuts: Vec<usize> = (1..shards).map(|s| s * per).collect();
+            let mut merged: Option<DistHd> = None;
+            for part in split_at(&data, &cuts) {
+                let mut shard = fresh(backend);
+                shard.fit_shard(&part).expect("shard fit");
+                match merged.as_mut() {
+                    None => merged = Some(shard),
+                    Some(m) => { m.merge(&shard).expect("merge"); }
+                }
+            }
+            prop_assert_eq!(class_bits(&merged.expect("at least one shard")), reference);
+        }
+    }
+
+    /// Merge is commutative: a ⊕ b == b ⊕ a, bit for bit.
+    #[test]
+    fn merge_is_commutative(
+        n_a in 4usize..24,
+        n_b in 4usize..24,
+        seed in 0u64..1000,
+    ) {
+        let backend = EncoderBackend::Dense;
+        let data_a = random_data(n_a, seed);
+        let data_b = random_data(n_b, seed.wrapping_add(7919));
+        let mut a = fresh(backend);
+        a.fit_shard(&data_a).expect("fit a");
+        let mut b = fresh(backend);
+        b.fit_shard(&data_b).expect("fit b");
+
+        let mut ab = a.clone();
+        ab.merge(&b).expect("a+b");
+        let mut ba = b;
+        ba.merge(&a).expect("b+a");
+        prop_assert_eq!(class_bits(&ab), class_bits(&ba));
+    }
+
+    /// Merge is associative: (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c), bit for bit.
+    #[test]
+    fn merge_is_associative(
+        n_a in 4usize..16,
+        n_b in 4usize..16,
+        n_c in 4usize..16,
+        seed in 0u64..1000,
+    ) {
+        let backend = EncoderBackend::Dense;
+        let mut parts = Vec::new();
+        for (i, n) in [n_a, n_b, n_c].into_iter().enumerate() {
+            let mut shard = fresh(backend);
+            shard
+                .fit_shard(&random_data(n, seed.wrapping_add(31 * i as u64)))
+                .expect("fit");
+            parts.push(shard);
+        }
+        let Ok([a, b, c]) = <[DistHd; 3]>::try_from(parts) else {
+            panic!("three shards");
+        };
+
+        let mut left = a.clone();
+        left.merge(&b).expect("a+b");
+        left.merge(&c).expect("(a+b)+c");
+
+        let mut right_inner = b;
+        right_inner.merge(&c).expect("b+c");
+        let mut right = a;
+        right.merge(&right_inner).expect("a+(b+c)");
+
+        prop_assert_eq!(class_bits(&left), class_bits(&right));
+    }
+
+    /// Interleaving absorption with merging — batches dealt round-robin to
+    /// shards, shards merged mid-stream, more batches absorbed after the
+    /// merge — is bit-identical to sequential absorption of the
+    /// concatenated stream.
+    #[test]
+    fn interleaved_absorb_and_merge_matches_sequential(
+        n in 16usize..48,
+        cut_a in 1usize..15,
+        cut_b in 1usize..15,
+        seed in 0u64..1000,
+    ) {
+        let backend = EncoderBackend::Dense;
+        let data = random_data(n, seed);
+        let reference = single_node(&data, backend);
+
+        // Three stream segments at arbitrary cut points.
+        let parts = split_at(&data, &[cut_a.min(n), (cut_a + cut_b).min(n)]);
+
+        // Shard 1 absorbs segment 0; shard 2 absorbs segment 2 (out of
+        // stream order); they merge; the merged node absorbs segment 1.
+        let mut shard1 = fresh(backend);
+        shard1.fit_shard(&parts[0]).expect("segment 0");
+        let mut shard2 = fresh(backend);
+        shard2.fit_shard(&parts[2]).expect("segment 2");
+        shard1.merge(&shard2).expect("mid-stream merge");
+        shard1.fit_shard(&parts[1]).expect("segment 1 after merge");
+
+        prop_assert_eq!(class_bits(&shard1), reference);
+        let report = shard1.shard_report().expect("shard mode");
+        prop_assert_eq!(report.samples as usize, n);
+    }
+}
