@@ -1,5 +1,5 @@
 use disthd_hd::encoder::EncoderBackend;
-use disthd_linalg::RngSeed;
+use disthd_linalg::{FhtSchedule, RngSeed};
 
 /// The α/β/θ weight parameters of Algorithm 2.
 ///
@@ -94,6 +94,13 @@ pub struct DistHdConfig {
     /// (same kernel map, same regeneration semantics — a speed knob; see
     /// `disthd_hd::encoder::StructuredRbfEncoder`).
     pub encoder_backend: EncoderBackend,
+    /// Butterfly pass order of the structured backend's Walsh–Hadamard
+    /// transforms (ignored by the dense backend).  Defaults to the
+    /// `DISTHD_FHT_SCHEDULE` environment knob.  Schedules differ only in
+    /// floating-point rounding; each is bit-deterministic across kernel
+    /// tiers and thread counts, and the choice is never persisted — DHD
+    /// artifact bytes are schedule-independent.
+    pub fht_schedule: FhtSchedule,
 }
 
 impl Default for DistHdConfig {
@@ -108,6 +115,7 @@ impl Default for DistHdConfig {
             patience: Some(6),
             seed: RngSeed::default(),
             encoder_backend: EncoderBackend::default(),
+            fht_schedule: FhtSchedule::from_env(),
         }
     }
 }

@@ -383,26 +383,23 @@ fn load_dense_body<R: Read>(reader: &mut R) -> Result<DeployedModel, PersistErro
 fn load_structured_body<R: Read>(reader: &mut R) -> Result<DeployedModel, PersistError> {
     let header = read_header(reader)?;
     let block_dim = read_u32(reader, "block dim")? as usize;
-    if block_dim != header.n.next_power_of_two() {
-        return Err(PersistError::Corrupt(format!(
-            "field `block dim`: {block_dim} is not the padded size of {} features",
-            header.n
-        )));
-    }
-    let blocks = header.dim.div_ceil(block_dim);
-    let expected_sign_words = blocks
-        .checked_mul(block_dim)
-        .and_then(|per_stage| per_stage.checked_mul(3))
-        .map(|bits| bits.div_ceil(64))
-        .ok_or_else(|| {
-            PersistError::Corrupt(
-                "field `sign word count`: 3 * blocks * block_dim overflows".into(),
-            )
-        })?;
+    // Both construction modes are valid on load: the padded input size
+    // (full-pad) and half of it (half-block, when the shape qualifies).
+    // The encoder's own plan is the single source of truth for block
+    // shapes and sign budgets — ragged last blocks shrink their share.
+    let expected_sign_words =
+        StructuredRbfEncoder::plan_sign_count(header.n, header.dim, block_dim)
+            .map(|signs| signs.div_ceil(64))
+            .ok_or_else(|| {
+                PersistError::Corrupt(format!(
+                    "field `block dim`: {block_dim} is not a valid block plan for {} features",
+                    header.n
+                ))
+            })?;
     let sign_word_count = read_u32(reader, "sign word count")? as usize;
     if sign_word_count != expected_sign_words {
         return Err(PersistError::Corrupt(format!(
-            "field `sign word count`: {sign_word_count} words for {blocks} blocks of \
+            "field `sign word count`: {sign_word_count} words for blocks of \
              {block_dim} (expected {expected_sign_words})"
         )));
     }

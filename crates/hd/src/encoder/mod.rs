@@ -215,6 +215,24 @@ impl AnyRbfEncoder {
         }
     }
 
+    /// Overrides the FHT butterfly pass order of the structured backend
+    /// (see [`StructuredRbfEncoder::set_fht_schedule`]); a no-op on the
+    /// dense backend, so config plumbing never has to branch.
+    pub fn set_fht_schedule(&mut self, schedule: disthd_linalg::FhtSchedule) {
+        if let Self::Structured(e) = self {
+            e.set_fht_schedule(schedule);
+        }
+    }
+
+    /// The structured backend's FHT schedule, if that is the active
+    /// backend.
+    pub fn fht_schedule(&self) -> Option<disthd_linalg::FhtSchedule> {
+        match self {
+            Self::Dense(_) => None,
+            Self::Structured(e) => Some(e.fht_schedule()),
+        }
+    }
+
     /// Which backend this encoder runs on.
     pub fn backend(&self) -> EncoderBackend {
         match self {

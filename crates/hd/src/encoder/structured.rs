@@ -1,8 +1,8 @@
 use super::{half_angle_cosine, Encoder, RegenerativeEncoder};
 use crate::quantize::{BitWidth, QuantizedMatrix};
 use disthd_linalg::{
-    dot, fht_inplace, half_angle_row, parallel, sin_det, Gaussian, Matrix, PackedRhs, RngSeed,
-    SeededRng, ShapeError, Uniform,
+    dot, fht_inplace_opts, half_angle_row, parallel, sin_det, FhtOpts, FhtPrunePlan, FhtSchedule,
+    Gaussian, Matrix, PackedRhs, RngSeed, SeededRng, ShapeError, Uniform,
 };
 use std::collections::BTreeMap;
 
@@ -22,6 +22,12 @@ const ENCODE_CHUNK_MIN_ELEMS: usize = 1 << 14;
 /// per-element trigonometric epilogue).
 const ENCODE_PAR_MIN_ELEMS: usize = 1 << 15;
 
+/// Smallest transform a shrunken ragged last block may use (clamped to the
+/// block dim when that is smaller).  Keeps a degenerate 1–2 point "mixing"
+/// transform from producing near-passthrough features while still letting
+/// a short tail skip most of a full-size transform.
+const MIN_RAGGED_TRANSFORM: usize = 8;
+
 /// Rows per parallel work unit, derived from the output width alone —
 /// never the worker count — so the partition (and the output bits) are
 /// identical at any thread count.
@@ -36,25 +42,80 @@ fn encode_chunk_rows(output_dim: usize) -> usize {
 /// backbone".
 const NOT_OVERLAID: u32 = u32::MAX;
 
+/// Shape of one transform block: which input features it reads, which
+/// output dims it produces, where its sign diagonals live and how its raw
+/// outputs are scaled.  Derived deterministically from
+/// `(input_dim, output_dim, block_dim)` — never persisted.
+#[derive(Debug, Clone)]
+struct BlockSpec {
+    /// Start of this block's `3 · transform_dim` sign entries in `signs`.
+    sign_offset: usize,
+    /// Power-of-two FHT length of this block.
+    transform_dim: usize,
+    /// First input feature fed to this block.
+    window_start: usize,
+    /// Features fed (the rest of the transform input is zero-padded;
+    /// equals `transform_dim` in half-block mode, `input_dim` in full-pad
+    /// mode).
+    window_len: usize,
+    /// First output dimension this block produces.
+    out_start: usize,
+    /// Output dimensions produced (`min(output_dim − out_start,
+    /// transform_dim)`).
+    out_width: usize,
+    /// Scale applied to raw transform outputs before the epilogue.
+    scale: f32,
+}
+
 /// Structured (SORF/Fastfood-style) drop-in for [`super::RbfEncoder`]:
 /// the dense Gaussian base matrix is replaced by blocks of
 /// `H·diag(s₃)·H·diag(s₂)·H·diag(s₁)` — three Walsh–Hadamard transforms
 /// interleaved with random sign diagonals — cutting batch encode from
 /// `O(F·D)` multiply-adds to `O(D log D)` butterflies per sample.
 ///
-/// ## Construction
+/// ## Construction modes
 ///
-/// The input is zero-padded to `d = F.next_power_of_two()` and
-/// `⌈D / d⌉` independent blocks are stacked, each with its own three
-/// Rademacher sign vectors.  With the unnormalized Hadamard transform
-/// (`H·Hᵀ = d·I`) the product `M = H·S₃·H·S₂·H·S₁` satisfies
-/// `M·Mᵀ = d³·I`, so scaling by `base_std / d` gives every implicit base
-/// vector the exact norm `base_std·√d` — the expected norm of the dense
-/// encoder's `N(0, base_std²)^d` draws — and projections with the same
-/// `base_std²·‖F‖²` variance as the dense encoder (the SORF approximation
-/// of the same RBF kernel).  The projections then feed the identical fused
-/// half-angle cosine epilogue, so downstream behaviour (bandwidth,
-/// centering, quantization) is unchanged.
+/// **Full-pad** (`block_dim = d = F.next_power_of_two()`): the input is
+/// zero-padded to `d` and `⌈D / d⌉` independent blocks are stacked, each
+/// with its own three Rademacher sign vectors.  With the unnormalized
+/// Hadamard transform (`H·Hᵀ = d·I`) the product `M = H·S₃·H·S₂·H·S₁`
+/// satisfies `M·Mᵀ = d³·I`, so scaling by `base_std / d` gives every
+/// implicit base vector the exact norm `base_std·√d` and projections with
+/// the same `base_std²·‖F‖²` variance as the dense encoder.  The pad
+/// lanes are exploited rather than paid for: the first transform runs
+/// with a zero-aware front end ([`FhtOpts::nonzero_len`]) that is
+/// bit-identical to transforming the padded buffer in full.
+///
+/// **Half-block** (`block_dim = d/2`, chosen automatically when
+/// `F ≤ 0.75·d`): instead of padding ~40% zeros, each block transforms a
+/// *dense* window of `h = d/2` consecutive features — even-indexed blocks
+/// read `[0, h)`, odd ones `[F−h, F)`, so the two window families overlap
+/// and jointly cover every feature.  Scaling by `base_std·√(F/h)/h` gives
+/// every implicit row the norm `base_std·√F` — the dense encoder's
+/// expected row norm — and the dense-target projection variance for
+/// inputs whose energy is roughly uniform across features (each output
+/// dim sees a window holding `h/F` of the features).  A ragged last block
+/// additionally shrinks its transform to the smallest power of two
+/// covering its live outputs (floored at 8 lanes so the radix-8 kernel
+/// applies), so its sign vectors are sized to the *live* block rather
+/// than the full `h`.
+///
+/// The projections then feed the identical fused half-angle cosine
+/// epilogue, so downstream behaviour (bandwidth, centering, quantization)
+/// is unchanged.
+///
+/// ## Schedules and pruning
+///
+/// The butterfly pass order is a process-wide knob
+/// ([`FhtSchedule::from_env`], overridable per encoder via
+/// [`StructuredRbfEncoder::set_fht_schedule`]); it is never persisted, so
+/// DHD artifacts are schedule-independent.  Under the default ascending
+/// schedule the third transform of every block runs with a final-stage
+/// [`FhtPrunePlan`] that elides butterflies whose both output lanes are
+/// dead — evicted to the dense overlay or beyond the consumed output
+/// width — and the copy + half-angle epilogue likewise skips dead lanes.
+/// Both skips are bitwise-invisible on live dims and tighten as
+/// [`RegenerativeEncoder::regenerate`] grows the overlay.
 ///
 /// ## Regeneration: the dense overlay
 ///
@@ -64,8 +125,8 @@ const NOT_OVERLAID: u32 = u32::MAX;
 /// therefore **evicted** from the structured backbone into a small dense
 /// overlay: it gets a fresh private Gaussian base vector (exactly a dense
 /// [`super::RbfEncoder`] column), stored as one row of a patch matrix.
-/// Encoding computes the structured pass for all `D` dimensions and then
-/// overwrites the overlaid columns via the existing 4×16 GEMM
+/// Encoding computes the structured pass for the live dimensions and then
+/// fills the overlaid columns via the existing 4×16 GEMM
 /// ([`Matrix::matmul_map`]).  `fit` / `partial_fit` / regeneration semantics
 /// are therefore identical to the dense encoder's, and the overlay GEMM
 /// costs `O(F·m)` per sample for `m` evicted dimensions — tiny relative to
@@ -93,12 +154,16 @@ pub struct StructuredRbfEncoder {
     /// Standard deviation the implicit base vectors emulate
     /// (`bandwidth / √n`, same as the dense encoder).
     base_std: f32,
-    /// Padded transform length `d = input_dim.next_power_of_two()`.
+    /// Per-block transform length parameter (persisted): the padded input
+    /// size in full-pad mode, half of it in half-block mode.  Every
+    /// block's `transform_dim` is ≤ this.
     block_dim: usize,
-    /// Number of stacked blocks `⌈D / d⌉`.
-    blocks: usize,
+    /// Stacked transform blocks (shape derived from
+    /// `(input_dim, output_dim, block_dim)`).
+    blocks: Vec<BlockSpec>,
     /// Rademacher sign diagonals as `±1.0` (ready to multiply):
-    /// `3 · blocks · block_dim` entries, laid out `[block][stage][lane]`.
+    /// `3 · transform_dim` entries per block, laid out
+    /// `[block][stage][lane]` at each block's `sign_offset`.
     signs: Vec<f32>,
     /// Per-dimension phases `c_i ~ U[0, 2π)`.
     phases: Vec<f32>,
@@ -115,7 +180,93 @@ pub struct StructuredRbfEncoder {
     /// the overlay GEMM, rebuilt once per [`RegenerativeEncoder::regenerate`]
     /// call so the encode hot path never re-transposes.
     overlay_cols: Matrix,
+    /// Butterfly pass order for every block transform (never persisted).
+    schedule: FhtSchedule,
+    /// Whether the final-stage prune plans are applied (ascending schedule
+    /// only; on by default — pruning is bitwise-invisible on live dims).
+    prune_enabled: bool,
+    /// Per-block final-stage prune plan; `None` when the block is fully
+    /// live (or too small to stage-prune).  Rebuilt on regeneration.
+    prune_plans: Vec<Option<FhtPrunePlan>>,
+    /// Per-block maximal runs `(start, len)` of *live* output lanes within
+    /// `[0, out_width)` — the copy + epilogue work list.  Rebuilt on
+    /// regeneration.
+    live_runs: Vec<Vec<(u32, u32)>>,
     regenerated: u64,
+}
+
+/// Builds the per-block shapes for `(input_dim, output_dim, block_dim)`,
+/// or `None` if `block_dim` is not a valid plan parameter for the shape.
+fn plan_blocks(
+    input_dim: usize,
+    output_dim: usize,
+    base_std: f32,
+    block_dim: usize,
+) -> Option<Vec<BlockSpec>> {
+    if input_dim == 0 || output_dim == 0 {
+        return None;
+    }
+    let full = input_dim.next_power_of_two();
+    let half_mode = if block_dim == full {
+        false
+    } else if 2 * block_dim == full && half_block_eligible(input_dim) {
+        true
+    } else {
+        return None;
+    };
+    let blocks = output_dim.div_ceil(block_dim);
+    let mut specs = Vec::with_capacity(blocks);
+    let mut sign_offset = 0;
+    for b in 0..blocks {
+        let out_start = b * block_dim;
+        let remaining = output_dim - out_start;
+        let (transform_dim, window_start, window_len) = if half_mode {
+            let td = if remaining >= block_dim {
+                block_dim
+            } else {
+                // Ragged last block: the smallest power of two covering
+                // the live outputs, floored so the transform still mixes.
+                remaining
+                    .next_power_of_two()
+                    .max(MIN_RAGGED_TRANSFORM.min(block_dim))
+                    .min(block_dim)
+            };
+            // Alternate window families so the two halves of the feature
+            // range are both covered: even blocks read the head, odd
+            // blocks the tail.
+            let start = if b % 2 == 0 { 0 } else { input_dim - td };
+            (td, start, td)
+        } else {
+            (block_dim, 0, input_dim)
+        };
+        let scale = if half_mode {
+            // Implicit row norm base_std·√F (the dense encoder's expected
+            // row norm): rows of H·S·H·S·H·S have norm transform_dim^1.5.
+            base_std * (input_dim as f32 / transform_dim as f32).sqrt() / transform_dim as f32
+        } else {
+            // Implicit row norm base_std·√d over the padded lanes.
+            base_std / transform_dim as f32
+        };
+        specs.push(BlockSpec {
+            sign_offset,
+            transform_dim,
+            window_start,
+            window_len,
+            out_start,
+            out_width: remaining.min(transform_dim),
+            scale,
+        });
+        sign_offset += 3 * transform_dim;
+    }
+    Some(specs)
+}
+
+/// Whether `input_dim` qualifies for the half-block construction:
+/// `F ≤ 0.75 · next_power_of_two(F)` (so a half-size window still covers
+/// more than half the features) with a non-degenerate half size.
+fn half_block_eligible(input_dim: usize) -> bool {
+    let full = input_dim.next_power_of_two();
+    full >= 2 && 4 * input_dim <= 3 * full
 }
 
 impl StructuredRbfEncoder {
@@ -128,6 +279,10 @@ impl StructuredRbfEncoder {
     /// Creates a structured encoder with an explicit kernel bandwidth `γ`
     /// (see [`super::RbfEncoder::with_bandwidth`] for the scaling rationale;
     /// the structured construction targets the same projection variance).
+    ///
+    /// Non-power-of-two inputs with `F ≤ 0.75·next_power_of_two(F)` use
+    /// the half-block construction (see the type docs); everything else
+    /// zero-pads.
     ///
     /// # Panics
     ///
@@ -142,15 +297,17 @@ impl StructuredRbfEncoder {
         assert!(input_dim > 0, "input_dim must be positive");
         assert!(output_dim > 0, "output_dim must be positive");
         let base_std = bandwidth / (input_dim as f32).sqrt();
-        let block_dim = input_dim.next_power_of_two();
-        let blocks = output_dim.div_ceil(block_dim);
+        let block_dim = Self::default_block_dim(input_dim);
+        let blocks = plan_blocks(input_dim, output_dim, base_std, block_dim)
+            .expect("default block_dim is always a valid plan parameter");
+        let sign_count: usize = blocks.iter().map(|s| 3 * s.transform_dim).sum();
         let mut rng = SeededRng::derive_stream(seed, 0x50FF);
-        let signs: Vec<f32> = (0..3 * blocks * block_dim)
+        let signs: Vec<f32> = (0..sign_count)
             .map(|_| if rng.next_bool(0.5) { 1.0 } else { -1.0 })
             .collect();
         let phases = Uniform::phase().sample_vec(&mut rng, output_dim);
         let phase_sins = phases.iter().map(|&c| sin_det(c)).collect();
-        Self {
+        let mut encoder = Self {
             input_dim,
             output_dim,
             base_std,
@@ -163,11 +320,38 @@ impl StructuredRbfEncoder {
             overlay_dims: Vec::new(),
             overlay_rows: Matrix::zeros(0, input_dim),
             overlay_cols: Matrix::zeros(input_dim, 0),
+            schedule: FhtSchedule::from_env(),
+            prune_enabled: true,
+            prune_plans: Vec::new(),
+            live_runs: Vec::new(),
             regenerated: 0,
+        };
+        encoder.rebuild_prune_state();
+        encoder
+    }
+
+    /// Block-dim plan parameter the constructor picks for `input_dim`:
+    /// half of the padded size when the half-block construction applies,
+    /// the padded size otherwise.
+    pub fn default_block_dim(input_dim: usize) -> usize {
+        let full = input_dim.next_power_of_two();
+        if half_block_eligible(input_dim) {
+            full / 2
+        } else {
+            full
         }
     }
 
-    /// Padded transform length `d` (the per-block FHT size).
+    /// Total sign entries implied by a `(input_dim, output_dim,
+    /// block_dim)` plan, or `None` if `block_dim` is not a valid plan
+    /// parameter for the shape — the persistence layer's size check.
+    pub fn plan_sign_count(input_dim: usize, output_dim: usize, block_dim: usize) -> Option<usize> {
+        plan_blocks(input_dim, output_dim, 1.0, block_dim)
+            .map(|specs| specs.iter().map(|s| 3 * s.transform_dim).sum())
+    }
+
+    /// Per-block transform length parameter (the per-block FHT size;
+    /// ragged last blocks may use less — see the type docs).
     pub fn block_dim(&self) -> usize {
         self.block_dim
     }
@@ -192,8 +376,9 @@ impl StructuredRbfEncoder {
         &self.overlay_rows
     }
 
-    /// Total sign entries (`3 · blocks · block_dim`), derivable from the
-    /// shape but exposed so readers can size their buffers.
+    /// Total sign entries (`3 · transform_dim` summed over blocks),
+    /// derivable from the shape but exposed so readers can size their
+    /// buffers.
     pub fn sign_count(&self) -> usize {
         self.signs.len()
     }
@@ -210,16 +395,48 @@ impl StructuredRbfEncoder {
         words
     }
 
+    /// Butterfly pass order used by every block transform.
+    pub fn fht_schedule(&self) -> FhtSchedule {
+        self.schedule
+    }
+
+    /// Overrides the butterfly pass order (defaults to
+    /// [`FhtSchedule::from_env`] at construction).  Schedules differ in
+    /// floating-point rounding, so encoded values change in the low bits;
+    /// each schedule is bit-deterministic within itself across tiers and
+    /// thread counts.
+    pub fn set_fht_schedule(&mut self, schedule: FhtSchedule) {
+        self.schedule = schedule;
+    }
+
+    /// Whether final-stage pruning and dead-lane epilogue skipping are
+    /// enabled (on by default).
+    pub fn final_stage_pruning(&self) -> bool {
+        self.prune_enabled
+    }
+
+    /// Enables or disables final-stage pruning and dead-lane epilogue
+    /// skipping.  Live output dims are bitwise-identical either way (the
+    /// benchmark's A/B switch); disabling only wastes work.
+    pub fn set_final_stage_pruning(&mut self, enabled: bool) {
+        if self.prune_enabled != enabled {
+            self.prune_enabled = enabled;
+            self.rebuild_prune_state();
+        }
+    }
+
     /// Reassembles an encoder from persisted parts.
     ///
     /// `packed_signs` is the [`StructuredRbfEncoder::packed_signs`] word
     /// vector; overlay rows carry one private base vector per entry of
-    /// `overlay_dims`, in order.
+    /// `overlay_dims`, in order.  `block_dim` selects the construction
+    /// mode: the padded input size (full-pad) or half of it (half-block,
+    /// when eligible).
     ///
     /// # Errors
     ///
     /// Returns [`ShapeError`] if the dimensions are inconsistent:
-    /// `block_dim` not the padded input size, too few sign words, a phase
+    /// `block_dim` not a valid plan parameter, too few sign words, a phase
     /// count different from `output_dim`, an overlay shape mismatch, or an
     /// overlay dim out of range / repeated.
     // One parameter per persisted field of the DHD2 structured layout; a
@@ -235,19 +452,17 @@ impl StructuredRbfEncoder {
         overlay_dims: Vec<usize>,
         overlay_rows: Matrix,
     ) -> Result<Self, ShapeError> {
-        if input_dim == 0
-            || output_dim == 0
-            || block_dim != input_dim.next_power_of_two()
-            || phases.len() != output_dim
-        {
-            return Err(ShapeError::new(
-                "structured_from_parts",
-                (input_dim, output_dim),
-                (block_dim, phases.len()),
-            ));
-        }
-        let blocks = output_dim.div_ceil(block_dim);
-        let sign_count = 3 * blocks * block_dim;
+        let blocks = match plan_blocks(input_dim, output_dim, base_std, block_dim) {
+            Some(blocks) if phases.len() == output_dim => blocks,
+            _ => {
+                return Err(ShapeError::new(
+                    "structured_from_parts",
+                    (input_dim, output_dim),
+                    (block_dim, phases.len()),
+                ));
+            }
+        };
+        let sign_count: usize = blocks.iter().map(|s| 3 * s.transform_dim).sum();
         if packed_signs.len() != sign_count.div_ceil(64) {
             return Err(ShapeError::new(
                 "structured_from_parts",
@@ -284,7 +499,7 @@ impl StructuredRbfEncoder {
         }
         let phase_sins = phases.iter().map(|&c| sin_det(c)).collect();
         let overlay_cols = overlay_rows.transpose();
-        Ok(Self {
+        let mut encoder = Self {
             input_dim,
             output_dim,
             base_std,
@@ -297,8 +512,14 @@ impl StructuredRbfEncoder {
             overlay_dims,
             overlay_rows,
             overlay_cols,
+            schedule: FhtSchedule::from_env(),
+            prune_enabled: true,
+            prune_plans: Vec::new(),
+            live_runs: Vec::new(),
             regenerated: 0,
-        })
+        };
+        encoder.rebuild_prune_state();
+        Ok(encoder)
     }
 
     /// Number of dimensions currently evicted into the dense overlay.
@@ -306,61 +527,119 @@ impl StructuredRbfEncoder {
         self.overlay_dims.len()
     }
 
-    /// Scale applied to raw block-transform outputs (see the type docs).
-    #[inline]
-    fn projection_scale(&self) -> f32 {
-        self.base_std / self.block_dim as f32
+    /// Rebuilds the per-block prune plans and live-lane run lists from the
+    /// current overlay map.  Called at construction and after every
+    /// regeneration — never on the encode hot path.
+    ///
+    /// Lane `l` of block `b` is *dead* when it maps past the output
+    /// (`l ≥ out_width`) or its dim has been evicted to the overlay; dead
+    /// lanes drop out of the final butterfly stage (both-dead pairs), the
+    /// copy and the trigonometric epilogue.  With pruning disabled every
+    /// in-range lane is treated as live (overlaid dims are then computed
+    /// and overwritten by the overlay pass, the pre-pruning behaviour).
+    fn rebuild_prune_state(&mut self) {
+        self.prune_plans.clear();
+        self.live_runs.clear();
+        for spec in &self.blocks {
+            let td = spec.transform_dim;
+            let live = |lane: usize| {
+                lane < spec.out_width
+                    && (!self.prune_enabled
+                        || self.overlay_index[spec.out_start + lane] == NOT_OVERLAID)
+            };
+            let mut runs: Vec<(u32, u32)> = Vec::new();
+            for lane in 0..spec.out_width {
+                if live(lane) {
+                    match runs.last_mut() {
+                        Some((start, len)) if *start as usize + *len as usize == lane => *len += 1,
+                        _ => runs.push((lane as u32, 1)),
+                    }
+                }
+            }
+            let plan = if td >= 2 {
+                Some(FhtPrunePlan::from_live(td, live)).filter(|p| !p.is_full())
+            } else {
+                None
+            };
+            self.prune_plans.push(plan);
+            self.live_runs.push(runs);
+        }
     }
 
-    /// Raw block transform: `scratch ← H·(s₃ ⊙ H·(s₂ ⊙ H·(s₁ ⊙ x_pad)))`
-    /// for block `b`, with the `s₁` multiply fused into the zero-padding
-    /// copy.  No scale or nonlinearity — shared verbatim by the batch
-    /// encode and the partial re-encode so both are bit-identical.
+    /// Raw block transform: `scratch ← H·(s₃ ⊙ H·(s₂ ⊙ H·(s₁ ⊙ x_win)))`
+    /// for block `b`, with the `s₁` multiply fused into the window copy
+    /// and `s₂`/`s₃` fused into their transforms' first passes (all
+    /// bit-identical to multiplying first).  The first transform declares
+    /// the zero tail; the last carries the block's prune plan (ascending
+    /// schedule only).  No scale or nonlinearity — shared verbatim by the
+    /// batch encode and the partial re-encode so both are bit-identical.
     fn transform_block(&self, features: &[f32], b: usize, scratch: &mut [f32]) {
-        let d = self.block_dim;
-        debug_assert_eq!(scratch.len(), d);
-        let signs = &self.signs[b * 3 * d..(b + 1) * 3 * d];
-        let (s1, rest) = signs.split_at(d);
-        let (s2, s3) = rest.split_at(d);
-        for ((slot, &f), &s) in scratch.iter_mut().zip(features.iter()).zip(s1.iter()) {
+        let spec = &self.blocks[b];
+        let td = spec.transform_dim;
+        let scratch = &mut scratch[..td];
+        let signs = &self.signs[spec.sign_offset..spec.sign_offset + 3 * td];
+        let (s1, rest) = signs.split_at(td);
+        let (s2, s3) = rest.split_at(td);
+        let window = &features[spec.window_start..spec.window_start + spec.window_len];
+        for ((slot, &f), &s) in scratch.iter_mut().zip(window.iter()).zip(s1.iter()) {
             *slot = f * s;
         }
-        scratch[features.len()..].fill(0.0);
-        fht_inplace(scratch);
-        for (v, &s) in scratch.iter_mut().zip(s2.iter()) {
-            *v *= s;
-        }
-        fht_inplace(scratch);
-        for (v, &s) in scratch.iter_mut().zip(s3.iter()) {
-            *v *= s;
-        }
-        fht_inplace(scratch);
+        scratch[spec.window_len..].fill(0.0);
+        let schedule = self.schedule;
+        fht_inplace_opts(
+            scratch,
+            &FhtOpts {
+                nonzero_len: spec.window_len,
+                ..FhtOpts::dense(schedule)
+            },
+        );
+        fht_inplace_opts(
+            scratch,
+            &FhtOpts {
+                first_stage_signs: Some(s2),
+                ..FhtOpts::dense(schedule)
+            },
+        );
+        let prune = if self.prune_enabled && schedule == FhtSchedule::Ascending {
+            self.prune_plans[b].as_ref()
+        } else {
+            None
+        };
+        fht_inplace_opts(
+            scratch,
+            &FhtOpts {
+                first_stage_signs: Some(s3),
+                prune,
+                ..FhtOpts::dense(schedule)
+            },
+        );
     }
 
-    /// Structured pass for one sample: every output dimension through the
-    /// block transforms, scale and half-angle epilogue.  Overlay columns
-    /// are written too (and overwritten by the caller's overlay pass) —
-    /// skipping them would cost a branch per lane on the hot path.
+    /// Structured pass for one sample: every *live* output dimension
+    /// through the block transforms, scale and half-angle epilogue.
+    /// Overlaid columns are skipped (the caller's overlay pass fills
+    /// them); with pruning disabled they are written and overwritten.
     fn encode_structured_row(&self, features: &[f32], out: &mut [f32], scratch: &mut [f32]) {
         debug_assert_eq!(out.len(), self.output_dim);
-        let d = self.block_dim;
-        let scale = self.projection_scale();
-        for b in 0..self.blocks {
+        for (b, spec) in self.blocks.iter().enumerate() {
             self.transform_block(features, b, scratch);
-            let start = b * d;
-            let width = (self.output_dim - start).min(d);
-            // Copy the raw block outputs to their contiguous destination,
-            // then run the vectorized half-angle store over the slice —
-            // bit-identical to the scalar `half_angle_cosine` loop it
-            // replaces (the row kernel's contract), at SIMD throughput.
-            let slots = &mut out[start..start + width];
-            slots.copy_from_slice(&scratch[..width]);
-            half_angle_row(
-                slots,
-                scale,
-                &self.phases[start..start + width],
-                &self.phase_sins[start..start + width],
-            );
+            // Copy each live run of raw block outputs to its contiguous
+            // destination, then run the vectorized half-angle store over
+            // the slice — bit-identical to the scalar `half_angle_cosine`
+            // loop it replaces (the row kernel's contract), at SIMD
+            // throughput.
+            for &(start, len) in &self.live_runs[b] {
+                let (lane, len) = (start as usize, len as usize);
+                let dims = spec.out_start + lane..spec.out_start + lane + len;
+                let slots = &mut out[dims.clone()];
+                slots.copy_from_slice(&scratch[lane..lane + len]);
+                half_angle_row(
+                    slots,
+                    spec.scale,
+                    &self.phases[dims.clone()],
+                    &self.phase_sins[dims],
+                );
+            }
         }
     }
 
@@ -371,8 +650,9 @@ impl StructuredRbfEncoder {
     /// Overlaid dims recompute through their private dense base rows;
     /// still-structured dims re-run their block's transform (grouped per
     /// block so the FHT cost is paid once per block per sample), which is
-    /// bit-identical to a full [`Encoder::encode_batch`].  Out-of-range
-    /// dims are ignored.
+    /// bit-identical to a full [`Encoder::encode_batch`] — requested dims
+    /// are live by definition, so pruning never touches them.
+    /// Out-of-range dims are ignored.
     ///
     /// # Errors
     ///
@@ -420,14 +700,14 @@ impl StructuredRbfEncoder {
             }
         }
         if !structured_by_block.is_empty() {
-            let scale = self.projection_scale();
             let mut scratch = vec![0.0f32; self.block_dim];
             for (&b, block_dims) in &structured_by_block {
+                let spec = &self.blocks[b];
                 for r in 0..batch.rows() {
                     self.transform_block(batch.row(r), b, &mut scratch);
                     for &dim in block_dims {
                         let value = half_angle_cosine(
-                            scratch[dim - b * self.block_dim] * scale,
+                            scratch[dim - spec.out_start] * spec.scale,
                             self.phases[dim],
                             self.phase_sins[dim],
                         );
@@ -640,6 +920,11 @@ impl RegenerativeEncoder for StructuredRbfEncoder {
             // call, never on the encode hot path.
             self.overlay_cols = self.overlay_rows.transpose();
         }
+        if evicted_any {
+            // Freshly evicted dims drop out of the butterfly final stage
+            // and the epilogue — pruning tightens as the overlay grows.
+            self.rebuild_prune_state();
+        }
     }
 
     fn regenerated_count(&self) -> u64 {
@@ -712,49 +997,79 @@ mod tests {
         }
     }
 
-    #[test]
-    fn projection_variance_tracks_the_dense_target() {
-        // Mean squared raw projection over many dims should approximate
-        // base_std² · ‖x‖² — the dense encoder's projection variance.  The
-        // projections are recovered through asin of the encoded value at
-        // phase 0... instead, probe the implicit base matrix directly:
-        // encode basis vectors and use linearity of the pre-nonlinearity
-        // transform via two-point differences is overkill — check the
-        // implicit row norms instead: the transform of a basis vector eₖ
-        // yields column k of the implicit base matrix; accumulating squares
-        // over k gives every implicit row's norm, which must equal
-        // base_std·√d exactly (the construction is exactly orthogonal).
-        let n = 8;
-        let dim = 64;
-        let enc = StructuredRbfEncoder::new(n, dim, RngSeed(3));
-        let d = enc.block_dim();
-        assert_eq!(d, 8);
+    /// Probes every implicit base-row norm by encoding basis vectors
+    /// through the raw block transforms (linearity: column `k` of the
+    /// implicit matrix is the transform of `e_k`).
+    fn implicit_row_norms(enc: &StructuredRbfEncoder) -> Vec<f64> {
+        let n = enc.input_dim();
+        let dim = enc.output_dim();
         let mut row_sq = vec![0.0f64; dim];
-        let mut scratch = vec![0.0f32; d];
-        for k in 0..d {
+        let mut scratch = vec![0.0f32; enc.block_dim()];
+        for k in 0..n {
             let mut e = vec![0.0f32; n];
-            if k < n {
-                e[k] = 1.0;
-            }
-            for b in 0..enc.blocks {
+            e[k] = 1.0;
+            for (b, spec) in enc.blocks.iter().enumerate() {
                 enc.transform_block(&e, b, &mut scratch);
-                for (j, &v) in scratch.iter().enumerate() {
-                    let dim_index = b * d + j;
-                    if dim_index < dim {
-                        let scaled = f64::from(v) * f64::from(enc.projection_scale());
-                        row_sq[dim_index] += scaled * scaled;
-                    }
+                for (lane, &raw) in scratch[..spec.out_width].iter().enumerate() {
+                    let dim_index = spec.out_start + lane;
+                    let scaled = f64::from(raw) * f64::from(spec.scale);
+                    row_sq[dim_index] += scaled * scaled;
                 }
             }
         }
-        let expected = f64::from(enc.base_std) * (d as f64).sqrt();
-        for (i, &sq) in row_sq.iter().enumerate() {
-            let norm = sq.sqrt();
+        row_sq.iter().map(|&sq| sq.sqrt()).collect()
+    }
+
+    #[test]
+    fn projection_variance_tracks_the_dense_target() {
+        // Full-pad mode (power-of-two input): every implicit row norm must
+        // equal base_std·√d exactly (the construction is orthogonal), the
+        // dense encoder's expected norm for d-dimensional draws.
+        let enc = StructuredRbfEncoder::new(8, 64, RngSeed(3));
+        assert_eq!(enc.block_dim(), 8);
+        let expected = f64::from(enc.base_std) * 8f64.sqrt();
+        for (i, &norm) in implicit_row_norms(&enc).iter().enumerate() {
             assert!(
                 (norm - expected).abs() < 1e-4 * expected,
                 "implicit row {i}: norm {norm} vs {expected}"
             );
         }
+    }
+
+    #[test]
+    fn half_block_row_norms_track_the_dense_target() {
+        // Half-block mode: every implicit row is supported on a window of
+        // h features and scaled so its norm is base_std·√F — the dense
+        // encoder's expected row norm over the *actual* feature count.
+        let enc = encoder(); // F = 6 → d = 8, half-block h = 4
+        assert_eq!(enc.block_dim(), 4);
+        let expected = f64::from(enc.base_std) * 6f64.sqrt();
+        for (i, &norm) in implicit_row_norms(&enc).iter().enumerate() {
+            assert!(
+                (norm - expected).abs() < 1e-4 * expected,
+                "implicit row {i}: norm {norm} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn half_block_windows_alternate_and_cover_all_features() {
+        let enc = encoder(); // F = 6, h = 4
+        let mut covered = [false; 6];
+        for (b, spec) in enc.blocks.iter().enumerate() {
+            assert_eq!(spec.window_len, spec.transform_dim);
+            let expect_start = if b % 2 == 0 {
+                0
+            } else {
+                6 - spec.transform_dim
+            };
+            assert_eq!(spec.window_start, expect_start, "block {b}");
+            covered[spec.window_start..spec.window_start + spec.window_len].fill(true);
+        }
+        assert!(
+            covered.iter().all(|&c| c),
+            "windows must cover every feature"
+        );
     }
 
     #[test]
@@ -855,6 +1170,83 @@ mod tests {
     }
 
     #[test]
+    fn reencode_dims_is_bit_identical_under_pruning() {
+        // With dims evicted, the prune plans drop their butterflies — but
+        // reencode of *live* dims must still equal the full encode bit for
+        // bit (live lanes see the identical operation sequence).
+        let mut enc = StructuredRbfEncoder::new(6, 200, RngSeed(77));
+        let mut rng = SeededRng::new(RngSeed(78));
+        enc.regenerate(&[1, 2, 3, 40, 41, 120, 199], &mut rng);
+        assert!(enc.prune_plans.iter().any(|p| p.is_some()));
+        let batch = Matrix::from_rows(&[
+            vec![0.3, -0.1, 0.8, 0.2, -0.7, 0.5],
+            vec![0.0, 0.4, -0.4, 0.9, 0.1, -0.2],
+        ])
+        .unwrap();
+        let reference = enc.encode_batch(&batch).unwrap();
+        let mut encoded = reference.clone();
+        let live_dims = [0usize, 10, 45, 130, 198];
+        for r in 0..encoded.rows() {
+            for &d in &live_dims {
+                encoded.set(r, d, f32::NAN);
+            }
+        }
+        enc.reencode_dims(&batch, &mut encoded, &live_dims).unwrap();
+        assert_eq!(encoded.as_slice(), reference.as_slice());
+    }
+
+    #[test]
+    fn pruning_toggle_is_bitwise_invisible_on_output() {
+        // Pruning elides only both-dead butterflies and dead-lane
+        // epilogues; the final encoded rows (overlay included) must be
+        // bit-identical with it on or off.
+        let mut enc = StructuredRbfEncoder::new(6, 300, RngSeed(31));
+        let mut rng = SeededRng::new(RngSeed(32));
+        let evict: Vec<usize> = (0..120).map(|i| (i * 7) % 300).collect();
+        enc.regenerate(&evict, &mut rng);
+        let batch = Matrix::from_fn(9, 6, |r, c| ((r * 3 + c) as f32).cos() * 0.6);
+        let pruned = enc.encode_batch(&batch).unwrap();
+        let single_pruned = enc.encode(batch.row(0)).unwrap();
+        enc.set_final_stage_pruning(false);
+        assert!(!enc.final_stage_pruning());
+        let full = enc.encode_batch(&batch).unwrap();
+        assert_eq!(pruned.as_slice(), full.as_slice());
+        assert_eq!(single_pruned, enc.encode(batch.row(0)).unwrap());
+    }
+
+    #[test]
+    fn cascading_haar_schedule_is_deterministic_and_differs() {
+        let mut enc = encoder();
+        let input = [0.4, -0.6, 0.2, 0.9, -0.3, 0.1];
+        let ascending = enc.encode(&input).unwrap();
+        enc.set_fht_schedule(FhtSchedule::CascadingHaar);
+        assert_eq!(enc.fht_schedule(), FhtSchedule::CascadingHaar);
+        let haar_a = enc.encode(&input).unwrap();
+        let haar_b = enc.encode(&input).unwrap();
+        assert_eq!(haar_a, haar_b, "schedule must be deterministic");
+        assert_ne!(ascending, haar_a, "schedules reorder additions");
+        // Same kernel, different rounding: values stay close.
+        for (i, (&a, &h)) in ascending.iter().zip(haar_a.iter()).enumerate() {
+            assert!((a - h).abs() < 1e-3, "dim {i}: {a} vs {h}");
+        }
+    }
+
+    #[test]
+    fn cascading_haar_batch_is_bit_identical_across_thread_counts() {
+        let mut enc = StructuredRbfEncoder::new(6, 1030, RngSeed(21));
+        enc.set_fht_schedule(FhtSchedule::CascadingHaar);
+        let batch = Matrix::from_fn(19, 6, |r, c| ((r + 2 * c) as f32).sin() * 0.4 + 0.5);
+        let serial =
+            disthd_linalg::parallel::with_thread_count(1, || enc.encode_batch(&batch).unwrap());
+        for threads in [2usize, 8] {
+            let parallel = disthd_linalg::parallel::with_thread_count(threads, || {
+                enc.encode_batch(&batch).unwrap()
+            });
+            assert_eq!(serial.as_slice(), parallel.as_slice(), "{threads} threads");
+        }
+    }
+
+    #[test]
     fn encode_batch_is_bit_identical_across_thread_counts() {
         let mut enc = StructuredRbfEncoder::new(6, 1030, RngSeed(21));
         let mut rng = SeededRng::new(RngSeed(22));
@@ -871,15 +1263,83 @@ mod tests {
     }
 
     #[test]
-    fn non_power_of_two_inputs_are_padded() {
-        // 6 features pad to an 8-point transform; 200 dims need 25 blocks.
+    fn construction_modes_follow_the_input_shape() {
+        // 6 features: d = 8 and 6 ≤ 0.75·8, so half-block mode with h = 4
+        // and ⌈200 / 4⌉ = 50 blocks.
         let enc = encoder();
-        assert_eq!(enc.block_dim(), 8);
-        assert_eq!(enc.blocks, 25);
-        // Power-of-two inputs pad to themselves.
+        assert_eq!(enc.block_dim(), 4);
+        assert_eq!(enc.blocks.len(), 50);
+        // Power-of-two inputs always use full-pad mode.
         let pow2 = StructuredRbfEncoder::new(16, 64, RngSeed(2));
         assert_eq!(pow2.block_dim(), 16);
-        assert_eq!(pow2.blocks, 4);
+        assert_eq!(pow2.blocks.len(), 4);
+        // 7 features: 4·7 > 3·8 — the pad is under 25%, full-pad mode.
+        let full = StructuredRbfEncoder::new(7, 64, RngSeed(2));
+        assert_eq!(full.block_dim(), 8);
+        assert_eq!(full.blocks.len(), 8);
+        assert_eq!(full.blocks[0].window_len, 7);
+    }
+
+    #[test]
+    fn ragged_last_block_shrinks_its_transform_and_signs() {
+        // F = 96: d = 128, 96 ≤ 0.75·128 → half-block h = 64.  D = 200
+        // gives 3 full blocks (192 dims) plus a ragged 8-dim tail, whose
+        // transform shrinks to 8 points — so the sign budget is sized per
+        // live block: 3·(3·64 + 8) = 600 instead of 3·4·64 = 768.
+        let enc = StructuredRbfEncoder::new(96, 200, RngSeed(11));
+        assert_eq!(enc.block_dim(), 64);
+        assert_eq!(enc.blocks.len(), 4);
+        let last = enc.blocks.last().unwrap();
+        assert_eq!(last.transform_dim, 8);
+        assert_eq!(last.out_width, 8);
+        // Odd block parity: the ragged window reads the feature tail.
+        assert_eq!(last.window_start, 96 - 8);
+        assert_eq!(enc.sign_count(), 600);
+        assert_eq!(
+            StructuredRbfEncoder::plan_sign_count(96, 200, 64),
+            Some(600)
+        );
+    }
+
+    #[test]
+    fn ragged_last_block_encode_parity() {
+        // Single encode, batch encode and quantized encode must agree on
+        // the ragged shape, and regeneration inside the ragged block must
+        // behave like any other block.
+        let mut enc = StructuredRbfEncoder::new(96, 200, RngSeed(12));
+        let batch = Matrix::from_fn(7, 96, |r, c| ((r * 31 + c) as f32).sin() * 0.5);
+        let encoded = enc.encode_batch(&batch).unwrap();
+        for r in 0..batch.rows() {
+            assert_eq!(
+                encoded.row(r),
+                enc.encode(batch.row(r)).unwrap().as_slice(),
+                "row {r}"
+            );
+        }
+        let quantized = enc
+            .encode_batch_quantized(&batch, None, BitWidth::B8)
+            .unwrap();
+        let roundtrip = QuantizedMatrix::quantize(&encoded, BitWidth::B8);
+        assert_eq!(quantized.as_words(), roundtrip.as_words());
+        // Evict a ragged-tail dim (in [192, 200)) and a regular dim.
+        let mut rng = SeededRng::new(RngSeed(13));
+        enc.regenerate(&[5, 195], &mut rng);
+        let mut after = enc.encode_batch(&batch).unwrap();
+        for r in 0..batch.rows() {
+            let single = enc.encode(batch.row(r)).unwrap();
+            for (c, (&a, &b)) in after.row(r).iter().zip(single.iter()).enumerate() {
+                if c == 5 || c == 195 {
+                    // Overlaid dims run through the GEMM in batch mode and
+                    // plain dots in single mode: ≤ 1 ulp of FMA slack.
+                    assert!((a - b).abs() < 1e-5, "({r},{c}): {a} vs {b}");
+                } else {
+                    assert_eq!(a, b, "({r},{c}) after regeneration");
+                }
+            }
+        }
+        enc.reencode_dims(&batch, &mut after, &[193, 199]).unwrap();
+        let full = enc.encode_batch(&batch).unwrap();
+        assert_eq!(after.as_slice(), full.as_slice());
     }
 
     #[test]
@@ -920,6 +1380,35 @@ mod tests {
     }
 
     #[test]
+    fn from_parts_accepts_both_construction_modes() {
+        // For F = 6 both block_dim = 4 (half-block, the constructor's
+        // choice) and block_dim = 8 (full-pad, the pre-half-block layout)
+        // are valid plan parameters — old artifacts keep loading.
+        assert_eq!(StructuredRbfEncoder::plan_sign_count(6, 100, 4), Some(300));
+        assert_eq!(
+            StructuredRbfEncoder::plan_sign_count(6, 100, 8),
+            Some(3 * 13 * 8)
+        );
+        let full_pad = StructuredRbfEncoder::from_parts(
+            6,
+            100,
+            0.5,
+            8,
+            &vec![u64::MAX; (3 * 13 * 8usize).div_ceil(64)],
+            vec![0.25; 100],
+            vec![],
+            Matrix::zeros(0, 6),
+        )
+        .unwrap();
+        assert_eq!(full_pad.block_dim(), 8);
+        assert_eq!(full_pad.blocks.len(), 13);
+        assert_eq!(full_pad.blocks[0].window_len, 6);
+        // An ineligible half request (F = 7 pads to 8 with > 25% live) is
+        // rejected.
+        assert_eq!(StructuredRbfEncoder::plan_sign_count(7, 100, 4), None);
+    }
+
+    #[test]
     fn from_parts_validates_consistency() {
         let enc = StructuredRbfEncoder::new(6, 100, RngSeed(17));
         // Wrong block_dim.
@@ -939,8 +1428,8 @@ mod tests {
             6,
             100,
             enc.base_std(),
-            8,
-            &enc.packed_signs()[..1],
+            4,
+            &enc.packed_signs()[..enc.packed_signs().len() - 1],
             enc.phases().to_vec(),
             vec![],
             Matrix::zeros(0, 6),
@@ -951,7 +1440,7 @@ mod tests {
             6,
             100,
             enc.base_std(),
-            8,
+            4,
             &enc.packed_signs(),
             enc.phases().to_vec(),
             vec![500],
@@ -963,7 +1452,7 @@ mod tests {
             6,
             100,
             enc.base_std(),
-            8,
+            4,
             &enc.packed_signs(),
             enc.phases().to_vec(),
             vec![3, 3],

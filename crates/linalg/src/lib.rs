@@ -47,7 +47,7 @@ mod vector;
 pub use codepack::{sign_codes, symmetric_codes};
 pub use epilogue::{half_angle, half_angle_row, sin_det};
 pub use error::ShapeError;
-pub use fht::fht_inplace;
+pub use fht::{fht_inplace, fht_inplace_opts, FhtOpts, FhtPrunePlan, FhtSchedule};
 pub use matrix::{dot_gemm_order, dot_gemm_order_from, Matrix, PackedRhs};
 pub use random::{Gaussian, RngSeed, SeededRng, Uniform};
 pub use sort::{argsort_ascending, argsort_descending, top_k_indices, top_k_largest};

@@ -1,10 +1,11 @@
 //! Property-based tests (proptest) on the core data structures and the
 //! HDC invariants the paper's algorithms rely on.
 
-use disthd_hd::encoder::{Encoder, RbfEncoder, RegenerativeEncoder};
+use disthd_hd::encoder::{Encoder, RbfEncoder, RegenerativeEncoder, StructuredRbfEncoder};
 use disthd_hd::quantize::{BitWidth, QuantizedMatrix};
 use disthd_hd::{BinaryHypervector, BipolarHypervector, ClassModel};
-use disthd_linalg::{parallel, Matrix, RngSeed, SeededRng};
+use disthd_linalg::{fht_inplace, fht_inplace_opts, parallel, FhtOpts, FhtPrunePlan, FhtSchedule};
+use disthd_linalg::{Matrix, RngSeed, SeededRng};
 use proptest::prelude::*;
 
 fn feature_vec(n: usize) -> impl Strategy<Value = Vec<f32>> {
@@ -207,6 +208,107 @@ proptest! {
         let last = curve.last().expect("non-empty");
         prop_assert_eq!((first.fpr, first.tpr), (0.0, 0.0));
         prop_assert_eq!((last.fpr, last.tpr), (1.0, 1.0));
+    }
+
+    /// The pruned FHT back end leaves every live lane bitwise equal to the
+    /// full ascending transform, for arbitrary sizes and eviction masks
+    /// (the elided butterflies only ever feed dead lanes).
+    #[test]
+    fn pruned_fht_keeps_live_lanes_bitwise(
+        exp in 1u32..13,
+        seed in 0u64..1000,
+        dead_pct in 0u32..90,
+    ) {
+        let n = 1usize << exp;
+        let mut rng = SeededRng::new(RngSeed(seed));
+        let input: Vec<f32> = (0..n).map(|_| rng.next_unit() - 0.5).collect();
+        let dead: Vec<bool> = (0..n).map(|_| rng.next_bool(f64::from(dead_pct) / 100.0)).collect();
+        let plan = FhtPrunePlan::from_live(n, |lane| !dead[lane]);
+        let mut full = input.clone();
+        fht_inplace(&mut full);
+        let mut pruned = input;
+        let opts = FhtOpts { prune: Some(&plan), ..FhtOpts::dense(FhtSchedule::Ascending) };
+        fht_inplace_opts(&mut pruned, &opts);
+        for lane in 0..n {
+            if !dead[lane] {
+                prop_assert_eq!(full[lane].to_bits(), pruned[lane].to_bits(),
+                    "n {}, live lane {}", n, lane);
+            }
+        }
+    }
+
+    /// The zero-aware front end is bitwise invisible under both schedules:
+    /// transforming a zero-padded buffer with the skip paths equals
+    /// transforming it in full.
+    #[test]
+    fn zero_tail_fht_matches_full_bitwise(
+        exp in 1u32..13,
+        seed in 0u64..1000,
+        haar in 0u32..2,
+        nz_frac in 1u32..101,
+    ) {
+        let n = 1usize << exp;
+        let nz = ((n as u64 * u64::from(nz_frac)).div_ceil(100) as usize).max(1);
+        let schedule = if haar == 1 { FhtSchedule::CascadingHaar } else { FhtSchedule::Ascending };
+        let mut rng = SeededRng::new(RngSeed(seed));
+        let mut padded = vec![0.0f32; n];
+        for v in &mut padded[..nz] {
+            *v = rng.next_unit() - 0.5;
+        }
+        let mut full = padded.clone();
+        fht_inplace_opts(&mut full, &FhtOpts::dense(schedule));
+        let mut aware = padded;
+        let opts = FhtOpts { nonzero_len: nz, ..FhtOpts::dense(schedule) };
+        fht_inplace_opts(&mut aware, &opts);
+        let same = full.iter().zip(&aware).all(|(a, b)| a.to_bits() == b.to_bits());
+        prop_assert!(same, "{} n {} nz {}", schedule, n, nz);
+    }
+
+    /// Structured batch encodes are bit-identical across thread counts
+    /// while the pruned/zero-aware paths are active (post-regeneration,
+    /// so eviction masks and overlay passes are in play).
+    #[test]
+    fn structured_encode_is_thread_count_invariant_under_pruning(
+        rows in proptest::collection::vec(feature_vec(6), 24..32),
+        threads in 2usize..9,
+        seed in 0u64..100,
+    ) {
+        let mut encoder = StructuredRbfEncoder::new(6, 256, RngSeed(seed));
+        let mut rng = SeededRng::new(RngSeed(seed ^ 0xD1D));
+        encoder.regenerate(&[0, 7, 31, 64, 128, 255], &mut rng);
+        let batch = Matrix::from_rows(&rows).expect("matrix");
+        let serial = parallel::with_thread_count(1, || encoder.encode_batch(&batch).expect("batch"));
+        let threaded =
+            parallel::with_thread_count(threads, || encoder.encode_batch(&batch).expect("batch"));
+        prop_assert_eq!(serial.as_slice(), threaded.as_slice());
+    }
+
+    /// `reencode_dims` under pruning returns exactly the full encode's
+    /// values (bitwise) on the structured dims it recomputes.
+    #[test]
+    fn reencode_dims_matches_full_encode_under_pruning(
+        features in feature_vec(6),
+        dims in proptest::collection::btree_set(0usize..256, 1..12),
+        seed in 0u64..100,
+    ) {
+        let mut encoder = StructuredRbfEncoder::new(6, 256, RngSeed(seed));
+        let mut rng = SeededRng::new(RngSeed(seed ^ 0x5EED));
+        encoder.regenerate(&[3, 97, 200], &mut rng);
+        let full = encoder.encode(&features).expect("encode");
+        let dims: Vec<usize> = dims.into_iter().collect();
+        let batch = Matrix::from_rows(&[features]).expect("matrix");
+        let mut patched = Matrix::zeros(1, 256);
+        encoder.reencode_dims(&batch, &mut patched, &dims).expect("reencode");
+        for &d in &dims {
+            let v = patched.row(0)[d];
+            // Overlaid dims go through a different dot-product path with
+            // its own rounding; structured dims must match bitwise.
+            if encoder.overlay_dims().contains(&d) {
+                prop_assert!((v - full[d]).abs() <= 1e-5, "overlay dim {}", d);
+            } else {
+                prop_assert_eq!(v.to_bits(), full[d].to_bits(), "dim {}", d);
+            }
+        }
     }
 
     /// Stratified splits partition every class in the requested proportion.
