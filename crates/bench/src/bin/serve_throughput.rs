@@ -39,9 +39,11 @@ use disthd_eval::Classifier;
 use disthd_hd::quantize::{BitWidth, QuantizedMatrix};
 use disthd_linalg::{parallel, Matrix};
 use disthd_serve::{
-    BatchPolicy, Prediction, ServeEngine, Server, ServerClient, ServerOptions, TaskKind,
-    TaskResponse,
+    BatchPolicy, ChaosPlan, Prediction, RetryPolicy, ServeEngine, Server, ServerClient,
+    ServerOptions, SnapshotStore, TaskKind, TaskResponse,
 };
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Fig. 5's heavy dimensionality (BaselineHD's D* = 4k) — the encode cost
@@ -127,25 +129,24 @@ fn serve_once(model: &DeployedModel, queries: &Matrix, window: usize) -> (f64, V
 }
 
 /// Serves every row of `queries` under one task kind through a fresh
-/// synchronous engine at `window`, returning wall-clock seconds and the
-/// responses in row order.
-fn serve_tasks_once(
+/// synchronous engine at `window`, returning the responses in row order.
+/// One timing leg: the task-endpoint phase interleaves these with classify
+/// legs and keeps its own best-of, so this helper does not repeat.
+fn serve_task_leg(
     model: &DeployedModel,
     queries: &Matrix,
     window: usize,
     kind: TaskKind,
-) -> (f64, Vec<TaskResponse>) {
-    time_best(|| {
-        let mut engine = ServeEngine::new(model.clone(), BatchPolicy::window(window));
-        let tickets: Vec<_> = (0..queries.rows())
-            .map(|r| engine.submit_task(queries.row(r), kind).expect("submit"))
-            .collect();
-        engine.flush().expect("flush");
-        tickets
-            .into_iter()
-            .map(|t| engine.try_take_response(t).expect("response"))
-            .collect()
-    })
+) -> Vec<TaskResponse> {
+    let mut engine = ServeEngine::new(model.clone(), BatchPolicy::window(window));
+    let tickets: Vec<_> = (0..queries.rows())
+        .map(|r| engine.submit_task(queries.row(r), kind).expect("submit"))
+        .collect();
+    engine.flush().expect("flush");
+    tickets
+        .into_iter()
+        .map(|t| engine.try_take_response(t).expect("response"))
+        .collect()
 }
 
 /// Submits every row of `queries` and waits in submission order, so the
@@ -178,11 +179,16 @@ fn serve_sharded(
             shards,
             queue_capacity: queries.rows().max(1),
             integer_pipeline: false,
+            ..ServerOptions::default()
         };
         let server = Server::spawn_with(model.clone(), BatchPolicy::window(window), options);
         let client = server.client();
         let (secs, predictions) = time_best(|| drive(&client, queries));
-        (secs, predictions, server.shutdown())
+        (
+            secs,
+            predictions,
+            server.shutdown().expect("no worker died during the sweep"),
+        )
     })
 }
 
@@ -291,7 +297,7 @@ fn soak(
                 .zip(expected)
                 .filter(|(got, want)| got != want)
                 .count() as u64;
-        let stats = server.shutdown();
+        let stats = server.shutdown().expect("no worker died during the soak");
         SoakRun {
             shards,
             clients,
@@ -306,6 +312,224 @@ fn soak(
             peak_queue_depth: stats.peak_queue_depth,
             flushes: stats.flushes,
             predictions_fnv1a: fnv1a(&verify),
+        }
+    })
+}
+
+/// Seed of every fault schedule in the chaos soak — one knob, replayable.
+const CHAOS_SEED: u64 = 0x0D15_C0DE;
+/// Flush horizon the seeded panics/stalls are scattered over; closed-loop
+/// traffic at the soak window crosses it within the first seconds.
+const CHAOS_HORIZON: u64 = 1500;
+/// Worker panics injected per chaos soak.  Closed-loop blast radius per
+/// panic is at most the client count, so the availability cost is bounded
+/// at `CHAOS_PANICS * clients` requests.
+const CHAOS_PANICS: usize = 6;
+/// Slow-shard stalls injected per chaos soak.
+const CHAOS_STALLS: usize = 8;
+/// Each stalled flush sleeps this long — longer than the deadline clients'
+/// budget, so stalls exercise the deadline-shed path, not just latency.
+const CHAOS_PAUSE: Duration = Duration::from_millis(50);
+/// Class-memory bit-flip rate of the faulty generations the writer thread
+/// installs mid-soak (Fig. 8's fault model, via `inject_faults`).
+const CHAOS_FAULT_RATE: f64 = 0.02;
+
+/// One chaos-soak measurement: availability and integrity under injected
+/// worker panics, slow shards, corrupt snapshots, and bit-flipped installs.
+struct ChaosRun {
+    shards: usize,
+    clients: usize,
+    submitted: u64,
+    answered: u64,
+    shed_overloaded: u64,
+    shed_deadline: u64,
+    worker_failed: u64,
+    lost_tickets: u64,
+    availability: f64,
+    worker_restarts: u64,
+    failed_batches: u64,
+    faulty_installs: u64,
+    snapshot_corruption_detected: bool,
+    snapshot_rolled_back: bool,
+    post_chaos_fnv1a: u64,
+}
+
+/// Runs the seeded chaos drill: a sharded server under a [`ChaosPlan`]
+/// (worker panics + slow-shard stalls), hammered by closed-loop clients
+/// (half with bounded retry, half with a request deadline) while a writer
+/// thread alternates bit-flipped and pristine model installs.  A detached
+/// watchdog kills the process if the drill wedges — a deadlock IS the
+/// regression this phase exists to catch.  Afterwards the plan is
+/// disarmed, a pristine generation — restored through
+/// [`SnapshotStore::restore_or_rollback`] past a deliberately corrupted
+/// blob — is installed, and a deterministic pass produces the post-chaos
+/// hash that must equal the fault-free baseline.
+fn chaos_soak(model: &DeployedModel, queries: &Matrix, secs: f64, shards: usize) -> ChaosRun {
+    // Integrity drill first: corrupt a stored snapshot mid-blob and prove
+    // it fails closed with a named checksum error while rollback serves
+    // the last known good version — which then seeds the post-chaos
+    // reinstall, closing the loop through the real recovery path.
+    let mut snapshots = SnapshotStore::new(4);
+    let good = snapshots.push(model).expect("snapshot pristine");
+    let rotted = snapshots.push(model).expect("snapshot pristine again");
+    let blob_bits = snapshots.bytes(rotted).expect("retained").len() * 8;
+    assert!(snapshots.flip_stored_bit(rotted, blob_bits / 2));
+    let snapshot_corruption_detected = matches!(
+        snapshots.restore(rotted),
+        Err(disthd_serve::SnapshotError::Persist(_))
+    );
+    let (restored_version, pristine) = snapshots
+        .restore_or_rollback(rotted)
+        .expect("an intact snapshot remains");
+    let snapshot_rolled_back = restored_version == good;
+
+    let plan = Arc::new(ChaosPlan::seeded(
+        CHAOS_SEED,
+        CHAOS_HORIZON,
+        CHAOS_PANICS,
+        CHAOS_STALLS,
+        CHAOS_PAUSE,
+    ));
+    let done = Arc::new(AtomicBool::new(false));
+    {
+        // Watchdog: the soak plus the deterministic pass must finish well
+        // inside this margin; a wedged server (lost wakeup, deadlocked
+        // queue, hung ticket) is reported and the process killed, so CI
+        // fails instead of timing out silently.
+        let done = Arc::clone(&done);
+        let margin = Duration::from_secs_f64(secs) + Duration::from_secs(120);
+        std::thread::spawn(move || {
+            std::thread::sleep(margin);
+            if !done.load(Ordering::Acquire) {
+                eprintln!("ERROR: chaos soak did not finish within {margin:?} — wedged server");
+                std::process::exit(3);
+            }
+        });
+    }
+
+    parallel::with_thread_count(1, || {
+        let server = Server::spawn_chaotic(
+            model.clone(),
+            BatchPolicy::window(SOAK_WINDOW),
+            ServerOptions::sharded(shards),
+            plan,
+        );
+        let clients = (2 * shards).max(4);
+        let deadline = Instant::now() + Duration::from_secs_f64(secs);
+        let (submitted, answered, shed_overloaded, shed_deadline, worker_failed, faulty_installs) =
+            std::thread::scope(|s| {
+                // Writer: alternate bit-flipped and pristine generations so
+                // traffic keeps crossing install boundaries under fire.
+                let writer = {
+                    let client = server.client();
+                    let pristine = pristine.clone();
+                    s.spawn(move || {
+                        let mut rng = disthd_linalg::SeededRng::derive_stream(
+                            disthd_linalg::RngSeed(CHAOS_SEED),
+                            2,
+                        );
+                        let mut installs = 0u64;
+                        while Instant::now() < deadline {
+                            let mut faulty = pristine.clone();
+                            faulty.inject_faults(CHAOS_FAULT_RATE, &mut rng);
+                            client.install_model(faulty).expect("install faulty");
+                            installs += 1;
+                            std::thread::sleep(Duration::from_millis(40));
+                            client
+                                .install_model(pristine.clone())
+                                .expect("install pristine");
+                            std::thread::sleep(Duration::from_millis(40));
+                        }
+                        installs
+                    })
+                };
+                let hammers: Vec<_> = (0..clients)
+                    .map(|t| {
+                        let client = server.client();
+                        s.spawn(move || {
+                            let retry = RetryPolicy {
+                                seed: CHAOS_SEED ^ t as u64,
+                                ..RetryPolicy::default()
+                            };
+                            let mut counts = (0u64, 0u64, 0u64, 0u64, 0u64);
+                            let mut i = t;
+                            while Instant::now() < deadline {
+                                let row = queries.row(i % queries.rows());
+                                counts.0 += 1;
+                                // Half the clients retry overloads, half
+                                // carry a deadline tighter than a stall.
+                                let outcome = if t % 2 == 0 {
+                                    client.predict_with_retry(row, retry)
+                                } else {
+                                    client.predict_within(row, Duration::from_millis(20))
+                                };
+                                match outcome {
+                                    Ok(_) => counts.1 += 1,
+                                    Err(disthd_serve::ServeError::Overloaded) => counts.2 += 1,
+                                    Err(disthd_serve::ServeError::DeadlineExceeded) => {
+                                        counts.3 += 1;
+                                    }
+                                    Err(disthd_serve::ServeError::WorkerFailed { .. }) => {
+                                        counts.4 += 1;
+                                    }
+                                    Err(e) => panic!("unexpected chaos-soak error: {e}"),
+                                }
+                                i += clients;
+                            }
+                            counts
+                        })
+                    })
+                    .collect();
+                let mut totals = (0u64, 0u64, 0u64, 0u64, 0u64);
+                for h in hammers {
+                    let c = h.join().expect("chaos client");
+                    totals.0 += c.0;
+                    totals.1 += c.1;
+                    totals.2 += c.2;
+                    totals.3 += c.3;
+                    totals.4 += c.4;
+                }
+                let installs = writer.join().expect("chaos writer");
+                (totals.0, totals.1, totals.2, totals.3, totals.4, installs)
+            });
+
+        // Faults off, pristine generation in (through the rollback path),
+        // then the deterministic pass whose hash must equal the fault-free
+        // baseline: the drill's proof that chaos left no residue.
+        server.disarm_chaos();
+        server
+            .client()
+            .install_model(pristine)
+            .expect("install post-chaos pristine");
+        let post = drive(&server.client(), queries);
+        let stats = server
+            .shutdown()
+            .expect("no shard may exhaust its restart budget under the seeded schedule");
+        done.store(true, Ordering::Release);
+
+        let resolved = answered + shed_overloaded + shed_deadline + worker_failed;
+        let deliberate = shed_overloaded + shed_deadline;
+        let denominator = submitted.saturating_sub(deliberate);
+        ChaosRun {
+            shards,
+            clients,
+            submitted,
+            answered,
+            shed_overloaded,
+            shed_deadline,
+            worker_failed,
+            lost_tickets: submitted.saturating_sub(resolved),
+            availability: if denominator == 0 {
+                1.0
+            } else {
+                answered as f64 / denominator as f64
+            },
+            worker_restarts: stats.worker_restarts,
+            failed_batches: stats.failed_batches,
+            faulty_installs,
+            snapshot_corruption_detected,
+            snapshot_rolled_back,
+            post_chaos_fnv1a: fnv1a(&post),
         }
     })
 }
@@ -325,6 +549,10 @@ fn main() {
     let soak_secs: f64 = std::env::var("DISTHD_SOAK_SECS")
         .ok()
         .map(|v| v.trim().parse().expect("DISTHD_SOAK_SECS: seconds"))
+        .unwrap_or(0.0);
+    let chaos_secs: f64 = std::env::var("DISTHD_CHAOS_SECS")
+        .ok()
+        .map(|v| v.trim().parse().expect("DISTHD_CHAOS_SECS: seconds"))
         .unwrap_or(0.0);
     let dataset = PaperDataset::Isolet;
     let data = dataset
@@ -617,17 +845,45 @@ fn main() {
             .expect("task configuration");
         tasked
     };
-    let classify_window_qps = results
-        .iter()
-        .find(|r| r.window == TASK_WINDOW)
-        .map(|r| r.serial_qps)
-        .expect("TASK_WINDOW is swept");
-    let (topk_secs, topk_responses) = parallel::with_thread_count(1, || {
-        serve_tasks_once(&tasked, &queries, TASK_WINDOW, TaskKind::TopK)
-    });
-    let (anomaly_secs, anomaly_responses) = parallel::with_thread_count(1, || {
-        serve_tasks_once(&tasked, &queries, TASK_WINDOW, TaskKind::Anomaly)
-    });
+    // The classify denominator is re-measured here, interleaved leg by leg
+    // with the task endpoints, rather than borrowed from the window sweep
+    // minutes earlier: container frequency drift between phases used to
+    // land entirely on one side of the ratio and flip the 0.95x gate on
+    // identical code (the same fix the int-encode phase applies with its
+    // interleaved best-of-5 legs).
+    let (classify_secs, topk_secs, anomaly_secs, topk_responses, anomaly_responses) =
+        parallel::with_thread_count(1, || {
+            const TASK_REPS: usize = 5;
+            let mut classify_secs = f64::INFINITY;
+            let mut topk_secs = f64::INFINITY;
+            let mut anomaly_secs = f64::INFINITY;
+            let mut topk_responses = Vec::new();
+            let mut anomaly_responses = Vec::new();
+            for _ in 0..TASK_REPS {
+                let start = Instant::now();
+                let mut engine =
+                    ServeEngine::new(deployed.clone(), BatchPolicy::window(TASK_WINDOW));
+                engine.serve_all(&queries).expect("serve");
+                classify_secs = classify_secs.min(start.elapsed().as_secs_f64());
+
+                let start = Instant::now();
+                topk_responses = serve_task_leg(&tasked, &queries, TASK_WINDOW, TaskKind::TopK);
+                topk_secs = topk_secs.min(start.elapsed().as_secs_f64());
+
+                let start = Instant::now();
+                anomaly_responses =
+                    serve_task_leg(&tasked, &queries, TASK_WINDOW, TaskKind::Anomaly);
+                anomaly_secs = anomaly_secs.min(start.elapsed().as_secs_f64());
+            }
+            (
+                classify_secs,
+                topk_secs,
+                anomaly_secs,
+                topk_responses,
+                anomaly_responses,
+            )
+        });
+    let classify_window_qps = queries_n as f64 / classify_secs.max(1e-12);
     let topk_qps = queries_n as f64 / topk_secs.max(1e-12);
     let anomaly_qps = queries_n as f64 / anomaly_secs.max(1e-12);
     let topk_first_matches_classify =
@@ -712,6 +968,50 @@ fn main() {
         .iter()
         .all(|r| r.predictions_fnv1a == serial_fnv1a);
 
+    // Chaos soak: seeded worker panics, slow shards, corrupt snapshots and
+    // bit-flipped installs against a supervised server.  Availability
+    // excludes deliberately-shed requests (overload + deadline); the
+    // post-chaos deterministic pass must hash equal to the fault-free
+    // serial baseline.  Chaos gates measure *correctness under faults*,
+    // not speed, so — unlike `parallel_regression` — they stay armed on a
+    // single-core container (see DESIGN.md §13).
+    let chaos_run: Option<ChaosRun> = (chaos_secs > 0.0).then(|| {
+        let run = chaos_soak(&deployed, &queries, chaos_secs, parallel_threads.max(2));
+        println!(
+            "\nchaos {:>4.1}s @ {} shard(s), {} client(s): availability {:.4} \
+             ({} answered / {} submitted, {} overload-shed, {} deadline-shed, \
+             {} worker-failed, {} lost), {} restarts, {} failed batches, {} faulty installs",
+            chaos_secs,
+            run.shards,
+            run.clients,
+            run.availability,
+            run.answered,
+            run.submitted,
+            run.shed_overloaded,
+            run.shed_deadline,
+            run.worker_failed,
+            run.lost_tickets,
+            run.worker_restarts,
+            run.failed_batches,
+            run.faulty_installs,
+        );
+        println!(
+            "chaos integrity: corrupt snapshot detected {}, rolled back to last-known-good {}, \
+             post-chaos hash matches fault-free baseline {}",
+            run.snapshot_corruption_detected,
+            run.snapshot_rolled_back,
+            run.post_chaos_fnv1a == serial_fnv1a,
+        );
+        run
+    });
+    let chaos_regression = chaos_run.as_ref().is_some_and(|run| {
+        run.lost_tickets > 0
+            || run.availability < 0.99
+            || run.post_chaos_fnv1a != serial_fnv1a
+            || !run.snapshot_corruption_detected
+            || !run.snapshot_rolled_back
+    });
+
     let base = &results[0];
     let batched_2x = results.iter().filter(|r| r.window >= 32).all(|r| {
         r.serial_qps >= 2.0 * base.serial_qps && r.parallel_qps >= 2.0 * base.parallel_qps
@@ -757,6 +1057,35 @@ fn main() {
     let headline_int_speedup = speedup_int_encode_over_f32
         .map(|s| format!("{s:.3}"))
         .unwrap_or_else(|| "null".into());
+    let chaos_json = match &chaos_run {
+        None => "null".to_string(),
+        Some(run) => format!(
+            "{{ \"seconds\": {chaos_secs}, \"shards\": {}, \"clients\": {}, \
+             \"window\": {SOAK_WINDOW}, \"submitted\": {}, \"answered\": {}, \
+             \"shed_overloaded\": {}, \"shed_deadline\": {}, \"worker_failed\": {}, \
+             \"lost_tickets\": {}, \"availability\": {:.6}, \"worker_restarts\": {}, \
+             \"failed_batches\": {}, \"faulty_installs\": {}, \
+             \"snapshot_corruption_detected\": {}, \"snapshot_rolled_back\": {}, \
+             \"post_chaos_fnv1a\": \"{:#018x}\", \"post_chaos_matches_baseline\": {}, \
+             \"chaos_regression\": {chaos_regression} }}",
+            run.shards,
+            run.clients,
+            run.submitted,
+            run.answered,
+            run.shed_overloaded,
+            run.shed_deadline,
+            run.worker_failed,
+            run.lost_tickets,
+            run.availability,
+            run.worker_restarts,
+            run.failed_batches,
+            run.faulty_installs,
+            run.snapshot_corruption_detected,
+            run.snapshot_rolled_back,
+            run.post_chaos_fnv1a,
+            run.post_chaos_fnv1a == serial_fnv1a,
+        ),
+    };
     let soak_json = if soak_runs.is_empty() {
         "null".to_string()
     } else {
@@ -796,6 +1125,7 @@ fn main() {
          \"anomaly_fnv1a\": \"{anomaly_fnv1a:#018x}\", \
          \"task_regression\": {task_regression} }},\n  \
          \"soak\": {soak_json},\n  \
+         \"chaos\": {chaos_json},\n  \
          \"bit_identical_across_windows_and_threads\": {bit_identical},\n  \
          \"parallel_comparison_meaningful\": {parallel_comparison_meaningful},\n  \
          \"parallel_regression\": {parallel_regression},\n  \
@@ -852,6 +1182,14 @@ fn main() {
         eprintln!(
             "ERROR: post-soak prediction hashes differ across shard counts — sharded serving \
              is not byte-for-byte identical to the serial baseline"
+        );
+        std::process::exit(1);
+    }
+    if chaos_regression {
+        eprintln!(
+            "ERROR: chaos soak regressed — a ticket was lost, availability fell below 0.99, \
+             the post-chaos pass diverged from the fault-free baseline, or snapshot \
+             corruption was not detected and rolled back"
         );
         std::process::exit(1);
     }

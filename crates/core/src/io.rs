@@ -52,22 +52,43 @@
 //!           payload        u32 k   |   f32 threshold
 //! ```
 //!
+//! Version `'4'` is the **checksummed container** every new artifact is
+//! written as: the pre-checksum stream (whichever of `'1'`/`'2'`/`'3'` the
+//! model would have selected) is embedded verbatim after the magic, and a
+//! trailing FNV-1a hash covers every preceding byte:
+//!
+//! ```text
+//! magic  "DHD" + '4'       4 bytes
+//! embedded version         u8 ('1' | '2' | '3' — the legacy stream's own
+//!                              version byte; its body follows verbatim)
+//! embedded body            exactly the v1/v2/v3 payload bytes
+//! checksum                 u64 FNV-1a over ALL preceding bytes
+//!                              (magic and embedded version included)
+//! ```
+//!
 //! ## Format evolution
 //!
 //! The fourth magic byte is the **format version**.  Readers accept exactly
 //! the versions they know: a stream that starts with `DHD` but carries an
 //! unknown version digit fails with [`PersistError::UnsupportedVersion`] —
 //! distinct from [`PersistError::BadMagic`] (not a DHD stream at all) so
-//! callers can tell "newer than me" from "garbage".  Dense deployments are
-//! still **written** as version `'1'`, so pre-structured readers keep
-//! loading every dense artifact this writer produces; only structured
-//! deployments need the `'2'` stream, and only deployments with a
-//! configured [`crate::ServingTasks`] need `'3'` — a task-free deployment
-//! round-trips **byte-identical** to what pre-task writers produced, and
-//! an unknown task kind fails closed ([`PersistError::Corrupt`], naming
-//! the field) rather than silently serving a misconfigured task.  See
-//! `DESIGN.md` §6/§8/§11 for the full compatibility rules.  Every
-//! deserialization failure names the offending field.
+//! callers can tell "newer than me" from "garbage".  Since the
+//! fault-tolerance layer, **every** deployment is written as the
+//! checksummed `'4'` container so a flipped bit in a stored blob can never
+//! be served silently: a structurally-parseable stream whose trailer does
+//! not match fails closed with [`PersistError::ChecksumMismatch`] before
+//! any caller sees the model.  Readers still load every legacy `'1'`,
+//! `'2'` and `'3'` stream (which carry no trailer — integrity there is
+//! best-effort structural validation only), and the embedded body inside
+//! a `'4'` container is byte-identical to the legacy stream the pre-
+//! checksum writer would have produced — stripping the container (drop the
+//! `'4'` magic + embedded-version prefix and the 8-byte trailer, re-prefix
+//! `DHD` + embedded version) yields a stream legacy readers load
+//! unchanged.  An unknown task kind fails closed ([`PersistError::
+//! Corrupt`], naming the field) rather than silently serving a
+//! misconfigured task.  See `DESIGN.md` §6/§8/§11/§13 for the full
+//! compatibility rules.  Every deserialization failure names the offending
+//! field.
 
 use crate::deploy::DeployedModel;
 use disthd_hd::center::EncodingCenter;
@@ -93,6 +114,14 @@ const VERSION_KINDED: u8 = b'2';
 /// Serving-task-carrying format version (written only when a
 /// [`crate::ServingTasks`] is configured).
 const VERSION_TASKED: u8 = b'3';
+/// Checksummed-container format version: an embedded `'1'`/`'2'`/`'3'`
+/// stream followed by a trailing FNV-1a hash over every preceding byte.
+/// This is what every new artifact is written as.
+const VERSION_CHECKSUMMED: u8 = b'4';
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 /// Encoder-kind byte: dense RBF encoder (version-1 payload follows).
 const ENCODER_KIND_DENSE: u8 = 0;
 /// Encoder-kind byte: structured Walsh–Hadamard RBF encoder.
@@ -115,21 +144,35 @@ pub enum PersistError {
     /// A field failed validation (corrupt or truncated stream); the message
     /// names the offending field.
     Corrupt(String),
+    /// The stream parsed structurally but its trailing FNV-1a checksum does
+    /// not cover the bytes that were actually read — some bit flipped in
+    /// storage or transit.  The model is never returned.
+    ChecksumMismatch {
+        /// The checksum the stream's trailer claims.
+        stored: u64,
+        /// The checksum computed over the bytes actually read.
+        computed: u64,
+    },
 }
 
 impl fmt::Display for PersistError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PersistError::Io(e) => write!(f, "io error: {e}"),
-            PersistError::BadMagic => write!(f, "not a DHD1 model stream (bad magic)"),
+            PersistError::BadMagic => write!(f, "not a DHD model stream (bad magic)"),
             PersistError::UnsupportedVersion(v) => write!(
                 f,
                 "unsupported DHD format version {:?} (this reader understands versions {:?}–{:?})",
                 char::from(*v),
                 char::from(VERSION_DENSE),
-                char::from(VERSION_TASKED)
+                char::from(VERSION_CHECKSUMMED)
             ),
             PersistError::Corrupt(msg) => write!(f, "corrupt model stream: {msg}"),
+            PersistError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "model stream checksum mismatch: trailer claims {stored:#018x}, \
+                 bytes hash to {computed:#018x}"
+            ),
         }
     }
 }
@@ -151,20 +194,40 @@ impl From<std::io::Error> for PersistError {
 
 /// Writes a deployed model to `writer` (pass `&mut` for reuse).
 ///
-/// Dense-encoder deployments are written as format version `'1'`
-/// (byte-compatible with pre-structured readers); structured-encoder
-/// deployments need the encoder-kind dispatch and are written as `'2'`.
-/// A deployment with a configured [`crate::ServingTasks`] is written as
-/// `'3'` (the task section has to ride somewhere); with no tasks the
-/// output is **byte-identical** to what pre-task writers produced.
+/// Every artifact is written as the checksummed `'4'` container: the
+/// stream a pre-checksum writer would have produced (dense task-free →
+/// `'1'`, structured → `'2'`, tasked → `'3'`) is embedded verbatim after
+/// the `DHD4` magic, then a trailing FNV-1a hash over all preceding bytes
+/// lets the loader fail closed on any bit flip instead of serving a
+/// silently-corrupted model.  The embedded body stays byte-identical to
+/// the legacy stream, so stripping the container recovers an artifact
+/// every older reader loads unchanged.
 ///
 /// # Errors
 ///
 /// Returns [`PersistError::Io`] on write failure.
 pub fn save_deployed<W: Write>(model: &DeployedModel, mut writer: W) -> Result<(), PersistError> {
+    let legacy = serialize_legacy(model)?;
+    let mut out = Vec::with_capacity(legacy.len() + 9);
+    out.extend_from_slice(MAGIC_PREFIX);
+    out.push(VERSION_CHECKSUMMED);
+    // legacy[3] is the embedded stream's own version byte; its body
+    // follows verbatim.
+    out.extend_from_slice(&legacy[3..]);
+    let checksum = fnv1a_update(FNV_OFFSET, &out);
+    out.extend_from_slice(&checksum.to_le_bytes());
+    writer.write_all(&out)?;
+    writer.flush()?;
+    Ok(())
+}
+
+/// Serializes `model` as the pre-checksum (`'1'`/`'2'`/`'3'`) stream that
+/// gets embedded inside the `'4'` container.
+fn serialize_legacy(model: &DeployedModel) -> Result<Vec<u8>, PersistError> {
+    let mut writer = Vec::new();
     let (rows, cols) = model.memory_parts().shape();
     let tasks = model.tasks();
-    let write_dims = |writer: &mut W, n: usize| -> Result<(), PersistError> {
+    let write_dims = |writer: &mut Vec<u8>, n: usize| -> Result<(), PersistError> {
         write_u32(writer, n as u32)?;
         write_u32(writer, cols as u32)?;
         write_u32(writer, rows as u32)?;
@@ -227,8 +290,32 @@ pub fn save_deployed<W: Write>(model: &DeployedModel, mut writer: W) -> Result<(
             write_f32(&mut writer, threshold)?;
         }
     }
-    writer.flush()?;
-    Ok(())
+    Ok(writer)
+}
+
+/// Folds `bytes` into a running 64-bit FNV-1a hash.
+fn fnv1a_update(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// A [`Read`] adapter that folds every byte it hands out into a running
+/// FNV-1a hash, so the loader can verify the `'4'` container's trailer
+/// without buffering the stream.
+struct HashingReader<R> {
+    inner: R,
+    hash: u64,
+}
+
+impl<R: Read> Read for HashingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.hash = fnv1a_update(self.hash, &buf[..n]);
+        Ok(n)
+    }
 }
 
 /// The `n / D / k / width / base_std` header shared by every layout.
@@ -278,6 +365,9 @@ fn read_header<R: Read>(reader: &mut R) -> Result<Header, PersistError> {
 ///   (or otherwise unknown) format version;
 /// * [`PersistError::Corrupt`] on inconsistent sizes, truncation or an
 ///   unknown encoder kind, naming the offending field;
+/// * [`PersistError::ChecksumMismatch`] when a `'4'` container parses
+///   structurally but its trailing FNV-1a hash does not match the bytes
+///   read (a flipped bit in storage — the model is withheld);
 /// * [`PersistError::Io`] on read failure.
 pub fn load_deployed<R: Read>(mut reader: R) -> Result<DeployedModel, PersistError> {
     let mut magic = [0u8; 4];
@@ -286,26 +376,70 @@ pub fn load_deployed<R: Read>(mut reader: R) -> Result<DeployedModel, PersistErr
         return Err(PersistError::BadMagic);
     }
     match magic[3] {
-        VERSION_DENSE => load_dense_body(&mut reader),
-        VERSION_KINDED | VERSION_TASKED => {
-            let mut kind = [0u8; 1];
-            read_field_bytes(&mut reader, &mut kind, "encoder kind")?;
-            let mut model = match kind[0] {
-                ENCODER_KIND_DENSE => load_dense_body(&mut reader)?,
-                ENCODER_KIND_STRUCTURED => load_structured_body(&mut reader)?,
+        VERSION_DENSE | VERSION_KINDED | VERSION_TASKED => {
+            load_body_for_version(magic[3], &mut reader)
+        }
+        VERSION_CHECKSUMMED => {
+            let mut embedded = [0u8; 1];
+            read_field_bytes(&mut reader, &mut embedded, "embedded version")?;
+            match embedded[0] {
+                VERSION_DENSE | VERSION_KINDED | VERSION_TASKED => {}
                 other => {
                     return Err(PersistError::Corrupt(format!(
-                        "field `encoder kind`: unknown kind {other}"
+                        "field `embedded version`: unknown version {:?}",
+                        char::from(other)
                     )))
                 }
+            }
+            // Hash while parsing: prime the hash with the already-consumed
+            // magic + embedded-version prefix, then every body byte the
+            // parsers read flows through the adapter.  Structural errors
+            // fire first (they surface during the parse, with their field
+            // names intact); a stream that parses cleanly but hashes wrong
+            // fails closed here.
+            let mut hashing = HashingReader {
+                hash: fnv1a_update(fnv1a_update(FNV_OFFSET, &magic), &embedded),
+                inner: &mut reader,
             };
-            if magic[3] == VERSION_TASKED {
-                load_task_section(&mut reader, &mut model)?;
+            let model = load_body_for_version(embedded[0], &mut hashing)?;
+            let computed = hashing.hash;
+            let mut trailer = [0u8; 8];
+            read_field_bytes(&mut reader, &mut trailer, "checksum")?;
+            let stored = u64::from_le_bytes(trailer);
+            if stored != computed {
+                return Err(PersistError::ChecksumMismatch { stored, computed });
             }
             Ok(model)
         }
         version => Err(PersistError::UnsupportedVersion(version)),
     }
+}
+
+/// Loads the body of a validated legacy (`'1'`/`'2'`/`'3'`) stream —
+/// everything after the 4-byte magic.  Callers have already matched
+/// `version` against the known set.
+fn load_body_for_version<R: Read>(
+    version: u8,
+    reader: &mut R,
+) -> Result<DeployedModel, PersistError> {
+    if version == VERSION_DENSE {
+        return load_dense_body(reader);
+    }
+    let mut kind = [0u8; 1];
+    read_field_bytes(reader, &mut kind, "encoder kind")?;
+    let mut model = match kind[0] {
+        ENCODER_KIND_DENSE => load_dense_body(reader)?,
+        ENCODER_KIND_STRUCTURED => load_structured_body(reader)?,
+        other => {
+            return Err(PersistError::Corrupt(format!(
+                "field `encoder kind`: unknown kind {other}"
+            )))
+        }
+    };
+    if version == VERSION_TASKED {
+        load_task_section(reader, &mut model)?;
+    }
+    Ok(model)
 }
 
 /// Reads the version-3 serving-task section and installs it on `model`.
@@ -610,12 +744,22 @@ mod tests {
 
     #[test]
     fn newer_version_is_distinguished_from_garbage() {
-        let err = load_deployed(&b"DHD4............"[..]).unwrap_err();
+        let err = load_deployed(&b"DHD9............"[..]).unwrap_err();
         assert!(
-            matches!(err, PersistError::UnsupportedVersion(b'4')),
+            matches!(err, PersistError::UnsupportedVersion(b'9')),
             "{err}"
         );
-        assert!(err.to_string().contains('4'), "{err}");
+        assert!(err.to_string().contains('9'), "{err}");
+    }
+
+    #[test]
+    fn unknown_embedded_version_is_corrupt_and_named() {
+        // A '4' container must embed a version this reader knows; anything
+        // else is corruption, not a forward-compat case (a genuinely newer
+        // format would bump the outer version byte).
+        let err = load_deployed(&b"DHD4x..........."[..]).unwrap_err();
+        assert!(matches!(err, PersistError::Corrupt(_)), "{err}");
+        assert!(err.to_string().contains("embedded version"), "{err}");
     }
 
     fn structured_deployed() -> (DeployedModel, disthd_datasets::TrainTest) {
@@ -636,14 +780,64 @@ mod tests {
         (DeployedModel::freeze(&model, BitWidth::B4).unwrap(), data)
     }
 
+    /// Strips the `'4'` container from a freshly-written stream: drops the
+    /// outer magic and the 8-byte trailer and re-prefixes `DHD` onto the
+    /// embedded version byte + body, reconstructing the exact stream a
+    /// pre-checksum writer would have produced.
+    fn strip_container(v4: &[u8]) -> Vec<u8> {
+        assert_eq!(&v4[..4], b"DHD4");
+        let mut legacy = Vec::with_capacity(v4.len() - 9);
+        legacy.extend_from_slice(MAGIC_PREFIX);
+        legacy.extend_from_slice(&v4[4..v4.len() - 8]);
+        legacy
+    }
+
     #[test]
-    fn dense_deployments_still_write_version_one() {
-        // Pre-structured readers only understand 'DHD1'; a dense model from
-        // this writer must stay loadable by them.
+    fn dense_deployments_embed_version_one() {
+        // Pre-structured readers only understand 'DHD1'; a dense model's
+        // embedded body must reconstruct to exactly that stream, and this
+        // reader must still load the reconstruction identically.
+        let (original, data) = deployed();
+        let mut buffer = Vec::new();
+        save_deployed(&original, &mut buffer).unwrap();
+        assert_eq!(&buffer[..5], b"DHD41");
+        let legacy = strip_container(&buffer);
+        assert_eq!(&legacy[..4], b"DHD1");
+        let restored = load_deployed(legacy.as_slice()).unwrap();
+        for i in 0..data.test.len().min(20) {
+            assert_eq!(
+                original.predict(data.test.sample(i)).unwrap(),
+                restored.predict(data.test.sample(i)).unwrap(),
+                "sample {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn checksum_detects_parseable_bit_flips() {
+        // Flip one bit in the middle of the bases payload: every count and
+        // size still parses, but the trailer no longer covers the bytes —
+        // the loader must fail closed instead of serving a corrupted model.
         let (original, _) = deployed();
         let mut buffer = Vec::new();
         save_deployed(&original, &mut buffer).unwrap();
-        assert_eq!(&buffer[..4], b"DHD1");
+        let mid = buffer.len() / 2;
+        buffer[mid] ^= 0x10;
+        let err = load_deployed(buffer.as_slice()).unwrap_err();
+        assert!(
+            matches!(err, PersistError::ChecksumMismatch { .. }),
+            "{err}"
+        );
+        assert!(err.to_string().contains("checksum mismatch"), "{err}");
+    }
+
+    #[test]
+    fn truncated_checksum_trailer_is_named() {
+        let (original, _) = deployed();
+        let mut buffer = Vec::new();
+        save_deployed(&original, &mut buffer).unwrap();
+        let err = load_deployed(&buffer[..buffer.len() - 3]).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
     }
 
     #[test]
@@ -662,7 +856,7 @@ mod tests {
         );
         let mut buffer = Vec::new();
         save_deployed(&original, &mut buffer).unwrap();
-        assert_eq!(&buffer[..5], b"DHD2\x01");
+        assert_eq!(&buffer[..6], b"DHD42\x01");
         let restored = load_deployed(buffer.as_slice()).unwrap();
         assert!(restored.encoder_parts().as_structured().is_some());
         for i in 0..data.test.len().min(50) {
@@ -684,9 +878,10 @@ mod tests {
         let (original, data) = deployed();
         let mut buffer = Vec::new();
         save_deployed(&original, &mut buffer).unwrap();
-        let mut v2 = Vec::with_capacity(buffer.len() + 1);
+        let legacy = strip_container(&buffer);
+        let mut v2 = Vec::with_capacity(legacy.len() + 1);
         v2.extend_from_slice(b"DHD2\x00");
-        v2.extend_from_slice(&buffer[4..]);
+        v2.extend_from_slice(&legacy[4..]);
         let restored = load_deployed(v2.as_slice()).unwrap();
         assert_eq!(
             original.predict(data.test.sample(0)).unwrap(),
@@ -707,18 +902,19 @@ mod tests {
         let mut buffer = Vec::new();
         save_deployed(&original, &mut buffer).unwrap();
 
-        // Cut right after the magic + kind byte: header dims are first.
-        let err = load_deployed(&buffer[..7]).unwrap_err();
+        // Cut right after the magic + embedded version + kind bytes: header
+        // dims are first.
+        let err = load_deployed(&buffer[..8]).unwrap_err();
         assert!(err.to_string().contains("feature count n"), "{err}");
 
-        // Cut inside the sign words: header is magic(4) + kind(1) +
-        // 4 u32 + f32 + block_dim u32 + sign word count u32.
-        let header = 5 + 4 * 4 + 4 + 4 + 4;
+        // Cut inside the sign words: header is magic(4) + embedded ver(1) +
+        // kind(1) + 4 u32 + f32 + block_dim u32 + sign word count u32.
+        let header = 6 + 4 * 4 + 4 + 4 + 4;
         let err = load_deployed(&buffer[..header + 10]).unwrap_err();
         assert!(err.to_string().contains("sign words"), "{err}");
 
-        // Cut inside the trailing memory words.
-        let err = load_deployed(&buffer[..buffer.len() - 3]).unwrap_err();
+        // Cut inside the trailing memory words (before the 8-byte trailer).
+        let err = load_deployed(&buffer[..buffer.len() - 8 - 3]).unwrap_err();
         assert!(err.to_string().contains("memory words"), "{err}");
     }
 
@@ -727,9 +923,9 @@ mod tests {
         let (original, _) = structured_deployed();
         let mut buffer = Vec::new();
         save_deployed(&original, &mut buffer).unwrap();
-        // block dim lives right after the 5-byte magic+kind and the
-        // 4 u32 + f32 header.
-        let offset = 5 + 4 * 4 + 4;
+        // block dim lives right after the 6-byte magic + embedded version +
+        // kind prefix and the 4 u32 + f32 header.
+        let offset = 6 + 4 * 4 + 4;
         buffer[offset..offset + 4].copy_from_slice(&3u32.to_le_bytes());
         let err = load_deployed(buffer.as_slice()).unwrap_err();
         assert!(err.to_string().contains("block dim"), "{err}");
@@ -741,8 +937,9 @@ mod tests {
         let mut buffer = Vec::new();
         save_deployed(&original, &mut buffer).unwrap();
 
-        // Cut inside the bases payload: header is magic(4) + 4 u32 + 1 f32.
-        let header = 4 + 4 * 4 + 4;
+        // Cut inside the bases payload: prefix is magic(4) + embedded
+        // version(1), then 4 u32 + 1 f32 of header.
+        let header = 5 + 4 * 4 + 4;
         let err = load_deployed(&buffer[..header + 10]).unwrap_err();
         assert!(err.to_string().contains("bases"), "{err}");
 
@@ -750,8 +947,8 @@ mod tests {
         let err = load_deployed(&buffer[..2]).unwrap_err();
         assert!(err.to_string().contains("magic"), "{err}");
 
-        // Cut inside the trailing memory words.
-        let err = load_deployed(&buffer[..buffer.len() - 3]).unwrap_err();
+        // Cut inside the trailing memory words (before the 8-byte trailer).
+        let err = load_deployed(&buffer[..buffer.len() - 8 - 3]).unwrap_err();
         assert!(err.to_string().contains("memory words"), "{err}");
     }
 
@@ -760,9 +957,11 @@ mod tests {
         let (original, _) = deployed();
         let mut buffer = Vec::new();
         save_deployed(&original, &mut buffer).unwrap();
-        // The word count lives right before the words; corrupt it.
+        // The word count lives right before the words (which sit ahead of
+        // the 8-byte checksum trailer); corrupt it.  The structural check
+        // fires during the parse, before the checksum is even read.
         let words = original.memory_parts().as_words().len();
-        let offset = buffer.len() - words * 8 - 4;
+        let offset = buffer.len() - 8 - words * 8 - 4;
         buffer[offset..offset + 4].copy_from_slice(&(words as u32 + 7).to_le_bytes());
         let err = load_deployed(buffer.as_slice()).unwrap_err();
         assert!(err.to_string().contains("memory word count"), "{err}");
@@ -846,13 +1045,22 @@ mod tests {
             };
             let mut task_free = Vec::new();
             save_deployed(&original, &mut task_free).unwrap();
-            let expected_magic: &[u8] = if structured { b"DHD2\x01" } else { b"DHD1" };
+            let expected_magic: &[u8] = if structured { b"DHD42\x01" } else { b"DHD41" };
             assert_eq!(&task_free[..expected_magic.len()], expected_magic);
+            // Stripping the container reconstructs the exact pre-checksum
+            // stream, so pre-task readers keep loading task-free artifacts.
+            let legacy_magic: &[u8] = if structured { b"DHD2\x01" } else { b"DHD1" };
+            let legacy = strip_container(&task_free);
+            assert_eq!(&legacy[..legacy_magic.len()], legacy_magic);
 
             let with_tasks = tasked(&original);
             let mut buffer = Vec::new();
             save_deployed(&with_tasks, &mut buffer).unwrap();
-            let v3_magic: &[u8] = if structured { b"DHD3\x01" } else { b"DHD3\x00" };
+            let v3_magic: &[u8] = if structured {
+                b"DHD43\x01"
+            } else {
+                b"DHD43\x00"
+            };
             assert_eq!(&buffer[..v3_magic.len()], v3_magic);
             let restored = load_deployed(buffer.as_slice()).unwrap();
             assert_eq!(restored.tasks(), with_tasks.tasks());
@@ -897,7 +1105,8 @@ mod tests {
     }
 
     /// Serializes a top-k-only tasked deployment; its task section is the
-    /// trailing 9 bytes: count u32, kind u8, k u32.
+    /// 9 bytes (count u32, kind u8, k u32) right before the 8-byte
+    /// checksum trailer.
     fn top_k_only_stream() -> Vec<u8> {
         let (original, _) = deployed();
         let mut model = original;
@@ -915,7 +1124,7 @@ mod tests {
     #[test]
     fn unknown_task_kind_fails_closed_and_names_the_field() {
         let mut buffer = top_k_only_stream();
-        let kind_at = buffer.len() - 5;
+        let kind_at = buffer.len() - 8 - 5;
         buffer[kind_at] = 7;
         let err = load_deployed(buffer.as_slice()).unwrap_err();
         assert!(matches!(err, PersistError::Corrupt(_)), "{err}");
@@ -925,14 +1134,15 @@ mod tests {
     #[test]
     fn truncated_task_section_names_the_offending_field() {
         let buffer = top_k_only_stream();
+        // All cuts land before the 8-byte checksum trailer.
         // Cut inside the k payload.
-        let err = load_deployed(&buffer[..buffer.len() - 2]).unwrap_err();
+        let err = load_deployed(&buffer[..buffer.len() - 8 - 2]).unwrap_err();
         assert!(err.to_string().contains("top-k task"), "{err}");
         // Cut right after the count: the kind byte itself is missing.
-        let err = load_deployed(&buffer[..buffer.len() - 5]).unwrap_err();
+        let err = load_deployed(&buffer[..buffer.len() - 8 - 5]).unwrap_err();
         assert!(err.to_string().contains("task kind"), "{err}");
         // Cut inside the count.
-        let err = load_deployed(&buffer[..buffer.len() - 7]).unwrap_err();
+        let err = load_deployed(&buffer[..buffer.len() - 8 - 7]).unwrap_err();
         assert!(err.to_string().contains("task count"), "{err}");
     }
 
@@ -940,7 +1150,7 @@ mod tests {
     fn task_count_out_of_range_is_corrupt() {
         for forged in [0u32, 3] {
             let mut buffer = top_k_only_stream();
-            let count_at = buffer.len() - 9;
+            let count_at = buffer.len() - 8 - 9;
             buffer[count_at..count_at + 4].copy_from_slice(&forged.to_le_bytes());
             let err = load_deployed(buffer.as_slice()).unwrap_err();
             assert!(err.to_string().contains("task count"), "{forged}: {err}");
@@ -953,9 +1163,10 @@ mod tests {
         let with_both = tasked(&original);
         let mut buffer = Vec::new();
         save_deployed(&with_both, &mut buffer).unwrap();
-        // Section layout: count(4) kind(1) k(4) kind(1) threshold(4); turn
-        // the anomaly kind into a second top-k kind.
-        let second_kind_at = buffer.len() - 5;
+        // Section layout: count(4) kind(1) k(4) kind(1) threshold(4), then
+        // the 8-byte trailer; turn the anomaly kind into a second top-k
+        // kind.
+        let second_kind_at = buffer.len() - 8 - 5;
         buffer[second_kind_at] = 0;
         let err = load_deployed(buffer.as_slice()).unwrap_err();
         assert!(err.to_string().contains("duplicate top-k"), "{err}");
@@ -966,8 +1177,8 @@ mod tests {
         // k = 0 is structurally readable but semantically invalid; the
         // loader must reject it like `set_tasks` would.
         let mut buffer = top_k_only_stream();
-        let k_at = buffer.len() - 4;
-        buffer[k_at..].copy_from_slice(&0u32.to_le_bytes());
+        let k_at = buffer.len() - 8 - 4;
+        buffer[k_at..k_at + 4].copy_from_slice(&0u32.to_le_bytes());
         let err = load_deployed(buffer.as_slice()).unwrap_err();
         assert!(err.to_string().contains("top-k task"), "{err}");
 
@@ -982,18 +1193,43 @@ mod tests {
             .unwrap();
         let mut buffer = Vec::new();
         save_deployed(&model, &mut buffer).unwrap();
-        let t_at = buffer.len() - 4;
-        buffer[t_at..].copy_from_slice(&f32::NAN.to_le_bytes());
+        let t_at = buffer.len() - 8 - 4;
+        buffer[t_at..t_at + 4].copy_from_slice(&f32::NAN.to_le_bytes());
         let err = load_deployed(buffer.as_slice()).unwrap_err();
         assert!(err.to_string().contains("anomaly threshold task"), "{err}");
     }
 
     #[test]
     fn persist_error_display() {
-        assert!(PersistError::BadMagic.to_string().contains("DHD1"));
+        assert!(PersistError::BadMagic.to_string().contains("DHD"));
         assert!(PersistError::Corrupt("x".into()).to_string().contains('x'));
         assert!(PersistError::UnsupportedVersion(b'9')
             .to_string()
             .contains('9'));
+        let mismatch = PersistError::ChecksumMismatch {
+            stored: 0xdead,
+            computed: 0xbeef,
+        };
+        let text = mismatch.to_string();
+        assert!(text.contains("0x000000000000dead"), "{text}");
+        assert!(text.contains("0x000000000000beef"), "{text}");
+    }
+
+    #[test]
+    fn concatenated_streams_load_sequentially() {
+        // The v4 loader reads exactly its body + trailer and no further, so
+        // back-to-back containers in one stream load one after the other.
+        let (original, data) = deployed();
+        let mut buffer = Vec::new();
+        save_deployed(&original, &mut buffer).unwrap();
+        save_deployed(&original, &mut buffer).unwrap();
+        let mut cursor = buffer.as_slice();
+        let first = load_deployed(&mut cursor).unwrap();
+        let second = load_deployed(&mut cursor).unwrap();
+        assert!(cursor.is_empty());
+        assert_eq!(
+            first.predict(data.test.sample(0)).unwrap(),
+            second.predict(data.test.sample(0)).unwrap()
+        );
     }
 }

@@ -1,8 +1,9 @@
 //! # disthd-serve
 //!
 //! Streaming inference and online-learning serving layer for the DistHD
-//! reproduction — the request path between a persisted `DHD1` model
-//! artifact and live classification traffic.
+//! reproduction — the request path between a persisted `DHD` model
+//! artifact (checksummed `DHD4` container, see `disthd::io`) and live
+//! classification traffic.
 //!
 //! * [`ServeEngine`] — a synchronous **request-batching engine**: single
 //!   queries accumulate in a queue and are answered together through one
@@ -22,15 +23,25 @@
 //!   worker threads (one per shard), each pulling batches from its own
 //!   queue with work stealing, so qps scales with cores.  Admission
 //!   control sheds requests when a queue is at capacity
-//!   ([`ServerOptions::queue_capacity`]).  Pair with
+//!   ([`ServerOptions::queue_capacity`]) or past their opt-in deadline
+//!   ([`SubmitOptions::deadline`]), and [`RetryPolicy`] adds bounded,
+//!   deterministically-jittered client retry on overload.  Workers run
+//!   **supervised**: a scoring panic fails its batch's tickets with
+//!   [`ServeError::WorkerFailed`] and the worker restarts (bounded, with
+//!   backoff) instead of killing the server.  Pair with
 //!   [`disthd::DistHd::partial_fit`] for online learning behind a live
 //!   server.
+//! * [`ChaosPlan`] — a seeded, deterministic fault-injection schedule
+//!   (worker panics, slow-shard stalls) for drilling the supervision
+//!   layer; [`Server::spawn_chaotic`] runs a server under it.
 //! * [`PublishedModel`] — epoch-based snapshot publication: hot-swap and
 //!   rollback **publish** a new immutable model generation that workers
 //!   pick up at batch boundaries; writers never block readers, batches
 //!   never tear, and a publication is visible by the next batch.
-//! * [`SnapshotStore`] — bounded, versioned `DHD1` snapshots with
-//!   restore/rollback.
+//! * [`SnapshotStore`] — bounded, versioned, checksummed `DHD` snapshots
+//!   with restore/rollback; a bit-flipped blob fails closed and
+//!   [`SnapshotStore::restore_or_rollback`] serves the last known good
+//!   version instead.
 //!
 //! ## Serving quickstart
 //!
@@ -62,16 +73,21 @@
 
 #![deny(missing_docs)]
 
+mod chaos;
 mod engine;
 mod publish;
 mod server;
 mod snapshot;
 
+pub use chaos::ChaosPlan;
 pub use engine::{
     AnomalyVerdict, BatchPolicy, EngineStats, ServeEngine, TaskKind, TaskResponse, Ticket,
 };
 pub use publish::{ModelReader, PublishedModel};
-pub use server::{Prediction, ServeError, Server, ServerClient, ServerOptions, ServerStats};
+pub use server::{
+    Prediction, RetryPolicy, ServeError, Server, ServerClient, ServerOptions, ServerStats,
+    SubmitOptions,
+};
 pub use snapshot::{SnapshotError, SnapshotStore};
 
 /// Tiny trained artifacts for doc-tests and examples.
@@ -382,7 +398,7 @@ mod tests {
         for (q, a) in queries.iter().zip(&answers) {
             assert_eq!(expected.predict_one(q).unwrap(), *a);
         }
-        let stats = server.shutdown();
+        let stats = server.shutdown().unwrap();
         assert_eq!(stats.served, 24);
         // Clients created before shutdown observe the disconnect.
     }
@@ -391,7 +407,7 @@ mod tests {
     fn dead_server_reports_disconnected() {
         let server = Server::spawn(testkit::tiny_deployment(), BatchPolicy::default());
         let client = server.client();
-        server.shutdown();
+        server.shutdown().unwrap();
         let q = testkit::tiny_queries(1).remove(0);
         assert!(matches!(client.predict(&q), Err(ServeError::Disconnected)));
     }
@@ -436,6 +452,77 @@ mod tests {
         // Roll back to the snapshot.
         client.install_model(store.restore(v0).unwrap()).unwrap();
         assert_eq!(client.predict(&q).unwrap(), before);
-        server.shutdown();
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn corrupt_snapshot_fails_closed_with_a_named_checksum_error() {
+        let deployment = testkit::tiny_deployment();
+        let mut store = SnapshotStore::new(4);
+        let v0 = store.push(&deployment).unwrap();
+        // Flip one bit deep inside the class-memory payload: the blob still
+        // parses structurally, so only the checksum can catch it.
+        let blob_bits = store.bytes(v0).unwrap().len() * 8;
+        assert!(store.flip_stored_bit(v0, blob_bits / 2));
+        match store.restore(v0) {
+            Err(SnapshotError::Persist(e)) => {
+                assert!(
+                    e.to_string().contains("checksum mismatch"),
+                    "corruption must be named: {e}"
+                );
+            }
+            other => panic!("corrupt blob must fail closed, got {other:?}"),
+        }
+        // Out-of-range flips and unknown versions are reported, not panics.
+        assert!(!store.flip_stored_bit(v0, blob_bits));
+        assert!(!store.flip_stored_bit(99, 0));
+    }
+
+    #[test]
+    fn restore_or_rollback_serves_the_last_known_good_version() {
+        let deployment = testkit::tiny_deployment();
+        let mut store = SnapshotStore::new(4);
+        let v0 = store.push(&deployment).unwrap();
+        let v1 = store.push(&deployment).unwrap();
+        let v2 = store.push(&deployment).unwrap();
+        store.flip_stored_bit(v2, 1000);
+        store.flip_stored_bit(v1, 1000);
+        // v2 is corrupt; the rollback walks back past the also-corrupt v1
+        // to v0.
+        let (version, model) = store.restore_or_rollback(v2).unwrap();
+        assert_eq!(version, v0);
+        assert_eq!(model.class_count(), deployment.class_count());
+        let (latest_good, _) = store.restore_latest_good().unwrap();
+        assert_eq!(latest_good, v0);
+        // A version that never existed is a caller bug, not corruption: no
+        // fallback.
+        assert!(matches!(
+            store.restore_or_rollback(99),
+            Err(SnapshotError::UnknownVersion(99))
+        ));
+        // Intact requests pass through unchanged.
+        assert_eq!(store.restore_or_rollback(v0).unwrap().0, v0);
+    }
+
+    #[test]
+    fn no_intact_snapshot_is_a_named_error() {
+        let deployment = testkit::tiny_deployment();
+        let mut store = SnapshotStore::new(2);
+        let v0 = store.push(&deployment).unwrap();
+        let v1 = store.push(&deployment).unwrap();
+        store.flip_stored_bit(v0, 500);
+        store.flip_stored_bit(v1, 500);
+        assert!(matches!(
+            store.restore_or_rollback(v1),
+            Err(SnapshotError::NoIntactSnapshot)
+        ));
+        assert!(matches!(
+            store.restore_latest_good(),
+            Err(SnapshotError::NoIntactSnapshot)
+        ));
+        assert!(matches!(
+            SnapshotStore::new(1).restore_latest_good(),
+            Err(SnapshotError::NoIntactSnapshot)
+        ));
     }
 }

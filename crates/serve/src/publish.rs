@@ -159,6 +159,13 @@ impl ModelReader<'_> {
     pub fn snapshot(&self) -> &Arc<DeployedModel> {
         &self.model
     }
+
+    /// The epoch the cached snapshot was loaded at — what a chaos drill
+    /// compares against [`PublishedModel::epoch`] to prove a restarted
+    /// worker resumed on a published (never torn) generation.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
 }
 
 #[cfg(test)]

@@ -12,8 +12,12 @@ pub enum SnapshotError {
     /// No snapshot with the requested version exists (evicted or never
     /// taken).
     UnknownVersion(u64),
-    /// (De)serialization of the underlying `DHD1` stream failed.
+    /// (De)serialization of the underlying `DHD` stream failed (this is
+    /// where a checksum mismatch on a bit-flipped blob surfaces).
     Persist(PersistError),
+    /// Every retained snapshot failed to deserialize — there is no
+    /// last-known-good version to fall back to.
+    NoIntactSnapshot,
 }
 
 impl fmt::Display for SnapshotError {
@@ -21,6 +25,9 @@ impl fmt::Display for SnapshotError {
         match self {
             SnapshotError::UnknownVersion(v) => write!(f, "no snapshot with version {v}"),
             SnapshotError::Persist(e) => write!(f, "snapshot persistence failed: {e}"),
+            SnapshotError::NoIntactSnapshot => {
+                write!(f, "no retained snapshot deserializes cleanly")
+            }
         }
     }
 }
@@ -29,7 +36,7 @@ impl Error for SnapshotError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             SnapshotError::Persist(e) => Some(e),
-            SnapshotError::UnknownVersion(_) => None,
+            SnapshotError::UnknownVersion(_) | SnapshotError::NoIntactSnapshot => None,
         }
     }
 }
@@ -42,14 +49,17 @@ impl From<PersistError> for SnapshotError {
 
 /// A bounded, versioned history of model deployments.
 ///
-/// Every [`SnapshotStore::push`] serializes the deployment to the `DHD1`
-/// binary format (the exact bytes that would ship to a device — see
-/// [`disthd::io`]) and assigns it a monotonically increasing version.
-/// [`SnapshotStore::restore`] deserializes any retained version, which is
-/// the rollback path for a live server: restore, then
+/// Every [`SnapshotStore::push`] serializes the deployment to the
+/// checksummed `DHD` binary format (the exact bytes that would ship to a
+/// device — see [`disthd::io`]) and assigns it a monotonically increasing
+/// version.  [`SnapshotStore::restore`] deserializes any retained version,
+/// which is the rollback path for a live server: restore, then
 /// [`crate::ServerClient::install_model`] (or
-/// [`crate::ServeEngine::install_model`]).  The store keeps at most
-/// `capacity` snapshots, evicting the oldest.
+/// [`crate::ServeEngine::install_model`]).  Because each blob carries a
+/// trailing checksum, a bit-flipped snapshot fails closed on restore;
+/// [`SnapshotStore::restore_or_rollback`] then falls back to the most
+/// recent intact version instead of leaving the caller torn.  The store
+/// keeps at most `capacity` snapshots, evicting the oldest.
 ///
 /// # Example
 ///
@@ -133,7 +143,80 @@ impl SnapshotStore {
         Ok(load_deployed(bytes.as_slice())?)
     }
 
-    /// Raw `DHD1` bytes of a retained snapshot (e.g. to copy to disk or
+    /// Restores `version` if it deserializes cleanly; on corruption
+    /// (checksum mismatch, truncation, any structural failure) falls back
+    /// to the most recent *other* retained snapshot that does, returning
+    /// the version actually restored.
+    ///
+    /// This is the rollback path a supervisor wants when a stored blob may
+    /// have rotted: never install a torn model, prefer the requested
+    /// version, otherwise serve the last known good one.
+    ///
+    /// # Errors
+    ///
+    /// * [`SnapshotError::UnknownVersion`] if `version` was evicted or
+    ///   never taken (no fallback is attempted — asking for a version that
+    ///   never existed is a caller bug, not corruption);
+    /// * [`SnapshotError::NoIntactSnapshot`] if the requested version and
+    ///   every fallback candidate fail to deserialize.
+    pub fn restore_or_rollback(&self, version: u64) -> Result<(u64, DeployedModel), SnapshotError> {
+        match self.restore(version) {
+            Ok(model) => Ok((version, model)),
+            Err(SnapshotError::UnknownVersion(v)) => Err(SnapshotError::UnknownVersion(v)),
+            Err(_) => self
+                .snapshots
+                .iter()
+                .rev()
+                .filter(|(v, _)| *v != version)
+                .find_map(|(v, bytes)| {
+                    load_deployed(bytes.as_slice())
+                        .ok()
+                        .map(|model| (*v, model))
+                })
+                .ok_or(SnapshotError::NoIntactSnapshot),
+        }
+    }
+
+    /// Restores the most recent retained snapshot that deserializes
+    /// cleanly, skipping corrupt ones, and returns its version.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::NoIntactSnapshot`] if the store is empty or every
+    /// retained blob fails to load.
+    pub fn restore_latest_good(&self) -> Result<(u64, DeployedModel), SnapshotError> {
+        self.snapshots
+            .iter()
+            .rev()
+            .find_map(|(v, bytes)| {
+                load_deployed(bytes.as_slice())
+                    .ok()
+                    .map(|model| (*v, model))
+            })
+            .ok_or(SnapshotError::NoIntactSnapshot)
+    }
+
+    /// Flips one bit of the stored blob for `version` (bit `bit` counted
+    /// from the blob's first byte, LSB first); returns `false` if the
+    /// version is not retained or the bit is out of range.
+    ///
+    /// This is the **fault drill** used by the chaos harness: it simulates
+    /// storage rot on a real snapshot so tests and the soak bin can prove
+    /// the corrupt blob is rejected with a named error and
+    /// [`SnapshotStore::restore_or_rollback`] serves the last known good
+    /// version instead.
+    pub fn flip_stored_bit(&mut self, version: u64, bit: usize) -> bool {
+        let Some((_, bytes)) = self.snapshots.iter_mut().find(|(v, _)| *v == version) else {
+            return false;
+        };
+        let Some(byte) = bytes.get_mut(bit / 8) else {
+            return false;
+        };
+        *byte ^= 1 << (bit % 8);
+        true
+    }
+
+    /// Raw `DHD` bytes of a retained snapshot (e.g. to copy to disk or
     /// ship over the network).
     pub fn bytes(&self, version: u64) -> Option<&[u8]> {
         self.snapshots

@@ -1,0 +1,238 @@
+//! Fault drills for the supervised serving layer (`DESIGN.md` §13).
+//!
+//! Every test runs a [`Server`] under a deterministic [`ChaosPlan`] and
+//! proves the supervision invariants: an injected worker panic fails the
+//! in-flight batch's tickets with [`ServeError::WorkerFailed`] — promptly,
+//! never a hang — the restarted worker keeps serving bit-identical
+//! answers, and a shard that exhausts its restart budget is failed loudly
+//! (admission routes around it; `shutdown` names it) instead of
+//! abandoning clients.
+
+use disthd_serve::{
+    BatchPolicy, ChaosPlan, Prediction, ServeError, Server, ServerOptions, SubmitOptions,
+};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[test]
+fn injected_panic_fails_the_batch_promptly_and_the_worker_restarts() {
+    // Regression for the client hang when a shard dies mid-batch: before
+    // supervision, the panicked worker dropped the batch's responders and
+    // every waiter blocked forever.
+    let chaos = Arc::new(ChaosPlan::panic_at_flushes(&[0]));
+    let server = Server::spawn_chaotic(
+        disthd_serve::testkit::tiny_deployment(),
+        BatchPolicy::window(1),
+        ServerOptions::sharded(1),
+        Arc::clone(&chaos),
+    );
+    let client = server.client();
+    let q = disthd_serve::testkit::tiny_queries(1).remove(0);
+
+    let started = Instant::now();
+    let err = client.predict(&q).unwrap_err();
+    assert!(
+        matches!(err, ServeError::WorkerFailed { shard: 0 }),
+        "in-flight ticket must fail with the shard id, got {err}"
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "the failed ticket must resolve promptly, not hang"
+    );
+
+    // Flush 0 is spent; the restarted worker serves the same traffic with
+    // the same answers as a fault-free server.
+    let expected = {
+        let clean = Server::spawn(
+            disthd_serve::testkit::tiny_deployment(),
+            BatchPolicy::window(1),
+        );
+        let class = clean.client().predict(&q).unwrap();
+        clean.shutdown().unwrap();
+        class
+    };
+    assert_eq!(client.predict(&q).unwrap(), expected);
+
+    let stats = server.shutdown().unwrap();
+    assert_eq!(stats.worker_restarts, 1);
+    assert_eq!(stats.failed_batches, 1);
+    assert_eq!(stats.served, 1);
+}
+
+#[test]
+fn exhausted_restart_budget_fails_the_shard_and_everything_queued_on_it() {
+    // Budget 0: the first panic kills the shard.  Nothing queued may hang —
+    // the supervisor drains and fails the queue, admission rejects new
+    // work with the shard id, and shutdown reports the casualty instead of
+    // panicking.
+    let chaos = Arc::new(ChaosPlan::panic_at_flushes(&[0]));
+    let server = Server::spawn_chaotic(
+        disthd_serve::testkit::tiny_deployment(),
+        BatchPolicy {
+            max_batch: 1,
+            max_wait: Duration::from_millis(1),
+        },
+        ServerOptions {
+            shards: 1,
+            max_worker_restarts: 0,
+            ..ServerOptions::default()
+        },
+        chaos,
+    );
+    let client = server.client();
+    let q = disthd_serve::testkit::tiny_queries(1).remove(0);
+
+    // Fire a burst; whether each request is admitted before the shard dies
+    // or rejected after, it must resolve to WorkerFailed naming shard 0.
+    let mut outcomes = Vec::new();
+    for _ in 0..3 {
+        match client.submit(&q) {
+            Ok(pending) => outcomes.push(pending.wait()),
+            Err(e) => outcomes.push(Err(e)),
+        }
+    }
+    for (i, outcome) in outcomes.iter().enumerate() {
+        assert!(
+            matches!(outcome, Err(ServeError::WorkerFailed { shard: 0 })),
+            "request {i}: {outcomes:?}"
+        );
+    }
+
+    // The dead shard is permanent: later submissions are rejected up front.
+    assert!(matches!(
+        client.submit(&q),
+        Err(ServeError::WorkerFailed { shard: 0 })
+    ));
+
+    match server.shutdown() {
+        Err(ServeError::WorkerFailed { shard }) => assert_eq!(shard, 0),
+        other => panic!("shutdown must name the dead shard, got {other:?}"),
+    }
+}
+
+#[test]
+fn surviving_shards_keep_serving_while_one_is_dead() {
+    // Two shards, shard-killing budget, one scheduled panic: the casualty
+    // is routed around and the survivor answers everything afterwards.
+    let chaos = Arc::new(ChaosPlan::panic_at_flushes(&[0]));
+    let server = Server::spawn_chaotic(
+        disthd_serve::testkit::tiny_deployment(),
+        BatchPolicy::window(1),
+        ServerOptions {
+            shards: 2,
+            max_worker_restarts: 0,
+            ..ServerOptions::default()
+        },
+        chaos,
+    );
+    let client = server.client();
+    let q = disthd_serve::testkit::tiny_queries(1).remove(0);
+
+    // Drive until the scheduled panic lands (whichever worker claims flush
+    // 0 takes it), then prove the server still serves.
+    let mut failed = 0;
+    let mut served = 0;
+    for _ in 0..16 {
+        match client.predict(&q) {
+            Ok(_) => served += 1,
+            Err(ServeError::WorkerFailed { .. }) => failed += 1,
+            Err(e) => panic!("unexpected error under single-panic chaos: {e}"),
+        }
+    }
+    assert_eq!(failed, 1, "exactly the scheduled panic fails a request");
+    assert_eq!(served, 15);
+
+    match server.shutdown() {
+        Err(ServeError::WorkerFailed { shard }) => assert!(shard < 2),
+        other => panic!("shutdown must name the dead shard, got {other:?}"),
+    }
+}
+
+#[test]
+fn slow_shard_stalls_delay_but_never_drop_answers() {
+    let chaos = Arc::new(ChaosPlan::none().and_stalls(&[
+        (0, Duration::from_millis(30)),
+        (2, Duration::from_millis(30)),
+    ]));
+    let server = Server::spawn_chaotic(
+        disthd_serve::testkit::tiny_deployment(),
+        BatchPolicy::window(4),
+        ServerOptions::sharded(2),
+        Arc::clone(&chaos),
+    );
+    let client = server.client();
+    let queries = disthd_serve::testkit::tiny_queries(32);
+    let pending: Vec<Prediction> = queries.iter().map(|q| client.submit(q).unwrap()).collect();
+    for p in pending {
+        p.wait().unwrap();
+    }
+    let stats = server.shutdown().unwrap();
+    assert_eq!(stats.served, 32);
+    assert_eq!(stats.worker_restarts, 0);
+    assert_eq!(stats.failed_batches, 0);
+}
+
+#[test]
+fn disarmed_chaos_serves_like_a_fault_free_server() {
+    // A seeded schedule that would panic every early flush, disarmed before
+    // traffic: nothing fires, and the post-chaos baseline path (what the
+    // soak bin measures) is plain fault-free serving.
+    let chaos = Arc::new(ChaosPlan::seeded(
+        0xc4a05,
+        64,
+        64,
+        8,
+        Duration::from_millis(5),
+    ));
+    let server = Server::spawn_chaotic(
+        disthd_serve::testkit::tiny_deployment(),
+        BatchPolicy::window(4),
+        ServerOptions::sharded(2),
+        chaos,
+    );
+    server.disarm_chaos();
+    let client = server.client();
+    for q in disthd_serve::testkit::tiny_queries(16) {
+        client.predict(&q).unwrap();
+    }
+    let stats = server.shutdown().unwrap();
+    assert_eq!(stats.served, 16);
+    assert_eq!(stats.worker_restarts, 0);
+    assert_eq!(stats.failed_batches, 0);
+}
+
+#[test]
+fn deadlines_are_still_honoured_while_chaos_is_firing() {
+    // A stalled worker holds its batch past a queued request's deadline;
+    // the deadline belongs to the *next* batch, which must still be shed
+    // on time once the worker comes back — chaos must not break the
+    // admission contract.
+    let chaos = Arc::new(ChaosPlan::panic_at_flushes(&[0]));
+    let server = Server::spawn_chaotic(
+        disthd_serve::testkit::tiny_deployment(),
+        BatchPolicy {
+            max_batch: 1024,
+            max_wait: Duration::from_secs(5),
+        },
+        ServerOptions::sharded(1),
+        chaos,
+    );
+    let client = server.client();
+    let q = disthd_serve::testkit::tiny_queries(1).remove(0);
+    // First request eats the scheduled panic.
+    assert!(matches!(
+        client.predict(&q),
+        Err(ServeError::WorkerFailed { shard: 0 })
+    ));
+    // Restarted worker: a deadlined lone request is shed at its deadline,
+    // not at the 5 s patience.
+    let started = Instant::now();
+    let err = client
+        .submit_with(&q, SubmitOptions::within(Duration::from_millis(25)))
+        .unwrap()
+        .wait()
+        .unwrap_err();
+    assert!(matches!(err, ServeError::DeadlineExceeded), "{err}");
+    assert!(started.elapsed() < Duration::from_secs(2));
+    server.shutdown().unwrap();
+}

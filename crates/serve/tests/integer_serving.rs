@@ -46,6 +46,7 @@ fn integer_serving_lifecycle_performs_zero_dequantize_calls() {
             shards: 2,
             queue_capacity: 1024,
             integer_pipeline: true,
+            ..ServerOptions::default()
         },
     );
     let client = server.client();
@@ -57,7 +58,7 @@ fn integer_serving_lifecycle_performs_zero_dequantize_calls() {
         .swap_class_memory(deployment.memory_parts().clone())
         .expect("published swap");
     client.predict(&queries[0]).expect("post-publication");
-    let stats = server.shutdown();
+    let stats = server.shutdown().expect("clean shutdown");
     assert_eq!(stats.served, queries.len() as u64 + 1);
 
     assert_eq!(

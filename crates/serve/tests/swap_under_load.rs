@@ -126,7 +126,7 @@ fn hammer(threads: usize, shards: usize) {
             );
         }
 
-        let stats = server.shutdown();
+        let stats = server.shutdown().expect("no worker died under load");
         let hammered = (CLIENT_THREADS * PREDICTS_PER_CLIENT + queries.len()) as u64;
         assert_eq!(
             stats.served, hammered,

@@ -141,7 +141,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         (rolled_back - day0_acc).abs() < 1e-12
     );
 
-    let stats = server.shutdown();
+    let stats = server.shutdown()?;
     println!(
         "\nserver lifetime: {} queries in {} batched passes ({} stolen, {} shed)",
         stats.served, stats.flushes, stats.stolen_batches, stats.shed
